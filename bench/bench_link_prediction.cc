@@ -1,0 +1,151 @@
+// E3 — reproduces §3.4: confidence estimation via BPR link prediction.
+// Ranking quality (AUC / MRR / Hits@10, filtered object-corruption
+// setting) of the BPR latent-feature model against topology baselines,
+// across KG snapshot sizes and latent dimensions, plus training cost.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <unordered_map>
+
+#include "bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "embed/baselines.h"
+#include "embed/bpr.h"
+#include "embed/eval.h"
+
+namespace nous {
+namespace {
+
+/// Ground-truth KG snapshot: world facts as id triples.
+struct Snapshot {
+  std::vector<IdTriple> triples;
+  size_t num_entities = 0;
+  size_t num_predicates = 0;
+};
+
+Snapshot MakeSnapshot(size_t num_events, uint64_t seed) {
+  auto fixture = bench::MakeDroneFixture(num_events, seed);
+  Snapshot snapshot;
+  std::unordered_map<std::string, uint32_t> predicate_ids;
+  snapshot.num_entities = fixture.world.entities().size();
+  for (const WorldFact& f : fixture.world.facts()) {
+    auto [it, inserted] = predicate_ids.try_emplace(
+        f.predicate, static_cast<uint32_t>(predicate_ids.size()));
+    snapshot.triples.push_back(
+        IdTriple{static_cast<uint32_t>(f.subject), it->second,
+                 static_cast<uint32_t>(f.object)});
+  }
+  snapshot.num_predicates = predicate_ids.size();
+  return snapshot;
+}
+
+void RunModelComparison() {
+  bench::PrintHeader(
+      "E3: link-prediction confidence",
+      "§3.4 (BPR triple scoring)",
+      "AUC/MRR/Hits@10 under filtered object corruption; 80/20 split.");
+  for (size_t events : {400ul, 1200ul}) {
+    Snapshot snapshot = MakeSnapshot(events, 31);
+    std::vector<IdTriple> train, test;
+    SplitTriples(snapshot.triples, 0.8, 5, &train, &test);
+    std::cout << "\n-- KG snapshot: " << snapshot.triples.size()
+              << " facts, " << snapshot.num_entities << " entities --\n";
+    TablePrinter table({"model", "AUC", "MRR", "Hits@10", "train ms"});
+
+    NeighborIndex index(train, snapshot.num_entities);
+    auto add_row = [&](const LinkPredictor& model, double train_ms) {
+      RankingMetrics m = EvaluateRanking(model, test, snapshot.triples,
+                                         snapshot.num_entities);
+      table.AddRow({model.name(), TablePrinter::Num(m.auc, 3),
+                    TablePrinter::Num(m.mrr, 3),
+                    TablePrinter::Num(m.hits_at_10, 3),
+                    TablePrinter::Num(train_ms, 1)});
+    };
+
+    {
+      BprConfig config;
+      config.epochs = 60;
+      config.latent_dim = 32;
+      BprModel bpr(config);
+      WallTimer timer;
+      bpr.Train(train, snapshot.num_entities, snapshot.num_predicates);
+      add_row(bpr, timer.ElapsedMillis());
+    }
+    add_row(CommonNeighborsPredictor(&index), 0);
+    add_row(AdamicAdarPredictor(&index), 0);
+    add_row(PreferentialAttachmentPredictor(&index), 0);
+    add_row(RandomPredictor(3), 0);
+    table.Print(std::cout);
+  }
+  std::cout << "\nShape to check: BPR leads the ranking metrics; all "
+               "informed models beat random (AUC 0.5).\n";
+}
+
+void RunDimensionSweep() {
+  std::cout << "\n-- BPR latent dimension sweep (1200-event snapshot) --\n";
+  Snapshot snapshot = MakeSnapshot(1200, 31);
+  std::vector<IdTriple> train, test;
+  SplitTriples(snapshot.triples, 0.8, 5, &train, &test);
+  TablePrinter table({"latent dim", "AUC", "MRR", "train ms"});
+  for (size_t dim : {8ul, 16ul, 32ul, 64ul}) {
+    BprConfig config;
+    config.epochs = 60;
+    config.latent_dim = dim;
+    BprModel bpr(config);
+    WallTimer timer;
+    bpr.Train(train, snapshot.num_entities, snapshot.num_predicates);
+    double train_ms = timer.ElapsedMillis();
+    RankingMetrics m = EvaluateRanking(bpr, test, snapshot.triples,
+                                       snapshot.num_entities);
+    table.AddRow({TablePrinter::Int(static_cast<long long>(dim)),
+                  TablePrinter::Num(m.auc, 3), TablePrinter::Num(m.mrr, 3),
+                  TablePrinter::Num(train_ms, 1)});
+  }
+  table.Print(std::cout);
+}
+
+void BM_BprScore(benchmark::State& state) {
+  Snapshot snapshot = MakeSnapshot(400, 31);
+  BprConfig config;
+  config.epochs = 10;
+  BprModel bpr(config);
+  bpr.Train(snapshot.triples, snapshot.num_entities,
+            snapshot.num_predicates);
+  size_t i = 0;
+  for (auto _ : state) {
+    const IdTriple& t = snapshot.triples[i % snapshot.triples.size()];
+    benchmark::DoNotOptimize(bpr.Score(t[0], t[1], t[2]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BprScore);
+
+void BM_BprTrainEpoch(benchmark::State& state) {
+  Snapshot snapshot = MakeSnapshot(400, 31);
+  BprConfig config;
+  config.epochs = 0;
+  BprModel bpr(config);
+  bpr.Train(snapshot.triples, snapshot.num_entities,
+            snapshot.num_predicates);
+  for (auto _ : state) {
+    bpr.TrainIncremental(snapshot.triples, snapshot.num_entities,
+                         snapshot.num_predicates, 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(snapshot.triples.size()));
+}
+BENCHMARK(BM_BprTrainEpoch);
+
+}  // namespace
+}  // namespace nous
+
+int main(int argc, char** argv) {
+  nous::RunModelComparison();
+  nous::RunDimensionSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,236 @@
+// E6 — reproduces §3.6: coherent path search for explanatory queries.
+// Planted-explanation benchmark: each query pair (source, target) in a
+// sector-structured KG has one topically coherent 2-hop explanation
+// (same-sector intermediate) and one equally short incoherent
+// distractor (cross-sector intermediate). We measure how often each
+// ranker returns the coherent explanation first, the mean coherence of
+// its top path, and latency, sweeping graph size and topic count.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "graph/property_graph.h"
+#include "qa/path_baselines.h"
+#include "qa/path_search.h"
+
+namespace nous {
+namespace {
+
+struct PlantedQuery {
+  VertexId source;
+  VertexId target;
+  VertexId good_mid;  // the coherent explanation's intermediate
+};
+
+struct SectorGraph {
+  PropertyGraph graph;
+  std::vector<PlantedQuery> queries;
+};
+
+/// `num_sectors` topic communities; vertices carry jittered
+/// near-one-hot topic distributions. Each query plants ONE same-sector
+/// 2-hop explanation and `kDistractors` equally short cross-sector
+/// distractor paths. All edges are inserted in shuffled order so no
+/// method benefits from adjacency-list position.
+constexpr size_t kDistractors = 6;
+
+SectorGraph BuildSectorGraph(size_t num_sectors, size_t per_sector,
+                             size_t num_queries, size_t noise_edges,
+                             uint64_t seed) {
+  SectorGraph sg;
+  Rng rng(seed);
+  PredicateId rel = sg.graph.predicates().Intern("relatedTo");
+  std::vector<std::vector<VertexId>> sectors(num_sectors);
+  for (size_t s = 0; s < num_sectors; ++s) {
+    for (size_t i = 0; i < per_sector; ++i) {
+      VertexId v = sg.graph.GetOrAddVertex(
+          StrFormat("s%zu_v%zu", s, i));
+      std::vector<double> topics(num_sectors, 0.0);
+      double total = 0;
+      for (size_t k = 0; k < num_sectors; ++k) {
+        topics[k] = (k == s ? 0.9 : 0.1 / num_sectors) +
+                    0.03 * rng.UniformDouble();
+        total += topics[k];
+      }
+      for (double& t : topics) t /= total;
+      sg.graph.SetVertexTopics(v, std::move(topics));
+      sectors[s].push_back(v);
+    }
+  }
+  struct PendingEdge {
+    VertexId a;
+    VertexId b;
+    const char* source;
+  };
+  std::vector<PendingEdge> pending;
+  for (size_t q = 0; q < num_queries; ++q) {
+    size_t sector = rng.UniformInt(num_sectors);
+    VertexId src = rng.Pick(sectors[sector]);
+    VertexId dst = rng.Pick(sectors[sector]);
+    VertexId mid = rng.Pick(sectors[sector]);
+    if (src == dst || mid == src || mid == dst) {
+      --q;
+      continue;
+    }
+    pending.push_back({src, mid, "wsj"});
+    pending.push_back({mid, dst, "webcrawl"});
+    for (size_t d = 0; d < kDistractors; ++d) {
+      size_t other = (sector + 1 + rng.UniformInt(num_sectors - 1)) %
+                     num_sectors;
+      VertexId bad = rng.Pick(sectors[other]);
+      pending.push_back({src, bad, "wsj"});
+      pending.push_back({bad, dst, "wsj"});
+    }
+    sg.queries.push_back(PlantedQuery{src, dst, mid});
+  }
+  size_t total = num_sectors * per_sector;
+  for (size_t i = 0; i < noise_edges; ++i) {
+    VertexId a = static_cast<VertexId>(rng.UniformInt(total));
+    VertexId b = static_cast<VertexId>(rng.UniformInt(total));
+    if (a != b) pending.push_back({a, b, "noise_feed"});
+  }
+  rng.Shuffle(&pending);
+  for (const PendingEdge& e : pending) {
+    EdgeMeta meta;
+    meta.source = sg.graph.sources().Intern(e.source);
+    sg.graph.AddEdge(e.a, rel, e.b, meta);
+  }
+  return sg;
+}
+
+struct MethodResult {
+  double recovery = 0;   // top-1 path's intermediate == planted good mid
+  double coherence = 0;  // mean coherence of top-1 paths
+  double mean_ms = 0;
+  size_t answered = 0;
+};
+
+template <typename FindPaths>
+MethodResult Evaluate(const SectorGraph& sg, const FindPaths& find) {
+  MethodResult result;
+  double coherence_sum = 0;
+  size_t recovered = 0;
+  WallTimer timer;
+  for (const PlantedQuery& q : sg.queries) {
+    std::vector<PathResult> paths = find(q);
+    if (paths.empty()) continue;
+    ++result.answered;
+    coherence_sum += paths[0].coherence;
+    if (paths[0].vertices.size() == 3 &&
+        paths[0].vertices[1] == q.good_mid) {
+      ++recovered;
+    }
+  }
+  double total_ms = timer.ElapsedMillis();
+  if (result.answered > 0) {
+    result.recovery = static_cast<double>(recovered) /
+                      static_cast<double>(sg.queries.size());
+    result.coherence =
+        coherence_sum / static_cast<double>(result.answered);
+    result.mean_ms = total_ms / static_cast<double>(sg.queries.size());
+  }
+  return result;
+}
+
+void RunMethodComparison() {
+  bench::PrintHeader(
+      "E6: coherent path search",
+      "§3.6 (topic-coherence path ranking)",
+      "Planted-explanation recovery: coherent vs BFS vs random walk.");
+  for (size_t per_sector : {50ul, 200ul}) {
+    SectorGraph sg = BuildSectorGraph(4, per_sector, 60,
+                                      per_sector * 8, 77);
+    std::cout << "\n-- graph: " << sg.graph.NumVertices()
+              << " vertices, " << sg.graph.NumEdges() << " edges --\n";
+    TablePrinter table({"method", "gold recovery", "mean coherence",
+                        "ms/query", "answered"});
+    // Tight beam: with 1 + kDistractors candidate intermediates, what
+    // survives the beam is decided by the topic look-ahead — the
+    // ablation without guidance keeps arbitrary successors.
+    PathSearchConfig config;
+    config.top_k = 3;
+    config.max_hops = 3;
+    config.beam_width = 4;
+    PathSearch coherent(&sg.graph, config);
+    PathSearchConfig unguided_config = config;
+    unguided_config.use_topic_guidance = false;
+    PathSearch unguided(&sg.graph, unguided_config);
+
+    auto row = [&](const char* name, const MethodResult& r) {
+      table.AddRow({name, TablePrinter::Num(r.recovery, 3),
+                    TablePrinter::Num(r.coherence, 3),
+                    TablePrinter::Num(r.mean_ms, 3),
+                    TablePrinter::Int(static_cast<long long>(r.answered))});
+    };
+    row("coherence-guided (NOUS)",
+        Evaluate(sg, [&](const PlantedQuery& q) {
+          return coherent.FindPaths(q.source, q.target);
+        }));
+    row("beam without topic guidance",
+        Evaluate(sg, [&](const PlantedQuery& q) {
+          return unguided.FindPaths(q.source, q.target);
+        }));
+    row("BFS shortest paths", Evaluate(sg, [&](const PlantedQuery& q) {
+          return BfsShortestPaths(sg.graph, q.source, q.target, 3, 3);
+        }));
+    row("random walks (PRA-style)",
+        Evaluate(sg, [&](const PlantedQuery& q) {
+          return RandomWalkPaths(sg.graph, q.source, q.target, 3, 3, 300,
+                                 5);
+        }));
+    table.Print(std::cout);
+  }
+  std::cout << "\nShape to check: the coherence-guided search recovers "
+               "the planted explanation far more often than BFS or "
+               "random walks and reports lower top-1 divergence.\n";
+}
+
+void RunTopicCountSweep() {
+  std::cout << "\n-- sensitivity to topic granularity --\n";
+  TablePrinter table({"sectors/topics", "gold recovery",
+                      "mean coherence"});
+  for (size_t sectors : {2ul, 4ul, 8ul}) {
+    SectorGraph sg = BuildSectorGraph(sectors, 100, 60, 800, 99);
+    PathSearchConfig config;
+    config.max_hops = 3;
+    PathSearch search(&sg.graph, config);
+    MethodResult r = Evaluate(sg, [&](const PlantedQuery& q) {
+      return search.FindPaths(q.source, q.target);
+    });
+    table.AddRow({TablePrinter::Int(static_cast<long long>(sectors)),
+                  TablePrinter::Num(r.recovery, 3),
+                  TablePrinter::Num(r.coherence, 3)});
+  }
+  table.Print(std::cout);
+}
+
+void BM_CoherentPathQuery(benchmark::State& state) {
+  SectorGraph sg = BuildSectorGraph(4, static_cast<size_t>(state.range(0)),
+                                    40, state.range(0) * 8, 7);
+  PathSearch search(&sg.graph);
+  size_t i = 0;
+  for (auto _ : state) {
+    const PlantedQuery& q = sg.queries[i % sg.queries.size()];
+    benchmark::DoNotOptimize(search.FindPaths(q.source, q.target));
+    ++i;
+  }
+}
+BENCHMARK(BM_CoherentPathQuery)->Arg(50)->Arg(200);
+
+}  // namespace
+}  // namespace nous
+
+int main(int argc, char** argv) {
+  nous::RunMethodComparison();
+  nous::RunTopicCountSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

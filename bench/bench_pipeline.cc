@@ -1,0 +1,134 @@
+// E8 — reproduces Figure 1 / §1 contribution 3: the end-to-end
+// construction pipeline on a streaming corpus. Per-stage cost
+// breakdown, document/triple throughput, and the multi-source
+// property: the fraction of relationship answers whose evidence spans
+// two or more distinct data sources ("connect the dots across multiple
+// data sources").
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <set>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/nous.h"
+
+namespace nous {
+namespace {
+
+void RunThroughput() {
+  bench::PrintHeader(
+      "E8: end-to-end pipeline",
+      "Figure 1 (system) + §1 contribution 3 (multi-source answers)",
+      "Stage breakdown, throughput, and evidence source spread.");
+  TablePrinter table({"events", "articles", "docs/s", "triples/s",
+                      "extract %", "link %", "map %", "score %",
+                      "mine %"});
+  for (size_t events : {200ul, 400ul, 800ul}) {
+    CorpusConfig corpus_config;
+    corpus_config.sources = {"wsj", "webcrawl", "technews"};
+    auto fixture = bench::MakeDroneFixture(events, 17, 0.6,
+                                           corpus_config);
+    Nous nous(&fixture.kb);
+    WallTimer timer;
+    for (const Article& a : fixture.articles) nous.Ingest(a);
+    double ingest_seconds = timer.ElapsedSeconds();
+    const PipelineStats& ps = nous.stats();
+    double stage_total = ps.extract_seconds + ps.link_seconds +
+                         ps.map_seconds + ps.score_seconds +
+                         ps.mine_seconds;
+    if (stage_total <= 0) stage_total = 1e-9;
+    auto pct = [&](double s) {
+      return TablePrinter::Num(100.0 * s / stage_total, 1);
+    };
+    table.AddRow(
+        {TablePrinter::Int(static_cast<long long>(events)),
+         TablePrinter::Int(static_cast<long long>(ps.documents)),
+         TablePrinter::Num(static_cast<double>(ps.documents) /
+                               ingest_seconds, 1),
+         TablePrinter::Num(static_cast<double>(ps.accepted_triples) /
+                               ingest_seconds, 1),
+         pct(ps.extract_seconds), pct(ps.link_seconds),
+         pct(ps.map_seconds), pct(ps.score_seconds),
+         pct(ps.mine_seconds)});
+  }
+  table.Print(std::cout);
+}
+
+void RunMultiSource() {
+  std::cout << "\n-- multi-source relationship answers (800 events, 3 "
+               "feeds) --\n";
+  CorpusConfig corpus_config;
+  corpus_config.sources = {"wsj", "webcrawl", "technews"};
+  auto fixture = bench::MakeDroneFixture(800, 23, 0.6, corpus_config);
+  Nous nous(&fixture.kb);
+  for (const Article& a : fixture.articles) nous.Ingest(a);
+  nous.Finalize();
+
+  // Sample connected (s, t) pairs two hops apart and ask for
+  // explanations.
+  const PropertyGraph& g = nous.graph();
+  Rng rng(41);
+  size_t asked = 0, answered = 0, multi_source = 0;
+  Histogram sources_per_answer;
+  size_t attempts = 0;
+  while (asked < 60 && attempts++ < 2000) {
+    VertexId s = static_cast<VertexId>(rng.UniformInt(g.NumVertices()));
+    if (g.OutDegree(s) == 0) continue;
+    const AdjEntry& hop1 =
+        g.OutEdges(s)[rng.UniformInt(g.OutDegree(s))];
+    if (g.OutDegree(hop1.neighbor) == 0) continue;
+    const AdjEntry& hop2 = g.OutEdges(
+        hop1.neighbor)[rng.UniformInt(g.OutDegree(hop1.neighbor))];
+    if (hop2.neighbor == s) continue;
+    ++asked;
+    auto answer = nous.Ask("explain " + g.VertexLabel(s) + " and " +
+                           g.VertexLabel(hop2.neighbor));
+    if (!answer.ok() || answer->paths.empty()) continue;
+    ++answered;
+    sources_per_answer.Add(
+        static_cast<double>(answer->distinct_sources));
+    if (answer->distinct_sources >= 2) ++multi_source;
+  }
+  TablePrinter table({"asked", "answered", ">=2 sources",
+                      "multi-source frac", "mean sources/answer"});
+  table.AddRow(
+      {TablePrinter::Int(static_cast<long long>(asked)),
+       TablePrinter::Int(static_cast<long long>(answered)),
+       TablePrinter::Int(static_cast<long long>(multi_source)),
+       TablePrinter::Num(answered == 0
+                             ? 0.0
+                             : static_cast<double>(multi_source) /
+                                   static_cast<double>(answered), 3),
+       TablePrinter::Num(sources_per_answer.Mean(), 2)});
+  table.Print(std::cout);
+  std::cout << "\nShape to check: a majority of explanation answers "
+               "compose evidence from 2+ sources (curated KB counts as "
+               "a source) — the capability text-passage systems lack.\n";
+}
+
+void BM_PipelineIngest(benchmark::State& state) {
+  auto fixture = bench::MakeDroneFixture(300);
+  Nous nous(&fixture.kb);
+  size_t i = 0;
+  for (auto _ : state) {
+    nous.Ingest(fixture.articles[i % fixture.articles.size()]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+}
+BENCHMARK(BM_PipelineIngest);
+
+}  // namespace
+}  // namespace nous
+
+int main(int argc, char** argv) {
+  nous::RunThroughput();
+  nous::RunMultiSource();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,215 @@
+// E7 — reproduces Figures 5 and 6: the five natural-language-like
+// query classes executed against a dynamically constructed KG
+// ("Tell me about DJI" is Figure 6's headline example). Reports
+// end-to-end latency and answer sizes per class, issued both
+// mid-stream (dynamic KG) and post-stream.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/nous.h"
+
+namespace nous {
+namespace {
+
+struct QueryCase {
+  std::string cls;
+  std::string text;
+};
+
+std::vector<QueryCase> MakeQueries(const Nous& nous) {
+  std::vector<QueryCase> queries = {
+      {"trending", "what is trending"},
+      {"entity", "tell me about DJI"},
+      {"pattern", "show patterns"},
+  };
+  // Relationship + search need a connected pair; walk two hops from
+  // DJI on the constructed KG.
+  const PropertyGraph& g = nous.graph();
+  auto dji = g.FindVertex("DJI");
+  if (dji.has_value()) {
+    for (const AdjEntry& a : g.OutEdges(*dji)) {
+      for (const AdjEntry& b : g.OutEdges(a.neighbor)) {
+        if (b.neighbor != *dji) {
+          std::string other = g.VertexLabel(b.neighbor);
+          queries.push_back(
+              {"relationship", "explain DJI and " + other});
+          queries.push_back({"search", "paths from DJI to " + other});
+          return queries;
+        }
+      }
+    }
+  }
+  return queries;
+}
+
+size_t AnswerSize(const Answer& answer) {
+  return answer.facts.size() + answer.patterns.size() +
+         answer.paths.size() + answer.hot_entities.size();
+}
+
+void RunQueryClasses() {
+  bench::PrintHeader(
+      "E7: the five query classes",
+      "Figure 5 + Figure 6 ('Tell me about DJI')",
+      "End-to-end latency per class on the constructed KG.");
+  auto fixture = bench::MakeDroneFixture(600);
+  Nous::Options options;
+  options.pipeline.miner.min_support = 4;
+  options.pipeline.miner.use_vertex_types = true;
+  Nous nous(&fixture.kb, options);
+
+  // Mid-stream snapshot: queries on the half-built dynamic KG.
+  size_t half = fixture.articles.size() / 2;
+  for (size_t i = 0; i < half; ++i) nous.Ingest(fixture.articles[i]);
+  nous.Finalize();  // topics for path search
+
+  std::cout << "\n-- mid-stream (dynamic KG, " << half
+            << " articles ingested) --\n";
+  TablePrinter mid({"class", "query", "ok", "answer items", "mean ms"});
+  for (const QueryCase& qc : MakeQueries(nous)) {
+    Histogram latency;
+    size_t items = 0;
+    bool ok = true;
+    for (int rep = 0; rep < 20; ++rep) {
+      WallTimer timer;
+      auto answer = nous.Ask(qc.text);
+      latency.Add(timer.ElapsedMillis());
+      if (answer.ok()) {
+        items = AnswerSize(*answer);
+      } else {
+        ok = false;
+      }
+    }
+    mid.AddRow({qc.cls, qc.text, ok ? "yes" : "no",
+                TablePrinter::Int(static_cast<long long>(items)),
+                TablePrinter::Num(latency.Mean(), 3)});
+  }
+  mid.Print(std::cout);
+
+  // Full stream.
+  for (size_t i = half; i < fixture.articles.size(); ++i) {
+    nous.Ingest(fixture.articles[i]);
+  }
+  nous.Finalize();
+  std::cout << "\n-- post-stream (" << fixture.articles.size()
+            << " articles) --\n";
+  TablePrinter post({"class", "query", "ok", "answer items", "mean ms",
+                     "p95 ms"});
+  for (const QueryCase& qc : MakeQueries(nous)) {
+    Histogram latency;
+    size_t items = 0;
+    bool ok = true;
+    for (int rep = 0; rep < 20; ++rep) {
+      WallTimer timer;
+      auto answer = nous.Ask(qc.text);
+      latency.Add(timer.ElapsedMillis());
+      if (answer.ok()) {
+        items = AnswerSize(*answer);
+      } else {
+        ok = false;
+      }
+    }
+    post.AddRow({qc.cls, qc.text, ok ? "yes" : "no",
+                 TablePrinter::Int(static_cast<long long>(items)),
+                 TablePrinter::Num(latency.Mean(), 3),
+                 TablePrinter::Num(latency.Quantile(0.95), 3)});
+  }
+  post.Print(std::cout);
+  std::cout << "\nFigure 6 sample answer:\n";
+  if (auto a = nous.Ask("tell me about DJI"); a.ok()) {
+    std::cout << a->Render(nous.graph());
+  }
+}
+
+/// Trending quality: mid-stream, the rising-trend ranking should
+/// surface entities with bursty recent ground-truth activity. An
+/// entity counts as "truly hot" when it participates in >= 2 world
+/// events inside the trailing horizon.
+void RunTrendingQuality() {
+  std::cout << "\n-- trending quality (precision@k vs ground truth) --\n";
+  auto fixture = bench::MakeDroneFixture(800, 47);
+  Nous::Options options;
+  options.query.trending_horizon = 90;
+  TablePrinter table({"checkpoint (articles)", "ranking", "p@5",
+                      "p@10"});
+  for (double frac : {0.5, 1.0}) {
+    size_t upto = static_cast<size_t>(frac * fixture.articles.size());
+    for (bool rising : {true, false}) {
+      Nous::Options opt = options;
+      opt.query.trending_rising = rising;
+      Nous nous(&fixture.kb, opt);
+      Timestamp newest = 0;
+      for (size_t i = 0; i < upto; ++i) {
+        nous.Ingest(fixture.articles[i]);
+        newest = std::max(newest,
+                          fixture.articles[i].date.ToDayNumber());
+      }
+      // Ground truth: world events touching the trailing horizon.
+      std::map<std::string, size_t> hot;
+      for (const WorldFact& f : fixture.world.facts()) {
+        if (!f.is_event) continue;
+        Timestamp ts = f.date.ToDayNumber();
+        if (ts > newest || ts < newest - opt.query.trending_horizon) {
+          continue;
+        }
+        ++hot[fixture.world.entity(f.subject).name];
+        ++hot[fixture.world.entity(f.object).name];
+      }
+      auto truly_hot = [&hot](const std::string& name) {
+        auto it = hot.find(name);
+        return it != hot.end() && it->second >= 2;
+      };
+      auto answer = nous.Ask("what is trending");
+      if (!answer.ok()) continue;
+      size_t hit5 = 0, hit10 = 0;
+      for (size_t i = 0;
+           i < answer->hot_entities.size() && i < 10; ++i) {
+        if (!truly_hot(answer->hot_entities[i].first)) continue;
+        if (i < 5) ++hit5;
+        ++hit10;
+      }
+      table.AddRow(
+          {TablePrinter::Int(static_cast<long long>(upto)),
+           rising ? "rising" : "raw recent count",
+           TablePrinter::Num(hit5 / 5.0, 2),
+           TablePrinter::Num(
+               hit10 / std::min<double>(10.0,
+                                        static_cast<double>(
+                                            answer->hot_entities.size())),
+               2)});
+    }
+  }
+  table.Print(std::cout);
+}
+
+void BM_EntityQuery(benchmark::State& state) {
+  auto fixture = bench::MakeDroneFixture(300);
+  Nous nous(&fixture.kb);
+  for (const Article& a : fixture.articles) nous.Ingest(a);
+  nous.Finalize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nous.Ask("tell me about DJI"));
+  }
+}
+BENCHMARK(BM_EntityQuery);
+
+}  // namespace
+}  // namespace nous
+
+int main(int argc, char** argv) {
+  nous::RunQueryClasses();
+  nous::RunTrendingQuality();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

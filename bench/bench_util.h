@@ -1,0 +1,57 @@
+#ifndef NOUS_BENCH_BENCH_UTIL_H_
+#define NOUS_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "corpus/article_generator.h"
+#include "corpus/document_stream.h"
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+
+namespace nous {
+namespace bench {
+
+/// Standard drone-domain fixture: world + curated KB + rendered
+/// articles, sized by event count.
+struct DroneFixture {
+  WorldModel world;
+  CuratedKb kb;
+  std::vector<Article> articles;
+};
+
+inline DroneFixture MakeDroneFixture(size_t num_events,
+                                     uint64_t seed = 17,
+                                     double entity_coverage = 0.6,
+                                     CorpusConfig corpus_config = {}) {
+  DroneFixture fixture{WorldModel(), CuratedKb(Ontology::DroneDefault()),
+                       {}};
+  DroneWorldConfig wc;
+  wc.num_companies = 30;
+  wc.num_people = 20;
+  wc.num_products = 15;
+  wc.num_events = num_events;
+  wc.seed = seed;
+  fixture.world = WorldModel::BuildDroneWorld(wc);
+  KbCoverage coverage;
+  coverage.entity_coverage = entity_coverage;
+  fixture.kb =
+      BuildCuratedKb(fixture.world, Ontology::DroneDefault(), coverage);
+  fixture.articles =
+      ArticleGenerator(&fixture.world, corpus_config).GenerateArticles();
+  return fixture;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& paper_artifact,
+                        const std::string& what) {
+  std::cout << "\n==================================================\n"
+            << experiment << " — reproduces " << paper_artifact << "\n"
+            << what << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace bench
+}  // namespace nous
+
+#endif  // NOUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Insider-threat detection (§3.1 domain 2): enterprise log events
+// ("<user> accessed <resource> on <date>") stream through the same
+// construction pipeline, and the streaming miner surfaces frequent
+// access structure; trending queries expose bursts of activity.
+
+#include <iostream>
+
+#include "core/nous.h"
+#include "corpus/article_generator.h"
+#include "corpus/document_stream.h"
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+
+int main() {
+  using namespace nous;
+
+  WorldModel world = WorldModel::BuildEnterpriseWorld(
+      /*num_users=*/15, /*num_resources=*/10, /*seed=*/11);
+  // The enterprise directory is fully curated (we know our employees
+  // and servers); the *events* arrive from logs.
+  KbCoverage coverage;
+  coverage.entity_coverage = 1.0;
+  coverage.fact_coverage = 1.0;
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+
+  CorpusConfig corpus_config;
+  corpus_config.pronoun_rate = 0.0;  // logs do not pronominalize
+  corpus_config.alias_rate = 0.0;
+  corpus_config.distractor_rate = 0.0;
+  corpus_config.min_facts_per_article = 1;
+  corpus_config.max_facts_per_article = 3;
+  corpus_config.sources = {"auth_log", "file_log", "mail_log"};
+  DocumentStream stream(
+      ArticleGenerator(&world, corpus_config).GenerateArticles());
+
+  Nous::Options options;
+  options.pipeline.miner.use_vertex_types = true;
+  options.pipeline.miner.min_support = 3;
+  options.pipeline.miner.max_edges = 2;
+  options.query.trending_horizon = 30;  // a month of log time
+  Nous nous(&kb, options);
+
+  std::cout << "=== NOUS insider-threat monitor ===\n";
+  std::cout << "Replaying " << stream.TotalCount() << " log batches...\n";
+  nous.IngestStream(&stream);
+  std::cout << nous.ComputeStats().ToString() << "\n";
+
+  std::cout << "Q: what is trending (last 30 days of log time)\n";
+  if (auto a = nous.Ask("what is trending"); a.ok()) {
+    std::cout << a->Render(nous.graph()) << "\n";
+  }
+
+  std::cout << "Q: show patterns (frequent access structure)\n";
+  if (auto a = nous.Ask("show patterns"); a.ok()) {
+    std::cout << a->Render(nous.graph()) << "\n";
+  }
+
+  // Entity drill-down on the most active user.
+  if (auto trending = nous.Ask("what is trending");
+      trending.ok() && !trending->hot_entities.empty()) {
+    std::string who = trending->hot_entities[0].first;
+    std::cout << "Q: tell me about " << who << "\n";
+    if (auto a = nous.Ask("tell me about " + who); a.ok()) {
+      std::cout << a->Render(nous.graph()) << "\n";
+    }
+  }
+  return 0;
+}

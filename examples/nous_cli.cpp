@@ -1,0 +1,114 @@
+// Interactive command-line interface (the paper's demo feature 4:
+// "execute queries for pattern discovery and graph search using both
+// web and command line interface").
+//
+// Usage:
+//   nous_cli [num_events]        # build a demo KG, then read queries
+//
+// Commands (one per line on stdin):
+//   tell me about <entity>            entity summary (Figure 6)
+//   what is trending                  trending entities + patterns
+//   show patterns                     closed frequent patterns
+//   explain <A> and <B> [via <P>]     why-question / coherent paths
+//   paths from <A> to <B>             graph search
+//   :ingest <text...>                 feed a sentence into the pipeline
+//   :save <path> | :load <path>       serialize / restore the fused KG
+//   :stats                            pipeline + graph statistics
+//   :help | :quit
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/nous.h"
+#include "corpus/article_generator.h"
+#include "corpus/document_stream.h"
+#include "corpus/world_model.h"
+#include "graph/graph_io.h"
+#include "kb/kb_generator.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "Commands:\n"
+      "  tell me about <entity>\n"
+      "  what is trending\n"
+      "  show patterns\n"
+      "  explain <A> and <B> [via <P>]\n"
+      "  paths from <A> to <B>\n"
+      "  :ingest <sentence>   feed text into the pipeline\n"
+      "  :save <path>         write the fused KG to a file\n"
+      "  :stats               pipeline + graph statistics\n"
+      "  :help  :quit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nous;
+  size_t num_events = argc > 1 ? static_cast<size_t>(
+                                     std::atoi(argv[1]))
+                               : 300;
+
+  DroneWorldConfig world_config;
+  world_config.num_events = num_events;
+  WorldModel world = WorldModel::BuildDroneWorld(world_config);
+  KbCoverage coverage;
+  coverage.entity_coverage = 0.6;
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+  DocumentStream stream(
+      ArticleGenerator(&world, CorpusConfig{}).GenerateArticles());
+
+  Nous::Options options;
+  options.pipeline.miner.use_vertex_types = true;
+  options.pipeline.miner.min_support = 4;
+  Nous nous(&kb, options);
+  std::cout << "Building demo KG from " << stream.TotalCount()
+            << " articles...\n";
+  nous.IngestStream(&stream);
+  std::cout << nous.ComputeStats().ToString();
+  PrintHelp();
+
+  std::string line;
+  size_t adhoc = 0;
+  while (std::cout << "nous> " << std::flush &&
+         std::getline(std::cin, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed == ":quit" || trimmed == ":q") break;
+    if (trimmed == ":help") {
+      PrintHelp();
+      continue;
+    }
+    if (trimmed == ":stats") {
+      std::cout << nous.ComputeStats().ToString();
+      std::cout << nous.stats().ToString() << "\n";
+      continue;
+    }
+    if (StartsWith(trimmed, ":ingest ")) {
+      std::string text(trimmed.substr(8));
+      nous.IngestText(text, Date{2016, 1, 1},
+                      StrFormat("cli_%zu", adhoc++));
+      nous.Finalize();  // refresh topics for path queries
+      std::cout << "ingested; KG now has "
+                << nous.graph().NumEdges() << " edges\n";
+      continue;
+    }
+    if (StartsWith(trimmed, ":save ")) {
+      std::string path(Trim(trimmed.substr(6)));
+      Status s = SaveGraphToFile(nous.graph(), path);
+      std::cout << (s.ok() ? "saved to " + path : s.ToString()) << "\n";
+      continue;
+    }
+    auto answer = nous.Ask(std::string(trimmed));
+    if (answer.ok()) {
+      std::cout << answer->Render(nous.graph());
+    } else {
+      std::cout << "error: " << answer.status() << "\n";
+    }
+  }
+  std::cout << "bye\n";
+  return 0;
+}

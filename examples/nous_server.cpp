@@ -1,0 +1,71 @@
+// Web demo (the paper's Figure 6): builds a drone-domain KG from a
+// synthetic stream and serves the query interface over HTTP.
+//
+//   nous_server [port] [num_events]
+//
+// then open http://127.0.0.1:<port>/ — or hit the JSON API:
+//   curl 'http://127.0.0.1:8080/api/query?q=tell+me+about+DJI'
+//   curl 'http://127.0.0.1:8080/api/stats'
+//   curl -X POST --data 'DJI acquired SkyWard Labs.' \
+//        'http://127.0.0.1:8080/api/ingest?source=curl&year=2016'
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/nous.h"
+#include "corpus/article_generator.h"
+#include "corpus/document_stream.h"
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+#include "server/api.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nous;
+  uint16_t port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1]))
+                           : 8080;
+  size_t num_events =
+      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 400;
+
+  DroneWorldConfig world_config;
+  world_config.num_events = num_events;
+  WorldModel world = WorldModel::BuildDroneWorld(world_config);
+  KbCoverage coverage;
+  coverage.entity_coverage = 0.6;
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+  DocumentStream stream(
+      ArticleGenerator(&world, CorpusConfig{}).GenerateArticles());
+
+  Nous::Options options;
+  options.pipeline.miner.use_vertex_types = true;
+  options.pipeline.miner.min_support = 4;
+  Nous nous(&kb, options);
+  std::cout << "Building demo KG from " << stream.TotalCount()
+            << " articles...\n";
+  nous.IngestStream(&stream);
+  std::cout << nous.ComputeStats().ToString();
+
+  NousApi api(&nous);
+  HttpServer server(
+      [&api](const HttpRequest& request) { return api.Handle(request); });
+  Status status = server.Start(port);
+  if (!status.ok()) {
+    std::cerr << "failed to start: " << status << "\n";
+    return 1;
+  }
+  std::cout << "Serving http://127.0.0.1:" << server.port()
+            << "/  (Ctrl-C to stop)\n";
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    ::usleep(200000);
+  }
+  server.Stop();
+  std::cout << "stopped\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#ifndef NOUS_COMMON_HASH_H_
+#define NOUS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+namespace nous {
+
+/// 64-bit FNV-1a over arbitrary bytes; stable across runs and platforms
+/// (unlike std::hash), so usable for deterministic sharding.
+inline uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit value (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combines an accumulated hash with a new value (boost-style).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor for std::pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine(std::hash<A>()(p.first), std::hash<B>()(p.second));
+  }
+};
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_HASH_H_

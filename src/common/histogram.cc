@@ -1,0 +1,90 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+double Histogram::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Histogram::Sum() const {
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum;
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0;
+  double mean = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Histogram::Quantile(double q) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  if (rank == 0) rank = 1;
+  return sorted_[rank - 1];
+}
+
+std::vector<size_t> Histogram::Bucketize(double lo, double hi,
+                                         size_t buckets) const {
+  std::vector<size_t> counts(buckets, 0);
+  if (buckets == 0 || hi <= lo) return counts;
+  const double width = (hi - lo) / static_cast<double>(buckets);
+  for (double v : samples_) {
+    if (v < lo || v >= hi) continue;
+    size_t idx = static_cast<size_t>((v - lo) / width);
+    if (idx >= buckets) idx = buckets - 1;
+    counts[idx]++;
+  }
+  return counts;
+}
+
+std::string Histogram::Summary() const {
+  return StrFormat("n=%zu mean=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f",
+                   count(), Mean(), Quantile(0.5), Quantile(0.9),
+                   Quantile(0.99), max());
+}
+
+}  // namespace nous

@@ -1,0 +1,47 @@
+#ifndef NOUS_COMMON_HISTOGRAM_H_
+#define NOUS_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nous {
+
+/// Accumulates scalar samples and reports summary statistics and
+/// quantiles. Used by the benchmark harnesses to summarize latency and
+/// confidence distributions (e.g., Figure 2's per-fact probabilities).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double Stddev() const;
+  double Sum() const;
+
+  /// Quantile in [0,1] by nearest-rank on the sorted samples. Returns 0
+  /// on an empty histogram.
+  double Quantile(double q) const;
+
+  /// Counts of samples per fixed-width bucket spanning [lo, hi).
+  std::vector<size_t> Bucketize(double lo, double hi, size_t buckets) const;
+
+  /// One-line summary: count/mean/p50/p90/p99/max.
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_HISTOGRAM_H_

@@ -1,0 +1,80 @@
+#ifndef NOUS_COMMON_LOGGING_H_
+#define NOUS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace nous {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kInfo. Thread-compatible: set once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below the
+/// configured level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define NOUS_LOG(level)                                               \
+  (::nous::LogLevel::k##level < ::nous::GetLogLevel())                \
+      ? (void)0                                                       \
+      : (void)::nous::internal::LogMessage(::nous::LogLevel::k##level, \
+                                           __FILE__, __LINE__)        \
+            .stream()
+
+/// Always-on invariant check; aborts with a message when `cond` fails.
+#define NOUS_CHECK(cond)                                                  \
+  if (!(cond))                                                            \
+  ::nous::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+/// Streams a fatal-check message and aborts the process on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nous
+
+#endif  // NOUS_COMMON_LOGGING_H_

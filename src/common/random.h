@@ -1,0 +1,172 @@
+#ifndef NOUS_COMMON_RANDOM_H_
+#define NOUS_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace nous {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. All randomized components of NOUS take an explicit Rng so
+/// experiments are reproducible run-to-run.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformInt(uint64_t bound) {
+    // Lemire-style rejection-free mapping with negligible bias for the
+    // bounds used in this codebase (bound << 2^64).
+    __uint128_t product = static_cast<__uint128_t>(Next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal deviate (Box–Muller, one value per call).
+  double Gaussian() {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Samples an index from unnormalized non-negative weights. Returns
+  /// weights.size()-1 on degenerate input (all-zero weights).
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = UniformDouble() * total;
+    for (size_t i = 0; i + 1 < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (s >= 0).
+  /// O(n) per call; convenient for small n or infrequent draws. Hot
+  /// loops should use ZipfSampler below (O(log n) after setup).
+  uint64_t Zipf(uint64_t n, double s) {
+    if (n <= 1) return 0;
+    if (s <= 1e-9) return UniformInt(n);
+    double total = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += std::pow(static_cast<double>(i + 1), -s);
+    }
+    double r = UniformDouble() * total;
+    for (uint64_t i = 0; i < n; ++i) {
+      r -= std::pow(static_cast<double>(i + 1), -s);
+      if (r <= 0) return i;
+    }
+    return n - 1;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    using std::swap;
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Picks one element uniformly; items must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[UniformInt(items.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Precomputed bounded-Zipf sampler: O(n) setup, O(log n) per draw.
+/// Valid for any exponent s >= 0 (s == 0 degenerates to uniform).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s) : cdf_(n == 0 ? 1 : n) {
+    double total = 0;
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+      total += std::pow(static_cast<double>(i + 1), -s);
+      cdf_[i] = total;
+    }
+  }
+
+  uint64_t Sample(Rng* rng) const {
+    double r = rng->UniformDouble() * cdf_.back();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < r) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_RANDOM_H_

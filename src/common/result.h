@@ -1,0 +1,74 @@
+#ifndef NOUS_COMMON_RESULT_H_
+#define NOUS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace nous {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value is absent. Analogous to absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must be non-OK;
+  /// an OK status here indicates a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success binds
+/// the value to `lhs`. Usable in functions returning Status or Result<U>.
+#define NOUS_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto NOUS_CONCAT_(_result_, __LINE__) = (expr);    \
+  if (!NOUS_CONCAT_(_result_, __LINE__).ok())        \
+    return NOUS_CONCAT_(_result_, __LINE__).status(); \
+  lhs = std::move(NOUS_CONCAT_(_result_, __LINE__)).value()
+
+#define NOUS_CONCAT_(a, b) NOUS_CONCAT_IMPL_(a, b)
+#define NOUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_RESULT_H_

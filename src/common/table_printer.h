@@ -1,0 +1,35 @@
+#ifndef NOUS_COMMON_TABLE_PRINTER_H_
+#define NOUS_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nous {
+
+/// Renders fixed-width ASCII tables for the experiment harnesses; each
+/// bench binary prints the rows/series matching the paper's artifacts.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the row is padded or truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(long long value);
+
+  /// Writes the table with a separator line under the header.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,36 @@
+#include "core/nous.h"
+
+namespace nous {
+
+Nous::Nous(const CuratedKb* kb, Options options)
+    : options_(std::move(options)), pipeline_(kb, options_.pipeline) {}
+
+void Nous::Ingest(const Article& article) { pipeline_.Ingest(article); }
+
+void Nous::IngestStream(DocumentStream* stream, bool finalize) {
+  while (!stream->Done()) {
+    pipeline_.Ingest(stream->Next());
+  }
+  if (finalize) Finalize();
+}
+
+void Nous::IngestText(const std::string& text, const Date& date,
+                      const std::string& source) {
+  pipeline_.IngestText(text, date, source);
+}
+
+void Nous::Finalize() { pipeline_.Finalize(); }
+
+Result<Answer> Nous::Ask(const std::string& question) {
+  QueryEngine engine(&pipeline_.graph(), pipeline_.miner(),
+                     options_.query, pipeline_.miner_graph());
+  return engine.ExecuteText(question);
+}
+
+Result<Answer> Nous::Execute(const Query& query) {
+  QueryEngine engine(&pipeline_.graph(), pipeline_.miner(),
+                     options_.query, pipeline_.miner_graph());
+  return engine.Execute(query);
+}
+
+}  // namespace nous

@@ -1,0 +1,67 @@
+#ifndef NOUS_CORE_NOUS_H_
+#define NOUS_CORE_NOUS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "corpus/document_stream.h"
+#include "graph/graph_stats.h"
+#include "qa/query_engine.h"
+
+namespace nous {
+
+/// Top-level facade: the public API a downstream user programs against.
+///
+///   CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), {});
+///   Nous nous(&kb);
+///   nous.IngestStream(&stream);
+///   nous.Finalize();
+///   auto answer = nous.Ask("tell me about DJI");
+///
+/// Wraps the construction pipeline (§3), the streaming miner (§3.5),
+/// and the question-answering engine (§3.6, Figure 5's query classes).
+class Nous {
+ public:
+  struct Options {
+    PipelineConfig pipeline;
+    QueryEngineConfig query;
+  };
+
+  /// `kb` must outlive the instance.
+  explicit Nous(const CuratedKb* kb, Options options = {});
+
+  /// Feeds one article through the construction pipeline.
+  void Ingest(const Article& article);
+
+  /// Drains a document stream, optionally finalizing afterwards.
+  void IngestStream(DocumentStream* stream, bool finalize = true);
+
+  /// Ad-hoc text ingestion.
+  void IngestText(const std::string& text, const Date& date,
+                  const std::string& source);
+
+  /// Fits topics + final confidence refresh. Idempotent-ish: may be
+  /// called again after more ingestion.
+  void Finalize();
+
+  /// Parses and executes a natural-language-like query (Figure 5).
+  Result<Answer> Ask(const std::string& question);
+
+  /// Executes a pre-built structured query.
+  Result<Answer> Execute(const Query& query);
+
+  const PropertyGraph& graph() const { return pipeline_.graph(); }
+  const PipelineStats& stats() const { return pipeline_.stats(); }
+  GraphStats ComputeStats() const { return ComputeGraphStats(graph()); }
+  KgPipeline& pipeline() { return pipeline_; }
+  const StreamingMiner* miner() const { return pipeline_.miner(); }
+
+ private:
+  Options options_;
+  KgPipeline pipeline_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORE_NOUS_H_

@@ -1,0 +1,345 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "linker/context.h"
+
+namespace nous {
+
+std::string PipelineStats::ToString() const {
+  return StrFormat(
+      "docs=%zu extractions=%zu accepted=%zu deduped=%zu "
+      "dropped(conf)=%zu dropped(unmapped)=%zu mapped=%zu raw_kept=%zu "
+      "linked=%zu new_entities=%zu ds_alignments=%zu retractions=%zu\n"
+      "stage seconds: extract=%.3f link=%.3f map=%.3f score=%.3f "
+      "mine=%.3f",
+      documents, extractions, accepted_triples, deduped_triples,
+      dropped_low_confidence, dropped_unmapped, mapped_triples,
+      unmapped_kept, linked_to_existing, new_entities, ds_alignments,
+      retractions, extract_seconds, link_seconds, map_seconds,
+      score_seconds, mine_seconds);
+}
+
+KgPipeline::KgPipeline(const CuratedKb* kb, PipelineConfig config)
+    : config_(config),
+      kb_(kb),
+      lexicon_(Lexicon::Default()),
+      ner_(&lexicon_),
+      srl_(&lexicon_, &ner_, [&config] {
+        OpenIeConfig ex = config.extraction;
+        // Retraction handling needs the negated tuples delivered.
+        if (config.negation_retracts) ex.drop_negated = false;
+        return ex;
+      }()),
+      linker_(&graph_, config.linker),
+      mapper_(&kb->ontology(), config.mapper),
+      ds_trainer_(),
+      bpr_(config.bpr) {
+  mapper_.LoadDefaultSeeds();
+  if (config_.enable_mining) {
+    window_ = std::make_unique<TemporalWindow>(&window_graph_,
+                                               config_.miner_window_edges);
+    miner_ = std::make_unique<StreamingMiner>(config_.miner);
+    window_->AddListener(miner_.get());
+  }
+  LoadCuratedKb();
+}
+
+void KgPipeline::LoadCuratedKb() {
+  // Entities: vertices with types, bags, alias registration, NER
+  // gazetteer entries.
+  std::vector<VertexId> kb_vertex(kb_->entities().size());
+  for (size_t i = 0; i < kb_->entities().size(); ++i) {
+    const KbEntity& e = kb_->entities()[i];
+    VertexId v = graph_.GetOrAddVertex(e.name);
+    kb_vertex[i] = v;
+    graph_.SetVertexType(v, graph_.types().Intern(e.type_name));
+    for (const std::string& term : e.context_terms) {
+      graph_.AddVertexTerm(v, graph_.terms().Intern(ToLower(term)));
+    }
+    std::vector<std::string> surfaces = e.aliases;
+    surfaces.push_back(e.name);
+    linker_.RegisterEntity(v, surfaces, e.prior);
+    for (const std::string& surface : surfaces) {
+      ner_.AddGazetteerEntry(surface, e.ner_type);
+    }
+    // Person first names improve NER typing of unseen people.
+    if (e.ner_type == EntityType::kPerson) {
+      auto words = SplitWhitespace(e.name);
+      if (words.size() >= 2) ner_.AddFirstName(words[0]);
+    }
+  }
+  // Facts: curated edges in the fused KG and the miner window graph
+  // (never expired there — inserted directly, not via the window).
+  SourceId kb_source = graph_.sources().Intern("curated_kb");
+  for (const KbFact& f : kb_->facts()) {
+    VertexId s = kb_vertex[f.subject];
+    VertexId o = kb_vertex[f.object];
+    PredicateId p = graph_.predicates().Intern(f.predicate);
+    EdgeMeta meta;
+    meta.confidence = 1.0;
+    meta.timestamp = f.timestamp;
+    meta.source = kb_source;
+    meta.curated = true;
+    graph_.AddEdge(s, p, o, meta);
+    curated_pairs_[{s, o}].push_back(f.predicate);
+    accepted_ids_.push_back(IdTriple{s, p, o});
+    if (config_.enable_mining) {
+      VertexId ws = window_graph_.GetOrAddVertex(kb_->entities()[f.subject].name);
+      VertexId wo = window_graph_.GetOrAddVertex(kb_->entities()[f.object].name);
+      window_graph_.SetVertexType(
+          ws, window_graph_.types().Intern(
+                  kb_->entities()[f.subject].type_name));
+      window_graph_.SetVertexType(
+          wo, window_graph_.types().Intern(
+                  kb_->entities()[f.object].type_name));
+      PredicateId wp = window_graph_.predicates().Intern(f.predicate);
+      // Direct insertion (not window_->Add): curated facts never expire.
+      EdgeId we = window_graph_.AddEdge(ws, wp, wo, meta);
+      if (miner_ != nullptr) {
+        miner_->OnEdgeAdded(window_graph_, we);
+      }
+    }
+  }
+  if (config_.enable_link_prediction && !accepted_ids_.empty()) {
+    bpr_.Train(accepted_ids_, graph_.NumVertices(),
+               graph_.predicates().size());
+  }
+}
+
+std::string KgPipeline::VertexTypeName(VertexId v) const {
+  TypeId t = graph_.VertexType(v);
+  if (t == kInvalidType) return "";
+  return graph_.types().GetString(t);
+}
+
+void KgPipeline::Ingest(const Article& article) {
+  WallTimer timer;
+  ++stats_.documents;
+
+  // ---- 1. Extraction (OpenIE + SRL dating). ----
+  std::vector<SrlFrame> frames = srl_.Extract(article.text, article.date);
+  stats_.extractions += frames.size();
+  stats_.extract_seconds += timer.ElapsedSeconds();
+  if (frames.empty()) return;
+
+  // ---- 2. Joint entity linking over the document's mentions. ----
+  timer.Restart();
+  TermBag doc_bag = BuildDocumentBag(article.text, lexicon_);
+  std::vector<std::string> surfaces;
+  std::vector<EntityType> types;
+  std::unordered_map<std::string, size_t> surface_index;
+  auto add_surface = [&](const std::string& text, EntityType type) {
+    if (surface_index.count(text) > 0) return;
+    surface_index[text] = surfaces.size();
+    surfaces.push_back(text);
+    types.push_back(type);
+  };
+  for (const SrlFrame& frame : frames) {
+    add_surface(frame.extraction.triple.subject,
+                frame.extraction.subject_type);
+    add_surface(frame.extraction.triple.object,
+                frame.extraction.object_type);
+  }
+  std::vector<LinkDecision> decisions =
+      linker_.LinkMentions(surfaces, types, doc_bag);
+  for (const LinkDecision& d : decisions) {
+    if (d.created_new) {
+      ++stats_.new_entities;
+      // Seed the new vertex's bag with document context so LDA and
+      // later linking have signal (the dynamic-KG AIDA adaptation).
+      for (const auto& [term, weight] : doc_bag) {
+        graph_.AddVertexTerm(d.vertex, graph_.terms().Intern(term),
+                             std::min(weight, 3.0) * 0.5);
+      }
+    } else {
+      ++stats_.linked_to_existing;
+    }
+  }
+  stats_.link_seconds += timer.ElapsedSeconds();
+
+  SourceId source_id = graph_.sources().Intern(article.source);
+  for (const SrlFrame& frame : frames) {
+    const RawExtraction& ex = frame.extraction;
+    VertexId s = decisions[surface_index[ex.triple.subject]].vertex;
+    VertexId o = decisions[surface_index[ex.triple.object]].vertex;
+    if (s == o) continue;
+
+    // Negated reports retract rather than assert (§3.4-adjacent
+    // quality control): weaken any matching edge, add nothing.
+    if (ex.negated && config_.negation_retracts) {
+      MappingDecision neg_mapping = mapper_.Map(
+          ex.relation, VertexTypeName(s), VertexTypeName(o));
+      if (neg_mapping.mapped) {
+        if (auto pred = graph_.predicates().Lookup(
+                neg_mapping.predicate)) {
+          if (auto existing = graph_.FindEdge(s, *pred, o)) {
+            const EdgeRecord& rec = graph_.Edge(*existing);
+            if (!rec.meta.curated) {
+              graph_.SetEdgeConfidence(
+                  *existing,
+                  rec.meta.confidence * config_.retraction_factor);
+              ++stats_.retractions;
+            }
+          }
+        }
+      }
+      continue;
+    }
+
+    // ---- 3. Predicate mapping + distant supervision. ----
+    // Map with the current model first; this document's own KB
+    // alignment only informs *future* mappings, and a lone
+    // co-occurrence stays below the mapper's evidence threshold.
+    timer.Restart();
+    MappingDecision mapping =
+        mapper_.Map(ex.relation, VertexTypeName(s), VertexTypeName(o));
+    auto pair_it = curated_pairs_.find({s, o});
+    if (config_.enable_distant_supervision &&
+        pair_it != curated_pairs_.end()) {
+      for (const std::string& kb_pred : pair_it->second) {
+        mapper_.AddEvidence(kb_pred, ex.relation,
+                            config_.ds_alignment_weight);
+        ++stats_.ds_alignments;
+      }
+    }
+    std::string predicate_name;
+    if (mapping.mapped) {
+      predicate_name = mapping.predicate;
+      ++stats_.mapped_triples;
+    } else if (config_.keep_unmapped) {
+      predicate_name = "raw:" + ex.relation;
+      ++stats_.unmapped_kept;
+    } else {
+      ++stats_.dropped_unmapped;
+      stats_.map_seconds += timer.ElapsedSeconds();
+      continue;
+    }
+    PredicateId p = graph_.predicates().Intern(predicate_name);
+    stats_.map_seconds += timer.ElapsedSeconds();
+
+    // ---- 4. Confidence via link prediction (§3.4). ----
+    timer.Restart();
+    double confidence = ex.confidence;
+    if (mapping.mapped) confidence *= (0.7 + 0.3 * mapping.score);
+    if (config_.enable_link_prediction && p < graph_.predicates().size()) {
+      double prior = bpr_.Score(s, p, o);
+      confidence *= (0.7 + 0.3 * prior);
+    }
+    if (config_.enable_source_trust) {
+      // Relative trust: only below-average sources are penalized, so a
+      // corpus where most facts are single-reported is not damped
+      // across the board.
+      confidence *= (0.6 + 0.4 * trust_.RelativeTrust(source_id));
+    }
+    confidence = std::clamp(confidence, 0.0, 1.0);
+    stats_.score_seconds += timer.ElapsedSeconds();
+    if (confidence < config_.min_accept_confidence) {
+      ++stats_.dropped_low_confidence;
+      continue;
+    }
+
+    // ---- 5. KG update (dedup: repeated reports strengthen, and
+    // cross-source agreement feeds the trust tracker). ----
+    Timestamp ts = frame.date.ToDayNumber();
+    if (auto existing = graph_.FindEdge(s, p, o)) {
+      const EdgeRecord& rec = graph_.Edge(*existing);
+      double boosted =
+          std::max(rec.meta.confidence,
+                   1.0 - (1.0 - rec.meta.confidence) * (1.0 - confidence));
+      graph_.SetEdgeConfidence(*existing, boosted);
+      ++stats_.deduped_triples;
+      if (config_.enable_source_trust &&
+          rec.meta.source != source_id) {
+        trust_.RecordCorroborated(source_id);
+        if (rec.meta.source != kInvalidSource) {
+          trust_.RecordCorroborated(rec.meta.source);
+        }
+      }
+      continue;
+    }
+    if (config_.enable_source_trust) {
+      // Curated agreement on the entity pair also corroborates.
+      if (pair_it != curated_pairs_.end()) {
+        trust_.RecordCorroborated(source_id);
+      } else {
+        trust_.RecordUncorroborated(source_id);
+      }
+    }
+    EdgeMeta meta;
+    meta.confidence = confidence;
+    meta.timestamp = ts;
+    meta.source = source_id;
+    meta.curated = false;
+    graph_.AddEdge(s, p, o, meta);
+    accepted_ids_.push_back(IdTriple{s, p, o});
+    ++stats_.accepted_triples;
+
+    // ---- 6. Stream the fact into the miner's sliding window. ----
+    if (config_.enable_mining) {
+      WallTimer mine_timer;
+      TimedTriple wt;
+      wt.triple.subject = graph_.VertexLabel(s);
+      wt.triple.predicate = predicate_name;
+      wt.triple.object = graph_.VertexLabel(o);
+      wt.timestamp = ts;
+      wt.source = article.source;
+      wt.confidence = confidence;
+      VertexId ws = window_graph_.GetOrAddVertex(wt.triple.subject);
+      VertexId wo = window_graph_.GetOrAddVertex(wt.triple.object);
+      window_graph_.SetVertexType(
+          ws, window_graph_.types().Intern(VertexTypeName(s)));
+      window_graph_.SetVertexType(
+          wo, window_graph_.types().Intern(VertexTypeName(o)));
+      window_->Add(wt);
+      stats_.mine_seconds += mine_timer.ElapsedSeconds();
+    }
+  }
+
+  // ---- 7. Periodic model refresh. ----
+  if (config_.enable_link_prediction &&
+      config_.bpr_refresh_interval != 0 &&
+      ++docs_since_refresh_ >= config_.bpr_refresh_interval) {
+    docs_since_refresh_ = 0;
+    RefreshBpr(config_.bpr_refresh_epochs);
+  }
+}
+
+void KgPipeline::IngestText(const std::string& text, const Date& date,
+                            const std::string& source) {
+  Article article;
+  article.id = StrFormat("adhoc_%zu", stats_.documents);
+  article.date = date;
+  article.source = source;
+  article.text = text;
+  Ingest(article);
+}
+
+void KgPipeline::RefreshBpr(size_t epochs) {
+  WallTimer timer;
+  bpr_.TrainIncremental(accepted_ids_, graph_.NumVertices(),
+                        graph_.predicates().size(), epochs);
+  stats_.score_seconds += timer.ElapsedSeconds();
+}
+
+void KgPipeline::Finalize() {
+  if (config_.enable_link_prediction) {
+    RefreshBpr(config_.bpr.epochs);
+    // Rescore extracted edges with the final model (dynamic-KG
+    // confidence maintenance).
+    const double w = config_.bpr_rescore_weight;
+    graph_.ForEachEdge([this, w](EdgeId e, const EdgeRecord& rec) {
+      if (rec.meta.curated) return;
+      double prior = bpr_.Score(rec.subject, rec.predicate, rec.object);
+      double rescored = rec.meta.confidence * (1.0 - w) + prior * w;
+      graph_.SetEdgeConfidence(e, std::clamp(rescored, 0.0, 1.0));
+    });
+  }
+  lda_ = std::make_unique<LdaModel>(
+      AssignVertexTopics(&graph_, config_.lda));
+}
+
+}  // namespace nous

@@ -1,0 +1,177 @@
+#ifndef NOUS_CORE_PIPELINE_H_
+#define NOUS_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "corpus/article_generator.h"
+#include "embed/bpr.h"
+#include "graph/property_graph.h"
+#include "graph/temporal_window.h"
+#include "kb/curated_kb.h"
+#include "core/source_trust.h"
+#include "linker/entity_linker.h"
+#include "mapping/distant_supervision.h"
+#include "mapping/predicate_mapper.h"
+#include "mining/streaming_miner.h"
+#include "text/lexicon.h"
+#include "text/ner.h"
+#include "text/srl.h"
+#include "topic/doc_term.h"
+
+namespace nous {
+
+/// End-to-end pipeline configuration (Figure 1's components).
+struct PipelineConfig {
+  OpenIeConfig extraction;
+  LinkerConfig linker;
+  MapperConfig mapper;
+  BprConfig bpr;
+  MinerConfig miner;
+  LdaConfig lda;
+  /// Sliding-window size (edges) for the streaming miner. The fused KG
+  /// itself never expires facts.
+  size_t miner_window_edges = 4096;
+  bool enable_mining = true;
+  bool enable_link_prediction = true;
+  /// Documents between incremental BPR refreshes (0 = only at
+  /// Finalize).
+  size_t bpr_refresh_interval = 100;
+  size_t bpr_refresh_epochs = 2;
+  /// Weight of the BPR prior when Finalize() rescores extracted edges
+  /// (confidence = (1-w)*stored + w*prior). Keep modest: on small
+  /// noisy KGs the prior is weak and large weights wash out the
+  /// extraction signal.
+  double bpr_rescore_weight = 0.25;
+  /// Extracted triples whose blended confidence falls below this are
+  /// rejected ("simply adding noisy facts ... will destroy its
+  /// purpose", §3.4).
+  double min_accept_confidence = 0.05;
+  /// Keep triples whose relation maps to no ontology predicate, under
+  /// a "raw:<phrase>" predicate (else drop them).
+  bool keep_unmapped = true;
+  /// Evidence added per distant-supervision alignment with a curated
+  /// fact; two alignments clear the mapper's default evidence
+  /// threshold, one does not.
+  double ds_alignment_weight = 0.4;
+  /// Learn predicate-phrase evidence from curated-fact alignments
+  /// (ablation switch; seeds stay active either way).
+  bool enable_distant_supervision = true;
+  /// Track per-source corroboration rates and fold source trust into
+  /// triple confidence (§3.4's "source level trust").
+  bool enable_source_trust = true;
+  /// Treat negated extractions ("DJI never acquired X") as retraction
+  /// evidence: an existing matching edge loses confidence; no new edge
+  /// is added. Forces the extractor to keep negated tuples.
+  bool negation_retracts = true;
+  /// Confidence multiplier applied to a retracted edge per negation.
+  double retraction_factor = 0.5;
+};
+
+/// Counters for every stage, reported by bench_pipeline (E8).
+struct PipelineStats {
+  size_t documents = 0;
+  size_t extractions = 0;
+  size_t accepted_triples = 0;
+  size_t deduped_triples = 0;
+  size_t dropped_low_confidence = 0;
+  size_t dropped_unmapped = 0;
+  size_t mapped_triples = 0;
+  size_t unmapped_kept = 0;
+  size_t linked_to_existing = 0;
+  size_t new_entities = 0;
+  size_t ds_alignments = 0;
+  size_t retractions = 0;
+  double extract_seconds = 0;
+  double link_seconds = 0;
+  double map_seconds = 0;
+  double score_seconds = 0;
+  double mine_seconds = 0;
+
+  std::string ToString() const;
+};
+
+/// The NOUS knowledge-graph construction pipeline (§3): curated-KB
+/// bootstrap, then per-document extract -> link -> map -> score ->
+/// update. The fused KG accretes; the streaming miner watches a
+/// sliding window fed with the same extracted stream plus the curated
+/// base (mining "both structures", §3.5).
+class KgPipeline {
+ public:
+  /// Copies the curated KB's contents into the KG. `kb` must outlive
+  /// the pipeline (it seeds the NER gazetteer and DS alignment index).
+  KgPipeline(const CuratedKb* kb, PipelineConfig config = {});
+
+  KgPipeline(const KgPipeline&) = delete;
+  KgPipeline& operator=(const KgPipeline&) = delete;
+
+  /// Ingests one article: extraction, joint linking, predicate
+  /// mapping, confidence scoring, KG + miner-window update, distant
+  /// supervision.
+  void Ingest(const Article& article);
+
+  /// Convenience for ad-hoc text.
+  void IngestText(const std::string& text, const Date& date,
+                  const std::string& source);
+
+  /// Fits LDA topics over the fused KG and runs a final BPR refresh.
+  /// Call once after the stream (or periodically).
+  void Finalize();
+
+  PropertyGraph& graph() { return graph_; }
+  const PropertyGraph& graph() const { return graph_; }
+  StreamingMiner* miner() { return miner_.get(); }
+  const StreamingMiner* miner() const { return miner_.get(); }
+  /// The graph the miner watches; its dictionaries resolve pattern
+  /// ids (distinct from the fused KG's dictionaries).
+  const PropertyGraph* miner_graph() const { return &window_graph_; }
+  EntityLinker& linker() { return linker_; }
+  PredicateMapper& mapper() { return mapper_; }
+  BprModel& bpr() { return bpr_; }
+  const SourceTrustTracker& source_trust() const { return trust_; }
+  const LdaModel* lda() const { return lda_.get(); }
+  const PipelineStats& stats() const { return stats_; }
+  const PipelineConfig& config() const { return config_; }
+  const Lexicon& lexicon() const { return lexicon_; }
+  const Ner& ner() const { return ner_; }
+
+ private:
+  void LoadCuratedKb();
+  std::string VertexTypeName(VertexId v) const;
+  void RefreshBpr(size_t epochs);
+
+  PipelineConfig config_;
+  const CuratedKb* kb_;  // not owned
+
+  PropertyGraph graph_;  // the fused, ever-growing KG
+  /// Mirror graph holding the miner's sliding window (curated base +
+  /// recent stream).
+  PropertyGraph window_graph_;
+  std::unique_ptr<TemporalWindow> window_;
+  std::unique_ptr<StreamingMiner> miner_;
+
+  Lexicon lexicon_;
+  Ner ner_;
+  SrlExtractor srl_;
+  EntityLinker linker_;
+  PredicateMapper mapper_;
+  DistantSupervisionTrainer ds_trainer_;
+  BprModel bpr_;
+  std::unique_ptr<LdaModel> lda_;
+  SourceTrustTracker trust_;
+
+  /// (subject, object) -> curated predicates, for distant supervision.
+  std::unordered_map<std::pair<VertexId, VertexId>,
+                     std::vector<std::string>, PairHash>
+      curated_pairs_;
+  std::vector<IdTriple> accepted_ids_;
+  size_t docs_since_refresh_ = 0;
+  PipelineStats stats_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORE_PIPELINE_H_

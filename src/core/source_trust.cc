@@ -1,0 +1,61 @@
+#include "core/source_trust.h"
+
+namespace nous {
+
+SourceTrustTracker::SourceTrustTracker(double prior_trust,
+                                       double prior_strength)
+    : prior_trust_(prior_trust), prior_strength_(prior_strength) {}
+
+void SourceTrustTracker::RecordCorroborated(SourceId source,
+                                            double weight) {
+  Counts& c = counts_[source];
+  c.corroborated += weight;
+  c.total += weight;
+}
+
+void SourceTrustTracker::RecordUncorroborated(SourceId source,
+                                              double weight) {
+  counts_[source].total += weight;
+}
+
+double SourceTrustTracker::Trust(SourceId source) const {
+  auto it = counts_.find(source);
+  double corroborated = prior_trust_ * prior_strength_;
+  double total = prior_strength_;
+  if (it != counts_.end()) {
+    corroborated += it->second.corroborated;
+    total += it->second.total;
+  }
+  return corroborated / total;
+}
+
+double SourceTrustTracker::GlobalRate() const {
+  double corroborated = prior_trust_ * prior_strength_;
+  double total = prior_strength_;
+  for (const auto& [source, c] : counts_) {
+    corroborated += c.corroborated;
+    total += c.total;
+  }
+  return corroborated / total;
+}
+
+double SourceTrustTracker::RelativeTrust(SourceId source) const {
+  double global = GlobalRate();
+  if (global <= 0) return 1.0;
+  double relative = Trust(source) / global;
+  return relative > 1.0 ? 1.0 : relative;
+}
+
+double SourceTrustTracker::Observations(SourceId source) const {
+  auto it = counts_.find(source);
+  return it == counts_.end() ? 0 : it->second.total;
+}
+
+std::vector<SourceId> SourceTrustTracker::KnownSources() const {
+  std::vector<SourceId> sources;
+  sources.reserve(counts_.size());
+  for (const auto& [source, counts] : counts_) sources.push_back(source);
+  return sources;
+}
+
+}  // namespace nous

@@ -1,0 +1,65 @@
+#ifndef NOUS_CORE_SOURCE_TRUST_H_
+#define NOUS_CORE_SOURCE_TRUST_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace nous {
+
+/// Source-level trust (§3.4: "in addition to tracking source level
+/// trust, we implemented a Link Prediction approach ..."). Each
+/// source's trust is a Beta-smoothed corroboration rate: triples that
+/// a second independent source (or the curated KB) also reports count
+/// as corroborated; triples that stay single-sourced count against.
+/// Trust feeds the pipeline's confidence blend so facts from
+/// habitually-uncorroborated feeds score lower.
+class SourceTrustTracker {
+ public:
+  /// `prior_trust` is the trust of a source with no history, encoded
+  /// as `prior_strength` pseudo-observations.
+  explicit SourceTrustTracker(double prior_trust = 0.7,
+                              double prior_strength = 10.0);
+
+  /// Records that `source` reported a triple later corroborated by an
+  /// independent reporter.
+  void RecordCorroborated(SourceId source, double weight = 1.0);
+
+  /// Records an (as yet) uncorroborated report.
+  void RecordUncorroborated(SourceId source, double weight = 1.0);
+
+  /// Beta-smoothed corroboration rate in (0, 1).
+  double Trust(SourceId source) const;
+
+  /// Corpus-wide corroboration rate (prior-anchored). In a corpus
+  /// where most facts are reported once, this is low for everyone —
+  /// which says nothing about any particular source.
+  double GlobalRate() const;
+
+  /// Trust relative to the corpus base rate, capped at 1: sources at
+  /// or above the average corroboration rate score 1; habitually
+  /// below-average sources score proportionally less. This is what the
+  /// pipeline folds into confidence, so single-report corpora are not
+  /// penalized across the board.
+  double RelativeTrust(SourceId source) const;
+
+  /// Observation mass (excluding the prior) for diagnostics.
+  double Observations(SourceId source) const;
+
+  std::vector<SourceId> KnownSources() const;
+
+ private:
+  struct Counts {
+    double corroborated = 0;
+    double total = 0;
+  };
+  double prior_trust_;
+  double prior_strength_;
+  std::unordered_map<SourceId, Counts> counts_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORE_SOURCE_TRUST_H_

@@ -1,0 +1,267 @@
+#include "corpus/article_generator.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+/// One surface realization of a predicate. "{S}", "{O}", "{D}" expand
+/// to subject, object, and date phrase.
+struct SentenceTemplate {
+  const char* pattern;
+  bool passive;     // subject slot holds the object entity
+  bool needs_date;  // pattern contains {D}
+};
+
+/// Realizations per ontology predicate. Every verb here is known to the
+/// default lexicon so the extraction pipeline has a fair shot.
+const std::vector<SentenceTemplate>& TemplatesFor(
+    const std::string& predicate) {
+  static const auto* kMap = new std::unordered_map<
+      std::string, std::vector<SentenceTemplate>>{
+      {"acquired",
+       {{"{S} acquired {O} on {D}.", false, true},
+        {"{S} bought {O}.", false, false},
+        {"{S} acquired {O} for $80 million.", false, false},
+        {"{O} was acquired by {S} on {D}.", true, true}}},
+      {"partneredWith",
+       {{"{S} partnered with {O}.", false, false},
+        {"{S} collaborated with {O}.", false, false}}},
+      {"investsIn",
+       {{"{S} invested in {O}.", false, false},
+        {"{S} invested in {O} in {D}.", false, true}}},
+      {"launched",
+       {{"{S} launched {O} on {D}.", false, true},
+        {"{S} unveiled {O}.", false, false},
+        {"{S} introduced {O} in {D}.", false, true}}},
+      {"uses",
+       {{"{S} uses {O}.", false, false},
+        {"{S} deployed {O}.", false, false},
+        {"{S} employs {O}.", false, false}}},
+      {"competesWith", {{"{S} competes with {O}.", false, false}}},
+      {"regulates",
+       {{"{S} regulates {O}.", false, false},
+        {"{S} investigated {O} in {D}.", false, true}}},
+      {"ceoOf",
+       {{"{S} leads {O}.", false, false},
+        {"{S} led {O}.", false, false}}},
+      {"worksFor",
+       {{"{S} works for {O}.", false, false},
+        {"{S} joined {O} in {D}.", false, true}}},
+      {"manufactures",
+       {{"{S} manufactures {O}.", false, false},
+        {"{S} makes {O}.", false, false},
+        {"{S} produces {O}.", false, false}}},
+      {"headquarteredIn",
+       {{"{S} is headquartered in {O}.", false, false},
+        {"{S} is based in {O}.", false, false}}},
+      {"authored", {{"{S} authored {O}.", false, false}}},
+      {"cites", {{"{S} cites {O}.", false, false}}},
+      {"publishedIn", {{"{S} was published in {O}.", false, false}}},
+      {"accessed", {{"{S} accessed {O} on {D}.", false, true}}},
+      {"downloaded", {{"{S} downloaded {O} on {D}.", false, true}}},
+      {"emailed", {{"{S} emailed {O} on {D}.", false, true}}},
+  };
+  auto it = kMap->find(predicate);
+  if (it != kMap->end()) return it->second;
+  static const std::vector<SentenceTemplate> kFallback = {
+      {"{S} uses {O}.", false, false}};
+  return kFallback;
+}
+
+const char* kDistractors[] = {
+    "Analysts expect strong growth in the commercial drone market.",
+    "Industry observers remain cautious about the pace of adoption.",
+    "The regulatory landscape continues to evolve rapidly.",
+    "Demand for aerial imaging services is growing worldwide.",
+    "Several startups are entering the crowded market this year.",
+    "Investors have poured millions into the sector recently.",
+};
+
+/// Distractors that NAME an entity with a common-noun subject: bait
+/// for relaxed extraction configs that accept noun-phrase subjects
+/// (the sentence states no gold fact).
+const char* kEntityBaitDistractors[] = {
+    "Analysts praised {E} in a research note.",
+    "Investors backed {E} this quarter.",
+    "Several analysts praised {E}.",
+};
+
+std::string ReplaceAll(std::string text, std::string_view needle,
+                       std::string_view replacement) {
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    text.replace(pos, needle.size(), replacement);
+    pos += replacement.size();
+  }
+  return text;
+}
+
+}  // namespace
+
+ArticleGenerator::ArticleGenerator(const WorldModel* world,
+                                   CorpusConfig config)
+    : world_(world), config_(std::move(config)) {}
+
+std::vector<Article> ArticleGenerator::GenerateArticles() const {
+  Rng rng(config_.seed);
+  // Date-ordered events.
+  std::vector<size_t> events;
+  for (size_t i = 0; i < world_->facts().size(); ++i) {
+    if (world_->facts()[i].is_event) events.push_back(i);
+  }
+  std::stable_sort(events.begin(), events.end(), [this](size_t a, size_t b) {
+    return world_->facts()[a].date < world_->facts()[b].date;
+  });
+
+  std::vector<Article> articles;
+  size_t cursor = 0;
+  size_t article_counter = 0;
+  while (cursor < events.size()) {
+    size_t span = config_.min_facts_per_article +
+                  rng.UniformInt(config_.max_facts_per_article -
+                                 config_.min_facts_per_article + 1);
+    span = std::min(span, events.size() - cursor);
+    std::vector<size_t> batch(events.begin() + cursor,
+                              events.begin() + cursor + span);
+    cursor += span;
+    // Group same-subject facts adjacently so pronoun references are
+    // resolvable to the previous sentence.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [this](size_t a, size_t b) {
+                       return world_->facts()[a].subject <
+                              world_->facts()[b].subject;
+                     });
+
+    Article article;
+    article.id = StrFormat("art_%05zu", article_counter++);
+    article.source = config_.sources[rng.UniformInt(config_.sources.size())];
+    Date max_date = world_->facts()[batch[0]].date;
+    std::vector<std::string> sentences;
+    size_t prev_subject = static_cast<size_t>(-1);
+
+    for (size_t fact_id : batch) {
+      const WorldFact& fact = world_->facts()[fact_id];
+      const WorldEntity& subj = world_->entity(fact.subject);
+      const WorldEntity& obj = world_->entity(fact.object);
+      if (max_date < fact.date) max_date = fact.date;
+
+      // Choose a template; honor the passive-rate knob when a passive
+      // variant exists.
+      const auto& templates = TemplatesFor(fact.predicate);
+      std::vector<const SentenceTemplate*> actives;
+      std::vector<const SentenceTemplate*> passives;
+      for (const auto& t : templates) {
+        (t.passive ? passives : actives).push_back(&t);
+      }
+      const SentenceTemplate* chosen = nullptr;
+      if (!passives.empty() && rng.Bernoulli(config_.passive_rate)) {
+        chosen = passives[rng.UniformInt(passives.size())];
+      } else if (!actives.empty()) {
+        chosen = actives[rng.UniformInt(actives.size())];
+      } else {
+        chosen = passives[rng.UniformInt(passives.size())];
+      }
+      // Drop date-bearing templates when the knob says no date.
+      if (chosen->needs_date && !rng.Bernoulli(config_.date_mention_rate)) {
+        for (const auto& t : templates) {
+          if (!t.needs_date && t.passive == chosen->passive) {
+            chosen = &t;
+            break;
+          }
+        }
+      }
+
+      auto surface = [&](const WorldEntity& e) -> std::string {
+        if (!e.aliases.empty() && rng.Bernoulli(config_.alias_rate)) {
+          return e.aliases[rng.UniformInt(e.aliases.size())];
+        }
+        return e.name;
+      };
+      std::string subj_text = surface(subj);
+      // Pronominalize a repeated subject (active voice only: the
+      // grammatical subject slot must be the repeated entity).
+      bool used_pronoun = false;
+      if (!chosen->passive && fact.subject == prev_subject &&
+          !sentences.empty() && rng.Bernoulli(config_.pronoun_rate)) {
+        if (subj.ner_type == EntityType::kPerson) {
+          subj_text = "He";
+        } else if (rng.Bernoulli(0.5)) {
+          subj_text = "It";
+        } else {
+          subj_text = "The company";
+        }
+        used_pronoun = true;
+      }
+      std::string obj_text = surface(obj);
+
+      if (!used_pronoun) {
+        article.gold_mentions.push_back(GoldMention{subj_text,
+                                                    subj.name});
+      }
+      article.gold_mentions.push_back(GoldMention{obj_text, obj.name});
+
+      std::string sentence = chosen->pattern;
+      sentence = ReplaceAll(sentence, "{S}", subj_text);
+      sentence = ReplaceAll(sentence, "{O}", obj_text);
+      if (chosen->needs_date) {
+        sentence = ReplaceAll(sentence, "{D}", fact.date.ToString());
+      }
+      sentences.push_back(std::move(sentence));
+      prev_subject = fact.subject;
+
+      TimedTriple gold;
+      gold.triple.subject = subj.name;
+      gold.triple.predicate = fact.predicate;
+      gold.triple.object = obj.name;
+      gold.timestamp = fact.date.ToDayNumber();
+      gold.source = article.source;
+      article.gold.push_back(std::move(gold));
+    }
+
+    // Sector flavor: vocabulary from the lead subject's description,
+    // giving the document a topical fingerprint.
+    if (rng.Bernoulli(config_.flavor_rate)) {
+      const WorldEntity& lead =
+          world_->entity(world_->facts()[batch[0]].subject);
+      if (lead.description.size() >= 2) {
+        const std::string& t1 =
+            lead.description[rng.UniformInt(lead.description.size())];
+        const std::string& t2 =
+            lead.description[rng.UniformInt(lead.description.size())];
+        std::string flavor = "The move underscores rising demand for " +
+                             t1 + " and " + t2 + " offerings.";
+        sentences.push_back(std::move(flavor));
+      }
+    }
+    if (rng.Bernoulli(config_.distractor_rate)) {
+      if (rng.Bernoulli(0.5)) {
+        sentences.push_back(
+            kDistractors[rng.UniformInt(std::size(kDistractors))]);
+      } else {
+        const WorldFact& bait_fact =
+            world_->facts()[batch[rng.UniformInt(batch.size())]];
+        std::string bait = kEntityBaitDistractors[rng.UniformInt(
+            std::size(kEntityBaitDistractors))];
+        sentences.push_back(ReplaceAll(
+            std::move(bait), "{E}",
+            world_->entity(bait_fact.subject).name));
+      }
+    }
+    article.date = max_date;
+    article.text = Join(sentences, " ");
+    articles.push_back(std::move(article));
+  }
+
+  std::stable_sort(articles.begin(), articles.end(),
+                   [](const Article& a, const Article& b) {
+                     return a.date < b.date;
+                   });
+  return articles;
+}
+
+}  // namespace nous

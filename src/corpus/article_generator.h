@@ -1,0 +1,82 @@
+#ifndef NOUS_CORPUS_ARTICLE_GENERATOR_H_
+#define NOUS_CORPUS_ARTICLE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/world_model.h"
+#include "graph/types.h"
+#include "text/date_parser.h"
+
+namespace nous {
+
+/// Mention-level gold: the surface form the article actually used and
+/// the canonical entity it denotes — the label set for evaluating
+/// entity disambiguation in isolation.
+struct GoldMention {
+  std::string surface;
+  std::string canonical;
+};
+
+/// A synthetic news article (the WSJ-corpus stand-in), carrying its
+/// gold triples: the canonical facts a perfect extractor+linker would
+/// recover. Gold subjects/objects are canonical entity names even when
+/// the text uses aliases or pronouns.
+struct Article {
+  std::string id;
+  Date date;
+  std::string source;
+  std::string text;
+  std::vector<TimedTriple> gold;
+  /// Non-pronominal entity mentions (aliases included).
+  std::vector<GoldMention> gold_mentions;
+};
+
+/// Noise knobs for article rendering — each knob exercises a specific
+/// extraction/linking failure mode (DESIGN.md §2).
+struct CorpusConfig {
+  /// Probability a repeated subject is rendered as a pronoun /
+  /// definite NP (requires coref to recover).
+  double pronoun_rate = 0.25;
+  /// Probability an entity is mentioned by an alias instead of its
+  /// canonical name (requires candidate generation + disambiguation).
+  double alias_rate = 0.3;
+  /// Probability an event sentence uses the passive form.
+  double passive_rate = 0.25;
+  /// Probability the sentence embeds the fact's date (else the article
+  /// date anchors the triple).
+  double date_mention_rate = 0.5;
+  size_t min_facts_per_article = 2;
+  size_t max_facts_per_article = 4;
+  /// Probability an article carries an entity-free distractor sentence
+  /// (false-positive bait for relaxed extraction configs).
+  double distractor_rate = 0.6;
+  /// Probability an article carries a sector-vocabulary "flavor"
+  /// sentence drawn from its first subject's description terms — the
+  /// contextual signal AIDA-style disambiguation keys on.
+  double flavor_rate = 0.7;
+  uint64_t seed = 23;
+  std::vector<std::string> sources = {"wsj", "webcrawl", "technews"};
+};
+
+/// Renders the world model's dated events into a date-ordered synthetic
+/// news corpus with controllable noise.
+class ArticleGenerator {
+ public:
+  /// `world` must outlive the generator.
+  ArticleGenerator(const WorldModel* world, CorpusConfig config);
+
+  /// Renders every dated event into articles, ordered by date.
+  std::vector<Article> GenerateArticles() const;
+
+  const CorpusConfig& config() const { return config_; }
+
+ private:
+  const WorldModel* world_;
+  CorpusConfig config_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORPUS_ARTICLE_GENERATOR_H_

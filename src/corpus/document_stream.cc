@@ -1,0 +1,17 @@
+#include "corpus/document_stream.h"
+
+#include <algorithm>
+
+namespace nous {
+
+DocumentStream::DocumentStream(std::vector<Article> articles)
+    : articles_(std::move(articles)) {
+  std::stable_sort(articles_.begin(), articles_.end(),
+                   [](const Article& a, const Article& b) {
+                     return a.date < b.date;
+                   });
+}
+
+const Article& DocumentStream::Next() { return articles_[cursor_++]; }
+
+}  // namespace nous

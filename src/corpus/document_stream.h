@@ -1,0 +1,38 @@
+#ifndef NOUS_CORPUS_DOCUMENT_STREAM_H_
+#define NOUS_CORPUS_DOCUMENT_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "corpus/article_generator.h"
+
+namespace nous {
+
+/// Replayable, date-ordered article feed — the "data arrives in
+/// streaming fashion" interface the pipeline consumes (§1 paradigm 1).
+class DocumentStream {
+ public:
+  /// Takes ownership; articles are re-sorted by date.
+  explicit DocumentStream(std::vector<Article> articles);
+
+  bool Done() const { return cursor_ >= articles_.size(); }
+
+  /// Next article in date order. Undefined when Done().
+  const Article& Next();
+
+  /// Articles not yet consumed.
+  size_t Remaining() const { return articles_.size() - cursor_; }
+  size_t TotalCount() const { return articles_.size(); }
+
+  void Reset() { cursor_ = 0; }
+
+  const std::vector<Article>& articles() const { return articles_; }
+
+ private:
+  std::vector<Article> articles_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORPUS_DOCUMENT_STREAM_H_

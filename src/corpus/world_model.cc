@@ -1,0 +1,482 @@
+#include "corpus/world_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace nous {
+
+size_t WorldModel::AddEntity(WorldEntity entity) {
+  size_t id = entities_.size();
+  by_name_[entity.name] = id;
+  entities_.push_back(std::move(entity));
+  return id;
+}
+
+void WorldModel::AddAlias(size_t entity, std::string alias) {
+  NOUS_CHECK(entity < entities_.size());
+  entities_[entity].aliases.push_back(std::move(alias));
+}
+
+size_t WorldModel::AddFact(size_t subject, std::string_view predicate,
+                           size_t object, Date date, bool is_event) {
+  NOUS_CHECK(subject < entities_.size());
+  NOUS_CHECK(object < entities_.size());
+  WorldFact fact;
+  fact.subject = subject;
+  fact.object = object;
+  fact.predicate = std::string(predicate);
+  fact.date = date;
+  fact.is_event = is_event;
+  facts_.push_back(std::move(fact));
+  return facts_.size() - 1;
+}
+
+size_t WorldModel::AddFactByName(std::string_view subject,
+                                 std::string_view predicate,
+                                 std::string_view object, Date date,
+                                 bool is_event) {
+  auto s = FindEntity(subject);
+  auto o = FindEntity(object);
+  NOUS_CHECK(s.has_value()) << "unknown subject " << subject;
+  NOUS_CHECK(o.has_value()) << "unknown object " << object;
+  return AddFact(*s, predicate, *o, date, is_event);
+}
+
+std::optional<size_t> WorldModel::FindEntity(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> WorldModel::Predicates() const {
+  std::vector<std::string> preds;
+  for (const WorldFact& f : facts_) {
+    if (std::find(preds.begin(), preds.end(), f.predicate) == preds.end()) {
+      preds.push_back(f.predicate);
+    }
+  }
+  return preds;
+}
+
+namespace {
+
+const char* kFirstNames[] = {"Tom",   "Sarah", "Raj",    "Elena", "Wei",
+                             "Omar",  "Lucy",  "Marco",  "Nina",  "Igor",
+                             "Akira", "Priya", "Carlos", "Maya",  "Hugo",
+                             "Ines",  "Leo",   "Greta",  "Noor",  "Felix"};
+const char* kLastNames[] = {"Marino",  "Chen",    "Patel",  "Kowalski",
+                            "Hansen",  "Okafor",  "Silva",  "Novak",
+                            "Tanaka",  "Fischer", "Dubois", "Eriksen",
+                            "Moreau",  "Sato",    "Khan",   "Vargas"};
+const char* kCompanyPrefix[] = {"Aero",   "Sky",    "Hover", "Cloudline",
+                                "Apex",   "Vertex", "Nimbus", "Orbit",
+                                "Strato", "Zephyr", "Quill",  "Talon",
+                                "Helio",  "Vector", "Pinnacle", "Summit"};
+const char* kCompanyStem[] = {"Dynamics", "Labs",     "Technologies",
+                              "Aviation", "Robotics", "Systems",
+                              "Works",    "Industries", "Analytics",
+                              "Logistics"};
+const char* kCorpSuffix[] = {"Inc", "Corp", "Ltd", "", "", ""};
+const char* kProductStem[] = {"Falcon", "Raptor", "Swift",   "Condor",
+                              "Eagle",  "Hawk",   "Osprey",  "Kestrel",
+                              "Heron",  "Swallow", "Griffin", "Sparrow"};
+const char* kCities[] = {"Seattle", "Shenzhen", "Paris",   "Austin",
+                         "Boston",  "Berlin",   "Tokyo",   "Toronto",
+                         "Denver",  "Phoenix",  "Richland", "Oslo"};
+const char* kSectors[] = {"consumer", "military", "delivery",
+                          "agriculture", "realestate", "finance",
+                          "regulation"};
+
+const std::unordered_map<std::string, std::vector<std::string>>&
+SectorVocabulary() {
+  static const auto* kVocab =
+      new std::unordered_map<std::string, std::vector<std::string>>{
+          {"consumer",
+           {"camera", "hobbyist", "quadcopter", "retail", "video",
+            "photography", "consumer", "gimbal", "selfie", "app"}},
+          {"military",
+           {"defense", "surveillance", "reconnaissance", "military",
+            "tactical", "mission", "payload", "security", "border",
+            "radar"}},
+          {"delivery",
+           {"package", "delivery", "logistics", "warehouse", "shipping",
+            "route", "parcel", "fleet", "dispatch", "autonomous"}},
+          {"agriculture",
+           {"crop", "farm", "irrigation", "spraying", "field", "yield",
+            "agriculture", "soil", "harvest", "sensor"}},
+          {"realestate",
+           {"property", "listing", "aerial", "realestate", "housing",
+            "broker", "inspection", "roof", "marketing", "estate"}},
+          {"finance",
+           {"investment", "venture", "funding", "acquisition", "market",
+            "analyst", "portfolio", "valuation", "shares", "capital"}},
+          {"regulation",
+           {"regulation", "safety", "airspace", "compliance", "license",
+            "faa", "policy", "rules", "certification", "enforcement"}},
+      };
+  return *kVocab;
+}
+
+std::vector<std::string> MakeDescription(Rng* rng, const std::string& sector,
+                                         const std::string& type_name) {
+  std::vector<std::string> bag;
+  const auto& vocab = SectorVocabulary();
+  auto it = vocab.find(sector);
+  const std::vector<std::string>& words =
+      it != vocab.end() ? it->second : vocab.at("consumer");
+  // 8-14 sector words (with repetition = weight), plus generic terms.
+  size_t n = 8 + rng->UniformInt(7);
+  for (size_t i = 0; i < n; ++i) bag.push_back(rng->Pick(words));
+  bag.push_back(type_name);
+  bag.push_back("drone");
+  bag.push_back("technology");
+  return bag;
+}
+
+Date RandomDateBetween(Rng* rng, const Date& start, const Date& end) {
+  Timestamp lo = start.ToDayNumber();
+  Timestamp hi = end.ToDayNumber();
+  if (hi <= lo) return start;
+  return Date::FromDayNumber(
+      lo + static_cast<Timestamp>(rng->UniformInt(
+               static_cast<uint64_t>(hi - lo + 1))));
+}
+
+}  // namespace
+
+WorldModel WorldModel::BuildDroneWorld(const DroneWorldConfig& config) {
+  Rng rng(config.seed);
+  WorldModel world;
+
+  // --- Anchor (curated-KB-style) entities mirroring the paper's
+  // Figure 2: DJI, Parrot, FAA, Windermere, cities. ---
+  auto add = [&world](std::string name, std::string type_name,
+                      EntityType ner, std::string sector,
+                      std::vector<std::string> aliases,
+                      std::vector<std::string> extra_terms) {
+    WorldEntity e;
+    e.name = std::move(name);
+    e.type_name = std::move(type_name);
+    e.ner_type = ner;
+    e.sector = std::move(sector);
+    e.aliases = std::move(aliases);
+    e.description = std::move(extra_terms);
+    return world.AddEntity(std::move(e));
+  };
+
+  std::vector<size_t> cities;
+  for (const char* city : kCities) {
+    cities.push_back(add(city, "city", EntityType::kLocation, "regulation",
+                         {}, {"city", "region", "metro", city}));
+  }
+
+  std::vector<size_t> companies;
+  std::vector<size_t> agencies;
+  companies.push_back(add(
+      "DJI", "company", EntityType::kOrganization, "consumer",
+      {"DJI Technology"},
+      {"drone", "manufacturer", "quadcopter", "camera", "consumer",
+       "phantom", "market", "leader"}));
+  companies.push_back(add(
+      "Parrot", "company", EntityType::kOrganization, "consumer",
+      {},
+      {"drone", "consumer", "hobbyist", "camera", "french",
+       "manufacturer"}));
+  companies.push_back(add(
+      "Windermere", "company", EntityType::kOrganization, "realestate",
+      {"Windermere Real Estate"},
+      {"realestate", "property", "listing", "aerial", "photography",
+       "broker"}));
+  agencies.push_back(add(
+      "FAA", "agency", EntityType::kOrganization, "regulation",
+      {"Federal Aviation Administration"},
+      {"regulation", "airspace", "safety", "agency", "federal",
+       "aviation"}));
+  add("Wall Street Journal", "organization", EntityType::kOrganization,
+      "finance", {"WSJ"}, {"news", "journal", "finance", "press"});
+
+  // --- Generated companies. ---
+  std::vector<std::string> used_names;
+  for (size_t i = 0; i < config.num_companies; ++i) {
+    std::string base = StrFormat(
+        "%s %s", kCompanyPrefix[rng.UniformInt(std::size(kCompanyPrefix))],
+        kCompanyStem[rng.UniformInt(std::size(kCompanyStem))]);
+    if (std::find(used_names.begin(), used_names.end(), base) !=
+        used_names.end()) {
+      base += StrFormat(" %zu", i);
+    }
+    used_names.push_back(base);
+    const char* suffix = kCorpSuffix[rng.UniformInt(std::size(kCorpSuffix))];
+    std::string full = *suffix ? base + " " + suffix : base;
+    std::string sector = kSectors[rng.UniformInt(std::size(kSectors) - 1)];
+    std::vector<std::string> aliases;
+    if (*suffix) aliases.push_back(base);  // drop corporate suffix
+    size_t id = add(full, "company", EntityType::kOrganization, sector,
+                    std::move(aliases), MakeDescription(&rng, sector,
+                                                        "company"));
+    companies.push_back(id);
+    // Ambiguous short alias: the bare prefix word ("Aero"), which
+    // collides whenever another company drew the same prefix — the
+    // type-valid company-vs-company ambiguity only context and
+    // coherence can resolve.
+    if (rng.Bernoulli(config.shared_alias_rate)) {
+      std::string prefix_word = base.substr(0, base.find(' '));
+      world.AddAlias(id, prefix_word);
+    }
+  }
+
+  // --- People. ---
+  std::vector<size_t> people;
+  for (size_t i = 0; i < config.num_people; ++i) {
+    std::string first = kFirstNames[rng.UniformInt(std::size(kFirstNames))];
+    std::string last = kLastNames[rng.UniformInt(std::size(kLastNames))];
+    std::string name = first + " " + last;
+    if (world.FindEntity(name).has_value()) {
+      name = first + " " + last + StrFormat(" %zu", i);
+    }
+    std::string sector = world.entity(companies[rng.UniformInt(
+                                          companies.size())]).sector;
+    size_t id = add(name, "person", EntityType::kPerson, sector, {last},
+                    MakeDescription(&rng, sector, "person"));
+    people.push_back(id);
+  }
+
+  // --- Products (drone models). ---
+  std::vector<size_t> products;
+  products.push_back(add("Phantom 3", "drone_model", EntityType::kProduct,
+                         "consumer",
+                         {}, {"drone", "quadcopter", "camera", "consumer",
+                              "phantom", "model"}));
+  for (size_t i = 0; i < config.num_products; ++i) {
+    std::string name = StrFormat(
+        "%s %llu", kProductStem[rng.UniformInt(std::size(kProductStem))],
+        static_cast<unsigned long long>(1 + rng.UniformInt(9)));
+    if (world.FindEntity(name).has_value()) continue;
+    std::string sector = kSectors[rng.UniformInt(std::size(kSectors) - 1)];
+    products.push_back(add(name, "drone_model", EntityType::kProduct,
+                           sector,
+                           {}, MakeDescription(&rng, sector, "drone")));
+  }
+
+  // --- Static background facts (curated-KB candidates). ---
+  for (size_t c : companies) {
+    world.AddFact(c, "headquarteredIn",
+                  cities[rng.UniformInt(cities.size())], config.start,
+                  /*is_event=*/false);
+  }
+  for (size_t i = 0; i < people.size(); ++i) {
+    size_t company = companies[rng.UniformInt(companies.size())];
+    world.AddFact(people[i], i % 3 == 0 ? "ceoOf" : "worksFor", company,
+                  config.start, /*is_event=*/false);
+  }
+  for (size_t p : products) {
+    world.AddFact(companies[rng.UniformInt(companies.size())],
+                  "manufactures", p, config.start, /*is_event=*/false);
+  }
+  world.AddFactByName("DJI", "manufactures", "Phantom 3", config.start,
+                      false);
+  for (size_t c : companies) {
+    if (rng.Bernoulli(0.3)) {
+      world.AddFact(agencies[0], "regulates", c, config.start, false);
+    }
+  }
+
+  // --- Dated events (the news timeline). ---
+  struct EventKind {
+    const char* predicate;
+    char subject_kind;  // 'c'ompany, 'p'erson, 'a'gency, 'o'rg-any
+    char object_kind;   // 'c', 'd' product, 'p', 'y' city
+    double weight;
+  };
+  const EventKind kKinds[] = {
+      {"acquired", 'c', 'c', 2.0},      {"partneredWith", 'c', 'c', 2.0},
+      {"investsIn", 'c', 'c', 1.5},     {"launched", 'c', 'd', 2.0},
+      {"uses", 'c', 'd', 1.5},          {"competesWith", 'c', 'c', 1.0},
+      {"regulates", 'a', 'c', 0.8},     {"ceoOf", 'p', 'c', 0.7},
+      {"worksFor", 'p', 'c', 0.7},      {"manufactures", 'c', 'd', 1.0},
+  };
+  std::vector<double> weights;
+  for (const EventKind& k : kKinds) weights.push_back(k.weight);
+  auto pick_entity = [&](char kind) -> size_t {
+    switch (kind) {
+      case 'c':
+        return companies[rng.UniformInt(companies.size())];
+      case 'd':
+        return products[rng.UniformInt(products.size())];
+      case 'p':
+        return people[rng.UniformInt(people.size())];
+      case 'a':
+        return agencies[rng.UniformInt(agencies.size())];
+      case 'y':
+        return cities[rng.UniformInt(cities.size())];
+    }
+    return companies[0];
+  };
+  // Events arrive in "stories": a subject stays newsworthy for a few
+  // consecutive events at nearby dates (so rendered articles contain
+  // same-subject sentence runs — the precondition for pronominal
+  // references the coref heuristics must resolve).
+  size_t made = 0;
+  size_t guard = 0;
+  while (made < config.num_events && guard++ < config.num_events * 20) {
+    const EventKind& first_kind = kKinds[rng.Categorical(weights)];
+    size_t subject = pick_entity(first_kind.subject_kind);
+    Date story_date = RandomDateBetween(&rng, config.start, config.end);
+    size_t story_len = 1 + rng.UniformInt(3);
+    for (size_t ev = 0; ev < story_len && made < config.num_events;
+         ++ev) {
+      // Later story events keep the subject; the predicate re-rolls
+      // among kinds with a compatible subject kind.
+      const EventKind* kind = &first_kind;
+      if (ev > 0) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const EventKind& candidate = kKinds[rng.Categorical(weights)];
+          if (candidate.subject_kind == first_kind.subject_kind) {
+            kind = &candidate;
+            break;
+          }
+        }
+      }
+      size_t o = pick_entity(kind->object_kind);
+      if (subject == o) continue;
+      bool dup = false;
+      for (const WorldFact& f : world.facts()) {
+        if (f.is_event && f.subject == subject && f.object == o &&
+            f.predicate == kind->predicate) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) continue;
+      Timestamp day = story_date.ToDayNumber() +
+                      static_cast<Timestamp>(ev * 2);
+      Timestamp last = config.end.ToDayNumber();
+      world.AddFact(subject, kind->predicate, o,
+                    Date::FromDayNumber(std::min(day, last)),
+                    /*is_event=*/true);
+      ++made;
+    }
+  }
+  return world;
+}
+
+WorldModel WorldModel::BuildCitationWorld(size_t num_authors,
+                                          size_t num_papers,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  WorldModel world;
+  const char* kVenueNames[] = {"VLDB", "ICDE", "KDD", "SIGMOD", "EMNLP"};
+  const char* kTopicA[] = {"Streaming", "Distributed", "Dynamic",
+                           "Probabilistic", "Scalable", "Incremental"};
+  const char* kTopicB[] = {"Graph Mining",     "Knowledge Graphs",
+                           "Entity Linking",   "Query Processing",
+                           "Pattern Detection", "Link Prediction"};
+  std::vector<size_t> venues;
+  for (const char* v : kVenueNames) {
+    WorldEntity e;
+    e.name = v;
+    e.type_name = "venue";
+    e.ner_type = EntityType::kOrganization;
+    e.sector = "research";
+    e.description = {"conference", "research", "papers", "venue"};
+    venues.push_back(world.AddEntity(std::move(e)));
+  }
+  std::vector<size_t> authors;
+  for (size_t i = 0; i < num_authors; ++i) {
+    WorldEntity e;
+    e.name = StrFormat("%s %s",
+                       kFirstNames[rng.UniformInt(std::size(kFirstNames))],
+                       kLastNames[rng.UniformInt(std::size(kLastNames))]);
+    if (world.FindEntity(e.name).has_value()) {
+      e.name += StrFormat(" %zu", i);
+    }
+    e.type_name = "person";
+    e.ner_type = EntityType::kPerson;
+    e.sector = "research";
+    e.description = {"author", "researcher", "professor"};
+    authors.push_back(world.AddEntity(std::move(e)));
+  }
+  std::vector<size_t> papers;
+  Date epoch{2012, 1, 1};
+  for (size_t i = 0; i < num_papers; ++i) {
+    WorldEntity e;
+    e.name = StrFormat("%s %s %llu",
+                       kTopicA[rng.UniformInt(std::size(kTopicA))],
+                       kTopicB[rng.UniformInt(std::size(kTopicB))],
+                       static_cast<unsigned long long>(i));
+    e.type_name = "paper";
+    e.ner_type = EntityType::kMisc;
+    e.sector = "research";
+    e.description = {"paper", "publication", "research"};
+    size_t id = world.AddEntity(std::move(e));
+    papers.push_back(id);
+    Date pub{2012 + static_cast<int>(rng.UniformInt(4)),
+             1 + static_cast<int>(rng.UniformInt(12)), 1};
+    world.AddFact(authors[rng.UniformInt(authors.size())], "authored", id,
+                  pub, /*is_event=*/true);
+    world.AddFact(id, "publishedIn", venues[rng.UniformInt(venues.size())],
+                  pub, /*is_event=*/true);
+    // Cite up to 3 earlier papers.
+    for (size_t k = 0; k < 3 && i > 0; ++k) {
+      if (rng.Bernoulli(0.6)) {
+        world.AddFact(id, "cites", papers[rng.UniformInt(i)], pub,
+                      /*is_event=*/true);
+      }
+    }
+  }
+  (void)epoch;
+  return world;
+}
+
+WorldModel WorldModel::BuildEnterpriseWorld(size_t num_users,
+                                            size_t num_resources,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  WorldModel world;
+  std::vector<size_t> users;
+  for (size_t i = 0; i < num_users; ++i) {
+    WorldEntity e;
+    e.name = StrFormat("%s %s",
+                       kFirstNames[rng.UniformInt(std::size(kFirstNames))],
+                       kLastNames[rng.UniformInt(std::size(kLastNames))]);
+    if (world.FindEntity(e.name).has_value()) e.name += StrFormat(" %zu", i);
+    e.type_name = "person";
+    e.ner_type = EntityType::kPerson;
+    e.sector = "enterprise";
+    e.description = {"employee", "user", "staff"};
+    users.push_back(world.AddEntity(std::move(e)));
+  }
+  const char* kResStem[] = {"Server", "Repository", "Database", "Share",
+                            "Portal"};
+  const char* kResName[] = {"Alpha", "Bravo", "Castor", "Delta", "Echo",
+                            "Foxtrot", "Gamma", "Helix"};
+  std::vector<size_t> resources;
+  for (size_t i = 0; i < num_resources; ++i) {
+    WorldEntity e;
+    e.name = StrFormat("%s %s",
+                       kResStem[rng.UniformInt(std::size(kResStem))],
+                       kResName[rng.UniformInt(std::size(kResName))]);
+    if (world.FindEntity(e.name).has_value()) e.name += StrFormat(" %zu", i);
+    e.type_name = "resource";
+    e.ner_type = EntityType::kMisc;
+    e.sector = "enterprise";
+    e.description = {"system", "resource", "internal"};
+    resources.push_back(world.AddEntity(std::move(e)));
+  }
+  const char* kActions[] = {"accessed", "downloaded", "emailed"};
+  Date start{2015, 1, 1};
+  Date end{2015, 12, 31};
+  size_t num_events = num_users * 12;
+  for (size_t i = 0; i < num_events; ++i) {
+    size_t u = users[rng.UniformInt(users.size())];
+    size_t r = resources[rng.UniformInt(resources.size())];
+    world.AddFact(u, kActions[rng.UniformInt(std::size(kActions))], r,
+                  RandomDateBetween(&rng, start, end), /*is_event=*/true);
+  }
+  return world;
+}
+
+}  // namespace nous

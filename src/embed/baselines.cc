@@ -1,0 +1,61 @@
+#include "embed/baselines.h"
+
+#include <cmath>
+
+namespace nous {
+
+NeighborIndex::NeighborIndex(const std::vector<IdTriple>& triples,
+                             size_t num_entities)
+    : neighbors_(num_entities) {
+  for (const IdTriple& t : triples) {
+    if (t[0] >= num_entities || t[2] >= num_entities) continue;
+    neighbors_[t[0]].insert(t[2]);
+    neighbors_[t[2]].insert(t[0]);
+  }
+}
+
+const std::unordered_set<uint32_t>& NeighborIndex::Neighbors(
+    uint32_t entity) const {
+  if (entity >= neighbors_.size()) return empty_;
+  return neighbors_[entity];
+}
+
+double CommonNeighborsPredictor::Score(uint32_t s, uint32_t /*p*/,
+                                       uint32_t o) const {
+  const auto& a = index_->Neighbors(s);
+  const auto& b = index_->Neighbors(o);
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  size_t common = 0;
+  for (uint32_t z : small) common += large.count(z);
+  return static_cast<double>(common);
+}
+
+double AdamicAdarPredictor::Score(uint32_t s, uint32_t /*p*/,
+                                  uint32_t o) const {
+  const auto& a = index_->Neighbors(s);
+  const auto& b = index_->Neighbors(o);
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  double score = 0;
+  for (uint32_t z : small) {
+    if (large.count(z) > 0) {
+      score += 1.0 / std::log(1.0 + static_cast<double>(
+                                        index_->Degree(z)) + 1e-9);
+    }
+  }
+  return score;
+}
+
+double PreferentialAttachmentPredictor::Score(uint32_t s, uint32_t /*p*/,
+                                              uint32_t o) const {
+  return static_cast<double>(index_->Degree(s)) *
+         static_cast<double>(index_->Degree(o));
+}
+
+double RandomPredictor::Score(uint32_t /*s*/, uint32_t /*p*/,
+                              uint32_t /*o*/) const {
+  return rng_.UniformDouble();
+}
+
+}  // namespace nous

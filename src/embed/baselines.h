@@ -1,0 +1,77 @@
+#ifndef NOUS_EMBED_BASELINES_H_
+#define NOUS_EMBED_BASELINES_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "embed/link_predictor.h"
+
+namespace nous {
+
+/// Shared topology index for the heuristic baselines: per-entity
+/// undirected neighbor sets built from the training triples.
+class NeighborIndex {
+ public:
+  NeighborIndex(const std::vector<IdTriple>& triples, size_t num_entities);
+
+  const std::unordered_set<uint32_t>& Neighbors(uint32_t entity) const;
+  size_t Degree(uint32_t entity) const { return Neighbors(entity).size(); }
+  size_t num_entities() const { return neighbors_.size(); }
+
+ private:
+  std::vector<std::unordered_set<uint32_t>> neighbors_;
+  std::unordered_set<uint32_t> empty_;
+};
+
+/// Score = |N(s) ∩ N(o)|.
+class CommonNeighborsPredictor : public LinkPredictor {
+ public:
+  explicit CommonNeighborsPredictor(const NeighborIndex* index)
+      : index_(index) {}
+  double Score(uint32_t s, uint32_t p, uint32_t o) const override;
+  std::string name() const override { return "common-neighbors"; }
+
+ private:
+  const NeighborIndex* index_;
+};
+
+/// Score = sum over common neighbors z of 1 / log(1 + deg(z)).
+class AdamicAdarPredictor : public LinkPredictor {
+ public:
+  explicit AdamicAdarPredictor(const NeighborIndex* index)
+      : index_(index) {}
+  double Score(uint32_t s, uint32_t p, uint32_t o) const override;
+  std::string name() const override { return "adamic-adar"; }
+
+ private:
+  const NeighborIndex* index_;
+};
+
+/// Score = deg(s) * deg(o).
+class PreferentialAttachmentPredictor : public LinkPredictor {
+ public:
+  explicit PreferentialAttachmentPredictor(const NeighborIndex* index)
+      : index_(index) {}
+  double Score(uint32_t s, uint32_t p, uint32_t o) const override;
+  std::string name() const override { return "pref-attachment"; }
+
+ private:
+  const NeighborIndex* index_;
+};
+
+/// Uniform random scores — the AUC≈0.5 sanity floor.
+class RandomPredictor : public LinkPredictor {
+ public:
+  explicit RandomPredictor(uint64_t seed) : rng_(seed) {}
+  double Score(uint32_t s, uint32_t p, uint32_t o) const override;
+  std::string name() const override { return "random"; }
+
+ private:
+  mutable Rng rng_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_EMBED_BASELINES_H_

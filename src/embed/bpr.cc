@@ -1,0 +1,140 @@
+#include "embed/bpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nous {
+
+namespace {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+BprModel::BprModel(BprConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void BprModel::EnsureCapacity(size_t num_entities, size_t num_predicates) {
+  const size_t d = config_.latent_dim;
+  if (num_entities > num_entities_) {
+    size_t old = subject_emb_.size();
+    subject_emb_.resize(num_entities * d);
+    object_emb_.resize(num_entities * d);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(d));
+    for (size_t i = old; i < subject_emb_.size(); ++i) {
+      subject_emb_[i] = rng_.Gaussian() * scale;
+      object_emb_[i] = rng_.Gaussian() * scale;
+    }
+    num_entities_ = num_entities;
+  }
+  if (num_predicates > num_predicates_) {
+    size_t old = predicate_diag_.size();
+    predicate_diag_.resize(num_predicates * d, 0.0);
+    for (size_t i = old; i < predicate_diag_.size(); ++i) {
+      predicate_diag_[i] = 1.0 + 0.1 * rng_.Gaussian();
+    }
+    predicate_bias_.resize(num_predicates, 0.0);
+    num_predicates_ = num_predicates;
+  }
+}
+
+double BprModel::RawScore(uint32_t s, uint32_t p, uint32_t o) const {
+  const size_t d = config_.latent_dim;
+  const double* u = &subject_emb_[s * d];
+  const double* v = &object_emb_[o * d];
+  const double* w = &predicate_diag_[p * d];
+  double x = predicate_bias_[p];
+  for (size_t k = 0; k < d; ++k) x += u[k] * w[k] * v[k];
+  return x;
+}
+
+double BprModel::Score(uint32_t subject, uint32_t predicate,
+                       uint32_t object) const {
+  if (subject >= num_entities_ || object >= num_entities_ ||
+      predicate >= num_predicates_) {
+    return 0.5;  // unseen ids: uninformative prior
+  }
+  return Sigmoid(RawScore(subject, predicate, object));
+}
+
+void BprModel::SgdStep(uint32_t s, uint32_t p, uint32_t o_pos,
+                       uint32_t o_neg) {
+  const size_t d = config_.latent_dim;
+  const double lr = config_.learning_rate;
+  const double reg = config_.regularization;
+  double* u = &subject_emb_[s * d];
+  double* vp = &object_emb_[o_pos * d];
+  double* vn = &object_emb_[o_neg * d];
+  double* w = &predicate_diag_[p * d];
+  const double x_diff = RawScore(s, p, o_pos) - RawScore(s, p, o_neg);
+  // d/dx of -ln sigmoid(x) is -(1 - sigmoid(x)).
+  const double g = 1.0 - Sigmoid(x_diff);
+  for (size_t k = 0; k < d; ++k) {
+    const double uk = u[k], vpk = vp[k], vnk = vn[k], wk = w[k];
+    u[k] += lr * (g * wk * (vpk - vnk) - reg * uk);
+    vp[k] += lr * (g * wk * uk - reg * vpk);
+    vn[k] += lr * (-g * wk * uk - reg * vnk);
+    w[k] += lr * (g * uk * (vpk - vnk) - reg * wk);
+  }
+}
+
+void BprModel::RunEpochs(const std::vector<IdTriple>& triples,
+                         size_t epochs) {
+  if (triples.empty() || num_entities_ < 2) return;
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    for (size_t idx : order) {
+      const IdTriple& t = triples[idx];
+      for (size_t neg = 0; neg < config_.negatives_per_positive; ++neg) {
+        uint32_t o_neg = static_cast<uint32_t>(
+            rng_.UniformInt(num_entities_));
+        if (o_neg == t[2]) {
+          o_neg = static_cast<uint32_t>((o_neg + 1) % num_entities_);
+        }
+        SgdStep(t[0], t[1], t[2], o_neg);
+      }
+    }
+  }
+}
+
+void BprModel::Train(const std::vector<IdTriple>& triples,
+                     size_t num_entities, size_t num_predicates) {
+  EnsureCapacity(num_entities, num_predicates);
+  RunEpochs(triples, config_.epochs);
+}
+
+void BprModel::TrainIncremental(const std::vector<IdTriple>& new_triples,
+                                size_t num_entities, size_t num_predicates,
+                                size_t epochs) {
+  EnsureCapacity(num_entities, num_predicates);
+  RunEpochs(new_triples, epochs);
+}
+
+double BprModel::EstimateLoss(const std::vector<IdTriple>& triples,
+                              size_t max_samples) const {
+  if (triples.empty() || num_entities_ < 2) return 0;
+  Rng rng(config_.seed + 1);
+  double total = 0;
+  size_t n = std::min(max_samples, triples.size());
+  for (size_t i = 0; i < n; ++i) {
+    const IdTriple& t = triples[rng.UniformInt(triples.size())];
+    uint32_t o_neg =
+        static_cast<uint32_t>(rng.UniformInt(num_entities_));
+    if (o_neg == t[2]) {
+      o_neg = static_cast<uint32_t>((o_neg + 1) % num_entities_);
+    }
+    double x = RawScore(t[0], t[1], t[2]) - RawScore(t[0], t[1], o_neg);
+    total += -std::log(std::max(1e-12, Sigmoid(x)));
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace nous

@@ -1,0 +1,77 @@
+#ifndef NOUS_EMBED_BPR_H_
+#define NOUS_EMBED_BPR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "embed/link_predictor.h"
+
+namespace nous {
+
+struct BprConfig {
+  size_t latent_dim = 16;
+  double learning_rate = 0.05;
+  double regularization = 0.01;
+  size_t epochs = 30;
+  /// Negative objects sampled per positive per epoch.
+  size_t negatives_per_positive = 1;
+  uint64_t seed = 31;
+};
+
+/// Latent-feature link prediction trained with the Bayesian
+/// Personalized Ranking criterion (§3.4, following Zhang et al. [16]):
+/// score(s,p,o) = sigmoid(u_s . (w_p ⊙ v_o) + b_p), with shared entity
+/// embeddings and a per-predicate diagonal interaction. Training
+/// optimizes ln sigmoid(x_pos − x_neg) by SGD over (positive, sampled
+/// negative-object) pairs. Supports incremental refresh as the dynamic
+/// KG grows.
+class BprModel : public LinkPredictor {
+ public:
+  explicit BprModel(BprConfig config = {});
+
+  /// Full training pass over a snapshot. Grows parameter tables to
+  /// `num_entities` / `num_predicates` as needed (never shrinks).
+  void Train(const std::vector<IdTriple>& triples, size_t num_entities,
+             size_t num_predicates);
+
+  /// Continues training for `epochs` passes over `new_triples` —
+  /// the dynamic-KG refresh path. New ids are grown on demand.
+  void TrainIncremental(const std::vector<IdTriple>& new_triples,
+                        size_t num_entities, size_t num_predicates,
+                        size_t epochs);
+
+  /// Calibrated confidence in (0, 1).
+  double Score(uint32_t subject, uint32_t predicate,
+               uint32_t object) const override;
+
+  std::string name() const override { return "bpr"; }
+
+  /// Mean BPR loss over a sample of the training set (diagnostics).
+  double EstimateLoss(const std::vector<IdTriple>& triples,
+                      size_t max_samples = 2000) const;
+
+  size_t num_entities() const { return num_entities_; }
+  const BprConfig& config() const { return config_; }
+
+ private:
+  void EnsureCapacity(size_t num_entities, size_t num_predicates);
+  void RunEpochs(const std::vector<IdTriple>& triples, size_t epochs);
+  double RawScore(uint32_t s, uint32_t p, uint32_t o) const;
+  void SgdStep(uint32_t s, uint32_t p, uint32_t o_pos, uint32_t o_neg);
+
+  BprConfig config_;
+  Rng rng_;
+  size_t num_entities_ = 0;
+  size_t num_predicates_ = 0;
+  /// Row-major [entity][dim] subject and object tables.
+  std::vector<double> subject_emb_;
+  std::vector<double> object_emb_;
+  /// Row-major [predicate][dim] diagonal interaction weights.
+  std::vector<double> predicate_diag_;
+  std::vector<double> predicate_bias_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_EMBED_BPR_H_

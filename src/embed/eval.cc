@@ -1,0 +1,84 @@
+#include "embed/eval.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace nous {
+
+namespace {
+
+uint64_t TripleKey(const IdTriple& t) {
+  return (static_cast<uint64_t>(t[0]) << 40) ^
+         (static_cast<uint64_t>(t[1]) << 20) ^ t[2];
+}
+
+}  // namespace
+
+RankingMetrics EvaluateRanking(const LinkPredictor& predictor,
+                               const std::vector<IdTriple>& test,
+                               const std::vector<IdTriple>& all_known,
+                               size_t num_entities,
+                               const EvalConfig& config) {
+  RankingMetrics metrics;
+  if (test.empty() || num_entities < 2) return metrics;
+  std::unordered_set<uint64_t> known;
+  known.reserve(all_known.size() * 2);
+  for (const IdTriple& t : all_known) known.insert(TripleKey(t));
+
+  Rng rng(config.seed);
+  double auc_sum = 0, mrr_sum = 0;
+  size_t hits = 0;
+  for (const IdTriple& t : test) {
+    double pos = predictor.Score(t[0], t[1], t[2]);
+    size_t wins = 0, ties = 0, rank = 1;
+    size_t negatives = 0;
+    size_t attempts = 0;
+    while (negatives < config.negatives_per_positive &&
+           attempts < config.negatives_per_positive * 4) {
+      ++attempts;
+      uint32_t o_neg =
+          static_cast<uint32_t>(rng.UniformInt(num_entities));
+      IdTriple corrupted = {t[0], t[1], o_neg};
+      if (o_neg == t[2] || known.count(TripleKey(corrupted)) > 0) {
+        continue;  // filtered setting
+      }
+      ++negatives;
+      double neg = predictor.Score(t[0], t[1], o_neg);
+      if (pos > neg) {
+        ++wins;
+      } else if (pos == neg) {
+        ++ties;
+      } else {
+        ++rank;
+      }
+    }
+    if (negatives == 0) continue;
+    auc_sum += (static_cast<double>(wins) + 0.5 * ties) /
+               static_cast<double>(negatives);
+    rank += ties / 2;  // mid-rank ties
+    mrr_sum += 1.0 / static_cast<double>(rank);
+    if (rank <= 10) ++hits;
+    ++metrics.evaluated;
+  }
+  if (metrics.evaluated == 0) return metrics;
+  metrics.auc = auc_sum / static_cast<double>(metrics.evaluated);
+  metrics.mrr = mrr_sum / static_cast<double>(metrics.evaluated);
+  metrics.hits_at_10 =
+      static_cast<double>(hits) / static_cast<double>(metrics.evaluated);
+  return metrics;
+}
+
+void SplitTriples(const std::vector<IdTriple>& triples, double train_frac,
+                  uint64_t seed, std::vector<IdTriple>* train,
+                  std::vector<IdTriple>* test) {
+  std::vector<IdTriple> shuffled = triples;
+  Rng rng(seed);
+  rng.Shuffle(&shuffled);
+  size_t cut = static_cast<size_t>(train_frac *
+                                   static_cast<double>(shuffled.size()));
+  train->assign(shuffled.begin(), shuffled.begin() + cut);
+  test->assign(shuffled.begin() + cut, shuffled.end());
+}
+
+}  // namespace nous

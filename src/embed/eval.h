@@ -1,0 +1,41 @@
+#ifndef NOUS_EMBED_EVAL_H_
+#define NOUS_EMBED_EVAL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "embed/link_predictor.h"
+
+namespace nous {
+
+/// Ranking quality of a link predictor under object corruption.
+struct RankingMetrics {
+  double auc = 0;       // P(score(pos) > score(neg)) + 0.5 * ties
+  double mrr = 0;       // mean reciprocal rank among 1 + N corruptions
+  double hits_at_10 = 0;
+  size_t evaluated = 0;
+};
+
+struct EvalConfig {
+  /// Corrupted objects sampled per test triple.
+  size_t negatives_per_positive = 50;
+  uint64_t seed = 77;
+};
+
+/// Evaluates by corrupting each test triple's object with random
+/// entities (skipping corruptions that collide with known positives in
+/// `all_known`, the standard filtered setting).
+RankingMetrics EvaluateRanking(const LinkPredictor& predictor,
+                               const std::vector<IdTriple>& test,
+                               const std::vector<IdTriple>& all_known,
+                               size_t num_entities,
+                               const EvalConfig& config = {});
+
+/// Deterministic 80/20-style split helper: shuffles and partitions.
+void SplitTriples(const std::vector<IdTriple>& triples, double train_frac,
+                  uint64_t seed, std::vector<IdTriple>* train,
+                  std::vector<IdTriple>* test);
+
+}  // namespace nous
+
+#endif  // NOUS_EMBED_EVAL_H_

@@ -1,0 +1,31 @@
+#ifndef NOUS_EMBED_LINK_PREDICTOR_H_
+#define NOUS_EMBED_LINK_PREDICTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nous {
+
+/// Integer-id triple (subject, predicate, object) — the unit link
+/// predictors train and score on. Ids are dense per snapshot.
+using IdTriple = std::array<uint32_t, 3>;
+
+/// Common interface for triple-confidence scorers (§3.4): given a
+/// candidate fact, produce a real-valued score; higher = more
+/// plausible. BPR produces calibrated (0,1) scores; the topology
+/// baselines produce unnormalized scores (fine for ranking metrics).
+class LinkPredictor {
+ public:
+  virtual ~LinkPredictor() = default;
+
+  virtual double Score(uint32_t subject, uint32_t predicate,
+                       uint32_t object) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_EMBED_LINK_PREDICTOR_H_

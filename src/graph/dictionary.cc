@@ -1,0 +1,27 @@
+#include "graph/dictionary.h"
+
+#include <cassert>
+
+namespace nous {
+
+uint32_t Dictionary::Intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Dictionary::Lookup(std::string_view text) const {
+  auto it = index_.find(std::string(text));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::GetString(uint32_t id) const {
+  assert(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace nous

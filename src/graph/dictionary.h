@@ -1,0 +1,42 @@
+#ifndef NOUS_GRAPH_DICTIONARY_H_
+#define NOUS_GRAPH_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace nous {
+
+/// Interns strings to dense 32-bit ids. Separate instances are used for
+/// entity labels, predicates, terms, types, and sources.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `text`, inserting it if new.
+  uint32_t Intern(std::string_view text);
+
+  /// Returns the id for `text` if present.
+  std::optional<uint32_t> Lookup(std::string_view text) const;
+
+  /// Returns the string for a valid id. `id` must be < size().
+  const std::string& GetString(uint32_t id) const;
+
+  bool Contains(std::string_view text) const {
+    return Lookup(text).has_value();
+  }
+
+  size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_DICTIONARY_H_

@@ -1,0 +1,64 @@
+#include "graph/dot_export.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+/// DOT double-quoted string escaping.
+std::string DotEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteDot(const PropertyGraph& graph, const DotOptions& options,
+                std::ostream& out) {
+  std::unordered_set<VertexId> keep(options.vertices.begin(),
+                                    options.vertices.end());
+  const bool whole_graph = keep.empty();
+  auto included = [&](VertexId v) {
+    return whole_graph || keep.count(v) > 0;
+  };
+
+  out << "digraph \"" << DotEscape(options.graph_name) << "\" {\n";
+  out << "  node [shape=box, style=rounded];\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (!included(v)) continue;
+    // Escape user-controlled text first; the "\n" line break below is
+    // DOT markup and must survive unescaped.
+    std::string label = DotEscape(graph.VertexLabel(v));
+    TypeId type = graph.VertexType(v);
+    if (type != kInvalidType) {
+      label += "\\n(" + DotEscape(graph.types().GetString(type)) + ")";
+    }
+    out << "  v" << v << " [label=\"" << label << "\"];\n";
+  }
+  graph.ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
+    if (!included(rec.subject) || !included(rec.object)) return;
+    std::string label = graph.predicates().GetString(rec.predicate);
+    if (options.show_confidence && !rec.meta.curated) {
+      label += StrFormat(" (%.2f)", rec.meta.confidence);
+    }
+    out << "  v" << rec.subject << " -> v" << rec.object
+        << " [label=\"" << DotEscape(label) << "\"";
+    if (options.color_by_provenance) {
+      out << ", color=" << (rec.meta.curated ? "red" : "blue");
+    }
+    out << "];\n";
+  });
+  out << "}\n";
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::Ok();
+}
+
+}  // namespace nous

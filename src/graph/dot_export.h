@@ -1,0 +1,32 @@
+#ifndef NOUS_GRAPH_DOT_EXPORT_H_
+#define NOUS_GRAPH_DOT_EXPORT_H_
+
+#include <iostream>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace nous {
+
+struct DotOptions {
+  /// Restrict the export to these vertices (empty = whole graph).
+  /// Edges are included when both endpoints are in the set.
+  std::vector<VertexId> vertices;
+  /// Color curated edges red and extracted edges blue — Figure 2's
+  /// visual convention.
+  bool color_by_provenance = true;
+  /// Annotate extracted edges with their confidence.
+  bool show_confidence = true;
+  const char* graph_name = "nous";
+};
+
+/// Writes the (sub)graph in Graphviz DOT format — the "visualize the
+/// resultant graph" surface of demo feature 2. Render with
+/// `dot -Tsvg out.dot > out.svg`.
+Status WriteDot(const PropertyGraph& graph, const DotOptions& options,
+                std::ostream& out);
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_DOT_EXPORT_H_

@@ -1,0 +1,98 @@
+#include "graph/graph_algorithms.h"
+
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+namespace nous {
+
+std::vector<uint32_t> WeaklyConnectedComponents(const PropertyGraph& graph,
+                                                size_t* num_components) {
+  const size_t n = graph.NumVertices();
+  std::vector<uint32_t> component(n, UINT32_MAX);
+  uint32_t next = 0;
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (component[start] != UINT32_MAX) continue;
+    component[start] = next;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      auto visit = [&](const std::vector<AdjEntry>& adj) {
+        for (const AdjEntry& a : adj) {
+          if (component[a.neighbor] == UINT32_MAX) {
+            component[a.neighbor] = next;
+            queue.push_back(a.neighbor);
+          }
+        }
+      };
+      visit(graph.OutEdges(v));
+      visit(graph.InEdges(v));
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return component;
+}
+
+std::vector<double> PageRank(const PropertyGraph& graph,
+                             const PageRankConfig& config) {
+  const size_t n = graph.NumVertices();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    double dangling = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+    }
+    const double base =
+        (1.0 - config.damping) / static_cast<double>(n) +
+        config.damping * dangling / static_cast<double>(n);
+    std::fill(next.begin(), next.end(), base);
+    for (VertexId v = 0; v < n; ++v) {
+      size_t degree = graph.OutDegree(v);
+      if (degree == 0) continue;
+      double share =
+          config.damping * rank[v] / static_cast<double>(degree);
+      for (const AdjEntry& a : graph.OutEdges(v)) {
+        next[a.neighbor] += share;
+      }
+    }
+    double delta = 0;
+    for (size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < config.tolerance) break;
+  }
+  return rank;
+}
+
+std::vector<VertexId> EgoNetwork(const PropertyGraph& graph,
+                                 VertexId center, size_t radius) {
+  std::vector<VertexId> result;
+  if (center >= graph.NumVertices()) return result;
+  std::vector<bool> seen(graph.NumVertices(), false);
+  std::deque<std::pair<VertexId, size_t>> queue;
+  seen[center] = true;
+  queue.emplace_back(center, 0);
+  while (!queue.empty()) {
+    auto [v, depth] = queue.front();
+    queue.pop_front();
+    result.push_back(v);
+    if (depth >= radius) continue;
+    auto visit = [&](const std::vector<AdjEntry>& adj) {
+      for (const AdjEntry& a : adj) {
+        if (!seen[a.neighbor]) {
+          seen[a.neighbor] = true;
+          queue.emplace_back(a.neighbor, depth + 1);
+        }
+      }
+    };
+    visit(graph.OutEdges(v));
+    visit(graph.InEdges(v));
+  }
+  return result;
+}
+
+}  // namespace nous

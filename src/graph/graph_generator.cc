@@ -1,0 +1,101 @@
+#include "graph/graph_generator.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace nous {
+
+std::vector<TimedTriple> GenerateStream(const StreamConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler entity_sampler(config.num_entities, config.entity_skew);
+  ZipfSampler predicate_sampler(config.num_predicates,
+                                config.predicate_skew);
+  std::vector<TimedTriple> stream;
+  stream.reserve(config.num_edges);
+  Timestamp now = config.start_time;
+  for (size_t i = 0; i < config.num_edges; ++i) {
+    uint64_t s = entity_sampler.Sample(&rng);
+    uint64_t o = entity_sampler.Sample(&rng);
+    if (o == s) o = (o + 1) % config.num_entities;
+    uint64_t p = predicate_sampler.Sample(&rng);
+    TimedTriple t;
+    t.triple.subject = StrFormat("e%llu", static_cast<unsigned long long>(s));
+    t.triple.object = StrFormat("e%llu", static_cast<unsigned long long>(o));
+    t.triple.predicate =
+        StrFormat("p%llu", static_cast<unsigned long long>(p));
+    t.timestamp = now;
+    t.source = "synthetic";
+    stream.push_back(std::move(t));
+    now += config.step;
+  }
+  return stream;
+}
+
+std::vector<TimedTriple> GeneratePlantedStream(
+    const PlantedStreamConfig& config) {
+  Rng rng(config.seed);
+  std::vector<TimedTriple> stream;
+  Timestamp now = config.start_time;
+  size_t instance_counter = 0;
+  for (size_t i = 0; i < config.num_events; ++i) {
+    bool planted = false;
+    double r = rng.UniformDouble();
+    double acc = 0;
+    for (const PlantedPatternSpec& spec : config.patterns) {
+      acc += spec.rate;
+      if (r < acc) {
+        // One pattern instance: fresh center and fresh leaf per
+        // predicate, so MNI support grows with the instance count.
+        size_t instance = instance_counter++;
+        std::string center =
+            StrFormat("c_%s_%zu", spec.name.c_str(), instance);
+        for (size_t k = 0; k < spec.predicates.size(); ++k) {
+          TimedTriple t;
+          t.triple.subject = center;
+          t.triple.predicate = spec.predicates[k];
+          t.triple.object = StrFormat("leaf_%s_%zu_%zu",
+                                      spec.name.c_str(), instance, k);
+          t.timestamp = now;
+          t.source = "planted";
+          stream.push_back(std::move(t));
+        }
+        planted = true;
+        break;
+      }
+    }
+    if (!planted) {
+      uint64_t s = rng.UniformInt(config.noise_entities);
+      uint64_t o = rng.UniformInt(config.noise_entities);
+      if (o == s) o = (o + 1) % config.noise_entities;
+      TimedTriple t;
+      t.triple.subject =
+          StrFormat("n%llu", static_cast<unsigned long long>(s));
+      t.triple.object =
+          StrFormat("n%llu", static_cast<unsigned long long>(o));
+      t.triple.predicate = StrFormat(
+          "q%llu", static_cast<unsigned long long>(
+                       rng.UniformInt(config.noise_predicates)));
+      t.timestamp = now;
+      t.source = "noise";
+      stream.push_back(std::move(t));
+    }
+    now += config.step;
+  }
+  return stream;
+}
+
+std::vector<TimedTriple> GenerateDriftStream(
+    const PlantedStreamConfig& phase1, const PlantedStreamConfig& phase2) {
+  std::vector<TimedTriple> stream = GeneratePlantedStream(phase1);
+  PlantedStreamConfig second = phase2;
+  second.start_time = stream.empty()
+                          ? phase2.start_time
+                          : stream.back().timestamp + phase1.step;
+  // Distinct seed stream for the second phase so noise does not repeat.
+  second.seed = phase2.seed + 0x5eedULL;
+  std::vector<TimedTriple> tail = GeneratePlantedStream(second);
+  stream.insert(stream.end(), tail.begin(), tail.end());
+  return stream;
+}
+
+}  // namespace nous

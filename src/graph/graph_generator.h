@@ -1,0 +1,66 @@
+#ifndef NOUS_GRAPH_GRAPH_GENERATOR_H_
+#define NOUS_GRAPH_GRAPH_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace nous {
+
+/// Parameters for a synthetic triple stream with Zipf-skewed entity and
+/// predicate popularity — the workload for the mining benchmarks (E4).
+struct StreamConfig {
+  size_t num_entities = 1000;
+  size_t num_predicates = 20;
+  size_t num_edges = 10000;
+  /// Zipf exponents; 0 gives uniform draws.
+  double entity_skew = 1.1;
+  double predicate_skew = 1.0;
+  uint64_t seed = 42;
+  Timestamp start_time = 0;
+  /// Timestamp increment between consecutive events.
+  Timestamp step = 1;
+};
+
+/// Random background stream with monotonically increasing timestamps.
+std::vector<TimedTriple> GenerateStream(const StreamConfig& config);
+
+/// A star-shaped pattern planted into a stream: each instance creates a
+/// fresh center entity with one edge per predicate to a fresh leaf
+/// entity, so the pattern's MNI support equals the number of in-window
+/// instances.
+struct PlantedPatternSpec {
+  std::string name;
+  std::vector<std::string> predicates;
+  /// Fraction of stream events that emit one full instance.
+  double rate = 0.05;
+};
+
+struct PlantedStreamConfig {
+  size_t num_events = 10000;
+  size_t noise_entities = 500;
+  size_t noise_predicates = 10;
+  std::vector<PlantedPatternSpec> patterns;
+  uint64_t seed = 7;
+  Timestamp start_time = 0;
+  Timestamp step = 1;
+};
+
+/// Noise stream with pattern instances injected at the configured rates.
+/// Used for mining ground truth: planted patterns must be reported as
+/// frequent, and support counts are predictable from the rates.
+std::vector<TimedTriple> GeneratePlantedStream(
+    const PlantedStreamConfig& config);
+
+/// Concatenates two planted phases (concept drift): patterns of phase
+/// two replace phase one halfway through — exercises the miner's
+/// demotion/reconstruction path (E5).
+std::vector<TimedTriple> GenerateDriftStream(
+    const PlantedStreamConfig& phase1, const PlantedStreamConfig& phase2);
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_GRAPH_GENERATOR_H_

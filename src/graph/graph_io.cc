@@ -1,0 +1,162 @@
+#include "graph/graph_io.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+constexpr char kHeader[] = "#nous-graph v1";
+
+bool LabelSafe(const std::string& label) {
+  return label.find('\t') == std::string::npos &&
+         label.find('\n') == std::string::npos && !label.empty();
+}
+
+}  // namespace
+
+Status SaveGraph(const PropertyGraph& graph, std::ostream& out) {
+  out << kHeader << "\n";
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const std::string& label = graph.VertexLabel(v);
+    if (!LabelSafe(label)) {
+      return Status::InvalidArgument(
+          StrFormat("vertex %u label contains tab/newline or is empty",
+                    v));
+    }
+    TypeId type = graph.VertexType(v);
+    out << "V\t" << label << "\t"
+        << (type == kInvalidType ? "-" : graph.types().GetString(type))
+        << "\n";
+    for (const auto& [term, weight] : graph.VertexBag(v)) {
+      const std::string& term_text = graph.terms().GetString(term);
+      if (!LabelSafe(term_text)) {
+        return Status::InvalidArgument("term contains tab/newline");
+      }
+      out << "B\t" << label << "\t" << term_text << "\t"
+          << StrFormat("%.17g", weight) << "\n";
+    }
+    const std::vector<double>& topics = graph.VertexTopics(v);
+    if (!topics.empty()) {
+      out << "T\t" << label;
+      for (double t : topics) out << "\t" << StrFormat("%.17g", t);
+      out << "\n";
+    }
+  }
+  Status edge_status = Status::Ok();
+  graph.ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
+    if (!edge_status.ok()) return;
+    const std::string& pred = graph.predicates().GetString(rec.predicate);
+    if (!LabelSafe(pred)) {
+      edge_status = Status::InvalidArgument("predicate contains tab");
+      return;
+    }
+    std::string source =
+        rec.meta.source == kInvalidSource
+            ? "-"
+            : graph.sources().GetString(rec.meta.source);
+    out << "E\t" << graph.VertexLabel(rec.subject) << "\t" << pred
+        << "\t" << graph.VertexLabel(rec.object) << "\t"
+        << StrFormat("%.17g", rec.meta.confidence) << "\t"
+        << rec.meta.timestamp << "\t" << source << "\t"
+        << (rec.meta.curated ? 1 : 0) << "\n";
+  });
+  NOUS_RETURN_IF_ERROR(edge_status);
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<PropertyGraph>> LoadGraph(std::istream& in) {
+  auto graph = std::make_unique<PropertyGraph>();
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&line_no](const std::string& why) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: %s", line_no, why.c_str()));
+  };
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing #nous-graph v1 header");
+  }
+  ++line_no;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    const std::string& kind = fields[0];
+    if (kind == "V") {
+      if (fields.size() != 3) return fail("V needs 3 fields");
+      VertexId v = graph->GetOrAddVertex(fields[1]);
+      if (fields[2] != "-") {
+        graph->SetVertexType(v, graph->types().Intern(fields[2]));
+      }
+    } else if (kind == "B") {
+      if (fields.size() != 4) return fail("B needs 4 fields");
+      auto v = graph->FindVertex(fields[1]);
+      if (!v.has_value()) return fail("B references unknown vertex");
+      char* end = nullptr;
+      double weight = std::strtod(fields[3].c_str(), &end);
+      if (end == fields[3].c_str()) return fail("bad weight");
+      graph->AddVertexTerm(*v, graph->terms().Intern(fields[2]), weight);
+    } else if (kind == "T") {
+      if (fields.size() < 3) return fail("T needs topics");
+      auto v = graph->FindVertex(fields[1]);
+      if (!v.has_value()) return fail("T references unknown vertex");
+      std::vector<double> topics;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        char* end = nullptr;
+        topics.push_back(std::strtod(fields[i].c_str(), &end));
+        if (end == fields[i].c_str()) return fail("bad topic value");
+      }
+      graph->SetVertexTopics(*v, std::move(topics));
+    } else if (kind == "E") {
+      if (fields.size() != 8) return fail("E needs 8 fields");
+      auto s = graph->FindVertex(fields[1]);
+      auto o = graph->FindVertex(fields[3]);
+      if (!s.has_value() || !o.has_value()) {
+        return fail("E references unknown vertex");
+      }
+      EdgeMeta meta;
+      char* end = nullptr;
+      meta.confidence = std::strtod(fields[4].c_str(), &end);
+      if (end == fields[4].c_str()) return fail("bad confidence");
+      meta.timestamp =
+          static_cast<Timestamp>(std::strtoll(fields[5].c_str(), &end,
+                                              10));
+      if (end == fields[5].c_str()) return fail("bad timestamp");
+      meta.source = fields[6] == "-"
+                        ? kInvalidSource
+                        : graph->sources().Intern(fields[6]);
+      if (fields[7] != "0" && fields[7] != "1") {
+        return fail("curated flag must be 0/1");
+      }
+      meta.curated = fields[7] == "1";
+      graph->AddEdge(*s, graph->predicates().Intern(fields[2]), *o, meta);
+    } else {
+      return fail("unknown record kind '" + kind + "'");
+    }
+  }
+  return graph;
+}
+
+Status SaveGraphToFile(const PropertyGraph& graph,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for write: " + path);
+  }
+  return SaveGraph(graph, out);
+}
+
+Result<std::unique_ptr<PropertyGraph>> LoadGraphFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  return LoadGraph(in);
+}
+
+}  // namespace nous

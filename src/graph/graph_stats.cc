@@ -1,0 +1,53 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+GraphStats ComputeGraphStats(const PropertyGraph& graph) {
+  GraphStats stats;
+  stats.vertices = graph.NumVertices();
+  std::set<PredicateId> predicates;
+  graph.ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
+    ++stats.live_edges;
+    if (rec.meta.curated) {
+      ++stats.curated_edges;
+    } else {
+      ++stats.extracted_edges;
+      stats.extracted_confidence.Add(rec.meta.confidence);
+    }
+    predicates.insert(rec.predicate);
+    stats.per_predicate[graph.predicates().GetString(rec.predicate)]++;
+  });
+  stats.distinct_predicates = predicates.size();
+  size_t degree_sum = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    size_t d = graph.OutDegree(v);
+    degree_sum += d;
+    stats.max_out_degree = std::max(stats.max_out_degree, d);
+  }
+  stats.mean_out_degree =
+      stats.vertices == 0
+          ? 0
+          : static_cast<double>(degree_sum) /
+                static_cast<double>(stats.vertices);
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << StrFormat(
+      "vertices=%zu edges=%zu (curated=%zu extracted=%zu) predicates=%zu\n",
+      vertices, live_edges, curated_edges, extracted_edges,
+      distinct_predicates);
+  os << StrFormat("mean_out_degree=%.3f max_out_degree=%zu\n",
+                  mean_out_degree, max_out_degree);
+  os << "extracted confidence: " << extracted_confidence.Summary() << "\n";
+  return os.str();
+}
+
+}  // namespace nous

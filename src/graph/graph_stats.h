@@ -1,0 +1,37 @@
+#ifndef NOUS_GRAPH_GRAPH_STATS_H_
+#define NOUS_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/histogram.h"
+#include "graph/property_graph.h"
+
+namespace nous {
+
+/// Quality-related summary of a (fused) knowledge graph — the numbers
+/// behind the paper's demo feature 2 ("summarization of quality-related
+/// statistics such as confidence distributions").
+struct GraphStats {
+  size_t vertices = 0;
+  size_t live_edges = 0;
+  size_t curated_edges = 0;
+  size_t extracted_edges = 0;
+  size_t distinct_predicates = 0;
+  double mean_out_degree = 0;
+  size_t max_out_degree = 0;
+  /// Confidence samples of extracted (non-curated) edges.
+  Histogram extracted_confidence;
+  /// Live-edge counts per predicate label.
+  std::map<std::string, size_t> per_predicate;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const PropertyGraph& graph);
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,150 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+// Shared empty containers so accessors on out-of-range vertices (never
+// expected; guarded by asserts) and default topic lookups stay cheap.
+const std::vector<double> kEmptyTopics;
+}  // namespace
+
+VertexId PropertyGraph::GetOrAddVertex(std::string_view label) {
+  uint32_t id = vertex_labels_.Intern(label);
+  if (id >= vertices_.size()) {
+    vertices_.resize(id + 1);
+    out_.resize(id + 1);
+    in_.resize(id + 1);
+  }
+  return id;
+}
+
+std::optional<VertexId> PropertyGraph::FindVertex(
+    std::string_view label) const {
+  return vertex_labels_.Lookup(label);
+}
+
+const std::string& PropertyGraph::VertexLabel(VertexId v) const {
+  return vertex_labels_.GetString(v);
+}
+
+void PropertyGraph::SetVertexType(VertexId v, TypeId type) {
+  assert(v < vertices_.size());
+  vertices_[v].type = type;
+}
+
+TypeId PropertyGraph::VertexType(VertexId v) const {
+  assert(v < vertices_.size());
+  return vertices_[v].type;
+}
+
+void PropertyGraph::AddVertexTerm(VertexId v, TermId term, double w) {
+  assert(v < vertices_.size());
+  vertices_[v].bag[term] += w;
+}
+
+const std::unordered_map<TermId, double>& PropertyGraph::VertexBag(
+    VertexId v) const {
+  assert(v < vertices_.size());
+  return vertices_[v].bag;
+}
+
+void PropertyGraph::SetVertexTopics(VertexId v, std::vector<double> topics) {
+  assert(v < vertices_.size());
+  vertices_[v].topics = std::move(topics);
+}
+
+const std::vector<double>& PropertyGraph::VertexTopics(VertexId v) const {
+  if (v >= vertices_.size()) return kEmptyTopics;
+  return vertices_[v].topics;
+}
+
+EdgeId PropertyGraph::AddEdge(VertexId subject, PredicateId predicate,
+                              VertexId object, const EdgeMeta& meta) {
+  assert(subject < vertices_.size());
+  assert(object < vertices_.size());
+  EdgeId e = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(EdgeRecord{subject, object, predicate, meta, true});
+  out_[subject].push_back(AdjEntry{predicate, object, e});
+  in_[object].push_back(AdjEntry{predicate, subject, e});
+  ++num_live_edges_;
+  return e;
+}
+
+EdgeId PropertyGraph::AddTriple(const TimedTriple& t) {
+  VertexId s = GetOrAddVertex(t.triple.subject);
+  VertexId o = GetOrAddVertex(t.triple.object);
+  PredicateId p = predicates_.Intern(t.triple.predicate);
+  EdgeMeta meta;
+  meta.confidence = t.confidence;
+  meta.timestamp = t.timestamp;
+  meta.source =
+      t.source.empty() ? kInvalidSource : sources_.Intern(t.source);
+  meta.curated = false;
+  return AddEdge(s, p, o, meta);
+}
+
+Status PropertyGraph::RemoveEdge(EdgeId e) {
+  if (e >= edges_.size() || !edges_[e].alive) {
+    return Status::NotFound(StrFormat("edge %u is not live", e));
+  }
+  EdgeRecord& rec = edges_[e];
+  auto erase_from = [e](std::vector<AdjEntry>& adj) {
+    for (size_t i = 0; i < adj.size(); ++i) {
+      if (adj[i].edge == e) {
+        adj[i] = adj.back();
+        adj.pop_back();
+        return;
+      }
+    }
+    assert(false && "adjacency entry missing for live edge");
+  };
+  erase_from(out_[rec.subject]);
+  erase_from(in_[rec.object]);
+  rec.alive = false;
+  --num_live_edges_;
+  return Status::Ok();
+}
+
+std::optional<EdgeId> PropertyGraph::FindEdge(VertexId subject,
+                                              PredicateId predicate,
+                                              VertexId object) const {
+  if (subject >= out_.size()) return std::nullopt;
+  for (const AdjEntry& a : out_[subject]) {
+    if (a.predicate == predicate && a.neighbor == object) return a.edge;
+  }
+  return std::nullopt;
+}
+
+const EdgeRecord& PropertyGraph::Edge(EdgeId e) const {
+  assert(e < edges_.size());
+  return edges_[e];
+}
+
+void PropertyGraph::SetEdgeConfidence(EdgeId e, double confidence) {
+  assert(e < edges_.size());
+  edges_[e].meta.confidence = confidence;
+}
+
+const std::vector<AdjEntry>& PropertyGraph::OutEdges(VertexId v) const {
+  assert(v < out_.size());
+  return out_[v];
+}
+
+const std::vector<AdjEntry>& PropertyGraph::InEdges(VertexId v) const {
+  assert(v < in_.size());
+  return in_[v];
+}
+
+void PropertyGraph::ForEachEdge(
+    const std::function<void(EdgeId, const EdgeRecord&)>& fn) const {
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].alive) fn(e, edges_[e]);
+  }
+}
+
+}  // namespace nous

@@ -1,0 +1,151 @@
+#ifndef NOUS_GRAPH_PROPERTY_GRAPH_H_
+#define NOUS_GRAPH_PROPERTY_GRAPH_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/dictionary.h"
+#include "graph/types.h"
+
+namespace nous {
+
+/// One directed adjacency slot: predicate-typed edge to `neighbor`.
+struct AdjEntry {
+  PredicateId predicate;
+  VertexId neighbor;
+  EdgeId edge;
+};
+
+/// Stored edge state; `alive` is cleared on removal so edge ids stay
+/// stable for provenance references.
+struct EdgeRecord {
+  VertexId subject = kInvalidVertex;
+  VertexId object = kInvalidVertex;
+  PredicateId predicate = kInvalidPredicate;
+  EdgeMeta meta;
+  bool alive = false;
+};
+
+/// Per-vertex properties mirroring the paper's GraphX usage: a type, a
+/// bag of words (from the entity's Wikipedia-like page or, for new
+/// entities, its KG neighborhood), and an LDA topic distribution.
+struct VertexRecord {
+  TypeId type = kInvalidType;
+  std::unordered_map<TermId, double> bag;
+  std::vector<double> topics;
+};
+
+/// Dynamic, in-memory property multigraph with predicate-typed directed
+/// edges and interned string dictionaries for entities, predicates,
+/// terms, types, and sources. The single-node stand-in for the paper's
+/// Spark/GraphX distributed property graph (see DESIGN.md §2).
+///
+/// Edges carry confidence, timestamp, source, and curated/extracted
+/// provenance; removal is O(degree) and keeps edge ids stable.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+  PropertyGraph(PropertyGraph&&) = default;
+  PropertyGraph& operator=(PropertyGraph&&) = default;
+
+  // ---- Vertices ----
+
+  /// Returns the vertex for `label`, creating it if absent.
+  VertexId GetOrAddVertex(std::string_view label);
+
+  std::optional<VertexId> FindVertex(std::string_view label) const;
+
+  const std::string& VertexLabel(VertexId v) const;
+
+  void SetVertexType(VertexId v, TypeId type);
+  TypeId VertexType(VertexId v) const;
+
+  /// Adds weight `w` of term `term` to the vertex's bag of words.
+  void AddVertexTerm(VertexId v, TermId term, double w = 1.0);
+  const std::unordered_map<TermId, double>& VertexBag(VertexId v) const;
+
+  void SetVertexTopics(VertexId v, std::vector<double> topics);
+  const std::vector<double>& VertexTopics(VertexId v) const;
+
+  size_t NumVertices() const { return vertices_.size(); }
+
+  // ---- Edges ----
+
+  /// Inserts a directed edge; parallel edges are allowed (multigraph).
+  EdgeId AddEdge(VertexId subject, PredicateId predicate, VertexId object,
+                 const EdgeMeta& meta);
+
+  /// Interns all strings of `t` and inserts the edge. Convenience entry
+  /// point for generators and tests.
+  EdgeId AddTriple(const TimedTriple& t);
+
+  /// Removes the edge from both adjacency lists and marks it dead.
+  /// Fails with NotFound if the id is invalid or already removed.
+  Status RemoveEdge(EdgeId e);
+
+  /// First live edge matching (subject, predicate, object), if any.
+  std::optional<EdgeId> FindEdge(VertexId subject, PredicateId predicate,
+                                 VertexId object) const;
+
+  bool HasEdge(VertexId subject, PredicateId predicate,
+               VertexId object) const {
+    return FindEdge(subject, predicate, object).has_value();
+  }
+
+  /// Edge record for a live or dead edge id; `e` must be < NumEdgeSlots().
+  const EdgeRecord& Edge(EdgeId e) const;
+
+  /// Mutable confidence update (link-prediction rescoring).
+  void SetEdgeConfidence(EdgeId e, double confidence);
+
+  const std::vector<AdjEntry>& OutEdges(VertexId v) const;
+  const std::vector<AdjEntry>& InEdges(VertexId v) const;
+
+  size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
+  size_t InDegree(VertexId v) const { return InEdges(v).size(); }
+
+  /// Number of live edges.
+  size_t NumEdges() const { return num_live_edges_; }
+  /// Total edge slots ever allocated (live + removed).
+  size_t NumEdgeSlots() const { return edges_.size(); }
+
+  /// Invokes fn(edge_id, record) for every live edge.
+  void ForEachEdge(
+      const std::function<void(EdgeId, const EdgeRecord&)>& fn) const;
+
+  // ---- Dictionaries ----
+
+  Dictionary& predicates() { return predicates_; }
+  const Dictionary& predicates() const { return predicates_; }
+  Dictionary& terms() { return terms_; }
+  const Dictionary& terms() const { return terms_; }
+  Dictionary& types() { return types_; }
+  const Dictionary& types() const { return types_; }
+  Dictionary& sources() { return sources_; }
+  const Dictionary& sources() const { return sources_; }
+
+ private:
+  Dictionary vertex_labels_;
+  Dictionary predicates_;
+  Dictionary terms_;
+  Dictionary types_;
+  Dictionary sources_;
+
+  std::vector<VertexRecord> vertices_;
+  std::vector<EdgeRecord> edges_;
+  std::vector<std::vector<AdjEntry>> out_;
+  std::vector<std::vector<AdjEntry>> in_;
+  size_t num_live_edges_ = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_PROPERTY_GRAPH_H_

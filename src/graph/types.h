@@ -1,0 +1,62 @@
+#ifndef NOUS_GRAPH_TYPES_H_
+#define NOUS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace nous {
+
+using VertexId = uint32_t;
+using EdgeId = uint32_t;
+using PredicateId = uint32_t;
+using TermId = uint32_t;
+using TypeId = uint32_t;
+using SourceId = uint32_t;
+/// Logical event time of a fact (e.g., article publication date), in
+/// arbitrary monotone units (the corpus uses days).
+using Timestamp = int64_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr PredicateId kInvalidPredicate =
+    std::numeric_limits<PredicateId>::max();
+inline constexpr TypeId kInvalidType = std::numeric_limits<TypeId>::max();
+inline constexpr SourceId kInvalidSource =
+    std::numeric_limits<SourceId>::max();
+
+/// A raw string-level fact, the unit flowing through the construction
+/// pipeline before entity linking assigns graph ids.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+/// A triple with stream metadata attached (Figure 3's dated triples).
+struct TimedTriple {
+  Triple triple;
+  Timestamp timestamp = 0;
+  std::string source;    // feed name, e.g. "wsj"
+  double confidence = 1.0;
+};
+
+/// Immutable per-edge metadata supplied at insertion time.
+struct EdgeMeta {
+  double confidence = 1.0;
+  Timestamp timestamp = 0;
+  SourceId source = kInvalidSource;
+  /// True when the fact came from the curated KB rather than extraction
+  /// (the red-vs-blue distinction in the paper's Figure 2).
+  bool curated = false;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_TYPES_H_

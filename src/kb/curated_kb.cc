@@ -1,0 +1,57 @@
+#include "kb/curated_kb.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nous {
+
+size_t CuratedKb::AddEntity(KbEntity entity) {
+  size_t id = entities_.size();
+  by_name_[entity.name] = id;
+  by_surface_[ToLower(entity.name)].push_back(id);
+  for (const std::string& alias : entity.aliases) {
+    by_surface_[ToLower(alias)].push_back(id);
+  }
+  entities_.push_back(std::move(entity));
+  return id;
+}
+
+void CuratedKb::AddFact(size_t subject, std::string_view predicate,
+                        size_t object, Timestamp timestamp) {
+  NOUS_CHECK(subject < entities_.size());
+  NOUS_CHECK(object < entities_.size());
+  KbFact fact;
+  fact.subject = subject;
+  fact.object = object;
+  fact.predicate = std::string(predicate);
+  fact.timestamp = timestamp;
+  facts_.push_back(std::move(fact));
+}
+
+std::optional<size_t> CuratedKb::FindByName(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<size_t> CuratedKb::Candidates(std::string_view surface) const {
+  auto it = by_surface_.find(ToLower(surface));
+  if (it == by_surface_.end()) return {};
+  return it->second;
+}
+
+std::vector<std::pair<std::string, EntityType>> CuratedKb::AllSurfaceForms()
+    const {
+  std::vector<std::pair<std::string, EntityType>> forms;
+  for (const KbEntity& e : entities_) {
+    forms.emplace_back(e.name, e.ner_type);
+    for (const std::string& alias : e.aliases) {
+      forms.emplace_back(alias, e.ner_type);
+    }
+  }
+  return forms;
+}
+
+}  // namespace nous

@@ -1,0 +1,70 @@
+#ifndef NOUS_KB_CURATED_KB_H_
+#define NOUS_KB_CURATED_KB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "kb/ontology.h"
+#include "text/ner.h"
+
+namespace nous {
+
+/// Curated entity record, YAGO-style: canonical name, aliases, ontology
+/// type, Wikipedia-like bag of words (the linker's entity context), and
+/// a popularity prior for candidate ranking.
+struct KbEntity {
+  std::string name;
+  std::vector<std::string> aliases;
+  std::string type_name;
+  EntityType ner_type = EntityType::kMisc;
+  std::vector<std::string> context_terms;
+  double prior = 1.0;
+};
+
+/// A curated fact with full provenance.
+struct KbFact {
+  size_t subject = 0;  // index into entities()
+  size_t object = 0;
+  std::string predicate;
+  Timestamp timestamp = 0;
+};
+
+/// In-memory curated knowledge base (the YAGO2 substitute): entity
+/// catalog with alias index and high-confidence facts. NOUS fuses this
+/// with stream-extracted knowledge (§3.3).
+class CuratedKb {
+ public:
+  explicit CuratedKb(Ontology ontology) : ontology_(std::move(ontology)) {}
+
+  size_t AddEntity(KbEntity entity);
+  void AddFact(size_t subject, std::string_view predicate, size_t object,
+               Timestamp timestamp);
+
+  const std::vector<KbEntity>& entities() const { return entities_; }
+  const std::vector<KbFact>& facts() const { return facts_; }
+  const Ontology& ontology() const { return ontology_; }
+
+  std::optional<size_t> FindByName(std::string_view name) const;
+
+  /// Entities whose canonical name or any alias equals `surface`
+  /// (case-insensitive). Multiple hits = ambiguity the linker resolves.
+  std::vector<size_t> Candidates(std::string_view surface) const;
+
+  /// Every surface form (canonical + aliases) for NER gazetteer seeding.
+  std::vector<std::pair<std::string, EntityType>> AllSurfaceForms() const;
+
+ private:
+  Ontology ontology_;
+  std::vector<KbEntity> entities_;
+  std::vector<KbFact> facts_;
+  std::unordered_map<std::string, size_t> by_name_;
+  std::unordered_map<std::string, std::vector<size_t>> by_surface_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_KB_CURATED_KB_H_

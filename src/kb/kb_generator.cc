@@ -1,0 +1,64 @@
+#include "kb/kb_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace nous {
+
+CuratedKb BuildCuratedKb(const WorldModel& world, const Ontology& ontology,
+                         const KbCoverage& coverage) {
+  Rng rng(coverage.seed);
+  CuratedKb kb(ontology);
+
+  // Popularity = fact participation count in the full world.
+  std::vector<size_t> popularity(world.entities().size(), 0);
+  for (const WorldFact& f : world.facts()) {
+    ++popularity[f.subject];
+    ++popularity[f.object];
+  }
+
+  // Keep the most popular entities first so the curated KB looks like a
+  // real one (famous entities are curated); fill the coverage quota by
+  // popularity rank with random tie-breaking.
+  std::vector<size_t> order(world.entities().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return popularity[a] > popularity[b];
+  });
+  size_t quota = static_cast<size_t>(
+      coverage.entity_coverage *
+      static_cast<double>(world.entities().size()));
+
+  std::unordered_map<size_t, size_t> world_to_kb;
+  for (size_t rank = 0; rank < quota && rank < order.size(); ++rank) {
+    size_t w = order[rank];
+    const WorldEntity& we = world.entity(w);
+    KbEntity e;
+    e.name = we.name;
+    e.aliases = we.aliases;
+    e.type_name = we.type_name;
+    e.ner_type = we.ner_type;
+    e.context_terms = we.description;
+    e.prior = coverage.flat_priors
+                  ? 1.0
+                  : 1.0 + static_cast<double>(popularity[w]);
+    world_to_kb[w] = kb.AddEntity(std::move(e));
+  }
+
+  // Curate static facts between covered endpoints.
+  for (const WorldFact& f : world.facts()) {
+    if (f.is_event) continue;
+    auto s = world_to_kb.find(f.subject);
+    auto o = world_to_kb.find(f.object);
+    if (s == world_to_kb.end() || o == world_to_kb.end()) continue;
+    if (!rng.Bernoulli(coverage.fact_coverage)) continue;
+    kb.AddFact(s->second, f.predicate, o->second, f.date.ToDayNumber());
+  }
+  return kb;
+}
+
+}  // namespace nous

@@ -1,0 +1,37 @@
+#ifndef NOUS_KB_KB_GENERATOR_H_
+#define NOUS_KB_KB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "corpus/world_model.h"
+#include "kb/curated_kb.h"
+
+namespace nous {
+
+/// Controls how much of the ground-truth world the curated KB covers.
+/// Partial coverage is the point: extraction must add what curation
+/// lacks, and linking must connect them (§3.3).
+struct KbCoverage {
+  /// Fraction of world entities present in the curated KB.
+  double entity_coverage = 0.6;
+  /// Fraction of static (non-event) facts present, among facts whose
+  /// endpoints are both covered.
+  double fact_coverage = 0.8;
+  /// When true, every curated entity gets prior 1.0 — modeling a
+  /// fresh custom domain with no popularity statistics, where
+  /// disambiguation must come from context (the paper's target
+  /// setting).
+  bool flat_priors = false;
+  uint64_t seed = 5;
+};
+
+/// Snapshots a partial view of `world` as a curated KB. Entities keep
+/// their aliases and description bags; popularity priors are assigned
+/// by fact participation so frequent entities rank higher as linking
+/// candidates.
+CuratedKb BuildCuratedKb(const WorldModel& world, const Ontology& ontology,
+                         const KbCoverage& coverage);
+
+}  // namespace nous
+
+#endif  // NOUS_KB_KB_GENERATOR_H_

@@ -1,0 +1,184 @@
+#include "kb/kb_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+constexpr char kHeader[] = "#nous-kb v1";
+
+bool FieldSafe(const std::string& text) {
+  return !text.empty() && text.find('\t') == std::string::npos &&
+         text.find('\n') == std::string::npos;
+}
+
+std::optional<EntityType> ParseEntityType(const std::string& name) {
+  for (EntityType t : {EntityType::kPerson, EntityType::kOrganization,
+                       EntityType::kLocation, EntityType::kProduct,
+                       EntityType::kDate, EntityType::kMisc}) {
+    if (name == EntityTypeName(t)) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status SaveCuratedKb(const CuratedKb& kb, std::ostream& out) {
+  out << kHeader << "\n";
+  const Ontology& ontology = kb.ontology();
+  for (const std::string& type : ontology.TypeNames()) {
+    std::string parent = ontology.ParentOf(type);
+    out << "O\t" << type << "\t" << (parent.empty() ? "-" : parent)
+        << "\n";
+  }
+  for (const PredicateSchema& schema : ontology.predicates()) {
+    out << "P\t" << schema.name << "\t"
+        << (schema.domain_type.empty() ? "-" : schema.domain_type)
+        << "\t"
+        << (schema.range_type.empty() ? "-" : schema.range_type) << "\n";
+  }
+  for (const KbEntity& e : kb.entities()) {
+    if (!FieldSafe(e.name) || !FieldSafe(e.type_name)) {
+      return Status::InvalidArgument("entity field contains tab: " +
+                                     e.name);
+    }
+    out << "N\t" << e.name << "\t" << e.type_name << "\t"
+        << EntityTypeName(e.ner_type) << "\t"
+        << StrFormat("%.17g", e.prior) << "\n";
+    for (const std::string& alias : e.aliases) {
+      if (!FieldSafe(alias)) {
+        return Status::InvalidArgument("alias contains tab");
+      }
+      out << "A\t" << e.name << "\t" << alias << "\n";
+    }
+    for (const std::string& term : e.context_terms) {
+      if (!FieldSafe(term)) {
+        return Status::InvalidArgument("term contains tab");
+      }
+      out << "C\t" << e.name << "\t" << term << "\n";
+    }
+  }
+  for (const KbFact& f : kb.facts()) {
+    out << "F\t" << kb.entities()[f.subject].name << "\t" << f.predicate
+        << "\t" << kb.entities()[f.object].name << "\t" << f.timestamp
+        << "\n";
+  }
+  if (!out.good()) return Status::Internal("stream write failure");
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<CuratedKb>> LoadCuratedKb(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&line_no](const std::string& why) {
+    return Status::InvalidArgument(
+        StrFormat("line %zu: %s", line_no, why.c_str()));
+  };
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing #nous-kb v1 header");
+  }
+  ++line_no;
+  // First pass over records builds the ontology, then entities, then
+  // aliases/terms/facts; the format guarantees N precedes its A/C and
+  // F references only declared entities.
+  Ontology ontology;
+  // Entity construction is two-phase: collect, then add, because
+  // aliases and terms mutate KbEntity before AddEntity indexes it.
+  std::unordered_map<std::string, KbEntity> staged;
+  std::vector<std::string> staged_order;
+  struct StagedFact {
+    std::string subject, predicate, object;
+    Timestamp timestamp;
+  };
+  std::vector<StagedFact> staged_facts;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> f = Split(line, '\t');
+    const std::string& kind = f[0];
+    if (kind == "O") {
+      if (f.size() != 3) return fail("O needs 3 fields");
+      ontology.AddType(f[1], f[2] == "-" ? "" : f[2]);
+    } else if (kind == "P") {
+      if (f.size() != 4) return fail("P needs 4 fields");
+      ontology.AddPredicate(PredicateSchema{
+          f[1], f[2] == "-" ? "" : f[2], f[3] == "-" ? "" : f[3]});
+    } else if (kind == "N") {
+      if (f.size() != 5) return fail("N needs 5 fields");
+      auto ner = ParseEntityType(f[3]);
+      if (!ner.has_value()) return fail("bad NER type " + f[3]);
+      char* end = nullptr;
+      double prior = std::strtod(f[4].c_str(), &end);
+      if (end == f[4].c_str()) return fail("bad prior");
+      KbEntity entity;
+      entity.name = f[1];
+      entity.type_name = f[2];
+      entity.ner_type = *ner;
+      entity.prior = prior;
+      if (staged.count(entity.name) > 0) {
+        return fail("duplicate entity " + entity.name);
+      }
+      staged_order.push_back(entity.name);
+      staged.emplace(f[1], std::move(entity));
+    } else if (kind == "A") {
+      if (f.size() != 3) return fail("A needs 3 fields");
+      auto it = staged.find(f[1]);
+      if (it == staged.end()) return fail("A references unknown entity");
+      it->second.aliases.push_back(f[2]);
+    } else if (kind == "C") {
+      if (f.size() != 3) return fail("C needs 3 fields");
+      auto it = staged.find(f[1]);
+      if (it == staged.end()) return fail("C references unknown entity");
+      it->second.context_terms.push_back(f[2]);
+    } else if (kind == "F") {
+      if (f.size() != 5) return fail("F needs 5 fields");
+      char* end = nullptr;
+      Timestamp ts = static_cast<Timestamp>(
+          std::strtoll(f[4].c_str(), &end, 10));
+      if (end == f[4].c_str()) return fail("bad timestamp");
+      staged_facts.push_back(StagedFact{f[1], f[2], f[3], ts});
+    } else {
+      return fail("unknown record kind '" + kind + "'");
+    }
+  }
+
+  auto kb = std::make_unique<CuratedKb>(std::move(ontology));
+  for (const std::string& name : staged_order) {
+    kb->AddEntity(std::move(staged.at(name)));
+  }
+  for (const StagedFact& fact : staged_facts) {
+    auto s = kb->FindByName(fact.subject);
+    auto o = kb->FindByName(fact.object);
+    if (!s.has_value() || !o.has_value()) {
+      return Status::InvalidArgument("fact references unknown entity " +
+                                     fact.subject + "/" + fact.object);
+    }
+    kb->AddFact(*s, fact.predicate, *o, fact.timestamp);
+  }
+  return kb;
+}
+
+Status SaveCuratedKbToFile(const CuratedKb& kb, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::NotFound("cannot open for write: " + path);
+  }
+  return SaveCuratedKb(kb, out);
+}
+
+Result<std::unique_ptr<CuratedKb>> LoadCuratedKbFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open for read: " + path);
+  }
+  return LoadCuratedKb(in);
+}
+
+}  // namespace nous

@@ -1,0 +1,36 @@
+#ifndef NOUS_KB_KB_IO_H_
+#define NOUS_KB_KB_IO_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "kb/curated_kb.h"
+
+namespace nous {
+
+/// Serializes a curated KB (ontology included) to a line-oriented,
+/// tab-separated text format, so custom domains can be authored by
+/// hand or exported/reimported (demo feature 3: "develop custom
+/// quality control modules for a new domain").
+///
+/// Format:
+///   #nous-kb v1
+///   O <type> <parent|->
+///   P <predicate> <domain|-> <range|->
+///   N <name> <type> <PERSON|ORG|LOC|PRODUCT|DATE|MISC> <prior>
+///   A <name> <alias>
+///   C <name> <term>
+///   F <subject> <predicate> <object> <timestamp>
+Status SaveCuratedKb(const CuratedKb& kb, std::ostream& out);
+
+Result<std::unique_ptr<CuratedKb>> LoadCuratedKb(std::istream& in);
+
+Status SaveCuratedKbToFile(const CuratedKb& kb, const std::string& path);
+Result<std::unique_ptr<CuratedKb>> LoadCuratedKbFromFile(
+    const std::string& path);
+
+}  // namespace nous
+
+#endif  // NOUS_KB_KB_IO_H_

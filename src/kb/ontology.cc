@@ -1,0 +1,102 @@
+#include "kb/ontology.h"
+
+namespace nous {
+
+void Ontology::AddType(std::string_view type, std::string_view parent) {
+  parent_[std::string(type)] = std::string(parent);
+}
+
+bool Ontology::HasType(std::string_view type) const {
+  return parent_.count(std::string(type)) > 0;
+}
+
+bool Ontology::IsSubtypeOf(std::string_view type,
+                           std::string_view ancestor) const {
+  std::string current(type);
+  // Bounded walk to guard against accidental cycles.
+  for (int depth = 0; depth < 32; ++depth) {
+    if (current == ancestor) return true;
+    auto it = parent_.find(current);
+    if (it == parent_.end() || it->second.empty()) return false;
+    current = it->second;
+  }
+  return false;
+}
+
+std::string Ontology::ParentOf(std::string_view type) const {
+  auto it = parent_.find(std::string(type));
+  if (it == parent_.end()) return "";
+  return it->second;
+}
+
+void Ontology::AddPredicate(PredicateSchema schema) {
+  predicate_index_[schema.name] = predicates_.size();
+  predicates_.push_back(std::move(schema));
+}
+
+std::optional<PredicateSchema> Ontology::FindPredicate(
+    std::string_view name) const {
+  auto it = predicate_index_.find(std::string(name));
+  if (it == predicate_index_.end()) return std::nullopt;
+  return predicates_[it->second];
+}
+
+bool Ontology::SignatureMatches(std::string_view predicate,
+                                std::string_view subject_type,
+                                std::string_view object_type) const {
+  auto schema = FindPredicate(predicate);
+  if (!schema.has_value()) return false;
+  if (!schema->domain_type.empty() &&
+      !IsSubtypeOf(subject_type, schema->domain_type)) {
+    return false;
+  }
+  if (!schema->range_type.empty() &&
+      !IsSubtypeOf(object_type, schema->range_type)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> Ontology::TypeNames() const {
+  std::vector<std::string> names;
+  names.reserve(parent_.size());
+  for (const auto& [name, parent] : parent_) names.push_back(name);
+  return names;
+}
+
+Ontology Ontology::DroneDefault() {
+  Ontology o;
+  o.AddType("thing", "");
+  o.AddType("organization", "thing");
+  o.AddType("company", "organization");
+  o.AddType("agency", "organization");
+  o.AddType("venue", "organization");
+  o.AddType("person", "thing");
+  o.AddType("location", "thing");
+  o.AddType("city", "location");
+  o.AddType("product", "thing");
+  o.AddType("drone_model", "product");
+  o.AddType("paper", "thing");
+  o.AddType("resource", "thing");
+
+  o.AddPredicate({"acquired", "company", "company"});
+  o.AddPredicate({"partneredWith", "organization", "organization"});
+  o.AddPredicate({"investsIn", "organization", "organization"});
+  o.AddPredicate({"launched", "organization", "product"});
+  o.AddPredicate({"uses", "organization", "product"});
+  o.AddPredicate({"competesWith", "company", "company"});
+  o.AddPredicate({"regulates", "agency", "organization"});
+  o.AddPredicate({"ceoOf", "person", "organization"});
+  o.AddPredicate({"worksFor", "person", "organization"});
+  o.AddPredicate({"manufactures", "organization", "product"});
+  o.AddPredicate({"headquarteredIn", "organization", "city"});
+  o.AddPredicate({"authored", "person", "paper"});
+  o.AddPredicate({"cites", "paper", "paper"});
+  o.AddPredicate({"publishedIn", "paper", "venue"});
+  o.AddPredicate({"accessed", "person", "resource"});
+  o.AddPredicate({"downloaded", "person", "resource"});
+  o.AddPredicate({"emailed", "person", "resource"});
+  return o;
+}
+
+}  // namespace nous

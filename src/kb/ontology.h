@@ -1,0 +1,65 @@
+#ifndef NOUS_KB_ONTOLOGY_H_
+#define NOUS_KB_ONTOLOGY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nous {
+
+/// Schema of one target-ontology predicate: name plus domain/range type
+/// constraints used by the distant-supervision mapper (§3.3).
+struct PredicateSchema {
+  std::string name;
+  std::string domain_type;  // required subject type ("" = any)
+  std::string range_type;   // required object type ("" = any)
+};
+
+/// Type taxonomy plus predicate schema — the target ontology raw
+/// triples are mapped onto. Types form a forest via parent links.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Drone-domain default: the taxonomy and predicates the drone world
+  /// model uses, rooted at "thing".
+  static Ontology DroneDefault();
+
+  /// Adds `type` under `parent` ("" for a root). Re-adding an existing
+  /// type updates its parent.
+  void AddType(std::string_view type, std::string_view parent);
+  bool HasType(std::string_view type) const;
+
+  /// True when `type` equals `ancestor` or descends from it.
+  bool IsSubtypeOf(std::string_view type, std::string_view ancestor) const;
+
+  /// Parent of `type`, or empty when root/unknown.
+  std::string ParentOf(std::string_view type) const;
+
+  void AddPredicate(PredicateSchema schema);
+  std::optional<PredicateSchema> FindPredicate(std::string_view name) const;
+  const std::vector<PredicateSchema>& predicates() const {
+    return predicates_;
+  }
+
+  /// Checks a (subject_type, predicate, object_type) assignment against
+  /// the schema, honoring subtype relations.
+  bool SignatureMatches(std::string_view predicate,
+                        std::string_view subject_type,
+                        std::string_view object_type) const;
+
+  std::vector<std::string> TypeNames() const;
+
+ private:
+  std::unordered_map<std::string, std::string> parent_;
+  std::vector<PredicateSchema> predicates_;
+  std::unordered_map<std::string, size_t> predicate_index_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_KB_ONTOLOGY_H_

@@ -1,0 +1,64 @@
+#include "linker/context.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace nous {
+
+TermBag BuildDocumentBag(const std::string& text, const Lexicon& lexicon) {
+  TermBag bag;
+  for (const Token& tok : Tokenize(text)) {
+    if (tok.text.size() < 2) continue;
+    if (lexicon.IsStopword(tok.lower) || lexicon.IsDeterminer(tok.lower) ||
+        lexicon.IsPreposition(tok.lower) || lexicon.IsPronoun(tok.lower)) {
+      continue;
+    }
+    if (IsDigits(tok.text)) continue;
+    bag[tok.lower] += 1.0;
+  }
+  return bag;
+}
+
+TermBag BuildEntityBag(const PropertyGraph& graph, VertexId v,
+                       size_t max_neighbors) {
+  TermBag bag;
+  if (v >= graph.NumVertices()) return bag;
+  for (const auto& [term, weight] : graph.VertexBag(v)) {
+    bag[ToLower(graph.terms().GetString(term))] += weight;
+  }
+  size_t taken = 0;
+  auto add_neighbor_terms = [&](const std::vector<AdjEntry>& adj) {
+    for (const AdjEntry& a : adj) {
+      if (taken >= max_neighbors) return;
+      ++taken;
+      for (const std::string& word :
+           SplitWhitespace(graph.VertexLabel(a.neighbor))) {
+        if (word.size() < 2) continue;
+        bag[ToLower(word)] += 1.0;
+      }
+    }
+  };
+  add_neighbor_terms(graph.OutEdges(v));
+  add_neighbor_terms(graph.InEdges(v));
+  return bag;
+}
+
+double CosineSimilarity(const TermBag& a, const TermBag& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  const TermBag& small = a.size() <= b.size() ? a : b;
+  const TermBag& large = a.size() <= b.size() ? b : a;
+  double dot = 0;
+  for (const auto& [term, weight] : small) {
+    auto it = large.find(term);
+    if (it != large.end()) dot += weight * it->second;
+  }
+  if (dot == 0) return 0;
+  double norm_a = 0, norm_b = 0;
+  for (const auto& [term, weight] : a) norm_a += weight * weight;
+  for (const auto& [term, weight] : b) norm_b += weight * weight;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace nous

@@ -1,0 +1,33 @@
+#ifndef NOUS_LINKER_CONTEXT_H_
+#define NOUS_LINKER_CONTEXT_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/property_graph.h"
+#include "text/lexicon.h"
+
+namespace nous {
+
+/// Sparse bag of lower-cased content words keyed by surface string.
+using TermBag = std::unordered_map<std::string, double>;
+
+/// Tokenizes `text`, drops stopwords/punctuation/numbers, and counts
+/// the remaining lower-cased terms — the mention-side context of the
+/// AIDA similarity (§3.3).
+TermBag BuildDocumentBag(const std::string& text, const Lexicon& lexicon);
+
+/// Entity-side context: the vertex's stored bag (curated description
+/// terms) plus the labels of its KG neighbors, tokenized. The
+/// neighborhood component implements the paper's adaptation of AIDA to
+/// a growing KG ("we use only the entity neighborhood in the knowledge
+/// graph to calculate contextual similarity").
+TermBag BuildEntityBag(const PropertyGraph& graph, VertexId v,
+                       size_t max_neighbors = 64);
+
+/// Cosine similarity between two sparse bags; 0 when either is empty.
+double CosineSimilarity(const TermBag& a, const TermBag& b);
+
+}  // namespace nous
+
+#endif  // NOUS_LINKER_CONTEXT_H_

@@ -1,0 +1,202 @@
+#include "linker/entity_linker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+EntityLinker::EntityLinker(PropertyGraph* graph, LinkerConfig config)
+    : graph_(graph), config_(config) {}
+
+void EntityLinker::RegisterEntity(VertexId vertex,
+                                  const std::vector<std::string>& surfaces,
+                                  double prior) {
+  for (const std::string& surface : surfaces) {
+    auto& bucket = alias_index_[ToLower(surface)];
+    bool found = false;
+    for (auto& [v, p] : bucket) {
+      if (v == vertex) {
+        p = std::max(p, prior);
+        found = true;
+      }
+    }
+    if (!found) bucket.emplace_back(vertex, prior);
+  }
+  max_prior_ = std::max(max_prior_, prior);
+}
+
+std::vector<std::pair<VertexId, double>> EntityLinker::CandidatesFor(
+    std::string_view surface) const {
+  auto it = alias_index_.find(ToLower(surface));
+  if (it == alias_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<EntityLinker::ScoredCandidate> EntityLinker::ScoreCandidates(
+    const std::string& surface, const TermBag& doc_bag) const {
+  // AIDA compares the mention's *surrounding* context with the entity
+  // context: the mention's own tokens are excluded, otherwise any
+  // candidate whose description contains its own name (typical for
+  // locations) gets a spurious vote just for being mentioned.
+  TermBag context_bag = doc_bag;
+  for (const std::string& word : SplitWhitespace(surface)) {
+    context_bag.erase(ToLower(word));
+  }
+  std::vector<ScoredCandidate> scored;
+  for (const auto& [vertex, prior] : CandidatesFor(surface)) {
+    double prior_score = std::log1p(prior) / std::log1p(max_prior_);
+    double context = CosineSimilarity(
+        context_bag,
+        BuildEntityBag(*graph_, vertex, config_.max_context_neighbors));
+    double local = config_.prior_weight * prior_score +
+                   config_.context_weight * context;
+    scored.push_back(ScoredCandidate{vertex, local, local});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.local_score > b.local_score;
+            });
+  if (scored.size() > config_.max_candidates) {
+    scored.resize(config_.max_candidates);
+  }
+  return scored;
+}
+
+const char* EntityLinker::TypeNameFor(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson: return "person";
+    case EntityType::kOrganization: return "organization";
+    case EntityType::kLocation: return "location";
+    case EntityType::kProduct: return "product";
+    case EntityType::kDate: return "thing";
+    case EntityType::kMisc: return "thing";
+  }
+  return "thing";
+}
+
+std::vector<LinkDecision> EntityLinker::LinkMentions(
+    const std::vector<std::string>& surfaces,
+    const std::vector<EntityType>& types, const TermBag& doc_bag) {
+  const size_t n = surfaces.size();
+  std::vector<std::vector<ScoredCandidate>> candidates(n);
+  for (size_t i = 0; i < n; ++i) {
+    candidates[i] = ScoreCandidates(surfaces[i], doc_bag);
+  }
+
+  // ---- AIDA global stage: entity-entity coherence. ----
+  // Coherence = Jaccard overlap of KG neighborhoods. Each candidate's
+  // total score blends its local score with its mean coherence to the
+  // other mentions' candidates; then the weakest candidates of
+  // ambiguous mentions are dropped iteratively.
+  auto neighbor_set = [this](VertexId v) {
+    std::unordered_set<VertexId> set;
+    for (const AdjEntry& a : graph_->OutEdges(v)) set.insert(a.neighbor);
+    for (const AdjEntry& a : graph_->InEdges(v)) set.insert(a.neighbor);
+    return set;
+  };
+  std::unordered_map<VertexId, std::unordered_set<VertexId>> neighbors;
+  for (const auto& list : candidates) {
+    for (const ScoredCandidate& c : list) {
+      if (neighbors.count(c.vertex) == 0) {
+        neighbors[c.vertex] = neighbor_set(c.vertex);
+      }
+    }
+  }
+  // Adamic-Adar-weighted overlap: a shared neighbor is evidence in
+  // inverse proportion to its degree — two companies headquartered in
+  // the same big city are barely related; sharing a rare partner is
+  // strong. Normalized by the smaller neighborhood so well-connected
+  // candidates don't dominate.
+  auto relatedness = [this](const std::unordered_set<VertexId>& a,
+                            const std::unordered_set<VertexId>& b) {
+    if (a.empty() || b.empty()) return 0.0;
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    double score = 0;
+    for (VertexId v : small) {
+      if (large.count(v) == 0) continue;
+      double degree = static_cast<double>(graph_->OutDegree(v) +
+                                          graph_->InDegree(v));
+      score += 1.0 / std::log(2.0 + degree);
+    }
+    return score / static_cast<double>(small.size());
+  };
+  // Two conditioning rounds: candidates score their relatedness to the
+  // other mentions' CURRENT best candidate (initially the local-score
+  // leader), then the assignment is re-ranked and scored once more —
+  // a two-sweep version of AIDA's iterative refinement that avoids the
+  // over-optimistic "best over all other candidates" shortcut.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<VertexId> anchors(n, kInvalidVertex);
+    for (size_t j = 0; j < n; ++j) {
+      if (!candidates[j].empty()) anchors[j] = candidates[j][0].vertex;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (ScoredCandidate& c : candidates[i]) {
+        double coherence_sum = 0;
+        size_t coherence_count = 0;
+        for (size_t j = 0; j < n; ++j) {
+          if (j == i || anchors[j] == kInvalidVertex) continue;
+          if (anchors[j] == c.vertex) continue;
+          coherence_sum += relatedness(neighbors[c.vertex],
+                                       neighbors[anchors[j]]);
+          ++coherence_count;
+        }
+        double coherence =
+            coherence_count == 0 ? 0 : coherence_sum / coherence_count;
+        c.total_score =
+            c.local_score + config_.coherence_weight * coherence;
+      }
+      std::sort(candidates[i].begin(), candidates[i].end(),
+                [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                  return a.total_score > b.total_score;
+                });
+    }
+  }
+
+  // ---- Decisions: link or create. ----
+  std::vector<LinkDecision> decisions(n);
+  std::unordered_map<std::string, VertexId> created_this_doc;
+  for (size_t i = 0; i < n; ++i) {
+    LinkDecision& d = decisions[i];
+    d.surface = surfaces[i];
+    d.num_candidates = candidates[i].size();
+    if (!candidates[i].empty() &&
+        candidates[i][0].total_score >= config_.min_link_score) {
+      d.vertex = candidates[i][0].vertex;
+      d.score = candidates[i][0].total_score;
+      continue;
+    }
+    // New entity: reuse one created earlier in this document for the
+    // same surface.
+    std::string key = ToLower(surfaces[i]);
+    auto it = created_this_doc.find(key);
+    if (it != created_this_doc.end()) {
+      d.vertex = it->second;
+      d.created_new = true;
+      continue;
+    }
+    VertexId v = graph_->GetOrAddVertex(surfaces[i]);
+    EntityType type =
+        i < types.size() ? types[i] : EntityType::kMisc;
+    if (graph_->VertexType(v) == kInvalidType) {
+      graph_->SetVertexType(v, graph_->types().Intern(TypeNameFor(type)));
+    }
+    RegisterEntity(v, {surfaces[i]}, 1.0);
+    created_this_doc[key] = v;
+    d.vertex = v;
+    d.created_new = true;
+    ++num_created_;
+  }
+  return decisions;
+}
+
+LinkDecision EntityLinker::LinkOne(const std::string& surface,
+                                   EntityType type, const TermBag& doc_bag) {
+  return LinkMentions({surface}, {type}, doc_bag)[0];
+}
+
+}  // namespace nous

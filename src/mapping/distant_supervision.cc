@@ -1,0 +1,35 @@
+#include "mapping/distant_supervision.h"
+
+namespace nous {
+
+DsTrainResult DistantSupervisionTrainer::Train(
+    const std::vector<DsExample>& examples, PredicateMapper* mapper) const {
+  DsTrainResult result;
+  // Round 0: aligned examples are direct evidence.
+  for (const DsExample& ex : examples) {
+    if (ex.kb_predicate.empty()) continue;
+    mapper->AddEvidence(ex.kb_predicate, ex.raw_phrase,
+                        config_.aligned_weight);
+    ++result.aligned_used;
+  }
+  // Rounds 1..k: promote confident unaligned examples. Each round may
+  // unlock further promotions as phrase weights shift.
+  for (size_t round = 0; round < config_.expansion_iterations; ++round) {
+    size_t promoted_this_round = 0;
+    for (const DsExample& ex : examples) {
+      if (!ex.kb_predicate.empty()) continue;
+      MappingDecision d =
+          mapper->Map(ex.raw_phrase, ex.subject_type, ex.object_type);
+      if (d.mapped && d.score >= config_.promote_threshold) {
+        mapper->AddEvidence(d.predicate, ex.raw_phrase,
+                            config_.promoted_weight);
+        ++promoted_this_round;
+      }
+    }
+    result.promoted += promoted_this_round;
+    if (promoted_this_round == 0) break;
+  }
+  return result;
+}
+
+}  // namespace nous

@@ -1,0 +1,59 @@
+#ifndef NOUS_MAPPING_DISTANT_SUPERVISION_H_
+#define NOUS_MAPPING_DISTANT_SUPERVISION_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/predicate_mapper.h"
+
+namespace nous {
+
+/// One training instance for the predicate-model learner: a raw
+/// relation phrase with its linked arguments' types, and — when the
+/// (subject, object) pair matched a curated KB fact — that fact's
+/// predicate (the distant label).
+struct DsExample {
+  std::string raw_phrase;
+  std::string subject_type;
+  std::string object_type;
+  /// Distant label; empty when the pair matched no KB fact.
+  std::string kb_predicate;
+};
+
+struct DsTrainerConfig {
+  /// Semi-supervised rounds after the aligned bootstrap.
+  size_t expansion_iterations = 2;
+  /// Unaligned examples whose current mapping scores at least this are
+  /// promoted to pseudo-labeled evidence.
+  double promote_threshold = 0.6;
+  /// Evidence weight of an aligned example.
+  double aligned_weight = 1.0;
+  /// Evidence weight of a promoted (pseudo-labeled) example.
+  double promoted_weight = 0.25;
+};
+
+struct DsTrainResult {
+  size_t aligned_used = 0;
+  size_t promoted = 0;
+};
+
+/// Freedman-style "extreme extraction" trainer (§3.3): bootstraps each
+/// predicate model from seed phrases plus KB-aligned examples, then
+/// expands the training set semi-supervised by promoting confidently
+/// mapped unaligned examples.
+class DistantSupervisionTrainer {
+ public:
+  explicit DistantSupervisionTrainer(DsTrainerConfig config = {})
+      : config_(config) {}
+
+  /// Mutates `mapper` with evidence from `examples`.
+  DsTrainResult Train(const std::vector<DsExample>& examples,
+                      PredicateMapper* mapper) const;
+
+ private:
+  DsTrainerConfig config_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_MAPPING_DISTANT_SUPERVISION_H_

@@ -1,0 +1,144 @@
+#include "mapping/predicate_mapper.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+PredicateMapper::PredicateMapper(const Ontology* ontology,
+                                 MapperConfig config)
+    : ontology_(ontology), config_(config) {}
+
+void PredicateMapper::AddEvidence(std::string_view predicate,
+                                  std::string_view raw_phrase,
+                                  double weight) {
+  phrase_evidence_[ToLower(raw_phrase)][std::string(predicate)] += weight;
+}
+
+void PredicateMapper::LoadDefaultSeeds() {
+  // 2-3 seed phrases per predicate (paper: "bootstrap each predicate
+  // model with 5-10 seed examples"); the rest accrues via distant
+  // supervision.
+  const struct {
+    const char* predicate;
+    const char* phrase;
+  } kSeeds[] = {
+      {"acquired", "acquire"},        {"acquired", "buy"},
+      {"partneredWith", "partner_with"},
+      {"partneredWith", "collaborate_with"},
+      {"investsIn", "invest_in"},
+      {"launched", "launch"},         {"launched", "unveil"},
+      {"launched", "introduce"},
+      {"uses", "use"},                {"uses", "deploy"},
+      {"uses", "employ"},
+      {"competesWith", "compete_with"},
+      {"regulates", "regulate"},      {"regulates", "investigate"},
+      {"ceoOf", "lead"},
+      {"worksFor", "work_for"},       {"worksFor", "join"},
+      {"manufactures", "manufacture"},
+      {"manufactures", "make"},       {"manufactures", "produce"},
+      {"headquarteredIn", "headquarter_in"},
+      {"headquarteredIn", "base_in"},
+      {"authored", "author"},
+      {"cites", "cite"},
+      {"publishedIn", "publish_in"},
+      {"accessed", "access"},
+      {"downloaded", "download"},
+      {"emailed", "email"},
+  };
+  for (const auto& seed : kSeeds) {
+    AddEvidence(seed.predicate, seed.phrase, 1.0);
+  }
+}
+
+Status PredicateMapper::LoadSeedsFromStream(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(std::string(trimmed), '\t');
+    if (fields.size() < 2 || fields.size() > 3 || fields[1].empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "seed line %zu: expected '<predicate>\\t<phrase>[\\t<w>]'",
+          line_no));
+    }
+    if (!ontology_->FindPredicate(fields[0]).has_value()) {
+      return Status::InvalidArgument(
+          StrFormat("seed line %zu: unknown predicate '%s'", line_no,
+                    fields[0].c_str()));
+    }
+    double weight = 1.0;
+    if (fields.size() == 3) {
+      char* end = nullptr;
+      weight = std::strtod(fields[2].c_str(), &end);
+      if (end == fields[2].c_str() || weight <= 0) {
+        return Status::InvalidArgument(
+            StrFormat("seed line %zu: bad weight", line_no));
+      }
+    }
+    AddEvidence(fields[0], fields[1], weight);
+  }
+  return Status::Ok();
+}
+
+bool PredicateMapper::TypeGatePasses(std::string_view type,
+                                     std::string_view required) const {
+  if (required.empty()) return true;
+  // Unknown or generic types pass permissively: freshly created
+  // entities carry no trusted ontology type yet.
+  if (type.empty() || type == "thing") return true;
+  if (!ontology_->HasType(type)) return true;
+  // Compatible when the types sit on one taxonomy chain: either the
+  // argument satisfies the constraint (company <= organization) or it
+  // is a generalization that could (a new entity NER-typed
+  // "organization" may well be the company the schema demands).
+  return ontology_->IsSubtypeOf(type, required) ||
+         ontology_->IsSubtypeOf(required, type);
+}
+
+MappingDecision PredicateMapper::Map(std::string_view raw_phrase,
+                                     std::string_view subject_type,
+                                     std::string_view object_type) const {
+  MappingDecision decision;
+  auto it = phrase_evidence_.find(ToLower(raw_phrase));
+  if (it == phrase_evidence_.end()) return decision;
+  double total = 0;
+  for (const auto& [pred, weight] : it->second) total += weight;
+  if (total < config_.min_total_evidence) return decision;
+  for (const auto& [pred, weight] : it->second) {
+    double score = weight / total;
+    if (score < config_.min_map_score) continue;
+    if (score <= decision.score) continue;
+    auto schema = ontology_->FindPredicate(pred);
+    if (!schema.has_value()) continue;
+    if (!TypeGatePasses(subject_type, schema->domain_type)) continue;
+    if (!TypeGatePasses(object_type, schema->range_type)) continue;
+    decision.mapped = true;
+    decision.predicate = pred;
+    decision.score = score;
+  }
+  return decision;
+}
+
+double PredicateMapper::EvidenceWeight(std::string_view predicate,
+                                       std::string_view raw_phrase) const {
+  auto it = phrase_evidence_.find(ToLower(raw_phrase));
+  if (it == phrase_evidence_.end()) return 0;
+  auto jt = it->second.find(std::string(predicate));
+  if (jt == it->second.end()) return 0;
+  return jt->second;
+}
+
+std::vector<std::string> PredicateMapper::KnownPhrases() const {
+  std::vector<std::string> phrases;
+  phrases.reserve(phrase_evidence_.size());
+  for (const auto& [phrase, preds] : phrase_evidence_) {
+    phrases.push_back(phrase);
+  }
+  return phrases;
+}
+
+}  // namespace nous

@@ -1,0 +1,89 @@
+#ifndef NOUS_MAPPING_PREDICATE_MAPPER_H_
+#define NOUS_MAPPING_PREDICATE_MAPPER_H_
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "kb/ontology.h"
+
+namespace nous {
+
+struct MapperConfig {
+  /// Minimum normalized phrase score to accept a mapping.
+  double min_map_score = 0.3;
+  /// Minimum total evidence mass a phrase needs before it maps at all.
+  /// Keeps a single distant-supervision co-occurrence from instantly
+  /// creating a trusted predicate model.
+  double min_total_evidence = 0.75;
+};
+
+/// Outcome of mapping one raw relation phrase.
+struct MappingDecision {
+  bool mapped = false;
+  std::string predicate;  // ontology predicate when mapped
+  double score = 0.0;
+};
+
+/// Rule-based per-predicate models (§3.3): each ontology predicate owns
+/// a weighted set of raw relation phrases plus the schema's type
+/// constraints. OpenIE produces far more relation phrases than the
+/// ontology has predicates; this maps them down (or reports unmapped,
+/// in which case the pipeline keeps the raw phrase as an extracted
+/// predicate).
+class PredicateMapper {
+ public:
+  /// `ontology` must outlive the mapper.
+  explicit PredicateMapper(const Ontology* ontology,
+                           MapperConfig config = {});
+
+  /// Adds evidence that `raw_phrase` expresses `predicate`.
+  void AddEvidence(std::string_view predicate, std::string_view raw_phrase,
+                   double weight);
+
+  /// Seed examples for the drone/citation/enterprise ontology: a
+  /// handful of phrases per predicate, deliberately not exhaustive
+  /// (distant supervision fills the rest).
+  void LoadDefaultSeeds();
+
+  /// Loads seed evidence from a tab-separated stream (domain
+  /// authoring):
+  ///   <predicate>\t<raw_phrase>[\t<weight>]
+  /// '#' comments and blank lines ignored; unknown ontology
+  /// predicates are InvalidArgument.
+  Status LoadSeedsFromStream(std::istream& in);
+
+  /// Maps a raw phrase given the linked arguments' type names (empty
+  /// or generic types pass the gate permissively — new entities have
+  /// no trusted type yet).
+  MappingDecision Map(std::string_view raw_phrase,
+                      std::string_view subject_type,
+                      std::string_view object_type) const;
+
+  /// Accumulated weight for (predicate, phrase); 0 when absent.
+  double EvidenceWeight(std::string_view predicate,
+                        std::string_view raw_phrase) const;
+
+  /// Phrases with any evidence, for diagnostics.
+  std::vector<std::string> KnownPhrases() const;
+
+  const Ontology& ontology() const { return *ontology_; }
+
+ private:
+  bool TypeGatePasses(std::string_view type,
+                      std::string_view required) const;
+
+  const Ontology* ontology_;
+  MapperConfig config_;
+  /// phrase -> (predicate -> weight)
+  std::unordered_map<std::string, std::unordered_map<std::string, double>>
+      phrase_evidence_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_MAPPING_PREDICATE_MAPPER_H_

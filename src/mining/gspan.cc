@@ -1,0 +1,112 @@
+#include "mining/gspan.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "mining/subgraph_enum.h"
+
+namespace nous {
+
+namespace {
+
+struct LevelEntry {
+  Pattern pattern;
+  std::vector<std::unordered_map<VertexId, uint32_t>> position_counts;
+  std::vector<std::vector<EdgeId>> embeddings;
+
+  size_t Support() const {
+    if (position_counts.empty() || embeddings.empty()) return 0;
+    size_t support = position_counts[0].size();
+    for (const auto& counts : position_counts) {
+      support = std::min(support, counts.size());
+    }
+    return support;
+  }
+};
+
+using Level = std::unordered_map<Pattern, LevelEntry, PatternHash>;
+
+void Accumulate(const PropertyGraph& graph, const MinerConfig& config,
+                const std::vector<EdgeId>& subset, Level* level,
+                size_t* total) {
+  std::vector<VertexId> assignment;
+  Pattern p = CanonicalizeEdgeSet(graph, subset, config.use_vertex_types,
+                                  &assignment);
+  LevelEntry& entry = (*level)[p];
+  if (entry.embeddings.empty() && entry.position_counts.empty()) {
+    entry.pattern = p;
+    entry.position_counts.resize(p.num_vertices());
+  }
+  for (size_t pos = 0; pos < assignment.size(); ++pos) {
+    entry.position_counts[pos][assignment[pos]]++;
+  }
+  entry.embeddings.push_back(subset);
+  ++(*total);
+}
+
+}  // namespace
+
+std::vector<PatternStats> MineGspan(const PropertyGraph& graph,
+                                    const MinerConfig& config,
+                                    size_t* total_embeddings) {
+  size_t total = 0;
+  // Level 1: every live edge.
+  Level level;
+  graph.ForEachEdge([&](EdgeId e, const EdgeRecord&) {
+    Accumulate(graph, config, {e}, &level, &total);
+  });
+
+  std::vector<PatternStats> results;
+  auto harvest = [&results, &config](const Level& lv) {
+    for (const auto& [pattern, entry] : lv) {
+      size_t support = entry.Support();
+      if (support < config.min_support) continue;
+      PatternStats stats;
+      stats.pattern = pattern;
+      stats.embeddings = entry.embeddings.size();
+      stats.support = support;
+      results.push_back(std::move(stats));
+    }
+  };
+  harvest(level);
+
+  for (size_t size = 2; size <= config.max_edges; ++size) {
+    Level next;
+    std::set<std::vector<EdgeId>> seen;
+    for (const auto& [pattern, entry] : level) {
+      if (entry.Support() < config.min_support) continue;  // prune
+      for (const std::vector<EdgeId>& emb : entry.embeddings) {
+        // Extend by any adjacent live edge.
+        for (EdgeId in_set : emb) {
+          const EdgeRecord& rec = graph.Edge(in_set);
+          for (VertexId v : {rec.subject, rec.object}) {
+            auto try_extend = [&](EdgeId ext) {
+              if (std::find(emb.begin(), emb.end(), ext) != emb.end()) {
+                return;
+              }
+              std::vector<EdgeId> grown = emb;
+              grown.push_back(ext);
+              std::sort(grown.begin(), grown.end());
+              if (!seen.insert(grown).second) return;
+              Accumulate(graph, config, grown, &next, &total);
+            };
+            for (const AdjEntry& a : graph.OutEdges(v)) try_extend(a.edge);
+            for (const AdjEntry& a : graph.InEdges(v)) try_extend(a.edge);
+          }
+        }
+      }
+    }
+    harvest(next);
+    level = std::move(next);
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const PatternStats& a, const PatternStats& b) {
+              return a.support > b.support;
+            });
+  if (total_embeddings != nullptr) *total_embeddings = total;
+  return results;
+}
+
+}  // namespace nous

@@ -1,0 +1,36 @@
+#ifndef NOUS_MINING_MINER_CONFIG_H_
+#define NOUS_MINING_MINER_CONFIG_H_
+
+#include <cstddef>
+
+#include "mining/pattern.h"
+
+namespace nous {
+
+/// Shared knobs for the streaming miner and both baselines, so
+/// result-equivalence comparisons are apples-to-apples.
+struct MinerConfig {
+  /// Maximum pattern size in edges (tiny by design; canonicalization
+  /// is factorial in this).
+  size_t max_edges = 2;
+  /// MNI support threshold for "frequent".
+  size_t min_support = 5;
+  /// Label pattern vertices with their KG types (typed patterns, as in
+  /// the paper's Figure 7) instead of structure-only mining.
+  bool use_vertex_types = false;
+  /// Safety cap on subsets explored per arriving edge (hub guard).
+  size_t max_subsets_per_edge = 100000;
+};
+
+/// A reported pattern with its counts.
+struct PatternStats {
+  Pattern pattern;
+  size_t embeddings = 0;
+  /// MNI support: min over pattern positions of distinct graph
+  /// vertices observed in that position.
+  size_t support = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_MINING_MINER_CONFIG_H_

@@ -1,0 +1,200 @@
+#include "mining/pattern.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+/// Comparable canonical code: edge triples then vertex labels.
+struct Code {
+  std::vector<PatternEdge> edges;
+  std::vector<TypeId> labels;
+  std::vector<uint64_t> mapping;  // variable -> concrete vertex
+
+  bool LessThan(const Code& other) const {
+    for (size_t i = 0; i < edges.size() && i < other.edges.size(); ++i) {
+      const PatternEdge& a = edges[i];
+      const PatternEdge& b = other.edges[i];
+      if (a.src != b.src) return a.src < b.src;
+      if (a.pred != b.pred) return a.pred < b.pred;
+      if (a.dst != b.dst) return a.dst < b.dst;
+    }
+    if (edges.size() != other.edges.size()) {
+      return edges.size() < other.edges.size();
+    }
+    return labels < other.labels;
+  }
+};
+
+Code BuildCode(const std::vector<Pattern::ConcreteEdge>& edges,
+               const std::vector<size_t>& order,
+               const std::function<TypeId(uint64_t)>& vertex_label) {
+  Code code;
+  std::map<uint64_t, int> var_of;
+  auto var = [&](uint64_t v) {
+    auto it = var_of.find(v);
+    if (it != var_of.end()) return it->second;
+    int id = static_cast<int>(var_of.size());
+    var_of.emplace(v, id);
+    code.mapping.push_back(v);
+    code.labels.push_back(vertex_label(v));
+    return id;
+  };
+  for (size_t idx : order) {
+    const Pattern::ConcreteEdge& e = edges[idx];
+    int s = var(e.src);
+    int d = var(e.dst);
+    code.edges.push_back(PatternEdge{s, e.pred, d});
+  }
+  return code;
+}
+
+}  // namespace
+
+Pattern Pattern::Canonicalize(
+    const std::vector<ConcreteEdge>& edges,
+    const std::function<TypeId(uint64_t)>& vertex_label,
+    std::vector<uint64_t>* position_to_vertex) {
+  NOUS_CHECK(!edges.empty());
+  std::vector<size_t> order(edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Code best = BuildCode(edges, order, vertex_label);
+  while (std::next_permutation(order.begin(), order.end())) {
+    Code candidate = BuildCode(edges, order, vertex_label);
+    if (candidate.LessThan(best)) best = std::move(candidate);
+  }
+  Pattern p;
+  p.edges_ = std::move(best.edges);
+  p.vertex_labels_ = std::move(best.labels);
+  if (position_to_vertex != nullptr) {
+    *position_to_vertex = std::move(best.mapping);
+  }
+  return p;
+}
+
+bool Pattern::Contains(const Pattern& sub) const {
+  if (sub.num_edges() > num_edges()) return false;
+  // Try every injective assignment of sub edges onto our edges with a
+  // consistent variable mapping. Pattern sizes are tiny.
+  std::vector<size_t> chosen;
+  std::vector<bool> used(edges_.size(), false);
+  std::vector<int> var_map(sub.num_vertices(), -1);
+
+  std::function<bool(size_t)> match = [&](size_t i) -> bool {
+    if (i == sub.edges_.size()) return true;
+    const PatternEdge& se = sub.edges_[i];
+    for (size_t j = 0; j < edges_.size(); ++j) {
+      if (used[j]) continue;
+      const PatternEdge& pe = edges_[j];
+      if (pe.pred != se.pred) continue;
+      int old_s = var_map[se.src];
+      int old_d = var_map[se.dst];
+      if (old_s != -1 && old_s != pe.src) continue;
+      if (old_d != -1 && old_d != pe.dst) continue;
+      // Label compatibility (invalid label matches anything equal).
+      if (sub.vertex_labels_[se.src] != vertex_labels_[pe.src]) continue;
+      if (sub.vertex_labels_[se.dst] != vertex_labels_[pe.dst]) continue;
+      // Injectivity on variables.
+      bool clash = false;
+      for (int v = 0; v < static_cast<int>(var_map.size()); ++v) {
+        if (v != se.src && var_map[v] == pe.src) clash = true;
+        if (v != se.dst && var_map[v] == pe.dst) clash = true;
+      }
+      if (clash) continue;
+      used[j] = true;
+      var_map[se.src] = pe.src;
+      var_map[se.dst] = pe.dst;
+      if (match(i + 1)) return true;
+      used[j] = false;
+      var_map[se.src] = old_s;
+      var_map[se.dst] = old_d;
+    }
+    return false;
+  };
+  (void)chosen;
+  return match(0);
+}
+
+std::vector<Pattern> Pattern::SubPatterns() const {
+  std::vector<Pattern> subs;
+  if (edges_.size() <= 1) return subs;
+  for (size_t drop = 0; drop < edges_.size(); ++drop) {
+    std::vector<ConcreteEdge> rest;
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      if (i == drop) continue;
+      rest.push_back(ConcreteEdge{static_cast<uint64_t>(edges_[i].src),
+                                  edges_[i].pred,
+                                  static_cast<uint64_t>(edges_[i].dst)});
+    }
+    // Connectivity check over the remaining edges.
+    std::vector<uint64_t> stack = {rest[0].src};
+    std::vector<uint64_t> seen = {rest[0].src};
+    while (!stack.empty()) {
+      uint64_t v = stack.back();
+      stack.pop_back();
+      for (const ConcreteEdge& e : rest) {
+        for (uint64_t next : {e.src, e.dst}) {
+          if ((e.src == v || e.dst == v) &&
+              std::find(seen.begin(), seen.end(), next) == seen.end()) {
+            seen.push_back(next);
+            stack.push_back(next);
+          }
+        }
+      }
+    }
+    std::vector<uint64_t> needed;
+    for (const ConcreteEdge& e : rest) {
+      for (uint64_t v : {e.src, e.dst}) {
+        if (std::find(needed.begin(), needed.end(), v) == needed.end()) {
+          needed.push_back(v);
+        }
+      }
+    }
+    if (seen.size() != needed.size()) continue;  // disconnected
+    const std::vector<TypeId>& labels = vertex_labels_;
+    Pattern sub = Canonicalize(
+        rest,
+        [&labels](uint64_t v) { return labels[static_cast<size_t>(v)]; });
+    if (std::find(subs.begin(), subs.end(), sub) == subs.end()) {
+      subs.push_back(std::move(sub));
+    }
+  }
+  return subs;
+}
+
+std::string Pattern::ToString(const Dictionary& predicates,
+                              const Dictionary* types) const {
+  std::vector<std::string> parts;
+  for (const PatternEdge& e : edges_) {
+    std::string src_label, dst_label;
+    if (types != nullptr && vertex_labels_[e.src] != kInvalidType) {
+      src_label = ":" + types->GetString(vertex_labels_[e.src]);
+    }
+    if (types != nullptr && vertex_labels_[e.dst] != kInvalidType) {
+      dst_label = ":" + types->GetString(vertex_labels_[e.dst]);
+    }
+    parts.push_back(StrFormat(
+        "(?%d%s)-[%s]->(?%d%s)", e.src, src_label.c_str(),
+        predicates.GetString(e.pred).c_str(), e.dst, dst_label.c_str()));
+  }
+  return Join(parts, " ");
+}
+
+size_t Pattern::Hash() const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (const PatternEdge& e : edges_) {
+    h = HashCombine(h, static_cast<size_t>(e.src));
+    h = HashCombine(h, static_cast<size_t>(e.pred));
+    h = HashCombine(h, static_cast<size_t>(e.dst));
+  }
+  for (TypeId t : vertex_labels_) h = HashCombine(h, t);
+  return h;
+}
+
+}  // namespace nous

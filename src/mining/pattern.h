@@ -1,0 +1,89 @@
+#ifndef NOUS_MINING_PATTERN_H_
+#define NOUS_MINING_PATTERN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/dictionary.h"
+#include "graph/types.h"
+
+namespace nous {
+
+/// One edge of a pattern: variable ids into the pattern's vertex set.
+struct PatternEdge {
+  int src = 0;
+  PredicateId pred = kInvalidPredicate;
+  int dst = 0;
+
+  friend bool operator==(const PatternEdge& a, const PatternEdge& b) {
+    return a.src == b.src && a.pred == b.pred && a.dst == b.dst;
+  }
+};
+
+/// A small connected, directed, edge-labeled (and optionally
+/// vertex-typed) subgraph pattern in canonical form. Canonicalization
+/// tries every edge ordering (patterns are capped at a handful of
+/// edges), renumbers vertices by first appearance, and keeps the
+/// lexicographically smallest code — a minimal-DFS-code construction
+/// specialized to tiny patterns.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// A concrete edge during canonicalization: endpoints are opaque
+  /// 64-bit vertex keys (graph VertexIds in practice).
+  struct ConcreteEdge {
+    uint64_t src;
+    PredicateId pred;
+    uint64_t dst;
+  };
+
+  /// Builds the canonical pattern for `edges`. `vertex_label` supplies
+  /// the type label per concrete vertex (return kInvalidType for
+  /// untyped mining). If `position_to_vertex` is non-null it receives
+  /// the concrete vertex for each canonical variable position — the
+  /// assignment MNI support counting needs.
+  static Pattern Canonicalize(
+      const std::vector<ConcreteEdge>& edges,
+      const std::function<TypeId(uint64_t)>& vertex_label,
+      std::vector<uint64_t>* position_to_vertex = nullptr);
+
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+  const std::vector<TypeId>& vertex_labels() const {
+    return vertex_labels_;
+  }
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_vertices() const { return vertex_labels_.size(); }
+
+  /// True when `sub` embeds into this pattern (injective on edges,
+  /// consistent on variables, matching labels). Used for closedness.
+  bool Contains(const Pattern& sub) const;
+
+  /// Connected (num_edges-1)-edge sub-patterns — what the miner
+  /// re-registers when a pattern is demoted (§3.5 reconstruction).
+  std::vector<Pattern> SubPatterns() const;
+
+  /// Human-readable form, e.g. "(?0)-[acquired]->(?1) ...".
+  std::string ToString(const Dictionary& predicates,
+                       const Dictionary* types = nullptr) const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.edges_ == b.edges_ && a.vertex_labels_ == b.vertex_labels_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<PatternEdge> edges_;
+  std::vector<TypeId> vertex_labels_;
+};
+
+struct PatternHash {
+  size_t operator()(const Pattern& p) const { return p.Hash(); }
+};
+
+}  // namespace nous
+
+#endif  // NOUS_MINING_PATTERN_H_

@@ -1,0 +1,55 @@
+#ifndef NOUS_MINING_PATTERN_MATCHER_H_
+#define NOUS_MINING_PATTERN_MATCHER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "mining/pattern.h"
+
+namespace nous {
+
+/// One concrete occurrence of a pattern in a graph.
+struct PatternMatch {
+  /// Graph vertex per pattern variable position.
+  std::vector<VertexId> vertices;
+  /// Graph edge per pattern edge (same order as Pattern::edges()).
+  std::vector<EdgeId> edges;
+};
+
+struct MatchOptions {
+  /// Require graph vertex types to equal the pattern's vertex labels
+  /// (labels of kInvalidType match any vertex).
+  bool use_vertex_types = false;
+  /// Stop after this many matches (0 = unlimited).
+  size_t limit = 0;
+  /// Reject matches that reuse a graph edge for two pattern edges
+  /// (vertex reuse across distinct variables is always rejected).
+  bool distinct_edges = true;
+  /// Incremental-detection hooks: when pin_pattern_edge >= 0, that
+  /// pattern edge may only bind to graph edge `pin_edge`, and every
+  /// OTHER pattern edge may only bind to graph edges with id strictly
+  /// below `max_edge_id` (when != kInvalidEdge). Together these
+  /// restrict the search to matches completed by a newly arrived edge.
+  int pin_pattern_edge = -1;
+  EdgeId pin_edge = kInvalidEdge;
+  EdgeId max_edge_id = kInvalidEdge;
+};
+
+/// Finds embeddings of `pattern` in `graph` by backtracking search,
+/// seeding from the pattern edge whose predicate is rarest in the
+/// graph — the selectivity-based ordering of the authors' continuous
+/// pattern detection line of work (Choudhury et al., EDBT 2015, cited
+/// as [4]). Complete up to `limit`.
+std::vector<PatternMatch> MatchPattern(const PropertyGraph& graph,
+                                       const Pattern& pattern,
+                                       const MatchOptions& options = {});
+
+/// Count-only variant (still bounded by options.limit when non-zero).
+size_t CountPatternMatches(const PropertyGraph& graph,
+                           const Pattern& pattern,
+                           const MatchOptions& options = {});
+
+}  // namespace nous
+
+#endif  // NOUS_MINING_PATTERN_MATCHER_H_

@@ -1,0 +1,175 @@
+#include "mining/streaming_miner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace nous {
+
+StreamingMiner::StreamingMiner(MinerConfig config) : config_(config) {}
+
+void StreamingMiner::OnEdgeAdded(const PropertyGraph& graph, EdgeId edge) {
+  // Every connected subset containing the new edge; all other edges in
+  // the window are older (smaller ids), so older_only enumeration
+  // discovers each subset exactly once across the stream.
+  EnumerateConnectedSubsets(
+      graph, edge, config_, /*older_only=*/true,
+      [this, &graph](const std::vector<EdgeId>& subset) {
+        AddEmbedding(graph, subset);
+      });
+}
+
+void StreamingMiner::OnEdgeExpiring(const PropertyGraph& /*graph*/,
+                                    EdgeId edge) {
+  auto it = edge_index_.find(edge);
+  if (it == edge_index_.end()) return;
+  // RemoveEmbedding mutates other edges' index entries but only reads
+  // this one after the move.
+  std::vector<uint32_t> ids = std::move(it->second);
+  edge_index_.erase(it);
+  for (uint32_t id : ids) {
+    if (embeddings_[id].alive) RemoveEmbedding(id);
+  }
+}
+
+void StreamingMiner::AddEmbedding(const PropertyGraph& graph,
+                                  const std::vector<EdgeId>& edges) {
+  std::vector<VertexId> assignment;
+  Pattern p = CanonicalizeEdgeSet(graph, edges, config_.use_vertex_types,
+                                  &assignment);
+  auto [it, inserted] = pattern_index_.try_emplace(
+      p, static_cast<uint32_t>(patterns_.size()));
+  if (inserted) {
+    PatternEntry entry;
+    entry.pattern = p;
+    entry.position_counts.resize(p.num_vertices());
+    patterns_.push_back(std::move(entry));
+  }
+  uint32_t pattern_id = it->second;
+  PatternEntry& entry = patterns_[pattern_id];
+  for (size_t pos = 0; pos < assignment.size(); ++pos) {
+    entry.position_counts[pos][assignment[pos]]++;
+  }
+  ++entry.embeddings;
+
+  uint32_t id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<uint32_t>(embeddings_.size());
+    embeddings_.emplace_back();
+  }
+  Embedding& emb = embeddings_[id];
+  emb.pattern_id = pattern_id;
+  emb.edges = edges;
+  emb.assignment = std::move(assignment);
+  emb.alive = true;
+  for (EdgeId e : edges) edge_index_[e].push_back(id);
+  ++live_embeddings_;
+  ++created_total_;
+}
+
+void StreamingMiner::RemoveEmbedding(uint32_t embedding_id) {
+  Embedding& emb = embeddings_[embedding_id];
+  NOUS_CHECK(emb.alive);
+  PatternEntry& entry = patterns_[emb.pattern_id];
+  for (size_t pos = 0; pos < emb.assignment.size(); ++pos) {
+    auto it = entry.position_counts[pos].find(emb.assignment[pos]);
+    NOUS_CHECK(it != entry.position_counts[pos].end());
+    if (--it->second == 0) entry.position_counts[pos].erase(it);
+  }
+  --entry.embeddings;
+  for (EdgeId e : emb.edges) {
+    auto it = edge_index_.find(e);
+    if (it == edge_index_.end()) continue;  // being drained by expiry
+    auto& ids = it->second;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == embedding_id) {
+        ids[i] = ids.back();
+        ids.pop_back();
+        break;
+      }
+    }
+  }
+  emb.alive = false;
+  emb.edges.clear();
+  emb.assignment.clear();
+  free_slots_.push_back(embedding_id);
+  --live_embeddings_;
+  ++removed_total_;
+}
+
+size_t StreamingMiner::SupportOfEntry(const PatternEntry& entry) const {
+  if (entry.embeddings == 0 || entry.position_counts.empty()) return 0;
+  size_t support = entry.position_counts[0].size();
+  for (const auto& counts : entry.position_counts) {
+    support = std::min(support, counts.size());
+  }
+  return support;
+}
+
+std::vector<PatternStats> StreamingMiner::FrequentPatterns() const {
+  std::vector<PatternStats> results;
+  for (const PatternEntry& entry : patterns_) {
+    size_t support = SupportOfEntry(entry);
+    if (support < config_.min_support) continue;
+    PatternStats stats;
+    stats.pattern = entry.pattern;
+    stats.embeddings = entry.embeddings;
+    stats.support = support;
+    results.push_back(std::move(stats));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const PatternStats& a, const PatternStats& b) {
+              return a.support > b.support;
+            });
+  return results;
+}
+
+std::vector<PatternStats> StreamingMiner::ClosedFrequentPatterns() const {
+  std::vector<PatternStats> frequent = FrequentPatterns();
+  std::vector<PatternStats> closed;
+  for (const PatternStats& p : frequent) {
+    bool subsumed = false;
+    for (const PatternStats& q : frequent) {
+      if (q.pattern.num_edges() <= p.pattern.num_edges()) continue;
+      if (q.support == p.support && q.pattern.Contains(p.pattern)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) closed.push_back(p);
+  }
+  return closed;
+}
+
+size_t StreamingMiner::SupportOf(const Pattern& pattern) const {
+  auto it = pattern_index_.find(pattern);
+  if (it == pattern_index_.end()) return 0;
+  return SupportOfEntry(patterns_[it->second]);
+}
+
+StreamingMiner::Churn StreamingMiner::TakeChurn() {
+  std::unordered_set<size_t> now;
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (SupportOfEntry(patterns_[i]) >= config_.min_support) {
+      now.insert(i);
+    }
+  }
+  Churn churn;
+  for (size_t id : now) {
+    if (last_frequent_.count(id) == 0) {
+      churn.became_frequent.push_back(patterns_[id].pattern);
+    }
+  }
+  for (size_t id : last_frequent_) {
+    if (now.count(id) == 0) {
+      churn.became_infrequent.push_back(patterns_[id].pattern);
+    }
+  }
+  last_frequent_ = std::move(now);
+  return churn;
+}
+
+}  // namespace nous

@@ -1,0 +1,156 @@
+#include "mining/subgraph_enum.h"
+
+#include <algorithm>
+#include <set>
+
+namespace nous {
+
+size_t EnumerateConnectedSubsets(
+    const PropertyGraph& graph, EdgeId anchor, const MinerConfig& config,
+    bool older_only,
+    const std::function<void(const std::vector<EdgeId>&)>& fn) {
+  size_t visited = 0;
+  std::set<std::vector<EdgeId>> seen;
+  std::vector<EdgeId> current = {anchor};
+
+  // Collect candidate extensions: live edges adjacent to any endpoint
+  // of the current subset.
+  auto extensions = [&graph, older_only, anchor](
+                        const std::vector<EdgeId>& subset) {
+    std::vector<EdgeId> result;
+    auto consider = [&](EdgeId e) {
+      if (older_only && e >= anchor) return;
+      if (e == anchor) return;
+      if (std::find(subset.begin(), subset.end(), e) != subset.end())
+        return;
+      if (std::find(result.begin(), result.end(), e) != result.end())
+        return;
+      result.push_back(e);
+    };
+    for (EdgeId in_set : subset) {
+      const EdgeRecord& rec = graph.Edge(in_set);
+      for (VertexId v : {rec.subject, rec.object}) {
+        for (const AdjEntry& a : graph.OutEdges(v)) consider(a.edge);
+        for (const AdjEntry& a : graph.InEdges(v)) consider(a.edge);
+      }
+    }
+    return result;
+  };
+
+  std::function<bool(std::vector<EdgeId>*)> grow =
+      [&](std::vector<EdgeId>* subset) -> bool {
+    std::vector<EdgeId> sorted = *subset;
+    std::sort(sorted.begin(), sorted.end());
+    if (!seen.insert(sorted).second) return true;
+    ++visited;
+    fn(sorted);
+    if (visited >= config.max_subsets_per_edge) return false;
+    if (subset->size() >= config.max_edges) return true;
+    for (EdgeId ext : extensions(*subset)) {
+      subset->push_back(ext);
+      bool keep_going = grow(subset);
+      subset->pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  grow(&current);
+  return visited;
+}
+
+Pattern CanonicalizeEdgeSet(const PropertyGraph& graph,
+                            const std::vector<EdgeId>& edges,
+                            bool use_vertex_types,
+                            std::vector<VertexId>* assignment) {
+  std::vector<Pattern::ConcreteEdge> concrete;
+  concrete.reserve(edges.size());
+  for (EdgeId e : edges) {
+    const EdgeRecord& rec = graph.Edge(e);
+    concrete.push_back(
+        Pattern::ConcreteEdge{rec.subject, rec.predicate, rec.object});
+  }
+  auto label = [&graph, use_vertex_types](uint64_t v) -> TypeId {
+    if (!use_vertex_types) return kInvalidType;
+    return graph.VertexType(static_cast<VertexId>(v));
+  };
+  std::vector<uint64_t> mapping;
+  Pattern p = Pattern::Canonicalize(concrete, label,
+                                    assignment ? &mapping : nullptr);
+  if (assignment != nullptr) {
+    assignment->clear();
+    for (uint64_t v : mapping) {
+      assignment->push_back(static_cast<VertexId>(v));
+    }
+  }
+  return p;
+}
+
+SupportCounter::SupportCounter(const PropertyGraph* graph,
+                               bool use_vertex_types)
+    : graph_(graph), use_vertex_types_(use_vertex_types) {}
+
+void SupportCounter::AddEmbedding(const std::vector<EdgeId>& edges) {
+  std::vector<VertexId> assignment;
+  Pattern p =
+      CanonicalizeEdgeSet(*graph_, edges, use_vertex_types_, &assignment);
+  auto [it, inserted] = index_.try_emplace(p, entries_.size());
+  if (inserted) {
+    Entry entry;
+    entry.pattern = p;
+    entry.position_counts.resize(p.num_vertices());
+    entries_.push_back(std::move(entry));
+  }
+  Entry& entry = entries_[it->second];
+  for (size_t pos = 0; pos < assignment.size(); ++pos) {
+    entry.position_counts[pos][assignment[pos]]++;
+  }
+  ++entry.embeddings;
+  ++total_embeddings_;
+}
+
+void SupportCounter::Merge(const SupportCounter& other) {
+  for (const Entry& entry : other.entries_) {
+    auto [it, inserted] =
+        index_.try_emplace(entry.pattern, entries_.size());
+    if (inserted) {
+      Entry fresh;
+      fresh.pattern = entry.pattern;
+      fresh.position_counts.resize(entry.pattern.num_vertices());
+      entries_.push_back(std::move(fresh));
+    }
+    Entry& target = entries_[it->second];
+    for (size_t pos = 0; pos < entry.position_counts.size(); ++pos) {
+      for (const auto& [vertex, count] : entry.position_counts[pos]) {
+        target.position_counts[pos][vertex] += count;
+      }
+    }
+    target.embeddings += entry.embeddings;
+  }
+  total_embeddings_ += other.total_embeddings_;
+}
+
+std::vector<PatternStats> SupportCounter::Results(
+    size_t min_support) const {
+  std::vector<PatternStats> results;
+  for (const Entry& entry : entries_) {
+    size_t support = entry.position_counts.empty()
+                         ? 0
+                         : entry.position_counts[0].size();
+    for (const auto& counts : entry.position_counts) {
+      support = std::min(support, counts.size());
+    }
+    if (support < min_support) continue;
+    PatternStats stats;
+    stats.pattern = entry.pattern;
+    stats.embeddings = entry.embeddings;
+    stats.support = support;
+    results.push_back(std::move(stats));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const PatternStats& a, const PatternStats& b) {
+              return a.support > b.support;
+            });
+  return results;
+}
+
+}  // namespace nous

@@ -1,0 +1,69 @@
+#ifndef NOUS_MINING_SUBGRAPH_ENUM_H_
+#define NOUS_MINING_SUBGRAPH_ENUM_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "mining/miner_config.h"
+
+namespace nous {
+
+/// Enumerates every connected live-edge subset of size in [1,
+/// max_edges] containing `anchor`, optionally restricted to edges with
+/// id < anchor. The callback receives each subset once (sorted edge
+/// ids). Returns the number of subsets visited (callback count), which
+/// is also capped at config.max_subsets_per_edge.
+///
+/// The `older_only` restriction gives exactly-once global enumeration:
+/// every connected subset has a unique maximum edge id, so enumerating
+/// per-anchor over all edges (or per arriving edge in the streaming
+/// miner, where the new edge is always the maximum) covers each subset
+/// exactly once.
+size_t EnumerateConnectedSubsets(
+    const PropertyGraph& graph, EdgeId anchor, const MinerConfig& config,
+    bool older_only,
+    const std::function<void(const std::vector<EdgeId>&)>& fn);
+
+/// Accumulates embeddings into per-pattern MNI support counts; shared
+/// by the re-enumeration baselines.
+class SupportCounter {
+ public:
+  SupportCounter(const PropertyGraph* graph, bool use_vertex_types);
+
+  void AddEmbedding(const std::vector<EdgeId>& edges);
+
+  /// Folds another counter's per-pattern counts into this one (used to
+  /// combine per-worker counters after a parallel enumeration).
+  void Merge(const SupportCounter& other);
+
+  /// Patterns meeting `min_support`, sorted by support descending.
+  std::vector<PatternStats> Results(size_t min_support) const;
+
+  size_t num_patterns() const { return entries_.size(); }
+  size_t total_embeddings() const { return total_embeddings_; }
+
+ private:
+  struct Entry {
+    Pattern pattern;
+    std::vector<std::unordered_map<VertexId, uint32_t>> position_counts;
+    size_t embeddings = 0;
+  };
+
+  const PropertyGraph* graph_;
+  bool use_vertex_types_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Pattern, size_t, PatternHash> index_;
+  size_t total_embeddings_ = 0;
+};
+
+/// Canonicalizes a concrete edge set from the graph; assignment (if
+/// non-null) receives the graph vertex per canonical position.
+Pattern CanonicalizeEdgeSet(const PropertyGraph& graph,
+                            const std::vector<EdgeId>& edges,
+                            bool use_vertex_types,
+                            std::vector<VertexId>* assignment = nullptr);
+
+}  // namespace nous
+
+#endif  // NOUS_MINING_SUBGRAPH_ENUM_H_

@@ -1,0 +1,146 @@
+#include "qa/path_baselines.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "common/random.h"
+
+namespace nous {
+
+namespace {
+
+PathResult MakeResult(const PropertyGraph& graph,
+                      const std::vector<VertexId>& vertices,
+                      const std::vector<EdgeId>& edges) {
+  PathResult result;
+  result.vertices = vertices;
+  result.edges = edges;
+  result.coherence = ComputePathCoherence(graph, vertices);
+  std::set<SourceId> sources;
+  for (EdgeId e : edges) sources.insert(graph.Edge(e).meta.source);
+  result.sources.assign(sources.begin(), sources.end());
+  return result;
+}
+
+bool FinalEdgeOk(const PropertyGraph& graph, EdgeId e,
+                 PredicateId relationship) {
+  return relationship == kInvalidPredicate ||
+         graph.Edge(e).predicate == relationship;
+}
+
+}  // namespace
+
+std::vector<PathResult> BfsShortestPaths(const PropertyGraph& graph,
+                                         VertexId source, VertexId target,
+                                         size_t top_k, size_t max_hops,
+                                         PredicateId relationship) {
+  std::vector<PathResult> results;
+  if (source >= graph.NumVertices() || target >= graph.NumVertices() ||
+      source == target) {
+    return results;
+  }
+  struct State {
+    std::vector<VertexId> vertices;
+    std::vector<EdgeId> edges;
+  };
+  std::queue<State> frontier;
+  frontier.push(State{{source}, {}});
+  // Bounded frontier guard for dense graphs.
+  const size_t kMaxStates = 200000;
+  size_t states = 0;
+  while (!frontier.empty() && results.size() < top_k &&
+         states < kMaxStates) {
+    State state = std::move(frontier.front());
+    frontier.pop();
+    ++states;
+    if (state.edges.size() >= max_hops) continue;
+    VertexId tail = state.vertices.back();
+    auto expand = [&](const std::vector<AdjEntry>& adj) {
+      for (const AdjEntry& a : adj) {
+        if (results.size() >= top_k) return;
+        if (std::find(state.vertices.begin(), state.vertices.end(),
+                      a.neighbor) != state.vertices.end()) {
+          continue;
+        }
+        State grown = state;
+        grown.vertices.push_back(a.neighbor);
+        grown.edges.push_back(a.edge);
+        if (a.neighbor == target) {
+          if (FinalEdgeOk(graph, a.edge, relationship)) {
+            results.push_back(
+                MakeResult(graph, grown.vertices, grown.edges));
+          }
+          continue;
+        }
+        frontier.push(std::move(grown));
+      }
+    };
+    expand(graph.OutEdges(tail));
+    expand(graph.InEdges(tail));
+  }
+  return results;
+}
+
+std::vector<PathResult> RandomWalkPaths(const PropertyGraph& graph,
+                                        VertexId source, VertexId target,
+                                        size_t top_k, size_t max_hops,
+                                        size_t num_walks, uint64_t seed,
+                                        PredicateId relationship) {
+  std::vector<PathResult> results;
+  if (source >= graph.NumVertices() || target >= graph.NumVertices() ||
+      source == target) {
+    return results;
+  }
+  Rng rng(seed);
+  // Path -> (hit count, result), ranked by hits.
+  std::map<std::vector<EdgeId>, std::pair<size_t, PathResult>> found;
+  for (size_t walk = 0; walk < num_walks; ++walk) {
+    std::vector<VertexId> vertices = {source};
+    std::vector<EdgeId> edges;
+    for (size_t hop = 0; hop < max_hops; ++hop) {
+      VertexId tail = vertices.back();
+      std::vector<AdjEntry> options;
+      for (const AdjEntry& a : graph.OutEdges(tail)) options.push_back(a);
+      for (const AdjEntry& a : graph.InEdges(tail)) options.push_back(a);
+      // Drop already-visited vertices (simple walks).
+      options.erase(
+          std::remove_if(options.begin(), options.end(),
+                         [&vertices](const AdjEntry& a) {
+                           return std::find(vertices.begin(),
+                                            vertices.end(),
+                                            a.neighbor) != vertices.end();
+                         }),
+          options.end());
+      if (options.empty()) break;
+      const AdjEntry& pick = options[rng.UniformInt(options.size())];
+      vertices.push_back(pick.neighbor);
+      edges.push_back(pick.edge);
+      if (pick.neighbor == target) {
+        if (FinalEdgeOk(graph, pick.edge, relationship)) {
+          auto it = found.find(edges);
+          if (it == found.end()) {
+            found.emplace(edges, std::make_pair(
+                                     1u, MakeResult(graph, vertices,
+                                                    edges)));
+          } else {
+            ++it->second.first;
+          }
+        }
+        break;
+      }
+    }
+  }
+  std::vector<std::pair<size_t, PathResult>> ranked;
+  for (auto& [edges, hit] : found) ranked.push_back(std::move(hit));
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (auto& [hits, result] : ranked) {
+    if (results.size() >= top_k) break;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace nous

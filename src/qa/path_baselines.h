@@ -1,0 +1,30 @@
+#ifndef NOUS_QA_PATH_BASELINES_H_
+#define NOUS_QA_PATH_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "qa/path_search.h"
+
+namespace nous {
+
+/// Breadth-first baseline: up to `top_k` shortest simple paths (by hop
+/// count, ties broken by discovery order). Coherence is computed for
+/// reporting only — the ranking ignores topics, which is exactly what
+/// the coherence-guided search improves on (E6).
+std::vector<PathResult> BfsShortestPaths(
+    const PropertyGraph& graph, VertexId source, VertexId target,
+    size_t top_k, size_t max_hops,
+    PredicateId relationship = kInvalidPredicate);
+
+/// Random-walk (PRA-flavored) baseline: `num_walks` random simple
+/// walks of length <= max_hops; walks that reach the target become
+/// candidate paths, deduped and ranked by how often they were hit.
+std::vector<PathResult> RandomWalkPaths(
+    const PropertyGraph& graph, VertexId source, VertexId target,
+    size_t top_k, size_t max_hops, size_t num_walks, uint64_t seed,
+    PredicateId relationship = kInvalidPredicate);
+
+}  // namespace nous
+
+#endif  // NOUS_QA_PATH_BASELINES_H_

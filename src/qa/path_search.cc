@@ -1,0 +1,155 @@
+#include "qa/path_search.h"
+
+#include <algorithm>
+#include <set>
+
+#include "topic/divergence.h"
+
+namespace nous {
+
+namespace {
+
+constexpr double kLn2 = 0.6931471805599453;
+
+struct PartialPath {
+  std::vector<VertexId> vertices;
+  std::vector<EdgeId> edges;
+  double guide_score = 0.0;  // lower = expand first
+};
+
+}  // namespace
+
+double ComputePathCoherence(const PropertyGraph& graph,
+                            const std::vector<VertexId>& vertices) {
+  if (vertices.size() < 2) return 0.0;
+  double total = 0;
+  for (size_t i = 0; i + 1 < vertices.size(); ++i) {
+    total += JsDivergence(graph.VertexTopics(vertices[i]),
+                          graph.VertexTopics(vertices[i + 1]));
+  }
+  return total / static_cast<double>(vertices.size() - 1);
+}
+
+PathSearch::PathSearch(const PropertyGraph* graph, PathSearchConfig config)
+    : graph_(graph), config_(config) {}
+
+std::vector<PathResult> PathSearch::FindPaths(
+    VertexId source, VertexId target, PredicateId relationship) const {
+  std::vector<PathResult> complete;
+  if (source >= graph_->NumVertices() || target >= graph_->NumVertices() ||
+      source == target) {
+    return complete;
+  }
+  const std::vector<double>& target_topics = graph_->VertexTopics(target);
+
+  auto divergence_to_target = [&](VertexId v) {
+    if (!config_.use_topic_guidance) return 0.0;
+    return JsDivergence(graph_->VertexTopics(v), target_topics);
+  };
+  // One-step look-ahead: best divergence among v's neighbors.
+  auto lookahead = [&](VertexId v) {
+    if (!config_.use_topic_guidance) return 0.0;
+    double best = kLn2;
+    size_t seen = 0;
+    auto scan = [&](const std::vector<AdjEntry>& adj) {
+      for (const AdjEntry& a : adj) {
+        if (seen++ >= config_.max_expansion) return;
+        if (a.neighbor == target) {
+          best = 0.0;
+          return;
+        }
+        best = std::min(best, divergence_to_target(a.neighbor));
+      }
+    };
+    scan(graph_->OutEdges(v));
+    if (best > 0) scan(graph_->InEdges(v));
+    return best;
+  };
+
+  std::vector<PartialPath> beam;
+  beam.push_back(PartialPath{{source}, {}, 0.0});
+  std::set<std::pair<std::vector<VertexId>, std::vector<EdgeId>>> emitted;
+
+  for (size_t hop = 0; hop < config_.max_hops && !beam.empty(); ++hop) {
+    std::vector<PartialPath> successors;
+    for (const PartialPath& path : beam) {
+      VertexId tail = path.vertices.back();
+      size_t expanded = 0;
+      auto expand = [&](const std::vector<AdjEntry>& adj) {
+        for (const AdjEntry& a : adj) {
+          if (expanded >= config_.max_expansion) return;
+          VertexId next = a.neighbor;
+          if (std::find(path.vertices.begin(), path.vertices.end(),
+                        next) != path.vertices.end()) {
+            continue;  // simple paths only
+          }
+          if (graph_->Edge(a.edge).meta.confidence <
+              config_.min_edge_confidence) {
+            continue;  // untrusted fact
+          }
+          ++expanded;
+          PartialPath grown = path;
+          grown.vertices.push_back(next);
+          grown.edges.push_back(a.edge);
+          if (next == target) {
+            // Relationship constraint: final edge by default, any
+            // edge when constraint_anywhere is set.
+            bool constraint_ok = relationship == kInvalidPredicate;
+            if (!constraint_ok && config_.constraint_anywhere) {
+              for (EdgeId e : grown.edges) {
+                if (graph_->Edge(e).predicate == relationship) {
+                  constraint_ok = true;
+                  break;
+                }
+              }
+            } else if (!constraint_ok) {
+              constraint_ok =
+                  graph_->Edge(a.edge).predicate == relationship;
+            }
+            if (!constraint_ok) continue;
+            PathResult result;
+            result.vertices = grown.vertices;
+            result.edges = grown.edges;
+            result.coherence =
+                ComputePathCoherence(*graph_, grown.vertices);
+            std::set<SourceId> sources;
+            for (EdgeId e : grown.edges) {
+              sources.insert(graph_->Edge(e).meta.source);
+            }
+            result.sources.assign(sources.begin(), sources.end());
+            auto key = std::make_pair(result.vertices, result.edges);
+            if (emitted.insert(key).second) {
+              complete.push_back(std::move(result));
+            }
+            continue;
+          }
+          grown.guide_score = divergence_to_target(next) +
+                              config_.lookahead_weight * lookahead(next);
+          successors.push_back(std::move(grown));
+        }
+      };
+      expand(graph_->OutEdges(tail));
+      expand(graph_->InEdges(tail));
+    }
+    std::sort(successors.begin(), successors.end(),
+              [](const PartialPath& a, const PartialPath& b) {
+                return a.guide_score < b.guide_score;
+              });
+    if (successors.size() > config_.beam_width) {
+      successors.resize(config_.beam_width);
+    }
+    beam = std::move(successors);
+  }
+
+  std::sort(complete.begin(), complete.end(),
+            [](const PathResult& a, const PathResult& b) {
+              if (a.coherence != b.coherence) {
+                return a.coherence < b.coherence;
+              }
+              return a.vertices.size() < b.vertices.size();
+            });
+  if (complete.size() > config_.top_k) complete.resize(config_.top_k);
+  return complete;
+}
+
+}  // namespace nous

@@ -1,0 +1,161 @@
+#include "qa/query.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "text/date_parser.h"
+
+namespace nous {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kTrending: return "trending";
+    case QueryKind::kEntity: return "entity";
+    case QueryKind::kRelationship: return "relationship";
+    case QueryKind::kPattern: return "pattern";
+    case QueryKind::kSearch: return "search";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Strips a trailing '?' / '.' and surrounding whitespace.
+std::string Normalize(const std::string& text) {
+  std::string_view v = Trim(text);
+  while (!v.empty() && (v.back() == '?' || v.back() == '.')) {
+    v.remove_suffix(1);
+    v = Trim(v);
+  }
+  return std::string(v);
+}
+
+/// If `lower` starts with `prefix`, returns the remainder of the
+/// original-cased text after the prefix (trimmed).
+bool TakePrefix(const std::string& text, const std::string& lower,
+                std::string_view prefix, std::string* rest) {
+  if (!StartsWith(lower, prefix)) return false;
+  *rest = std::string(Trim(std::string_view(text).substr(prefix.size())));
+  return true;
+}
+
+/// Splits "A <sep> B" on the first whole-word separator occurrence in
+/// the lower-cased text.
+bool SplitOn(const std::string& text, const std::string& lower,
+             std::string_view sep, std::string* a, std::string* b) {
+  std::string needle = " " + std::string(sep) + " ";
+  size_t pos = lower.find(needle);
+  if (pos == std::string::npos) return false;
+  *a = std::string(Trim(std::string_view(text).substr(0, pos)));
+  *b = std::string(
+      Trim(std::string_view(text).substr(pos + needle.size())));
+  return !a->empty() && !b->empty();
+}
+
+/// Extracts an optional trailing "since <year>" filter.
+void TakeSince(std::string* text, Timestamp* since) {
+  std::string lower = ToLower(*text);
+  size_t pos = lower.rfind(" since ");
+  if (pos == std::string::npos) return;
+  std::string tail(Trim(std::string_view(*text).substr(pos + 7)));
+  if (!IsDigits(tail) || tail.size() != 4) return;
+  int year = std::atoi(tail.c_str());
+  if (year < 1500 || year > 2200) return;
+  *since = Date{year, 1, 1}.ToDayNumber();
+  *text = std::string(Trim(std::string_view(*text).substr(0, pos)));
+}
+
+/// Extracts an optional trailing "via <P>" constraint.
+void TakeVia(std::string* text, std::string* predicate) {
+  std::string lower = ToLower(*text);
+  size_t pos = lower.rfind(" via ");
+  if (pos == std::string::npos) return;
+  *predicate = std::string(Trim(std::string_view(*text).substr(pos + 5)));
+  *text = std::string(Trim(std::string_view(*text).substr(0, pos)));
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& raw) {
+  std::string text = Normalize(raw);
+  std::string lower = ToLower(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty query");
+  }
+  Query query;
+
+  if (lower == "trending" || lower == "what is trending" ||
+      StartsWith(lower, "what is trending")) {
+    query.kind = QueryKind::kTrending;
+    return query;
+  }
+  if (lower == "patterns" || lower == "show patterns" ||
+      StartsWith(lower, "show discovered patterns")) {
+    query.kind = QueryKind::kPattern;
+    return query;
+  }
+
+  std::string rest;
+  if (TakePrefix(text, lower, "tell me about ", &rest) ||
+      TakePrefix(text, lower, "who is ", &rest) ||
+      TakePrefix(text, lower, "what is ", &rest)) {
+    if (rest.empty()) return Status::InvalidArgument("missing entity");
+    query.kind = QueryKind::kEntity;
+    TakeSince(&rest, &query.since);
+    if (rest.empty()) return Status::InvalidArgument("missing entity");
+    query.entity_a = rest;
+    return query;
+  }
+
+  if (TakePrefix(text, lower, "why would ", &rest) ||
+      TakePrefix(text, lower, "why does ", &rest) ||
+      TakePrefix(text, lower, "why did ", &rest)) {
+    // "why would <A> use <B>" — the verb becomes the constraint.
+    std::string rest_lower = ToLower(rest);
+    for (std::string_view verb : {"use", "employ", "acquire", "buy",
+                                  "partner with", "invest in"}) {
+      std::string a, b;
+      if (SplitOn(rest, rest_lower, verb, &a, &b)) {
+        query.kind = QueryKind::kRelationship;
+        query.entity_a = a;
+        query.entity_b = b;
+        query.predicate = std::string(verb);
+        return query;
+      }
+    }
+    return Status::InvalidArgument("unrecognized why-question: " + raw);
+  }
+
+  if (TakePrefix(text, lower, "explain ", &rest)) {
+    std::string predicate;
+    TakeVia(&rest, &predicate);
+    std::string a, b;
+    if (!SplitOn(rest, ToLower(rest), "and", &a, &b)) {
+      return Status::InvalidArgument("explain needs '<A> and <B>'");
+    }
+    query.kind = QueryKind::kRelationship;
+    query.entity_a = a;
+    query.entity_b = b;
+    query.predicate = predicate;
+    return query;
+  }
+
+  if (TakePrefix(text, lower, "paths from ", &rest) ||
+      TakePrefix(text, lower, "path from ", &rest)) {
+    std::string predicate;
+    TakeVia(&rest, &predicate);
+    std::string a, b;
+    if (!SplitOn(rest, ToLower(rest), "to", &a, &b)) {
+      return Status::InvalidArgument("search needs '<A> to <B>'");
+    }
+    query.kind = QueryKind::kSearch;
+    query.entity_a = a;
+    query.entity_b = b;
+    query.predicate = predicate;
+    return query;
+  }
+
+  return Status::InvalidArgument("unrecognized query: " + raw);
+}
+
+}  // namespace nous

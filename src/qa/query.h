@@ -1,0 +1,47 @@
+#ifndef NOUS_QA_QUERY_H_
+#define NOUS_QA_QUERY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/types.h"
+
+namespace nous {
+
+/// The five query classes of the paper's Figure 5.
+enum class QueryKind {
+  kTrending,      // "what is trending"
+  kEntity,        // "tell me about DJI" (Figure 6)
+  kRelationship,  // "why would Windermere use drones" / explain s ~ t
+  kPattern,       // "show discovered patterns" (Figure 7)
+  kSearch,        // "paths from X to Y [via P]"
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// A parsed structured query.
+struct Query {
+  QueryKind kind = QueryKind::kEntity;
+  std::string entity_a;
+  std::string entity_b;
+  std::string predicate;  // optional relationship constraint
+  /// Entity queries: only facts with timestamp >= since (0 = all).
+  /// Parsed from a trailing "since <year>".
+  Timestamp since = 0;
+  size_t top_k = 5;
+};
+
+/// Template-based natural-language-like query parser, covering the
+/// phrasings the demo exposes:
+///   "what is trending" | "trending"            -> kTrending
+///   "tell me about <E>" | "who is <E>"         -> kEntity
+///   "why would <A> use <B>" /
+///   "explain <A> and <B> [via <P>]"            -> kRelationship
+///   "show patterns" | "patterns"               -> kPattern
+///   "paths from <A> to <B> [via <P>]"          -> kSearch
+/// Unrecognized text yields InvalidArgument.
+Result<Query> ParseQuery(const std::string& text);
+
+}  // namespace nous
+
+#endif  // NOUS_QA_QUERY_H_

@@ -1,0 +1,233 @@
+#include "server/api.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "server/json_writer.h"
+
+namespace nous {
+
+namespace {
+
+HttpResponse JsonError(int status, const std::string& message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.String(message);
+  w.EndObject();
+  HttpResponse response;
+  response.status = status;
+  response.body = w.Result();
+  return response;
+}
+
+}  // namespace
+
+NousApi::NousApi(Nous* nous) : nous_(nous) {}
+
+std::string NousApi::AnswerJson(const Answer& answer) const {
+  const PropertyGraph& graph = nous_->graph();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("kind");
+  w.String(QueryKindName(answer.kind));
+  w.Key("facts");
+  w.BeginArray();
+  for (const FactLine& f : answer.facts) {
+    w.BeginObject();
+    w.Key("subject");
+    w.String(f.subject);
+    w.Key("predicate");
+    w.String(f.predicate);
+    w.Key("object");
+    w.String(f.object);
+    w.Key("confidence");
+    w.Number(f.confidence);
+    w.Key("curated");
+    w.Bool(f.curated);
+    w.Key("source");
+    w.String(f.source);
+    w.Key("timestamp");
+    w.Int(f.timestamp);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("hot_entities");
+  w.BeginArray();
+  for (const auto& [name, count] : answer.hot_entities) {
+    w.BeginObject();
+    w.Key("entity");
+    w.String(name);
+    w.Key("activity");
+    w.Int(static_cast<long long>(count));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("patterns");
+  w.BeginArray();
+  for (const RenderedPattern& p : answer.patterns) {
+    w.BeginObject();
+    w.Key("pattern");
+    w.String(p.description);
+    w.Key("support");
+    w.Int(static_cast<long long>(p.support));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("paths");
+  w.BeginArray();
+  for (const PathResult& path : answer.paths) {
+    w.BeginObject();
+    w.Key("coherence");
+    w.Number(path.coherence);
+    w.Key("hops");
+    w.BeginArray();
+    for (size_t i = 0; i < path.vertices.size(); ++i) {
+      w.String(graph.VertexLabel(path.vertices[i]));
+      if (i < path.edges.size()) {
+        w.String(graph.predicates().GetString(
+            graph.Edge(path.edges[i]).predicate));
+      }
+    }
+    w.EndArray();
+    w.Key("sources");
+    w.BeginArray();
+    for (SourceId s : path.sources) {
+      w.String(s == kInvalidSource ? ""
+                                   : graph.sources().GetString(s));
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("distinct_sources");
+  w.Int(static_cast<long long>(answer.distinct_sources));
+  w.EndObject();
+  return w.Result();
+}
+
+HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
+  auto it = request.params.find("q");
+  if (it == request.params.end() || it->second.empty()) {
+    return JsonError(400, "missing query parameter q");
+  }
+  auto answer = nous_->Ask(it->second);
+  if (!answer.ok()) {
+    return JsonError(
+        answer.status().code() == StatusCode::kNotFound ? 404 : 400,
+        answer.status().ToString());
+  }
+  HttpResponse response;
+  response.body = AnswerJson(*answer);
+  return response;
+}
+
+HttpResponse NousApi::HandleStats() {
+  GraphStats stats = nous_->ComputeStats();
+  const PipelineStats& ps = nous_->stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("vertices");
+  w.Int(static_cast<long long>(stats.vertices));
+  w.Key("edges");
+  w.Int(static_cast<long long>(stats.live_edges));
+  w.Key("curated_edges");
+  w.Int(static_cast<long long>(stats.curated_edges));
+  w.Key("extracted_edges");
+  w.Int(static_cast<long long>(stats.extracted_edges));
+  w.Key("predicates");
+  w.Int(static_cast<long long>(stats.distinct_predicates));
+  w.Key("documents");
+  w.Int(static_cast<long long>(ps.documents));
+  w.Key("accepted_triples");
+  w.Int(static_cast<long long>(ps.accepted_triples));
+  w.Key("new_entities");
+  w.Int(static_cast<long long>(ps.new_entities));
+  w.Key("mean_extracted_confidence");
+  w.Number(stats.extracted_confidence.Mean());
+  w.EndObject();
+  HttpResponse response;
+  response.body = w.Result();
+  return response;
+}
+
+HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
+  if (request.body.empty()) {
+    return JsonError(400, "empty body; POST the document text");
+  }
+  auto param = [&request](const char* key, int fallback) {
+    auto it = request.params.find(key);
+    if (it == request.params.end()) return fallback;
+    return std::atoi(it->second.c_str());
+  };
+  Date date{param("year", 2016), param("month", 1), param("day", 1)};
+  std::string source = "web";
+  if (auto it = request.params.find("source");
+      it != request.params.end() && !it->second.empty()) {
+    source = it->second;
+  }
+  size_t accepted_before = nous_->stats().accepted_triples;
+  nous_->IngestText(request.body, date, source);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("accepted");
+  w.Int(static_cast<long long>(nous_->stats().accepted_triples -
+                               accepted_before));
+  w.Key("total_edges");
+  w.Int(static_cast<long long>(nous_->graph().NumEdges()));
+  w.EndObject();
+  HttpResponse response;
+  response.body = w.Result();
+  return response;
+}
+
+HttpResponse NousApi::Handle(const HttpRequest& request) {
+  if (request.path == "/" && request.method == "GET") {
+    HttpResponse response;
+    response.content_type = "text/html; charset=utf-8";
+    response.body = DemoPageHtml();
+    return response;
+  }
+  if (request.path == "/api/query" && request.method == "GET") {
+    return HandleQuery(request);
+  }
+  if (request.path == "/api/stats" && request.method == "GET") {
+    return HandleStats();
+  }
+  if (request.path == "/api/ingest" && request.method == "POST") {
+    return HandleIngest(request);
+  }
+  return JsonError(404, "no such endpoint: " + request.path);
+}
+
+const char* DemoPageHtml() {
+  return R"html(<!doctype html>
+<html><head><meta charset="utf-8"><title>NOUS demo</title>
+<style>
+ body{font-family:sans-serif;max-width:60rem;margin:2rem auto;padding:0 1rem}
+ input{width:70%;padding:.5rem;font-size:1rem}
+ button{padding:.5rem 1rem;font-size:1rem}
+ pre{background:#f4f4f4;padding:1rem;overflow-x:auto;white-space:pre-wrap}
+ .hint{color:#666;font-size:.9rem}
+</style></head><body>
+<h1>NOUS &mdash; dynamic knowledge graph</h1>
+<p class="hint">Try: <code>tell me about DJI</code> &middot;
+<code>what is trending</code> &middot; <code>show patterns</code> &middot;
+<code>explain DJI and FAA</code> &middot;
+<code>paths from A to B</code></p>
+<input id="q" placeholder="ask a question" autofocus>
+<button onclick="ask()">Ask</button>
+<pre id="out">ready</pre>
+<script>
+async function ask(){
+  const q=document.getElementById('q').value;
+  const r=await fetch('/api/query?q='+encodeURIComponent(q));
+  document.getElementById('out').textContent=
+      JSON.stringify(await r.json(),null,2);
+}
+document.getElementById('q').addEventListener('keydown',
+    e=>{if(e.key==='Enter')ask();});
+</script></body></html>)html";
+}
+
+}  // namespace nous

@@ -1,0 +1,47 @@
+#ifndef NOUS_SERVER_API_H_
+#define NOUS_SERVER_API_H_
+
+#include <string>
+
+#include "core/nous.h"
+#include "server/http_server.h"
+
+namespace nous {
+
+/// JSON + HTML front-end over a Nous instance — the web interface of
+/// the paper's Figure 6 ("Web based interface for Trending, Entity and
+/// Relationship-based queries"), reduced to its essentials:
+///
+///   GET  /                      single-page query UI
+///   GET  /api/query?q=<text>    parse + execute any Figure-5 query
+///   GET  /api/stats             graph + pipeline statistics
+///   POST /api/ingest?source=s&year=Y&month=M&day=D   body = text
+///
+/// The API serializes Answer structures to JSON (facts with
+/// provenance, trending entities, patterns, paths).
+class NousApi {
+ public:
+  /// `nous` must outlive the API. Ingestion mutates it; the demo
+  /// server handles requests sequentially so no locking is needed.
+  explicit NousApi(Nous* nous);
+
+  /// The HttpServer handler.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// JSON for one executed answer (exposed for tests).
+  std::string AnswerJson(const Answer& answer) const;
+
+ private:
+  HttpResponse HandleQuery(const HttpRequest& request);
+  HttpResponse HandleStats();
+  HttpResponse HandleIngest(const HttpRequest& request);
+
+  Nous* nous_;
+};
+
+/// The embedded single-page UI served at "/".
+const char* DemoPageHtml();
+
+}  // namespace nous
+
+#endif  // NOUS_SERVER_API_H_

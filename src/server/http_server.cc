@@ -1,0 +1,201 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+/// Reads until the end of headers plus Content-Length body bytes.
+/// Returns false on malformed input or closed connection.
+bool ReadRequest(int fd, std::string* raw) {
+  raw->clear();
+  char buffer[4096];
+  size_t content_length = 0;
+  size_t header_end = std::string::npos;
+  while (true) {
+    if (header_end == std::string::npos) {
+      ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) return false;
+      raw->append(buffer, static_cast<size_t>(n));
+      if (raw->size() > 1 << 20) return false;  // 1 MiB cap
+      header_end = raw->find("\r\n\r\n");
+      if (header_end == std::string::npos) continue;
+      // Parse Content-Length if present.
+      std::string lower = ToLower(raw->substr(0, header_end));
+      size_t pos = lower.find("content-length:");
+      if (pos != std::string::npos) {
+        content_length = static_cast<size_t>(
+            std::atoll(lower.c_str() + pos + 15));
+        if (content_length > 1 << 20) return false;
+      }
+    }
+    size_t have_body = raw->size() - (header_end + 4);
+    if (have_body >= content_length) return true;
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) return false;
+    raw->append(buffer, static_cast<size_t>(n));
+  }
+}
+
+bool ParseRequest(const std::string& raw, HttpRequest* request) {
+  size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  std::vector<std::string> parts =
+      SplitWhitespace(raw.substr(0, line_end));
+  if (parts.size() < 2) return false;
+  request->method = parts[0];
+  std::string target = parts[1];
+  size_t qpos = target.find('?');
+  if (qpos != std::string::npos) {
+    std::string query = target.substr(qpos + 1);
+    target = target.substr(0, qpos);
+    for (const std::string& pair : Split(query, '&')) {
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request->params[UrlDecode(pair)] = "";
+      } else {
+        request->params[UrlDecode(pair.substr(0, eq))] =
+            UrlDecode(pair.substr(eq + 1));
+      }
+    }
+  }
+  request->path = UrlDecode(target);
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    request->body = raw.substr(header_end + 4);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  const char* reason = response.status == 200   ? "OK"
+                       : response.status == 400 ? "Bad Request"
+                       : response.status == 404 ? "Not Found"
+                                                : "Error";
+  std::string head = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, reason, response.content_type.c_str(),
+      response.body.size());
+  std::string full = head + response.body;
+  size_t sent = 0;
+  while (sent < full.size()) {
+    ssize_t n = ::send(fd, full.data() + sent, full.size() - sent, 0);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < text.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(text[i + 1]);
+      int lo = hex(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += c;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(StrFormat("bind(%u) failed", port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  std::string raw;
+  if (!ReadRequest(fd, &raw)) return;
+  HttpRequest request;
+  HttpResponse response;
+  if (!ParseRequest(raw, &request)) {
+    response.status = 400;
+    response.body = "{\"error\":\"malformed request\"}";
+  } else {
+    response = handler_(request);
+  }
+  WriteResponse(fd, response);
+}
+
+}  // namespace nous

@@ -1,0 +1,72 @@
+#ifndef NOUS_SERVER_HTTP_SERVER_H_
+#define NOUS_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace nous {
+
+/// One parsed HTTP/1.1 request (the subset the demo UI needs).
+struct HttpRequest {
+  std::string method;  // "GET", "POST"
+  std::string path;    // "/api/query" (query string stripped)
+  /// Decoded query parameters (?q=...&source=...).
+  std::map<std::string, std::string> params;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Percent-decodes a URL component ('+' becomes space).
+std::string UrlDecode(std::string_view text);
+
+/// Minimal single-threaded HTTP server over POSIX sockets — the
+/// self-contained stand-in for the paper's web demo front-end
+/// (Figure 6, demo feature 4). Requests are handled sequentially on
+/// the accept thread; adequate for an interactive demo, deliberately
+/// not a production web server.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept
+  /// thread. Fails with Internal on socket errors.
+  Status Start(uint16_t port);
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,53 @@
+#ifndef NOUS_SERVER_JSON_WRITER_H_
+#define NOUS_SERVER_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nous {
+
+/// Minimal streaming JSON writer (objects, arrays, strings, numbers,
+/// booleans) with correct string escaping — just enough for the query
+/// API, no external dependency.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("answer");
+///   w.String("hello");
+///   w.EndObject();
+///   w.Result();  // {"answer":"hello"}
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Must be called inside an object, before the value.
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(long long value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The serialized document (valid once all containers are closed).
+  const std::string& Result() const { return out_; }
+
+  /// Escapes a string per JSON rules (quotes not included).
+  static std::string Escape(std::string_view text);
+
+ private:
+  void Separator();
+
+  std::string out_;
+  /// Per-depth flag: whether a value was already emitted at this level.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_SERVER_JSON_WRITER_H_

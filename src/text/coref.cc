@@ -1,0 +1,74 @@
+#include "text/coref.h"
+
+#include <optional>
+
+namespace nous {
+
+namespace {
+
+bool IsOrgLike(EntityType type) {
+  return type == EntityType::kOrganization || type == EntityType::kMisc;
+}
+
+bool IsThingLike(EntityType type) {
+  return type == EntityType::kOrganization ||
+         type == EntityType::kProduct || type == EntityType::kMisc;
+}
+
+}  // namespace
+
+std::vector<PronounResolution> CorefResolver::Resolve(
+    const std::vector<std::vector<Token>>& sentences,
+    const std::vector<std::vector<EntityMention>>& mentions) const {
+  std::vector<PronounResolution> resolutions;
+  std::optional<EntityMention> last_person;
+  std::optional<EntityMention> last_org;
+  std::optional<EntityMention> last_thing;  // org or product
+
+  for (size_t s = 0; s < sentences.size(); ++s) {
+    const std::vector<Token>& tokens = sentences[s];
+    // Walk tokens; update recency as mentions begin, resolve anaphors.
+    size_t mention_idx = 0;
+    for (size_t t = 0; t < tokens.size(); ++t) {
+      while (mention_idx < mentions[s].size() &&
+             mentions[s][mention_idx].begin <= t) {
+        const EntityMention& m = mentions[s][mention_idx];
+        if (m.type == EntityType::kPerson) last_person = m;
+        if (IsOrgLike(m.type)) last_org = m;
+        if (IsThingLike(m.type)) last_thing = m;
+        ++mention_idx;
+      }
+      const std::string& w = tokens[t].lower;
+      std::optional<EntityMention> antecedent;
+      size_t span_end = t + 1;
+      if (tokens[t].tag == PosTag::kPronoun) {
+        if (w == "he" || w == "she" || w == "him" || w == "her") {
+          antecedent = last_person;
+        } else if (w == "it" || w == "itself") {
+          antecedent = last_thing;
+        } else if (w == "they" || w == "them") {
+          antecedent = last_org;
+        }
+      } else if (w == "the" && t + 1 < tokens.size()) {
+        const std::string& head = tokens[t + 1].lower;
+        if (head == "company" || head == "firm" || head == "startup" ||
+            head == "manufacturer" || head == "organization") {
+          antecedent = last_org;
+          span_end = t + 2;
+        }
+      }
+      if (antecedent.has_value()) {
+        PronounResolution r;
+        r.sentence = s;
+        r.token = t;
+        r.token_end = span_end;
+        r.antecedent = *antecedent;
+        r.antecedent.from_coref = true;
+        resolutions.push_back(std::move(r));
+      }
+    }
+  }
+  return resolutions;
+}
+
+}  // namespace nous

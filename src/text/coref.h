@@ -1,0 +1,43 @@
+#ifndef NOUS_TEXT_COREF_H_
+#define NOUS_TEXT_COREF_H_
+
+#include <vector>
+
+#include "text/lexicon.h"
+#include "text/ner.h"
+#include "text/token.h"
+
+namespace nous {
+
+/// A pronoun (or definite-NP) occurrence resolved to an earlier mention.
+struct PronounResolution {
+  size_t sentence = 0;
+  size_t token = 0;      // index of the pronoun / NP head token
+  size_t token_end = 0;  // one past the anaphor span
+  EntityMention antecedent;
+};
+
+/// Rule-based coreference: personal pronouns resolve to the most recent
+/// type-compatible mention ("he/she" -> PERSON, "it/they" -> ORG or
+/// PRODUCT), and definite NPs like "the company" / "the firm" / "the
+/// startup" resolve to the most recent organization. This mirrors the
+/// paper's use of co-reference output as a heuristic input to triple
+/// extraction (§3.2).
+class CorefResolver {
+ public:
+  explicit CorefResolver(const Lexicon* lexicon) : lexicon_(lexicon) {}
+
+  /// `sentences[i]` are the tagged tokens of sentence i and
+  /// `mentions[i]` its NER mentions. Returns resolutions across the
+  /// whole document in reading order.
+  std::vector<PronounResolution> Resolve(
+      const std::vector<std::vector<Token>>& sentences,
+      const std::vector<std::vector<EntityMention>>& mentions) const;
+
+ private:
+  const Lexicon* lexicon_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_COREF_H_

@@ -1,0 +1,94 @@
+#include "text/date_parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+const int kCumulativeDays[12] = {0,   31,  59,  90,  120, 151,
+                                 181, 212, 243, 273, 304, 334};
+
+bool IsYearToken(const Token& tok, int* year) {
+  if (tok.tag != PosTag::kNumber || tok.text.size() != 4) return false;
+  if (!IsDigits(tok.text)) return false;
+  *year = std::atoi(tok.text.c_str());
+  return *year >= 1500 && *year <= 2200;
+}
+
+bool IsDayToken(const Token& tok, int* day) {
+  if (tok.tag != PosTag::kNumber) return false;
+  if (!IsDigits(tok.text) || tok.text.size() > 2) return false;
+  *day = std::atoi(tok.text.c_str());
+  return *day >= 1 && *day <= 31;
+}
+
+}  // namespace
+
+Timestamp Date::ToDayNumber() const {
+  // 365-day years plus quadrennial leap correction; exactness is not
+  // required, only strict monotonicity over (year, month, day).
+  Timestamp days = static_cast<Timestamp>(year) * 365 + year / 4;
+  days += kCumulativeDays[month - 1];
+  days += day - 1;
+  return days;
+}
+
+Date Date::FromDayNumber(Timestamp days) {
+  Date d;
+  d.year = static_cast<int>((days * 4) / (365 * 4 + 1));
+  // Adjust for rounding at year boundaries.
+  while (Date{d.year + 1, 1, 1}.ToDayNumber() <= days) ++d.year;
+  while (Date{d.year, 1, 1}.ToDayNumber() > days) --d.year;
+  Timestamp remainder = days - Date{d.year, 1, 1}.ToDayNumber();
+  d.month = 12;
+  for (int m = 1; m <= 12; ++m) {
+    if (kCumulativeDays[m - 1] > remainder) {
+      d.month = m - 1;
+      break;
+    }
+  }
+  d.day = static_cast<int>(remainder - kCumulativeDays[d.month - 1]) + 1;
+  return d;
+}
+
+std::string Date::ToString() const {
+  static const char* kNames[12] = {"January", "February", "March",
+                                   "April",   "May",      "June",
+                                   "July",    "August",   "September",
+                                   "October", "November", "December"};
+  return StrFormat("%s %d, %d", kNames[month - 1], day, year);
+}
+
+std::optional<Date> ParseDateAt(const std::vector<Token>& tokens, size_t pos,
+                                const Lexicon& lexicon, size_t* consumed) {
+  *consumed = 0;
+  if (pos >= tokens.size()) return std::nullopt;
+  // Form 1/2: "<Month> [day[,]] <year>" or "<Month> <year>".
+  if (auto month = lexicon.MonthNumber(tokens[pos].lower)) {
+    size_t i = pos + 1;
+    int day = 0;
+    bool has_day = i < tokens.size() && IsDayToken(tokens[i], &day);
+    if (has_day) {
+      ++i;
+      if (i < tokens.size() && tokens[i].text == ",") ++i;
+    }
+    int year = 0;
+    if (i < tokens.size() && IsYearToken(tokens[i], &year)) {
+      *consumed = i - pos + 1;
+      return Date{year, *month, has_day ? day : 1};
+    }
+    return std::nullopt;
+  }
+  // Form 3: bare year.
+  int year = 0;
+  if (IsYearToken(tokens[pos], &year)) {
+    *consumed = 1;
+    return Date{year, 1, 1};
+  }
+  return std::nullopt;
+}
+
+}  // namespace nous

@@ -1,0 +1,45 @@
+#ifndef NOUS_TEXT_DATE_PARSER_H_
+#define NOUS_TEXT_DATE_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "text/lexicon.h"
+#include "text/token.h"
+
+namespace nous {
+
+/// A calendar date with day-granularity arithmetic. Timestamps across
+/// the corpus and the KG are DayNumber values (days since year 0, using
+/// a simplified 365.25-day calendar adequate for ordering and windows).
+struct Date {
+  int year = 0;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  /// Monotone day index used as the KG Timestamp.
+  Timestamp ToDayNumber() const;
+  static Date FromDayNumber(Timestamp days);
+
+  /// "March 5, 2014"-style rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.year == b.year && a.month == b.month && a.day == b.day;
+  }
+  friend bool operator<(const Date& a, const Date& b) {
+    return a.ToDayNumber() < b.ToDayNumber();
+  }
+};
+
+/// Attempts to read a date starting at token `pos`. Recognized forms:
+/// "March 5, 2014", "March 2014", "2014". On success, advances
+/// `*consumed` to the number of tokens used.
+std::optional<Date> ParseDateAt(const std::vector<Token>& tokens, size_t pos,
+                                const Lexicon& lexicon, size_t* consumed);
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_DATE_PARSER_H_

@@ -1,0 +1,164 @@
+#include "text/lexicon.h"
+
+#include "common/string_util.h"
+
+namespace nous {
+
+void Lexicon::AddVerb(std::string_view base,
+                      std::initializer_list<std::string_view> inflections) {
+  std::string b = ToLower(base);
+  verb_forms_[b] = b;
+  for (std::string_view form : inflections) {
+    verb_forms_[ToLower(form)] = b;
+  }
+}
+
+void Lexicon::AddVerbForm(std::string_view form, std::string_view base) {
+  verb_forms_[ToLower(form)] = ToLower(base);
+}
+
+std::optional<std::string> Lexicon::VerbBase(std::string_view form) const {
+  auto it = verb_forms_.find(std::string(form));
+  if (it == verb_forms_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<int> Lexicon::MonthNumber(std::string_view w) const {
+  auto it = months_.find(std::string(w));
+  if (it == months_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status Lexicon::LoadFromStream(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(std::string(trimmed), '\t');
+    if (fields[0] == "V" && fields.size() == 3) {
+      AddVerbForm(fields[1], fields[1]);
+      for (const std::string& form : Split(fields[2], ',')) {
+        if (!form.empty()) AddVerbForm(form, fields[1]);
+      }
+    } else if (fields[0] == "A" && fields.size() == 2) {
+      AddAdjective(ToLower(fields[1]));
+    } else if (fields[0] == "S" && fields.size() == 2) {
+      AddStopword(ToLower(fields[1]));
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("lexicon line %zu: expected 'V base forms', "
+                    "'A word' or 'S word'",
+                    line_no));
+    }
+  }
+  return Status::Ok();
+}
+
+Lexicon Lexicon::Default() {
+  Lexicon lex;
+  for (const char* w : {"a", "an", "the", "this", "that", "these", "those",
+                        "its", "their", "his", "her", "our"}) {
+    lex.determiners_.insert(w);
+  }
+  for (const char* w :
+       {"in", "on", "at", "of", "for", "with", "by", "from", "to", "into",
+        "over", "under", "about", "after", "before", "during", "near",
+        "through", "against", "between", "around"}) {
+    lex.prepositions_.insert(w);
+  }
+  for (const char* w : {"he", "she", "it", "they", "we", "i", "you", "him",
+                        "her", "them", "who", "which", "itself"}) {
+    lex.pronouns_.insert(w);
+  }
+  for (const char* w : {"and", "or", "but", "nor", "so", "yet", "while",
+                        "because", "although", "however"}) {
+    lex.conjunctions_.insert(w);
+  }
+  for (const char* w : {"will", "would", "can", "could", "may", "might",
+                        "shall", "should", "must"}) {
+    lex.modals_.insert(w);
+  }
+  for (const char* w :
+       {"new", "novel", "large", "small", "major", "minor", "commercial",
+        "civilian", "military", "strong", "weak", "leading", "emerging",
+        "unmanned", "aerial", "autonomous", "strategic", "key", "global",
+        "regional", "annual", "financial", "early", "late", "rapid"}) {
+    lex.adjectives_.insert(w);
+  }
+  for (const char* w :
+       {"a", "an", "the", "of", "and", "or", "to", "in", "on", "is", "are",
+        "was", "were", "be", "been", "has", "have", "had", "its", "it",
+        "that", "this", "as", "at", "by", "for", "with", "from", "said"}) {
+    lex.stopwords_.insert(w);
+  }
+  for (const char* w : {"not", "never", "no", "n't", "denied", "denies"}) {
+    lex.negations_.insert(w);
+  }
+  const char* kMonths[] = {"january", "february", "march",     "april",
+                           "may",     "june",     "july",      "august",
+                           "september", "october", "november", "december"};
+  for (int m = 0; m < 12; ++m) lex.months_[kMonths[m]] = m + 1;
+
+  // Copulas and auxiliaries (verb forms mapping to "be"/"have").
+  lex.AddVerb("be", {"is", "are", "was", "were", "been", "being"});
+  lex.AddVerb("have", {"has", "had", "having"});
+  // Business / technology news verb inventory.
+  lex.AddVerb("acquire", {"acquires", "acquired", "acquiring"});
+  lex.AddVerb("buy", {"buys", "bought", "buying"});
+  lex.AddVerb("announce", {"announces", "announced", "announcing"});
+  lex.AddVerb("launch", {"launches", "launched", "launching"});
+  lex.AddVerb("release", {"releases", "released", "releasing"});
+  lex.AddVerb("develop", {"develops", "developed", "developing"});
+  lex.AddVerb("manufacture", {"manufactures", "manufactured",
+                              "manufacturing"});
+  lex.AddVerb("make", {"makes", "made", "making"});
+  lex.AddVerb("produce", {"produces", "produced", "producing"});
+  lex.AddVerb("use", {"uses", "used", "using"});
+  lex.AddVerb("employ", {"employs", "employed", "employing"});
+  lex.AddVerb("deploy", {"deploys", "deployed", "deploying"});
+  lex.AddVerb("hire", {"hires", "hired", "hiring"});
+  lex.AddVerb("appoint", {"appoints", "appointed", "appointing"});
+  lex.AddVerb("name", {"names", "named", "naming"});
+  lex.AddVerb("lead", {"leads", "led", "leading"});
+  lex.AddVerb("found", {"founds", "founded", "founding"});
+  lex.AddVerb("start", {"starts", "started", "starting"});
+  lex.AddVerb("invest", {"invests", "invested", "investing"});
+  lex.AddVerb("fund", {"funds", "funded", "funding"});
+  lex.AddVerb("partner", {"partners", "partnered", "partnering"});
+  lex.AddVerb("collaborate", {"collaborates", "collaborated",
+                              "collaborating"});
+  lex.AddVerb("compete", {"competes", "competed", "competing"});
+  lex.AddVerb("sell", {"sells", "sold", "selling"});
+  lex.AddVerb("supply", {"supplies", "supplied", "supplying"});
+  lex.AddVerb("operate", {"operates", "operated", "operating"});
+  lex.AddVerb("test", {"tests", "tested", "testing"});
+  lex.AddVerb("unveil", {"unveils", "unveiled", "unveiling"});
+  lex.AddVerb("introduce", {"introduces", "introduced", "introducing"});
+  lex.AddVerb("report", {"reports", "reported", "reporting"});
+  lex.AddVerb("expect", {"expects", "expected", "expecting"});
+  lex.AddVerb("plan", {"plans", "planned", "planning"});
+  lex.AddVerb("join", {"joins", "joined", "joining"});
+  lex.AddVerb("work", {"works", "worked", "working"});
+  lex.AddVerb("base", {"based"});
+  lex.AddVerb("headquarter", {"headquartered"});
+  lex.AddVerb("locate", {"located"});
+  lex.AddVerb("regulate", {"regulates", "regulated", "regulating"});
+  lex.AddVerb("approve", {"approves", "approved", "approving"});
+  lex.AddVerb("ban", {"bans", "banned", "banning"});
+  lex.AddVerb("investigate", {"investigates", "investigated",
+                              "investigating"});
+  lex.AddVerb("publish", {"publishes", "published", "publishing"});
+  lex.AddVerb("cite", {"cites", "cited", "citing"});
+  lex.AddVerb("author", {"authors", "authored", "authoring"});
+  lex.AddVerb("access", {"accesses", "accessed", "accessing"});
+  lex.AddVerb("download", {"downloads", "downloaded", "downloading"});
+  lex.AddVerb("email", {"emails", "emailed", "emailing"});
+  lex.AddVerb("log", {"logs", "logged", "logging"});
+  lex.AddVerb("praise", {"praises", "praised", "praising"});
+  lex.AddVerb("back", {"backs", "backed", "backing"});
+  return lex;
+}
+
+}  // namespace nous

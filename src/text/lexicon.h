@@ -1,0 +1,79 @@
+#ifndef NOUS_TEXT_LEXICON_H_
+#define NOUS_TEXT_LEXICON_H_
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+
+namespace nous {
+
+/// Closed-class word lists plus a verb inventory used by the POS tagger
+/// and the OpenIE extractor. The default lexicon covers the business /
+/// technology news register the corpus generator emits; domains can
+/// extend it (demo feature 1: "develop custom relation extractors").
+class Lexicon {
+ public:
+  Lexicon() = default;
+
+  /// Lexicon pre-loaded with closed classes and common news verbs.
+  static Lexicon Default();
+
+  /// Registers a verb with its inflected forms, all mapping to `base`.
+  /// E.g. AddVerb("acquire", {"acquires", "acquired", "acquiring"}).
+  void AddVerb(std::string_view base,
+               std::initializer_list<std::string_view> inflections);
+  void AddVerbForm(std::string_view form, std::string_view base);
+
+  /// Base form for a known verb form (lower-cased), if present.
+  std::optional<std::string> VerbBase(std::string_view form) const;
+  bool IsVerbForm(std::string_view form) const {
+    return VerbBase(form).has_value();
+  }
+
+  bool IsDeterminer(std::string_view w) const { return determiners_.count(std::string(w)) > 0; }
+  bool IsPreposition(std::string_view w) const { return prepositions_.count(std::string(w)) > 0; }
+  bool IsPronoun(std::string_view w) const { return pronouns_.count(std::string(w)) > 0; }
+  bool IsConjunction(std::string_view w) const { return conjunctions_.count(std::string(w)) > 0; }
+  bool IsModal(std::string_view w) const { return modals_.count(std::string(w)) > 0; }
+  bool IsAdjective(std::string_view w) const { return adjectives_.count(std::string(w)) > 0; }
+  bool IsStopword(std::string_view w) const { return stopwords_.count(std::string(w)) > 0; }
+  bool IsNegation(std::string_view w) const { return negations_.count(std::string(w)) > 0; }
+  bool IsMonth(std::string_view w) const { return months_.count(std::string(w)) > 0; }
+
+  /// Month number in [1,12] for a lower-cased month name.
+  std::optional<int> MonthNumber(std::string_view w) const;
+
+  void AddAdjective(std::string_view w) { adjectives_.insert(std::string(w)); }
+  void AddStopword(std::string_view w) { stopwords_.insert(std::string(w)); }
+
+  /// Extends the lexicon from a tab-separated stream — the "develop
+  /// custom relation extractors for a new domain" path (demo feature
+  /// 1) without recompiling. Record kinds:
+  ///   V <base> <form1,form2,...>   verb with inflections
+  ///   A <word>                     adjective
+  ///   S <word>                     stopword
+  /// Lines starting with '#' and blank lines are ignored; anything
+  /// else is InvalidArgument naming the line.
+  Status LoadFromStream(std::istream& in);
+
+ private:
+  std::unordered_map<std::string, std::string> verb_forms_;  // form -> base
+  std::unordered_set<std::string> determiners_;
+  std::unordered_set<std::string> prepositions_;
+  std::unordered_set<std::string> pronouns_;
+  std::unordered_set<std::string> conjunctions_;
+  std::unordered_set<std::string> modals_;
+  std::unordered_set<std::string> adjectives_;
+  std::unordered_set<std::string> stopwords_;
+  std::unordered_set<std::string> negations_;
+  std::unordered_map<std::string, int> months_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_LEXICON_H_

@@ -1,0 +1,207 @@
+#include "text/ner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/date_parser.h"
+
+namespace nous {
+
+const char* EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson: return "PERSON";
+    case EntityType::kOrganization: return "ORG";
+    case EntityType::kLocation: return "LOC";
+    case EntityType::kProduct: return "PRODUCT";
+    case EntityType::kDate: return "DATE";
+    case EntityType::kMisc: return "MISC";
+  }
+  return "?";
+}
+
+Ner::Ner(const Lexicon* lexicon) : lexicon_(lexicon) {}
+
+void Ner::AddGazetteerEntry(std::string_view name, EntityType type) {
+  std::vector<std::string> words;
+  for (const std::string& w : SplitWhitespace(name)) {
+    words.push_back(ToLower(w));
+  }
+  if (words.empty()) return;
+  by_name_[ToLower(name)] = type;
+  auto& bucket = by_first_[words[0]];
+  bucket.push_back(GazetteerEntry{std::move(words), type});
+  std::stable_sort(bucket.begin(), bucket.end(),
+                   [](const GazetteerEntry& a, const GazetteerEntry& b) {
+                     return a.tokens.size() > b.tokens.size();
+                   });
+}
+
+void Ner::AddFirstName(std::string_view name) {
+  first_names_[ToLower(name)] = true;
+}
+
+Status Ner::LoadGazetteerFromStream(std::istream& in) {
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(std::string(trimmed), '\t');
+    if (fields.size() != 2 || fields[1].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("gazetteer line %zu: expected '<TYPE>\\t<name>'",
+                    line_no));
+    }
+    const std::string& kind = fields[0];
+    if (kind == "FIRSTNAME") {
+      AddFirstName(fields[1]);
+    } else if (kind == "PERSON") {
+      AddGazetteerEntry(fields[1], EntityType::kPerson);
+    } else if (kind == "ORG") {
+      AddGazetteerEntry(fields[1], EntityType::kOrganization);
+    } else if (kind == "LOC") {
+      AddGazetteerEntry(fields[1], EntityType::kLocation);
+    } else if (kind == "PRODUCT") {
+      AddGazetteerEntry(fields[1], EntityType::kProduct);
+    } else if (kind == "MISC") {
+      AddGazetteerEntry(fields[1], EntityType::kMisc);
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("gazetteer line %zu: unknown type '%s'", line_no,
+                    kind.c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::optional<EntityType> Ner::GazetteerType(std::string_view name) const {
+  auto it = by_name_.find(ToLower(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+EntityType Ner::GuessType(const std::vector<Token>& tokens, size_t begin,
+                          size_t end) const {
+  const std::string& last = tokens[end - 1].lower;
+  static const char* kOrgSuffixes[] = {
+      "inc",     "corp",    "co",       "ltd",      "llc",
+      "technologies", "technology", "labs", "systems",  "aviation",
+      "robotics", "capital", "ventures", "holdings", "group",
+      "agency",  "university", "institute", "laboratory", "journal",
+      "administration", "bureau", "department", "commission"};
+  for (const char* suffix : kOrgSuffixes) {
+    if (last == suffix) return EntityType::kOrganization;
+  }
+  // Honorific before the span implies a person.
+  if (begin > 0) {
+    const std::string& prev = tokens[begin - 1].lower;
+    if (prev == "mr" || prev == "ms" || prev == "mrs" || prev == "dr") {
+      return EntityType::kPerson;
+    }
+  }
+  if (end - begin == 2 && first_names_.count(tokens[begin].lower) > 0) {
+    return EntityType::kPerson;
+  }
+  // Model-number shape ("Phantom 3") suggests a product.
+  if (end - begin >= 2 && tokens[end - 1].tag == PosTag::kNumber) {
+    return EntityType::kProduct;
+  }
+  return EntityType::kMisc;
+}
+
+std::vector<EntityMention> Ner::FindMentions(
+    const std::vector<Token>& tokens) const {
+  std::vector<EntityMention> mentions;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // 1) Date expressions first so months are not swallowed as PROPN.
+    size_t consumed = 0;
+    if (auto date = ParseDateAt(tokens, i, *lexicon_, &consumed)) {
+      EntityMention m;
+      m.begin = i;
+      m.end = i + consumed;
+      m.type = EntityType::kDate;
+      m.text = date->ToString();
+      mentions.push_back(std::move(m));
+      i += consumed;
+      continue;
+    }
+    // 2) Longest gazetteer match at this position.
+    auto bucket = by_first_.find(tokens[i].lower);
+    bool matched = false;
+    if (bucket != by_first_.end()) {
+      for (const GazetteerEntry& entry : bucket->second) {
+        if (i + entry.tokens.size() > tokens.size()) continue;
+        bool all = true;
+        for (size_t k = 0; k < entry.tokens.size(); ++k) {
+          if (tokens[i + k].lower != entry.tokens[k]) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          EntityMention m;
+          m.begin = i;
+          m.end = i + entry.tokens.size();
+          m.type = entry.type;
+          std::vector<std::string> parts;
+          for (size_t k = m.begin; k < m.end; ++k)
+            parts.push_back(tokens[k].text);
+          m.text = Join(parts, " ");
+          mentions.push_back(std::move(m));
+          i += entry.tokens.size();
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (matched) continue;
+    // 3) Shape: maximal run of proper nouns (allowing interior "of"/"&"
+    // inside an already-started run followed by another proper noun).
+    if (tokens[i].tag == PosTag::kProperNoun &&
+        !(tokens[i].sentence_initial &&
+          lexicon_->IsStopword(tokens[i].lower))) {
+      size_t j = i + 1;
+      while (j < tokens.size()) {
+        if (tokens[j].tag == PosTag::kProperNoun ||
+            (tokens[j].tag == PosTag::kNumber && j > i &&
+             tokens[j - 1].tag == PosTag::kProperNoun)) {
+          ++j;
+        } else if ((tokens[j].lower == "of" || tokens[j].text == "&") &&
+                   j + 1 < tokens.size() &&
+                   tokens[j + 1].tag == PosTag::kProperNoun) {
+          j += 2;
+        } else {
+          break;
+        }
+      }
+      EntityMention m;
+      m.begin = i;
+      m.end = j;
+      std::vector<std::string> parts;
+      for (size_t k = i; k < j; ++k) parts.push_back(tokens[k].text);
+      m.text = Join(parts, " ");
+      if (auto known = GazetteerType(m.text)) {
+        m.type = *known;
+      } else {
+        m.type = GuessType(tokens, i, j);
+        // A lone sentence-initial capitalized word with no gazetteer
+        // or shape evidence is most likely an ordinary noun
+        // ("Analysts expect ..."), not an entity.
+        if (tokens[i].sentence_initial && j == i + 1 &&
+            m.type == EntityType::kMisc) {
+          i = j;
+          continue;
+        }
+      }
+      mentions.push_back(std::move(m));
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return mentions;
+}
+
+}  // namespace nous

@@ -1,0 +1,90 @@
+#ifndef NOUS_TEXT_NER_H_
+#define NOUS_TEXT_NER_H_
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "text/lexicon.h"
+#include "text/token.h"
+
+namespace nous {
+
+enum class EntityType {
+  kPerson,
+  kOrganization,
+  kLocation,
+  kProduct,
+  kDate,
+  kMisc,
+};
+
+const char* EntityTypeName(EntityType type);
+
+/// A contiguous entity mention over token span [begin, end).
+struct EntityMention {
+  std::string text;
+  size_t begin = 0;
+  size_t end = 0;
+  EntityType type = EntityType::kMisc;
+  /// True when the mention is a pronoun resolved by coreference.
+  bool from_coref = false;
+};
+
+/// Gazetteer + shape named-entity recognizer. Known names (seeded from
+/// the curated KB's entity catalog, mirroring how NOUS leans on YAGO)
+/// match with their registered type; unknown capitalized runs fall back
+/// to suffix/shape heuristics.
+class Ner {
+ public:
+  /// `lexicon` must outlive the recognizer.
+  explicit Ner(const Lexicon* lexicon);
+
+  /// Registers a (possibly multi-word) name with its type. Matching is
+  /// case-insensitive on whole tokens.
+  void AddGazetteerEntry(std::string_view name, EntityType type);
+
+  /// Registers a capitalized token as a known person first name, which
+  /// biases unknown two-token mentions toward kPerson.
+  void AddFirstName(std::string_view name);
+
+  /// Type registered for an exact (lower-cased) name, if any.
+  std::optional<EntityType> GazetteerType(std::string_view name) const;
+
+  /// Extends the gazetteer from a tab-separated stream:
+  ///   <TYPE>\t<name>        TYPE in PERSON|ORG|LOC|PRODUCT|MISC
+  ///   FIRSTNAME\t<name>     person first-name hint
+  /// '#' comments and blank lines ignored.
+  Status LoadGazetteerFromStream(std::istream& in);
+
+  /// Finds non-overlapping mentions left-to-right, preferring the
+  /// longest gazetteer match, then capitalized-run shape matches. Date
+  /// expressions are emitted as kDate mentions.
+  std::vector<EntityMention> FindMentions(
+      const std::vector<Token>& tokens) const;
+
+  size_t gazetteer_size() const { return by_name_.size(); }
+
+ private:
+  struct GazetteerEntry {
+    std::vector<std::string> tokens;  // lower-cased
+    EntityType type;
+  };
+
+  EntityType GuessType(const std::vector<Token>& tokens, size_t begin,
+                       size_t end) const;
+
+  const Lexicon* lexicon_;
+  std::unordered_map<std::string, EntityType> by_name_;
+  /// First lower-cased token -> candidate entries (longest first).
+  std::unordered_map<std::string, std::vector<GazetteerEntry>> by_first_;
+  std::unordered_map<std::string, bool> first_names_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_NER_H_

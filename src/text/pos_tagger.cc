@@ -1,0 +1,70 @@
+#include "text/pos_tagger.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+bool IsPunct(const std::string& text) {
+  return text.size() == 1 &&
+         !std::isalnum(static_cast<unsigned char>(text[0]));
+}
+
+bool LooksNumeric(const std::string& text) {
+  bool digit_seen = false;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != ',' && c != '-' && c != '%' && c != '$') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+void PosTagger::Tag(std::vector<Token>* tokens) const {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    Token& tok = (*tokens)[i];
+    const std::string& w = tok.lower;
+    if (IsPunct(tok.text)) {
+      tok.tag = PosTag::kPunct;
+    } else if (LooksNumeric(tok.text)) {
+      tok.tag = PosTag::kNumber;
+    } else if (lexicon_->IsDeterminer(w)) {
+      tok.tag = PosTag::kDeterminer;
+    } else if (lexicon_->IsPronoun(w)) {
+      tok.tag = PosTag::kPronoun;
+    } else if (lexicon_->IsModal(w)) {
+      tok.tag = PosTag::kModal;
+    } else if (lexicon_->IsPreposition(w)) {
+      tok.tag = PosTag::kPreposition;
+    } else if (lexicon_->IsConjunction(w)) {
+      tok.tag = PosTag::kConjunction;
+    } else if (lexicon_->IsVerbForm(w)) {
+      tok.tag = PosTag::kVerb;
+    } else if (lexicon_->IsMonth(w) && IsCapitalized(tok.text)) {
+      // Month names behave like proper nouns for NER/date purposes.
+      tok.tag = PosTag::kProperNoun;
+    } else if (IsCapitalized(tok.text) && !tok.sentence_initial) {
+      tok.tag = PosTag::kProperNoun;
+    } else if (lexicon_->IsAdjective(w)) {
+      tok.tag = PosTag::kAdjective;
+    } else if (EndsWith(w, "ly") && w.size() > 3) {
+      tok.tag = PosTag::kAdverb;
+    } else if (IsCapitalized(tok.text) && tok.sentence_initial &&
+               !lexicon_->IsStopword(w)) {
+      // Sentence-initial capitalized content word: could be a proper
+      // noun; NER decides with the gazetteer. Tag optimistically.
+      tok.tag = PosTag::kProperNoun;
+    } else {
+      tok.tag = PosTag::kNoun;
+    }
+  }
+}
+
+}  // namespace nous

@@ -1,0 +1,28 @@
+#ifndef NOUS_TEXT_POS_TAGGER_H_
+#define NOUS_TEXT_POS_TAGGER_H_
+
+#include <vector>
+
+#include "text/lexicon.h"
+#include "text/token.h"
+
+namespace nous {
+
+/// Deterministic lexicon + shape POS tagger. Priority: closed classes
+/// from the lexicon, then verb forms, numbers, capitalization (proper
+/// noun when not sentence-initial), suffix heuristics, default noun.
+class PosTagger {
+ public:
+  /// `lexicon` must outlive the tagger.
+  explicit PosTagger(const Lexicon* lexicon) : lexicon_(lexicon) {}
+
+  /// Tags every token in place.
+  void Tag(std::vector<Token>* tokens) const;
+
+ private:
+  const Lexicon* lexicon_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_POS_TAGGER_H_

@@ -1,0 +1,64 @@
+#include "text/sentence_splitter.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+const std::unordered_set<std::string>& Abbreviations() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "mr", "ms", "mrs", "dr", "prof", "inc", "corp", "co", "ltd",
+      "jr", "sr", "st", "vs", "etc", "fig", "dept", "est", "approx",
+  };
+  return *kSet;
+}
+
+// Word (lower-cased) immediately preceding position `pos` (exclusive).
+std::string PrecedingWord(std::string_view text, size_t pos) {
+  size_t end = pos;
+  size_t begin = end;
+  while (begin > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[begin - 1]))) {
+    --begin;
+  }
+  return ToLower(text.substr(begin, end - begin));
+}
+
+}  // namespace
+
+std::vector<std::string> SplitSentences(std::string_view text) {
+  std::vector<std::string> sentences;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '.' && c != '!' && c != '?') continue;
+    if (c == '.') {
+      // Decimal number: "3.5".
+      if (i > 0 && i + 1 < text.size() &&
+          std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+          std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+        continue;
+      }
+      // Abbreviation or single-letter initial ("U.").
+      std::string prev = PrecedingWord(text, i);
+      if (Abbreviations().count(prev) > 0 || prev.size() == 1) continue;
+    }
+    // Must be followed by end-of-text or whitespace to terminate.
+    if (i + 1 < text.size() &&
+        !std::isspace(static_cast<unsigned char>(text[i + 1]))) {
+      continue;
+    }
+    std::string_view piece = Trim(text.substr(start, i + 1 - start));
+    if (!piece.empty()) sentences.emplace_back(piece);
+    start = i + 1;
+  }
+  std::string_view tail = Trim(text.substr(start));
+  if (!tail.empty()) sentences.emplace_back(tail);
+  return sentences;
+}
+
+}  // namespace nous

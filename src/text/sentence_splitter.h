@@ -1,0 +1,17 @@
+#ifndef NOUS_TEXT_SENTENCE_SPLITTER_H_
+#define NOUS_TEXT_SENTENCE_SPLITTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nous {
+
+/// Splits running text into sentences on '.', '!' and '?' boundaries,
+/// skipping common abbreviations (Mr., Inc., U.S., ...) and decimal
+/// numbers. Whitespace-trimmed; empty sentences are dropped.
+std::vector<std::string> SplitSentences(std::string_view text);
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_SENTENCE_SPLITTER_H_

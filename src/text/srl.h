@@ -1,0 +1,42 @@
+#ifndef NOUS_TEXT_SRL_H_
+#define NOUS_TEXT_SRL_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "text/date_parser.h"
+#include "text/openie.h"
+
+namespace nous {
+
+/// An extraction with its temporal argument resolved — the dated
+/// triples of the paper's Figure 3 ("Example triples extracted ...
+/// using Semantic Role Labeling. The first column shows dates").
+struct SrlFrame {
+  RawExtraction extraction;
+  /// In-sentence date if one was found, else the document date.
+  Date date;
+  bool date_from_sentence = false;
+};
+
+/// SRL-lite: runs OpenIE and attaches an ARG-TMP by scanning the
+/// sentence for a date expression; falls back to the article's
+/// publication date so every fact is anchored on the stream timeline.
+class SrlExtractor {
+ public:
+  SrlExtractor(const Lexicon* lexicon, const Ner* ner,
+               OpenIeConfig config = {});
+
+  std::vector<SrlFrame> Extract(const std::string& text,
+                                const Date& document_date) const;
+
+ private:
+  const Lexicon* lexicon_;
+  const Ner* ner_;
+  OpenIeExtractor openie_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_SRL_H_

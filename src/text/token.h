@@ -1,0 +1,60 @@
+#ifndef NOUS_TEXT_TOKEN_H_
+#define NOUS_TEXT_TOKEN_H_
+
+#include <string>
+
+namespace nous {
+
+/// Coarse part-of-speech classes — the granularity the extraction
+/// heuristics need, not a full Penn tagset.
+enum class PosTag {
+  kNoun,
+  kProperNoun,
+  kPronoun,
+  kVerb,
+  kModal,
+  kAdjective,
+  kAdverb,
+  kDeterminer,
+  kPreposition,
+  kConjunction,
+  kNumber,
+  kPunct,
+  kOther,
+};
+
+/// Returns a short stable name ("NOUN", "PROPN", ...), for debugging.
+const char* PosTagName(PosTag tag);
+
+struct Token {
+  std::string text;
+  /// Lower-cased copy of `text`, filled by the tokenizer.
+  std::string lower;
+  PosTag tag = PosTag::kOther;
+  /// True for the first token of a sentence (capitalization there is
+  /// not evidence of a proper noun).
+  bool sentence_initial = false;
+};
+
+inline const char* PosTagName(PosTag tag) {
+  switch (tag) {
+    case PosTag::kNoun: return "NOUN";
+    case PosTag::kProperNoun: return "PROPN";
+    case PosTag::kPronoun: return "PRON";
+    case PosTag::kVerb: return "VERB";
+    case PosTag::kModal: return "MODAL";
+    case PosTag::kAdjective: return "ADJ";
+    case PosTag::kAdverb: return "ADV";
+    case PosTag::kDeterminer: return "DET";
+    case PosTag::kPreposition: return "PREP";
+    case PosTag::kConjunction: return "CONJ";
+    case PosTag::kNumber: return "NUM";
+    case PosTag::kPunct: return "PUNCT";
+    case PosTag::kOther: return "X";
+  }
+  return "?";
+}
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_TOKEN_H_

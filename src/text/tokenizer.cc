@@ -1,0 +1,72 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+bool IsWordChar(char c) {
+  unsigned char u = static_cast<unsigned char>(c);
+  return std::isalnum(u) || c == '-' || c == '_' || c == '&';
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view sentence) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sentence.size();
+  auto emit = [&tokens](std::string text) {
+    Token t;
+    t.lower = ToLower(text);
+    t.text = std::move(text);
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = sentence[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < n) {
+        if (IsWordChar(sentence[i])) {
+          ++i;
+        } else if (sentence[i] == '.' && i + 1 < n && i > start &&
+                   std::isupper(static_cast<unsigned char>(
+                       sentence[i - 1])) &&
+                   (i + 1 >= n ||
+                    std::isupper(static_cast<unsigned char>(
+                        sentence[i + 1])))) {
+          // Interior period of an all-caps abbreviation ("U.S.").
+          ++i;
+        } else if (sentence[i] == '\'' && i + 1 < n &&
+                   (sentence[i + 1] == 's' || sentence[i + 1] == 'S') &&
+                   (i + 2 >= n || !IsWordChar(sentence[i + 2]))) {
+          // Possessive: emit word, then "'s" as its own token.
+          break;
+        } else {
+          break;
+        }
+      }
+      emit(std::string(sentence.substr(start, i - start)));
+      if (i < n && sentence[i] == '\'' && i + 1 < n &&
+          (sentence[i + 1] == 's' || sentence[i + 1] == 'S')) {
+        emit("'s");
+        i += 2;
+      }
+    } else {
+      // Punctuation: one character per token.
+      emit(std::string(1, c));
+      ++i;
+    }
+  }
+  if (!tokens.empty()) tokens[0].sentence_initial = true;
+  return tokens;
+}
+
+}  // namespace nous

@@ -1,0 +1,19 @@
+#ifndef NOUS_TEXT_TOKENIZER_H_
+#define NOUS_TEXT_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/token.h"
+
+namespace nous {
+
+/// Rule-based word tokenizer. Splits punctuation into separate tokens,
+/// detaches possessive "'s", and keeps internal hyphens and periods of
+/// abbreviations ("U.S.") attached. Marks the first token
+/// sentence-initial; POS tags are left for the tagger.
+std::vector<Token> Tokenize(std::string_view sentence);
+
+}  // namespace nous
+
+#endif  // NOUS_TEXT_TOKENIZER_H_

@@ -1,0 +1,35 @@
+#include "topic/divergence.h"
+
+#include <cmath>
+
+namespace nous {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kEps = 1e-12;
+}  // namespace
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  if (p.size() != q.size() || p.empty()) return kLn2;
+  double kl = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= kEps) continue;
+    kl += p[i] * std::log(p[i] / std::max(q[i], kEps));
+  }
+  return kl;
+}
+
+double JsDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  if (p.size() != q.size() || p.empty()) return kLn2;
+  double js = 0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > kEps) js += 0.5 * p[i] * std::log(p[i] / std::max(m, kEps));
+    if (q[i] > kEps) js += 0.5 * q[i] * std::log(q[i] / std::max(m, kEps));
+  }
+  return js;
+}
+
+}  // namespace nous

@@ -1,0 +1,21 @@
+#ifndef NOUS_TOPIC_DIVERGENCE_H_
+#define NOUS_TOPIC_DIVERGENCE_H_
+
+#include <vector>
+
+namespace nous {
+
+/// Kullback–Leibler divergence KL(p || q) in nats. Inputs are treated
+/// as distributions; zero q entries are smoothed. Sizes must match.
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q);
+
+/// Jensen–Shannon divergence — symmetric, bounded by ln 2. The "topic
+/// divergence" used by the coherent path search (§3.6); empty inputs
+/// (vertices without topics) score maximally divergent.
+double JsDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q);
+
+}  // namespace nous
+
+#endif  // NOUS_TOPIC_DIVERGENCE_H_

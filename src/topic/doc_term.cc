@@ -1,0 +1,39 @@
+#include "topic/doc_term.h"
+
+#include <cmath>
+
+namespace nous {
+
+VertexCorpus BuildVertexCorpus(const PropertyGraph& graph,
+                               size_t max_repeat) {
+  VertexCorpus corpus;
+  corpus.vocab_size = graph.terms().size();
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto& bag = graph.VertexBag(v);
+    if (bag.empty()) continue;
+    std::vector<uint32_t> doc;
+    for (const auto& [term, weight] : bag) {
+      size_t repeat = static_cast<size_t>(std::ceil(weight));
+      if (repeat > max_repeat) repeat = max_repeat;
+      for (size_t r = 0; r < repeat; ++r) doc.push_back(term);
+    }
+    if (doc.empty()) continue;
+    corpus.docs.push_back(std::move(doc));
+    corpus.vertices.push_back(v);
+  }
+  return corpus;
+}
+
+LdaModel AssignVertexTopics(PropertyGraph* graph, const LdaConfig& config) {
+  VertexCorpus corpus = BuildVertexCorpus(*graph);
+  LdaModel model(config);
+  if (!corpus.docs.empty() && corpus.vocab_size > 0) {
+    model.Fit(corpus.docs, corpus.vocab_size);
+    for (size_t d = 0; d < corpus.docs.size(); ++d) {
+      graph->SetVertexTopics(corpus.vertices[d], model.DocumentTopics(d));
+    }
+  }
+  return model;
+}
+
+}  // namespace nous

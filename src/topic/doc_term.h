@@ -1,0 +1,33 @@
+#ifndef NOUS_TOPIC_DOC_TERM_H_
+#define NOUS_TOPIC_DOC_TERM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "topic/lda.h"
+
+namespace nous {
+
+/// Per-vertex "documents" built from KG vertex bags — the
+/// document-term matrix NOUS runs LDA on (§3.6). Vertices with empty
+/// bags are excluded.
+struct VertexCorpus {
+  std::vector<std::vector<uint32_t>> docs;
+  std::vector<VertexId> vertices;  // docs[i] belongs to vertices[i]
+  size_t vocab_size = 0;
+};
+
+/// Expands each vertex's weighted bag into a token sequence (weights
+/// rounded up to repetition counts, capped at `max_repeat`).
+VertexCorpus BuildVertexCorpus(const PropertyGraph& graph,
+                               size_t max_repeat = 8);
+
+/// Fits LDA on the vertex corpus and writes each vertex's topic
+/// distribution back into the graph (SetVertexTopics). Returns the
+/// fitted model for later Infer calls on unseen entities.
+LdaModel AssignVertexTopics(PropertyGraph* graph, const LdaConfig& config);
+
+}  // namespace nous
+
+#endif  // NOUS_TOPIC_DOC_TERM_H_

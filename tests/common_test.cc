@@ -1,0 +1,357 @@
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace nous {
+namespace {
+
+// ---------- Status / Result ----------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing vertex");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing vertex");
+  EXPECT_EQ(s.ToString(), "NotFound: missing vertex");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::InvalidArgument("x"));
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::InvalidArgument("bad");
+  EXPECT_EQ(os.str(), "InvalidArgument: bad");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::OutOfRange("boom"); };
+  auto outer = [&]() -> Status {
+    NOUS_RETURN_IF_ERROR(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto get = [](bool fail) -> Result<int> {
+    if (fail) return Status::Internal("fail");
+    return 10;
+  };
+  auto use = [&](bool fail) -> Result<int> {
+    NOUS_ASSIGN_OR_RETURN(int v, get(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*use(false), 11);
+  EXPECT_FALSE(use(true).ok());
+}
+
+// ---------- String utilities ----------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a\t b \n c  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseAndTrim) {
+  EXPECT_EQ(ToLower("AbC-12"), "abc-12");
+  EXPECT_EQ(Trim("  hello \t"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, PrefixSuffixDigits) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+  EXPECT_TRUE(IsDigits("2014"));
+  EXPECT_FALSE(IsDigits("20a4"));
+  EXPECT_FALSE(IsDigits(""));
+  EXPECT_TRUE(IsCapitalized("Drone"));
+  EXPECT_FALSE(IsCapitalized("drone"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+// ---------- Rng ----------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+class RngBoundTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundTest, UniformIntRespectsBound) {
+  Rng rng(GetParam() * 31 + 1);
+  uint64_t bound = GetParam();
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.UniformInt(bound);
+    EXPECT_LT(v, bound);
+    seen.insert(v);
+  }
+  if (bound <= 8) {
+    EXPECT_EQ(seen.size(), bound);  // all values hit
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(1, 2, 3, 8, 100, 1000000));
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(17);
+  size_t low = 0, total = 4000;
+  for (size_t i = 0; i < total; ++i) {
+    uint64_t v = rng.Zipf(1000, 1.2);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++low;
+  }
+  EXPECT_GT(low, total / 4);  // heavy head
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------- Hashing ----------
+
+TEST(HashTest, Fnv1aStableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a("a"), Fnv1a("a"));
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+}
+
+TEST(HashTest, PairHashDistinguishesOrder) {
+  PairHash h;
+  EXPECT_NE(h(std::make_pair(1, 2)), h(std::make_pair(2, 1)));
+}
+
+// ---------- Histogram ----------
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 15.0);
+}
+
+TEST(HistogramTest, QuantileAfterMoreAdds) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10);
+  h.Add(0);
+  h.Add(20);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10);
+}
+
+TEST(HistogramTest, Bucketize) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(i * 0.1);  // 0.0 .. 0.9
+  auto buckets = h.Bucketize(0.0, 1.0, 2);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], 5u);
+  EXPECT_EQ(buckets[1], 5u);
+}
+
+TEST(HistogramTest, BucketizeIgnoresOutOfRange) {
+  Histogram h;
+  h.Add(-1);
+  h.Add(0.5);
+  h.Add(2);
+  auto buckets = h.Bucketize(0.0, 1.0, 4);
+  size_t total = 0;
+  for (size_t c : buckets) total += c;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(HistogramTest, StddevOfConstantIsZero) {
+  Histogram h;
+  h.Add(2);
+  h.Add(2);
+  h.Add(2);
+  EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+}
+
+// ---------- TablePrinter ----------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Int(42), "42");
+}
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,289 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "corpus/article_generator.h"
+#include "corpus/document_stream.h"
+#include "corpus/world_model.h"
+#include "text/openie.h"
+
+namespace nous {
+namespace {
+
+DroneWorldConfig SmallWorldConfig() {
+  DroneWorldConfig config;
+  config.num_companies = 10;
+  config.num_people = 8;
+  config.num_products = 6;
+  config.num_events = 60;
+  config.seed = 99;
+  return config;
+}
+
+// ---------- WorldModel ----------
+
+TEST(WorldModelTest, DroneWorldHasAnchorsAndEvents) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  EXPECT_TRUE(world.FindEntity("DJI").has_value());
+  EXPECT_TRUE(world.FindEntity("FAA").has_value());
+  EXPECT_TRUE(world.FindEntity("Windermere").has_value());
+  EXPECT_TRUE(world.FindEntity("Phantom 3").has_value());
+  size_t events = 0;
+  for (const WorldFact& f : world.facts()) {
+    if (f.is_event) ++events;
+  }
+  EXPECT_EQ(events, 60u);
+  EXPECT_GT(world.facts().size(), events);  // static facts too
+}
+
+TEST(WorldModelTest, FactsReferenceValidEntities) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  for (const WorldFact& f : world.facts()) {
+    ASSERT_LT(f.subject, world.entities().size());
+    ASSERT_LT(f.object, world.entities().size());
+    EXPECT_NE(f.subject, f.object);
+    EXPECT_FALSE(f.predicate.empty());
+  }
+}
+
+TEST(WorldModelTest, EventDatesWithinRange) {
+  DroneWorldConfig config = SmallWorldConfig();
+  WorldModel world = WorldModel::BuildDroneWorld(config);
+  for (const WorldFact& f : world.facts()) {
+    if (!f.is_event) continue;
+    EXPECT_GE(f.date.ToDayNumber(), config.start.ToDayNumber());
+    EXPECT_LE(f.date.ToDayNumber(), config.end.ToDayNumber());
+  }
+}
+
+TEST(WorldModelTest, DeterministicPerSeed) {
+  WorldModel a = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  WorldModel b = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  ASSERT_EQ(a.entities().size(), b.entities().size());
+  for (size_t i = 0; i < a.entities().size(); ++i) {
+    EXPECT_EQ(a.entity(i).name, b.entity(i).name);
+  }
+  ASSERT_EQ(a.facts().size(), b.facts().size());
+}
+
+TEST(WorldModelTest, NoDuplicateEvents) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  std::set<std::string> seen;
+  for (const WorldFact& f : world.facts()) {
+    if (!f.is_event) continue;
+    std::string key = std::to_string(f.subject) + "|" + f.predicate + "|" +
+                      std::to_string(f.object);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate event " << key;
+  }
+}
+
+TEST(WorldModelTest, EntitiesHaveDescriptionsAndSectors) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  for (const WorldEntity& e : world.entities()) {
+    EXPECT_FALSE(e.description.empty()) << e.name;
+    EXPECT_FALSE(e.type_name.empty()) << e.name;
+  }
+}
+
+TEST(WorldModelTest, CitationWorldShape) {
+  WorldModel world = WorldModel::BuildCitationWorld(10, 20, 3);
+  size_t authored = 0, cites = 0, published = 0;
+  for (const WorldFact& f : world.facts()) {
+    if (f.predicate == "authored") ++authored;
+    if (f.predicate == "cites") ++cites;
+    if (f.predicate == "publishedIn") ++published;
+  }
+  EXPECT_EQ(authored, 20u);
+  EXPECT_EQ(published, 20u);
+  EXPECT_GT(cites, 0u);
+}
+
+TEST(WorldModelTest, EnterpriseWorldShape) {
+  WorldModel world = WorldModel::BuildEnterpriseWorld(5, 6, 4);
+  size_t events = 0;
+  for (const WorldFact& f : world.facts()) {
+    if (f.is_event) ++events;
+  }
+  EXPECT_EQ(events, 5u * 12u);
+}
+
+// ---------- ArticleGenerator ----------
+
+TEST(ArticleGeneratorTest, EveryEventReportedExactlyOnce) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  CorpusConfig config;
+  ArticleGenerator generator(&world, config);
+  auto articles = generator.GenerateArticles();
+  size_t gold_total = 0;
+  for (const Article& a : articles) gold_total += a.gold.size();
+  size_t events = 0;
+  for (const WorldFact& f : world.facts()) {
+    if (f.is_event) ++events;
+  }
+  EXPECT_EQ(gold_total, events);
+}
+
+TEST(ArticleGeneratorTest, ArticlesAreDateOrderedAndNonEmpty) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  ArticleGenerator generator(&world, CorpusConfig{});
+  auto articles = generator.GenerateArticles();
+  ASSERT_FALSE(articles.empty());
+  Timestamp prev = 0;
+  for (const Article& a : articles) {
+    EXPECT_FALSE(a.text.empty());
+    EXPECT_FALSE(a.id.empty());
+    EXPECT_FALSE(a.source.empty());
+    EXPECT_GE(a.date.ToDayNumber(), prev);
+    prev = a.date.ToDayNumber();
+    for (const TimedTriple& g : a.gold) {
+      EXPECT_TRUE(world.FindEntity(g.triple.subject).has_value());
+      EXPECT_TRUE(world.FindEntity(g.triple.object).has_value());
+    }
+  }
+}
+
+TEST(ArticleGeneratorTest, DeterministicPerSeed) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  ArticleGenerator g1(&world, CorpusConfig{});
+  ArticleGenerator g2(&world, CorpusConfig{});
+  auto a = g1.GenerateArticles();
+  auto b = g2.GenerateArticles();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+TEST(ArticleGeneratorTest, NoiseKnobsChangeSurface) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  CorpusConfig clean;
+  clean.pronoun_rate = 0;
+  clean.alias_rate = 0;
+  clean.passive_rate = 0;
+  clean.distractor_rate = 0;
+  CorpusConfig noisy;
+  noisy.pronoun_rate = 1.0;
+  noisy.alias_rate = 1.0;
+  noisy.passive_rate = 1.0;
+  noisy.distractor_rate = 1.0;
+  auto a = ArticleGenerator(&world, clean).GenerateArticles();
+  auto b = ArticleGenerator(&world, noisy).GenerateArticles();
+  std::string clean_text, noisy_text;
+  for (const Article& art : a) clean_text += art.text;
+  for (const Article& art : b) noisy_text += art.text;
+  EXPECT_NE(clean_text, noisy_text);
+  // Clean corpus never pronominalizes.
+  EXPECT_EQ(clean_text.find(" It "), std::string::npos);
+}
+
+// Integration: the extraction substrate must recover most clean-corpus
+// facts at the surface level (canonical names, pre-linking).
+TEST(ArticleGeneratorTest, ExtractionRecallOnCleanCorpus) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  CorpusConfig clean;
+  clean.pronoun_rate = 0;
+  clean.alias_rate = 0;
+  clean.passive_rate = 0.3;  // passives are fair game
+  clean.distractor_rate = 0.3;
+  auto articles = ArticleGenerator(&world, clean).GenerateArticles();
+
+  Lexicon lexicon = Lexicon::Default();
+  Ner ner(&lexicon);
+  for (const WorldEntity& e : world.entities()) {
+    ner.AddGazetteerEntry(e.name, e.ner_type);
+    for (const std::string& alias : e.aliases) {
+      ner.AddGazetteerEntry(alias, e.ner_type);
+    }
+  }
+  OpenIeExtractor extractor(&lexicon, &ner, OpenIeConfig{});
+
+  size_t gold_total = 0, recovered = 0;
+  for (const Article& article : articles) {
+    auto extractions = extractor.ExtractFromText(article.text);
+    for (const TimedTriple& gold : article.gold) {
+      ++gold_total;
+      for (const RawExtraction& ex : extractions) {
+        if (ex.triple.subject == gold.triple.subject &&
+            ex.triple.object == gold.triple.object) {
+          ++recovered;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(gold_total, 0u);
+  double recall =
+      static_cast<double>(recovered) / static_cast<double>(gold_total);
+  EXPECT_GT(recall, 0.7) << "surface recall " << recall << " ("
+                         << recovered << "/" << gold_total << ")";
+}
+
+TEST(ArticleGeneratorTest, GoldMentionsMatchTextAndWorld) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  CorpusConfig config;
+  config.alias_rate = 0.5;
+  config.pronoun_rate = 0.3;
+  auto articles = ArticleGenerator(&world, config).GenerateArticles();
+  size_t total_mentions = 0;
+  for (const Article& a : articles) {
+    for (const GoldMention& m : a.gold_mentions) {
+      ++total_mentions;
+      // The surface form literally appears in the text.
+      EXPECT_NE(a.text.find(m.surface), std::string::npos)
+          << m.surface << " not in: " << a.text;
+      // The canonical name is a real world entity whose surfaces
+      // include the used form.
+      auto id = world.FindEntity(m.canonical);
+      ASSERT_TRUE(id.has_value()) << m.canonical;
+      const WorldEntity& e = world.entity(*id);
+      bool known_surface = m.surface == e.name;
+      for (const std::string& alias : e.aliases) {
+        if (m.surface == alias) known_surface = true;
+      }
+      EXPECT_TRUE(known_surface) << m.surface << " for " << m.canonical;
+    }
+    // Two mentions per non-pronominal fact; at least the objects.
+    EXPECT_GE(a.gold_mentions.size(), a.gold.size());
+  }
+  EXPECT_GT(total_mentions, 0u);
+}
+
+TEST(ArticleGeneratorTest, PronominalSubjectsExcludedFromMentions) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  CorpusConfig always_pronoun;
+  always_pronoun.pronoun_rate = 1.0;
+  always_pronoun.alias_rate = 0.0;
+  auto articles =
+      ArticleGenerator(&world, always_pronoun).GenerateArticles();
+  for (const Article& a : articles) {
+    for (const GoldMention& m : a.gold_mentions) {
+      EXPECT_NE(m.surface, "It");
+      EXPECT_NE(m.surface, "He");
+      EXPECT_NE(m.surface, "The company");
+    }
+  }
+}
+
+// ---------- DocumentStream ----------
+
+TEST(DocumentStreamTest, IteratesInDateOrder) {
+  WorldModel world = WorldModel::BuildDroneWorld(SmallWorldConfig());
+  auto articles = ArticleGenerator(&world, CorpusConfig{}).GenerateArticles();
+  DocumentStream stream(articles);
+  EXPECT_EQ(stream.TotalCount(), articles.size());
+  Timestamp prev = 0;
+  size_t count = 0;
+  while (!stream.Done()) {
+    const Article& a = stream.Next();
+    EXPECT_GE(a.date.ToDayNumber(), prev);
+    prev = a.date.ToDayNumber();
+    ++count;
+  }
+  EXPECT_EQ(count, articles.size());
+  EXPECT_EQ(stream.Remaining(), 0u);
+  stream.Reset();
+  EXPECT_EQ(stream.Remaining(), articles.size());
+}
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,437 @@
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "graph/dictionary.h"
+#include "graph/graph_generator.h"
+#include "graph/graph_stats.h"
+#include "graph/property_graph.h"
+#include "graph/temporal_window.h"
+
+namespace nous {
+namespace {
+
+// ---------- Dictionary ----------
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupMissingReturnsNullopt) {
+  Dictionary d;
+  EXPECT_FALSE(d.Lookup("nope").has_value());
+  EXPECT_FALSE(d.Contains("nope"));
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary d;
+  uint32_t id = d.Intern("gamma");
+  EXPECT_EQ(d.GetString(id), "gamma");
+  ASSERT_TRUE(d.Lookup("gamma").has_value());
+  EXPECT_EQ(*d.Lookup("gamma"), id);
+}
+
+class DictionaryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DictionaryPropertyTest, RandomStringsRoundTrip) {
+  Rng rng(GetParam());
+  Dictionary d;
+  std::vector<std::string> inserted;
+  for (int i = 0; i < 500; ++i) {
+    std::string s = StrFormat("str_%llu_%d",
+                              static_cast<unsigned long long>(
+                                  rng.UniformInt(200)),
+                              i % 7);
+    d.Intern(s);
+    inserted.push_back(std::move(s));
+  }
+  for (const std::string& s : inserted) {
+    auto id = d.Lookup(s);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(d.GetString(*id), s);
+  }
+  // Ids are dense in [0, size).
+  for (uint32_t id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(*d.Lookup(d.GetString(id)), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictionaryPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- PropertyGraph ----------
+
+TEST(PropertyGraphTest, VerticesInternedOnce) {
+  PropertyGraph g;
+  VertexId a = g.GetOrAddVertex("DJI");
+  VertexId b = g.GetOrAddVertex("Parrot");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(g.GetOrAddVertex("DJI"), a);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.VertexLabel(a), "DJI");
+  ASSERT_TRUE(g.FindVertex("Parrot").has_value());
+  EXPECT_FALSE(g.FindVertex("FAA").has_value());
+}
+
+TEST(PropertyGraphTest, AddEdgeUpdatesAdjacency) {
+  PropertyGraph g;
+  VertexId s = g.GetOrAddVertex("a");
+  VertexId o = g.GetOrAddVertex("b");
+  PredicateId p = g.predicates().Intern("likes");
+  EdgeId e = g.AddEdge(s, p, o, EdgeMeta{0.8, 5, kInvalidSource, false});
+  EXPECT_EQ(g.NumEdges(), 1u);
+  ASSERT_EQ(g.OutDegree(s), 1u);
+  ASSERT_EQ(g.InDegree(o), 1u);
+  EXPECT_EQ(g.OutEdges(s)[0].neighbor, o);
+  EXPECT_EQ(g.OutEdges(s)[0].predicate, p);
+  EXPECT_EQ(g.InEdges(o)[0].neighbor, s);
+  const EdgeRecord& rec = g.Edge(e);
+  EXPECT_EQ(rec.subject, s);
+  EXPECT_EQ(rec.object, o);
+  EXPECT_DOUBLE_EQ(rec.meta.confidence, 0.8);
+  EXPECT_EQ(rec.meta.timestamp, 5);
+  EXPECT_TRUE(rec.alive);
+}
+
+TEST(PropertyGraphTest, ParallelEdgesAllowed) {
+  PropertyGraph g;
+  VertexId s = g.GetOrAddVertex("a");
+  VertexId o = g.GetOrAddVertex("b");
+  PredicateId p = g.predicates().Intern("p");
+  g.AddEdge(s, p, o, {});
+  g.AddEdge(s, p, o, {});
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.OutDegree(s), 2u);
+}
+
+TEST(PropertyGraphTest, RemoveEdge) {
+  PropertyGraph g;
+  VertexId s = g.GetOrAddVertex("a");
+  VertexId o = g.GetOrAddVertex("b");
+  PredicateId p = g.predicates().Intern("p");
+  EdgeId e = g.AddEdge(s, p, o, {});
+  ASSERT_TRUE(g.RemoveEdge(e).ok());
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.OutDegree(s), 0u);
+  EXPECT_EQ(g.InDegree(o), 0u);
+  EXPECT_FALSE(g.Edge(e).alive);
+  // Double-remove fails cleanly.
+  EXPECT_EQ(g.RemoveEdge(e).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(9999).code(), StatusCode::kNotFound);
+}
+
+TEST(PropertyGraphTest, FindEdgeMatchesTripleExactly) {
+  PropertyGraph g;
+  VertexId a = g.GetOrAddVertex("a");
+  VertexId b = g.GetOrAddVertex("b");
+  PredicateId p = g.predicates().Intern("p");
+  PredicateId q = g.predicates().Intern("q");
+  g.AddEdge(a, p, b, {});
+  EXPECT_TRUE(g.HasEdge(a, p, b));
+  EXPECT_FALSE(g.HasEdge(a, q, b));
+  EXPECT_FALSE(g.HasEdge(b, p, a));
+}
+
+TEST(PropertyGraphTest, AddTripleInternsEverything) {
+  PropertyGraph g;
+  TimedTriple t;
+  t.triple = {"DJI", "acquired", "SkyWard"};
+  t.timestamp = 42;
+  t.source = "wsj";
+  t.confidence = 0.7;
+  EdgeId e = g.AddTriple(t);
+  const EdgeRecord& rec = g.Edge(e);
+  EXPECT_EQ(g.VertexLabel(rec.subject), "DJI");
+  EXPECT_EQ(g.VertexLabel(rec.object), "SkyWard");
+  EXPECT_EQ(g.predicates().GetString(rec.predicate), "acquired");
+  EXPECT_EQ(g.sources().GetString(rec.meta.source), "wsj");
+  EXPECT_FALSE(rec.meta.curated);
+}
+
+TEST(PropertyGraphTest, VertexProperties) {
+  PropertyGraph g;
+  VertexId v = g.GetOrAddVertex("x");
+  EXPECT_EQ(g.VertexType(v), kInvalidType);
+  TypeId ty = g.types().Intern("company");
+  g.SetVertexType(v, ty);
+  EXPECT_EQ(g.VertexType(v), ty);
+  TermId t1 = g.terms().Intern("drone");
+  g.AddVertexTerm(v, t1, 2.0);
+  g.AddVertexTerm(v, t1, 1.0);
+  EXPECT_DOUBLE_EQ(g.VertexBag(v).at(t1), 3.0);
+  g.SetVertexTopics(v, {0.25, 0.75});
+  EXPECT_EQ(g.VertexTopics(v).size(), 2u);
+  EXPECT_TRUE(g.VertexTopics(999).empty());
+}
+
+TEST(PropertyGraphTest, SetEdgeConfidence) {
+  PropertyGraph g;
+  VertexId a = g.GetOrAddVertex("a");
+  VertexId b = g.GetOrAddVertex("b");
+  EdgeId e = g.AddEdge(a, g.predicates().Intern("p"), b, {});
+  g.SetEdgeConfidence(e, 0.12);
+  EXPECT_DOUBLE_EQ(g.Edge(e).meta.confidence, 0.12);
+}
+
+TEST(PropertyGraphTest, ForEachEdgeSkipsDead) {
+  PropertyGraph g;
+  VertexId a = g.GetOrAddVertex("a");
+  VertexId b = g.GetOrAddVertex("b");
+  PredicateId p = g.predicates().Intern("p");
+  EdgeId e1 = g.AddEdge(a, p, b, {});
+  g.AddEdge(b, p, a, {});
+  ASSERT_TRUE(g.RemoveEdge(e1).ok());
+  size_t count = 0;
+  g.ForEachEdge([&](EdgeId, const EdgeRecord&) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
+class GraphChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphChurnTest, AdjacencyConsistentUnderRandomChurn) {
+  Rng rng(GetParam());
+  PropertyGraph g;
+  for (int i = 0; i < 20; ++i) g.GetOrAddVertex(StrFormat("v%d", i));
+  PredicateId p = g.predicates().Intern("p");
+  std::vector<EdgeId> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.6)) {
+      VertexId s = static_cast<VertexId>(rng.UniformInt(20));
+      VertexId o = static_cast<VertexId>(rng.UniformInt(20));
+      live.push_back(g.AddEdge(s, p, o, {}));
+    } else {
+      size_t idx = rng.UniformInt(live.size());
+      ASSERT_TRUE(g.RemoveEdge(live[idx]).ok());
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  EXPECT_EQ(g.NumEdges(), live.size());
+  // Out-adjacency must exactly mirror live edge records.
+  size_t adjacency_total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const AdjEntry& a : g.OutEdges(v)) {
+      const EdgeRecord& rec = g.Edge(a.edge);
+      EXPECT_TRUE(rec.alive);
+      EXPECT_EQ(rec.subject, v);
+      EXPECT_EQ(rec.object, a.neighbor);
+      ++adjacency_total;
+    }
+  }
+  EXPECT_EQ(adjacency_total, live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphChurnTest,
+                         ::testing::Values(1, 7, 21, 99));
+
+// ---------- TemporalWindow ----------
+
+TimedTriple MakeTriple(const std::string& s, const std::string& o,
+                       Timestamp ts) {
+  TimedTriple t;
+  t.triple = {s, "p", o};
+  t.timestamp = ts;
+  return t;
+}
+
+TEST(TemporalWindowTest, CountBasedExpiry) {
+  PropertyGraph g;
+  TemporalWindow w(&g, 3);
+  for (int i = 0; i < 5; ++i) {
+    w.Add(MakeTriple(StrFormat("s%d", i), "o", i));
+  }
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(w.OldestTimestamp(), 2);
+  EXPECT_EQ(w.NewestTimestamp(), 4);
+}
+
+TEST(TemporalWindowTest, TimestampExpiry) {
+  PropertyGraph g;
+  TemporalWindow w(&g, 0);  // unbounded count
+  for (int i = 0; i < 10; ++i) w.Add(MakeTriple("a", "b", i));
+  EXPECT_EQ(w.ExpireOlderThan(7), 7u);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(w.OldestTimestamp(), 7);
+}
+
+TEST(TemporalWindowTest, WindowSizeOne) {
+  PropertyGraph g;
+  TemporalWindow w(&g, 1);
+  w.Add(MakeTriple("a", "b", 1));
+  w.Add(MakeTriple("c", "d", 2));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+class RecordingListener : public WindowListener {
+ public:
+  void OnEdgeAdded(const PropertyGraph&, EdgeId e) override {
+    added.push_back(e);
+  }
+  void OnEdgeExpiring(const PropertyGraph& g, EdgeId e) override {
+    // The edge must still be intact when the listener fires.
+    EXPECT_TRUE(g.Edge(e).alive);
+    expired.push_back(e);
+  }
+  std::vector<EdgeId> added;
+  std::vector<EdgeId> expired;
+};
+
+TEST(TemporalWindowTest, ListenersObserveFifoExpiry) {
+  PropertyGraph g;
+  TemporalWindow w(&g, 2);
+  RecordingListener listener;
+  w.AddListener(&listener);
+  for (int i = 0; i < 4; ++i) w.Add(MakeTriple("a", "b", i));
+  EXPECT_EQ(listener.added.size(), 4u);
+  ASSERT_EQ(listener.expired.size(), 2u);
+  // FIFO: first added edges expire first.
+  EXPECT_EQ(listener.expired[0], listener.added[0]);
+  EXPECT_EQ(listener.expired[1], listener.added[1]);
+  w.RemoveListener(&listener);
+  w.Add(MakeTriple("a", "b", 10));
+  EXPECT_EQ(listener.added.size(), 4u);  // no longer notified
+}
+
+class WindowInvariantTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WindowInvariantTest, LiveEdgesAlwaysMatchWindowContents) {
+  PropertyGraph g;
+  TemporalWindow w(&g, GetParam());
+  Rng rng(GetParam() + 5);
+  for (int i = 0; i < 500; ++i) {
+    w.Add(MakeTriple(StrFormat("s%llu", static_cast<unsigned long long>(
+                                            rng.UniformInt(30))),
+                     StrFormat("o%llu", static_cast<unsigned long long>(
+                                            rng.UniformInt(30))),
+                     i));
+    ASSERT_EQ(g.NumEdges(), w.size());
+    ASSERT_LE(w.size(), GetParam());
+    // Window ids are strictly increasing in timestamp order.
+    Timestamp prev = -1;
+    for (EdgeId e : w.edges()) {
+      Timestamp ts = g.Edge(e).meta.timestamp;
+      ASSERT_GE(ts, prev);
+      prev = ts;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WindowInvariantTest,
+                         ::testing::Values(1, 2, 16, 128));
+
+// ---------- GraphStats ----------
+
+TEST(GraphStatsTest, CountsCuratedAndExtracted) {
+  PropertyGraph g;
+  VertexId a = g.GetOrAddVertex("a");
+  VertexId b = g.GetOrAddVertex("b");
+  PredicateId p = g.predicates().Intern("p");
+  EdgeMeta curated;
+  curated.curated = true;
+  g.AddEdge(a, p, b, curated);
+  EdgeMeta extracted;
+  extracted.curated = false;
+  extracted.confidence = 0.5;
+  g.AddEdge(b, p, a, extracted);
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.vertices, 2u);
+  EXPECT_EQ(stats.live_edges, 2u);
+  EXPECT_EQ(stats.curated_edges, 1u);
+  EXPECT_EQ(stats.extracted_edges, 1u);
+  EXPECT_EQ(stats.distinct_predicates, 1u);
+  EXPECT_EQ(stats.extracted_confidence.count(), 1u);
+  EXPECT_EQ(stats.per_predicate.at("p"), 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+// ---------- Generators ----------
+
+TEST(GraphGeneratorTest, StreamHasRequestedSizeAndMonotoneTime) {
+  StreamConfig config;
+  config.num_edges = 500;
+  config.num_entities = 50;
+  auto stream = GenerateStream(config);
+  ASSERT_EQ(stream.size(), 500u);
+  Timestamp prev = -1;
+  for (const TimedTriple& t : stream) {
+    EXPECT_GT(t.timestamp, prev);
+    prev = t.timestamp;
+    EXPECT_NE(t.triple.subject, t.triple.object);
+  }
+}
+
+TEST(GraphGeneratorTest, StreamDeterministicPerSeed) {
+  StreamConfig config;
+  config.num_edges = 100;
+  auto a = GenerateStream(config);
+  auto b = GenerateStream(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].triple, b[i].triple);
+  }
+  config.seed += 1;
+  auto c = GenerateStream(config);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].triple == c[i].triple)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GraphGeneratorTest, PlantedPatternsAppearAtRate) {
+  PlantedStreamConfig config;
+  config.num_events = 2000;
+  config.patterns = {{"star", {"pa", "pb"}, 0.1}};
+  auto stream = GeneratePlantedStream(config);
+  size_t planted_edges = 0;
+  for (const TimedTriple& t : stream) {
+    if (t.source == "planted") ++planted_edges;
+  }
+  // Each instance emits 2 edges; expect ~0.1 * 2000 instances.
+  double instances = static_cast<double>(planted_edges) / 2.0;
+  EXPECT_NEAR(instances, 200.0, 60.0);
+  // Leaf objects exist and are distinct per instance.
+  bool leaf_seen = false;
+  for (const TimedTriple& t : stream) {
+    if (t.triple.object == "leaf_star_0_0") leaf_seen = true;
+  }
+  EXPECT_TRUE(leaf_seen);
+}
+
+TEST(GraphGeneratorTest, DriftStreamSwitchesPatterns) {
+  PlantedStreamConfig phase1;
+  phase1.num_events = 300;
+  phase1.patterns = {{"one", {"pa", "pb"}, 0.2}};
+  PlantedStreamConfig phase2 = phase1;
+  phase2.patterns = {{"two", {"pc", "pd"}, 0.2}};
+  auto stream = GenerateDriftStream(phase1, phase2);
+  bool one_in_first_half = false, two_in_second_half = false;
+  bool two_in_first_half = false;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    bool first_half = stream[i].timestamp < 300;
+    if (stream[i].triple.object.find("leaf_one") == 0 && first_half) {
+      one_in_first_half = true;
+    }
+    if (stream[i].triple.object.find("leaf_two") == 0) {
+      (first_half ? two_in_first_half : two_in_second_half) = true;
+    }
+  }
+  EXPECT_TRUE(one_in_first_half);
+  EXPECT_TRUE(two_in_second_half);
+  EXPECT_FALSE(two_in_first_half);
+}
+
+}  // namespace
+}  // namespace nous

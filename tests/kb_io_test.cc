@@ -1,0 +1,107 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+#include "kb/kb_io.h"
+
+namespace nous {
+namespace {
+
+CuratedKb MakeSampleKb() {
+  CuratedKb kb(Ontology::DroneDefault());
+  KbEntity dji;
+  dji.name = "DJI";
+  dji.aliases = {"DJI Technology"};
+  dji.type_name = "company";
+  dji.ner_type = EntityType::kOrganization;
+  dji.context_terms = {"drone", "quadcopter"};
+  dji.prior = 12.0;
+  size_t dji_id = kb.AddEntity(std::move(dji));
+  KbEntity seattle;
+  seattle.name = "Seattle";
+  seattle.type_name = "city";
+  seattle.ner_type = EntityType::kLocation;
+  seattle.prior = 3.0;
+  size_t seattle_id = kb.AddEntity(std::move(seattle));
+  kb.AddFact(dji_id, "headquarteredIn", seattle_id, 123456);
+  return kb;
+}
+
+TEST(KbIoTest, RoundTripPreservesEverything) {
+  CuratedKb original = MakeSampleKb();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCuratedKb(original, buffer).ok());
+  auto loaded = LoadCuratedKb(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const CuratedKb& kb = **loaded;
+
+  ASSERT_EQ(kb.entities().size(), 2u);
+  auto dji = kb.FindByName("DJI");
+  ASSERT_TRUE(dji.has_value());
+  const KbEntity& e = kb.entities()[*dji];
+  EXPECT_EQ(e.type_name, "company");
+  EXPECT_EQ(e.ner_type, EntityType::kOrganization);
+  EXPECT_DOUBLE_EQ(e.prior, 12.0);
+  EXPECT_EQ(e.aliases, (std::vector<std::string>{"DJI Technology"}));
+  EXPECT_EQ(e.context_terms,
+            (std::vector<std::string>{"drone", "quadcopter"}));
+
+  ASSERT_EQ(kb.facts().size(), 1u);
+  EXPECT_EQ(kb.facts()[0].predicate, "headquarteredIn");
+  EXPECT_EQ(kb.facts()[0].timestamp, 123456);
+  // Alias index rebuilt.
+  EXPECT_EQ(kb.Candidates("dji technology").size(), 1u);
+  // Ontology round-trips.
+  EXPECT_TRUE(kb.ontology().IsSubtypeOf("company", "organization"));
+  EXPECT_TRUE(kb.ontology().FindPredicate("acquired").has_value());
+}
+
+TEST(KbIoTest, GeneratedKbRoundTrips) {
+  DroneWorldConfig wc;
+  wc.num_companies = 10;
+  wc.num_events = 40;
+  WorldModel world = WorldModel::BuildDroneWorld(wc);
+  CuratedKb original =
+      BuildCuratedKb(world, Ontology::DroneDefault(), {});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCuratedKb(original, buffer).ok());
+  auto loaded = LoadCuratedKb(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->entities().size(), original.entities().size());
+  EXPECT_EQ((*loaded)->facts().size(), original.facts().size());
+  for (size_t i = 0; i < original.entities().size(); ++i) {
+    EXPECT_EQ((*loaded)->entities()[i].name,
+              original.entities()[i].name);
+  }
+}
+
+TEST(KbIoTest, RejectsMalformedInput) {
+  const char* kBad[] = {
+      "not a header\n",
+      "#nous-kb v1\nN\tX\tcompany\tBOGUS_NER\t1\n",
+      "#nous-kb v1\nA\tUnknown\talias\n",
+      "#nous-kb v1\nN\tX\tcompany\tORG\t1\nN\tX\tcompany\tORG\t1\n",
+      "#nous-kb v1\nF\tA\tp\tB\t0\n",  // unknown endpoints
+      "#nous-kb v1\nQ\twhat\n",
+  };
+  for (const char* input : kBad) {
+    std::stringstream buffer(input);
+    EXPECT_FALSE(LoadCuratedKb(buffer).ok()) << input;
+  }
+}
+
+TEST(KbIoTest, FileRoundTripAndMissingFile) {
+  CuratedKb kb = MakeSampleKb();
+  std::string path = testing::TempDir() + "/nous_kb_io_test.txt";
+  ASSERT_TRUE(SaveCuratedKbToFile(kb, path).ok());
+  auto loaded = LoadCuratedKbFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->entities().size(), 2u);
+  EXPECT_EQ(LoadCuratedKbFromFile("/no/such/file").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nous

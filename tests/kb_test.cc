@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "corpus/world_model.h"
+#include "kb/curated_kb.h"
+#include "kb/kb_generator.h"
+#include "kb/ontology.h"
+
+namespace nous {
+namespace {
+
+// ---------- Ontology ----------
+
+TEST(OntologyTest, SubtypeChainResolves) {
+  Ontology o = Ontology::DroneDefault();
+  EXPECT_TRUE(o.IsSubtypeOf("company", "organization"));
+  EXPECT_TRUE(o.IsSubtypeOf("company", "thing"));
+  EXPECT_TRUE(o.IsSubtypeOf("company", "company"));
+  EXPECT_FALSE(o.IsSubtypeOf("company", "person"));
+  EXPECT_FALSE(o.IsSubtypeOf("unknown_type", "thing"));
+}
+
+TEST(OntologyTest, ParentLookup) {
+  Ontology o = Ontology::DroneDefault();
+  EXPECT_EQ(o.ParentOf("city"), "location");
+  EXPECT_EQ(o.ParentOf("thing"), "");
+  EXPECT_EQ(o.ParentOf("never_added"), "");
+}
+
+TEST(OntologyTest, PredicateLookup) {
+  Ontology o = Ontology::DroneDefault();
+  auto schema = o.FindPredicate("acquired");
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->domain_type, "company");
+  EXPECT_EQ(schema->range_type, "company");
+  EXPECT_FALSE(o.FindPredicate("bogus").has_value());
+}
+
+TEST(OntologyTest, SignatureMatchingHonorsSubtypes) {
+  Ontology o = Ontology::DroneDefault();
+  // partneredWith wants organization x organization; company qualifies.
+  EXPECT_TRUE(o.SignatureMatches("partneredWith", "company", "agency"));
+  EXPECT_FALSE(o.SignatureMatches("partneredWith", "person", "company"));
+  EXPECT_FALSE(o.SignatureMatches("acquired", "company", "city"));
+  EXPECT_FALSE(o.SignatureMatches("bogus", "company", "company"));
+}
+
+TEST(OntologyTest, ReAddingTypeUpdatesParent) {
+  Ontology o;
+  o.AddType("thing", "");
+  o.AddType("a", "thing");
+  o.AddType("b", "a");
+  EXPECT_TRUE(o.IsSubtypeOf("b", "thing"));
+  o.AddType("b", "thing");
+  EXPECT_TRUE(o.IsSubtypeOf("b", "thing"));
+  EXPECT_FALSE(o.IsSubtypeOf("b", "a"));
+}
+
+// ---------- CuratedKb ----------
+
+TEST(CuratedKbTest, CandidatesByAliasCaseInsensitive) {
+  CuratedKb kb(Ontology::DroneDefault());
+  KbEntity e;
+  e.name = "DJI";
+  e.aliases = {"DJI Technology"};
+  e.type_name = "company";
+  size_t id = kb.AddEntity(std::move(e));
+  EXPECT_EQ(kb.Candidates("dji").size(), 1u);
+  EXPECT_EQ(kb.Candidates("dji technology")[0], id);
+  EXPECT_TRUE(kb.Candidates("unknown").empty());
+  ASSERT_TRUE(kb.FindByName("DJI").has_value());
+  EXPECT_FALSE(kb.FindByName("dji").has_value());  // exact canonical
+}
+
+TEST(CuratedKbTest, SharedAliasYieldsMultipleCandidates) {
+  CuratedKb kb(Ontology::DroneDefault());
+  KbEntity a;
+  a.name = "Phoenix Labs";
+  a.aliases = {"Phoenix"};
+  kb.AddEntity(std::move(a));
+  KbEntity b;
+  b.name = "Phoenix";
+  kb.AddEntity(std::move(b));
+  EXPECT_EQ(kb.Candidates("Phoenix").size(), 2u);
+}
+
+TEST(CuratedKbTest, SurfaceFormsIncludeAliases) {
+  CuratedKb kb(Ontology::DroneDefault());
+  KbEntity e;
+  e.name = "FAA";
+  e.aliases = {"Federal Aviation Administration"};
+  e.ner_type = EntityType::kOrganization;
+  kb.AddEntity(std::move(e));
+  auto forms = kb.AllSurfaceForms();
+  ASSERT_EQ(forms.size(), 2u);
+  EXPECT_EQ(forms[1].first, "Federal Aviation Administration");
+}
+
+// ---------- KbGenerator ----------
+
+class KbCoverageTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(KbCoverageTest, EntityCoverageApproximatelyHonored) {
+  DroneWorldConfig wc;
+  wc.num_companies = 20;
+  wc.num_people = 15;
+  wc.num_products = 10;
+  wc.num_events = 80;
+  WorldModel world = WorldModel::BuildDroneWorld(wc);
+  KbCoverage coverage;
+  coverage.entity_coverage = GetParam();
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+  double actual = static_cast<double>(kb.entities().size()) /
+                  static_cast<double>(world.entities().size());
+  EXPECT_NEAR(actual, GetParam(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coverages, KbCoverageTest,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+TEST(KbGeneratorTest, PopularEntitiesCuratedFirst) {
+  DroneWorldConfig wc;
+  wc.num_companies = 20;
+  wc.num_events = 150;
+  WorldModel world = WorldModel::BuildDroneWorld(wc);
+  KbCoverage coverage;
+  coverage.entity_coverage = 0.3;
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+  // DJI participates in many facts; it should make the 30% cut.
+  EXPECT_TRUE(kb.FindByName("DJI").has_value());
+  // Curated priors reflect popularity (all >= 1).
+  for (const KbEntity& e : kb.entities()) {
+    EXPECT_GE(e.prior, 1.0);
+  }
+}
+
+TEST(KbGeneratorTest, OnlyStaticFactsBetweenCoveredEndpoints) {
+  DroneWorldConfig wc;
+  wc.num_events = 50;
+  WorldModel world = WorldModel::BuildDroneWorld(wc);
+  KbCoverage coverage;
+  coverage.entity_coverage = 0.5;
+  coverage.fact_coverage = 1.0;
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+  for (const KbFact& f : kb.facts()) {
+    ASSERT_LT(f.subject, kb.entities().size());
+    ASSERT_LT(f.object, kb.entities().size());
+    // Events are never curated.
+    EXPECT_TRUE(f.predicate == "headquarteredIn" ||
+                f.predicate == "ceoOf" || f.predicate == "worksFor" ||
+                f.predicate == "manufactures" || f.predicate == "regulates")
+        << f.predicate;
+  }
+}
+
+TEST(KbGeneratorTest, ZeroCoverageGivesEmptyKb) {
+  WorldModel world = WorldModel::BuildDroneWorld(DroneWorldConfig{});
+  KbCoverage coverage;
+  coverage.entity_coverage = 0.0;
+  CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), coverage);
+  EXPECT_TRUE(kb.entities().empty());
+  EXPECT_TRUE(kb.facts().empty());
+}
+
+}  // namespace
+}  // namespace nous

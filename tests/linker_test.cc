@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "graph/property_graph.h"
+#include "linker/context.h"
+#include "linker/entity_linker.h"
+#include "text/lexicon.h"
+
+namespace nous {
+namespace {
+
+// ---------- Context bags ----------
+
+TEST(ContextTest, DocumentBagDropsStopwordsAndNumbers) {
+  Lexicon lexicon = Lexicon::Default();
+  TermBag bag = BuildDocumentBag(
+      "The drone market is growing in 2014 and the drone sales rose",
+      lexicon);
+  EXPECT_EQ(bag.count("the"), 0u);
+  EXPECT_EQ(bag.count("2014"), 0u);
+  EXPECT_EQ(bag.count("in"), 0u);
+  EXPECT_DOUBLE_EQ(bag.at("drone"), 2.0);
+  EXPECT_EQ(bag.count("market"), 1u);
+}
+
+TEST(ContextTest, EntityBagMergesStoredTermsAndNeighborhood) {
+  PropertyGraph g;
+  VertexId dji = g.GetOrAddVertex("DJI");
+  VertexId phantom = g.GetOrAddVertex("Phantom 3");
+  g.AddVertexTerm(dji, g.terms().Intern("quadcopter"), 2.0);
+  g.AddEdge(dji, g.predicates().Intern("manufactures"), phantom, {});
+  TermBag bag = BuildEntityBag(g, dji);
+  EXPECT_GT(bag.at("quadcopter"), 0);
+  // Neighbor label tokens appear ("phantom" from "Phantom 3").
+  EXPECT_GT(bag.count("phantom"), 0u);
+}
+
+TEST(ContextTest, CosineSimilarityBasics) {
+  TermBag a = {{"x", 1.0}, {"y", 1.0}};
+  TermBag b = {{"x", 1.0}, {"y", 1.0}};
+  TermBag c = {{"z", 1.0}};
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, c), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, {}), 0.0);
+}
+
+// ---------- EntityLinker ----------
+
+class LinkerFixture : public ::testing::Test {
+ protected:
+  LinkerFixture() : linker_(&graph_) {
+    // Two entities sharing the surface "Phoenix": a city and a drone
+    // company — the ambiguity case from the corpus generator.
+    city_ = graph_.GetOrAddVertex("Phoenix");
+    graph_.SetVertexType(city_, graph_.types().Intern("city"));
+    graph_.AddVertexTerm(city_, graph_.terms().Intern("city"), 3.0);
+    graph_.AddVertexTerm(city_, graph_.terms().Intern("arizona"), 2.0);
+    graph_.AddVertexTerm(city_, graph_.terms().Intern("metro"), 2.0);
+
+    company_ = graph_.GetOrAddVertex("Phoenix Labs");
+    graph_.SetVertexType(company_, graph_.types().Intern("company"));
+    graph_.AddVertexTerm(company_, graph_.terms().Intern("drone"), 3.0);
+    graph_.AddVertexTerm(company_, graph_.terms().Intern("quadcopter"),
+                         2.0);
+    graph_.AddVertexTerm(company_, graph_.terms().Intern("startup"), 2.0);
+
+    linker_.RegisterEntity(city_, {"Phoenix"}, 5.0);
+    linker_.RegisterEntity(company_, {"Phoenix Labs", "Phoenix"}, 2.0);
+  }
+  PropertyGraph graph_;
+  EntityLinker linker_;
+  VertexId city_;
+  VertexId company_;
+};
+
+TEST_F(LinkerFixture, CandidatesIncludeBothHomonyms) {
+  EXPECT_EQ(linker_.CandidatesFor("Phoenix").size(), 2u);
+  EXPECT_EQ(linker_.CandidatesFor("phoenix").size(), 2u);
+  EXPECT_EQ(linker_.CandidatesFor("Phoenix Labs").size(), 1u);
+}
+
+TEST_F(LinkerFixture, ContextDisambiguatesHomonym) {
+  TermBag drone_doc = {{"drone", 2.0}, {"quadcopter", 1.0},
+                       {"startup", 1.0}};
+  TermBag city_doc = {{"city", 2.0}, {"arizona", 1.0}, {"metro", 1.0}};
+  LinkDecision d1 =
+      linker_.LinkOne("Phoenix", EntityType::kOrganization, drone_doc);
+  EXPECT_EQ(d1.vertex, company_);
+  EXPECT_FALSE(d1.created_new);
+  LinkDecision d2 =
+      linker_.LinkOne("Phoenix", EntityType::kLocation, city_doc);
+  EXPECT_EQ(d2.vertex, city_);
+}
+
+TEST_F(LinkerFixture, UnknownSurfaceCreatesNewVertex) {
+  size_t before = graph_.NumVertices();
+  LinkDecision d = linker_.LinkOne("Aero Dynamics Inc",
+                                   EntityType::kOrganization, {});
+  EXPECT_TRUE(d.created_new);
+  EXPECT_EQ(graph_.NumVertices(), before + 1);
+  EXPECT_EQ(graph_.VertexLabel(d.vertex), "Aero Dynamics Inc");
+  EXPECT_EQ(graph_.types().GetString(graph_.VertexType(d.vertex)),
+            "organization");
+  EXPECT_EQ(linker_.num_created(), 1u);
+  // Second occurrence links to the created vertex.
+  LinkDecision d2 = linker_.LinkOne("Aero Dynamics Inc",
+                                    EntityType::kOrganization, {});
+  EXPECT_EQ(d2.vertex, d.vertex);
+  EXPECT_FALSE(d2.created_new);
+}
+
+TEST_F(LinkerFixture, RepeatedSurfaceWithinDocumentResolvesOnce) {
+  auto decisions = linker_.LinkMentions(
+      {"New Widget Co", "New Widget Co"},
+      {EntityType::kOrganization, EntityType::kOrganization}, {});
+  EXPECT_EQ(decisions[0].vertex, decisions[1].vertex);
+  EXPECT_EQ(linker_.num_created(), 1u);
+}
+
+TEST_F(LinkerFixture, CoherenceBoostsConnectedCandidates) {
+  // "Phantom 3" is linked in the KG to Phoenix Labs; mentioning both in
+  // one document should pull "Phoenix" toward the company even with a
+  // neutral context bag. Uses an explicit coherence weight: the test
+  // exercises the mechanism, not the (deliberately modest) default.
+  VertexId phantom = graph_.GetOrAddVertex("Phantom 3");
+  graph_.AddEdge(company_, graph_.predicates().Intern("manufactures"),
+                 phantom, {});
+  // Shared neighbor for coherence: a supplier connected to both.
+  VertexId supplier = graph_.GetOrAddVertex("PartsCo");
+  graph_.AddEdge(supplier, graph_.predicates().Intern("supplies"),
+                 company_, {});
+  graph_.AddEdge(supplier, graph_.predicates().Intern("supplies"),
+                 phantom, {});
+  LinkerConfig config;
+  config.coherence_weight = 0.6;
+  EntityLinker linker(&graph_, config);
+  linker.RegisterEntity(city_, {"Phoenix"}, 5.0);
+  linker.RegisterEntity(company_, {"Phoenix Labs", "Phoenix"}, 2.0);
+  linker.RegisterEntity(phantom, {"Phantom 3"}, 3.0);
+
+  auto decisions = linker.LinkMentions(
+      {"Phoenix", "Phantom 3"},
+      {EntityType::kOrganization, EntityType::kProduct}, {});
+  EXPECT_EQ(decisions[1].vertex, phantom);
+  EXPECT_EQ(decisions[0].vertex, company_);
+}
+
+TEST_F(LinkerFixture, NeighborhoodContextGrowsWithDynamicKg) {
+  // Initially a neutral "drone startup" doc cannot beat the city's
+  // higher prior without context; after the company gains drone-themed
+  // neighbors, the same linking flips to the company.
+  TermBag doc = {{"skyward", 1.0}, {"deal", 1.0}};
+  LinkDecision before =
+      linker_.LinkOne("Phoenix", EntityType::kOrganization, doc);
+  EXPECT_EQ(before.vertex, city_);  // prior wins without context
+
+  VertexId skyward = graph_.GetOrAddVertex("SkyWard Deal Partners");
+  graph_.AddEdge(company_, graph_.predicates().Intern("acquired"),
+                 skyward, {});
+  LinkDecision after =
+      linker_.LinkOne("Phoenix", EntityType::kOrganization, doc);
+  EXPECT_EQ(after.vertex, company_);  // neighborhood terms now match
+}
+
+}  // namespace
+}  // namespace nous

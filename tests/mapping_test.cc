@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "kb/ontology.h"
+#include "mapping/distant_supervision.h"
+#include "mapping/predicate_mapper.h"
+
+namespace nous {
+namespace {
+
+class MapperFixture : public ::testing::Test {
+ protected:
+  MapperFixture() : ontology_(Ontology::DroneDefault()),
+                    mapper_(&ontology_) {
+    mapper_.LoadDefaultSeeds();
+  }
+  Ontology ontology_;
+  PredicateMapper mapper_;
+};
+
+TEST_F(MapperFixture, SeedPhrasesMap) {
+  MappingDecision d = mapper_.Map("acquire", "company", "company");
+  ASSERT_TRUE(d.mapped);
+  EXPECT_EQ(d.predicate, "acquired");
+  EXPECT_GT(d.score, 0.5);
+
+  d = mapper_.Map("partner_with", "company", "company");
+  ASSERT_TRUE(d.mapped);
+  EXPECT_EQ(d.predicate, "partneredWith");
+
+  d = mapper_.Map("headquarter_in", "company", "city");
+  ASSERT_TRUE(d.mapped);
+  EXPECT_EQ(d.predicate, "headquarteredIn");
+}
+
+TEST_F(MapperFixture, UnknownPhraseUnmapped) {
+  EXPECT_FALSE(mapper_.Map("praise", "company", "company").mapped);
+  EXPECT_FALSE(mapper_.Map("", "company", "company").mapped);
+}
+
+TEST_F(MapperFixture, TypeGateRejectsIncompatibleArguments) {
+  // "acquire" requires company x company; a person object fails.
+  EXPECT_FALSE(mapper_.Map("acquire", "company", "person").mapped);
+  // Subtypes pass: partneredWith wants organizations, agency is one.
+  EXPECT_TRUE(mapper_.Map("partner_with", "company", "agency").mapped);
+}
+
+TEST_F(MapperFixture, GenericTypesPassPermissively) {
+  EXPECT_TRUE(mapper_.Map("acquire", "", "").mapped);
+  EXPECT_TRUE(mapper_.Map("acquire", "thing", "thing").mapped);
+  EXPECT_TRUE(mapper_.Map("acquire", "unknown_ner_type", "company").mapped);
+}
+
+TEST_F(MapperFixture, CaseInsensitivePhrases) {
+  EXPECT_TRUE(mapper_.Map("Acquire", "company", "company").mapped);
+}
+
+TEST_F(MapperFixture, AmbiguousEvidenceSplitsScore) {
+  // Give "grab" evidence for two predicates; normalized score must not
+  // clear the 50-50 threshold ambiguity when min_map_score > 0.5.
+  mapper_.AddEvidence("acquired", "grab", 1.0);
+  mapper_.AddEvidence("investsIn", "grab", 1.0);
+  MappingDecision d = mapper_.Map("grab", "company", "company");
+  // Both at 0.5 >= default min 0.3: best wins; score exactly 0.5.
+  EXPECT_TRUE(d.mapped);
+  EXPECT_DOUBLE_EQ(d.score, 0.5);
+  // Tilt the evidence: dominant predicate wins decisively.
+  mapper_.AddEvidence("acquired", "grab", 3.0);
+  d = mapper_.Map("grab", "company", "company");
+  EXPECT_EQ(d.predicate, "acquired");
+  EXPECT_GT(d.score, 0.75);
+}
+
+TEST_F(MapperFixture, EvidenceWeightAccumulates) {
+  EXPECT_DOUBLE_EQ(mapper_.EvidenceWeight("acquired", "acquire"), 1.0);
+  mapper_.AddEvidence("acquired", "acquire", 2.5);
+  EXPECT_DOUBLE_EQ(mapper_.EvidenceWeight("acquired", "acquire"), 3.5);
+  EXPECT_DOUBLE_EQ(mapper_.EvidenceWeight("acquired", "nope"), 0.0);
+}
+
+// ---------- Distant supervision ----------
+
+TEST(DistantSupervisionTest, AlignedExamplesTeachNewPhrase) {
+  Ontology ontology = Ontology::DroneDefault();
+  PredicateMapper mapper(&ontology);
+  mapper.LoadDefaultSeeds();
+  ASSERT_FALSE(mapper.Map("snap_up", "company", "company").mapped);
+
+  std::vector<DsExample> examples;
+  for (int i = 0; i < 5; ++i) {
+    examples.push_back({"snap_up", "company", "company", "acquired"});
+  }
+  DistantSupervisionTrainer trainer;
+  DsTrainResult result = trainer.Train(examples, &mapper);
+  EXPECT_EQ(result.aligned_used, 5u);
+  MappingDecision d = mapper.Map("snap_up", "company", "company");
+  ASSERT_TRUE(d.mapped);
+  EXPECT_EQ(d.predicate, "acquired");
+}
+
+TEST(DistantSupervisionTest, SemiSupervisedPromotionAddsWeight) {
+  Ontology ontology = Ontology::DroneDefault();
+  PredicateMapper mapper(&ontology);
+  mapper.LoadDefaultSeeds();
+  double before = mapper.EvidenceWeight("acquired", "acquire");
+
+  // Unaligned examples of a confidently mapped phrase get promoted.
+  std::vector<DsExample> examples;
+  for (int i = 0; i < 4; ++i) {
+    examples.push_back({"acquire", "company", "company", ""});
+  }
+  DistantSupervisionTrainer trainer;
+  DsTrainResult result = trainer.Train(examples, &mapper);
+  EXPECT_GT(result.promoted, 0u);
+  EXPECT_GT(mapper.EvidenceWeight("acquired", "acquire"), before);
+}
+
+TEST(DistantSupervisionTest, LowConfidencePhrasesNotPromoted) {
+  Ontology ontology = Ontology::DroneDefault();
+  PredicateMapper mapper(&ontology);
+  // Ambiguous 50/50 phrase below the 0.6 promote threshold.
+  mapper.AddEvidence("acquired", "grab", 1.0);
+  mapper.AddEvidence("investsIn", "grab", 1.0);
+  std::vector<DsExample> examples = {
+      {"grab", "company", "company", ""},
+      {"grab", "company", "company", ""},
+  };
+  DistantSupervisionTrainer trainer;
+  DsTrainResult result = trainer.Train(examples, &mapper);
+  EXPECT_EQ(result.promoted, 0u);
+}
+
+TEST(DistantSupervisionTest, ConflictingAlignmentsResolveByMajority) {
+  Ontology ontology = Ontology::DroneDefault();
+  PredicateMapper mapper(&ontology);
+  std::vector<DsExample> examples;
+  for (int i = 0; i < 8; ++i) {
+    examples.push_back({"pick_up", "company", "company", "acquired"});
+  }
+  for (int i = 0; i < 2; ++i) {
+    examples.push_back({"pick_up", "company", "company", "investsIn"});
+  }
+  DistantSupervisionTrainer trainer;
+  trainer.Train(examples, &mapper);
+  MappingDecision d = mapper.Map("pick_up", "company", "company");
+  ASSERT_TRUE(d.mapped);
+  EXPECT_EQ(d.predicate, "acquired");
+  EXPECT_NEAR(d.score, 0.8, 0.1);
+}
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,361 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/property_graph.h"
+#include "qa/path_baselines.h"
+#include "qa/path_search.h"
+#include "qa/query.h"
+#include "qa/query_engine.h"
+
+namespace nous {
+namespace {
+
+/// Builds a diamond KG with a planted *coherent* path and a shorter
+/// but topically incoherent path:
+///
+///   src -> mid_good -> dst        (all in topic 0)
+///   src -> mid_bad  -> dst        (mid_bad in topic 1)
+///   src -> far1 -> far2 -> dst    (longer, topic 0)
+class PathFixture : public ::testing::Test {
+ protected:
+  PathFixture() {
+    src_ = Add("src", {0.9, 0.1});
+    dst_ = Add("dst", {0.9, 0.1});
+    mid_good_ = Add("mid_good", {0.9, 0.1});
+    mid_bad_ = Add("mid_bad", {0.1, 0.9});
+    far1_ = Add("far1", {0.7, 0.3});
+    far2_ = Add("far2", {0.7, 0.3});
+    p_ = graph_.predicates().Intern("rel");
+    via_ = graph_.predicates().Intern("via");
+    Connect(src_, p_, mid_good_, "wsj");
+    Connect(mid_good_, via_, dst_, "web");
+    Connect(src_, p_, mid_bad_, "wsj");
+    Connect(mid_bad_, p_, dst_, "wsj");
+    Connect(src_, p_, far1_, "wsj");
+    Connect(far1_, p_, far2_, "web");
+    Connect(far2_, p_, dst_, "blog");
+  }
+
+  VertexId Add(const std::string& name, std::vector<double> topics) {
+    VertexId v = graph_.GetOrAddVertex(name);
+    graph_.SetVertexTopics(v, std::move(topics));
+    return v;
+  }
+  void Connect(VertexId s, PredicateId p, VertexId o,
+               const std::string& source) {
+    EdgeMeta meta;
+    meta.source = graph_.sources().Intern(source);
+    graph_.AddEdge(s, p, o, meta);
+  }
+
+  PropertyGraph graph_;
+  VertexId src_, dst_, mid_good_, mid_bad_, far1_, far2_;
+  PredicateId p_, via_;
+};
+
+TEST_F(PathFixture, FindsPathsRankedByCoherence) {
+  PathSearch search(&graph_);
+  auto paths = search.FindPaths(src_, dst_);
+  ASSERT_GE(paths.size(), 2u);
+  // Best path goes through mid_good (low divergence all along).
+  ASSERT_EQ(paths[0].vertices.size(), 3u);
+  EXPECT_EQ(paths[0].vertices[1], mid_good_);
+  // Coherences ascend.
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].coherence, paths[i - 1].coherence);
+  }
+}
+
+TEST_F(PathFixture, RelationshipConstraintFiltersFinalEdge) {
+  PathSearch search(&graph_);
+  auto paths = search.FindPaths(src_, dst_, via_);
+  ASSERT_FALSE(paths.empty());
+  for (const PathResult& path : paths) {
+    EXPECT_EQ(graph_.Edge(path.edges.back()).predicate, via_);
+  }
+}
+
+TEST_F(PathFixture, MultiSourceProvenanceCollected) {
+  PathSearch search(&graph_);
+  auto paths = search.FindPaths(src_, dst_);
+  ASSERT_FALSE(paths.empty());
+  // The winning path spans wsj + web.
+  EXPECT_EQ(paths[0].sources.size(), 2u);
+}
+
+TEST_F(PathFixture, DegenerateQueriesReturnEmpty) {
+  PathSearch search(&graph_);
+  EXPECT_TRUE(search.FindPaths(src_, src_).empty());
+  EXPECT_TRUE(search.FindPaths(9999, dst_).empty());
+}
+
+TEST_F(PathFixture, MaxHopsLimitsDepth) {
+  PathSearchConfig config;
+  config.max_hops = 1;
+  PathSearch search(&graph_, config);
+  EXPECT_TRUE(search.FindPaths(src_, dst_).empty());  // min path is 2
+}
+
+TEST_F(PathFixture, CoherenceComputation) {
+  double c = ComputePathCoherence(graph_, {src_, mid_good_, dst_});
+  double bad = ComputePathCoherence(graph_, {src_, mid_bad_, dst_});
+  EXPECT_LT(c, bad);
+  EXPECT_DOUBLE_EQ(ComputePathCoherence(graph_, {src_}), 0.0);
+}
+
+TEST_F(PathFixture, TopicGuidanceBeatsBfsOnCoherence) {
+  PathSearchConfig config;
+  config.top_k = 1;
+  PathSearch search(&graph_, config);
+  auto guided = search.FindPaths(src_, dst_);
+  auto bfs = BfsShortestPaths(graph_, src_, dst_, 1, 4);
+  ASSERT_FALSE(guided.empty());
+  ASSERT_FALSE(bfs.empty());
+  // BFS may return either 2-hop path; guided always returns the
+  // coherent one.
+  EXPECT_LE(guided[0].coherence, bfs[0].coherence);
+  EXPECT_EQ(guided[0].vertices[1], mid_good_);
+}
+
+// ---------- Baselines ----------
+
+TEST_F(PathFixture, BfsFindsShortestFirst) {
+  auto paths = BfsShortestPaths(graph_, src_, dst_, 5, 4);
+  ASSERT_GE(paths.size(), 3u);
+  EXPECT_EQ(paths[0].vertices.size(), 3u);  // 2-hop before 3-hop
+  EXPECT_LE(paths[0].vertices.size(), paths.back().vertices.size());
+}
+
+TEST_F(PathFixture, BfsHonorsRelationshipConstraint) {
+  auto paths = BfsShortestPaths(graph_, src_, dst_, 5, 4, via_);
+  ASSERT_FALSE(paths.empty());
+  for (const PathResult& path : paths) {
+    EXPECT_EQ(graph_.Edge(path.edges.back()).predicate, via_);
+  }
+}
+
+TEST_F(PathFixture, RandomWalkFindsSomePath) {
+  auto paths = RandomWalkPaths(graph_, src_, dst_, 3, 4, 500, 42);
+  ASSERT_FALSE(paths.empty());
+  for (const PathResult& path : paths) {
+    EXPECT_EQ(path.vertices.front(), src_);
+    EXPECT_EQ(path.vertices.back(), dst_);
+  }
+}
+
+// ---------- Query parser ----------
+
+TEST(QueryParserTest, TrendingForms) {
+  auto q = ParseQuery("what is trending?");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryKind::kTrending);
+  EXPECT_EQ(ParseQuery("trending")->kind, QueryKind::kTrending);
+}
+
+TEST(QueryParserTest, EntityForms) {
+  auto q = ParseQuery("Tell me about DJI.");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryKind::kEntity);
+  EXPECT_EQ(q->entity_a, "DJI");
+  auto q2 = ParseQuery("who is Tom Marino?");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->entity_a, "Tom Marino");
+}
+
+TEST(QueryParserTest, WhyQuestionExtractsConstraint) {
+  auto q = ParseQuery("why would Windermere use drones?");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryKind::kRelationship);
+  EXPECT_EQ(q->entity_a, "Windermere");
+  EXPECT_EQ(q->entity_b, "drones");
+  EXPECT_EQ(q->predicate, "use");
+}
+
+TEST(QueryParserTest, ExplainWithVia) {
+  auto q = ParseQuery("explain DJI and FAA via regulates");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryKind::kRelationship);
+  EXPECT_EQ(q->entity_a, "DJI");
+  EXPECT_EQ(q->entity_b, "FAA");
+  EXPECT_EQ(q->predicate, "regulates");
+}
+
+TEST(QueryParserTest, PathsForm) {
+  auto q = ParseQuery("paths from DJI to Seattle");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, QueryKind::kSearch);
+  EXPECT_EQ(q->entity_a, "DJI");
+  EXPECT_EQ(q->entity_b, "Seattle");
+}
+
+TEST(QueryParserTest, PatternsForm) {
+  EXPECT_EQ(ParseQuery("show patterns")->kind, QueryKind::kPattern);
+}
+
+TEST(QueryParserTest, RejectsUnknownText) {
+  EXPECT_FALSE(ParseQuery("make me a sandwich").ok());
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("tell me about ").ok());
+}
+
+// ---------- Query engine ----------
+
+class EngineFixture : public PathFixture {
+ protected:
+  EngineFixture() : engine_(&graph_, nullptr) {}
+  QueryEngine engine_;
+};
+
+TEST_F(EngineFixture, EntityQueryListsFacts) {
+  Query q;
+  q.kind = QueryKind::kEntity;
+  q.entity_a = "src";
+  auto answer = engine_.Execute(q);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->facts.size(), 3u);  // src's three outgoing edges
+  EXPECT_FALSE(answer->Render(graph_).empty());
+}
+
+TEST_F(EngineFixture, EntityQueryCaseInsensitive) {
+  Query q;
+  q.kind = QueryKind::kEntity;
+  q.entity_a = "SRC";
+  EXPECT_TRUE(engine_.Execute(q).ok());
+}
+
+TEST_F(EngineFixture, UnknownEntityIsNotFound) {
+  Query q;
+  q.kind = QueryKind::kEntity;
+  q.entity_a = "Nonexistent Corp";
+  auto answer = engine_.Execute(q);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineFixture, RelationshipQueryReturnsPathsWithSources) {
+  auto answer = engine_.ExecuteText("explain src and dst");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->paths.empty());
+  EXPECT_GE(answer->distinct_sources, 2u);
+}
+
+TEST_F(EngineFixture, UnknownPredicateConstraintFallsBack) {
+  auto answer = engine_.ExecuteText("explain src and dst via bogus_pred");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->paths.empty());
+}
+
+TEST_F(EngineFixture, TrendingRanksActiveEntities) {
+  auto answer = engine_.ExecuteText("what is trending");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->hot_entities.empty());
+  // src and dst each touch 3 stream edges; they lead the ranking.
+  EXPECT_TRUE(answer->hot_entities[0].first == "src" ||
+              answer->hot_entities[0].first == "dst");
+  EXPECT_FALSE(answer->facts.empty());
+}
+
+TEST_F(EngineFixture, PatternQueryWithoutMinerIsEmpty) {
+  auto answer = engine_.ExecuteText("show patterns");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->patterns.empty());
+}
+
+// ---------- Path-search extensions ----------
+
+TEST_F(PathFixture, MinEdgeConfidenceFiltersUntrustedEdges) {
+  // Lower the confidence of the good path's first edge; with a
+  // confidence floor, only the other routes remain.
+  auto good_edge = graph_.FindEdge(src_, p_, mid_good_);
+  ASSERT_TRUE(good_edge.has_value());
+  graph_.SetEdgeConfidence(*good_edge, 0.1);
+  PathSearchConfig config;
+  config.min_edge_confidence = 0.5;
+  PathSearch search(&graph_, config);
+  auto paths = search.FindPaths(src_, dst_);
+  ASSERT_FALSE(paths.empty());
+  for (const PathResult& path : paths) {
+    for (EdgeId e : path.edges) {
+      EXPECT_GE(graph_.Edge(e).meta.confidence, 0.5);
+    }
+    EXPECT_NE(path.vertices[1], mid_good_);
+  }
+}
+
+TEST_F(PathFixture, ConstraintAnywhereMatchesInteriorEdges) {
+  // `via_` appears only as mid_good -> dst. With a final-edge
+  // constraint on a 3-hop budget it is reachable; extend the fixture
+  // so `via_` appears mid-path: src -[via]-> far1 -> far2 -> dst.
+  Connect(src_, via_, far1_, "extra");
+  PathSearchConfig config;
+  config.constraint_anywhere = true;
+  config.top_k = 10;
+  PathSearch search(&graph_, config);
+  auto paths = search.FindPaths(src_, dst_, via_);
+  ASSERT_FALSE(paths.empty());
+  for (const PathResult& path : paths) {
+    bool has_via = false;
+    for (EdgeId e : path.edges) {
+      if (graph_.Edge(e).predicate == via_) has_via = true;
+    }
+    EXPECT_TRUE(has_via);
+  }
+  // At least one returned path satisfies the constraint on a
+  // non-final edge.
+  bool interior = false;
+  for (const PathResult& path : paths) {
+    for (size_t i = 0; i + 1 < path.edges.size(); ++i) {
+      if (graph_.Edge(path.edges[i]).predicate == via_) interior = true;
+    }
+  }
+  EXPECT_TRUE(interior);
+}
+
+// ---------- Rising-trend ranking ----------
+
+TEST(TrendingTest, RisingRankingPrefersEmergingEntities) {
+  PropertyGraph g;
+  PredicateId p = g.predicates().Intern("mentions");
+  // "Steady Corp": active in both windows. "Newcomer Inc": active only
+  // recently. Horizon 100: recent = [100, 200], previous = [0, 100).
+  VertexId steady = g.GetOrAddVertex("Steady Corp");
+  VertexId newcomer = g.GetOrAddVertex("Newcomer Inc");
+  auto add = [&](VertexId v, Timestamp ts, int i) {
+    EdgeMeta meta;
+    meta.timestamp = ts;
+    meta.source = g.sources().Intern("feed");
+    g.AddEdge(v, p,
+              g.GetOrAddVertex("other" + std::to_string(ts) +
+                               std::to_string(i)),
+              meta);
+  };
+  for (int i = 0; i < 5; ++i) add(steady, 50, i);    // previous window
+  for (int i = 0; i < 5; ++i) add(steady, 150, i);   // recent window
+  for (int i = 0; i < 4; ++i) add(newcomer, 160, i); // recent only
+  add(steady, 200, 99);  // sets `newest`
+
+  QueryEngineConfig rising;
+  rising.trending_horizon = 100;
+  rising.trending_rising = true;
+  QueryEngine rising_engine(&g, nullptr, rising);
+  auto answer = rising_engine.ExecuteText("what is trending");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->hot_entities.empty());
+  // Newcomer rises by +4, steady by +1 (6 recent - 5 previous).
+  EXPECT_EQ(answer->hot_entities[0].first, "Newcomer Inc");
+
+  QueryEngineConfig raw;
+  raw.trending_horizon = 100;
+  raw.trending_rising = false;
+  QueryEngine raw_engine(&g, nullptr, raw);
+  auto raw_answer = raw_engine.ExecuteText("what is trending");
+  ASSERT_TRUE(raw_answer.ok());
+  // Raw recent counts put the steady entity first (6 vs 4).
+  EXPECT_EQ(raw_answer->hot_entities[0].first, "Steady Corp");
+}
+
+}  // namespace
+}  // namespace nous

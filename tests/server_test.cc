@@ -1,0 +1,225 @@
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+#include "server/api.h"
+#include "server/http_server.h"
+#include "server/json_writer.h"
+
+namespace nous {
+namespace {
+
+// ---------- JsonWriter ----------
+
+TEST(JsonWriterTest, ObjectsArraysAndValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("x");
+  w.Key("n");
+  w.Number(1.5);
+  w.Key("i");
+  w.Int(-3);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("z");
+  w.Null();
+  w.Key("arr");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.Result(),
+            "{\"s\":\"x\",\"n\":1.5,\"i\":-3,\"b\":true,\"z\":null,"
+            "\"arr\":[1,2]}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd\te"),
+            "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  w.BeginObject();
+  w.EndObject();
+  w.EndArray();
+  EXPECT_EQ(w.Result(), "[{\"a\":[]},{}]");
+}
+
+// ---------- UrlDecode ----------
+
+TEST(UrlDecodeTest, DecodesPercentAndPlus) {
+  EXPECT_EQ(UrlDecode("tell+me+about+DJI"), "tell me about DJI");
+  EXPECT_EQ(UrlDecode("a%20b%2Fc"), "a b/c");
+  EXPECT_EQ(UrlDecode("100%"), "100%");    // dangling percent kept
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");      // bad hex kept
+}
+
+// ---------- HTTP round trip ----------
+
+/// Minimal test client: one request, full response text.
+std::string HttpGet(uint16_t port, const std::string& request_text) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::send(fd, request_text.data(), request_text.size(), 0);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& target) {
+  return HttpGet(port, "GET " + target +
+                           " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  ServerFixture()
+      : world_(WorldModel::BuildDroneWorld(SmallWorld())),
+        kb_(BuildCuratedKb(world_, Ontology::DroneDefault(), {})),
+        nous_(&kb_, FastOptions()),
+        api_(&nous_),
+        server_([this](const HttpRequest& r) { return api_.Handle(r); }) {
+    nous_.IngestText("DJI acquired Talon Works.", Date{2014, 3, 5},
+                     "wsj");
+    nous_.Finalize();
+    Status status = server_.Start(0);  // ephemeral port
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  ~ServerFixture() override { server_.Stop(); }
+
+  static DroneWorldConfig SmallWorld() {
+    DroneWorldConfig config;
+    config.num_companies = 5;
+    config.num_people = 3;
+    config.num_products = 3;
+    config.num_events = 10;
+    return config;
+  }
+  static Nous::Options FastOptions() {
+    Nous::Options options;
+    options.pipeline.lda.iterations = 3;
+    options.pipeline.bpr.epochs = 1;
+    return options;
+  }
+
+  WorldModel world_;
+  CuratedKb kb_;
+  Nous nous_;
+  NousApi api_;
+  HttpServer server_;
+};
+
+TEST_F(ServerFixture, ServesDemoPage) {
+  std::string response = Get(server_.port(), "/");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/html"), std::string::npos);
+  EXPECT_NE(response.find("NOUS"), std::string::npos);
+}
+
+TEST_F(ServerFixture, EntityQueryReturnsJsonFacts) {
+  std::string response =
+      Get(server_.port(), "/api/query?q=tell+me+about+DJI");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"kind\":\"entity\""), std::string::npos);
+  EXPECT_NE(response.find("\"subject\":\"DJI\""), std::string::npos);
+  EXPECT_NE(response.find("\"source\":\"wsj\""), std::string::npos);
+}
+
+TEST_F(ServerFixture, UnknownEntityIs404) {
+  std::string response =
+      Get(server_.port(), "/api/query?q=tell+me+about+Nobody+Corp");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  EXPECT_NE(response.find("\"error\""), std::string::npos);
+}
+
+TEST_F(ServerFixture, MissingQueryParamIs400) {
+  std::string response = Get(server_.port(), "/api/query");
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+TEST_F(ServerFixture, UnknownRouteIs404) {
+  std::string response = Get(server_.port(), "/api/nope");
+  EXPECT_NE(response.find("404"), std::string::npos);
+}
+
+TEST_F(ServerFixture, StatsEndpoint) {
+  std::string response = Get(server_.port(), "/api/stats");
+  EXPECT_NE(response.find("\"vertices\":"), std::string::npos);
+  EXPECT_NE(response.find("\"documents\":1"), std::string::npos);
+}
+
+TEST_F(ServerFixture, IngestEndpointGrowsGraph) {
+  std::string body = "Parrot acquired Windermere.";
+  std::string request =
+      "POST /api/ingest?source=test&year=2015 HTTP/1.1\r\nHost: x\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::string response = HttpGet(server_.port(), request);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"accepted\":1"), std::string::npos);
+  // The fact is immediately queryable (dynamic KG).
+  std::string query =
+      Get(server_.port(), "/api/query?q=tell+me+about+Parrot");
+  EXPECT_NE(query.find("Windermere"), std::string::npos);
+}
+
+TEST_F(ServerFixture, EmptyIngestBodyIs400) {
+  std::string request =
+      "POST /api/ingest HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+  std::string response = HttpGet(server_.port(), request);
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+TEST_F(ServerFixture, MalformedRequestIs400) {
+  std::string response = HttpGet(server_.port(), "GARBAGE\r\n\r\n");
+  EXPECT_NE(response.find("400"), std::string::npos);
+}
+
+TEST_F(ServerFixture, SequentialRequestsSurvive) {
+  for (int i = 0; i < 20; ++i) {
+    std::string response = Get(server_.port(), "/api/stats");
+    ASSERT_NE(response.find("200 OK"), std::string::npos);
+  }
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartable) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+  EXPECT_GT(port, 0);
+  server.Stop();
+  server.Stop();  // no double-free / hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,154 @@
+// Property-style sweeps over the text substrate: on randomly rendered
+// corpora, every extraction artifact must satisfy its structural
+// contracts (no empty fields, valid spans, bounded confidences),
+// regardless of noise configuration.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "corpus/article_generator.h"
+#include "corpus/world_model.h"
+#include "text/ner.h"
+#include "text/openie.h"
+#include "text/pos_tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/srl.h"
+#include "text/tokenizer.h"
+
+namespace nous {
+namespace {
+
+class TextPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TextPropertyTest()
+      : lexicon_(Lexicon::Default()), tagger_(&lexicon_),
+        ner_(&lexicon_) {}
+
+  WorldModel MakeWorld() {
+    DroneWorldConfig config;
+    config.num_companies = 10;
+    config.num_people = 6;
+    config.num_products = 6;
+    config.num_events = 50;
+    config.seed = GetParam();
+    return WorldModel::BuildDroneWorld(config);
+  }
+
+  std::vector<Article> MakeArticles(const WorldModel& world) {
+    CorpusConfig corpus;
+    corpus.seed = GetParam() * 7 + 1;
+    // Noise knobs derived from the seed for variety.
+    Rng rng(GetParam());
+    corpus.pronoun_rate = rng.UniformDouble();
+    corpus.alias_rate = rng.UniformDouble() * 0.8;
+    corpus.passive_rate = rng.UniformDouble() * 0.6;
+    corpus.distractor_rate = rng.UniformDouble();
+    return ArticleGenerator(&world, corpus).GenerateArticles();
+  }
+
+  Lexicon lexicon_;
+  PosTagger tagger_;
+  Ner ner_;
+};
+
+TEST_P(TextPropertyTest, TokensAndSentencesWellFormed) {
+  WorldModel world = MakeWorld();
+  for (const Article& article : MakeArticles(world)) {
+    auto sentences = SplitSentences(article.text);
+    EXPECT_FALSE(sentences.empty());
+    size_t total_len = 0;
+    for (const std::string& sentence : sentences) {
+      total_len += sentence.size();
+      auto tokens = Tokenize(sentence);
+      ASSERT_FALSE(tokens.empty());
+      EXPECT_TRUE(tokens[0].sentence_initial);
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        EXPECT_FALSE(tokens[i].text.empty());
+        EXPECT_EQ(tokens[i].lower, ToLower(tokens[i].text));
+        if (i > 0) EXPECT_FALSE(tokens[i].sentence_initial);
+      }
+    }
+    // Splitting loses only whitespace between sentences.
+    EXPECT_LE(total_len, article.text.size());
+  }
+}
+
+TEST_P(TextPropertyTest, NerMentionsHaveValidDisjointSpans) {
+  WorldModel world = MakeWorld();
+  Ner ner(&lexicon_);
+  for (const WorldEntity& e : world.entities()) {
+    ner.AddGazetteerEntry(e.name, e.ner_type);
+    for (const std::string& alias : e.aliases) {
+      ner.AddGazetteerEntry(alias, e.ner_type);
+    }
+  }
+  for (const Article& article : MakeArticles(world)) {
+    for (const std::string& sentence : SplitSentences(article.text)) {
+      auto tokens = Tokenize(sentence);
+      tagger_.Tag(&tokens);
+      size_t previous_end = 0;
+      for (const EntityMention& m : ner.FindMentions(tokens)) {
+        EXPECT_LT(m.begin, m.end);
+        EXPECT_LE(m.end, tokens.size());
+        EXPECT_GE(m.begin, previous_end);  // non-overlapping, ordered
+        previous_end = m.end;
+        EXPECT_FALSE(m.text.empty());
+      }
+    }
+  }
+}
+
+TEST_P(TextPropertyTest, ExtractionsStructurallySound) {
+  WorldModel world = MakeWorld();
+  Ner ner(&lexicon_);
+  for (const WorldEntity& e : world.entities()) {
+    ner.AddGazetteerEntry(e.name, e.ner_type);
+    for (const std::string& alias : e.aliases) {
+      ner.AddGazetteerEntry(alias, e.ner_type);
+    }
+  }
+  OpenIeConfig config;
+  config.drop_negated = false;  // exercise the negated path too
+  SrlExtractor srl(&lexicon_, &ner, config);
+  for (const Article& article : MakeArticles(world)) {
+    for (const SrlFrame& frame : srl.Extract(article.text,
+                                             article.date)) {
+      const RawExtraction& ex = frame.extraction;
+      EXPECT_FALSE(ex.triple.subject.empty());
+      EXPECT_FALSE(ex.triple.predicate.empty());
+      EXPECT_FALSE(ex.triple.object.empty());
+      EXPECT_NE(ex.triple.subject, ex.triple.object);
+      EXPECT_GT(ex.confidence, 0.0);
+      EXPECT_LE(ex.confidence, 1.0);
+      EXPECT_EQ(ex.relation, ex.triple.predicate);
+      // SRL date is either the sentence's or the article's.
+      if (!frame.date_from_sentence) {
+        EXPECT_EQ(frame.date, article.date);
+      }
+    }
+  }
+}
+
+TEST_P(TextPropertyTest, TaggerCoversEveryToken) {
+  WorldModel world = MakeWorld();
+  for (const Article& article : MakeArticles(world)) {
+    for (const std::string& sentence : SplitSentences(article.text)) {
+      auto tokens = Tokenize(sentence);
+      tagger_.Tag(&tokens);
+      for (const Token& token : tokens) {
+        // Every token gets a definite class (kOther never survives
+        // tagging: the fallbacks assign noun).
+        EXPECT_NE(token.tag, PosTag::kOther) << token.text;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,486 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/coref.h"
+#include "text/date_parser.h"
+#include "text/lexicon.h"
+#include "text/ner.h"
+#include "text/openie.h"
+#include "text/pos_tagger.h"
+#include "text/sentence_splitter.h"
+#include "text/srl.h"
+#include "text/tokenizer.h"
+
+namespace nous {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) out.push_back(t.text);
+  return out;
+}
+
+// ---------- Tokenizer ----------
+
+TEST(TokenizerTest, SplitsWordsAndPunctuation) {
+  auto tokens = Tokenize("DJI acquired SkyWard, a startup.");
+  EXPECT_EQ(Texts(tokens),
+            (std::vector<std::string>{"DJI", "acquired", "SkyWard", ",",
+                                      "a", "startup", "."}));
+  EXPECT_TRUE(tokens[0].sentence_initial);
+  EXPECT_FALSE(tokens[1].sentence_initial);
+}
+
+TEST(TokenizerTest, PossessiveDetached) {
+  auto tokens = Tokenize("DJI's drone");
+  EXPECT_EQ(Texts(tokens),
+            (std::vector<std::string>{"DJI", "'s", "drone"}));
+}
+
+TEST(TokenizerTest, KeepsAbbreviationPeriods) {
+  auto tokens = Tokenize("The U.S. market");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text.substr(0, 3), "U.S");
+}
+
+TEST(TokenizerTest, HyphenatedStaysWhole) {
+  auto tokens = Tokenize("state-of-the-art drone");
+  EXPECT_EQ(tokens[0].text, "state-of-the-art");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   ").empty());
+}
+
+TEST(TokenizerTest, LowerFieldFilled) {
+  auto tokens = Tokenize("DJI Rocks");
+  EXPECT_EQ(tokens[0].lower, "dji");
+  EXPECT_EQ(tokens[1].lower, "rocks");
+}
+
+// ---------- Sentence splitter ----------
+
+TEST(SentenceSplitterTest, BasicSplit) {
+  auto sents = SplitSentences("First sentence. Second one! Third?");
+  ASSERT_EQ(sents.size(), 3u);
+  EXPECT_EQ(sents[0], "First sentence.");
+  EXPECT_EQ(sents[1], "Second one!");
+  EXPECT_EQ(sents[2], "Third?");
+}
+
+TEST(SentenceSplitterTest, AbbreviationsDoNotSplit) {
+  auto sents = SplitSentences("Skyward Inc. partnered with DJI. It grew.");
+  ASSERT_EQ(sents.size(), 2u);
+  EXPECT_EQ(sents[0], "Skyward Inc. partnered with DJI.");
+}
+
+TEST(SentenceSplitterTest, DecimalsDoNotSplit) {
+  auto sents = SplitSentences("Shares rose 3.5 percent. Good day.");
+  ASSERT_EQ(sents.size(), 2u);
+}
+
+TEST(SentenceSplitterTest, TrailingTextWithoutTerminator) {
+  auto sents = SplitSentences("No terminator here");
+  ASSERT_EQ(sents.size(), 1u);
+  EXPECT_EQ(sents[0], "No terminator here");
+}
+
+TEST(SentenceSplitterTest, EmptyText) {
+  EXPECT_TRUE(SplitSentences("").empty());
+}
+
+// ---------- POS tagger ----------
+
+class TaggerFixture : public ::testing::Test {
+ protected:
+  TaggerFixture() : lexicon_(Lexicon::Default()), tagger_(&lexicon_) {}
+  std::vector<Token> Tag(const std::string& text) {
+    auto tokens = Tokenize(text);
+    tagger_.Tag(&tokens);
+    return tokens;
+  }
+  Lexicon lexicon_;
+  PosTagger tagger_;
+};
+
+TEST_F(TaggerFixture, TagsCoreClasses) {
+  auto tokens = Tag("The company quickly acquired SkyWard in 2014 .");
+  EXPECT_EQ(tokens[0].tag, PosTag::kDeterminer);
+  EXPECT_EQ(tokens[1].tag, PosTag::kNoun);
+  EXPECT_EQ(tokens[2].tag, PosTag::kAdverb);
+  EXPECT_EQ(tokens[3].tag, PosTag::kVerb);
+  EXPECT_EQ(tokens[4].tag, PosTag::kProperNoun);
+  EXPECT_EQ(tokens[5].tag, PosTag::kPreposition);
+  EXPECT_EQ(tokens[6].tag, PosTag::kNumber);
+  EXPECT_EQ(tokens[7].tag, PosTag::kPunct);
+}
+
+TEST_F(TaggerFixture, PronounAndModal) {
+  auto tokens = Tag("It will acquire them");
+  EXPECT_EQ(tokens[0].tag, PosTag::kPronoun);
+  EXPECT_EQ(tokens[1].tag, PosTag::kModal);
+  EXPECT_EQ(tokens[2].tag, PosTag::kVerb);
+  EXPECT_EQ(tokens[3].tag, PosTag::kPronoun);
+}
+
+TEST_F(TaggerFixture, MidSentenceCapitalIsProper) {
+  auto tokens = Tag("the DJI drone");
+  EXPECT_EQ(tokens[1].tag, PosTag::kProperNoun);
+}
+
+TEST_F(TaggerFixture, MonthTaggedProper) {
+  auto tokens = Tag("on March 5");
+  EXPECT_EQ(tokens[1].tag, PosTag::kProperNoun);
+}
+
+// ---------- Date parser ----------
+
+class DateFixture : public TaggerFixture {};
+
+TEST_F(DateFixture, FullDate) {
+  auto tokens = Tag("March 5 , 2014");
+  size_t consumed = 0;
+  auto date = ParseDateAt(tokens, 0, lexicon_, &consumed);
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date->year, 2014);
+  EXPECT_EQ(date->month, 3);
+  EXPECT_EQ(date->day, 5);
+  EXPECT_EQ(consumed, 4u);
+}
+
+TEST_F(DateFixture, MonthYear) {
+  auto tokens = Tag("June 2015");
+  size_t consumed = 0;
+  auto date = ParseDateAt(tokens, 0, lexicon_, &consumed);
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date->month, 6);
+  EXPECT_EQ(date->day, 1);
+  EXPECT_EQ(consumed, 2u);
+}
+
+TEST_F(DateFixture, BareYear) {
+  auto tokens = Tag("in 2012 the market");
+  size_t consumed = 0;
+  auto date = ParseDateAt(tokens, 1, lexicon_, &consumed);
+  ASSERT_TRUE(date.has_value());
+  EXPECT_EQ(date->year, 2012);
+  EXPECT_EQ(consumed, 1u);
+}
+
+TEST_F(DateFixture, RejectsNonDates) {
+  auto tokens = Tag("March madness");
+  size_t consumed = 0;
+  EXPECT_FALSE(ParseDateAt(tokens, 0, lexicon_, &consumed).has_value());
+  auto tokens2 = Tag("около 99 things");
+  EXPECT_FALSE(ParseDateAt(tokens2, 1, lexicon_, &consumed).has_value());
+}
+
+TEST(DateTest, DayNumberMonotoneOverCalendar) {
+  Timestamp prev = Date{2009, 12, 31}.ToDayNumber();
+  for (int year = 2010; year <= 2016; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= 28; day += 9) {
+        Timestamp now = Date{year, month, day}.ToDayNumber();
+        EXPECT_GT(now, prev);
+        prev = now;
+      }
+    }
+  }
+}
+
+class DateRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(DateRoundTripTest, FromDayNumberInvertsToDayNumber) {
+  auto [y, m, d] = GetParam();
+  Date date{y, m, d};
+  Date back = Date::FromDayNumber(date.ToDayNumber());
+  EXPECT_EQ(back, date) << back.ToString() << " vs " << date.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, DateRoundTripTest,
+    ::testing::Values(std::make_tuple(2010, 1, 1),
+                      std::make_tuple(2012, 2, 28),
+                      std::make_tuple(2014, 3, 5),
+                      std::make_tuple(2015, 12, 31),
+                      std::make_tuple(2011, 7, 15),
+                      std::make_tuple(2013, 11, 30)));
+
+TEST(DateTest, ToStringFormat) {
+  EXPECT_EQ((Date{2014, 3, 5}).ToString(), "March 5, 2014");
+}
+
+// ---------- NER ----------
+
+class NerFixture : public TaggerFixture {
+ protected:
+  NerFixture() : ner_(&lexicon_) {
+    ner_.AddGazetteerEntry("DJI", EntityType::kOrganization);
+    ner_.AddGazetteerEntry("DJI Technology", EntityType::kOrganization);
+    ner_.AddGazetteerEntry("Seattle", EntityType::kLocation);
+    ner_.AddGazetteerEntry("Phantom 3", EntityType::kProduct);
+    ner_.AddFirstName("Tom");
+  }
+  std::vector<EntityMention> Mentions(const std::string& text) {
+    auto tokens = Tag(text);
+    return ner_.FindMentions(tokens);
+  }
+  Ner ner_;
+};
+
+TEST_F(NerFixture, GazetteerLongestMatchWins) {
+  auto mentions = Mentions("the DJI Technology office");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "DJI Technology");
+  EXPECT_EQ(mentions[0].type, EntityType::kOrganization);
+}
+
+TEST_F(NerFixture, ShapeMatchWithOrgSuffix) {
+  auto mentions = Mentions("the Aero Dynamics Inc campus");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "Aero Dynamics Inc");
+  EXPECT_EQ(mentions[0].type, EntityType::kOrganization);
+}
+
+TEST_F(NerFixture, PersonByFirstName) {
+  auto mentions = Mentions("analyst Tom Marino spoke");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "Tom Marino");
+  EXPECT_EQ(mentions[0].type, EntityType::kPerson);
+}
+
+TEST_F(NerFixture, ProductWithModelNumber) {
+  auto mentions = Mentions("the Falcon 8 drone");
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "Falcon 8");
+  EXPECT_EQ(mentions[0].type, EntityType::kProduct);
+}
+
+TEST_F(NerFixture, DateEmittedAsDateMention) {
+  auto mentions = Mentions("the deal closed on March 5, 2014 in Seattle");
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].type, EntityType::kDate);
+  EXPECT_EQ(mentions[1].text, "Seattle");
+  EXPECT_EQ(mentions[1].type, EntityType::kLocation);
+}
+
+TEST_F(NerFixture, SentenceInitialEntity) {
+  auto mentions = Mentions("DJI acquired a startup");
+  ASSERT_GE(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].text, "DJI");
+}
+
+TEST_F(NerFixture, NoMentionsInPlainText) {
+  EXPECT_TRUE(Mentions("the market grew quickly").empty());
+}
+
+// ---------- Coref ----------
+
+class CorefFixture : public NerFixture {
+ protected:
+  std::vector<PronounResolution> Resolve(const std::string& text) {
+    std::vector<std::vector<Token>> sentences;
+    std::vector<std::vector<EntityMention>> mentions;
+    for (const std::string& sent : SplitSentences(text)) {
+      auto tokens = Tokenize(sent);
+      tagger_.Tag(&tokens);
+      mentions.push_back(ner_.FindMentions(tokens));
+      sentences.push_back(std::move(tokens));
+    }
+    CorefResolver resolver(&lexicon_);
+    return resolver.Resolve(sentences, mentions);
+  }
+};
+
+TEST_F(CorefFixture, ItResolvesToLastOrg) {
+  auto rs = Resolve("DJI announced results. It acquired a startup.");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].antecedent.text, "DJI");
+  EXPECT_EQ(rs[0].sentence, 1u);
+  EXPECT_TRUE(rs[0].antecedent.from_coref);
+}
+
+TEST_F(CorefFixture, HeResolvesToLastPerson) {
+  auto rs = Resolve("Tom Marino joined DJI. He leads the team.");
+  ASSERT_GE(rs.size(), 1u);
+  EXPECT_EQ(rs[0].antecedent.text, "Tom Marino");
+  EXPECT_EQ(rs[0].antecedent.type, EntityType::kPerson);
+}
+
+TEST_F(CorefFixture, DefiniteNpResolvesToOrg) {
+  auto rs = Resolve("DJI grew fast. The company hired Tom Marino.");
+  ASSERT_GE(rs.size(), 1u);
+  EXPECT_EQ(rs[0].antecedent.text, "DJI");
+  EXPECT_EQ(rs[0].token_end - rs[0].token, 2u);  // spans "The company"
+}
+
+TEST_F(CorefFixture, UnresolvablePronounSkipped) {
+  auto rs = Resolve("It rained today.");
+  EXPECT_TRUE(rs.empty());
+}
+
+// ---------- OpenIE ----------
+
+class OpenIeFixture : public NerFixture {
+ protected:
+  std::vector<RawExtraction> Extract(const std::string& text,
+                                     OpenIeConfig config = {}) {
+    OpenIeExtractor extractor(&lexicon_, &ner_, config);
+    return extractor.ExtractFromText(text);
+  }
+  const RawExtraction* Find(const std::vector<RawExtraction>& list,
+                            const std::string& s, const std::string& p,
+                            const std::string& o) {
+    for (const RawExtraction& ex : list) {
+      if (ex.triple.subject == s && ex.triple.predicate == p &&
+          ex.triple.object == o) {
+        return &ex;
+      }
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(OpenIeFixture, SimpleSvo) {
+  auto exs = Extract("DJI acquired SkyWard Labs.");
+  ASSERT_FALSE(exs.empty());
+  EXPECT_NE(Find(exs, "DJI", "acquire", "SkyWard Labs"), nullptr);
+  EXPECT_GT(exs[0].confidence, 0.8);
+}
+
+TEST_F(OpenIeFixture, PassiveWithBySwapsArguments) {
+  auto exs = Extract("SkyWard Labs was acquired by DJI.");
+  EXPECT_NE(Find(exs, "DJI", "acquire", "SkyWard Labs"), nullptr);
+}
+
+TEST_F(OpenIeFixture, PrepositionFoldsIntoRelation) {
+  auto exs = Extract("DJI partnered with Parrot Aviation.");
+  EXPECT_NE(Find(exs, "DJI", "partner_with", "Parrot Aviation"), nullptr);
+}
+
+TEST_F(OpenIeFixture, PassiveParticipleWithNonByPreposition) {
+  auto exs = Extract("Aero Dynamics Inc is headquartered in Seattle.");
+  EXPECT_NE(Find(exs, "Aero Dynamics Inc", "headquarter_in", "Seattle"),
+            nullptr);
+}
+
+TEST_F(OpenIeFixture, DateObjectNotUsedAsArgument) {
+  auto exs = Extract("DJI acquired SkyWard Labs on March 5, 2014.");
+  ASSERT_EQ(exs.size(), 1u);
+  EXPECT_EQ(exs[0].triple.object, "SkyWard Labs");
+}
+
+TEST_F(OpenIeFixture, PronounSubjectViaCoref) {
+  auto exs =
+      Extract("DJI announced strong results. It acquired SkyWard Labs.");
+  const RawExtraction* ex = Find(exs, "DJI", "acquire", "SkyWard Labs");
+  ASSERT_NE(ex, nullptr);
+  EXPECT_TRUE(ex->subject_from_coref);
+}
+
+TEST_F(OpenIeFixture, CorefDisabledDropsPronounTuples) {
+  OpenIeConfig config;
+  config.use_coref = false;
+  auto exs = Extract(
+      "DJI announced strong results. It acquired SkyWard Labs.", config);
+  EXPECT_EQ(Find(exs, "DJI", "acquire", "SkyWard Labs"), nullptr);
+}
+
+TEST_F(OpenIeFixture, NegationDroppedByDefault) {
+  auto exs = Extract("DJI never acquired SkyWard Labs.");
+  EXPECT_EQ(Find(exs, "DJI", "acquire", "SkyWard Labs"), nullptr);
+}
+
+TEST_F(OpenIeFixture, NegationKeptWithLowConfidenceWhenConfigured) {
+  OpenIeConfig config;
+  config.drop_negated = false;
+  auto exs = Extract("DJI never acquired SkyWard Labs.", config);
+  const RawExtraction* ex = Find(exs, "DJI", "acquire", "SkyWard Labs");
+  ASSERT_NE(ex, nullptr);
+  EXPECT_LT(ex->confidence, 0.3);
+}
+
+TEST_F(OpenIeFixture, RequireEntityObjectFiltersNounChunks) {
+  OpenIeConfig relaxed;
+  relaxed.require_entity_object = false;
+  auto exs = Extract("DJI acquired a small startup.", relaxed);
+  EXPECT_NE(Find(exs, "DJI", "acquire", "small startup"), nullptr);
+
+  OpenIeConfig strict;
+  strict.require_entity_object = true;
+  auto strict_exs = Extract("DJI acquired a small startup.", strict);
+  EXPECT_EQ(strict_exs.size(), 0u);
+}
+
+TEST_F(OpenIeFixture, MinConfidenceFilters) {
+  OpenIeConfig config;
+  config.min_confidence = 0.99;
+  auto exs = Extract(
+      "DJI announced strong results. It acquired SkyWard Labs.", config);
+  EXPECT_TRUE(exs.empty());
+}
+
+TEST_F(OpenIeFixture, NoExtractionWithoutVerb) {
+  EXPECT_TRUE(Extract("The large commercial drone market.").empty());
+}
+
+TEST_F(OpenIeFixture, NoExtractionFromEntityFreeSentence) {
+  auto exs = Extract("Analysts expect strong growth.");
+  EXPECT_TRUE(exs.empty());  // subject is a bare noun, not an entity
+}
+
+TEST_F(OpenIeFixture, AppositionDoesNotStealSubject) {
+  // The NP "a drone maker" sits closest to the verb, but the entity
+  // "DJI" is the grammatical subject.
+  auto exs = Extract("DJI, a drone maker, acquired SkyWard Labs.");
+  EXPECT_NE(Find(exs, "DJI", "acquire", "SkyWard Labs"), nullptr);
+}
+
+TEST_F(OpenIeFixture, NegatedFlagSetWhenKept) {
+  OpenIeConfig config;
+  config.drop_negated = false;
+  auto exs = Extract("DJI never acquired SkyWard Labs.", config);
+  const RawExtraction* ex = Find(exs, "DJI", "acquire", "SkyWard Labs");
+  ASSERT_NE(ex, nullptr);
+  EXPECT_TRUE(ex->negated);
+  auto positive = Extract("DJI acquired SkyWard Labs.", config);
+  ASSERT_FALSE(positive.empty());
+  EXPECT_FALSE(positive[0].negated);
+}
+
+TEST_F(OpenIeFixture, MultipleSentences) {
+  auto exs = Extract(
+      "DJI acquired SkyWard Labs. Parrot Aviation partnered with DJI.");
+  EXPECT_NE(Find(exs, "DJI", "acquire", "SkyWard Labs"), nullptr);
+  EXPECT_NE(Find(exs, "Parrot Aviation", "partner_with", "DJI"), nullptr);
+}
+
+// ---------- SRL ----------
+
+class SrlFixture : public NerFixture {};
+
+TEST_F(SrlFixture, SentenceDateAttached) {
+  SrlExtractor srl(&lexicon_, &ner_);
+  Date doc_date{2015, 6, 1};
+  auto frames =
+      srl.Extract("DJI acquired SkyWard Labs on March 5, 2014.", doc_date);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].date_from_sentence);
+  EXPECT_EQ(frames[0].date, (Date{2014, 3, 5}));
+}
+
+TEST_F(SrlFixture, DocumentDateFallback) {
+  SrlExtractor srl(&lexicon_, &ner_);
+  Date doc_date{2015, 6, 1};
+  auto frames = srl.Extract("DJI acquired SkyWard Labs.", doc_date);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_FALSE(frames[0].date_from_sentence);
+  EXPECT_EQ(frames[0].date, doc_date);
+}
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "core/nous.h"
+#include "core/source_trust.h"
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+
+namespace nous {
+namespace {
+
+TEST(SourceTrustTest, PriorAppliesToUnknownSources) {
+  SourceTrustTracker tracker(0.7, 10.0);
+  EXPECT_DOUBLE_EQ(tracker.Trust(42), 0.7);
+  EXPECT_DOUBLE_EQ(tracker.Observations(42), 0.0);
+}
+
+TEST(SourceTrustTest, CorroborationRaisesTrust) {
+  SourceTrustTracker tracker(0.5, 4.0);
+  for (int i = 0; i < 20; ++i) tracker.RecordCorroborated(1);
+  EXPECT_GT(tracker.Trust(1), 0.9);
+  EXPECT_DOUBLE_EQ(tracker.Observations(1), 20.0);
+}
+
+TEST(SourceTrustTest, UncorroboratedReportsLowerTrust) {
+  SourceTrustTracker tracker(0.7, 10.0);
+  for (int i = 0; i < 30; ++i) tracker.RecordUncorroborated(2);
+  EXPECT_LT(tracker.Trust(2), 0.3);
+  EXPECT_GT(tracker.Trust(2), 0.0);
+}
+
+TEST(SourceTrustTest, TrustAlwaysInUnitInterval) {
+  SourceTrustTracker tracker;
+  for (int i = 0; i < 100; ++i) {
+    tracker.RecordCorroborated(1);
+    tracker.RecordUncorroborated(2);
+  }
+  for (SourceId s : {1u, 2u, 3u}) {
+    EXPECT_GT(tracker.Trust(s), 0.0);
+    EXPECT_LT(tracker.Trust(s), 1.0);
+  }
+  EXPECT_EQ(tracker.KnownSources().size(), 2u);
+}
+
+TEST(SourceTrustTest, MixedHistoryLandsBetween) {
+  SourceTrustTracker tracker(0.5, 2.0);
+  for (int i = 0; i < 10; ++i) tracker.RecordCorroborated(1);
+  for (int i = 0; i < 10; ++i) tracker.RecordUncorroborated(1);
+  EXPECT_NEAR(tracker.Trust(1), 0.5, 0.05);
+}
+
+TEST(SourceTrustTest, RelativeTrustComparesToBaseRate) {
+  SourceTrustTracker tracker(0.5, 2.0);
+  // Source 1 corroborates at 50%, source 2 never; base rate lands
+  // between them.
+  for (int i = 0; i < 20; ++i) {
+    tracker.RecordCorroborated(1);
+    tracker.RecordUncorroborated(1);
+    tracker.RecordUncorroborated(2);
+    tracker.RecordUncorroborated(2);
+  }
+  EXPECT_DOUBLE_EQ(tracker.RelativeTrust(1), 1.0);  // above average
+  EXPECT_LT(tracker.RelativeTrust(2), 0.5);         // well below
+  EXPECT_GT(tracker.RelativeTrust(2), 0.0);
+  // A fresh source sits at the prior, above the dragged-down global
+  // rate, so it is not penalized.
+  EXPECT_DOUBLE_EQ(tracker.RelativeTrust(99), 1.0);
+}
+
+TEST(SourceTrustTest, UniformCorpusPenalizesNobody) {
+  // Every source single-reports: all trusts are low but equal, so all
+  // relative trusts are ~1 and no confidence is damped.
+  SourceTrustTracker tracker;
+  for (int i = 0; i < 50; ++i) {
+    tracker.RecordUncorroborated(1);
+    tracker.RecordUncorroborated(2);
+    tracker.RecordUncorroborated(3);
+  }
+  for (SourceId s : {1u, 2u, 3u}) {
+    EXPECT_NEAR(tracker.RelativeTrust(s), 1.0, 0.05);
+  }
+}
+
+// ---------- Pipeline integration ----------
+
+class TrustPipelineFixture : public ::testing::Test {
+ protected:
+  TrustPipelineFixture()
+      : world_(WorldModel::BuildDroneWorld(Config())),
+        kb_(BuildCuratedKb(world_, Ontology::DroneDefault(), {})) {}
+  static DroneWorldConfig Config() {
+    DroneWorldConfig config;
+    config.num_companies = 8;
+    config.num_events = 40;
+    return config;
+  }
+  WorldModel world_;
+  CuratedKb kb_;
+};
+
+TEST_F(TrustPipelineFixture, CrossSourceAgreementBuildsTrust) {
+  Nous::Options options;
+  options.pipeline.lda.iterations = 5;
+  options.pipeline.bpr.epochs = 2;
+  Nous nous(&kb_, options);
+  Date d{2014, 3, 5};
+  // The same fact reported by two feeds corroborates both.
+  nous.IngestText("DJI acquired Talon Works.", d, "feed_a");
+  nous.IngestText("DJI acquired Talon Works.", d, "feed_b");
+  const PropertyGraph& g = nous.graph();
+  auto a = g.sources().Lookup("feed_a");
+  auto b = g.sources().Lookup("feed_b");
+  ASSERT_TRUE(a && b);
+  const SourceTrustTracker& trust = nous.pipeline().source_trust();
+  double baseline = SourceTrustTracker().Trust(999);
+  EXPECT_GT(trust.Trust(*b), baseline);  // corroborated on arrival
+
+  // A feed that only reports unique unverifiable facts loses trust.
+  nous.IngestText("Parrot praised Windermere.", d, "gossip");
+  nous.IngestText("Windermere praised Parrot.", d, "gossip");
+  auto gossip = g.sources().Lookup("gossip");
+  ASSERT_TRUE(gossip.has_value());
+  EXPECT_LT(trust.Trust(*gossip), baseline);
+}
+
+TEST_F(TrustPipelineFixture, FreshSourceNotPenalized) {
+  Nous::Options with;
+  with.pipeline.lda.iterations = 5;
+  with.pipeline.bpr.epochs = 2;
+  with.pipeline.enable_source_trust = true;
+  Nous::Options without = with;
+  without.pipeline.enable_source_trust = false;
+
+  auto confidence_of = [this](Nous::Options options) {
+    Nous nous(&kb_, options);
+    nous.IngestText("DJI acquired Talon Works.", Date{2014, 3, 5},
+                    "some_feed");
+    double conf = -1;
+    nous.graph().ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
+      if (!rec.meta.curated) conf = rec.meta.confidence;
+    });
+    return conf;
+  };
+  double trusted = confidence_of(without);
+  double tempered = confidence_of(with);
+  ASSERT_GT(trusted, 0);
+  ASSERT_GT(tempered, 0);
+  // A fresh source sits at the prior == global base rate, so relative
+  // trust is 1 and confidence is untouched.
+  EXPECT_NEAR(tempered, trusted, 1e-9);
+}
+
+TEST_F(TrustPipelineFixture, BelowAverageSourceLosesConfidence) {
+  Nous::Options options;
+  options.pipeline.lda.iterations = 5;
+  options.pipeline.bpr.epochs = 2;
+  Nous nous(&kb_, options);
+  Date d{2014, 3, 5};
+  // Corroborated feeds raise the base rate.
+  nous.IngestText("DJI acquired Talon Works.", d, "feed_a");
+  nous.IngestText("DJI acquired Talon Works.", d, "feed_b");
+  nous.IngestText("Parrot acquired Windermere.", d, "feed_a");
+  nous.IngestText("Parrot acquired Windermere.", d, "feed_b");
+  // Gossip only produces unique, never-corroborated claims.
+  for (int i = 0; i < 8; ++i) {
+    nous.IngestText("Parrot praised Windermere.", d, "gossip");
+    nous.IngestText("Windermere praised Parrot.", d, "gossip");
+  }
+  const PropertyGraph& g = nous.graph();
+  auto gossip = g.sources().Lookup("gossip");
+  auto feed_a = g.sources().Lookup("feed_a");
+  ASSERT_TRUE(gossip && feed_a);
+  const SourceTrustTracker& trust = nous.pipeline().source_trust();
+  EXPECT_LT(trust.RelativeTrust(*gossip), trust.RelativeTrust(*feed_a));
+  EXPECT_LT(trust.RelativeTrust(*gossip), 1.0);
+}
+
+TEST_F(TrustPipelineFixture, DistantSupervisionSwitchWorks) {
+  Nous::Options off;
+  off.pipeline.lda.iterations = 5;
+  off.pipeline.bpr.epochs = 2;
+  off.pipeline.enable_distant_supervision = false;
+  Nous nous(&kb_, off);
+  // Report a curated pair with an unseeded phrase: no evidence accrues.
+  ASSERT_FALSE(kb_.facts().empty());
+  const KbFact& fact = kb_.facts()[0];
+  nous.IngestText(kb_.entities()[fact.subject].name + " praised " +
+                      kb_.entities()[fact.object].name + ".",
+                  Date{2014, 1, 1}, "wsj");
+  EXPECT_EQ(nous.stats().ds_alignments, 0u);
+  EXPECT_DOUBLE_EQ(
+      nous.pipeline().mapper().EvidenceWeight(fact.predicate, "praise"),
+      0.0);
+}
+
+}  // namespace
+}  // namespace nous

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table (EXPERIMENTS.md's sources) and the
+# test/bench transcripts checked at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja >/dev/null
+cmake --build build >/dev/null
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt | tail -3
+
+echo "== benches =="
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -x "$b" ] && [ -f "$b" ]; then
+    echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+echo "done: test_output.txt bench_output.txt"

@@ -18,6 +18,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "obs/metrics.h"
 #include "server/api.h"
 
 namespace {
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
     ::usleep(200000);
   }
   server.Stop();
-  std::cout << "stopped\n";
+  std::cout << "stopped\n\n";
+  MetricsRegistry::Global().PrintSummary(std::cout);
   return 0;
 }

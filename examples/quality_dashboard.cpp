@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/nous.h"
+#include "obs/metrics.h"
 #include "graph/dot_export.h"
 #include "graph/graph_algorithms.h"
 #include "corpus/article_generator.h"
@@ -133,6 +134,11 @@ int main() {
     std::cout << StrFormat("  %.4f %s\n", rank[by_rank[i]],
                            g.VertexLabel(by_rank[i]).c_str());
   }
+
+  // Runtime telemetry for the same run: stage counters and latency
+  // quantiles from the process-wide registry.
+  std::cout << "\n";
+  MetricsRegistry::Global().PrintSummary(std::cout);
 
   // Export DJI's 1-hop neighborhood for Graphviz rendering
   // (red = curated edges, blue = extracted — Figure 2's convention).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace nous {
@@ -15,6 +16,12 @@ void Histogram::Add(double value) {
 void Histogram::Clear() {
   samples_.clear();
   sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
   sorted_valid_ = false;
 }
 
@@ -60,10 +67,13 @@ void Histogram::EnsureSorted() const {
 double Histogram::Quantile(double q) const {
   if (samples_.empty()) return 0;
   EnsureSorted();
-  q = std::clamp(q, 0.0, 1.0);
+  if (!std::isfinite(q)) q = 0;
+  if (q <= 0) return sorted_.front();
+  if (q >= 1) return sorted_.back();
   size_t rank = static_cast<size_t>(
       std::ceil(q * static_cast<double>(sorted_.size())));
   if (rank == 0) rank = 1;
+  if (rank > sorted_.size()) rank = sorted_.size();
   return sorted_[rank - 1];
 }
 
@@ -85,6 +95,109 @@ std::string Histogram::Summary() const {
   return StrFormat("n=%zu mean=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f",
                    count(), Mean(), Quantile(0.5), Quantile(0.9),
                    Quantile(0.99), max());
+}
+
+// ---------- FixedHistogram ----------
+
+FixedHistogram::FixedHistogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  NOUS_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()))
+      << "bucket upper bounds must be ascending";
+}
+
+FixedHistogram FixedHistogram::Exponential(double start, double factor,
+                                           size_t count) {
+  NOUS_CHECK(start > 0 && factor > 1.0) << "invalid exponential buckets";
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return FixedHistogram(std::move(bounds));
+}
+
+void FixedHistogram::Add(double value) {
+  // First bucket whose upper bound is >= value ("le" semantics); the
+  // overflow bucket otherwise.
+  size_t idx = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(),
+                                value) -
+               upper_bounds_.begin();
+  ++counts_[idx];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void FixedHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+void FixedHistogram::Merge(const FixedHistogram& other) {
+  NOUS_CHECK(upper_bounds_ == other.upper_bounds_)
+      << "merging histograms with different bucket layouts";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+}
+
+double FixedHistogram::Mean() const {
+  if (count_ == 0) return 0;
+  return sum_ / static_cast<double>(count_);
+}
+
+double FixedHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (!std::isfinite(q)) q = 0;
+  if (q <= 0) return min_;
+  if (q >= 1) return max_;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cumulative + counts_[i] < rank) {
+      cumulative += counts_[i];
+      continue;
+    }
+    // Interpolate within bucket i, using the observed extremes for the
+    // open-ended first and overflow buckets.
+    double lower = i == 0 ? min_ : upper_bounds_[i - 1];
+    double upper = i < upper_bounds_.size() ? upper_bounds_[i] : max_;
+    double fraction = static_cast<double>(rank - cumulative) /
+                      static_cast<double>(counts_[i]);
+    double estimate = lower + (upper - lower) * fraction;
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;
+}
+
+std::string FixedHistogram::Summary() const {
+  return StrFormat(
+      "n=%llu mean=%.6f p50=%.6f p90=%.6f p99=%.6f max=%.6f",
+      static_cast<unsigned long long>(count_), Mean(), Quantile(0.5),
+      Quantile(0.9), Quantile(0.99), max());
 }
 
 }  // namespace nous

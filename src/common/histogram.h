@@ -2,6 +2,7 @@
 #define NOUS_COMMON_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -10,12 +11,18 @@ namespace nous {
 /// Accumulates scalar samples and reports summary statistics and
 /// quantiles. Used by the benchmark harnesses to summarize latency and
 /// confidence distributions (e.g., Figure 2's per-fact probabilities).
+/// Memory grows with the sample count; long-running services should
+/// use FixedHistogram instead.
 class Histogram {
  public:
   Histogram() = default;
 
   void Add(double value);
   void Clear();
+
+  /// Appends every sample of `other` (aggregating per-thread
+  /// histograms after a parallel run).
+  void Merge(const Histogram& other);
 
   size_t count() const { return samples_.size(); }
   double min() const;
@@ -24,8 +31,10 @@ class Histogram {
   double Stddev() const;
   double Sum() const;
 
-  /// Quantile in [0,1] by nearest-rank on the sorted samples. Returns 0
-  /// on an empty histogram.
+  /// Quantile by nearest-rank on the sorted samples. Returns 0 on an
+  /// empty histogram, the sole sample on a single-sample histogram;
+  /// q <= 0 yields the minimum and q >= 1 the maximum (non-finite q is
+  /// treated as 0).
   double Quantile(double q) const;
 
   /// Counts of samples per fixed-width bucket spanning [lo, hi).
@@ -40,6 +49,58 @@ class Histogram {
   std::vector<double> samples_;
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
+};
+
+/// Bounded-memory histogram over fixed bucket boundaries: O(buckets)
+/// storage regardless of how many samples are added, so a
+/// continuously running service can record latencies indefinitely.
+/// Bucket i counts samples with value <= upper_bounds[i] (first
+/// matching bucket); one implicit overflow bucket catches the rest —
+/// the Prometheus "le"/"+Inf" convention. Quantiles are estimated by
+/// linear interpolation within the containing bucket, clamped to the
+/// observed [min, max].
+class FixedHistogram {
+ public:
+  /// Empty bounds means a single overflow bucket (count/sum/min/max
+  /// still exact; quantiles degrade to the min..max line).
+  explicit FixedHistogram(std::vector<double> upper_bounds = {});
+
+  /// `count` buckets at start, start*factor, start*factor^2, ...
+  /// (factor > 1). The standard shape for latency metrics.
+  static FixedHistogram Exponential(double start, double factor,
+                                    size_t count);
+
+  void Add(double value);
+  void Clear();
+
+  /// Accumulates `other` into this histogram. Both must have identical
+  /// bucket boundaries (aggregating per-thread metrics).
+  void Merge(const FixedHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  /// Estimated quantile; same edge conventions as Histogram::Quantile.
+  double Quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts; size upper_bounds().size() + 1, the final
+  /// entry being the overflow (+Inf) bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// One-line summary: count/mean/p50/p90/p99/max.
+  std::string Summary() const;
+
+ private:
+  std::vector<double> upper_bounds_;  // ascending
+  std::vector<uint64_t> counts_;      // upper_bounds_.size() + 1
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
 };
 
 }  // namespace nous

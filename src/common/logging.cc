@@ -6,7 +6,16 @@
 namespace nous {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+/// NOUS_LOG_LEVEL wins at startup so deployed servers can be tuned
+/// without a rebuild; unknown values fall back to kInfo.
+int InitialLogLevel() {
+  if (const char* env = std::getenv("NOUS_LOG_LEVEL")) {
+    if (auto level = ParseLogLevel(env)) return static_cast<int>(*level);
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 
 // Serializes whole lines so concurrent threads do not interleave output.
 std::mutex& LogMutex() {
@@ -36,6 +45,18 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c += 'a' - 'A';
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
 }
 
 namespace internal {

@@ -3,17 +3,25 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace nous {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are discarded.
-/// Defaults to kInfo. Thread-compatible: set once at startup.
+/// Defaults to kInfo, overridable without a rebuild by setting the
+/// NOUS_LOG_LEVEL environment variable (debug/info/warning/error)
+/// before startup. Thread-compatible: set once at startup.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name (case-insensitive: "debug", "info",
+/// "warning"/"warn", "error"); nullopt on anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
 
 namespace internal {
 
@@ -43,14 +51,22 @@ class NullStream {
   }
 };
 
+/// Turns the fully streamed expression into void so it can sit in the
+/// false branch of the level-check ternary ('&' binds looser than
+/// '<<' but tighter than '?:').
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 
 #define NOUS_LOG(level)                                               \
   (::nous::LogLevel::k##level < ::nous::GetLogLevel())                \
       ? (void)0                                                       \
-      : (void)::nous::internal::LogMessage(::nous::LogLevel::k##level, \
-                                           __FILE__, __LINE__)        \
-            .stream()
+      : ::nous::internal::LogVoidify() &                              \
+            ::nous::internal::LogMessage(::nous::LogLevel::k##level,  \
+                                         __FILE__, __LINE__)          \
+                .stream()
 
 /// Always-on invariant check; aborts with a message when `cond` fails.
 #define NOUS_CHECK(cond)                                                  \

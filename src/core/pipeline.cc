@@ -6,8 +6,86 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "linker/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nous {
+
+namespace {
+
+/// Registry instruments for every Figure-1 stage, resolved once and
+/// cached (see DESIGN.md "Observability" for the naming convention).
+struct PipelineMetrics {
+  Counter* documents;
+  Counter* sentences;
+  Counter* raw_triples;
+  Counter* linked;
+  Counter* new_entities;
+  Counter* mapped;
+  Counter* unmapped_kept;
+  Counter* unmapped_dropped;
+  Counter* rejected;
+  Counter* accepted;
+  Counter* deduped;
+  Counter* retractions;
+  Gauge* window_edges;
+  LatencyHistogram* extraction_latency;
+  LatencyHistogram* linking_latency;
+  LatencyHistogram* mapping_latency;
+  LatencyHistogram* confidence_latency;
+};
+
+const PipelineMetrics& Metrics() {
+  static PipelineMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    PipelineMetrics m;
+    m.documents = r.GetCounter("nous_pipeline_documents_total",
+                               "Documents ingested");
+    m.sentences = r.GetCounter("nous_pipeline_sentences_total",
+                               "Sentences seen by extraction");
+    m.raw_triples = r.GetCounter("nous_extraction_triples_total",
+                                 "Raw triples extracted (OpenIE+SRL)");
+    m.linked = r.GetCounter("nous_linking_linked_total",
+                            "Mentions linked to existing entities");
+    m.new_entities = r.GetCounter("nous_linking_new_entities_total",
+                                  "Mentions minted as new entities");
+    m.mapped = r.GetCounter("nous_mapping_mapped_total",
+                            "Triples mapped to an ontology predicate");
+    m.unmapped_kept = r.GetCounter(
+        "nous_mapping_unmapped_total",
+        "Triples kept under a raw:<phrase> predicate");
+    m.unmapped_dropped = r.GetCounter(
+        "nous_mapping_dropped_total",
+        "Unmapped triples dropped (keep_unmapped off)");
+    m.rejected = r.GetCounter(
+        "nous_confidence_rejected_total",
+        "Triples rejected below min_accept_confidence");
+    m.accepted = r.GetCounter("nous_pipeline_accepted_triples_total",
+                              "New triples added to the fused KG");
+    m.deduped = r.GetCounter("nous_pipeline_deduped_triples_total",
+                             "Repeated reports merged into existing edges");
+    m.retractions = r.GetCounter("nous_pipeline_retractions_total",
+                                 "Edges weakened by negated reports");
+    m.window_edges = r.GetGauge("nous_mining_window_edges",
+                                "Live edges in the miner's sliding window");
+    m.extraction_latency = r.GetHistogram(
+        "nous_extraction_latency_seconds",
+        "Latency of the extraction stage in seconds");
+    m.linking_latency = r.GetHistogram(
+        "nous_linking_latency_seconds",
+        "Latency of the linking stage in seconds");
+    m.mapping_latency = r.GetHistogram(
+        "nous_mapping_latency_seconds",
+        "Latency of the mapping stage in seconds");
+    m.confidence_latency = r.GetHistogram(
+        "nous_confidence_latency_seconds",
+        "Latency of the confidence-scoring stage in seconds");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::string PipelineStats::ToString() const {
   return StrFormat(
@@ -117,13 +195,22 @@ std::string KgPipeline::VertexTypeName(VertexId v) const {
 }
 
 void KgPipeline::Ingest(const Article& article) {
+  NOUS_SPAN("pipeline_ingest");
+  const PipelineMetrics& metrics = Metrics();
   WallTimer timer;
   ++stats_.documents;
+  metrics.documents->Increment();
 
   // ---- 1. Extraction (OpenIE + SRL dating). ----
-  std::vector<SrlFrame> frames = srl_.Extract(article.text, article.date);
+  size_t num_sentences = 0;
+  std::vector<SrlFrame> frames =
+      srl_.Extract(article.text, article.date, &num_sentences);
   stats_.extractions += frames.size();
-  stats_.extract_seconds += timer.ElapsedSeconds();
+  metrics.sentences->Increment(num_sentences);
+  metrics.raw_triples->Increment(frames.size());
+  double extract_seconds = timer.ElapsedSeconds();
+  stats_.extract_seconds += extract_seconds;
+  metrics.extraction_latency->Observe(extract_seconds);
   if (frames.empty()) return;
 
   // ---- 2. Joint entity linking over the document's mentions. ----
@@ -149,6 +236,7 @@ void KgPipeline::Ingest(const Article& article) {
   for (const LinkDecision& d : decisions) {
     if (d.created_new) {
       ++stats_.new_entities;
+      metrics.new_entities->Increment();
       // Seed the new vertex's bag with document context so LDA and
       // later linking have signal (the dynamic-KG AIDA adaptation).
       for (const auto& [term, weight] : doc_bag) {
@@ -157,9 +245,12 @@ void KgPipeline::Ingest(const Article& article) {
       }
     } else {
       ++stats_.linked_to_existing;
+      metrics.linked->Increment();
     }
   }
-  stats_.link_seconds += timer.ElapsedSeconds();
+  double link_seconds = timer.ElapsedSeconds();
+  stats_.link_seconds += link_seconds;
+  metrics.linking_latency->Observe(link_seconds);
 
   SourceId source_id = graph_.sources().Intern(article.source);
   for (const SrlFrame& frame : frames) {
@@ -183,6 +274,7 @@ void KgPipeline::Ingest(const Article& article) {
                   *existing,
                   rec.meta.confidence * config_.retraction_factor);
               ++stats_.retractions;
+              metrics.retractions->Increment();
             }
           }
         }
@@ -210,16 +302,23 @@ void KgPipeline::Ingest(const Article& article) {
     if (mapping.mapped) {
       predicate_name = mapping.predicate;
       ++stats_.mapped_triples;
+      metrics.mapped->Increment();
     } else if (config_.keep_unmapped) {
       predicate_name = "raw:" + ex.relation;
       ++stats_.unmapped_kept;
+      metrics.unmapped_kept->Increment();
     } else {
       ++stats_.dropped_unmapped;
-      stats_.map_seconds += timer.ElapsedSeconds();
+      metrics.unmapped_dropped->Increment();
+      double map_seconds = timer.ElapsedSeconds();
+      stats_.map_seconds += map_seconds;
+      metrics.mapping_latency->Observe(map_seconds);
       continue;
     }
     PredicateId p = graph_.predicates().Intern(predicate_name);
-    stats_.map_seconds += timer.ElapsedSeconds();
+    double map_seconds = timer.ElapsedSeconds();
+    stats_.map_seconds += map_seconds;
+    metrics.mapping_latency->Observe(map_seconds);
 
     // ---- 4. Confidence via link prediction (§3.4). ----
     timer.Restart();
@@ -236,9 +335,12 @@ void KgPipeline::Ingest(const Article& article) {
       confidence *= (0.6 + 0.4 * trust_.RelativeTrust(source_id));
     }
     confidence = std::clamp(confidence, 0.0, 1.0);
-    stats_.score_seconds += timer.ElapsedSeconds();
+    double score_seconds = timer.ElapsedSeconds();
+    stats_.score_seconds += score_seconds;
+    metrics.confidence_latency->Observe(score_seconds);
     if (confidence < config_.min_accept_confidence) {
       ++stats_.dropped_low_confidence;
+      metrics.rejected->Increment();
       continue;
     }
 
@@ -252,6 +354,7 @@ void KgPipeline::Ingest(const Article& article) {
                    1.0 - (1.0 - rec.meta.confidence) * (1.0 - confidence));
       graph_.SetEdgeConfidence(*existing, boosted);
       ++stats_.deduped_triples;
+      metrics.deduped->Increment();
       if (config_.enable_source_trust &&
           rec.meta.source != source_id) {
         trust_.RecordCorroborated(source_id);
@@ -277,6 +380,7 @@ void KgPipeline::Ingest(const Article& article) {
     graph_.AddEdge(s, p, o, meta);
     accepted_ids_.push_back(IdTriple{s, p, o});
     ++stats_.accepted_triples;
+    metrics.accepted->Increment();
 
     // ---- 6. Stream the fact into the miner's sliding window. ----
     if (config_.enable_mining) {
@@ -296,6 +400,7 @@ void KgPipeline::Ingest(const Article& article) {
           wo, window_graph_.types().Intern(VertexTypeName(o)));
       window_->Add(wt);
       stats_.mine_seconds += mine_timer.ElapsedSeconds();
+      metrics.window_edges->Set(static_cast<double>(window_->size()));
     }
   }
 

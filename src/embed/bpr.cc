@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace nous {
 
 namespace {
@@ -87,6 +90,13 @@ void BprModel::SgdStep(uint32_t s, uint32_t p, uint32_t o_pos,
 void BprModel::RunEpochs(const std::vector<IdTriple>& triples,
                          size_t epochs) {
   if (triples.empty() || num_entities_ < 2) return;
+  NOUS_SPAN("embed_refresh");
+  static Counter* refreshes = MetricsRegistry::Global().GetCounter(
+      "nous_embed_refresh_total", "BPR training passes (full or refresh)");
+  static Counter* refresh_epochs = MetricsRegistry::Global().GetCounter(
+      "nous_embed_refresh_epochs_total", "BPR epochs run across refreshes");
+  refreshes->Increment();
+  refresh_epochs->Increment(epochs);
   std::vector<size_t> order(triples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (size_t epoch = 0; epoch < epochs; ++epoch) {

@@ -3,12 +3,45 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nous {
+
+namespace {
+
+struct MinerMetrics {
+  Counter* patterns_emitted;
+  Counter* patterns_demoted;
+  Gauge* tracked_patterns;
+  Gauge* live_embeddings;
+};
+
+const MinerMetrics& Metrics() {
+  static MinerMetrics metrics = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    MinerMetrics m;
+    m.patterns_emitted = r.GetCounter(
+        "nous_mining_patterns_emitted_total",
+        "Patterns that crossed min_support upward");
+    m.patterns_demoted = r.GetCounter(
+        "nous_mining_patterns_demoted_total",
+        "Patterns that decayed below min_support");
+    m.tracked_patterns = r.GetGauge("nous_mining_tracked_patterns",
+                                    "Distinct patterns under maintenance");
+    m.live_embeddings = r.GetGauge("nous_mining_live_embeddings",
+                                   "Live embeddings across all patterns");
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 StreamingMiner::StreamingMiner(MinerConfig config) : config_(config) {}
 
 void StreamingMiner::OnEdgeAdded(const PropertyGraph& graph, EdgeId edge) {
+  NOUS_SPAN("mining");
   // Every connected subset containing the new edge; all other edges in
   // the window are older (smaller ids), so older_only enumeration
   // discovers each subset exactly once across the stream.
@@ -17,6 +50,8 @@ void StreamingMiner::OnEdgeAdded(const PropertyGraph& graph, EdgeId edge) {
       [this, &graph](const std::vector<EdgeId>& subset) {
         AddEmbedding(graph, subset);
       });
+  Metrics().tracked_patterns->Set(static_cast<double>(patterns_.size()));
+  Metrics().live_embeddings->Set(static_cast<double>(live_embeddings_));
 }
 
 void StreamingMiner::OnEdgeExpiring(const PropertyGraph& /*graph*/,
@@ -30,6 +65,7 @@ void StreamingMiner::OnEdgeExpiring(const PropertyGraph& /*graph*/,
   for (uint32_t id : ids) {
     if (embeddings_[id].alive) RemoveEmbedding(id);
   }
+  Metrics().live_embeddings->Set(static_cast<double>(live_embeddings_));
 }
 
 void StreamingMiner::AddEmbedding(const PropertyGraph& graph,
@@ -47,10 +83,15 @@ void StreamingMiner::AddEmbedding(const PropertyGraph& graph,
   }
   uint32_t pattern_id = it->second;
   PatternEntry& entry = patterns_[pattern_id];
+  size_t support_before = SupportOfEntry(entry);
   for (size_t pos = 0; pos < assignment.size(); ++pos) {
     entry.position_counts[pos][assignment[pos]]++;
   }
   ++entry.embeddings;
+  if (support_before < config_.min_support &&
+      SupportOfEntry(entry) >= config_.min_support) {
+    Metrics().patterns_emitted->Increment();
+  }
 
   uint32_t id;
   if (!free_slots_.empty()) {
@@ -74,12 +115,17 @@ void StreamingMiner::RemoveEmbedding(uint32_t embedding_id) {
   Embedding& emb = embeddings_[embedding_id];
   NOUS_CHECK(emb.alive);
   PatternEntry& entry = patterns_[emb.pattern_id];
+  size_t support_before = SupportOfEntry(entry);
   for (size_t pos = 0; pos < emb.assignment.size(); ++pos) {
     auto it = entry.position_counts[pos].find(emb.assignment[pos]);
     NOUS_CHECK(it != entry.position_counts[pos].end());
     if (--it->second == 0) entry.position_counts[pos].erase(it);
   }
   --entry.embeddings;
+  if (support_before >= config_.min_support &&
+      SupportOfEntry(entry) < config_.min_support) {
+    Metrics().patterns_demoted->Increment();
+  }
   for (EdgeId e : emb.edges) {
     auto it = edge_index_.find(e);
     if (it == edge_index_.end()) continue;  // being drained by expiry

@@ -1,0 +1,164 @@
+#ifndef NOUS_OBS_METRICS_H_
+#define NOUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace nous {
+
+/// Monotonically increasing event count. Thread-safe; increments are
+/// relaxed atomics so instrumentation stays off the critical path.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time scalar (window sizes, model dimensions). Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Thread-safe bounded-memory latency histogram: a FixedHistogram
+/// behind a mutex, so a service recording millions of observations
+/// never grows. Callers should cache the pointer returned by
+/// MetricsRegistry::GetHistogram (registration does a map lookup).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(FixedHistogram layout);
+
+  void Observe(double value);
+
+  /// Consistent copy of the current state.
+  FixedHistogram Snapshot() const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  FixedHistogram hist_;
+};
+
+/// Label key/value pairs attached to one instrument, e.g.
+/// {{"class", "entity"}}. Keep label values low-cardinality: every
+/// distinct combination allocates a new time series.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Process-wide metric registry behind every NOUS_SPAN and
+/// instrumentation counter. Metric names follow the convention
+/// `nous_<stage>_<name>` with Prometheus suffix rules
+/// (`*_total` for counters, `*_latency_seconds` for latency
+/// histograms).
+///
+/// Registration (Get*) is idempotent: the same (name, labels) pair
+/// always returns the same pointer, and returned pointers stay valid
+/// for the registry's lifetime — ResetAll() zeroes values in place,
+/// it never invalidates pointers, so call sites may cache them in
+/// function-local statics. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& Global();
+
+  /// Tests may build private registries.
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const MetricLabels& labels = {});
+  /// Empty `upper_bounds` selects DefaultLatencyBounds().
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const std::string& help = "",
+                                 std::vector<double> upper_bounds = {});
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE
+  /// headers, counter/gauge samples, histogram `_bucket{le=...}`,
+  /// `_sum` and `_count` series.
+  std::string RenderPrometheus() const;
+
+  struct CounterRow {
+    std::string name;
+    std::string labels;  // rendered "{k=\"v\"}" or empty
+    uint64_t value = 0;
+  };
+  struct GaugeRow {
+    std::string name;
+    std::string labels;
+    double value = 0;
+  };
+  struct HistogramRow {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    double max = 0;
+  };
+  std::vector<CounterRow> CounterRows() const;
+  std::vector<GaugeRow> GaugeRows() const;
+  std::vector<HistogramRow> HistogramRows() const;
+
+  /// Zeroes every metric in place. Registered pointers stay valid.
+  void ResetAll();
+
+  /// Human-readable shutdown summary (TablePrinter): one table of
+  /// counters and gauges, one of latency quantiles.
+  void PrintSummary(std::ostream& os) const;
+
+  /// Exponential buckets from 1us to ~2 minutes — the layout every
+  /// latency histogram shares so per-thread merges stay possible.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Instrument {
+    std::string rendered_labels;  // "{k=\"v\",...}" or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    Type type = Type::kCounter;
+    std::vector<std::unique_ptr<Instrument>> instruments;
+  };
+
+  Family* GetFamilyLocked(const std::string& name, const std::string& help,
+                          Type type);
+  Instrument* GetInstrumentLocked(Family* family, const MetricLabels& labels);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_;  // insertion order
+  std::unordered_map<std::string, size_t> family_index_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_OBS_METRICS_H_

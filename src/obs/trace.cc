@@ -1,0 +1,19 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+
+namespace nous {
+
+TraceSpan::TraceSpan(const char* stage, LatencyHistogram* histogram)
+    : stage_(stage), histogram_(histogram) {
+  NOUS_LOG(Debug) << "span_begin stage=" << stage_;
+}
+
+TraceSpan::~TraceSpan() {
+  double seconds = timer_.ElapsedSeconds();
+  if (histogram_ != nullptr) histogram_->Observe(seconds);
+  NOUS_LOG(Debug) << "span_end stage=" << stage_
+                  << " seconds=" << seconds;
+}
+
+}  // namespace nous

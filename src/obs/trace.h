@@ -1,0 +1,58 @@
+#ifndef NOUS_OBS_TRACE_H_
+#define NOUS_OBS_TRACE_H_
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace nous {
+
+/// RAII scoped timer: on destruction records the elapsed seconds into
+/// a registry latency histogram, and at debug log level emits
+/// structured begin/end lines:
+///
+///   span_begin stage=extraction
+///   span_end stage=extraction seconds=0.000123
+///
+/// Use via NOUS_SPAN below; construct directly only when the stage
+/// name is not a compile-time literal.
+class TraceSpan {
+ public:
+  /// `stage` must outlive the span (string literals do); `histogram`
+  /// may be null to time without recording.
+  TraceSpan(const char* stage, LatencyHistogram* histogram);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  const char* stage_;
+  LatencyHistogram* histogram_;
+  WallTimer timer_;
+};
+
+namespace internal {
+#define NOUS_OBS_CONCAT_INNER(a, b) a##b
+#define NOUS_OBS_CONCAT(a, b) NOUS_OBS_CONCAT_INNER(a, b)
+}  // namespace internal
+
+/// Times the enclosing scope as pipeline stage `stage` (a string
+/// literal), recording into the global registry histogram
+/// `nous_<stage>_latency_seconds`. The histogram pointer is resolved
+/// once per call site (thread-safe function-local static), so the
+/// steady-state cost is two clock reads and one locked bucket
+/// increment.
+#define NOUS_SPAN(stage)                                                   \
+  static ::nous::LatencyHistogram* NOUS_OBS_CONCAT(nous_span_hist_,        \
+                                                   __LINE__) =             \
+      ::nous::MetricsRegistry::Global().GetHistogram(                      \
+          "nous_" stage "_latency_seconds",                                \
+          "Latency of the " stage " stage in seconds");                    \
+  ::nous::TraceSpan NOUS_OBS_CONCAT(nous_span_, __LINE__)(                 \
+      stage, NOUS_OBS_CONCAT(nous_span_hist_, __LINE__))
+
+}  // namespace nous
+
+#endif  // NOUS_OBS_TRACE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "topic/divergence.h"
 
 namespace nous {
@@ -35,11 +37,13 @@ PathSearch::PathSearch(const PropertyGraph* graph, PathSearchConfig config)
 
 std::vector<PathResult> PathSearch::FindPaths(
     VertexId source, VertexId target, PredicateId relationship) const {
+  NOUS_SPAN("path_search");
   std::vector<PathResult> complete;
   if (source >= graph_->NumVertices() || target >= graph_->NumVertices() ||
       source == target) {
     return complete;
   }
+  size_t total_expanded = 0;
   const std::vector<double>& target_topics = graph_->VertexTopics(target);
 
   auto divergence_to_target = [&](VertexId v) {
@@ -130,6 +134,7 @@ std::vector<PathResult> PathSearch::FindPaths(
       };
       expand(graph_->OutEdges(tail));
       expand(graph_->InEdges(tail));
+      total_expanded += expanded;
     }
     std::sort(successors.begin(), successors.end(),
               [](const PartialPath& a, const PartialPath& b) {
@@ -149,6 +154,13 @@ std::vector<PathResult> PathSearch::FindPaths(
               return a.vertices.size() < b.vertices.size();
             });
   if (complete.size() > config_.top_k) complete.resize(config_.top_k);
+  static Counter* expanded_total = MetricsRegistry::Global().GetCounter(
+      "nous_path_search_expanded_total",
+      "Successor edges expanded during beam search");
+  static Counter* paths_total = MetricsRegistry::Global().GetCounter(
+      "nous_path_search_paths_total", "Complete paths returned");
+  expanded_total->Increment(total_expanded);
+  paths_total->Increment(complete.size());
   return complete;
 }
 

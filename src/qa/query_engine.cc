@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nous {
 
@@ -58,6 +60,12 @@ FactLine QueryEngine::MakeFactLine(EdgeId edge) const {
 }
 
 Result<Answer> QueryEngine::Execute(const Query& query) const {
+  NOUS_SPAN("query");
+  // Per-class query counts (Figure 5's five classes) under one family.
+  MetricsRegistry::Global()
+      .GetCounter("nous_query_total", "Queries executed by class",
+                  {{"class", QueryKindName(query.kind)}})
+      ->Increment();
   switch (query.kind) {
     case QueryKind::kTrending:
       return ExecuteTrending();

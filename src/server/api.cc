@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/json_writer.h"
 
 namespace nous {
@@ -145,9 +147,36 @@ HttpResponse NousApi::HandleStats() {
   w.Int(static_cast<long long>(ps.new_entities));
   w.Key("mean_extracted_confidence");
   w.Number(stats.extracted_confidence.Mean());
+  // Per-stage latency quantiles from the process-wide registry (every
+  // nous_*_latency_seconds histogram, seconds).
+  w.Key("latency");
+  w.BeginObject();
+  for (const auto& row : MetricsRegistry::Global().HistogramRows()) {
+    w.Key(row.name);
+    w.BeginObject();
+    w.Key("count");
+    w.Int(static_cast<long long>(row.count));
+    w.Key("p50");
+    w.Number(row.p50);
+    w.Key("p90");
+    w.Number(row.p90);
+    w.Key("p99");
+    w.Number(row.p99);
+    w.Key("max");
+    w.Number(row.max);
+    w.EndObject();
+  }
+  w.EndObject();
   w.EndObject();
   HttpResponse response;
   response.body = w.Result();
+  return response;
+}
+
+HttpResponse NousApi::HandleMetrics() {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = MetricsRegistry::Global().RenderPrometheus();
   return response;
 }
 
@@ -181,7 +210,7 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
   return response;
 }
 
-HttpResponse NousApi::Handle(const HttpRequest& request) {
+HttpResponse NousApi::Route(const HttpRequest& request) {
   if (request.path == "/" && request.method == "GET") {
     HttpResponse response;
     response.content_type = "text/html; charset=utf-8";
@@ -194,10 +223,25 @@ HttpResponse NousApi::Handle(const HttpRequest& request) {
   if (request.path == "/api/stats" && request.method == "GET") {
     return HandleStats();
   }
+  if (request.path == "/api/metrics" && request.method == "GET") {
+    return HandleMetrics();
+  }
   if (request.path == "/api/ingest" && request.method == "POST") {
     return HandleIngest(request);
   }
   return JsonError(404, "no such endpoint: " + request.path);
+}
+
+HttpResponse NousApi::Handle(const HttpRequest& request) {
+  NOUS_SPAN("http_request");
+  HttpResponse response = Route(request);
+  // Label by status code only: paths are client-controlled and would
+  // make the label set unbounded.
+  MetricsRegistry::Global()
+      .GetCounter("nous_http_requests_total", "HTTP requests by status code",
+                  {{"code", StrFormat("%d", response.status)}})
+      ->Increment();
+  return response;
 }
 
 const char* DemoPageHtml() {

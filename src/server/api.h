@@ -14,11 +14,16 @@ namespace nous {
 ///
 ///   GET  /                      single-page query UI
 ///   GET  /api/query?q=<text>    parse + execute any Figure-5 query
-///   GET  /api/stats             graph + pipeline statistics
+///   GET  /api/stats             graph + pipeline statistics, including
+///                               per-stage latency quantiles
+///   GET  /api/metrics           Prometheus text-exposition dump of the
+///                               process-wide MetricsRegistry (obs/)
 ///   POST /api/ingest?source=s&year=Y&month=M&day=D   body = text
 ///
 /// The API serializes Answer structures to JSON (facts with
-/// provenance, trending entities, patterns, paths).
+/// provenance, trending entities, patterns, paths). Every request is
+/// counted in nous_http_requests_total{code=...} and timed into
+/// nous_http_request_latency_seconds.
 class NousApi {
  public:
   /// `nous` must outlive the API. Ingestion mutates it; the demo
@@ -34,7 +39,9 @@ class NousApi {
  private:
   HttpResponse HandleQuery(const HttpRequest& request);
   HttpResponse HandleStats();
+  HttpResponse HandleMetrics();
   HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse Route(const HttpRequest& request);
 
   Nous* nous_;
 };

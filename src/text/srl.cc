@@ -10,7 +10,8 @@ SrlExtractor::SrlExtractor(const Lexicon* lexicon, const Ner* ner,
     : lexicon_(lexicon), ner_(ner), openie_(lexicon, ner, config) {}
 
 std::vector<SrlFrame> SrlExtractor::Extract(const std::string& text,
-                                            const Date& document_date) const {
+                                            const Date& document_date,
+                                            size_t* num_sentences) const {
   // Per-sentence dates, found once; extractions then join by index.
   std::vector<std::optional<Date>> sentence_dates;
   PosTagger tagger(lexicon_);
@@ -27,6 +28,7 @@ std::vector<SrlFrame> SrlExtractor::Extract(const std::string& text,
     }
     sentence_dates.push_back(found);
   }
+  if (num_sentences != nullptr) *num_sentences = sentence_dates.size();
   std::vector<SrlFrame> frames;
   for (RawExtraction& ex : openie_.ExtractFromText(text)) {
     SrlFrame frame;

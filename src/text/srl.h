@@ -28,8 +28,12 @@ class SrlExtractor {
   SrlExtractor(const Lexicon* lexicon, const Ner* ner,
                OpenIeConfig config = {});
 
+  /// `num_sentences`, when non-null, receives the sentence count of
+  /// `text` (already computed for per-sentence dating; exposed for
+  /// pipeline metrics).
   std::vector<SrlFrame> Extract(const std::string& text,
-                                const Date& document_date) const;
+                                const Date& document_date,
+                                size_t* num_sentences = nullptr) const;
 
  private:
   const Lexicon* lexicon_;

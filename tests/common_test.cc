@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <sstream>
 #include <string>
@@ -8,6 +9,7 @@
 
 #include "common/hash.h"
 #include "common/histogram.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -292,6 +294,200 @@ TEST(HistogramTest, StddevOfConstantIsZero) {
   h.Add(2);
   h.Add(2);
   EXPECT_DOUBLE_EQ(h.Stddev(), 0.0);
+}
+
+TEST(HistogramTest, QuantileEmptyReturnsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileSingleSampleIsThatSample) {
+  Histogram h;
+  h.Add(7.5);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 7.5) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileExtremesClampToMinMax) {
+  Histogram h;
+  for (double v : {3.0, 1.0, 2.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-2.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(5.0), 3.0);
+}
+
+TEST(HistogramTest, QuantileNonFiniteTreatedAsZero) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(9.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(std::nan("")), 1.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a, b;
+  a.Add(1.0);
+  a.Add(2.0);
+  b.Add(3.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 2.0);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoOp) {
+  Histogram a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 5.0);
+}
+
+TEST(HistogramTest, MergeAfterQuantileInvalidatesSortCache) {
+  Histogram a, b;
+  a.Add(10.0);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), 10.0);  // forces the sort cache
+  b.Add(1.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.0), 1.0);
+}
+
+// ---------- FixedHistogram ----------
+
+TEST(FixedHistogramTest, EmptyIsZero) {
+  FixedHistogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(FixedHistogramTest, AddUsesLeBucketSemantics) {
+  FixedHistogram h({1.0, 10.0});
+  h.Add(1.0);    // le 1.0: boundary goes to the lower bucket
+  h.Add(5.0);    // le 10.0
+  h.Add(100.0);  // overflow
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(FixedHistogramTest, ExponentialBounds) {
+  FixedHistogram h = FixedHistogram::Exponential(0.001, 10, 4);
+  const auto& bounds = h.upper_bounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.001);
+  EXPECT_DOUBLE_EQ(bounds[1], 0.01);
+  EXPECT_DOUBLE_EQ(bounds[2], 0.1);
+  EXPECT_DOUBLE_EQ(bounds[3], 1.0);
+}
+
+TEST(FixedHistogramTest, QuantileEdgeConventions) {
+  FixedHistogram h({1.0, 2.0, 4.0});
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(std::nan("")), 0.5);
+  double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 3.0);
+}
+
+TEST(FixedHistogramTest, QuantileInterpolatesWithinBucket) {
+  FixedHistogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) h.Add(10.0 + 0.1 * i);  // all in (10, 20]
+  double p50 = h.Quantile(0.5);
+  EXPECT_GT(p50, 13.0);
+  EXPECT_LT(p50, 17.0);
+  // Clamped to the observed range even at the tails.
+  EXPECT_GE(h.Quantile(0.99), h.min());
+  EXPECT_LE(h.Quantile(0.99), h.max());
+}
+
+TEST(FixedHistogramTest, SingleSampleQuantiles) {
+  FixedHistogram h({1.0, 2.0});
+  h.Add(1.5);
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(q), 1.5) << "q=" << q;
+  }
+}
+
+TEST(FixedHistogramTest, MergeAddsBucketsAndExtremes) {
+  FixedHistogram a({1.0, 10.0});
+  FixedHistogram b({1.0, 10.0});
+  a.Add(0.5);
+  b.Add(5.0);
+  b.Add(50.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 55.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 50.0);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+  EXPECT_EQ(a.bucket_counts()[1], 1u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);
+}
+
+TEST(FixedHistogramTest, MergeIntoEmptyCopiesExtremes) {
+  FixedHistogram a({1.0});
+  FixedHistogram b({1.0});
+  b.Add(0.25);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 0.25);
+  EXPECT_DOUBLE_EQ(a.max(), 0.25);
+}
+
+TEST(FixedHistogramTest, ClearResets) {
+  FixedHistogram h({1.0});
+  h.Add(0.5);
+  h.Add(2.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_counts()[0], 0u);
+  EXPECT_EQ(h.bucket_counts()[1], 0u);
+}
+
+// ---------- Logging ----------
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknown) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("debugx"), std::nullopt);
+}
+
+TEST(LoggingTest, LogMacroCompilesInExpressionContexts) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // discard branch
+  NOUS_LOG(Info) << "suppressed " << 42;
+  SetLogLevel(saved);
 }
 
 // ---------- TablePrinter ----------

@@ -1,0 +1,231 @@
+#include <atomic>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace nous {
+namespace {
+
+// ---------- Counter / Gauge ----------
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge g;
+  g.Set(3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.5);
+  g.Set(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+}
+
+// ---------- LatencyHistogram ----------
+
+TEST(LatencyHistogramTest, ObserveAndSnapshot) {
+  LatencyHistogram h(FixedHistogram::Exponential(1e-6, 10, 8));
+  h.Observe(1e-5);
+  h.Observe(1e-3);
+  h.Observe(0.1);
+  FixedHistogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count(), 3u);
+  EXPECT_NEAR(snapshot.sum(), 0.10101, 1e-6);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count(), 0u);
+}
+
+// ---------- MetricsRegistry ----------
+
+TEST(MetricsRegistryTest, SameNameSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("nous_test_total", "help");
+  Counter* b = registry.GetCounter("nous_test_total");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("nous_test_total", "", {{"class", "entity"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled, registry.GetCounter("nous_test_total", "",
+                                         {{"class", "entity"}}));
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("nous_reset_total");
+  Gauge* g = registry.GetGauge("nous_reset_gauge");
+  LatencyHistogram* h = registry.GetHistogram("nous_reset_latency_seconds");
+  c->Increment(5);
+  g->Set(2.0);
+  h->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Snapshot().count(), 0u);
+  // Still usable after reset.
+  c->Increment();
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationAndRecording) {
+  MetricsRegistry registry;
+  ThreadPool pool(8);
+  constexpr size_t kPerThread = 2000;
+  pool.ParallelFor(8, [&registry](size_t t) {
+    // Every thread races registration of the same instruments.
+    Counter* c = registry.GetCounter("nous_concurrent_total");
+    LatencyHistogram* h =
+        registry.GetHistogram("nous_concurrent_latency_seconds");
+    Counter* labeled = registry.GetCounter(
+        "nous_concurrent_labeled_total", "",
+        {{"thread", t % 2 == 0 ? "even" : "odd"}});
+    for (size_t i = 0; i < kPerThread; ++i) {
+      c->Increment();
+      labeled->Increment();
+      h->Observe(1e-6 * static_cast<double>(i + 1));
+    }
+  });
+  EXPECT_EQ(registry.GetCounter("nous_concurrent_total")->Value(),
+            8 * kPerThread);
+  EXPECT_EQ(registry.GetHistogram("nous_concurrent_latency_seconds")
+                ->Snapshot()
+                .count(),
+            8 * kPerThread);
+  uint64_t even = registry
+                      .GetCounter("nous_concurrent_labeled_total", "",
+                                  {{"thread", "even"}})
+                      ->Value();
+  uint64_t odd = registry
+                     .GetCounter("nous_concurrent_labeled_total", "",
+                                 {{"thread", "odd"}})
+                     ->Value();
+  EXPECT_EQ(even + odd, 8 * kPerThread);
+}
+
+TEST(MetricsRegistryTest, RowsReportValuesAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("nous_rows_total")->Increment(7);
+  registry.GetGauge("nous_rows_gauge")->Set(1.25);
+  LatencyHistogram* h = registry.GetHistogram("nous_rows_latency_seconds");
+  for (int i = 1; i <= 100; ++i) h->Observe(i * 1e-4);
+  auto counters = registry.CounterRows();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].name, "nous_rows_total");
+  EXPECT_EQ(counters[0].value, 7u);
+  auto gauges = registry.GaugeRows();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].value, 1.25);
+  auto histograms = registry.HistogramRows();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].count, 100u);
+  EXPECT_GT(histograms[0].p90, histograms[0].p50);
+  EXPECT_GE(histograms[0].p99, histograms[0].p90);
+  EXPECT_LE(histograms[0].p99, histograms[0].max);
+}
+
+// ---------- Prometheus exposition ----------
+
+TEST(PrometheusTest, CounterAndGaugeExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("nous_expo_total", "Things counted")->Increment(3);
+  registry
+      .GetCounter("nous_expo_labeled_total", "", {{"class", "entity"}})
+      ->Increment();
+  registry.GetGauge("nous_expo_gauge", "A level")->Set(0.5);
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP nous_expo_total Things counted\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nous_expo_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nous_expo_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("nous_expo_labeled_total{class=\"entity\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nous_expo_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("nous_expo_gauge 0.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram(
+      "nous_expo_latency_seconds", "Latency", {0.1, 1.0, 10.0});
+  h->Observe(0.05);   // le 0.1
+  h->Observe(0.5);    // le 1.0
+  h->Observe(0.5);    // le 1.0
+  h->Observe(100.0);  // +Inf
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE nous_expo_latency_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("nous_expo_latency_seconds_bucket{le=\"0.1\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("nous_expo_latency_seconds_bucket{le=\"1\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nous_expo_latency_seconds_bucket{le=\"10\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("nous_expo_latency_seconds_bucket{le=\"+Inf\"} 4\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("nous_expo_latency_seconds_count 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("nous_expo_latency_seconds_sum 101.05\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("nous_escape_total", "", {{"q", "say \"hi\"\\now"}})
+      ->Increment();
+  std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("{q=\"say \\\"hi\\\"\\\\now\"}"), std::string::npos);
+}
+
+// ---------- TraceSpan / NOUS_SPAN ----------
+
+TEST(TraceSpanTest, RecordsIntoHistogram) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("nous_span_latency_seconds");
+  { TraceSpan span("span", h); }
+  FixedHistogram snapshot = h->Snapshot();
+  EXPECT_EQ(snapshot.count(), 1u);
+  EXPECT_GE(snapshot.sum(), 0.0);
+}
+
+TEST(TraceSpanTest, NullHistogramStillTimes) {
+  TraceSpan span("untracked", nullptr);
+  EXPECT_GE(span.ElapsedSeconds(), 0.0);
+}
+
+TEST(TraceSpanTest, MacroRegistersGlobalHistogram) {
+  { NOUS_SPAN("obs_test_stage"); }
+  { NOUS_SPAN("obs_test_stage"); }
+  LatencyHistogram* h = MetricsRegistry::Global().GetHistogram(
+      "nous_obs_test_stage_latency_seconds");
+  EXPECT_GE(h->Snapshot().count(), 2u);
+}
+
+// ---------- Summary printing ----------
+
+TEST(SummaryTest, PrintsCountersAndLatencies) {
+  MetricsRegistry registry;
+  registry.GetCounter("nous_summary_total")->Increment(9);
+  registry.GetHistogram("nous_summary_latency_seconds")->Observe(0.002);
+  std::ostringstream os;
+  registry.PrintSummary(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("metrics summary"), std::string::npos);
+  EXPECT_NE(out.find("nous_summary_total"), std::string::npos);
+  EXPECT_NE(out.find("nous_summary_latency_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nous

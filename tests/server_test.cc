@@ -177,6 +177,72 @@ TEST_F(ServerFixture, StatsEndpoint) {
   EXPECT_NE(response.find("\"documents\":1"), std::string::npos);
 }
 
+TEST_F(ServerFixture, StatsReportLatencyQuantilesPerStage) {
+  std::string response = Get(server_.port(), "/api/stats");
+  EXPECT_NE(response.find("\"latency\":{"), std::string::npos);
+  // The fixture ingested a document, so the pipeline stages recorded
+  // latency samples with p50/p90/p99 quantiles.
+  for (const char* stage :
+       {"\"nous_extraction_latency_seconds\":{",
+        "\"nous_mapping_latency_seconds\":{",
+        "\"nous_confidence_latency_seconds\":{",
+        "\"nous_mining_latency_seconds\":{"}) {
+    EXPECT_NE(response.find(stage), std::string::npos) << stage;
+  }
+  EXPECT_NE(response.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(response.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(response.find("\"p99\":"), std::string::npos);
+}
+
+TEST_F(ServerFixture, MetricsEndpointServesPrometheusExposition) {
+  // Hit the query endpoint first so the query-stage instruments exist.
+  Get(server_.port(), "/api/query?q=tell+me+about+DJI");
+  std::string response = Get(server_.port(), "/api/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+
+  // Pipeline counters from the fixture's ingest.
+  EXPECT_NE(response.find("# TYPE nous_pipeline_documents_total counter"),
+            std::string::npos);
+  // At least this fixture's single ingest (the process-wide registry
+  // may have accumulated more across tests in the same binary).
+  EXPECT_NE(response.find("\nnous_pipeline_documents_total "),
+            std::string::npos);
+  EXPECT_NE(response.find("nous_extraction_triples_total"),
+            std::string::npos);
+  EXPECT_NE(response.find("nous_mapping_mapped_total"), std::string::npos);
+
+  // Latency histograms for the Figure-1 stages, in exposition shape.
+  for (const char* stage :
+       {"nous_extraction_latency_seconds", "nous_mapping_latency_seconds",
+        "nous_confidence_latency_seconds", "nous_mining_latency_seconds",
+        "nous_query_latency_seconds"}) {
+    std::string type_line = std::string("# TYPE ") + stage + " histogram";
+    EXPECT_NE(response.find(type_line), std::string::npos) << stage;
+    EXPECT_NE(response.find(std::string(stage) + "_bucket{le=\"+Inf\"}"),
+              std::string::npos)
+        << stage;
+    EXPECT_NE(response.find(std::string(stage) + "_sum"), std::string::npos)
+        << stage;
+    EXPECT_NE(response.find(std::string(stage) + "_count"),
+              std::string::npos)
+        << stage;
+  }
+
+  // Query counter carries the class label; HTTP counter the status code.
+  EXPECT_NE(response.find("nous_query_total{class=\"entity\"}"),
+            std::string::npos);
+  EXPECT_NE(response.find("nous_http_requests_total{code=\"200\"}"),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, MetricsEndpointRejectsPost) {
+  std::string request =
+      "POST /api/metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n";
+  std::string response = HttpGet(server_.port(), request);
+  EXPECT_NE(response.find("404"), std::string::npos);
+}
+
 TEST_F(ServerFixture, IngestEndpointGrowsGraph) {
   std::string body = "Parrot acquired Windermere.";
   std::string request =

@@ -1,20 +1,31 @@
 // E8 — reproduces Figure 1 / §1 contribution 3: the end-to-end
 // construction pipeline on a streaming corpus. Per-stage cost
-// breakdown, document/triple throughput, and the multi-source
-// property: the fraction of relationship answers whose evidence spans
-// two or more distinct data sources ("connect the dots across multiple
-// data sources").
+// breakdown, document/triple throughput, the parallel-ingest speedup
+// sweep (writes BENCH_pipeline.json), and the multi-source property:
+// the fraction of relationship answers whose evidence spans two or
+// more distinct data sources ("connect the dots across multiple data
+// sources").
+//
+//   bench_pipeline [--threads N]   # sweep caps at N (default:
+//                                  # hardware concurrency)
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/random.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "core/nous.h"
+#include "corpus/document_stream.h"
+#include "server/json_writer.h"
 
 namespace nous {
 namespace {
@@ -56,6 +67,115 @@ void RunThroughput() {
          pct(ps.mine_seconds)});
   }
   table.Print(std::cout);
+}
+
+/// Parallel-ingest sweep: the same 400-event corpus at 1..N pipeline
+/// threads. Ingestion goes through Nous::IngestStream (batched
+/// IngestBatch), so extraction fans out while fusion stays ordered —
+/// the resulting KG must be identical at every thread count, which the
+/// sweep asserts. Results land in BENCH_pipeline.json.
+void RunParallelIngest(size_t max_threads) {
+  bench::PrintHeader(
+      "E8b: parallel ingest speedup",
+      "§4 scalability ('scales gracefully with stream rate')",
+      "docs/sec and per-stage seconds, 1 vs N extraction threads.");
+  std::vector<size_t> sweep;
+  for (size_t t : {1ul, 2ul, 4ul, 8ul}) {
+    if (t <= max_threads) sweep.push_back(t);
+  }
+  if (sweep.empty() || sweep.back() != max_threads) {
+    sweep.push_back(max_threads);
+  }
+
+  CorpusConfig corpus_config;
+  corpus_config.sources = {"wsj", "webcrawl", "technews"};
+  auto fixture = bench::MakeDroneFixture(400, 17, 0.6, corpus_config);
+
+  TablePrinter table({"threads", "seconds", "docs/s", "speedup",
+                      "extract s", "link s", "map s", "score s",
+                      "mine s"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("pipeline_parallel_ingest");
+  json.Key("events");
+  json.Int(400);
+  json.Key("articles");
+  json.Int(static_cast<long long>(fixture.articles.size()));
+  json.Key("hardware_concurrency");
+  json.Int(static_cast<long long>(std::thread::hardware_concurrency()));
+  json.Key("runs");
+  json.BeginArray();
+
+  double serial_seconds = 0;
+  size_t baseline_vertices = 0, baseline_edges = 0;
+  for (size_t threads : sweep) {
+    Nous::Options options;
+    options.pipeline.num_threads = threads;
+    Nous nous(&fixture.kb, options);
+    DocumentStream stream(fixture.articles);
+    WallTimer timer;
+    nous.IngestStream(&stream, /*finalize=*/false);
+    double seconds = timer.ElapsedSeconds();
+    if (threads == sweep.front()) serial_seconds = seconds;
+    const PipelineStats& ps = nous.stats();
+    size_t vertices = nous.graph().NumVertices();
+    size_t edges = nous.graph().NumEdges();
+    if (threads == sweep.front()) {
+      baseline_vertices = vertices;
+      baseline_edges = edges;
+    } else if (vertices != baseline_vertices ||
+               edges != baseline_edges) {
+      std::cout << "WARNING: KG diverged at " << threads
+                << " threads (" << vertices << "v/" << edges
+                << "e vs " << baseline_vertices << "v/"
+                << baseline_edges << "e)\n";
+    }
+    double docs_per_sec =
+        static_cast<double>(ps.documents) / std::max(seconds, 1e-9);
+    double speedup = serial_seconds / std::max(seconds, 1e-9);
+    table.AddRow(
+        {TablePrinter::Int(static_cast<long long>(threads)),
+         TablePrinter::Num(seconds, 2),
+         TablePrinter::Num(docs_per_sec, 1),
+         TablePrinter::Num(speedup, 2),
+         TablePrinter::Num(ps.extract_seconds, 2),
+         TablePrinter::Num(ps.link_seconds, 2),
+         TablePrinter::Num(ps.map_seconds, 2),
+         TablePrinter::Num(ps.score_seconds, 2),
+         TablePrinter::Num(ps.mine_seconds, 2)});
+    json.BeginObject();
+    json.Key("threads");
+    json.Int(static_cast<long long>(threads));
+    json.Key("seconds");
+    json.Number(seconds);
+    json.Key("docs_per_sec");
+    json.Number(docs_per_sec);
+    json.Key("speedup_vs_1_thread");
+    json.Number(speedup);
+    json.Key("extract_seconds");
+    json.Number(ps.extract_seconds);
+    json.Key("link_seconds");
+    json.Number(ps.link_seconds);
+    json.Key("map_seconds");
+    json.Number(ps.map_seconds);
+    json.Key("score_seconds");
+    json.Number(ps.score_seconds);
+    json.Key("mine_seconds");
+    json.Number(ps.mine_seconds);
+    json.Key("vertices");
+    json.Int(static_cast<long long>(vertices));
+    json.Key("edges");
+    json.Int(static_cast<long long>(edges));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  table.Print(std::cout);
+  std::ofstream out("BENCH_pipeline.json");
+  out << json.Result() << "\n";
+  std::cout << "\nwrote BENCH_pipeline.json (KG identical across "
+               "thread counts: extraction parallel, fusion ordered)\n";
 }
 
 void RunMultiSource() {
@@ -126,7 +246,27 @@ BENCHMARK(BM_PipelineIngest);
 }  // namespace nous
 
 int main(int argc, char** argv) {
+  size_t max_threads = 0;
+  // Consume --threads ourselves (compacting argv) so the remaining
+  // flags go to the benchmark library untouched.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      max_threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      max_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (max_threads == 0) {
+    max_threads = std::thread::hardware_concurrency();
+    if (max_threads == 0) max_threads = 1;
+  }
   nous::RunThroughput();
+  nous::RunParallelIngest(max_threads);
   nous::RunMultiSource();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

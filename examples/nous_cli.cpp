@@ -3,7 +3,12 @@
 // web and command line interface").
 //
 // Usage:
-//   nous_cli [num_events]        # build a demo KG, then read queries
+//   nous_cli [num_events] [--threads N]   # build a demo KG, then
+//                                         # read queries from stdin
+//
+// --threads N sizes the pipeline's extraction/BPR worker pool
+// (default: hardware concurrency). The built KG is identical for
+// every value.
 //
 // Commands (one per line on stdin):
 //   tell me about <entity>            entity summary (Figure 6)
@@ -19,6 +24,8 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/string_util.h"
 #include "core/nous.h"
@@ -48,9 +55,26 @@ void PrintHelp() {
 
 int main(int argc, char** argv) {
   using namespace nous;
-  size_t num_events = argc > 1 ? static_cast<size_t>(
-                                     std::atoi(argv[1]))
-                               : 300;
+  size_t num_threads = 0;  // 0 = hardware_concurrency
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      num_threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  size_t num_events =
+      !positional.empty()
+          ? static_cast<size_t>(std::atoi(positional[0].c_str()))
+          : 300;
 
   DroneWorldConfig world_config;
   world_config.num_events = num_events;
@@ -64,9 +88,10 @@ int main(int argc, char** argv) {
   Nous::Options options;
   options.pipeline.miner.use_vertex_types = true;
   options.pipeline.miner.min_support = 4;
+  options.pipeline.num_threads = num_threads;
   Nous nous(&kb, options);
   std::cout << "Building demo KG from " << stream.TotalCount()
-            << " articles...\n";
+            << " articles (" << num_threads << " threads)...\n";
   nous.IngestStream(&stream);
   std::cout << nous.ComputeStats().ToString();
   PrintHelp();

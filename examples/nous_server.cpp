@@ -1,7 +1,12 @@
 // Web demo (the paper's Figure 6): builds a drone-domain KG from a
 // synthetic stream and serves the query interface over HTTP.
 //
-//   nous_server [port] [num_events]
+//   nous_server [port] [num_events] [--threads N]
+//
+// --threads N sets both the pipeline's extraction/BPR worker pool and
+// the number of concurrent HTTP connection handlers (default: the
+// machine's hardware concurrency). The built KG is identical for
+// every value.
 //
 // then open http://127.0.0.1:<port>/ — or hit the JSON API:
 //   curl 'http://127.0.0.1:8080/api/query?q=tell+me+about+DJI'
@@ -12,6 +17,9 @@
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/nous.h"
 #include "corpus/article_generator.h"
@@ -28,10 +36,30 @@ void HandleSignal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   using namespace nous;
-  uint16_t port = argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1]))
-                           : 8080;
+  size_t num_threads = 0;  // 0 = hardware_concurrency
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      num_threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  uint16_t port =
+      !positional.empty()
+          ? static_cast<uint16_t>(std::atoi(positional[0].c_str()))
+          : 8080;
   size_t num_events =
-      argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 400;
+      positional.size() > 1
+          ? static_cast<size_t>(std::atoi(positional[1].c_str()))
+          : 400;
 
   DroneWorldConfig world_config;
   world_config.num_events = num_events;
@@ -45,15 +73,17 @@ int main(int argc, char** argv) {
   Nous::Options options;
   options.pipeline.miner.use_vertex_types = true;
   options.pipeline.miner.min_support = 4;
+  options.pipeline.num_threads = num_threads;
   Nous nous(&kb, options);
   std::cout << "Building demo KG from " << stream.TotalCount()
-            << " articles...\n";
+            << " articles (" << num_threads << " threads)...\n";
   nous.IngestStream(&stream);
   std::cout << nous.ComputeStats().ToString();
 
   NousApi api(&nous);
   HttpServer server(
-      [&api](const HttpRequest& request) { return api.Handle(request); });
+      [&api](const HttpRequest& request) { return api.Handle(request); },
+      num_threads);
   Status status = server.Start(port);
   if (!status.ok()) {
     std::cerr << "failed to start: " << status << "\n";

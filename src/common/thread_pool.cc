@@ -2,8 +2,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+
+#include "common/logging.h"
 
 namespace nous {
+
+void WaitGroup::Add(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_ += n;
+}
+
+void WaitGroup::Done(size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NOUS_CHECK(pending_ >= n) << "WaitGroup::Done without matching Add";
+  pending_ -= n;
+  if (pending_ == 0) done_.notify_all();
+}
+
+void WaitGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
@@ -22,7 +42,15 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(std::function<void()> task, WaitGroup* wait_group) {
+  if (wait_group != nullptr) {
+    wait_group->Add(1);
+    auto inner = std::move(task);
+    task = [inner = std::move(inner), wait_group] {
+      inner();
+      wait_group->Done(1);
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
@@ -38,21 +66,32 @@ void ThreadPool::Wait() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Chunked dynamic scheduling: one shared atomic cursor, pool-width tasks.
-  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  // Chunked dynamic scheduling over a shared cursor. Completion is
+  // counted in processed *items* (via a batch-local WaitGroup), not in
+  // helper tasks: a helper that runs after the range is exhausted is a
+  // no-op, and the caller drains chunks itself, so the loop finishes
+  // even when every worker is busy with unrelated (or ancestor) work.
   const size_t chunk = std::max<size_t>(1, n / (threads_.size() * 8));
-  size_t workers = std::min(threads_.size(), n);
-  for (size_t w = 0; w < workers; ++w) {
-    Submit([cursor, chunk, n, &fn] {
-      while (true) {
-        size_t start = cursor->fetch_add(chunk);
-        if (start >= n) break;
-        size_t end = std::min(n, start + chunk);
-        for (size_t i = start; i < end; ++i) fn(i);
-      }
-    });
-  }
-  Wait();
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  auto items_done = std::make_shared<WaitGroup>();
+  items_done->Add(n);
+  // Helpers may outlive this frame (they can be dequeued after the
+  // range is drained and ParallelFor returned), so they capture `fn`
+  // by pointer and must check the cursor before dereferencing it.
+  const std::function<void(size_t)>* fn_ptr = &fn;
+  auto drain = [cursor, items_done, chunk, n, fn_ptr] {
+    while (true) {
+      size_t start = cursor->fetch_add(chunk);
+      if (start >= n) break;
+      size_t end = std::min(n, start + chunk);
+      for (size_t i = start; i < end; ++i) (*fn_ptr)(i);
+      items_done->Done(end - start);
+    }
+  };
+  size_t helpers = std::min(threads_.size(), (n + chunk - 1) / chunk);
+  for (size_t w = 0; w < helpers; ++w) Submit(drain);
+  drain();
+  items_done->Wait();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,5 +1,9 @@
 #include "core/nous.h"
 
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
 namespace nous {
 
 Nous::Nous(const CuratedKb* kb, Options options)
@@ -8,9 +12,19 @@ Nous::Nous(const CuratedKb* kb, Options options)
 void Nous::Ingest(const Article& article) { pipeline_.Ingest(article); }
 
 void Nous::IngestStream(DocumentStream* stream, bool finalize) {
+  // Batches keep the worker pool busy on extraction while the commit
+  // loop preserves stream order (see KgPipeline::IngestBatch).
+  constexpr size_t kBatch = 64;
+  std::vector<Article> batch;
+  batch.reserve(kBatch);
   while (!stream->Done()) {
-    pipeline_.Ingest(stream->Next());
+    batch.push_back(stream->Next());
+    if (batch.size() == kBatch) {
+      pipeline_.IngestBatch(batch);
+      batch.clear();
+    }
   }
+  if (!batch.empty()) pipeline_.IngestBatch(batch);
   if (finalize) Finalize();
 }
 
@@ -22,15 +36,30 @@ void Nous::IngestText(const std::string& text, const Date& date,
 void Nous::Finalize() { pipeline_.Finalize(); }
 
 Result<Answer> Nous::Ask(const std::string& question) {
+  std::shared_lock<std::shared_mutex> lock(pipeline_.kg_mutex());
+  return AskUnlocked(question);
+}
+
+Result<Answer> Nous::Execute(const Query& query) {
+  std::shared_lock<std::shared_mutex> lock(pipeline_.kg_mutex());
+  return ExecuteUnlocked(query);
+}
+
+Result<Answer> Nous::AskUnlocked(const std::string& question) const {
   QueryEngine engine(&pipeline_.graph(), pipeline_.miner(),
                      options_.query, pipeline_.miner_graph());
   return engine.ExecuteText(question);
 }
 
-Result<Answer> Nous::Execute(const Query& query) {
+Result<Answer> Nous::ExecuteUnlocked(const Query& query) const {
   QueryEngine engine(&pipeline_.graph(), pipeline_.miner(),
                      options_.query, pipeline_.miner_graph());
   return engine.Execute(query);
+}
+
+GraphStats Nous::ComputeStats() const {
+  std::shared_lock<std::shared_mutex> lock(pipeline_.kg_mutex());
+  return ComputeGraphStats(graph());
 }
 
 }  // namespace nous

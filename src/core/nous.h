@@ -35,6 +35,9 @@ class Nous {
   void Ingest(const Article& article);
 
   /// Drains a document stream, optionally finalizing afterwards.
+  /// Articles are ingested in batches (KgPipeline::IngestBatch) so
+  /// extraction fans out across the pipeline's worker pool; the fused
+  /// KG is identical to one-at-a-time ingestion.
   void IngestStream(DocumentStream* stream, bool finalize = true);
 
   /// Ad-hoc text ingestion.
@@ -46,14 +49,24 @@ class Nous {
   void Finalize();
 
   /// Parses and executes a natural-language-like query (Figure 5).
+  /// Takes the pipeline's read lock, so queries are safe to run while
+  /// another thread ingests.
   Result<Answer> Ask(const std::string& question);
 
-  /// Executes a pre-built structured query.
+  /// Executes a pre-built structured query. Read-locks like Ask().
   Result<Answer> Execute(const Query& query);
+
+  /// Variants for callers that already hold a std::shared_lock on
+  /// pipeline().kg_mutex() — e.g. the HTTP API, which serializes the
+  /// answer under the same lock. Calling Ask()/Execute() while holding
+  /// the lock would self-deadlock against a queued writer.
+  Result<Answer> AskUnlocked(const std::string& question) const;
+  Result<Answer> ExecuteUnlocked(const Query& query) const;
 
   const PropertyGraph& graph() const { return pipeline_.graph(); }
   const PipelineStats& stats() const { return pipeline_.stats(); }
-  GraphStats ComputeStats() const { return ComputeGraphStats(graph()); }
+  /// Read-locks the pipeline while walking the graph.
+  GraphStats ComputeStats() const;
   KgPipeline& pipeline() { return pipeline_; }
   const StreamingMiner* miner() const { return pipeline_.miner(); }
 

@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <mutex>
 #include <set>
+#include <thread>
 
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -115,7 +117,21 @@ KgPipeline::KgPipeline(const CuratedKb* kb, PipelineConfig config)
       linker_(&graph_, config.linker),
       mapper_(&kb->ontology(), config.mapper),
       ds_trainer_(),
-      bpr_(config.bpr) {
+      bpr_([&config] {
+        BprConfig b = config.bpr;
+        // Force block-deterministic SGD so the trained model (and hence
+        // every blended confidence) is independent of num_threads.
+        if (b.sgd_block == 0) b.sgd_block = config.bpr_sgd_block;
+        return b;
+      }()) {
+  size_t threads = config_.num_threads != 0
+                       ? config_.num_threads
+                       : static_cast<size_t>(
+                             std::thread::hardware_concurrency());
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  bpr_.set_pool(pool_.get());
   mapper_.LoadDefaultSeeds();
   if (config_.enable_mining) {
     window_ = std::make_unique<TemporalWindow>(&window_graph_,
@@ -195,27 +211,68 @@ std::string KgPipeline::VertexTypeName(VertexId v) const {
 }
 
 void KgPipeline::Ingest(const Article& article) {
+  ExtractedDoc doc = ExtractDocument(article);
+  std::unique_lock<std::shared_mutex> lock(kg_mutex_);
+  CommitDocument(article, std::move(doc));
+}
+
+void KgPipeline::IngestBatch(const Article* articles, size_t count) {
+  if (count == 0) return;
+  // Stage 1 fans out across the pool (pure per-document work); the
+  // commit loop below fuses in arrival order under one write-lock
+  // acquisition, so the KG is bit-identical to serial ingest for any
+  // thread count.
+  std::vector<ExtractedDoc> docs(count);
+  if (pool_ != nullptr && count > 1) {
+    pool_->ParallelFor(count, [this, articles, &docs](size_t i) {
+      docs[i] = ExtractDocument(articles[i]);
+    });
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      docs[i] = ExtractDocument(articles[i]);
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(kg_mutex_);
+  for (size_t i = 0; i < count; ++i) {
+    CommitDocument(articles[i], std::move(docs[i]));
+  }
+}
+
+KgPipeline::ExtractedDoc KgPipeline::ExtractDocument(
+    const Article& article) const {
+  // ---- 1. Extraction (OpenIE + SRL dating). ----
+  // Reads only the immutable lexicon/NER/SRL models plus thread-safe
+  // metrics, so batch ingest runs it from pool threads.
+  const PipelineMetrics& metrics = Metrics();
+  WallTimer timer;
+  ExtractedDoc doc;
+  doc.frames =
+      srl_.Extract(article.text, article.date, &doc.num_sentences);
+  if (!doc.frames.empty()) {
+    doc.doc_bag = BuildDocumentBag(article.text, lexicon_);
+  }
+  doc.extract_seconds = timer.ElapsedSeconds();
+  metrics.sentences->Increment(doc.num_sentences);
+  metrics.raw_triples->Increment(doc.frames.size());
+  metrics.extraction_latency->Observe(doc.extract_seconds);
+  return doc;
+}
+
+void KgPipeline::CommitDocument(const Article& article,
+                                ExtractedDoc&& doc) {
   NOUS_SPAN("pipeline_ingest");
   const PipelineMetrics& metrics = Metrics();
   WallTimer timer;
   ++stats_.documents;
   metrics.documents->Increment();
-
-  // ---- 1. Extraction (OpenIE + SRL dating). ----
-  size_t num_sentences = 0;
-  std::vector<SrlFrame> frames =
-      srl_.Extract(article.text, article.date, &num_sentences);
-  stats_.extractions += frames.size();
-  metrics.sentences->Increment(num_sentences);
-  metrics.raw_triples->Increment(frames.size());
-  double extract_seconds = timer.ElapsedSeconds();
-  stats_.extract_seconds += extract_seconds;
-  metrics.extraction_latency->Observe(extract_seconds);
-  if (frames.empty()) return;
+  stats_.extractions += doc.frames.size();
+  stats_.extract_seconds += doc.extract_seconds;
+  if (doc.frames.empty()) return;
+  const std::vector<SrlFrame>& frames = doc.frames;
+  const TermBag& doc_bag = doc.doc_bag;
 
   // ---- 2. Joint entity linking over the document's mentions. ----
   timer.Restart();
-  TermBag doc_bag = BuildDocumentBag(article.text, lexicon_);
   std::vector<std::string> surfaces;
   std::vector<EntityType> types;
   std::unordered_map<std::string, size_t> surface_index;
@@ -416,7 +473,8 @@ void KgPipeline::Ingest(const Article& article) {
 void KgPipeline::IngestText(const std::string& text, const Date& date,
                             const std::string& source) {
   Article article;
-  article.id = StrFormat("adhoc_%zu", stats_.documents);
+  article.id = StrFormat(
+      "adhoc_%zu", adhoc_counter_.fetch_add(1, std::memory_order_relaxed));
   article.date = date;
   article.source = source;
   article.text = text;
@@ -431,6 +489,7 @@ void KgPipeline::RefreshBpr(size_t epochs) {
 }
 
 void KgPipeline::Finalize() {
+  std::unique_lock<std::shared_mutex> lock(kg_mutex_);
   if (config_.enable_link_prediction) {
     RefreshBpr(config_.bpr.epochs);
     // Rescore extracted edges with the final model (dynamic-KG

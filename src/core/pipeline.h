@@ -1,12 +1,15 @@
 #ifndef NOUS_CORE_PIPELINE_H_
 #define NOUS_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 #include "corpus/article_generator.h"
 #include "embed/bpr.h"
 #include "graph/property_graph.h"
@@ -69,6 +72,16 @@ struct PipelineConfig {
   bool negation_retracts = true;
   /// Confidence multiplier applied to a retracted edge per negation.
   double retraction_factor = 0.5;
+  /// Worker threads for batch ingest extraction and the sharded BPR
+  /// refresh (0 = hardware_concurrency). The fused KG is identical for
+  /// every value: extraction is pure per-document work and fusion
+  /// commits in arrival order ("extract in parallel, fuse in order"),
+  /// and BPR runs block-deterministic SGD (see BprConfig::sgd_block).
+  size_t num_threads = 0;
+  /// Block size forced onto the BPR trainer when the caller left
+  /// BprConfig::sgd_block at 0; keeps pipeline results independent of
+  /// num_threads.
+  size_t bpr_sgd_block = 256;
 };
 
 /// Counters for every stage, reported by bench_pipeline (E8).
@@ -99,6 +112,14 @@ struct PipelineStats {
 /// update. The fused KG accretes; the streaming miner watches a
 /// sliding window fed with the same extracted stream plus the curated
 /// base (mining "both structures", §3.5).
+///
+/// Threading model (DESIGN.md "Threading model"): the pure extraction
+/// stage fans out across a worker pool (IngestBatch); everything that
+/// mutates shared state — linking, mapping, scoring, KG/miner-window
+/// updates, BPR refresh — commits sequentially in arrival order under
+/// the exclusive side of kg_mutex(), so the fused graph is
+/// bit-identical to serial ingest. Readers (query serving, stats) take
+/// the shared side.
 class KgPipeline {
  public:
   /// Copies the curated KB's contents into the KG. `kb` must outlive
@@ -110,8 +131,17 @@ class KgPipeline {
 
   /// Ingests one article: extraction, joint linking, predicate
   /// mapping, confidence scoring, KG + miner-window update, distant
-  /// supervision.
+  /// supervision. Takes the write lock for the post-extraction stages.
   void Ingest(const Article& article);
+
+  /// Ingests a batch: extraction runs across the pool (pure,
+  /// per-document), then link -> map -> score -> update commits
+  /// sequentially in array order under one write-lock acquisition.
+  /// Equivalent to calling Ingest() on each article in order.
+  void IngestBatch(const Article* articles, size_t count);
+  void IngestBatch(const std::vector<Article>& articles) {
+    IngestBatch(articles.data(), articles.size());
+  }
 
   /// Convenience for ad-hoc text.
   void IngestText(const std::string& text, const Date& date,
@@ -120,6 +150,17 @@ class KgPipeline {
   /// Fits LDA topics over the fused KG and runs a final BPR refresh.
   /// Call once after the stream (or periodically).
   void Finalize();
+
+  /// Reader/writer lock over the fused KG, miner state, and models.
+  /// Ingest/Finalize acquire it exclusively; concurrent readers
+  /// (query execution, stats, serialization) must hold a
+  /// std::shared_lock while touching graph()/miner()/stats().
+  /// Single-threaded callers may ignore it.
+  std::shared_mutex& kg_mutex() const { return kg_mutex_; }
+
+  /// Worker pool shared by extraction and the BPR refresh; null when
+  /// the pipeline resolved to one thread.
+  ThreadPool* pool() { return pool_.get(); }
 
   PropertyGraph& graph() { return graph_; }
   const PropertyGraph& graph() const { return graph_; }
@@ -139,12 +180,31 @@ class KgPipeline {
   const Ner& ner() const { return ner_; }
 
  private:
+  /// Result of the pure, thread-safe extraction stage for one article.
+  struct ExtractedDoc {
+    std::vector<SrlFrame> frames;
+    size_t num_sentences = 0;
+    /// Document content-word bag (built only when frames is
+    /// non-empty; linking is skipped otherwise).
+    TermBag doc_bag;
+    double extract_seconds = 0;
+  };
+
   void LoadCuratedKb();
   std::string VertexTypeName(VertexId v) const;
   void RefreshBpr(size_t epochs);
+  /// Stage 1 (extraction + document bag): reads only immutable models
+  /// (lexicon, NER, SRL), safe to run from pool threads.
+  ExtractedDoc ExtractDocument(const Article& article) const;
+  /// Stages 2-7 (link -> map -> score -> KG/miner update -> periodic
+  /// BPR refresh); caller must hold kg_mutex_ exclusively.
+  void CommitDocument(const Article& article, ExtractedDoc&& doc);
 
   PipelineConfig config_;
   const CuratedKb* kb_;  // not owned
+
+  mutable std::shared_mutex kg_mutex_;
+  std::unique_ptr<ThreadPool> pool_;
 
   PropertyGraph graph_;  // the fused, ever-growing KG
   /// Mirror graph holding the miner's sliding window (curated base +
@@ -169,6 +229,10 @@ class KgPipeline {
       curated_pairs_;
   std::vector<IdTriple> accepted_ids_;
   size_t docs_since_refresh_ = 0;
+  /// Ids for ad-hoc IngestText articles; atomic so concurrent HTTP
+  /// ingest callers get distinct ids without taking the write lock
+  /// early.
+  std::atomic<size_t> adhoc_counter_{0};
   PipelineStats stats_;
 };
 

@@ -87,6 +87,96 @@ void BprModel::SgdStep(uint32_t s, uint32_t p, uint32_t o_pos,
   }
 }
 
+void BprModel::ComputeGradient(const Sample& sample, double* grad) const {
+  const size_t d = config_.latent_dim;
+  const double lr = config_.learning_rate;
+  const double reg = config_.regularization;
+  const double* u = &subject_emb_[sample.s * d];
+  const double* vp = &object_emb_[sample.o_pos * d];
+  const double* vn = &object_emb_[sample.o_neg * d];
+  const double* w = &predicate_diag_[sample.p * d];
+  const double x_diff = RawScore(sample.s, sample.p, sample.o_pos) -
+                        RawScore(sample.s, sample.p, sample.o_neg);
+  const double g = 1.0 - Sigmoid(x_diff);
+  double* du = grad;
+  double* dvp = grad + d;
+  double* dvn = grad + 2 * d;
+  double* dw = grad + 3 * d;
+  for (size_t k = 0; k < d; ++k) {
+    const double uk = u[k], vpk = vp[k], vnk = vn[k], wk = w[k];
+    du[k] = lr * (g * wk * (vpk - vnk) - reg * uk);
+    dvp[k] = lr * (g * wk * uk - reg * vpk);
+    dvn[k] = lr * (-g * wk * uk - reg * vnk);
+    dw[k] = lr * (g * uk * (vpk - vnk) - reg * wk);
+  }
+}
+
+void BprModel::ApplyGradient(const Sample& sample, const double* grad) {
+  const size_t d = config_.latent_dim;
+  double* u = &subject_emb_[sample.s * d];
+  double* vp = &object_emb_[sample.o_pos * d];
+  double* vn = &object_emb_[sample.o_neg * d];
+  double* w = &predicate_diag_[sample.p * d];
+  const double* du = grad;
+  const double* dvp = grad + d;
+  const double* dvn = grad + 2 * d;
+  const double* dw = grad + 3 * d;
+  for (size_t k = 0; k < d; ++k) {
+    u[k] += du[k];
+    vp[k] += dvp[k];
+    vn[k] += dvn[k];
+    w[k] += dw[k];
+  }
+}
+
+void BprModel::RunEpochsBlocked(const std::vector<IdTriple>& triples,
+                                size_t epochs) {
+  const size_t d = config_.latent_dim;
+  const size_t block = config_.sgd_block;
+  std::vector<size_t> order(triples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<Sample> samples;
+  samples.reserve(order.size() * config_.negatives_per_positive);
+  std::vector<double> grads;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    // Presample negatives serially, consuming rng_ in the same
+    // shuffled order as the sequential path — the sample stream is
+    // thread-count independent by construction.
+    samples.clear();
+    for (size_t idx : order) {
+      const IdTriple& t = triples[idx];
+      for (size_t neg = 0; neg < config_.negatives_per_positive; ++neg) {
+        uint32_t o_neg =
+            static_cast<uint32_t>(rng_.UniformInt(num_entities_));
+        if (o_neg == t[2]) {
+          o_neg = static_cast<uint32_t>((o_neg + 1) % num_entities_);
+        }
+        samples.push_back(Sample{t[0], t[1], t[2], o_neg});
+      }
+    }
+    for (size_t start = 0; start < samples.size(); start += block) {
+      const size_t count = std::min(block, samples.size() - start);
+      grads.resize(count * 4 * d);
+      // Gradient computation reads parameters frozen for the whole
+      // block (the apply phase below is the only writer), so the
+      // ParallelFor is race-free and the grads buffer is identical
+      // regardless of how many threads fill it.
+      auto compute = [this, &samples, &grads, start, d](size_t i) {
+        ComputeGradient(samples[start + i], &grads[i * 4 * d]);
+      };
+      if (pool_ != nullptr && count > 1) {
+        pool_->ParallelFor(count, compute);
+      } else {
+        for (size_t i = 0; i < count; ++i) compute(i);
+      }
+      for (size_t i = 0; i < count; ++i) {
+        ApplyGradient(samples[start + i], &grads[i * 4 * d]);
+      }
+    }
+  }
+}
+
 void BprModel::RunEpochs(const std::vector<IdTriple>& triples,
                          size_t epochs) {
   if (triples.empty() || num_entities_ < 2) return;
@@ -97,6 +187,10 @@ void BprModel::RunEpochs(const std::vector<IdTriple>& triples,
       "nous_embed_refresh_epochs_total", "BPR epochs run across refreshes");
   refreshes->Increment();
   refresh_epochs->Increment(epochs);
+  if (config_.sgd_block > 0) {
+    RunEpochsBlocked(triples, epochs);
+    return;
+  }
   std::vector<size_t> order(triples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (size_t epoch = 0; epoch < epochs; ++epoch) {

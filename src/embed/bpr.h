@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "embed/link_predictor.h"
 
 namespace nous {
@@ -17,6 +18,16 @@ struct BprConfig {
   /// Negative objects sampled per positive per epoch.
   size_t negatives_per_positive = 1;
   uint64_t seed = 31;
+  /// SGD scheduling. 0 = classic sequential SGD (every update sees all
+  /// preceding ones — the seed behavior). >0 = deterministic block
+  /// SGD: gradients for `sgd_block` consecutive samples are computed
+  /// against parameters frozen at the block start (in parallel when a
+  /// pool is attached via set_pool), then applied in sample order.
+  /// The result is bit-identical for any pool size including none —
+  /// only the block size changes the trained model, never the thread
+  /// count. See DESIGN.md "Threading model" for why this was chosen
+  /// over hogwild.
+  size_t sgd_block = 0;
 };
 
 /// Latent-feature link prediction trained with the Bayesian
@@ -25,10 +36,16 @@ struct BprConfig {
 /// embeddings and a per-predicate diagonal interaction. Training
 /// optimizes ln sigmoid(x_pos − x_neg) by SGD over (positive, sampled
 /// negative-object) pairs. Supports incremental refresh as the dynamic
-/// KG grows.
+/// KG grows, and block-deterministic parallel refresh across a
+/// ThreadPool (BprConfig::sgd_block).
 class BprModel : public LinkPredictor {
  public:
   explicit BprModel(BprConfig config = {});
+
+  /// Attaches a worker pool used to parallelize block SGD (only
+  /// meaningful with config.sgd_block > 0). Not owned; pass null to
+  /// detach. The trained model does not depend on the pool.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Full training pass over a snapshot. Grows parameter tables to
   /// `num_entities` / `num_predicates` as needed (never shrinks).
@@ -55,13 +72,25 @@ class BprModel : public LinkPredictor {
   const BprConfig& config() const { return config_; }
 
  private:
+  /// One presampled SGD example: (subject, predicate, positive object,
+  /// corrupted object).
+  struct Sample {
+    uint32_t s, p, o_pos, o_neg;
+  };
+
   void EnsureCapacity(size_t num_entities, size_t num_predicates);
   void RunEpochs(const std::vector<IdTriple>& triples, size_t epochs);
+  void RunEpochsBlocked(const std::vector<IdTriple>& triples, size_t epochs);
   double RawScore(uint32_t s, uint32_t p, uint32_t o) const;
   void SgdStep(uint32_t s, uint32_t p, uint32_t o_pos, uint32_t o_neg);
+  /// Writes the 4 x latent_dim gradient rows (du, dv_pos, dv_neg, dw)
+  /// for `sample` into `grad`, reading current parameters only.
+  void ComputeGradient(const Sample& sample, double* grad) const;
+  void ApplyGradient(const Sample& sample, const double* grad);
 
   BprConfig config_;
   Rng rng_;
+  ThreadPool* pool_ = nullptr;  // not owned
   size_t num_entities_ = 0;
   size_t num_predicates_ = 0;
   /// Row-major [entity][dim] subject and object tables.

@@ -52,21 +52,38 @@ std::string FormatBound(double bound) { return StrFormat("%g", bound); }
 // ---------- LatencyHistogram ----------
 
 LatencyHistogram::LatencyHistogram(FixedHistogram layout)
-    : hist_(std::move(layout)) {}
+    : layout_(std::move(layout)), stripes_(new Stripe[kStripes]) {
+  layout_.Clear();
+  for (size_t i = 0; i < kStripes; ++i) stripes_[i].hist = layout_;
+}
+
+size_t LatencyHistogram::StripeIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
 
 void LatencyHistogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  hist_.Add(value);
+  Stripe& stripe = stripes_[StripeIndex()];
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.hist.Add(value);
 }
 
 FixedHistogram LatencyHistogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hist_;
+  FixedHistogram merged = layout_;
+  for (size_t i = 0; i < kStripes; ++i) {
+    std::lock_guard<std::mutex> lock(stripes_[i].mutex);
+    merged.Merge(stripes_[i].hist);
+  }
+  return merged;
 }
 
 void LatencyHistogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  hist_.Clear();
+  for (size_t i = 0; i < kStripes; ++i) {
+    std::lock_guard<std::mutex> lock(stripes_[i].mutex);
+    stripes_[i].hist.Clear();
+  }
 }
 
 // ---------- MetricsRegistry ----------

@@ -40,9 +40,15 @@ class Gauge {
   std::atomic<double> value_{0};
 };
 
-/// Thread-safe bounded-memory latency histogram: a FixedHistogram
-/// behind a mutex, so a service recording millions of observations
-/// never grows. Callers should cache the pointer returned by
+/// Thread-safe bounded-memory latency histogram, striped for
+/// multi-threaded recording: kStripes independent {mutex,
+/// FixedHistogram} shards, each cache-line aligned, with every thread
+/// pinned round-robin to one stripe. N ingest threads recording spans
+/// therefore lock N distinct mutexes instead of serializing on one.
+/// Snapshot() merges the stripes (identical bucket layouts by
+/// construction); each stripe is internally consistent but the merge
+/// is not a single atomic cut across stripes — fine for monitoring.
+/// Callers should cache the pointer returned by
 /// MetricsRegistry::GetHistogram (registration does a map lookup).
 class LatencyHistogram {
  public:
@@ -50,14 +56,26 @@ class LatencyHistogram {
 
   void Observe(double value);
 
-  /// Consistent copy of the current state.
+  /// Merged copy of the current state across all stripes.
   FixedHistogram Snapshot() const;
 
   void Reset();
 
+  /// Number of independent stripes (exposed for tests).
+  static constexpr size_t kStripes = 8;
+
  private:
-  mutable std::mutex mutex_;
-  FixedHistogram hist_;
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+    FixedHistogram hist;
+  };
+
+  /// This thread's stripe, assigned round-robin on first use.
+  static size_t StripeIndex();
+
+  /// Empty clone defining the shared bucket layout.
+  FixedHistogram layout_;
+  std::unique_ptr<Stripe[]> stripes_;
 };
 
 /// Label key/value pairs attached to one instrument, e.g.

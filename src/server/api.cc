@@ -1,6 +1,8 @@
 #include "server/api.h"
 
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -113,7 +115,12 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
   if (it == request.params.end() || it->second.empty()) {
     return JsonError(400, "missing query parameter q");
   }
-  auto answer = nous_->Ask(it->second);
+  // One shared-lock span covers execution *and* serialization, so the
+  // graph (and its string dictionaries) cannot grow underneath
+  // AnswerJson. AskUnlocked avoids re-acquiring the lock (a second
+  // shared_lock could deadlock behind a queued writer).
+  std::shared_lock<std::shared_mutex> lock(nous_->pipeline().kg_mutex());
+  auto answer = nous_->AskUnlocked(it->second);
   if (!answer.ok()) {
     return JsonError(
         answer.status().code() == StatusCode::kNotFound ? 404 : 400,
@@ -125,7 +132,10 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
 }
 
 HttpResponse NousApi::HandleStats() {
-  GraphStats stats = nous_->ComputeStats();
+  // Lock once and walk the graph directly (Nous::ComputeStats would
+  // take the same shared lock; PipelineStats needs the same guard).
+  std::shared_lock<std::shared_mutex> lock(nous_->pipeline().kg_mutex());
+  GraphStats stats = ComputeGraphStats(nous_->graph());
   const PipelineStats& ps = nous_->stats();
   JsonWriter w;
   w.BeginObject();
@@ -195,8 +205,14 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
       it != request.params.end() && !it->second.empty()) {
     source = it->second;
   }
-  size_t accepted_before = nous_->stats().accepted_triples;
+  size_t accepted_before;
+  {
+    std::shared_lock<std::shared_mutex> lock(
+        nous_->pipeline().kg_mutex());
+    accepted_before = nous_->stats().accepted_triples;
+  }
   nous_->IngestText(request.body, date, source);
+  std::shared_lock<std::shared_mutex> lock(nous_->pipeline().kg_mutex());
   JsonWriter w;
   w.BeginObject();
   w.Key("accepted");

@@ -24,16 +24,22 @@ namespace nous {
 /// provenance, trending entities, patterns, paths). Every request is
 /// counted in nous_http_requests_total{code=...} and timed into
 /// nous_http_request_latency_seconds.
+///
+/// Handle() is thread-safe: read endpoints (query, stats) hold the
+/// pipeline's shared lock for the whole read-and-serialize span, and
+/// ingest takes the exclusive side internally — so a multi-threaded
+/// HttpServer answers queries concurrently with ingestion.
 class NousApi {
  public:
-  /// `nous` must outlive the API. Ingestion mutates it; the demo
-  /// server handles requests sequentially so no locking is needed.
+  /// `nous` must outlive the API.
   explicit NousApi(Nous* nous);
 
   /// The HttpServer handler.
   HttpResponse Handle(const HttpRequest& request);
 
-  /// JSON for one executed answer (exposed for tests).
+  /// JSON for one executed answer (exposed for tests). Reads the
+  /// graph's dictionaries: when ingestion may run concurrently, hold a
+  /// std::shared_lock on nous->pipeline().kg_mutex() across the call.
   std::string AnswerJson(const Answer& answer) const;
 
  private:

@@ -128,7 +128,8 @@ std::string UrlDecode(std::string_view text) {
   return out;
 }
 
-HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+HttpServer::HttpServer(Handler handler, size_t num_threads)
+    : handler_(std::move(handler)), num_threads_(num_threads) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -155,6 +156,9 @@ Status HttpServer::Start(uint16_t port) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
   running_.store(true);
   thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -166,6 +170,9 @@ void HttpServer::Stop() {
     return;
   }
   if (thread_.joinable()) thread_.join();
+  // The pool destructor drains queued connections before returning, so
+  // every accepted request gets its response.
+  pool_.reset();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -179,8 +186,15 @@ void HttpServer::AcceptLoop() {
     if (ready <= 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    HandleConnection(fd);
-    ::close(fd);
+    if (pool_ != nullptr) {
+      pool_->Submit([this, fd] {
+        HandleConnection(fd);
+        ::close(fd);
+      });
+    } else {
+      HandleConnection(fd);
+      ::close(fd);
+    }
   }
 }
 

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace nous {
 
@@ -30,16 +32,19 @@ struct HttpResponse {
 /// Percent-decodes a URL component ('+' becomes space).
 std::string UrlDecode(std::string_view text);
 
-/// Minimal single-threaded HTTP server over POSIX sockets — the
-/// self-contained stand-in for the paper's web demo front-end
-/// (Figure 6, demo feature 4). Requests are handled sequentially on
-/// the accept thread; adequate for an interactive demo, deliberately
-/// not a production web server.
+/// Minimal HTTP server over POSIX sockets — the self-contained
+/// stand-in for the paper's web demo front-end (Figure 6, demo
+/// feature 4). With `num_threads` <= 1 requests are handled
+/// sequentially on the accept thread (the original demo behavior);
+/// with more, connections are dispatched onto a worker pool so
+/// queries are answered concurrently with ingestion — the handler
+/// must then be thread-safe (NousApi is: reads take the pipeline's
+/// shared lock). Deliberately not a production web server.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  explicit HttpServer(Handler handler);
+  explicit HttpServer(Handler handler, size_t num_threads = 0);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -49,7 +54,8 @@ class HttpServer {
   /// thread. Fails with Internal on socket errors.
   Status Start(uint16_t port);
 
-  /// Stops the accept loop and joins the thread. Idempotent.
+  /// Stops the accept loop, joins the thread, and drains any
+  /// connections still running on the worker pool. Idempotent.
   void Stop();
 
   /// The bound port (valid after a successful Start).
@@ -61,10 +67,13 @@ class HttpServer {
   void HandleConnection(int fd);
 
   Handler handler_;
+  size_t num_threads_ = 0;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread thread_;
+  /// Connection workers; null in single-threaded mode.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace nous

@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -547,6 +548,94 @@ TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
   ThreadPool pool(2);
   pool.Wait();  // must not hang
   SUCCEED();
+}
+
+// ---------- WaitGroup / multi-caller safety ----------
+
+TEST(WaitGroupTest, WaitReturnsImmediatelyWhenBalanced) {
+  WaitGroup wg;
+  wg.Wait();  // zero pending
+  wg.Add(3);
+  wg.Done(2);
+  wg.Done();
+  wg.Wait();
+  SUCCEED();
+}
+
+TEST(WaitGroupTest, SubmitWithWaitGroupTracksOnlyOwnBatch) {
+  ThreadPool pool(4);
+  WaitGroup mine;
+  std::atomic<int> my_count{0};
+  std::atomic<int> other_count{0};
+  // A slow unrelated task submitted *without* my WaitGroup: Wait() on
+  // the group must not observe it.
+  std::atomic<bool> release_other{false};
+  pool.Submit([&] {
+    while (!release_other.load()) std::this_thread::yield();
+    other_count.fetch_add(1);
+  });
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&my_count] { my_count.fetch_add(1); }, &mine);
+  }
+  mine.Wait();
+  EXPECT_EQ(my_count.load(), 32);
+  EXPECT_EQ(other_count.load(), 0);  // still parked: batches independent
+  release_other.store(true);
+  pool.Wait();
+  EXPECT_EQ(other_count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallersCoverTheirOwnRanges) {
+  // Two external threads drive ParallelFor on one shared pool at the
+  // same time. With a pool-global completion counter either caller
+  // could return early (observing the other's completions) or hang;
+  // per-batch counting makes each cover exactly its own range.
+  ThreadPool pool(4);
+  constexpr size_t kN = 5000;
+  std::vector<std::atomic<int>> hits_a(kN);
+  std::vector<std::atomic<int>> hits_b(kN);
+  std::thread caller_a([&] {
+    for (int round = 0; round < 3; ++round) {
+      pool.ParallelFor(kN, [&hits_a](size_t i) { hits_a[i].fetch_add(1); });
+    }
+  });
+  std::thread caller_b([&] {
+    for (int round = 0; round < 3; ++round) {
+      pool.ParallelFor(kN, [&hits_b](size_t i) { hits_b[i].fetch_add(1); });
+    }
+  });
+  caller_a.join();
+  caller_b.join();
+  for (auto& h : hits_a) ASSERT_EQ(h.load(), 3);
+  for (auto& h : hits_b) ASSERT_EQ(h.load(), 3);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor issued from inside a pool task must finish even when
+  // every worker is occupied by the outer batch — the caller drains
+  // its own iteration space. Exercised on a 1-thread pool, the
+  // worst case.
+  for (size_t pool_size : {1ul, 2ul, 4ul}) {
+    ThreadPool pool(pool_size);
+    std::atomic<int> inner_hits{0};
+    pool.ParallelFor(4, [&pool, &inner_hits](size_t) {
+      pool.ParallelFor(8, [&inner_hits](size_t) { inner_hits.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_hits.load(), 4 * 8);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTaskCompletes) {
+  ThreadPool pool(1);
+  WaitGroup wg;
+  std::atomic<int> hits{0};
+  pool.Submit(
+      [&pool, &hits] {
+        pool.ParallelFor(16, [&hits](size_t) { hits.fetch_add(1); });
+      },
+      &wg);
+  wg.Wait();
+  EXPECT_EQ(hits.load(), 16);
 }
 
 }  // namespace

@@ -113,6 +113,79 @@ TEST(BprTest, DeterministicForSameSeed) {
   }
 }
 
+// ---------- Block-parallel SGD (sharded BPR refresh) ----------
+
+TEST(BprTest, BlockSgdIsIdenticalForAnyPoolSize) {
+  // The contract that makes parallel pipeline ingest reproducible:
+  // with a fixed sgd_block, the trained model is bit-identical whether
+  // gradients were computed serially or across any number of pool
+  // threads.
+  auto triples = CommunityTriples(40, 5, 7);
+  BprConfig config;
+  config.epochs = 20;
+  config.sgd_block = 64;
+
+  BprModel serial(config);
+  serial.Train(triples, 40, 2);
+
+  ThreadPool pool(8);
+  BprModel parallel(config);
+  parallel.set_pool(&pool);
+  parallel.Train(triples, 40, 2);
+
+  for (const IdTriple& t : triples) {
+    ASSERT_DOUBLE_EQ(serial.Score(t[0], t[1], t[2]),
+                     parallel.Score(t[0], t[1], t[2]));
+  }
+}
+
+TEST(BprTest, BlockSgdWithBlockOneMatchesSequentialSgd) {
+  // sgd_block=1 degenerates to classic SGD: the gradient is computed
+  // from current parameters and applied immediately.
+  auto triples = CommunityTriples(30, 4, 8);
+  BprConfig sequential_config;
+  sequential_config.epochs = 10;
+  BprConfig block_config = sequential_config;
+  block_config.sgd_block = 1;
+  BprModel sequential(sequential_config), block(block_config);
+  sequential.Train(triples, 30, 2);
+  block.Train(triples, 30, 2);
+  for (const IdTriple& t : triples) {
+    ASSERT_DOUBLE_EQ(sequential.Score(t[0], t[1], t[2]),
+                     block.Score(t[0], t[1], t[2]));
+  }
+}
+
+TEST(BprTest, BlockSgdAucWithinToleranceOfSequentialTrainer) {
+  // Block gradients are stale by at most sgd_block-1 updates, so the
+  // trained model differs from the sequential trainer's — but ranking
+  // quality must hold up. This is the documented tolerance for the
+  // pipeline's sharded BPR refresh.
+  auto triples = CommunityTriples(60, 6, 3);
+  std::vector<IdTriple> train, test;
+  SplitTriples(triples, 0.8, 11, &train, &test);
+
+  BprConfig sequential_config;
+  sequential_config.epochs = 100;
+  BprModel sequential(sequential_config);
+  sequential.Train(train, 60, 2);
+  RankingMetrics sequential_metrics =
+      EvaluateRanking(sequential, test, triples, 60);
+
+  BprConfig block_config = sequential_config;
+  block_config.sgd_block = 256;
+  ThreadPool pool(4);
+  BprModel block(block_config);
+  block.set_pool(&pool);
+  block.Train(train, 60, 2);
+  RankingMetrics block_metrics = EvaluateRanking(block, test, triples, 60);
+
+  EXPECT_GT(block_metrics.auc, 0.65) << "block AUC " << block_metrics.auc;
+  EXPECT_NEAR(block_metrics.auc, sequential_metrics.auc, 0.05)
+      << "sequential " << sequential_metrics.auc << " vs block "
+      << block_metrics.auc;
+}
+
 // ---------- Baselines ----------
 
 TEST(NeighborIndexTest, BuildsUndirectedNeighborhoods) {

@@ -1,6 +1,7 @@
 #include <atomic>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -43,6 +44,56 @@ TEST(LatencyHistogramTest, ObserveAndSnapshot) {
   EXPECT_NEAR(snapshot.sum(), 0.10101, 1e-6);
   h.Reset();
   EXPECT_EQ(h.Snapshot().count(), 0u);
+}
+
+TEST(LatencyHistogramTest, StripedRecordingFromManyThreadsMergesExactly) {
+  // Recording threads land on distinct stripes (round-robin
+  // assignment); the snapshot must merge every stripe so no
+  // observation is lost and the aggregate statistics are exact.
+  LatencyHistogram h(FixedHistogram::Exponential(1e-6, 4, 14));
+  constexpr size_t kThreads = 2 * LatencyHistogram::kStripes;
+  constexpr size_t kPerThread = 5000;
+  {
+    ThreadPool pool(kThreads);
+    pool.ParallelFor(kThreads, [&h](size_t t) {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        h.Observe(1e-6 * static_cast<double>(t + 1));
+      }
+    });
+  }
+  FixedHistogram snapshot = h.Snapshot();
+  EXPECT_EQ(snapshot.count(), kThreads * kPerThread);
+  double expected_sum = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    expected_sum += kPerThread * 1e-6 * static_cast<double>(t + 1);
+  }
+  EXPECT_NEAR(snapshot.sum(), expected_sum, expected_sum * 1e-9);
+  EXPECT_NEAR(snapshot.max(), 1e-6 * kThreads, 1e-12);
+  // Reset clears every stripe, not just the calling thread's.
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count(), 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentObserveAndSnapshot) {
+  // Scrapes (Snapshot) racing with recorders must be safe and never
+  // under-count once recording quiesces.
+  LatencyHistogram h(FixedHistogram::Exponential(1e-6, 4, 14));
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      FixedHistogram s = h.Snapshot();
+      ASSERT_LE(s.count(), 8u * 2000u);
+    }
+  });
+  {
+    ThreadPool pool(8);
+    pool.ParallelFor(8, [&h](size_t) {
+      for (size_t i = 0; i < 2000; ++i) h.Observe(1e-4);
+    });
+  }
+  stop.store(true);
+  scraper.join();
+  EXPECT_EQ(h.Snapshot().count(), 8u * 2000u);
 }
 
 // ---------- MetricsRegistry ----------

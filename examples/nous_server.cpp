@@ -11,8 +11,9 @@
 // then open http://127.0.0.1:<port>/ — or hit the JSON API:
 //   curl 'http://127.0.0.1:8080/api/query?q=tell+me+about+DJI'
 //   curl 'http://127.0.0.1:8080/api/stats'
-//   curl -X POST --data 'DJI acquired SkyWard Labs.' \
+//   curl -X POST --data 'DJI acquired SkyWard Labs.'
 //        'http://127.0.0.1:8080/api/ingest?source=curl&year=2016'
+//   (join the two curl lines into one command)
 
 #include <csignal>
 #include <cstdlib>

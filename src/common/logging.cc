@@ -1,7 +1,8 @@
 #include "common/logging.h"
 
 #include <atomic>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace nous {
 namespace {
@@ -17,9 +18,12 @@ int InitialLogLevel() {
 
 std::atomic<int> g_log_level{InitialLogLevel()};
 
-// Serializes whole lines so concurrent threads do not interleave output.
-std::mutex& LogMutex() {
-  static std::mutex* mutex = new std::mutex;
+// Serializes whole lines so concurrent threads do not interleave
+// output. The guarded resource is stderr itself, which no annotation
+// can name.
+AnnotatedMutex& LogMutex() {
+  // lint: new-ok(leaked singleton: loggable during static destruction)
+  static AnnotatedMutex* mutex = new AnnotatedMutex;
   return *mutex;
 }
 
@@ -71,7 +75,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   std::cerr << stream_.str() << "\n";
 }
 
@@ -82,7 +86,7 @@ CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
 
 CheckFailure::~CheckFailure() {
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::cerr << stream_.str() << std::endl;
   }
   std::abort();

@@ -9,20 +9,23 @@
 namespace nous {
 
 void WaitGroup::Add(size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   pending_ += n;
 }
 
 void WaitGroup::Done(size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   NOUS_CHECK(pending_ >= n) << "WaitGroup::Done without matching Add";
   pending_ -= n;
   if (pending_ == 0) done_.notify_all();
 }
 
 void WaitGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [this] { return pending_ == 0; });
+  // Explicit predicate loop (not a wait lambda): the thread-safety
+  // analysis cannot see the capability inside a lambda body, but it
+  // can here.
+  UniqueLock lock(mutex_);
+  while (pending_ != 0) done_.wait(lock.std_lock());
 }
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -35,7 +38,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   task_available_.notify_all();
@@ -52,7 +55,7 @@ void ThreadPool::Submit(std::function<void()> task, WaitGroup* wait_group) {
     };
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -60,8 +63,8 @@ void ThreadPool::Submit(std::function<void()> task, WaitGroup* wait_group) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.wait(lock.std_lock());
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -98,9 +101,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!shutdown_ && tasks_.empty()) {
+        task_available_.wait(lock.std_lock());
+      }
       if (tasks_.empty()) {
         if (shutdown_) return;
         continue;
@@ -110,7 +114,7 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

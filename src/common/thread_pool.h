@@ -4,10 +4,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace nous {
 
@@ -35,9 +36,9 @@ class WaitGroup {
   void Wait();
 
  private:
-  std::mutex mutex_;
+  AnnotatedMutex mutex_;
   std::condition_variable done_;
-  size_t pending_ = 0;
+  size_t pending_ GUARDED_BY(mutex_) = 0;
 };
 
 /// Fixed-size worker pool. Stands in for the distributed workers of the
@@ -80,13 +81,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Immutable after construction (each worker only reads its own
+  /// entry at join time), so reads need no lock.
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  AnnotatedMutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace nous

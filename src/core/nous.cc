@@ -1,8 +1,8 @@
 #include "core/nous.h"
 
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace nous {
 
@@ -36,12 +36,12 @@ void Nous::IngestText(const std::string& text, const Date& date,
 void Nous::Finalize() { pipeline_.Finalize(); }
 
 Result<Answer> Nous::Ask(const std::string& question) {
-  std::shared_lock<std::shared_mutex> lock(pipeline_.kg_mutex());
+  ReaderMutexLock lock(kg_mutex());
   return AskUnlocked(question);
 }
 
 Result<Answer> Nous::Execute(const Query& query) {
-  std::shared_lock<std::shared_mutex> lock(pipeline_.kg_mutex());
+  ReaderMutexLock lock(kg_mutex());
   return ExecuteUnlocked(query);
 }
 
@@ -58,7 +58,7 @@ Result<Answer> Nous::ExecuteUnlocked(const Query& query) const {
 }
 
 GraphStats Nous::ComputeStats() const {
-  std::shared_lock<std::shared_mutex> lock(pipeline_.kg_mutex());
+  ReaderMutexLock lock(kg_mutex());
   return ComputeGraphStats(graph());
 }
 

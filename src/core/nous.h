@@ -32,43 +32,63 @@ class Nous {
   explicit Nous(const CuratedKb* kb, Options options = {});
 
   /// Feeds one article through the construction pipeline.
-  void Ingest(const Article& article);
+  void Ingest(const Article& article) EXCLUDES(kg_mutex());
 
   /// Drains a document stream, optionally finalizing afterwards.
   /// Articles are ingested in batches (KgPipeline::IngestBatch) so
   /// extraction fans out across the pipeline's worker pool; the fused
   /// KG is identical to one-at-a-time ingestion.
-  void IngestStream(DocumentStream* stream, bool finalize = true);
+  void IngestStream(DocumentStream* stream, bool finalize = true)
+      EXCLUDES(kg_mutex());
 
   /// Ad-hoc text ingestion.
   void IngestText(const std::string& text, const Date& date,
-                  const std::string& source);
+                  const std::string& source) EXCLUDES(kg_mutex());
 
   /// Fits topics + final confidence refresh. Idempotent-ish: may be
   /// called again after more ingestion.
-  void Finalize();
+  void Finalize() EXCLUDES(kg_mutex());
 
   /// Parses and executes a natural-language-like query (Figure 5).
   /// Takes the pipeline's read lock, so queries are safe to run while
   /// another thread ingests.
-  Result<Answer> Ask(const std::string& question);
+  Result<Answer> Ask(const std::string& question) EXCLUDES(kg_mutex());
 
   /// Executes a pre-built structured query. Read-locks like Ask().
-  Result<Answer> Execute(const Query& query);
+  Result<Answer> Execute(const Query& query) EXCLUDES(kg_mutex());
 
-  /// Variants for callers that already hold a std::shared_lock on
-  /// pipeline().kg_mutex() — e.g. the HTTP API, which serializes the
-  /// answer under the same lock. Calling Ask()/Execute() while holding
-  /// the lock would self-deadlock against a queued writer.
-  Result<Answer> AskUnlocked(const std::string& question) const;
-  Result<Answer> ExecuteUnlocked(const Query& query) const;
+  /// Variants for callers that already hold a ReaderMutexLock on
+  /// kg_mutex() — e.g. the HTTP API, which serializes the answer under
+  /// the same lock. Calling Ask()/Execute() while holding the lock
+  /// would self-deadlock against a queued writer; the REQUIRES_SHARED
+  /// annotations make either mistake (no lock, or double lock) a
+  /// compile error under Clang.
+  Result<Answer> AskUnlocked(const std::string& question) const
+      REQUIRES_SHARED(kg_mutex());
+  Result<Answer> ExecuteUnlocked(const Query& query) const
+      REQUIRES_SHARED(kg_mutex());
 
-  const PropertyGraph& graph() const { return pipeline_.graph(); }
-  const PipelineStats& stats() const { return pipeline_.stats(); }
+  /// The pipeline's reader/writer lock, re-exported so lock-aware
+  /// callers (HTTP API) can name one capability for both objects:
+  /// RETURN_CAPABILITY aliases `nous.kg_mutex()` to the pipeline's
+  /// underlying mutex member.
+  AnnotatedSharedMutex& kg_mutex() const
+      RETURN_CAPABILITY(pipeline_.kg_mutex()) {
+    return pipeline_.kg_mutex();
+  }
+
+  const PropertyGraph& graph() const REQUIRES_SHARED(kg_mutex()) {
+    return pipeline_.graph();
+  }
+  const PipelineStats& stats() const REQUIRES_SHARED(kg_mutex()) {
+    return pipeline_.stats();
+  }
   /// Read-locks the pipeline while walking the graph.
-  GraphStats ComputeStats() const;
+  GraphStats ComputeStats() const EXCLUDES(kg_mutex());
   KgPipeline& pipeline() { return pipeline_; }
-  const StreamingMiner* miner() const { return pipeline_.miner(); }
+  const StreamingMiner* miner() const REQUIRES_SHARED(kg_mutex()) {
+    return pipeline_.miner();
+  }
 
  private:
   Options options_;

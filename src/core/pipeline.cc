@@ -1,7 +1,6 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
-#include <mutex>
 #include <set>
 #include <thread>
 
@@ -124,6 +123,8 @@ KgPipeline::KgPipeline(const CuratedKb* kb, PipelineConfig config)
         if (b.sgd_block == 0) b.sgd_block = config.bpr_sgd_block;
         return b;
       }()) {
+  // No lock here: the object is not yet shared, and the thread-safety
+  // analysis treats constructors as NO_THREAD_SAFETY_ANALYSIS.
   size_t threads = config_.num_threads != 0
                        ? config_.num_threads
                        : static_cast<size_t>(
@@ -212,7 +213,7 @@ std::string KgPipeline::VertexTypeName(VertexId v) const {
 
 void KgPipeline::Ingest(const Article& article) {
   ExtractedDoc doc = ExtractDocument(article);
-  std::unique_lock<std::shared_mutex> lock(kg_mutex_);
+  WriterMutexLock lock(kg_mutex_);
   CommitDocument(article, std::move(doc));
 }
 
@@ -232,7 +233,7 @@ void KgPipeline::IngestBatch(const Article* articles, size_t count) {
       docs[i] = ExtractDocument(articles[i]);
     }
   }
-  std::unique_lock<std::shared_mutex> lock(kg_mutex_);
+  WriterMutexLock lock(kg_mutex_);
   for (size_t i = 0; i < count; ++i) {
     CommitDocument(articles[i], std::move(docs[i]));
   }
@@ -489,18 +490,22 @@ void KgPipeline::RefreshBpr(size_t epochs) {
 }
 
 void KgPipeline::Finalize() {
-  std::unique_lock<std::shared_mutex> lock(kg_mutex_);
+  WriterMutexLock lock(kg_mutex_);
   if (config_.enable_link_prediction) {
     RefreshBpr(config_.bpr.epochs);
     // Rescore extracted edges with the final model (dynamic-KG
-    // confidence maintenance).
+    // confidence maintenance). The thread-safety analysis cannot see
+    // held capabilities inside a lambda body, so the rescore callback
+    // opts out; it runs strictly under the WriterMutexLock above.
     const double w = config_.bpr_rescore_weight;
-    graph_.ForEachEdge([this, w](EdgeId e, const EdgeRecord& rec) {
-      if (rec.meta.curated) return;
-      double prior = bpr_.Score(rec.subject, rec.predicate, rec.object);
-      double rescored = rec.meta.confidence * (1.0 - w) + prior * w;
-      graph_.SetEdgeConfidence(e, std::clamp(rescored, 0.0, 1.0));
-    });
+    graph_.ForEachEdge(
+        [this, w](EdgeId e, const EdgeRecord& rec) NO_THREAD_SAFETY_ANALYSIS {
+          if (rec.meta.curated) return;
+          double prior =
+              bpr_.Score(rec.subject, rec.predicate, rec.object);
+          double rescored = rec.meta.confidence * (1.0 - w) + prior * w;
+          graph_.SetEdgeConfidence(e, std::clamp(rescored, 0.0, 1.0));
+        });
   }
   lda_ = std::make_unique<LdaModel>(
       AssignVertexTopics(&graph_, config_.lda));

@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "corpus/article_generator.h"
 #include "embed/bpr.h"
@@ -132,49 +132,71 @@ class KgPipeline {
   /// Ingests one article: extraction, joint linking, predicate
   /// mapping, confidence scoring, KG + miner-window update, distant
   /// supervision. Takes the write lock for the post-extraction stages.
-  void Ingest(const Article& article);
+  void Ingest(const Article& article) EXCLUDES(kg_mutex_);
 
   /// Ingests a batch: extraction runs across the pool (pure,
   /// per-document), then link -> map -> score -> update commits
   /// sequentially in array order under one write-lock acquisition.
   /// Equivalent to calling Ingest() on each article in order.
-  void IngestBatch(const Article* articles, size_t count);
-  void IngestBatch(const std::vector<Article>& articles) {
+  void IngestBatch(const Article* articles, size_t count)
+      EXCLUDES(kg_mutex_);
+  void IngestBatch(const std::vector<Article>& articles)
+      EXCLUDES(kg_mutex_) {
     IngestBatch(articles.data(), articles.size());
   }
 
   /// Convenience for ad-hoc text.
   void IngestText(const std::string& text, const Date& date,
-                  const std::string& source);
+                  const std::string& source) EXCLUDES(kg_mutex_);
 
   /// Fits LDA topics over the fused KG and runs a final BPR refresh.
   /// Call once after the stream (or periodically).
-  void Finalize();
+  void Finalize() EXCLUDES(kg_mutex_);
 
   /// Reader/writer lock over the fused KG, miner state, and models.
   /// Ingest/Finalize acquire it exclusively; concurrent readers
   /// (query execution, stats, serialization) must hold a
-  /// std::shared_lock while touching graph()/miner()/stats().
-  /// Single-threaded callers may ignore it.
-  std::shared_mutex& kg_mutex() const { return kg_mutex_; }
+  /// ReaderMutexLock while touching graph()/miner()/stats().
+  /// RETURN_CAPABILITY makes `pipeline.kg_mutex()` and the member
+  /// `kg_mutex_` the same capability to the thread-safety analysis, so
+  /// locks taken through the accessor satisfy REQUIRES(kg_mutex_)
+  /// declarations (and vice versa).
+  AnnotatedSharedMutex& kg_mutex() const RETURN_CAPABILITY(kg_mutex_) {
+    return kg_mutex_;
+  }
 
   /// Worker pool shared by extraction and the BPR refresh; null when
-  /// the pipeline resolved to one thread.
+  /// the pipeline resolved to one thread. The pool itself is
+  /// internally synchronized; the pointer is immutable after
+  /// construction.
   ThreadPool* pool() { return pool_.get(); }
 
-  PropertyGraph& graph() { return graph_; }
-  const PropertyGraph& graph() const { return graph_; }
-  StreamingMiner* miner() { return miner_.get(); }
-  const StreamingMiner* miner() const { return miner_.get(); }
+  PropertyGraph& graph() REQUIRES(kg_mutex_) { return graph_; }
+  const PropertyGraph& graph() const REQUIRES_SHARED(kg_mutex_) {
+    return graph_;
+  }
+  StreamingMiner* miner() REQUIRES(kg_mutex_) { return miner_.get(); }
+  const StreamingMiner* miner() const REQUIRES_SHARED(kg_mutex_) {
+    return miner_.get();
+  }
   /// The graph the miner watches; its dictionaries resolve pattern
   /// ids (distinct from the fused KG's dictionaries).
-  const PropertyGraph* miner_graph() const { return &window_graph_; }
-  EntityLinker& linker() { return linker_; }
-  PredicateMapper& mapper() { return mapper_; }
-  BprModel& bpr() { return bpr_; }
-  const SourceTrustTracker& source_trust() const { return trust_; }
-  const LdaModel* lda() const { return lda_.get(); }
-  const PipelineStats& stats() const { return stats_; }
+  const PropertyGraph* miner_graph() const REQUIRES_SHARED(kg_mutex_) {
+    return &window_graph_;
+  }
+  EntityLinker& linker() REQUIRES(kg_mutex_) { return linker_; }
+  PredicateMapper& mapper() REQUIRES(kg_mutex_) { return mapper_; }
+  BprModel& bpr() REQUIRES(kg_mutex_) { return bpr_; }
+  const SourceTrustTracker& source_trust() const
+      REQUIRES_SHARED(kg_mutex_) {
+    return trust_;
+  }
+  const LdaModel* lda() const REQUIRES_SHARED(kg_mutex_) {
+    return lda_.get();
+  }
+  const PipelineStats& stats() const REQUIRES_SHARED(kg_mutex_) {
+    return stats_;
+  }
   const PipelineConfig& config() const { return config_; }
   const Lexicon& lexicon() const { return lexicon_; }
   const Ner& ner() const { return ner_; }
@@ -190,50 +212,57 @@ class KgPipeline {
     double extract_seconds = 0;
   };
 
-  void LoadCuratedKb();
-  std::string VertexTypeName(VertexId v) const;
-  void RefreshBpr(size_t epochs);
+  void LoadCuratedKb() REQUIRES(kg_mutex_);
+  std::string VertexTypeName(VertexId v) const REQUIRES_SHARED(kg_mutex_);
+  void RefreshBpr(size_t epochs) REQUIRES(kg_mutex_);
   /// Stage 1 (extraction + document bag): reads only immutable models
-  /// (lexicon, NER, SRL), safe to run from pool threads.
+  /// (lexicon, NER, SRL), safe to run from pool threads with no lock.
   ExtractedDoc ExtractDocument(const Article& article) const;
   /// Stages 2-7 (link -> map -> score -> KG/miner update -> periodic
   /// BPR refresh); caller must hold kg_mutex_ exclusively.
-  void CommitDocument(const Article& article, ExtractedDoc&& doc);
+  void CommitDocument(const Article& article, ExtractedDoc&& doc)
+      REQUIRES(kg_mutex_);
 
+  /// Immutable after construction.
   PipelineConfig config_;
-  const CuratedKb* kb_;  // not owned
+  const CuratedKb* kb_;  // not owned; immutable after construction
 
-  mutable std::shared_mutex kg_mutex_;
-  std::unique_ptr<ThreadPool> pool_;
+  mutable AnnotatedSharedMutex kg_mutex_;
+  /// Internally synchronized; the pointer never changes after
+  /// construction.
+  std::unique_ptr<ThreadPool> pool_;  // lint: unguarded(see above)
 
-  PropertyGraph graph_;  // the fused, ever-growing KG
+  PropertyGraph graph_ GUARDED_BY(kg_mutex_);  // the fused KG
   /// Mirror graph holding the miner's sliding window (curated base +
   /// recent stream).
-  PropertyGraph window_graph_;
-  std::unique_ptr<TemporalWindow> window_;
-  std::unique_ptr<StreamingMiner> miner_;
+  PropertyGraph window_graph_ GUARDED_BY(kg_mutex_);
+  std::unique_ptr<TemporalWindow> window_ GUARDED_BY(kg_mutex_);
+  std::unique_ptr<StreamingMiner> miner_ GUARDED_BY(kg_mutex_);
 
-  Lexicon lexicon_;
-  Ner ner_;
-  SrlExtractor srl_;
-  EntityLinker linker_;
-  PredicateMapper mapper_;
-  DistantSupervisionTrainer ds_trainer_;
-  BprModel bpr_;
-  std::unique_ptr<LdaModel> lda_;
-  SourceTrustTracker trust_;
+  /// Read-only extraction models: initialized in the constructor, then
+  /// only read (including from pool threads during batch extraction).
+  Lexicon lexicon_;             // lint: unguarded(immutable after ctor)
+  Ner ner_;                     // lint: unguarded(immutable after ctor)
+  SrlExtractor srl_;            // lint: unguarded(immutable after ctor)
+
+  EntityLinker linker_ GUARDED_BY(kg_mutex_);
+  PredicateMapper mapper_ GUARDED_BY(kg_mutex_);
+  DistantSupervisionTrainer ds_trainer_ GUARDED_BY(kg_mutex_);
+  BprModel bpr_ GUARDED_BY(kg_mutex_);
+  std::unique_ptr<LdaModel> lda_ GUARDED_BY(kg_mutex_);
+  SourceTrustTracker trust_ GUARDED_BY(kg_mutex_);
 
   /// (subject, object) -> curated predicates, for distant supervision.
   std::unordered_map<std::pair<VertexId, VertexId>,
                      std::vector<std::string>, PairHash>
-      curated_pairs_;
-  std::vector<IdTriple> accepted_ids_;
-  size_t docs_since_refresh_ = 0;
+      curated_pairs_ GUARDED_BY(kg_mutex_);
+  std::vector<IdTriple> accepted_ids_ GUARDED_BY(kg_mutex_);
+  size_t docs_since_refresh_ GUARDED_BY(kg_mutex_) = 0;
   /// Ids for ad-hoc IngestText articles; atomic so concurrent HTTP
   /// ingest callers get distinct ids without taking the write lock
   /// early.
   std::atomic<size_t> adhoc_counter_{0};
-  PipelineStats stats_;
+  PipelineStats stats_ GUARDED_BY(kg_mutex_);
 };
 
 }  // namespace nous

@@ -21,6 +21,7 @@ struct SentenceTemplate {
 /// default lexicon so the extraction pipeline has a fair shot.
 const std::vector<SentenceTemplate>& TemplatesFor(
     const std::string& predicate) {
+  // lint: new-ok(leaked function-local static; no destruction-order risk)
   static const auto* kMap = new std::unordered_map<
       std::string, std::vector<SentenceTemplate>>{
       {"acquired",

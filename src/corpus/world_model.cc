@@ -92,6 +92,7 @@ const char* kSectors[] = {"consumer", "military", "delivery",
 
 const std::unordered_map<std::string, std::vector<std::string>>&
 SectorVocabulary() {
+  // lint: new-ok(leaked function-local static; no destruction-order risk)
   static const auto* kVocab =
       new std::unordered_map<std::string, std::vector<std::string>>{
           {"consumer",

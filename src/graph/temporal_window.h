@@ -26,6 +26,11 @@ class WindowListener {
 /// (`max_edges`) or by timestamp horizon. The wrapped graph holds the
 /// union of the curated KB (never expired; inserted directly into the
 /// graph) and the windowed extracted stream.
+///
+/// Concurrency: externally synchronized, like the listeners it
+/// notifies. KgPipeline mutates it (and the wrapped window graph)
+/// only under the exclusive side of `kg_mutex()` (`window_` is
+/// GUARDED_BY in pipeline.h).
 class TemporalWindow {
  public:
   /// `max_edges` == 0 disables count-based expiry.

@@ -28,6 +28,13 @@ namespace nous {
 /// Frequent and closed-frequent pattern sets are computed on demand
 /// from the maintained counts. Baselines (gspan.h, arabesque_sim.h)
 /// recompute from scratch per window for the E4 speedup comparison.
+///
+/// Concurrency: externally synchronized. The miner keeps no internal
+/// locks; KgPipeline owns it behind `kg_mutex()` (`miner_` is
+/// GUARDED_BY in pipeline.h) — updates arrive under the exclusive
+/// side, reads (FrequentPatterns, query serving) under the shared
+/// side. Standalone users need the same discipline or a single
+/// thread.
 class StreamingMiner : public WindowListener {
  public:
   explicit StreamingMiner(MinerConfig config);

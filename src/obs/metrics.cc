@@ -52,9 +52,10 @@ std::string FormatBound(double bound) { return StrFormat("%g", bound); }
 // ---------- LatencyHistogram ----------
 
 LatencyHistogram::LatencyHistogram(FixedHistogram layout)
-    : layout_(std::move(layout)), stripes_(new Stripe[kStripes]) {
+    : layout_(std::move(layout)),
+      stripes_(std::make_unique<Stripe[]>(kStripes)) {
   layout_.Clear();
-  for (size_t i = 0; i < kStripes; ++i) stripes_[i].hist = layout_;
+  for (size_t i = 0; i < kStripes; ++i) stripes_[i].Init(layout_);
 }
 
 size_t LatencyHistogram::StripeIndex() {
@@ -65,25 +66,17 @@ size_t LatencyHistogram::StripeIndex() {
 }
 
 void LatencyHistogram::Observe(double value) {
-  Stripe& stripe = stripes_[StripeIndex()];
-  std::lock_guard<std::mutex> lock(stripe.mutex);
-  stripe.hist.Add(value);
+  stripes_[StripeIndex()].Add(value);
 }
 
 FixedHistogram LatencyHistogram::Snapshot() const {
   FixedHistogram merged = layout_;
-  for (size_t i = 0; i < kStripes; ++i) {
-    std::lock_guard<std::mutex> lock(stripes_[i].mutex);
-    merged.Merge(stripes_[i].hist);
-  }
+  for (size_t i = 0; i < kStripes; ++i) stripes_[i].MergeInto(&merged);
   return merged;
 }
 
 void LatencyHistogram::Reset() {
-  for (size_t i = 0; i < kStripes; ++i) {
-    std::lock_guard<std::mutex> lock(stripes_[i].mutex);
-    stripes_[i].hist.Clear();
-  }
+  for (size_t i = 0; i < kStripes; ++i) stripes_[i].Clear();
 }
 
 // ---------- MetricsRegistry ----------
@@ -91,6 +84,7 @@ void LatencyHistogram::Reset() {
 MetricsRegistry& MetricsRegistry::Global() {
   // Leaked intentionally: instrumented code may record during static
   // destruction.
+  // lint: new-ok(leaked singleton: recordable during static destruction)
   static MetricsRegistry* registry = new MetricsRegistry;
   return *registry;
 }
@@ -133,7 +127,7 @@ MetricsRegistry::Instrument* MetricsRegistry::GetInstrumentLocked(
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help,
                                      const MetricLabels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family* family = GetFamilyLocked(name, help, Type::kCounter);
   Instrument* instrument = GetInstrumentLocked(family, labels);
   if (instrument->counter == nullptr) {
@@ -145,7 +139,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help,
                                  const MetricLabels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family* family = GetFamilyLocked(name, help, Type::kGauge);
   Instrument* instrument = GetInstrumentLocked(family, labels);
   if (instrument->gauge == nullptr) {
@@ -157,7 +151,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 LatencyHistogram* MetricsRegistry::GetHistogram(
     const std::string& name, const std::string& help,
     std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family* family = GetFamilyLocked(name, help, Type::kHistogram);
   Instrument* instrument = GetInstrumentLocked(family, {});
   if (instrument->histogram == nullptr) {
@@ -169,7 +163,7 @@ LatencyHistogram* MetricsRegistry::GetHistogram(
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& family : families_) {
     if (!family->help.empty()) {
@@ -228,7 +222,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 
 std::vector<MetricsRegistry::CounterRow> MetricsRegistry::CounterRows()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<CounterRow> rows;
   for (const auto& family : families_) {
     if (family->type != Type::kCounter) continue;
@@ -241,7 +235,7 @@ std::vector<MetricsRegistry::CounterRow> MetricsRegistry::CounterRows()
 }
 
 std::vector<MetricsRegistry::GaugeRow> MetricsRegistry::GaugeRows() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<GaugeRow> rows;
   for (const auto& family : families_) {
     if (family->type != Type::kGauge) continue;
@@ -255,7 +249,7 @@ std::vector<MetricsRegistry::GaugeRow> MetricsRegistry::GaugeRows() const {
 
 std::vector<MetricsRegistry::HistogramRow> MetricsRegistry::HistogramRows()
     const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<HistogramRow> rows;
   for (const auto& family : families_) {
     if (family->type != Type::kHistogram) continue;
@@ -272,7 +266,7 @@ std::vector<MetricsRegistry::HistogramRow> MetricsRegistry::HistogramRows()
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& family : families_) {
     for (const auto& instrument : family->instruments) {
       if (instrument->counter != nullptr) instrument->counter->Reset();

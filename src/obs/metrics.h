@@ -5,13 +5,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 
 namespace nous {
 
@@ -65,9 +65,28 @@ class LatencyHistogram {
   static constexpr size_t kStripes = 8;
 
  private:
+  /// One shard. All histogram access goes through the methods so every
+  /// guarded touch of `hist` is visibly under `mutex`.
   struct alignas(64) Stripe {
-    mutable std::mutex mutex;
-    FixedHistogram hist;
+    mutable AnnotatedMutex mutex;
+    FixedHistogram hist GUARDED_BY(mutex);
+
+    void Init(const FixedHistogram& layout) EXCLUDES(mutex) {
+      MutexLock lock(mutex);
+      hist = layout;
+    }
+    void Add(double value) EXCLUDES(mutex) {
+      MutexLock lock(mutex);
+      hist.Add(value);
+    }
+    void MergeInto(FixedHistogram* out) const EXCLUDES(mutex) {
+      MutexLock lock(mutex);
+      out->Merge(hist);
+    }
+    void Clear() EXCLUDES(mutex) {
+      MutexLock lock(mutex);
+      hist.Clear();
+    }
   };
 
   /// This thread's stripe, assigned round-robin on first use.
@@ -169,12 +188,17 @@ class MetricsRegistry {
   };
 
   Family* GetFamilyLocked(const std::string& name, const std::string& help,
-                          Type type);
-  Instrument* GetInstrumentLocked(Family* family, const MetricLabels& labels);
+                          Type type) REQUIRES(mutex_);
+  Instrument* GetInstrumentLocked(Family* family, const MetricLabels& labels)
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Family>> families_;  // insertion order
-  std::unordered_map<std::string, size_t> family_index_;
+  mutable AnnotatedMutex mutex_;
+  /// Families in insertion order. The vector and index are guarded;
+  /// the Counter/Gauge/LatencyHistogram instruments hanging off them
+  /// are internally thread-safe, which is what lets Get* hand out raw
+  /// pointers that outlive the lock.
+  std::vector<std::unique_ptr<Family>> families_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, size_t> family_index_ GUARDED_BY(mutex_);
 };
 
 }  // namespace nous

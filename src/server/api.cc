@@ -1,10 +1,9 @@
 #include "server/api.h"
 
 #include <cstdlib>
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/string_util.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/json_writer.h"
@@ -119,7 +118,7 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
   // graph (and its string dictionaries) cannot grow underneath
   // AnswerJson. AskUnlocked avoids re-acquiring the lock (a second
   // shared_lock could deadlock behind a queued writer).
-  std::shared_lock<std::shared_mutex> lock(nous_->pipeline().kg_mutex());
+  ReaderMutexLock lock(nous_->kg_mutex());
   auto answer = nous_->AskUnlocked(it->second);
   if (!answer.ok()) {
     return JsonError(
@@ -134,7 +133,7 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
 HttpResponse NousApi::HandleStats() {
   // Lock once and walk the graph directly (Nous::ComputeStats would
   // take the same shared lock; PipelineStats needs the same guard).
-  std::shared_lock<std::shared_mutex> lock(nous_->pipeline().kg_mutex());
+  ReaderMutexLock lock(nous_->kg_mutex());
   GraphStats stats = ComputeGraphStats(nous_->graph());
   const PipelineStats& ps = nous_->stats();
   JsonWriter w;
@@ -207,12 +206,11 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
   }
   size_t accepted_before;
   {
-    std::shared_lock<std::shared_mutex> lock(
-        nous_->pipeline().kg_mutex());
+    ReaderMutexLock lock(nous_->kg_mutex());
     accepted_before = nous_->stats().accepted_triples;
   }
   nous_->IngestText(request.body, date, source);
-  std::shared_lock<std::shared_mutex> lock(nous_->pipeline().kg_mutex());
+  ReaderMutexLock lock(nous_->kg_mutex());
   JsonWriter w;
   w.BeginObject();
   w.Key("accepted");

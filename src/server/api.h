@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/thread_annotations.h"
 #include "core/nous.h"
 #include "server/http_server.h"
 
@@ -38,9 +39,10 @@ class NousApi {
   HttpResponse Handle(const HttpRequest& request);
 
   /// JSON for one executed answer (exposed for tests). Reads the
-  /// graph's dictionaries: when ingestion may run concurrently, hold a
-  /// std::shared_lock on nous->pipeline().kg_mutex() across the call.
-  std::string AnswerJson(const Answer& answer) const;
+  /// graph's dictionaries: callers must hold a ReaderMutexLock on
+  /// nous->kg_mutex() across the call (compile-enforced under Clang).
+  std::string AnswerJson(const Answer& answer) const
+      REQUIRES_SHARED(nous_->kg_mutex());
 
  private:
   HttpResponse HandleQuery(const HttpRequest& request);

@@ -10,6 +10,7 @@ namespace nous {
 namespace {
 
 const std::unordered_set<std::string>& Abbreviations() {
+  // lint: new-ok(leaked function-local static; no destruction-order risk)
   static const auto* kSet = new std::unordered_set<std::string>{
       "mr", "ms", "mrs", "dr", "prof", "inc", "corp", "co", "ltd",
       "jr", "sr", "st", "vs", "etc", "fig", "dept", "est", "approx",

@@ -121,7 +121,9 @@ TEST_F(NousFixture, EntityQueryAfterIngestion) {
   bool seen_extracted = false;
   for (const FactLine& f : answer->facts) {
     if (!f.curated) seen_extracted = true;
-    if (f.curated) EXPECT_FALSE(seen_extracted);
+    if (f.curated) {
+      EXPECT_FALSE(seen_extracted);
+    }
   }
 }
 

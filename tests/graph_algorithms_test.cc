@@ -67,7 +67,9 @@ TEST(PageRankTest, SumsToOneAndFavorsSinks) {
   for (double r : rank) sum += r;
   EXPECT_NEAR(sum, 1.0, 1e-6);
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    if (v != hub) EXPECT_GT(rank[hub], rank[v]);
+    if (v != hub) {
+      EXPECT_GT(rank[hub], rank[v]);
+    }
   }
 }
 

@@ -68,7 +68,9 @@ TEST_P(TextPropertyTest, TokensAndSentencesWellFormed) {
       for (size_t i = 0; i < tokens.size(); ++i) {
         EXPECT_FALSE(tokens[i].text.empty());
         EXPECT_EQ(tokens[i].lower, ToLower(tokens[i].text));
-        if (i > 0) EXPECT_FALSE(tokens[i].sentence_initial);
+        if (i > 0) {
+          EXPECT_FALSE(tokens[i].sentence_initial);
+        }
       }
     }
     // Splitting loses only whitespace between sentences.

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""NOUS invariant linter: repo-specific rules the compilers can't check.
+
+Scans src/ and reports violations of the project's locking and
+hygiene contracts (DESIGN.md "Static analysis & locking contracts"):
+
+  R1 guarded-mutex    Every mutex member must have at least one member
+                      GUARDED_BY it in the same file, or carry a
+                      `// lint: unguarded(reason)` suppression: a mutex
+                      that guards nothing is either dead or (worse)
+                      guarding something the annotations don't know
+                      about.
+  R2 annotated-mutex  Outside src/common, mutex members must be the
+                      annotated wrappers (AnnotatedMutex /
+                      AnnotatedSharedMutex), never raw std::mutex /
+                      std::shared_mutex, so Clang's thread-safety
+                      analysis sees every lock in the system.
+  R3 no-naked-new     No naked `new` / `delete` expressions outside
+                      src/common (smart pointers and containers only).
+                      Leaky singletons are suppressed with
+                      `// lint: new-ok(reason)`.
+  R4 unlocked-suffix  Every method named *Unlocked or *Locked (the
+                      caller-must-hold-the-lock convention) must
+                      declare REQUIRES(...) or REQUIRES_SHARED(...).
+  R5 no-cout          No std::cout in src/: library code logs through
+                      common/logging.h, binaries write to an explicit
+                      stream. Suppress with `// lint: cout-ok(reason)`.
+  R6 include-guard    Every header under src/ has an include guard
+                      named NOUS_<RELATIVE_PATH>_H_.
+
+Suppression comments must name a reason; empty parentheses do not
+count. Exit status is the number of violations (capped at 125).
+
+Usage: tools/nous_lint.py [--root DIR]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+MUTEX_TYPES = r"(?:std::mutex|std::shared_mutex|std::recursive_mutex|" \
+              r"std::timed_mutex|AnnotatedMutex|AnnotatedSharedMutex)"
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(" + MUTEX_TYPES + r")\s+(\w+)\s*;")
+RAW_MUTEX_TYPES = ("std::mutex", "std::shared_mutex",
+                   "std::recursive_mutex", "std::timed_mutex")
+NEW_RE = re.compile(r"(?<![\w.>])new\b(?!\s*\()")
+DELETE_RE = re.compile(r"(?<![\w.>])delete(?:\s*\[\s*\])?\s+[\w*(]")
+SUFFIX_DECL_RE = re.compile(r"\b(\w+(?:Unlocked|Locked))\s*\(")
+GUARD_TOKEN_RE = re.compile(r"[^A-Za-z0-9]")
+
+SUPPRESS_RE = {
+    "unguarded": re.compile(r"//\s*lint:\s*unguarded\(\s*[^)\s][^)]*\)"),
+    "new-ok": re.compile(r"//\s*lint:\s*new-ok\(\s*[^)\s][^)]*\)"),
+    "cout-ok": re.compile(r"//\s*lint:\s*cout-ok\(\s*[^)\s][^)]*\)"),
+}
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving line
+    structure so reported line numbers match the file."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal: R"delim( ... )delim"
+                m = re.match(r'R"([^(\s\\]{0,16})\(', text[i - 1:i + 20]) \
+                    if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    i += len(m.group(1)) + 2
+                    continue
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line":
+            if c == "\n":
+                out.append(c)
+                state = "code"
+            i += 1
+        elif state == "block":
+            if c == "\n":
+                out.append(c)
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+        elif state in ("str", "chr"):
+            if c == "\\":
+                i += 2
+                continue
+            if c == "\n":
+                out.append(c)
+                state = "code"  # unterminated; bail to code
+                i += 1
+                continue
+            if (state == "str" and c == '"') or \
+                    (state == "chr" and c == "'"):
+                out.append(c)
+                state = "code"
+            i += 1
+        elif state == "raw":
+            if c == "\n":
+                out.append(c)
+            if text.startswith(raw_delim, i):
+                i += len(raw_delim)
+                out.append('"')
+                state = "code"
+                continue
+            i += 1
+    return "".join(out)
+
+
+def suppressed(raw_lines, lineno, kind, lookback=2):
+    """True when the suppression comment sits on the flagged line or on
+    one of the `lookback` lines above it."""
+    pattern = SUPPRESS_RE[kind]
+    for ln in range(max(1, lineno - lookback), lineno + 1):
+        if pattern.search(raw_lines[ln - 1]):
+            return True
+    return False
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.violations = []
+
+    def report(self, path, lineno, rule, message):
+        rel = os.path.relpath(path, self.root)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path):
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+        code_lines = code.splitlines()
+        in_common = "/src/common/" in path.replace(os.sep, "/")
+
+        self.check_mutex_members(path, raw_lines, code_lines, in_common)
+        self.check_naked_new(path, raw_lines, code_lines, in_common)
+        self.check_cout(path, raw_lines, code_lines)
+        if path.endswith(".h"):
+            self.check_locked_suffix(path, code_lines)
+            self.check_include_guard(path, code_lines)
+
+    # R1 + R2
+    def check_mutex_members(self, path, raw_lines, code_lines, in_common):
+        for lineno, line in enumerate(code_lines, 1):
+            m = MUTEX_MEMBER_RE.match(line)
+            if m is None:
+                continue
+            mutex_type, name = m.group(1), m.group(2)
+            if mutex_type in RAW_MUTEX_TYPES and not in_common:
+                self.report(
+                    path, lineno, "annotated-mutex",
+                    f"member '{name}' is a raw {mutex_type}; use "
+                    "AnnotatedMutex / AnnotatedSharedMutex from "
+                    "common/thread_annotations.h so the thread-safety "
+                    "analysis sees it")
+                continue
+            has_guarded_peer = any(
+                re.search(r"GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)",
+                          other)
+                for other in code_lines)
+            if not has_guarded_peer and \
+                    not suppressed(raw_lines, lineno, "unguarded"):
+                self.report(
+                    path, lineno, "guarded-mutex",
+                    f"mutex member '{name}' has no GUARDED_BY({name}) "
+                    "peer; annotate the data it guards or add "
+                    "`// lint: unguarded(reason)`")
+
+    # R3
+    def check_naked_new(self, path, raw_lines, code_lines, in_common):
+        if in_common:
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if "= delete" in line or "=delete" in line:
+                line = re.sub(r"=\s*delete", "", line)
+            flagged = None
+            if NEW_RE.search(line):
+                flagged = "new"
+            elif DELETE_RE.search(line):
+                flagged = "delete"
+            if flagged and not suppressed(raw_lines, lineno, "new-ok"):
+                self.report(
+                    path, lineno, "no-naked-new",
+                    f"naked `{flagged}` outside src/common; use "
+                    "std::make_unique / containers, or add "
+                    "`// lint: new-ok(reason)` for an intentional leak")
+
+    # R4
+    def check_locked_suffix(self, path, code_lines):
+        for lineno, line in enumerate(code_lines, 1):
+            for m in SUFFIX_DECL_RE.finditer(line):
+                name = m.group(1)
+                if name in ("Unlocked", "Locked"):
+                    continue
+                # Gather the declaration until it closes with ; or {.
+                decl = line[m.start():]
+                extra = lineno
+                while ";" not in decl and "{" not in decl and \
+                        extra < len(code_lines):
+                    decl += " " + code_lines[extra]
+                    extra += 1
+                # Skip call sites: declarations start the statement or
+                # follow a type, calls follow '=', 'return', '.', '->'.
+                before = line[:m.start()].rstrip()
+                if before.endswith(("=", ".", ">", "(", ",")) or \
+                        before.endswith("return"):
+                    continue
+                if "REQUIRES" not in decl:
+                    self.report(
+                        path, lineno, "unlocked-suffix",
+                        f"'{name}' follows the caller-holds-the-lock "
+                        "naming convention but declares no REQUIRES / "
+                        "REQUIRES_SHARED capability")
+
+    # R5
+    def check_cout(self, path, raw_lines, code_lines):
+        for lineno, line in enumerate(code_lines, 1):
+            if "std::cout" in line and \
+                    not suppressed(raw_lines, lineno, "cout-ok"):
+                self.report(
+                    path, lineno, "no-cout",
+                    "std::cout in library code; use NOUS_LOG or take an "
+                    "explicit std::ostream&")
+
+    # R6
+    def check_include_guard(self, path, code_lines):
+        rel = os.path.relpath(path, os.path.join(self.root, "src"))
+        expected = "NOUS_" + GUARD_TOKEN_RE.sub("_", rel).upper() + "_"
+        ifndef = None
+        for line in code_lines[:30]:
+            m = re.match(r"\s*#\s*ifndef\s+(\w+)", line)
+            if m:
+                ifndef = m.group(1)
+                break
+        if ifndef != expected:
+            got = ifndef if ifndef else "none"
+            self.report(path, 1, "include-guard",
+                        f"expected include guard {expected}, got {got}")
+            return
+        if not any(re.match(r"\s*#\s*define\s+" + re.escape(expected), l)
+                   for l in code_lines[:30]):
+            self.report(path, 1, "include-guard",
+                        f"#ifndef {expected} has no matching #define")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print(f"nous_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    linter = Linter(root)
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith((".h", ".cc", ".cpp")):
+                linter.lint_file(os.path.join(dirpath, name))
+
+    for violation in linter.violations:
+        print(violation)
+    count = len(linter.violations)
+    if count == 0:
+        print("nous_lint: OK")
+    else:
+        print(f"nous_lint: {count} violation(s)", file=sys.stderr)
+    return min(count, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Runs every static-analysis layer the current machine supports:
+#
+#   1. nous_lint.py        — repo invariants (always; pure python3)
+#   2. header hygiene      — every header under src/ compiles standalone
+#                            (any C++ compiler)
+#   3. -Wthread-safety     — Clang thread-safety analysis over src/,
+#                            promoted to errors (needs clang++)
+#   4. clang-tidy          — .clang-tidy check set over src/ *.cc
+#                            (needs clang-tidy + compile_commands.json)
+#   5. clang-format        — check-only formatting diff (advisory
+#                            locally, reported in CI)
+#
+# Layers whose tool is missing are SKIPPED with a notice by default so
+# the script is useful on GCC-only boxes; `--strict` (CI) instead fails
+# if a clang layer cannot run, so enforcement never silently rots.
+#
+# Usage: tools/run_static_analysis.sh [--strict] [--build-dir DIR]
+
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-static-analysis"
+STRICT=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --strict) STRICT=1 ;;
+    --build-dir) BUILD_DIR="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+FAILURES=0
+fail() { echo "FAIL: $*" >&2; FAILURES=$((FAILURES + 1)); }
+skip() {
+  if [[ $STRICT -eq 1 ]]; then
+    fail "$* (required under --strict)"
+  else
+    echo "SKIP: $*"
+  fi
+}
+
+# ---- 1. NOUS invariant linter --------------------------------------
+echo "== nous_lint =="
+if python3 "$ROOT/tools/nous_lint.py" --root "$ROOT"; then
+  :
+else
+  fail "nous_lint.py reported violations"
+fi
+
+# ---- 2. Header self-containment ------------------------------------
+# Each header must compile on its own (include-what-you-use at the
+# file level): a translation unit consisting of just that #include.
+echo "== header self-containment =="
+HEADER_CXX=""
+for candidate in clang++ c++ g++; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    HEADER_CXX="$candidate"
+    break
+  fi
+done
+if [[ -z "$HEADER_CXX" ]]; then
+  skip "no C++ compiler found for header checks"
+else
+  HEADER_ERRORS=0
+  while IFS= read -r header; do
+    rel="${header#"$ROOT"/src/}"
+    if ! echo "#include \"$rel\"" | "$HEADER_CXX" -std=c++20 \
+        -I"$ROOT/src" -fsyntax-only -Wall -Wextra -Werror \
+        -x c++ - 2>/tmp/nous_header_err.$$; then
+      echo "not self-contained: src/$rel" >&2
+      cat /tmp/nous_header_err.$$ >&2
+      HEADER_ERRORS=$((HEADER_ERRORS + 1))
+    fi
+  done < <(find "$ROOT/src" -name '*.h' | sort)
+  rm -f /tmp/nous_header_err.$$
+  if [[ $HEADER_ERRORS -gt 0 ]]; then
+    fail "$HEADER_ERRORS header(s) not self-contained"
+  else
+    echo "all headers self-contained ($HEADER_CXX)"
+  fi
+fi
+
+# ---- 3. Clang thread-safety build ----------------------------------
+echo "== clang -Wthread-safety build =="
+if command -v clang++ >/dev/null 2>&1 && command -v cmake >/dev/null 2>&1
+then
+  if cmake -B "$BUILD_DIR" -S "$ROOT" \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DNOUS_WERROR=ON \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        ${CMAKE_EXTRA_ARGS:-} >/dev/null \
+      && cmake --build "$BUILD_DIR" -j "$(nproc)"; then
+    echo "thread-safety build clean"
+  else
+    fail "clang -Wthread-safety -Werror build failed"
+  fi
+else
+  skip "clang++ not available for the thread-safety build"
+fi
+
+# ---- 4. clang-tidy --------------------------------------------------
+echo "== clang-tidy =="
+TIDY=""
+for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+    clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [[ -z "$TIDY" ]]; then
+  skip "clang-tidy not available"
+elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  skip "no compile_commands.json in $BUILD_DIR (clang build skipped?)"
+else
+  if find "$ROOT/src" -name '*.cc' | sort \
+      | xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet; then
+    echo "clang-tidy clean"
+  else
+    fail "clang-tidy reported errors"
+  fi
+fi
+
+# ---- 5. clang-format (advisory) ------------------------------------
+echo "== clang-format (check only) =="
+FORMAT=""
+for candidate in clang-format clang-format-18 clang-format-17 \
+    clang-format-16 clang-format-15 clang-format-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    FORMAT="$candidate"
+    break
+  fi
+done
+if [[ -z "$FORMAT" ]]; then
+  echo "SKIP: clang-format not available"
+elif find "$ROOT/src" "$ROOT/tests" "$ROOT/examples" "$ROOT/bench" \
+      \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) 2>/dev/null \
+    | sort | xargs "$FORMAT" --dry-run -Werror 2>/dev/null; then
+  echo "formatting clean"
+else
+  # Advisory even in CI: formatting drift is visible, never blocking.
+  echo "NOTE: formatting drift detected ($FORMAT --dry-run); run"
+  echo "      $FORMAT -i over the files above to fix"
+fi
+
+echo
+if [[ $FAILURES -gt 0 ]]; then
+  echo "static analysis: $FAILURES layer(s) failed"
+  exit 1
+fi
+echo "static analysis: all runnable layers clean"

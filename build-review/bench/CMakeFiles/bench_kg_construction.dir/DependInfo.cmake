@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kg_construction.cc" "bench/CMakeFiles/bench_kg_construction.dir/bench_kg_construction.cc.o" "gcc" "bench/CMakeFiles/bench_kg_construction.dir/bench_kg_construction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/nous_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linker/CMakeFiles/nous_linker.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mapping/CMakeFiles/nous_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kb/CMakeFiles/nous_kb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/corpus/CMakeFiles/nous_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/embed/CMakeFiles/nous_embed.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/qa/CMakeFiles/nous_qa.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/text/CMakeFiles/nous_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topic/CMakeFiles/nous_topic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mining/CMakeFiles/nous_mining.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/nous_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

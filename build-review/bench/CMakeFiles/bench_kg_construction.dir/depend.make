@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_kg_construction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_prediction.dir/bench_link_prediction.cc.o"
+  "CMakeFiles/bench_link_prediction.dir/bench_link_prediction.cc.o.d"
+  "bench_link_prediction"
+  "bench_link_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_search.dir/bench_path_search.cc.o"
+  "CMakeFiles/bench_path_search.dir/bench_path_search.cc.o.d"
+  "bench_path_search"
+  "bench_path_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

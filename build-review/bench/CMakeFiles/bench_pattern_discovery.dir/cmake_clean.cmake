@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pattern_discovery.dir/bench_pattern_discovery.cc.o"
+  "CMakeFiles/bench_pattern_discovery.dir/bench_pattern_discovery.cc.o.d"
+  "bench_pattern_discovery"
+  "bench_pattern_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_classes.dir/bench_query_classes.cc.o"
+  "CMakeFiles/bench_query_classes.dir/bench_query_classes.cc.o.d"
+  "bench_query_classes"
+  "bench_query_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_mining.dir/bench_stream_mining.cc.o"
+  "CMakeFiles/bench_stream_mining.dir/bench_stream_mining.cc.o.d"
+  "bench_stream_mining"
+  "bench_stream_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

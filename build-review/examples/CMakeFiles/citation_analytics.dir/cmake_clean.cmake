@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_analytics.dir/citation_analytics.cpp.o"
+  "CMakeFiles/citation_analytics.dir/citation_analytics.cpp.o.d"
+  "citation_analytics"
+  "citation_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_analyst.dir/drone_analyst.cpp.o"
+  "CMakeFiles/drone_analyst.dir/drone_analyst.cpp.o.d"
+  "drone_analyst"
+  "drone_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insider_threat.dir/insider_threat.cpp.o"
+  "CMakeFiles/insider_threat.dir/insider_threat.cpp.o.d"
+  "insider_threat"
+  "insider_threat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insider_threat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

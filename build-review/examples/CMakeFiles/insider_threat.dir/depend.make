@@ -1,0 +1,2 @@
+# Empty dependencies file for insider_threat.
+# This may be replaced when dependencies are built.

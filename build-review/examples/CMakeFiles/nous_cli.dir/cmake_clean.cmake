@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_cli.dir/nous_cli.cpp.o"
+  "CMakeFiles/nous_cli.dir/nous_cli.cpp.o.d"
+  "nous_cli"
+  "nous_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

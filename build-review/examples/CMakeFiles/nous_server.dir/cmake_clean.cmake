@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_server.dir/nous_server.cpp.o"
+  "CMakeFiles/nous_server.dir/nous_server.cpp.o.d"
+  "nous_server"
+  "nous_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_dashboard.dir/quality_dashboard.cpp.o"
+  "CMakeFiles/quality_dashboard.dir/quality_dashboard.cpp.o.d"
+  "quality_dashboard"
+  "quality_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_common.dir/histogram.cc.o"
+  "CMakeFiles/nous_common.dir/histogram.cc.o.d"
+  "CMakeFiles/nous_common.dir/logging.cc.o"
+  "CMakeFiles/nous_common.dir/logging.cc.o.d"
+  "CMakeFiles/nous_common.dir/status.cc.o"
+  "CMakeFiles/nous_common.dir/status.cc.o.d"
+  "CMakeFiles/nous_common.dir/string_util.cc.o"
+  "CMakeFiles/nous_common.dir/string_util.cc.o.d"
+  "CMakeFiles/nous_common.dir/table_printer.cc.o"
+  "CMakeFiles/nous_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/nous_common.dir/thread_pool.cc.o"
+  "CMakeFiles/nous_common.dir/thread_pool.cc.o.d"
+  "libnous_common.a"
+  "libnous_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

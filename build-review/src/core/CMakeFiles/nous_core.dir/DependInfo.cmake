@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/nous.cc" "src/core/CMakeFiles/nous_core.dir/nous.cc.o" "gcc" "src/core/CMakeFiles/nous_core.dir/nous.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/nous_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/nous_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/source_trust.cc" "src/core/CMakeFiles/nous_core.dir/source_trust.cc.o" "gcc" "src/core/CMakeFiles/nous_core.dir/source_trust.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/nous_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/text/CMakeFiles/nous_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/corpus/CMakeFiles/nous_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kb/CMakeFiles/nous_kb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/linker/CMakeFiles/nous_linker.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mapping/CMakeFiles/nous_mapping.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/embed/CMakeFiles/nous_embed.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topic/CMakeFiles/nous_topic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mining/CMakeFiles/nous_mining.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/qa/CMakeFiles/nous_qa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_core.dir/nous.cc.o"
+  "CMakeFiles/nous_core.dir/nous.cc.o.d"
+  "CMakeFiles/nous_core.dir/pipeline.cc.o"
+  "CMakeFiles/nous_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/nous_core.dir/source_trust.cc.o"
+  "CMakeFiles/nous_core.dir/source_trust.cc.o.d"
+  "libnous_core.a"
+  "libnous_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_corpus.dir/article_generator.cc.o"
+  "CMakeFiles/nous_corpus.dir/article_generator.cc.o.d"
+  "CMakeFiles/nous_corpus.dir/document_stream.cc.o"
+  "CMakeFiles/nous_corpus.dir/document_stream.cc.o.d"
+  "CMakeFiles/nous_corpus.dir/world_model.cc.o"
+  "CMakeFiles/nous_corpus.dir/world_model.cc.o.d"
+  "libnous_corpus.a"
+  "libnous_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_embed.dir/baselines.cc.o"
+  "CMakeFiles/nous_embed.dir/baselines.cc.o.d"
+  "CMakeFiles/nous_embed.dir/bpr.cc.o"
+  "CMakeFiles/nous_embed.dir/bpr.cc.o.d"
+  "CMakeFiles/nous_embed.dir/eval.cc.o"
+  "CMakeFiles/nous_embed.dir/eval.cc.o.d"
+  "libnous_embed.a"
+  "libnous_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

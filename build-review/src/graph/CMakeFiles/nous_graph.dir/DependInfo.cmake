@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dictionary.cc" "src/graph/CMakeFiles/nous_graph.dir/dictionary.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/dictionary.cc.o.d"
+  "/root/repo/src/graph/dot_export.cc" "src/graph/CMakeFiles/nous_graph.dir/dot_export.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/dot_export.cc.o.d"
+  "/root/repo/src/graph/graph_algorithms.cc" "src/graph/CMakeFiles/nous_graph.dir/graph_algorithms.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/graph_algorithms.cc.o.d"
+  "/root/repo/src/graph/graph_generator.cc" "src/graph/CMakeFiles/nous_graph.dir/graph_generator.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/graph_generator.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/nous_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/nous_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/property_graph.cc" "src/graph/CMakeFiles/nous_graph.dir/property_graph.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/property_graph.cc.o.d"
+  "/root/repo/src/graph/temporal_window.cc" "src/graph/CMakeFiles/nous_graph.dir/temporal_window.cc.o" "gcc" "src/graph/CMakeFiles/nous_graph.dir/temporal_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_graph.dir/dictionary.cc.o"
+  "CMakeFiles/nous_graph.dir/dictionary.cc.o.d"
+  "CMakeFiles/nous_graph.dir/dot_export.cc.o"
+  "CMakeFiles/nous_graph.dir/dot_export.cc.o.d"
+  "CMakeFiles/nous_graph.dir/graph_algorithms.cc.o"
+  "CMakeFiles/nous_graph.dir/graph_algorithms.cc.o.d"
+  "CMakeFiles/nous_graph.dir/graph_generator.cc.o"
+  "CMakeFiles/nous_graph.dir/graph_generator.cc.o.d"
+  "CMakeFiles/nous_graph.dir/graph_io.cc.o"
+  "CMakeFiles/nous_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/nous_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/nous_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/nous_graph.dir/property_graph.cc.o"
+  "CMakeFiles/nous_graph.dir/property_graph.cc.o.d"
+  "CMakeFiles/nous_graph.dir/temporal_window.cc.o"
+  "CMakeFiles/nous_graph.dir/temporal_window.cc.o.d"
+  "libnous_graph.a"
+  "libnous_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_kb.dir/curated_kb.cc.o"
+  "CMakeFiles/nous_kb.dir/curated_kb.cc.o.d"
+  "CMakeFiles/nous_kb.dir/kb_generator.cc.o"
+  "CMakeFiles/nous_kb.dir/kb_generator.cc.o.d"
+  "CMakeFiles/nous_kb.dir/kb_io.cc.o"
+  "CMakeFiles/nous_kb.dir/kb_io.cc.o.d"
+  "CMakeFiles/nous_kb.dir/ontology.cc.o"
+  "CMakeFiles/nous_kb.dir/ontology.cc.o.d"
+  "libnous_kb.a"
+  "libnous_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_linker.dir/context.cc.o"
+  "CMakeFiles/nous_linker.dir/context.cc.o.d"
+  "CMakeFiles/nous_linker.dir/entity_linker.cc.o"
+  "CMakeFiles/nous_linker.dir/entity_linker.cc.o.d"
+  "libnous_linker.a"
+  "libnous_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_mapping.dir/distant_supervision.cc.o"
+  "CMakeFiles/nous_mapping.dir/distant_supervision.cc.o.d"
+  "CMakeFiles/nous_mapping.dir/predicate_mapper.cc.o"
+  "CMakeFiles/nous_mapping.dir/predicate_mapper.cc.o.d"
+  "libnous_mapping.a"
+  "libnous_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

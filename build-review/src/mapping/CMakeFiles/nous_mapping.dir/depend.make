@@ -1,0 +1,2 @@
+# Empty dependencies file for nous_mapping.
+# This may be replaced when dependencies are built.

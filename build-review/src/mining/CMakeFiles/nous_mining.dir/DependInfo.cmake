@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/arabesque_sim.cc" "src/mining/CMakeFiles/nous_mining.dir/arabesque_sim.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/arabesque_sim.cc.o.d"
+  "/root/repo/src/mining/continuous_query.cc" "src/mining/CMakeFiles/nous_mining.dir/continuous_query.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/continuous_query.cc.o.d"
+  "/root/repo/src/mining/gspan.cc" "src/mining/CMakeFiles/nous_mining.dir/gspan.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/gspan.cc.o.d"
+  "/root/repo/src/mining/pattern.cc" "src/mining/CMakeFiles/nous_mining.dir/pattern.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/pattern.cc.o.d"
+  "/root/repo/src/mining/pattern_matcher.cc" "src/mining/CMakeFiles/nous_mining.dir/pattern_matcher.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/pattern_matcher.cc.o.d"
+  "/root/repo/src/mining/streaming_miner.cc" "src/mining/CMakeFiles/nous_mining.dir/streaming_miner.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/streaming_miner.cc.o.d"
+  "/root/repo/src/mining/subgraph_enum.cc" "src/mining/CMakeFiles/nous_mining.dir/subgraph_enum.cc.o" "gcc" "src/mining/CMakeFiles/nous_mining.dir/subgraph_enum.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/nous_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_mining.dir/arabesque_sim.cc.o"
+  "CMakeFiles/nous_mining.dir/arabesque_sim.cc.o.d"
+  "CMakeFiles/nous_mining.dir/continuous_query.cc.o"
+  "CMakeFiles/nous_mining.dir/continuous_query.cc.o.d"
+  "CMakeFiles/nous_mining.dir/gspan.cc.o"
+  "CMakeFiles/nous_mining.dir/gspan.cc.o.d"
+  "CMakeFiles/nous_mining.dir/pattern.cc.o"
+  "CMakeFiles/nous_mining.dir/pattern.cc.o.d"
+  "CMakeFiles/nous_mining.dir/pattern_matcher.cc.o"
+  "CMakeFiles/nous_mining.dir/pattern_matcher.cc.o.d"
+  "CMakeFiles/nous_mining.dir/streaming_miner.cc.o"
+  "CMakeFiles/nous_mining.dir/streaming_miner.cc.o.d"
+  "CMakeFiles/nous_mining.dir/subgraph_enum.cc.o"
+  "CMakeFiles/nous_mining.dir/subgraph_enum.cc.o.d"
+  "libnous_mining.a"
+  "libnous_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_obs.dir/metrics.cc.o"
+  "CMakeFiles/nous_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/nous_obs.dir/trace.cc.o"
+  "CMakeFiles/nous_obs.dir/trace.cc.o.d"
+  "libnous_obs.a"
+  "libnous_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

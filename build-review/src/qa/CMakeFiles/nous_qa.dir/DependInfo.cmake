@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qa/path_baselines.cc" "src/qa/CMakeFiles/nous_qa.dir/path_baselines.cc.o" "gcc" "src/qa/CMakeFiles/nous_qa.dir/path_baselines.cc.o.d"
+  "/root/repo/src/qa/path_search.cc" "src/qa/CMakeFiles/nous_qa.dir/path_search.cc.o" "gcc" "src/qa/CMakeFiles/nous_qa.dir/path_search.cc.o.d"
+  "/root/repo/src/qa/query.cc" "src/qa/CMakeFiles/nous_qa.dir/query.cc.o" "gcc" "src/qa/CMakeFiles/nous_qa.dir/query.cc.o.d"
+  "/root/repo/src/qa/query_engine.cc" "src/qa/CMakeFiles/nous_qa.dir/query_engine.cc.o" "gcc" "src/qa/CMakeFiles/nous_qa.dir/query_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/topic/CMakeFiles/nous_topic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/mining/CMakeFiles/nous_mining.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/text/CMakeFiles/nous_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/nous_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

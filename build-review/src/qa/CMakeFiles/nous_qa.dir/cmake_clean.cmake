@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_qa.dir/path_baselines.cc.o"
+  "CMakeFiles/nous_qa.dir/path_baselines.cc.o.d"
+  "CMakeFiles/nous_qa.dir/path_search.cc.o"
+  "CMakeFiles/nous_qa.dir/path_search.cc.o.d"
+  "CMakeFiles/nous_qa.dir/query.cc.o"
+  "CMakeFiles/nous_qa.dir/query.cc.o.d"
+  "CMakeFiles/nous_qa.dir/query_engine.cc.o"
+  "CMakeFiles/nous_qa.dir/query_engine.cc.o.d"
+  "libnous_qa.a"
+  "libnous_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_server_lib.dir/api.cc.o"
+  "CMakeFiles/nous_server_lib.dir/api.cc.o.d"
+  "CMakeFiles/nous_server_lib.dir/http_server.cc.o"
+  "CMakeFiles/nous_server_lib.dir/http_server.cc.o.d"
+  "CMakeFiles/nous_server_lib.dir/json_writer.cc.o"
+  "CMakeFiles/nous_server_lib.dir/json_writer.cc.o.d"
+  "libnous_server_lib.a"
+  "libnous_server_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_server_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/coref.cc" "src/text/CMakeFiles/nous_text.dir/coref.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/coref.cc.o.d"
+  "/root/repo/src/text/date_parser.cc" "src/text/CMakeFiles/nous_text.dir/date_parser.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/date_parser.cc.o.d"
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/nous_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/ner.cc" "src/text/CMakeFiles/nous_text.dir/ner.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/ner.cc.o.d"
+  "/root/repo/src/text/openie.cc" "src/text/CMakeFiles/nous_text.dir/openie.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/openie.cc.o.d"
+  "/root/repo/src/text/pos_tagger.cc" "src/text/CMakeFiles/nous_text.dir/pos_tagger.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/text/sentence_splitter.cc" "src/text/CMakeFiles/nous_text.dir/sentence_splitter.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/sentence_splitter.cc.o.d"
+  "/root/repo/src/text/srl.cc" "src/text/CMakeFiles/nous_text.dir/srl.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/srl.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/nous_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/nous_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_text.dir/coref.cc.o"
+  "CMakeFiles/nous_text.dir/coref.cc.o.d"
+  "CMakeFiles/nous_text.dir/date_parser.cc.o"
+  "CMakeFiles/nous_text.dir/date_parser.cc.o.d"
+  "CMakeFiles/nous_text.dir/lexicon.cc.o"
+  "CMakeFiles/nous_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/nous_text.dir/ner.cc.o"
+  "CMakeFiles/nous_text.dir/ner.cc.o.d"
+  "CMakeFiles/nous_text.dir/openie.cc.o"
+  "CMakeFiles/nous_text.dir/openie.cc.o.d"
+  "CMakeFiles/nous_text.dir/pos_tagger.cc.o"
+  "CMakeFiles/nous_text.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/nous_text.dir/sentence_splitter.cc.o"
+  "CMakeFiles/nous_text.dir/sentence_splitter.cc.o.d"
+  "CMakeFiles/nous_text.dir/srl.cc.o"
+  "CMakeFiles/nous_text.dir/srl.cc.o.d"
+  "CMakeFiles/nous_text.dir/tokenizer.cc.o"
+  "CMakeFiles/nous_text.dir/tokenizer.cc.o.d"
+  "libnous_text.a"
+  "libnous_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topic/divergence.cc" "src/topic/CMakeFiles/nous_topic.dir/divergence.cc.o" "gcc" "src/topic/CMakeFiles/nous_topic.dir/divergence.cc.o.d"
+  "/root/repo/src/topic/doc_term.cc" "src/topic/CMakeFiles/nous_topic.dir/doc_term.cc.o" "gcc" "src/topic/CMakeFiles/nous_topic.dir/doc_term.cc.o.d"
+  "/root/repo/src/topic/lda.cc" "src/topic/CMakeFiles/nous_topic.dir/lda.cc.o" "gcc" "src/topic/CMakeFiles/nous_topic.dir/lda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

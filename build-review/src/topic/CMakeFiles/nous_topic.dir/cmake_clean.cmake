@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nous_topic.dir/divergence.cc.o"
+  "CMakeFiles/nous_topic.dir/divergence.cc.o.d"
+  "CMakeFiles/nous_topic.dir/doc_term.cc.o"
+  "CMakeFiles/nous_topic.dir/doc_term.cc.o.d"
+  "CMakeFiles/nous_topic.dir/lda.cc.o"
+  "CMakeFiles/nous_topic.dir/lda.cc.o.d"
+  "libnous_topic.a"
+  "libnous_topic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nous_topic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

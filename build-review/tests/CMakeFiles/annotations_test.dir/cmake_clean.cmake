@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotations_test.dir/annotations_test.cc.o"
+  "CMakeFiles/annotations_test.dir/annotations_test.cc.o.d"
+  "annotations_test"
+  "annotations_test.pdb"
+  "annotations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

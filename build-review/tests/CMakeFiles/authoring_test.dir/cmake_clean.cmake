@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authoring_test.dir/authoring_test.cc.o"
+  "CMakeFiles/authoring_test.dir/authoring_test.cc.o.d"
+  "authoring_test"
+  "authoring_test.pdb"
+  "authoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_io_test.dir/kb_io_test.cc.o"
+  "CMakeFiles/kb_io_test.dir/kb_io_test.cc.o.d"
+  "kb_io_test"
+  "kb_io_test.pdb"
+  "kb_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linker_test.cc" "tests/CMakeFiles/linker_test.dir/linker_test.cc.o" "gcc" "tests/CMakeFiles/linker_test.dir/linker_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/linker/CMakeFiles/nous_linker.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/kb/CMakeFiles/nous_kb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/corpus/CMakeFiles/nous_corpus.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/text/CMakeFiles/nous_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

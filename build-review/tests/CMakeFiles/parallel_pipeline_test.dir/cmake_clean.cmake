@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_pipeline_test.dir/parallel_pipeline_test.cc.o"
+  "CMakeFiles/parallel_pipeline_test.dir/parallel_pipeline_test.cc.o.d"
+  "parallel_pipeline_test"
+  "parallel_pipeline_test.pdb"
+  "parallel_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_param_test.dir/pipeline_param_test.cc.o"
+  "CMakeFiles/pipeline_param_test.dir/pipeline_param_test.cc.o.d"
+  "pipeline_param_test"
+  "pipeline_param_test.pdb"
+  "pipeline_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qa_test.dir/qa_test.cc.o"
+  "CMakeFiles/qa_test.dir/qa_test.cc.o.d"
+  "qa_test"
+  "qa_test.pdb"
+  "qa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

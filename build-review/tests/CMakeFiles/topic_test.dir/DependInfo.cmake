@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topic_test.cc" "tests/CMakeFiles/topic_test.dir/topic_test.cc.o" "gcc" "tests/CMakeFiles/topic_test.dir/topic_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/topic/CMakeFiles/nous_topic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/nous_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/nous_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

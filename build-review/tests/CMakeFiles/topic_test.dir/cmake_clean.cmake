@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_test.dir/topic_test.cc.o"
+  "CMakeFiles/topic_test.dir/topic_test.cc.o.d"
+  "topic_test"
+  "topic_test.pdb"
+  "topic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-review/tests/text_test[1]_include.cmake")
+include("/root/repo/build-review/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kb_test[1]_include.cmake")
+include("/root/repo/build-review/tests/linker_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mapping_test[1]_include.cmake")
+include("/root/repo/build-review/tests/embed_test[1]_include.cmake")
+include("/root/repo/build-review/tests/topic_test[1]_include.cmake")
+include("/root/repo/build-review/tests/mining_test[1]_include.cmake")
+include("/root/repo/build-review/tests/qa_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trust_test[1]_include.cmake")
+include("/root/repo/build-review/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kb_io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/server_test[1]_include.cmake")
+include("/root/repo/build-review/tests/graph_algorithms_test[1]_include.cmake")
+include("/root/repo/build-review/tests/authoring_test[1]_include.cmake")
+include("/root/repo/build-review/tests/pipeline_param_test[1]_include.cmake")
+include("/root/repo/build-review/tests/parallel_pipeline_test[1]_include.cmake")
+include("/root/repo/build-review/tests/text_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/annotations_test[1]_include.cmake")
+add_test(nous_lint "/root/.pyenv/shims/python3" "/root/repo/tools/nous_lint.py" "--root" "/root/repo")
+set_tests_properties(nous_lint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;40;add_test;/root/repo/tests/CMakeLists.txt;0;")
+subdirs("static")

@@ -1,0 +1,6 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/static
+# Build directory: /root/repo/build-review/tests/static
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.

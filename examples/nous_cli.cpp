@@ -3,12 +3,19 @@
 // web and command line interface").
 //
 // Usage:
-//   nous_cli [num_events] [--threads N]   # build a demo KG, then
-//                                         # read queries from stdin
+//   nous_cli [num_events] [--threads N] [--wal-dir DIR]
+//            [--checkpoint-interval N] [--fsync MODE]
 //
 // --threads N sizes the pipeline's extraction/BPR worker pool
 // (default: hardware concurrency). The built KG is identical for
 // every value.
+//
+// --wal-dir DIR makes :ingest crash-safe (DESIGN.md §5.10): a
+// previous run's checkpoint + WAL are recovered (skipping the demo
+// build) and every new ingest is logged before it is applied.
+// --fsync always|interval|never picks the WAL flush policy;
+// --checkpoint-interval N checkpoints every N logged batches
+// (default 8; 0 = only via :checkpoint).
 //
 // Commands (one per line on stdin):
 //   tell me about <entity>            entity summary (Figure 6)
@@ -17,6 +24,7 @@
 //   explain <A> and <B> [via <P>]     why-question / coherent paths
 //   paths from <A> to <B>             graph search
 //   :ingest <text...>                 feed a sentence into the pipeline
+//   :checkpoint                       persist state now (durable mode)
 //   :save <path> | :load <path>       serialize / restore the fused KG
 //   :stats                            pipeline + graph statistics
 //   :help | :quit
@@ -46,9 +54,18 @@ void PrintHelp() {
       "  explain <A> and <B> [via <P>]\n"
       "  paths from <A> to <B>\n"
       "  :ingest <sentence>   feed text into the pipeline\n"
+      "  :checkpoint          persist durable state now\n"
       "  :save <path>         write the fused KG to a file\n"
       "  :stats               pipeline + graph statistics\n"
       "  :help  :quit\n";
+}
+
+bool ParseFsyncPolicy(const std::string& mode, nous::FsyncPolicy* policy) {
+  if (mode == "always") *policy = nous::FsyncPolicy::kAlways;
+  else if (mode == "interval") *policy = nous::FsyncPolicy::kInterval;
+  else if (mode == "never") *policy = nous::FsyncPolicy::kNever;
+  else return false;
+  return true;
 }
 
 }  // namespace
@@ -56,6 +73,9 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   using namespace nous;
   size_t num_threads = 0;  // 0 = hardware_concurrency
+  std::string wal_dir;
+  size_t checkpoint_interval = 8;
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -63,6 +83,25 @@ int main(int argc, char** argv) {
       num_threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg.rfind("--threads=", 0) == 0) {
       num_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      wal_dir = arg.substr(10);
+    } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
+      checkpoint_interval = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      checkpoint_interval =
+          static_cast<size_t>(std::atoi(arg.c_str() + 22));
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      if (!ParseFsyncPolicy(argv[++i], &fsync_policy)) {
+        std::cerr << "--fsync expects always|interval|never\n";
+        return 1;
+      }
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      if (!ParseFsyncPolicy(arg.substr(8), &fsync_policy)) {
+        std::cerr << "--fsync expects always|interval|never\n";
+        return 1;
+      }
     } else {
       positional.push_back(arg);
     }
@@ -89,10 +128,39 @@ int main(int argc, char** argv) {
   options.pipeline.miner.use_vertex_types = true;
   options.pipeline.miner.min_support = 4;
   options.pipeline.num_threads = num_threads;
+  options.durability.dir = wal_dir;
+  options.durability.checkpoint_interval_batches = checkpoint_interval;
+  options.durability.fsync_policy = fsync_policy;
   Nous nous(&kb, options);
-  std::cout << "Building demo KG from " << stream.TotalCount()
-            << " articles (" << num_threads << " threads)...\n";
-  nous.IngestStream(&stream);
+
+  bool build_demo_kg = true;
+  if (!wal_dir.empty()) {
+    auto recovered = nous.Recover();
+    if (!recovered.ok()) {
+      std::cerr << "recovery failed: " << recovered.status() << "\n";
+      return 1;
+    }
+    if (recovered->restored_checkpoint ||
+        recovered->replayed_batches > 0) {
+      std::cout << "Recovered KG from " << wal_dir
+                << " (replayed batches: " << recovered->replayed_batches
+                << ", dropped torn records: "
+                << recovered->dropped_wal_records << ")\n";
+      build_demo_kg = false;
+    }
+  }
+  if (build_demo_kg) {
+    std::cout << "Building demo KG from " << stream.TotalCount()
+              << " articles (" << num_threads << " threads"
+              << (wal_dir.empty() ? "" : ", durable") << ")...\n";
+    Status ingest_status = nous.IngestStream(&stream);
+    if (!ingest_status.ok()) {
+      std::cerr << "ingest failed: " << ingest_status << "\n";
+      return 1;
+    }
+  } else {
+    nous.Finalize();
+  }
   std::cout << nous.ComputeStats().ToString();
   PrintHelp();
 
@@ -112,10 +180,19 @@ int main(int argc, char** argv) {
       std::cout << nous.stats().ToString() << "\n";
       continue;
     }
+    if (trimmed == ":checkpoint") {
+      Status s = nous.Checkpoint();
+      std::cout << (s.ok() ? "checkpointed" : s.ToString()) << "\n";
+      continue;
+    }
     if (StartsWith(trimmed, ":ingest ")) {
       std::string text(trimmed.substr(8));
-      nous.IngestText(text, Date{2016, 1, 1},
-                      StrFormat("cli_%zu", adhoc++));
+      Status s = nous.IngestText(text, Date{2016, 1, 1},
+                                 StrFormat("cli_%zu", adhoc++));
+      if (!s.ok()) {
+        std::cout << "ingest failed (not committed): " << s << "\n";
+        continue;
+      }
       nous.Finalize();  // refresh topics for path queries
       std::cout << "ingested; KG now has "
                 << nous.graph().NumEdges() << " edges\n";

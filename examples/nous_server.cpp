@@ -1,16 +1,25 @@
 // Web demo (the paper's Figure 6): builds a drone-domain KG from a
 // synthetic stream and serves the query interface over HTTP.
 //
-//   nous_server [port] [num_events] [--threads N]
+//   nous_server [port] [num_events] [--threads N] [--wal-dir DIR]
+//               [--checkpoint-interval N] [--fsync MODE]
 //
 // --threads N sets both the pipeline's extraction/BPR worker pool and
 // the number of concurrent HTTP connection handlers (default: the
 // machine's hardware concurrency). The built KG is identical for
 // every value.
 //
+// --wal-dir DIR makes ingest crash-safe (DESIGN.md §5.10): the server
+// recovers whatever a previous run left in DIR (checkpoint + WAL
+// replay, skipping the demo build), then logs every new ingest before
+// applying it. --checkpoint-interval N checkpoints every N logged
+// batches (default 8; 0 = only on shutdown); --fsync always|interval|
+// never picks the WAL flush policy.
+//
 // then open http://127.0.0.1:<port>/ — or hit the JSON API:
 //   curl 'http://127.0.0.1:8080/api/query?q=tell+me+about+DJI'
 //   curl 'http://127.0.0.1:8080/api/stats'
+//   curl 'http://127.0.0.1:8080/api/healthz'
 //   curl -X POST --data 'DJI acquired SkyWard Labs.'
 //        'http://127.0.0.1:8080/api/ingest?source=curl&year=2016'
 //   (join the two curl lines into one command)
@@ -33,11 +42,22 @@
 namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int) { g_stop = 1; }
+
+bool ParseFsyncPolicy(const std::string& mode, nous::FsyncPolicy* policy) {
+  if (mode == "always") *policy = nous::FsyncPolicy::kAlways;
+  else if (mode == "interval") *policy = nous::FsyncPolicy::kInterval;
+  else if (mode == "never") *policy = nous::FsyncPolicy::kNever;
+  else return false;
+  return true;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nous;
   size_t num_threads = 0;  // 0 = hardware_concurrency
+  std::string wal_dir;
+  size_t checkpoint_interval = 8;
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -45,6 +65,25 @@ int main(int argc, char** argv) {
       num_threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg.rfind("--threads=", 0) == 0) {
       num_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (arg.rfind("--wal-dir=", 0) == 0) {
+      wal_dir = arg.substr(10);
+    } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
+      checkpoint_interval = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
+      checkpoint_interval =
+          static_cast<size_t>(std::atoi(arg.c_str() + 22));
+    } else if (arg == "--fsync" && i + 1 < argc) {
+      if (!ParseFsyncPolicy(argv[++i], &fsync_policy)) {
+        std::cerr << "--fsync expects always|interval|never\n";
+        return 1;
+      }
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      if (!ParseFsyncPolicy(arg.substr(8), &fsync_policy)) {
+        std::cerr << "--fsync expects always|interval|never\n";
+        return 1;
+      }
     } else {
       positional.push_back(arg);
     }
@@ -75,16 +114,47 @@ int main(int argc, char** argv) {
   options.pipeline.miner.use_vertex_types = true;
   options.pipeline.miner.min_support = 4;
   options.pipeline.num_threads = num_threads;
+  options.durability.dir = wal_dir;
+  options.durability.checkpoint_interval_batches = checkpoint_interval;
+  options.durability.fsync_policy = fsync_policy;
   Nous nous(&kb, options);
-  std::cout << "Building demo KG from " << stream.TotalCount()
-            << " articles (" << num_threads << " threads)...\n";
-  nous.IngestStream(&stream);
+
+  bool build_demo_kg = true;
+  if (!wal_dir.empty()) {
+    auto recovered = nous.Recover();
+    if (!recovered.ok()) {
+      std::cerr << "recovery failed: " << recovered.status() << "\n";
+      return 1;
+    }
+    if (recovered->restored_checkpoint ||
+        recovered->replayed_batches > 0) {
+      std::cout << "Recovered KG from " << wal_dir << " (checkpoint: "
+                << (recovered->restored_checkpoint ? "yes" : "no")
+                << ", replayed batches: " << recovered->replayed_batches
+                << ", dropped torn records: "
+                << recovered->dropped_wal_records << ")\n";
+      nous.Finalize();
+      build_demo_kg = false;
+    }
+  }
+  if (build_demo_kg) {
+    std::cout << "Building demo KG from " << stream.TotalCount()
+              << " articles (" << num_threads << " threads"
+              << (wal_dir.empty() ? "" : ", durable") << ")...\n";
+    Status ingest_status = nous.IngestStream(&stream);
+    if (!ingest_status.ok()) {
+      std::cerr << "ingest failed: " << ingest_status << "\n";
+      return 1;
+    }
+  }
   std::cout << nous.ComputeStats().ToString();
 
   NousApi api(&nous);
+  HttpServerOptions server_options;
+  server_options.num_threads = num_threads;
   HttpServer server(
       [&api](const HttpRequest& request) { return api.Handle(request); },
-      num_threads);
+      server_options);
   Status status = server.Start(port);
   if (!status.ok()) {
     std::cerr << "failed to start: " << status << "\n";
@@ -97,7 +167,14 @@ int main(int argc, char** argv) {
   while (!g_stop) {
     ::usleep(200000);
   }
+  // Graceful drain: fail readiness first so a load balancer stops
+  // sending traffic, then stop (which finishes in-flight requests).
+  api.SetReady(false);
   server.Stop();
+  if (nous.durable()) {
+    Status ckpt = nous.Checkpoint();
+    if (!ckpt.ok()) std::cerr << "final checkpoint: " << ckpt << "\n";
+  }
   std::cout << "stopped\n\n";
   MetricsRegistry::Global().PrintSummary(std::cout);
   return 0;

@@ -1,0 +1,95 @@
+#include "common/binary_io.h"
+
+namespace nous {
+
+Status BinaryReader::Need(size_t bytes) const {
+  if (data_.size() - offset_ < bytes) {
+    return Status::OutOfRange("binary decode: need " + std::to_string(bytes) +
+                              " bytes at offset " + std::to_string(offset_) +
+                              ", have " + std::to_string(remaining()));
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::U8(uint8_t* out) {
+  NOUS_RETURN_IF_ERROR(Need(1));
+  *out = static_cast<uint8_t>(data_[offset_++]);
+  return Status::Ok();
+}
+
+Status BinaryReader::U32(uint32_t* out) {
+  NOUS_RETURN_IF_ERROR(Need(4));
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 4;
+  *out = v;
+  return Status::Ok();
+}
+
+Status BinaryReader::U64(uint64_t* out) {
+  NOUS_RETURN_IF_ERROR(Need(8));
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[offset_ + i]))
+         << (8 * i);
+  }
+  offset_ += 8;
+  *out = v;
+  return Status::Ok();
+}
+
+Status BinaryReader::I64(int64_t* out) {
+  uint64_t bits;
+  NOUS_RETURN_IF_ERROR(U64(&bits));
+  *out = static_cast<int64_t>(bits);
+  return Status::Ok();
+}
+
+Status BinaryReader::F64(double* out) {
+  uint64_t bits;
+  NOUS_RETURN_IF_ERROR(U64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::Ok();
+}
+
+Status BinaryReader::Str(std::string* out) {
+  uint64_t size;
+  NOUS_RETURN_IF_ERROR(Count(&size, 1));
+  out->assign(data_.data() + offset_, size);
+  offset_ += size;
+  return Status::Ok();
+}
+
+Status BinaryReader::F64Array(std::vector<double>* out) {
+  uint64_t size;
+  NOUS_RETURN_IF_ERROR(Count(&size, sizeof(double)));
+  out->clear();
+  out->reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    double v;
+    NOUS_RETURN_IF_ERROR(F64(&v));
+    out->push_back(v);
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::Skip(size_t bytes) {
+  NOUS_RETURN_IF_ERROR(Need(bytes));
+  offset_ += bytes;
+  return Status::Ok();
+}
+
+Status BinaryReader::Count(uint64_t* out, size_t min_element_bytes) {
+  NOUS_RETURN_IF_ERROR(U64(out));
+  if (min_element_bytes > 0 && *out > remaining() / min_element_bytes) {
+    return Status::DataLoss("binary decode: count " + std::to_string(*out) +
+                            " at offset " + std::to_string(offset_ - 8) +
+                            " exceeds remaining payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace nous

@@ -1,0 +1,100 @@
+#ifndef NOUS_COMMON_BINARY_IO_H_
+#define NOUS_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace nous {
+
+/// Append-only little-endian binary encoder for checkpoint and WAL
+/// payloads. Doubles are bit-copied, so every serialized value
+/// round-trips exactly — the foundation of the recovery-equivalence
+/// invariant (DESIGN.md §5.10).
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendLe(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void Str(std::string_view text) {
+    U64(text.size());
+    buffer_.append(text.data(), text.size());
+  }
+
+  /// Raw bytes, no length prefix (caller frames them).
+  void Raw(const void* data, size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  void F64Array(const std::vector<double>& values) {
+    U64(values.size());
+    for (double v : values) F64(v);
+  }
+
+  const std::string& data() const { return buffer_; }
+  std::string&& Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    char bytes[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    buffer_.append(bytes, sizeof(T));
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked decoder over a byte view. Every read reports
+/// OutOfRange instead of walking past the end, so a truncated or
+/// corrupt checkpoint surfaces as a recoverable Status — never UB.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status U8(uint8_t* out);
+  Status U32(uint32_t* out);
+  Status U64(uint64_t* out);
+  Status I64(int64_t* out);
+  Status F64(double* out);
+  Status Str(std::string* out);
+  Status F64Array(std::vector<double>* out);
+
+  /// Advances past `bytes` without copying them.
+  Status Skip(size_t bytes);
+
+  /// Reads a u64 count and validates it against the bytes remaining
+  /// (each element needs at least `min_element_bytes`), so a corrupt
+  /// length cannot trigger a pathological allocation.
+  Status Count(uint64_t* out, size_t min_element_bytes);
+
+  bool AtEnd() const { return offset_ >= data_.size(); }
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+ private:
+  Status Need(size_t bytes) const;
+
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_BINARY_IO_H_

@@ -1,0 +1,59 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace nous {
+
+namespace {
+
+/// 8-entry-per-byte slicing table for reflected CRC-32C.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t k = 1; k < t.size(); ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  // Slicing-by-8 over the bulk, byte-at-a-time for head/tail.
+  while (size >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][crc & 0xFF] ^ t[6][(crc >> 8) & 0xFF] ^
+          t[5][(crc >> 16) & 0xFF] ^ t[4][crc >> 24] ^
+          t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace nous

@@ -1,0 +1,112 @@
+#include "common/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace nous {
+
+namespace {
+
+std::optional<FaultKind> ParseKind(std::string_view name) {
+  if (name == "fail") return FaultKind::kFail;
+  if (name == "torn") return FaultKind::kTorn;
+  if (name == "truncate") return FaultKind::kTruncate;
+  if (name == "delay") return FaultKind::kDelay;
+  return std::nullopt;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();  // lint: new-ok(process-lifetime singleton)
+    if (const char* spec = std::getenv("NOUS_FAULTS");
+        spec != nullptr && spec[0] != '\0') {
+      // Env errors are non-fatal: a bad spec disables itself loudly on
+      // stderr rather than crashing the instrumented process.
+      Status status = injector->Configure(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "NOUS_FAULTS ignored: %s\n",
+                     status.ToString().c_str());
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  for (const std::string& entry : Split(spec, ';')) {
+    std::string trimmed(Trim(entry));
+    if (trimmed.empty()) continue;
+    size_t eq = trimmed.find('=');
+    size_t at = trimmed.rfind('@');
+    if (eq == std::string::npos || at == std::string::npos || at < eq) {
+      return Status::InvalidArgument(
+          "fault spec needs point=kind[:arg]@nth[+]: " + trimmed);
+    }
+    std::string point = trimmed.substr(0, eq);
+    std::string kind_text = trimmed.substr(eq + 1, at - eq - 1);
+    std::string nth_text = trimmed.substr(at + 1);
+    int64_t arg = 0;
+    if (size_t colon = kind_text.find(':'); colon != std::string::npos) {
+      arg = std::atoll(kind_text.c_str() + colon + 1);
+      kind_text = kind_text.substr(0, colon);
+    }
+    auto kind = ParseKind(kind_text);
+    if (!kind.has_value()) {
+      return Status::InvalidArgument("unknown fault kind: " + kind_text);
+    }
+    bool sticky = !nth_text.empty() && nth_text.back() == '+';
+    if (sticky) nth_text.pop_back();
+    uint64_t nth = static_cast<uint64_t>(std::atoll(nth_text.c_str()));
+    if (nth == 0) {
+      return Status::InvalidArgument("fault ordinal must be >= 1: " +
+                                     trimmed);
+    }
+    Arm(point, *kind, nth, sticky, arg);
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::Arm(const std::string& point, FaultKind kind,
+                        uint64_t nth, bool sticky, int64_t arg) {
+  MutexLock lock(mutex_);
+  armed_[point] = ArmedFault{kind, nth, sticky, arg};
+  any_armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  MutexLock lock(mutex_);
+  armed_.erase(point);
+}
+
+void FaultInjector::Reset() {
+  MutexLock lock(mutex_);
+  armed_.clear();
+  hits_.clear();
+  any_armed_.store(false, std::memory_order_release);
+}
+
+std::optional<Fault> FaultInjector::Hit(std::string_view point) {
+  if (!any_armed_.load(std::memory_order_acquire)) return std::nullopt;
+  MutexLock lock(mutex_);
+  uint64_t count = ++hits_[std::string(point)];
+  auto it = armed_.find(std::string(point));
+  if (it == armed_.end()) return std::nullopt;
+  const ArmedFault& armed = it->second;
+  bool fires =
+      armed.sticky ? count >= armed.nth : count == armed.nth;
+  if (!fires) return std::nullopt;
+  return Fault{armed.kind, armed.arg};
+}
+
+uint64_t FaultInjector::HitCount(std::string_view point) const {
+  MutexLock lock(mutex_);
+  auto it = hits_.find(std::string(point));
+  return it == hits_.end() ? 0 : it->second;
+}
+
+}  // namespace nous

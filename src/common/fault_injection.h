@@ -1,0 +1,96 @@
+#ifndef NOUS_COMMON_FAULT_INJECTION_H_
+#define NOUS_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace nous {
+
+/// What an armed fault point does when it fires.
+enum class FaultKind {
+  kFail,      ///< the instrumented call reports failure
+  kTorn,      ///< a write persists only a prefix, then reports failure
+  kTruncate,  ///< `arg` bytes are chopped off the tail on close
+  kDelay,     ///< the call stalls for `arg` milliseconds first
+};
+
+/// A fired fault, as seen by the instrumented call site.
+struct Fault {
+  FaultKind kind = FaultKind::kFail;
+  /// kTruncate: bytes to chop; kDelay: milliseconds; kTorn: bytes of
+  /// the write to keep (0 = half).
+  int64_t arg = 0;
+};
+
+/// Deterministic fault-injection registry. Production code plants named
+/// fault *points* (`FaultInjector::Global().Hit("wal_fsync")`); tests —
+/// or the NOUS_FAULTS environment variable — *arm* those points with a
+/// fault kind and the exact hit ordinal on which to fire. Because
+/// firing is keyed to hit counts, never wall time or randomness, a
+/// failing run replays identically under a debugger.
+///
+/// Spec grammar (NOUS_FAULTS or Configure()):
+///   spec   := point '=' kind [':' arg] '@' nth ['+'] (';' spec)*
+///   kind   := 'fail' | 'torn' | 'truncate' | 'delay'
+///   nth    := 1-based hit ordinal; trailing '+' = that hit and every
+///             later one (sticky), else exactly that hit once
+/// e.g. NOUS_FAULTS="wal_fsync=fail@3;http_recv=delay:200@1+"
+///
+/// Unarmed points cost one relaxed atomic load; the registry is
+/// thread-safe.
+class FaultInjector {
+ public:
+  /// Process-wide instance, configured from NOUS_FAULTS on first use.
+  static FaultInjector& Global();
+
+  /// Parses and arms a spec string (see grammar above). Points
+  /// accumulate; errors leave previously armed points in place.
+  Status Configure(const std::string& spec) EXCLUDES(mutex_);
+
+  /// Arms one point programmatically. `nth` is 1-based; `sticky` fires
+  /// on every hit >= nth instead of exactly the nth.
+  void Arm(const std::string& point, FaultKind kind, uint64_t nth,
+           bool sticky = false, int64_t arg = 0) EXCLUDES(mutex_);
+
+  /// Removes one armed point (hit counters are kept).
+  void Disarm(const std::string& point) EXCLUDES(mutex_);
+
+  /// Removes every armed point and zeroes all hit counters.
+  void Reset() EXCLUDES(mutex_);
+
+  /// Registers one hit of `point`; returns the fault if this hit
+  /// fires. Call sites decide what each kind means for them.
+  std::optional<Fault> Hit(std::string_view point) EXCLUDES(mutex_);
+
+  /// Total hits recorded for a point. Hits are only tracked while at
+  /// least one point is armed (the unarmed fast path skips counting).
+  uint64_t HitCount(std::string_view point) const EXCLUDES(mutex_);
+
+ private:
+  struct ArmedFault {
+    FaultKind kind = FaultKind::kFail;
+    uint64_t nth = 1;
+    bool sticky = false;
+    int64_t arg = 0;
+  };
+
+  FaultInjector() = default;
+
+  /// Fast path: false while nothing was ever armed, so unarmed hits
+  /// skip the lock and the counter map entirely.
+  std::atomic<bool> any_armed_{false};
+  mutable AnnotatedMutex mutex_;
+  std::unordered_map<std::string, ArmedFault> armed_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, uint64_t> hits_ GUARDED_BY(mutex_);
+};
+
+}  // namespace nous
+
+#endif  // NOUS_COMMON_FAULT_INJECTION_H_

@@ -111,6 +111,17 @@ class Rng {
     return n - 1;
   }
 
+  /// Copies the 256-bit generator state out (checkpointing): restoring
+  /// it with RestoreState resumes the exact same deviate sequence.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+
+  /// Restores a state captured by SaveState.
+  void RestoreState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
   /// In-place Fisher–Yates shuffle.
   template <typename T>
   void Shuffle(std::vector<T>* items) {

@@ -1,36 +1,172 @@
 #include "core/nous.h"
 
+#include <cstdlib>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "durability/wal_codec.h"
 
 namespace nous {
+
+namespace {
+
+/// Parses the N of an "adhoc_N" article id (what IngestText assigns);
+/// replay uses it to fast-forward the pipeline's ad-hoc counter past
+/// every id the crashed instance already handed out.
+bool ParseAdhocId(const std::string& id, size_t* value) {
+  constexpr std::string_view kPrefix = "adhoc_";
+  if (id.size() <= kPrefix.size() ||
+      std::string_view(id).substr(0, kPrefix.size()) != kPrefix) {
+    return false;
+  }
+  const char* digits = id.c_str() + kPrefix.size();
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(digits, &end, 10);
+  if (end == digits || *end != '\0') return false;
+  *value = static_cast<size_t>(n);
+  return true;
+}
+
+}  // namespace
 
 Nous::Nous(const CuratedKb* kb, Options options)
     : options_(std::move(options)), pipeline_(kb, options_.pipeline) {}
 
-void Nous::Ingest(const Article& article) { pipeline_.Ingest(article); }
+Result<Nous::RecoveryStats> Nous::Recover() {
+  if (options_.durability.dir.empty()) {
+    return Status::FailedPrecondition(
+        "Recover(): Options::durability.dir is empty");
+  }
+  MutexLock lock(ingest_mutex_);
+  if (durability_ != nullptr) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  {
+    ReaderMutexLock read(kg_mutex());
+    if (pipeline_.stats().documents != 0) {
+      return Status::FailedPrecondition(
+          "Recover() must run before any ingest");
+    }
+  }
+  auto manager = std::make_unique<DurabilityManager>(options_.durability);
+  NOUS_ASSIGN_OR_RETURN(DurabilityManager::RecoveredState recovered,
+                        manager->Recover());
+  RecoveryStats stats;
+  stats.dropped_wal_records = recovered.dropped_records;
+  stats.dropped_wal_bytes = recovered.dropped_bytes;
+  uint64_t last_seq = 0;
+  if (recovered.has_checkpoint) {
+    NOUS_RETURN_IF_ERROR(pipeline_.LoadState(recovered.checkpoint.state));
+    stats.restored_checkpoint = true;
+    last_seq = recovered.checkpoint.last_applied_seq;
+  }
+  size_t adhoc_floor = 0;
+  for (const WalRecord& record : recovered.replay) {
+    NOUS_ASSIGN_OR_RETURN(std::vector<Article> batch,
+                          DecodeArticleBatch(record.payload));
+    for (const Article& article : batch) {
+      size_t n = 0;
+      if (ParseAdhocId(article.id, &n) && n + 1 > adhoc_floor) {
+        adhoc_floor = n + 1;
+      }
+    }
+    pipeline_.IngestBatch(batch);
+    last_seq = record.seq;
+    ++stats.replayed_batches;
+    stats.replayed_articles += batch.size();
+  }
+  if (adhoc_floor > 0) pipeline_.EnsureAdhocCounterAtLeast(adhoc_floor);
+  NOUS_RETURN_IF_ERROR(manager->OpenWal(last_seq));
+  stats.last_seq = last_seq;
+  durability_ = std::move(manager);
+  durability_enabled_.store(true, std::memory_order_release);
+  return stats;
+}
 
-void Nous::IngestStream(DocumentStream* stream, bool finalize) {
+Status Nous::EnableDurability() {
+  Result<RecoveryStats> result = Recover();
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+Status Nous::Checkpoint() {
+  MutexLock lock(ingest_mutex_);
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition("durability is not enabled");
+  }
+  return durability_->WriteCheckpoint(pipeline_.SaveState());
+}
+
+Status Nous::IngestBatchDurable(const Article* articles, size_t count) {
+  // Log before apply: a batch that cannot reach the WAL is rejected
+  // with the pipeline untouched, so nothing unlogged is ever
+  // acknowledged. A torn append (crash or injected fault) leaves a
+  // CRC-invalid tail the next Recover() drops.
+  std::string payload = EncodeArticleBatch(articles, count);
+  NOUS_ASSIGN_OR_RETURN(uint64_t seq, durability_->LogBatch(payload));
+  (void)seq;
+  pipeline_.IngestBatch(articles, count);
+  if (durability_->ShouldCheckpoint()) {
+    NOUS_RETURN_IF_ERROR(
+        durability_->WriteCheckpoint(pipeline_.SaveState()));
+  }
+  return Status::Ok();
+}
+
+Status Nous::Ingest(const Article& article) {
+  if (!durable()) {
+    pipeline_.Ingest(article);
+    return Status::Ok();
+  }
+  MutexLock lock(ingest_mutex_);
+  return IngestBatchDurable(&article, 1);
+}
+
+Status Nous::IngestBatch(const std::vector<Article>& articles) {
+  if (articles.empty()) return Status::Ok();
+  if (!durable()) {
+    pipeline_.IngestBatch(articles);
+    return Status::Ok();
+  }
+  MutexLock lock(ingest_mutex_);
+  return IngestBatchDurable(articles.data(), articles.size());
+}
+
+Status Nous::IngestStream(DocumentStream* stream, bool finalize) {
   // Batches keep the worker pool busy on extraction while the commit
-  // loop preserves stream order (see KgPipeline::IngestBatch).
+  // loop preserves stream order (see KgPipeline::IngestBatch). One
+  // batch is also the WAL commit unit in durable mode.
   constexpr size_t kBatch = 64;
   std::vector<Article> batch;
   batch.reserve(kBatch);
   while (!stream->Done()) {
     batch.push_back(stream->Next());
     if (batch.size() == kBatch) {
-      pipeline_.IngestBatch(batch);
+      NOUS_RETURN_IF_ERROR(IngestBatch(batch));
       batch.clear();
     }
   }
-  if (!batch.empty()) pipeline_.IngestBatch(batch);
+  NOUS_RETURN_IF_ERROR(IngestBatch(batch));
   if (finalize) Finalize();
+  return Status::Ok();
 }
 
-void Nous::IngestText(const std::string& text, const Date& date,
-                      const std::string& source) {
-  pipeline_.IngestText(text, date, source);
+Status Nous::IngestText(const std::string& text, const Date& date,
+                        const std::string& source) {
+  if (!durable()) {
+    pipeline_.IngestText(text, date, source);
+    return Status::Ok();
+  }
+  // Reserve the concrete "adhoc_N" id up front so the WAL logs the
+  // article exactly as the pipeline will ingest it.
+  Article article;
+  article.id = pipeline_.ReserveAdhocId();
+  article.date = date;
+  article.source = source;
+  article.text = text;
+  MutexLock lock(ingest_mutex_);
+  return IngestBatchDurable(&article, 1);
 }
 
 void Nous::Finalize() { pipeline_.Finalize(); }

@@ -1,11 +1,14 @@
 #ifndef NOUS_CORE_NOUS_H_
 #define NOUS_CORE_NOUS_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "corpus/document_stream.h"
+#include "durability/manager.h"
 #include "graph/graph_stats.h"
 #include "qa/query_engine.h"
 
@@ -21,29 +24,75 @@ namespace nous {
 ///
 /// Wraps the construction pipeline (§3), the streaming miner (§3.5),
 /// and the question-answering engine (§3.6, Figure 5's query classes).
+///
+/// Durability (DESIGN.md §5.10): with Options::durability.dir set,
+/// Recover() restores the last checkpoint, replays the WAL, and opens
+/// the log; every subsequent ingest is logged before it is applied and
+/// only acknowledged (Status OK) once both succeeded. kill -9 at any
+/// byte offset recovers a KG bit-identical to the last durable batch.
 class Nous {
  public:
   struct Options {
     PipelineConfig pipeline;
     QueryEngineConfig query;
+    /// Crash safety; disabled while `durability.dir` is empty.
+    DurabilityOptions durability;
   };
 
   /// `kb` must outlive the instance.
   explicit Nous(const CuratedKb* kb, Options options = {});
 
-  /// Feeds one article through the construction pipeline.
-  void Ingest(const Article& article) EXCLUDES(kg_mutex());
+  /// What Recover() found on disk.
+  struct RecoveryStats {
+    bool restored_checkpoint = false;
+    uint64_t replayed_batches = 0;
+    uint64_t replayed_articles = 0;
+    /// Torn/corrupt WAL tail records dropped (never-acknowledged data).
+    uint64_t dropped_wal_records = 0;
+    uint64_t dropped_wal_bytes = 0;
+    uint64_t last_seq = 0;
+  };
+
+  /// Restores durable state and arms the WAL. Must be called before
+  /// any ingest, on a Nous built with the same CuratedKb and
+  /// PipelineConfig that produced the on-disk state. On a fresh
+  /// directory this simply enables durable ingest. Fails if durability
+  /// is unconfigured, already enabled, or ingest already happened.
+  Result<RecoveryStats> Recover() EXCLUDES(kg_mutex());
+
+  /// Recover(), discarding the stats — reads better at call sites
+  /// that know the directory is fresh.
+  Status EnableDurability();
+
+  /// Forces a checkpoint now: atomically persists the full pipeline
+  /// state and resets the WAL. Also triggered automatically every
+  /// `durability.checkpoint_interval_batches` ingested batches.
+  Status Checkpoint() EXCLUDES(kg_mutex());
+
+  /// Whether durable ingest is armed (Recover succeeded).
+  bool durable() const {
+    return durability_enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Feeds one article through the construction pipeline. With
+  /// durability armed, the article is WAL-logged first and the call
+  /// fails — with no state change — if logging fails ("never
+  /// acknowledge what is not logged").
+  Status Ingest(const Article& article) EXCLUDES(kg_mutex());
+
+  /// Batch ingest: extraction fans out across the pipeline's worker
+  /// pool; the fused KG is identical to one-at-a-time ingestion.
+  Status IngestBatch(const std::vector<Article>& articles)
+      EXCLUDES(kg_mutex());
 
   /// Drains a document stream, optionally finalizing afterwards.
-  /// Articles are ingested in batches (KgPipeline::IngestBatch) so
-  /// extraction fans out across the pipeline's worker pool; the fused
-  /// KG is identical to one-at-a-time ingestion.
-  void IngestStream(DocumentStream* stream, bool finalize = true)
+  /// Stops at the first durability failure.
+  Status IngestStream(DocumentStream* stream, bool finalize = true)
       EXCLUDES(kg_mutex());
 
   /// Ad-hoc text ingestion.
-  void IngestText(const std::string& text, const Date& date,
-                  const std::string& source) EXCLUDES(kg_mutex());
+  Status IngestText(const std::string& text, const Date& date,
+                    const std::string& source) EXCLUDES(kg_mutex());
 
   /// Fits topics + final confidence refresh. Idempotent-ish: may be
   /// called again after more ingestion.
@@ -91,8 +140,23 @@ class Nous {
   }
 
  private:
+  /// Durable log-then-apply for one batch; caller holds ingest_mutex_
+  /// so WAL order always matches apply order.
+  Status IngestBatchDurable(const Article* articles, size_t count)
+      REQUIRES(ingest_mutex_) EXCLUDES(kg_mutex());
+
   Options options_;
   KgPipeline pipeline_;
+
+  /// Serializes durable ingest so the WAL append order equals the
+  /// pipeline apply order (lock order: ingest_mutex_ before the
+  /// pipeline's kg_mutex, which IngestBatch acquires internally).
+  /// Non-durable ingest never touches this mutex.
+  AnnotatedMutex ingest_mutex_;
+  std::unique_ptr<DurabilityManager> durability_ GUARDED_BY(ingest_mutex_);
+  /// Fast-path flag mirroring `durability_ != nullptr`; flipped once
+  /// by Recover() before any concurrent ingest exists.
+  std::atomic<bool> durability_enabled_{false};
 };
 
 }  // namespace nous

@@ -471,15 +471,198 @@ void KgPipeline::CommitDocument(const Article& article,
   }
 }
 
+std::string KgPipeline::ReserveAdhocId() {
+  return StrFormat(
+      "adhoc_%zu", adhoc_counter_.fetch_add(1, std::memory_order_relaxed));
+}
+
 void KgPipeline::IngestText(const std::string& text, const Date& date,
                             const std::string& source) {
   Article article;
-  article.id = StrFormat(
-      "adhoc_%zu", adhoc_counter_.fetch_add(1, std::memory_order_relaxed));
+  article.id = ReserveAdhocId();
   article.date = date;
   article.source = source;
   article.text = text;
   Ingest(article);
+}
+
+namespace {
+/// SaveState payload version; bump on any layout change.
+constexpr uint32_t kStateVersion = 1;
+}  // namespace
+
+std::string KgPipeline::SaveState() const {
+  ReaderMutexLock lock(kg_mutex_);
+  BinaryWriter writer;
+  writer.U32(kStateVersion);
+  // Cheap compatibility fingerprint: a checkpoint only makes sense
+  // against the curated KB that shaped the graph's id space.
+  writer.U64(kb_->entities().size());
+  writer.U64(kb_->facts().size());
+
+  graph_.SaveBinary(&writer);
+  linker_.SaveBinary(&writer);
+  mapper_.SaveBinary(&writer);
+  bpr_.SaveBinary(&writer);
+  trust_.SaveBinary(&writer);
+
+  writer.U64(accepted_ids_.size());
+  for (const IdTriple& t : accepted_ids_) {
+    writer.U32(t[0]);
+    writer.U32(t[1]);
+    writer.U32(t[2]);
+  }
+  writer.U64(docs_since_refresh_);
+  writer.U64(adhoc_counter_.load(std::memory_order_relaxed));
+
+  writer.U64(stats_.documents);
+  writer.U64(stats_.extractions);
+  writer.U64(stats_.accepted_triples);
+  writer.U64(stats_.deduped_triples);
+  writer.U64(stats_.dropped_low_confidence);
+  writer.U64(stats_.dropped_unmapped);
+  writer.U64(stats_.mapped_triples);
+  writer.U64(stats_.unmapped_kept);
+  writer.U64(stats_.linked_to_existing);
+  writer.U64(stats_.new_entities);
+  writer.U64(stats_.ds_alignments);
+  writer.U64(stats_.retractions);
+  writer.F64(stats_.extract_seconds);
+  writer.F64(stats_.link_seconds);
+  writer.F64(stats_.map_seconds);
+  writer.F64(stats_.score_seconds);
+  writer.F64(stats_.mine_seconds);
+
+  // Miner window: the streamed (non-curated) triples currently in the
+  // window, oldest first, with the fused-KG type names needed to
+  // replay them through the same code path as live ingest. The miner
+  // itself is not serialized — its pattern state is a function of the
+  // window content and is rebuilt by the replay.
+  if (window_ == nullptr) {
+    writer.U64(0);
+  } else {
+    const auto& edges = window_->edges();
+    writer.U64(edges.size());
+    for (EdgeId e : edges) {
+      const EdgeRecord& rec = window_graph_.Edge(e);
+      writer.Str(window_graph_.VertexLabel(rec.subject));
+      writer.Str(window_graph_.predicates().GetString(rec.predicate));
+      writer.Str(window_graph_.VertexLabel(rec.object));
+      writer.I64(rec.meta.timestamp);
+      writer.Str(rec.meta.source == kInvalidSource
+                     ? ""
+                     : window_graph_.sources().GetString(rec.meta.source));
+      writer.F64(rec.meta.confidence);
+      TypeId st = window_graph_.VertexType(rec.subject);
+      TypeId ot = window_graph_.VertexType(rec.object);
+      writer.Str(st == kInvalidType ? ""
+                                    : window_graph_.types().GetString(st));
+      writer.Str(ot == kInvalidType ? ""
+                                    : window_graph_.types().GetString(ot));
+    }
+  }
+  return writer.Take();
+}
+
+Status KgPipeline::LoadState(std::string_view payload) {
+  WriterMutexLock lock(kg_mutex_);
+  BinaryReader reader(payload);
+  uint32_t version = 0;
+  NOUS_RETURN_IF_ERROR(reader.U32(&version));
+  if (version != kStateVersion) {
+    return Status::DataLoss("pipeline state version " +
+                            std::to_string(version) + " unsupported");
+  }
+  uint64_t kb_entities = 0, kb_facts = 0;
+  NOUS_RETURN_IF_ERROR(reader.U64(&kb_entities));
+  NOUS_RETURN_IF_ERROR(reader.U64(&kb_facts));
+  if (kb_entities != kb_->entities().size() ||
+      kb_facts != kb_->facts().size()) {
+    return Status::FailedPrecondition(
+        "pipeline state was checkpointed against a different curated KB");
+  }
+
+  NOUS_RETURN_IF_ERROR(graph_.LoadBinary(&reader));
+  NOUS_RETURN_IF_ERROR(linker_.LoadBinary(&reader));
+  NOUS_RETURN_IF_ERROR(mapper_.LoadBinary(&reader));
+  NOUS_RETURN_IF_ERROR(bpr_.LoadBinary(&reader));
+  NOUS_RETURN_IF_ERROR(trust_.LoadBinary(&reader));
+
+  uint64_t num_accepted = 0;
+  NOUS_RETURN_IF_ERROR(reader.Count(&num_accepted, 12));
+  accepted_ids_.clear();
+  accepted_ids_.reserve(num_accepted);
+  for (uint64_t i = 0; i < num_accepted; ++i) {
+    IdTriple t;
+    NOUS_RETURN_IF_ERROR(reader.U32(&t[0]));
+    NOUS_RETURN_IF_ERROR(reader.U32(&t[1]));
+    NOUS_RETURN_IF_ERROR(reader.U32(&t[2]));
+    accepted_ids_.push_back(t);
+  }
+  uint64_t docs_since = 0, adhoc = 0;
+  NOUS_RETURN_IF_ERROR(reader.U64(&docs_since));
+  NOUS_RETURN_IF_ERROR(reader.U64(&adhoc));
+  docs_since_refresh_ = docs_since;
+  adhoc_counter_.store(adhoc, std::memory_order_relaxed);
+
+  uint64_t counts[12];
+  for (uint64_t& c : counts) NOUS_RETURN_IF_ERROR(reader.U64(&c));
+  stats_.documents = counts[0];
+  stats_.extractions = counts[1];
+  stats_.accepted_triples = counts[2];
+  stats_.deduped_triples = counts[3];
+  stats_.dropped_low_confidence = counts[4];
+  stats_.dropped_unmapped = counts[5];
+  stats_.mapped_triples = counts[6];
+  stats_.unmapped_kept = counts[7];
+  stats_.linked_to_existing = counts[8];
+  stats_.new_entities = counts[9];
+  stats_.ds_alignments = counts[10];
+  stats_.retractions = counts[11];
+  NOUS_RETURN_IF_ERROR(reader.F64(&stats_.extract_seconds));
+  NOUS_RETURN_IF_ERROR(reader.F64(&stats_.link_seconds));
+  NOUS_RETURN_IF_ERROR(reader.F64(&stats_.map_seconds));
+  NOUS_RETURN_IF_ERROR(reader.F64(&stats_.score_seconds));
+  NOUS_RETURN_IF_ERROR(reader.F64(&stats_.mine_seconds));
+
+  uint64_t num_window = 0;
+  NOUS_RETURN_IF_ERROR(reader.Count(&num_window, 8 * 5 + 8 + 8));
+  for (uint64_t i = 0; i < num_window; ++i) {
+    TimedTriple wt;
+    std::string subject_type, object_type;
+    NOUS_RETURN_IF_ERROR(reader.Str(&wt.triple.subject));
+    NOUS_RETURN_IF_ERROR(reader.Str(&wt.triple.predicate));
+    NOUS_RETURN_IF_ERROR(reader.Str(&wt.triple.object));
+    NOUS_RETURN_IF_ERROR(reader.I64(&wt.timestamp));
+    NOUS_RETURN_IF_ERROR(reader.Str(&wt.source));
+    NOUS_RETURN_IF_ERROR(reader.F64(&wt.confidence));
+    NOUS_RETURN_IF_ERROR(reader.Str(&subject_type));
+    NOUS_RETURN_IF_ERROR(reader.Str(&object_type));
+    if (window_ == nullptr) continue;  // mining disabled in this config
+    VertexId ws = window_graph_.GetOrAddVertex(wt.triple.subject);
+    VertexId wo = window_graph_.GetOrAddVertex(wt.triple.object);
+    if (!subject_type.empty()) {
+      window_graph_.SetVertexType(
+          ws, window_graph_.types().Intern(subject_type));
+    }
+    if (!object_type.empty()) {
+      window_graph_.SetVertexType(
+          wo, window_graph_.types().Intern(object_type));
+    }
+    window_->Add(wt);
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("pipeline state has trailing bytes");
+  }
+  return Status::Ok();
+}
+
+void KgPipeline::EnsureAdhocCounterAtLeast(size_t value) {
+  size_t current = adhoc_counter_.load(std::memory_order_relaxed);
+  while (current < value &&
+         !adhoc_counter_.compare_exchange_weak(current, value,
+                                               std::memory_order_relaxed)) {
+  }
 }
 
 void KgPipeline::RefreshBpr(size_t epochs) {

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/hash.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "corpus/article_generator.h"
@@ -149,9 +152,37 @@ class KgPipeline {
   void IngestText(const std::string& text, const Date& date,
                   const std::string& source) EXCLUDES(kg_mutex_);
 
+  /// Draws the next "adhoc_N" article id (what IngestText assigns).
+  /// Exposed so durable callers can build the Article — and WAL-log it
+  /// under its final id — before handing it to IngestBatch.
+  std::string ReserveAdhocId();
+
   /// Fits LDA topics over the fused KG and runs a final BPR refresh.
   /// Call once after the stream (or periodically).
   void Finalize() EXCLUDES(kg_mutex_);
+
+  /// Serializes every piece of mutable state that influences future
+  /// ingest — fused KG (bit-exact: ids, edge slots, adjacency order),
+  /// linker alias index, mapper evidence, BPR parameters + RNG state,
+  /// source-trust counts, accepted-triple list, refresh cadence,
+  /// ad-hoc id counter, stats, and the miner's current window triples.
+  /// Takes the shared lock. The payload feeds the durability
+  /// checkpointer (DESIGN.md §5.10).
+  std::string SaveState() const EXCLUDES(kg_mutex_);
+
+  /// Restores a SaveState payload. Must be called on a freshly
+  /// constructed pipeline with the same CuratedKb and PipelineConfig
+  /// that produced the payload (the curated bootstrap is re-derived,
+  /// then overwritten by the exact saved state; the miner window is
+  /// rebuilt semantically by replaying the saved window triples).
+  /// After a successful load, ingesting the same articles produces a
+  /// fused KG bit-identical to the uncheckpointed run.
+  Status LoadState(std::string_view payload) EXCLUDES(kg_mutex_);
+
+  /// Raises the ad-hoc article-id counter to at least `value` (used
+  /// after WAL replay so future IngestText ids cannot collide with
+  /// replayed "adhoc_N" ids).
+  void EnsureAdhocCounterAtLeast(size_t value);
 
   /// Reader/writer lock over the fused KG, miner state, and models.
   /// Ingest/Finalize acquire it exclusively; concurrent readers

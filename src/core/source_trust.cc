@@ -1,5 +1,7 @@
 #include "core/source_trust.h"
 
+#include <algorithm>
+
 namespace nous {
 
 SourceTrustTracker::SourceTrustTracker(double prior_trust,
@@ -32,7 +34,12 @@ double SourceTrustTracker::Trust(SourceId source) const {
 double SourceTrustTracker::GlobalRate() const {
   double corroborated = prior_trust_ * prior_strength_;
   double total = prior_strength_;
-  for (const auto& [source, c] : counts_) {
+  // Canonical (sorted) accumulation order: the map is unordered, and
+  // FP addition is not associative, so iterating it directly would tie
+  // the result to insertion history — breaking checkpoint/replay
+  // bit-equivalence (DESIGN.md §5.10).
+  for (SourceId source : KnownSources()) {
+    const Counts& c = counts_.at(source);
     corroborated += c.corroborated;
     total += c.total;
   }
@@ -55,7 +62,35 @@ std::vector<SourceId> SourceTrustTracker::KnownSources() const {
   std::vector<SourceId> sources;
   sources.reserve(counts_.size());
   for (const auto& [source, counts] : counts_) sources.push_back(source);
+  std::sort(sources.begin(), sources.end());
   return sources;
+}
+
+void SourceTrustTracker::SaveBinary(BinaryWriter* writer) const {
+  std::vector<SourceId> sources = KnownSources();
+  writer->U64(sources.size());
+  for (SourceId source : sources) {
+    const Counts& c = counts_.at(source);
+    writer->U32(source);
+    writer->F64(c.corroborated);
+    writer->F64(c.total);
+  }
+}
+
+Status SourceTrustTracker::LoadBinary(BinaryReader* reader) {
+  uint64_t num_sources = 0;
+  NOUS_RETURN_IF_ERROR(reader->Count(&num_sources, 4 + 8 + 8));
+  counts_.clear();
+  counts_.reserve(num_sources);
+  for (uint64_t i = 0; i < num_sources; ++i) {
+    SourceId source = 0;
+    Counts c;
+    NOUS_RETURN_IF_ERROR(reader->U32(&source));
+    NOUS_RETURN_IF_ERROR(reader->F64(&c.corroborated));
+    NOUS_RETURN_IF_ERROR(reader->F64(&c.total));
+    counts_.emplace(source, c);
+  }
+  return Status::Ok();
 }
 
 }  // namespace nous

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/status.h"
 #include "graph/types.h"
 
 namespace nous {
@@ -49,6 +51,11 @@ class SourceTrustTracker {
   double Observations(SourceId source) const;
 
   std::vector<SourceId> KnownSources() const;
+
+  /// Checkpoint serialization of the per-source counts (priors come
+  /// from construction).
+  void SaveBinary(BinaryWriter* writer) const;
+  Status LoadBinary(BinaryReader* reader);
 
  private:
   struct Counts {

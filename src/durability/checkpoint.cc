@@ -1,0 +1,64 @@
+#include "durability/checkpoint.h"
+
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "durability/fs_util.h"
+
+namespace nous {
+
+namespace {
+const char kCheckpointMagic[8] = {'N', 'O', 'U', 'S', 'C', 'K', 'P', '1'};
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+Status WriteCheckpointFile(const std::string& path,
+                           const CheckpointData& data) {
+  // The CRC covers everything after the magic — version and
+  // last_applied_seq included, since a flipped bit in the sequence
+  // number would make recovery replay the wrong WAL suffix.
+  BinaryWriter body;
+  body.U32(kCheckpointVersion);
+  body.U64(data.last_applied_seq);
+  body.Str(data.state);
+  BinaryWriter writer;
+  writer.Raw(kCheckpointMagic, sizeof(kCheckpointMagic));
+  writer.Raw(body.data().data(), body.size());
+  writer.U32(Crc32c(body.data()));
+  return AtomicWriteFile(path, writer.data());
+}
+
+Result<CheckpointData> ReadCheckpointFile(const std::string& path) {
+  NOUS_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  if (contents.size() < sizeof(kCheckpointMagic) + sizeof(uint32_t) ||
+      std::memcmp(contents.data(), kCheckpointMagic,
+                  sizeof(kCheckpointMagic)) != 0) {
+    return Status::DataLoss("not a NOUS checkpoint: " + path);
+  }
+  std::string_view body(contents.data() + sizeof(kCheckpointMagic),
+                        contents.size() - sizeof(kCheckpointMagic) -
+                            sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + contents.size() -
+                               sizeof(uint32_t),
+              sizeof(stored_crc));
+  if (Crc32c(body) != stored_crc) {
+    return Status::DataLoss("checkpoint CRC mismatch: " + path);
+  }
+  BinaryReader reader(body);
+  uint32_t version = 0;
+  NOUS_RETURN_IF_ERROR(reader.U32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss("checkpoint version " + std::to_string(version) +
+                            " unsupported");
+  }
+  CheckpointData data;
+  NOUS_RETURN_IF_ERROR(reader.U64(&data.last_applied_seq));
+  if (!reader.Str(&data.state).ok() || !reader.AtEnd()) {
+    return Status::DataLoss("checkpoint truncated: " + path);
+  }
+  return data;
+}
+
+}  // namespace nous

@@ -1,0 +1,34 @@
+#ifndef NOUS_DURABILITY_CHECKPOINT_H_
+#define NOUS_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nous {
+
+/// A materialized pipeline snapshot plus the WAL position it covers.
+struct CheckpointData {
+  /// Sequence number of the last batch applied before the snapshot;
+  /// recovery replays only WAL records with seq > this.
+  uint64_t last_applied_seq = 0;
+  /// Opaque KgPipeline::SaveState payload.
+  std::string state;
+};
+
+/// Writes `data` to `path` atomically (temp file + fsync + rename +
+/// parent-dir fsync): a crash mid-checkpoint leaves the previous
+/// checkpoint intact. The payload is CRC-framed, so a corrupted file
+/// is detected at read time instead of poisoning recovery.
+Status WriteCheckpointFile(const std::string& path,
+                           const CheckpointData& data);
+
+/// Reads and verifies a checkpoint. NotFound when absent; DataLoss on
+/// bad magic, version skew, or CRC mismatch.
+Result<CheckpointData> ReadCheckpointFile(const std::string& path);
+
+}  // namespace nous
+
+#endif  // NOUS_DURABILITY_CHECKPOINT_H_

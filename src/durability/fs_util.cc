@@ -1,0 +1,147 @@
+#include "durability/fs_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+
+namespace nous {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAllFd(int fd, const char* data, size_t size,
+                  const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Status EnsureDirectory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::Internal(Errno("mkdir", path));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(Errno("open", path));
+    return Status::Internal(Errno("open", path));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    contents.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return contents;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status::Internal(Errno("truncate", path));
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal(Errno("unlink", path));
+  }
+  return Status::Ok();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  std::string dir = ParentDir(path);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::Internal(Errno("open dir", dir));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  // Some filesystems (and sandboxes) reject directory fsync with
+  // EINVAL; the rename is still ordered on everything we target.
+  if (rc != 0 && errno != EINVAL) {
+    return Status::Internal(Errno("fsync dir", dir));
+  }
+  return Status::Ok();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::Internal(Errno("open", tmp));
+
+  size_t persist = contents.size();
+  Status injected;
+  if (auto fault = FaultInjector::Global().Hit("atomic_write")) {
+    switch (fault->kind) {
+      case FaultKind::kFail:
+        persist = 0;
+        injected = Status::Internal("fault injected: atomic_write fail");
+        break;
+      case FaultKind::kTorn:
+        persist = fault->arg > 0
+                      ? std::min<size_t>(static_cast<size_t>(fault->arg),
+                                         contents.size())
+                      : contents.size() / 2;
+        injected = Status::Internal("fault injected: atomic_write torn");
+        break;
+      default:
+        break;
+    }
+  }
+
+  Status status = WriteAllFd(fd, contents.data(), persist, tmp);
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::Internal(Errno("fsync", tmp));
+  }
+  ::close(fd);
+  if (status.ok() && !injected.ok()) status = injected;
+  if (!status.ok()) return status;  // tmp file left behind is harmless
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(Errno("rename", tmp + " -> " + path));
+  }
+  return FsyncParentDir(path);
+}
+
+}  // namespace nous

@@ -1,0 +1,44 @@
+#ifndef NOUS_DURABILITY_FS_UTIL_H_
+#define NOUS_DURABILITY_FS_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nous {
+
+/// POSIX filesystem helpers shared by the WAL and checkpointer. All
+/// failures surface as Status (errno folded into the message); nothing
+/// here throws or aborts.
+
+/// Creates `path` (one level) if it does not exist.
+Status EnsureDirectory(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Shrinks `path` to exactly `size` bytes.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+Status RemoveFile(const std::string& path);
+
+/// Writes `contents` to `path` with full-file atomicity: the bytes go
+/// to `path + ".tmp"`, the temp file is fsynced, renamed over `path`,
+/// and the parent directory is fsynced so the rename itself is
+/// durable. A crash at any point leaves either the old file or the
+/// new one — never a torn mix. Honors fault point "atomic_write"
+/// (kFail → error before rename; kTorn → temp file keeps only a
+/// prefix, then error).
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// fsyncs the directory containing `path` (no-op error suppression is
+/// deliberate on filesystems that reject directory fsync).
+Status FsyncParentDir(const std::string& path);
+
+}  // namespace nous
+
+#endif  // NOUS_DURABILITY_FS_UTIL_H_

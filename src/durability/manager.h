@@ -1,0 +1,104 @@
+#ifndef NOUS_DURABILITY_MANAGER_H_
+#define NOUS_DURABILITY_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "durability/checkpoint.h"
+#include "durability/wal.h"
+
+namespace nous {
+
+/// Knobs for crash-safe ingest (Nous::Options::durability).
+struct DurabilityOptions {
+  /// Directory holding wal.log + checkpoint.nous. Created on demand.
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  /// WAL appends between fsyncs under kInterval.
+  size_t fsync_interval_records = 16;
+  /// Logged batches between automatic checkpoints (0 = checkpoint only
+  /// when Nous::Checkpoint() is called).
+  size_t checkpoint_interval_batches = 0;
+};
+
+/// Owns the WAL + checkpoint files of one durable NOUS instance and
+/// the sequencing between them. The protocol (DESIGN.md §5.10):
+///
+///   ingest:     LogBatch(encode(batch))   -- log before apply
+///               pipeline.IngestBatch(...) -- apply
+///               ack                        -- only after both
+///   checkpoint: WriteCheckpoint(pipeline.SaveState())
+///               -> atomically replaces checkpoint.nous, then resets
+///                  the WAL (records <= last_applied_seq are dead)
+///   recovery:   Recover() -> checkpoint payload + WAL records with
+///               seq > checkpoint.last_applied_seq, torn tail dropped
+///               and the file truncated to its valid prefix.
+///
+/// Not internally synchronized: Nous serializes durable ingest under
+/// its ingest mutex (acquired before the pipeline's kg_mutex).
+class DurabilityManager {
+ public:
+  explicit DurabilityManager(DurabilityOptions options);
+  ~DurabilityManager();
+
+  DurabilityManager(const DurabilityManager&) = delete;
+  DurabilityManager& operator=(const DurabilityManager&) = delete;
+
+  /// What a crashed instance left behind.
+  struct RecoveredState {
+    bool has_checkpoint = false;
+    CheckpointData checkpoint;
+    /// WAL records to replay, already filtered to
+    /// seq > checkpoint.last_applied_seq and in seq order.
+    std::vector<WalRecord> replay;
+    /// Frames dropped from the torn/corrupt WAL tail.
+    uint64_t dropped_records = 0;
+    uint64_t dropped_bytes = 0;
+  };
+
+  /// Scans checkpoint + WAL, truncates any torn WAL tail to its valid
+  /// prefix, and returns what survived. Call before OpenWal. A corrupt
+  /// checkpoint is an error (stale-but-intact beats silently wrong);
+  /// a torn WAL tail is not (it was never acknowledged).
+  Result<RecoveredState> Recover();
+
+  /// Opens the WAL for append; subsequent LogBatch calls are numbered
+  /// from `last_applied_seq + 1`.
+  Status OpenWal(uint64_t last_applied_seq);
+
+  /// Appends one encoded batch and applies the fsync policy. On
+  /// success returns the batch's sequence number; on failure nothing
+  /// was committed and the caller must not acknowledge the batch.
+  Result<uint64_t> LogBatch(std::string_view payload);
+
+  /// True when checkpoint_interval_batches have been logged since the
+  /// last checkpoint.
+  bool ShouldCheckpoint() const;
+
+  /// Atomically persists `state` (a KgPipeline::SaveState payload)
+  /// covering everything logged so far, then resets the WAL to empty.
+  Status WriteCheckpoint(std::string state);
+
+  /// Forces buffered WAL records to stable storage now.
+  Status SyncWal();
+
+  Status Close();
+
+  uint64_t last_logged_seq() const { return last_logged_seq_; }
+  std::string wal_path() const;
+  std::string checkpoint_path() const;
+  const DurabilityOptions& options() const { return options_; }
+
+ private:
+  DurabilityOptions options_;
+  WalWriter wal_;
+  uint64_t last_logged_seq_ = 0;
+  uint64_t batches_since_checkpoint_ = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_DURABILITY_MANAGER_H_

@@ -1,0 +1,62 @@
+#include "durability/wal_codec.h"
+
+#include "common/binary_io.h"
+
+namespace nous {
+
+namespace {
+/// Payload version; bump on any layout change.
+constexpr uint32_t kBatchVersion = 1;
+}  // namespace
+
+std::string EncodeArticleBatch(const Article* articles, size_t count) {
+  BinaryWriter writer;
+  writer.U32(kBatchVersion);
+  writer.U64(count);
+  for (size_t i = 0; i < count; ++i) {
+    const Article& a = articles[i];
+    writer.Str(a.id);
+    writer.U32(static_cast<uint32_t>(a.date.year));
+    writer.U8(static_cast<uint8_t>(a.date.month));
+    writer.U8(static_cast<uint8_t>(a.date.day));
+    writer.Str(a.source);
+    writer.Str(a.text);
+  }
+  return writer.Take();
+}
+
+Result<std::vector<Article>> DecodeArticleBatch(std::string_view payload) {
+  BinaryReader reader(payload);
+  uint32_t version = 0;
+  NOUS_RETURN_IF_ERROR(reader.U32(&version));
+  if (version != kBatchVersion) {
+    return Status::DataLoss("WAL batch version " + std::to_string(version) +
+                            " unsupported (expected " +
+                            std::to_string(kBatchVersion) + ")");
+  }
+  uint64_t count = 0;
+  NOUS_RETURN_IF_ERROR(reader.Count(&count, 8 + 6 + 16));
+  std::vector<Article> articles;
+  articles.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Article a;
+    NOUS_RETURN_IF_ERROR(reader.Str(&a.id));
+    uint32_t year = 0;
+    uint8_t month = 0, day = 0;
+    NOUS_RETURN_IF_ERROR(reader.U32(&year));
+    NOUS_RETURN_IF_ERROR(reader.U8(&month));
+    NOUS_RETURN_IF_ERROR(reader.U8(&day));
+    a.date.year = static_cast<int>(year);
+    a.date.month = month;
+    a.date.day = day;
+    NOUS_RETURN_IF_ERROR(reader.Str(&a.source));
+    NOUS_RETURN_IF_ERROR(reader.Str(&a.text));
+    articles.push_back(std::move(a));
+  }
+  if (!reader.AtEnd()) {
+    return Status::DataLoss("WAL batch has trailing bytes");
+  }
+  return articles;
+}
+
+}  // namespace nous

@@ -1,0 +1,30 @@
+#ifndef NOUS_DURABILITY_WAL_CODEC_H_
+#define NOUS_DURABILITY_WAL_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/article_generator.h"
+
+namespace nous {
+
+/// Serializes one ingest batch for the WAL. Only the fields the
+/// pipeline reads during ingest are kept (id, date, source, text);
+/// gold annotations are evaluation-only and deliberately dropped —
+/// replaying a recovered WAL through KgPipeline::IngestBatch
+/// reproduces the KG without them.
+std::string EncodeArticleBatch(const Article* articles, size_t count);
+
+inline std::string EncodeArticleBatch(const std::vector<Article>& articles) {
+  return EncodeArticleBatch(articles.data(), articles.size());
+}
+
+/// Inverse of EncodeArticleBatch. Rejects malformed payloads with
+/// DataLoss/OutOfRange instead of crashing (a CRC-valid frame can
+/// still be version-skewed).
+Result<std::vector<Article>> DecodeArticleBatch(std::string_view payload);
+
+}  // namespace nous
+
+#endif  // NOUS_DURABILITY_WAL_CODEC_H_

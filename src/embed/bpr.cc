@@ -241,4 +241,41 @@ double BprModel::EstimateLoss(const std::vector<IdTriple>& triples,
   return total / static_cast<double>(n);
 }
 
+void BprModel::SaveBinary(BinaryWriter* writer) const {
+  uint64_t rng_state[4];
+  rng_.SaveState(rng_state);
+  for (uint64_t word : rng_state) writer->U64(word);
+  writer->U64(num_entities_);
+  writer->U64(num_predicates_);
+  writer->F64Array(subject_emb_);
+  writer->F64Array(object_emb_);
+  writer->F64Array(predicate_diag_);
+  writer->F64Array(predicate_bias_);
+}
+
+Status BprModel::LoadBinary(BinaryReader* reader) {
+  uint64_t rng_state[4];
+  for (uint64_t& word : rng_state) NOUS_RETURN_IF_ERROR(reader->U64(&word));
+  rng_.RestoreState(rng_state);
+  uint64_t entities = 0, predicates = 0;
+  NOUS_RETURN_IF_ERROR(reader->U64(&entities));
+  NOUS_RETURN_IF_ERROR(reader->U64(&predicates));
+  num_entities_ = entities;
+  num_predicates_ = predicates;
+  NOUS_RETURN_IF_ERROR(reader->F64Array(&subject_emb_));
+  NOUS_RETURN_IF_ERROR(reader->F64Array(&object_emb_));
+  NOUS_RETURN_IF_ERROR(reader->F64Array(&predicate_diag_));
+  NOUS_RETURN_IF_ERROR(reader->F64Array(&predicate_bias_));
+  const size_t dim = config_.latent_dim;
+  if (subject_emb_.size() != num_entities_ * dim ||
+      object_emb_.size() != num_entities_ * dim ||
+      predicate_diag_.size() != num_predicates_ * dim ||
+      predicate_bias_.size() != num_predicates_) {
+    return Status::DataLoss(
+        "BPR checkpoint dimensions do not match latent_dim " +
+        std::to_string(dim));
+  }
+  return Status::Ok();
+}
+
 }  // namespace nous

@@ -4,7 +4,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "embed/link_predictor.h"
 
@@ -70,6 +72,13 @@ class BprModel : public LinkPredictor {
 
   size_t num_entities() const { return num_entities_; }
   const BprConfig& config() const { return config_; }
+
+  /// Checkpoint serialization: parameter tables bit-exact plus the
+  /// RNG state, so a restored model continues the exact same SGD
+  /// trajectory (negative sampling included). Config and pool are
+  /// reconstructed by the caller and must match the saved dimensions.
+  void SaveBinary(BinaryWriter* writer) const;
+  Status LoadBinary(BinaryReader* reader);
 
  private:
   /// One presampled SGD example: (subject, predicate, positive object,

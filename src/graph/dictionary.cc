@@ -24,4 +24,24 @@ const std::string& Dictionary::GetString(uint32_t id) const {
   return strings_[id];
 }
 
+void Dictionary::SaveBinary(BinaryWriter* writer) const {
+  writer->U64(strings_.size());
+  for (const std::string& s : strings_) writer->Str(s);
+}
+
+Status Dictionary::LoadBinary(BinaryReader* reader) {
+  uint64_t count = 0;
+  NOUS_RETURN_IF_ERROR(reader->Count(&count, 8));
+  index_.clear();
+  strings_.clear();
+  strings_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string s;
+    NOUS_RETURN_IF_ERROR(reader->Str(&s));
+    strings_.push_back(std::move(s));
+    index_.emplace(strings_.back(), static_cast<uint32_t>(i));
+  }
+  return Status::Ok();
+}
+
 }  // namespace nous

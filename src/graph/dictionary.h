@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/status.h"
+
 namespace nous {
 
 /// Interns strings to dense 32-bit ids. Separate instances are used for
@@ -31,6 +34,11 @@ class Dictionary {
 
   size_t size() const { return strings_.size(); }
   bool empty() const { return strings_.empty(); }
+
+  /// Checkpoint serialization: strings in id order, so ids are
+  /// preserved exactly across a save/load round trip.
+  void SaveBinary(BinaryWriter* writer) const;
+  Status LoadBinary(BinaryReader* reader);
 
  private:
   std::unordered_map<std::string, uint32_t> index_;

@@ -1,7 +1,9 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -31,7 +33,14 @@ Status SaveGraph(const PropertyGraph& graph, std::ostream& out) {
     out << "V\t" << label << "\t"
         << (type == kInvalidType ? "-" : graph.types().GetString(type))
         << "\n";
-    for (const auto& [term, weight] : graph.VertexBag(v)) {
+    // Canonical (TermId-sorted) emission: the bag map is unordered, so
+    // dumping it directly would make the file's byte content depend on
+    // insertion history. Sorted output lets tests diff two dumps.
+    std::vector<std::pair<TermId, double>> bag(graph.VertexBag(v).begin(),
+                                               graph.VertexBag(v).end());
+    std::sort(bag.begin(), bag.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [term, weight] : bag) {
       const std::string& term_text = graph.terms().GetString(term);
       if (!LabelSafe(term_text)) {
         return Status::InvalidArgument("term contains tab/newline");

@@ -147,4 +147,135 @@ void PropertyGraph::ForEachEdge(
   }
 }
 
+namespace {
+
+void SaveAdjacency(BinaryWriter* writer,
+                   const std::vector<std::vector<AdjEntry>>& adj) {
+  for (const std::vector<AdjEntry>& entries : adj) {
+    writer->U64(entries.size());
+    for (const AdjEntry& a : entries) {
+      writer->U32(a.predicate);
+      writer->U32(a.neighbor);
+      writer->U32(a.edge);
+    }
+  }
+}
+
+Status LoadAdjacency(BinaryReader* reader, size_t num_vertices,
+                     std::vector<std::vector<AdjEntry>>* adj) {
+  adj->assign(num_vertices, {});
+  for (size_t v = 0; v < num_vertices; ++v) {
+    uint64_t count = 0;
+    NOUS_RETURN_IF_ERROR(reader->Count(&count, 12));
+    (*adj)[v].reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      AdjEntry a;
+      NOUS_RETURN_IF_ERROR(reader->U32(&a.predicate));
+      NOUS_RETURN_IF_ERROR(reader->U32(&a.neighbor));
+      NOUS_RETURN_IF_ERROR(reader->U32(&a.edge));
+      (*adj)[v].push_back(a);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void PropertyGraph::SaveBinary(BinaryWriter* writer) const {
+  vertex_labels_.SaveBinary(writer);
+  predicates_.SaveBinary(writer);
+  terms_.SaveBinary(writer);
+  types_.SaveBinary(writer);
+  sources_.SaveBinary(writer);
+
+  writer->U64(vertices_.size());
+  for (const VertexRecord& rec : vertices_) {
+    writer->U32(rec.type);
+    // Canonical (sorted) bag emission: the in-memory map is unordered,
+    // so sorting is what makes Save deterministic.
+    std::vector<std::pair<TermId, double>> bag(rec.bag.begin(),
+                                               rec.bag.end());
+    std::sort(bag.begin(), bag.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    writer->U64(bag.size());
+    for (const auto& [term, weight] : bag) {
+      writer->U32(term);
+      writer->F64(weight);
+    }
+    writer->F64Array(rec.topics);
+  }
+
+  writer->U64(edges_.size());
+  for (const EdgeRecord& rec : edges_) {
+    writer->U32(rec.subject);
+    writer->U32(rec.object);
+    writer->U32(rec.predicate);
+    writer->F64(rec.meta.confidence);
+    writer->I64(rec.meta.timestamp);
+    writer->U32(rec.meta.source);
+    writer->U8(rec.meta.curated ? 1 : 0);
+    writer->U8(rec.alive ? 1 : 0);
+  }
+
+  // Adjacency is stored explicitly (not rebuilt from edge slots): its
+  // order encodes the full add/remove history, which a slot replay
+  // cannot reproduce after RemoveEdge's swap-with-back compaction.
+  SaveAdjacency(writer, out_);
+  SaveAdjacency(writer, in_);
+  writer->U64(num_live_edges_);
+}
+
+Status PropertyGraph::LoadBinary(BinaryReader* reader) {
+  NOUS_RETURN_IF_ERROR(vertex_labels_.LoadBinary(reader));
+  NOUS_RETURN_IF_ERROR(predicates_.LoadBinary(reader));
+  NOUS_RETURN_IF_ERROR(terms_.LoadBinary(reader));
+  NOUS_RETURN_IF_ERROR(types_.LoadBinary(reader));
+  NOUS_RETURN_IF_ERROR(sources_.LoadBinary(reader));
+
+  uint64_t num_vertices = 0;
+  NOUS_RETURN_IF_ERROR(reader->Count(&num_vertices, 4 + 8 + 8));
+  if (num_vertices != vertex_labels_.size()) {
+    return Status::DataLoss("graph checkpoint: vertex count mismatch");
+  }
+  vertices_.assign(num_vertices, {});
+  for (VertexRecord& rec : vertices_) {
+    NOUS_RETURN_IF_ERROR(reader->U32(&rec.type));
+    uint64_t bag_size = 0;
+    NOUS_RETURN_IF_ERROR(reader->Count(&bag_size, 12));
+    rec.bag.reserve(bag_size);
+    for (uint64_t i = 0; i < bag_size; ++i) {
+      TermId term = 0;
+      double weight = 0;
+      NOUS_RETURN_IF_ERROR(reader->U32(&term));
+      NOUS_RETURN_IF_ERROR(reader->F64(&weight));
+      rec.bag.emplace(term, weight);
+    }
+    NOUS_RETURN_IF_ERROR(reader->F64Array(&rec.topics));
+  }
+
+  uint64_t num_edges = 0;
+  NOUS_RETURN_IF_ERROR(reader->Count(&num_edges, 4 * 3 + 8 + 8 + 4 + 2));
+  edges_.assign(num_edges, {});
+  for (EdgeRecord& rec : edges_) {
+    NOUS_RETURN_IF_ERROR(reader->U32(&rec.subject));
+    NOUS_RETURN_IF_ERROR(reader->U32(&rec.object));
+    NOUS_RETURN_IF_ERROR(reader->U32(&rec.predicate));
+    NOUS_RETURN_IF_ERROR(reader->F64(&rec.meta.confidence));
+    NOUS_RETURN_IF_ERROR(reader->I64(&rec.meta.timestamp));
+    NOUS_RETURN_IF_ERROR(reader->U32(&rec.meta.source));
+    uint8_t curated = 0, alive = 0;
+    NOUS_RETURN_IF_ERROR(reader->U8(&curated));
+    NOUS_RETURN_IF_ERROR(reader->U8(&alive));
+    rec.meta.curated = curated != 0;
+    rec.alive = alive != 0;
+  }
+
+  NOUS_RETURN_IF_ERROR(LoadAdjacency(reader, num_vertices, &out_));
+  NOUS_RETURN_IF_ERROR(LoadAdjacency(reader, num_vertices, &in_));
+  uint64_t live = 0;
+  NOUS_RETURN_IF_ERROR(reader->U64(&live));
+  num_live_edges_ = live;
+  return Status::Ok();
+}
+
 }  // namespace nous

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/status.h"
 #include "graph/dictionary.h"
 #include "graph/types.h"
@@ -131,6 +132,20 @@ class PropertyGraph {
   const Dictionary& types() const { return types_; }
   Dictionary& sources() { return sources_; }
   const Dictionary& sources() const { return sources_; }
+
+  // ---- Checkpoint serialization ----
+
+  /// Writes the complete graph state — all five dictionaries in id
+  /// order, every vertex record (bags emitted sorted by TermId), every
+  /// edge slot including dead ones, and both adjacency arrays — so a
+  /// LoadBinary round trip reproduces the graph exactly: identical
+  /// ids, identical slot layout, identical adjacency order.
+  void SaveBinary(BinaryWriter* writer) const;
+
+  /// Restores a SaveBinary payload, replacing current contents.
+  /// Malformed input reports an error and may leave the graph
+  /// partially loaded; callers discard the instance on failure.
+  Status LoadBinary(BinaryReader* reader);
 
  private:
   Dictionary vertex_labels_;

@@ -1,6 +1,9 @@
 #include "linker/context.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "text/tokenizer.h"
@@ -25,7 +28,17 @@ TermBag BuildEntityBag(const PropertyGraph& graph, VertexId v,
                        size_t max_neighbors) {
   TermBag bag;
   if (v >= graph.NumVertices()) return bag;
-  for (const auto& [term, weight] : graph.VertexBag(v)) {
+  // Canonical (TermId-sorted) iteration: the vertex bag is an
+  // unordered map whose traversal order depends on insertion history,
+  // which a checkpoint restore does not reproduce. Sorting makes the
+  // bag's insertion sequence — and therefore every downstream
+  // FP accumulation over it — a pure function of graph content
+  // (DESIGN.md §5.10).
+  std::vector<std::pair<TermId, double>> terms(graph.VertexBag(v).begin(),
+                                               graph.VertexBag(v).end());
+  std::sort(terms.begin(), terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [term, weight] : terms) {
     bag[ToLower(graph.terms().GetString(term))] += weight;
   }
   size_t taken = 0;

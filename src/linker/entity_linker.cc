@@ -199,4 +199,54 @@ LinkDecision EntityLinker::LinkOne(const std::string& surface,
   return LinkMentions({surface}, {type}, doc_bag)[0];
 }
 
+void EntityLinker::SaveBinary(BinaryWriter* writer) const {
+  std::vector<const std::string*> surfaces;
+  surfaces.reserve(alias_index_.size());
+  for (const auto& [surface, candidates] : alias_index_) {
+    surfaces.push_back(&surface);
+  }
+  std::sort(surfaces.begin(), surfaces.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  writer->U64(surfaces.size());
+  for (const std::string* surface : surfaces) {
+    writer->Str(*surface);
+    const auto& candidates = alias_index_.at(*surface);
+    writer->U64(candidates.size());
+    for (const auto& [vertex, prior] : candidates) {
+      writer->U32(vertex);
+      writer->F64(prior);
+    }
+  }
+  writer->F64(max_prior_);
+  writer->U64(num_created_);
+}
+
+Status EntityLinker::LoadBinary(BinaryReader* reader) {
+  uint64_t num_surfaces = 0;
+  NOUS_RETURN_IF_ERROR(reader->Count(&num_surfaces, 8 + 8));
+  alias_index_.clear();
+  alias_index_.reserve(num_surfaces);
+  for (uint64_t i = 0; i < num_surfaces; ++i) {
+    std::string surface;
+    NOUS_RETURN_IF_ERROR(reader->Str(&surface));
+    uint64_t num_candidates = 0;
+    NOUS_RETURN_IF_ERROR(reader->Count(&num_candidates, 12));
+    std::vector<std::pair<VertexId, double>> candidates;
+    candidates.reserve(num_candidates);
+    for (uint64_t j = 0; j < num_candidates; ++j) {
+      VertexId vertex = 0;
+      double prior = 0;
+      NOUS_RETURN_IF_ERROR(reader->U32(&vertex));
+      NOUS_RETURN_IF_ERROR(reader->F64(&prior));
+      candidates.emplace_back(vertex, prior);
+    }
+    alias_index_.emplace(std::move(surface), std::move(candidates));
+  }
+  NOUS_RETURN_IF_ERROR(reader->F64(&max_prior_));
+  uint64_t created = 0;
+  NOUS_RETURN_IF_ERROR(reader->U64(&created));
+  num_created_ = created;
+  return Status::Ok();
+}
+
 }  // namespace nous

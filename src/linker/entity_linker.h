@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
+#include "common/status.h"
 #include "graph/property_graph.h"
 #include "linker/context.h"
 #include "text/ner.h"
@@ -75,6 +77,12 @@ class EntityLinker {
       std::string_view surface) const;
 
   size_t num_created() const { return num_created_; }
+
+  /// Checkpoint serialization of the alias index (surfaces in sorted
+  /// order, candidate lists in registration order) plus counters.
+  /// The graph pointer and config are reconstructed by the caller.
+  void SaveBinary(BinaryWriter* writer) const;
+  Status LoadBinary(BinaryReader* reader);
 
  private:
   struct ScoredCandidate {

@@ -1,6 +1,8 @@
 #include "mapping/predicate_mapper.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -105,10 +107,20 @@ MappingDecision PredicateMapper::Map(std::string_view raw_phrase,
   MappingDecision decision;
   auto it = phrase_evidence_.find(ToLower(raw_phrase));
   if (it == phrase_evidence_.end()) return decision;
-  double total = 0;
-  for (const auto& [pred, weight] : it->second) total += weight;
-  if (total < config_.min_total_evidence) return decision;
+  // Canonical (name-sorted) iteration: the evidence map is unordered,
+  // so both the FP evidence total and the argmax tie-break below would
+  // otherwise depend on insertion history — which a checkpoint restore
+  // does not reproduce (DESIGN.md §5.10).
+  std::vector<std::pair<std::string_view, double>> entries;
+  entries.reserve(it->second.size());
   for (const auto& [pred, weight] : it->second) {
+    entries.emplace_back(pred, weight);
+  }
+  std::sort(entries.begin(), entries.end());
+  double total = 0;
+  for (const auto& [pred, weight] : entries) total += weight;
+  if (total < config_.min_total_evidence) return decision;
+  for (const auto& [pred, weight] : entries) {
     double score = weight / total;
     if (score < config_.min_map_score) continue;
     if (score <= decision.score) continue;
@@ -139,6 +151,53 @@ std::vector<std::string> PredicateMapper::KnownPhrases() const {
     phrases.push_back(phrase);
   }
   return phrases;
+}
+
+void PredicateMapper::SaveBinary(BinaryWriter* writer) const {
+  std::vector<const std::string*> phrases;
+  phrases.reserve(phrase_evidence_.size());
+  for (const auto& [phrase, preds] : phrase_evidence_) {
+    phrases.push_back(&phrase);
+  }
+  std::sort(phrases.begin(), phrases.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  writer->U64(phrases.size());
+  for (const std::string* phrase : phrases) {
+    writer->Str(*phrase);
+    const auto& preds = phrase_evidence_.at(*phrase);
+    std::vector<std::pair<std::string, double>> entries(preds.begin(),
+                                                        preds.end());
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    writer->U64(entries.size());
+    for (const auto& [pred, weight] : entries) {
+      writer->Str(pred);
+      writer->F64(weight);
+    }
+  }
+}
+
+Status PredicateMapper::LoadBinary(BinaryReader* reader) {
+  uint64_t num_phrases = 0;
+  NOUS_RETURN_IF_ERROR(reader->Count(&num_phrases, 8 + 8));
+  phrase_evidence_.clear();
+  phrase_evidence_.reserve(num_phrases);
+  for (uint64_t i = 0; i < num_phrases; ++i) {
+    std::string phrase;
+    NOUS_RETURN_IF_ERROR(reader->Str(&phrase));
+    uint64_t num_preds = 0;
+    NOUS_RETURN_IF_ERROR(reader->Count(&num_preds, 8 + 8));
+    auto& preds = phrase_evidence_[std::move(phrase)];
+    preds.reserve(num_preds);
+    for (uint64_t j = 0; j < num_preds; ++j) {
+      std::string pred;
+      double weight = 0;
+      NOUS_RETURN_IF_ERROR(reader->Str(&pred));
+      NOUS_RETURN_IF_ERROR(reader->F64(&weight));
+      preds.emplace(std::move(pred), weight);
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace nous

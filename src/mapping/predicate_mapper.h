@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/status.h"
 #include "kb/ontology.h"
 
@@ -72,6 +73,12 @@ class PredicateMapper {
   std::vector<std::string> KnownPhrases() const;
 
   const Ontology& ontology() const { return *ontology_; }
+
+  /// Checkpoint serialization of the learned phrase evidence (seeds
+  /// included); the ontology pointer and config are reconstructed by
+  /// the caller.
+  void SaveBinary(BinaryWriter* writer) const;
+  Status LoadBinary(BinaryReader* reader);
 
  private:
   bool TypeGatePasses(std::string_view type,

@@ -209,7 +209,12 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
     ReaderMutexLock lock(nous_->kg_mutex());
     accepted_before = nous_->stats().accepted_triples;
   }
-  nous_->IngestText(request.body, date, source);
+  Status status = nous_->IngestText(request.body, date, source);
+  if (!status.ok()) {
+    // Durable logging failed: nothing was committed, so the honest
+    // answer is "retry later", not a fabricated accept count.
+    return JsonError(503, "ingest not durable: " + status.ToString());
+  }
   ReaderMutexLock lock(nous_->kg_mutex());
   JsonWriter w;
   w.BeginObject();
@@ -239,6 +244,17 @@ HttpResponse NousApi::Route(const HttpRequest& request) {
   }
   if (request.path == "/api/metrics" && request.method == "GET") {
     return HandleMetrics();
+  }
+  if (request.path == "/api/healthz" && request.method == "GET") {
+    HttpResponse response;
+    response.body = "{\"status\":\"ok\"}";
+    return response;
+  }
+  if (request.path == "/api/readyz" && request.method == "GET") {
+    if (!ready()) return JsonError(503, "draining");
+    HttpResponse response;
+    response.body = "{\"status\":\"ready\"}";
+    return response;
   }
   if (request.path == "/api/ingest" && request.method == "POST") {
     return HandleIngest(request);

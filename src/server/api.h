@@ -1,6 +1,7 @@
 #ifndef NOUS_SERVER_API_H_
 #define NOUS_SERVER_API_H_
 
+#include <atomic>
 #include <string>
 
 #include "common/thread_annotations.h"
@@ -19,7 +20,11 @@ namespace nous {
 ///                               per-stage latency quantiles
 ///   GET  /api/metrics           Prometheus text-exposition dump of the
 ///                               process-wide MetricsRegistry (obs/)
+///   GET  /api/healthz           liveness: 200 while the process runs
+///   GET  /api/readyz            readiness: 200 while serving, 503
+///                               after SetReady(false) (drain)
 ///   POST /api/ingest?source=s&year=Y&month=M&day=D   body = text
+///        (503 when durable logging fails: unlogged = unacknowledged)
 ///
 /// The API serializes Answer structures to JSON (facts with
 /// provenance, trending entities, patterns, paths). Every request is
@@ -38,6 +43,14 @@ class NousApi {
   /// The HttpServer handler.
   HttpResponse Handle(const HttpRequest& request);
 
+  /// Flips /api/readyz between 200 and 503. Load balancers watch it:
+  /// SetReady(false) before HttpServer::Stop() lets traffic move away
+  /// while in-flight requests finish (graceful drain).
+  void SetReady(bool ready) {
+    ready_.store(ready, std::memory_order_release);
+  }
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
   /// JSON for one executed answer (exposed for tests). Reads the
   /// graph's dictionaries: callers must hold a ReaderMutexLock on
   /// nous->kg_mutex() across the call (compile-enforced under Clang).
@@ -52,6 +65,8 @@ class NousApi {
   HttpResponse Route(const HttpRequest& request);
 
   Nous* nous_;
+  /// Readiness toggle; atomic so drain can flip it while workers serve.
+  std::atomic<bool> ready_{true};  // lint: unguarded(atomic flag)
 };
 
 /// The embedded single-page UI served at "/".

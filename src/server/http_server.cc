@@ -6,44 +6,95 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace nous {
 
 namespace {
 
-/// Reads until the end of headers plus Content-Length body bytes.
-/// Returns false on malformed input or closed connection.
-bool ReadRequest(int fd, std::string* raw) {
+/// Why reading a request stopped. Everything except kOk and
+/// kDisconnect maps to a specific error status the client can see.
+enum class ReadOutcome {
+  kOk,
+  kDisconnect,      // peer closed / reset before a full request
+  kTimeout,         // io_timeout_ms passed with the request incomplete
+  kHeaderTooLarge,  // headers exceeded max_header_bytes
+  kBodyTooLarge,    // declared or received body exceeded max_body_bytes
+};
+
+/// One recv with the "http_recv" fault point in front: kDelay stalls
+/// `arg` ms (a deterministic slow-loris client), kFail reports a
+/// dropped connection.
+ssize_t RecvWithFaults(int fd, char* buffer, size_t size) {
+  if (auto fault = FaultInjector::Global().Hit("http_recv")) {
+    if (fault->kind == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          fault->arg > 0 ? fault->arg : 100));
+    } else {
+      errno = ECONNRESET;
+      return -1;
+    }
+  }
+  return ::recv(fd, buffer, size, 0);
+}
+
+/// Reads until the end of headers plus Content-Length body bytes,
+/// enforcing the header/body caps.
+ReadOutcome ReadRequest(int fd, const HttpServerOptions& options,
+                        std::string* raw) {
   raw->clear();
   char buffer[4096];
   size_t content_length = 0;
   size_t header_end = std::string::npos;
   while (true) {
     if (header_end == std::string::npos) {
-      ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-      if (n <= 0) return false;
+      ssize_t n = RecvWithFaults(fd, buffer, sizeof(buffer));
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return ReadOutcome::kTimeout;
+      }
+      if (n <= 0) return ReadOutcome::kDisconnect;
       raw->append(buffer, static_cast<size_t>(n));
-      if (raw->size() > 1 << 20) return false;  // 1 MiB cap
       header_end = raw->find("\r\n\r\n");
-      if (header_end == std::string::npos) continue;
+      if (header_end == std::string::npos) {
+        if (raw->size() > options.max_header_bytes) {
+          return ReadOutcome::kHeaderTooLarge;
+        }
+        continue;
+      }
+      if (header_end > options.max_header_bytes) {
+        return ReadOutcome::kHeaderTooLarge;
+      }
       // Parse Content-Length if present.
       std::string lower = ToLower(raw->substr(0, header_end));
       size_t pos = lower.find("content-length:");
       if (pos != std::string::npos) {
-        content_length = static_cast<size_t>(
-            std::atoll(lower.c_str() + pos + 15));
-        if (content_length > 1 << 20) return false;
+        long long declared = std::atoll(lower.c_str() + pos + 15);
+        if (declared < 0 ||
+            static_cast<size_t>(declared) > options.max_body_bytes) {
+          return ReadOutcome::kBodyTooLarge;
+        }
+        content_length = static_cast<size_t>(declared);
       }
     }
     size_t have_body = raw->size() - (header_end + 4);
-    if (have_body >= content_length) return true;
-    ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) return false;
+    if (have_body > options.max_body_bytes) {
+      return ReadOutcome::kBodyTooLarge;
+    }
+    if (have_body >= content_length) return ReadOutcome::kOk;
+    ssize_t n = RecvWithFaults(fd, buffer, sizeof(buffer));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return ReadOutcome::kTimeout;
+    }
+    if (n <= 0) return ReadOutcome::kDisconnect;
     raw->append(buffer, static_cast<size_t>(n));
   }
 }
@@ -78,16 +129,26 @@ bool ParseRequest(const std::string& raw, HttpRequest* request) {
   return true;
 }
 
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
 void WriteResponse(int fd, const HttpResponse& response) {
-  const char* reason = response.status == 200   ? "OK"
-                       : response.status == 400 ? "Bad Request"
-                       : response.status == 404 ? "Not Found"
-                                                : "Error";
   std::string head = StrFormat(
       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
       "Connection: close\r\n\r\n",
-      response.status, reason, response.content_type.c_str(),
-      response.body.size());
+      response.status, ReasonPhrase(response.status),
+      response.content_type.c_str(), response.body.size());
   std::string full = head + response.body;
   size_t sent = 0;
   while (sent < full.size()) {
@@ -95,6 +156,13 @@ void WriteResponse(int fd, const HttpResponse& response) {
     if (n <= 0) return;
     sent += static_cast<size_t>(n);
   }
+}
+
+HttpResponse StatusOnly(int status, const char* message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = StrFormat("{\"error\":\"%s\"}", message);
+  return response;
 }
 
 }  // namespace
@@ -128,8 +196,15 @@ std::string UrlDecode(std::string_view text) {
   return out;
 }
 
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {}
+
 HttpServer::HttpServer(Handler handler, size_t num_threads)
-    : handler_(std::move(handler)), num_threads_(num_threads) {}
+    : HttpServer(std::move(handler), [num_threads] {
+        HttpServerOptions options;
+        options.num_threads = num_threads;
+        return options;
+      }()) {}
 
 HttpServer::~HttpServer() { Stop(); }
 
@@ -156,8 +231,8 @@ Status HttpServer::Start(uint16_t port) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (num_threads_ > 1) {
-    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   }
   running_.store(true);
   thread_ = std::thread([this] { AcceptLoop(); });
@@ -180,32 +255,80 @@ void HttpServer::Stop() {
 }
 
 void HttpServer::AcceptLoop() {
+  static Counter* shed = MetricsRegistry::Global().GetCounter(
+      "nous_http_shed_total",
+      "Connections rejected with 503 because max_inflight was reached");
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, 100);
     if (ready <= 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.io_timeout_ms > 0) {
+      timeval tv{};
+      tv.tv_sec = options_.io_timeout_ms / 1000;
+      tv.tv_usec = (options_.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    // Shed before queueing: a flooded server answers 503 in constant
+    // time instead of stacking connections it will serve seconds late.
+    if (options_.max_inflight > 0 &&
+        inflight_.load(std::memory_order_relaxed) >=
+            options_.max_inflight) {
+      shed->Increment();
+      WriteResponse(fd, StatusOnly(503, "server overloaded, retry"));
+      ::close(fd);
+      continue;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
     if (pool_ != nullptr) {
       pool_->Submit([this, fd] {
         HandleConnection(fd);
         ::close(fd);
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
       });
     } else {
       HandleConnection(fd);
       ::close(fd);
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
 }
 
 void HttpServer::HandleConnection(int fd) {
+  static Counter* deadline = MetricsRegistry::Global().GetCounter(
+      "nous_http_deadline_exceeded_total",
+      "Requests answered 408 because the client stalled past the "
+      "socket deadline");
+  static Counter* rejected = MetricsRegistry::Global().GetCounter(
+      "nous_http_rejected_total",
+      "Requests rejected before routing (400/413/431)");
   std::string raw;
-  if (!ReadRequest(fd, &raw)) return;
+  switch (ReadRequest(fd, options_, &raw)) {
+    case ReadOutcome::kOk:
+      break;
+    case ReadOutcome::kDisconnect:
+      // Nobody left to answer; just release the socket.
+      return;
+    case ReadOutcome::kTimeout:
+      deadline->Increment();
+      WriteResponse(fd, StatusOnly(408, "request deadline exceeded"));
+      return;
+    case ReadOutcome::kHeaderTooLarge:
+      rejected->Increment();
+      WriteResponse(fd, StatusOnly(431, "request headers too large"));
+      return;
+    case ReadOutcome::kBodyTooLarge:
+      rejected->Increment();
+      WriteResponse(fd, StatusOnly(413, "request body too large"));
+      return;
+  }
   HttpRequest request;
   HttpResponse response;
   if (!ParseRequest(raw, &request)) {
-    response.status = 400;
-    response.body = "{\"error\":\"malformed request\"}";
+    rejected->Increment();
+    response = StatusOnly(400, "malformed request");
   } else {
     response = handler_(request);
   }

@@ -29,6 +29,22 @@ struct HttpResponse {
   std::string body;
 };
 
+/// Overload and abuse limits (DESIGN.md §5.10: the server sheds load
+/// it cannot absorb instead of queueing without bound).
+struct HttpServerOptions {
+  /// Connection workers (<= 1 = handle on the accept thread).
+  size_t num_threads = 0;
+  /// Connections in flight (queued or being handled) before new ones
+  /// are shed with 503. 0 = unbounded (the pre-hardening behavior).
+  size_t max_inflight = 128;
+  /// Per-socket receive/send deadline; a client that stalls past it
+  /// gets 408 instead of pinning a worker. 0 = no deadline.
+  int io_timeout_ms = 10000;
+  /// Header bytes before 431 / body bytes before 413.
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 1 << 20;
+};
+
 /// Percent-decodes a URL component ('+' becomes space).
 std::string UrlDecode(std::string_view text);
 
@@ -39,11 +55,15 @@ std::string UrlDecode(std::string_view text);
 /// with more, connections are dispatched onto a worker pool so
 /// queries are answered concurrently with ingestion — the handler
 /// must then be thread-safe (NousApi is: reads take the pipeline's
-/// shared lock). Deliberately not a production web server.
+/// shared lock). Deliberately not a production web server, but hard
+/// to knock over: oversized, stalled, malformed, or flooding clients
+/// get 431/413/408/400/503 and a closed socket, never an unbounded
+/// buffer or a wedged worker.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
+  explicit HttpServer(Handler handler, HttpServerOptions options);
   explicit HttpServer(Handler handler, size_t num_threads = 0);
   ~HttpServer();
 
@@ -54,23 +74,27 @@ class HttpServer {
   /// thread. Fails with Internal on socket errors.
   Status Start(uint16_t port);
 
-  /// Stops the accept loop, joins the thread, and drains any
-  /// connections still running on the worker pool. Idempotent.
+  /// Stops accepting, joins the accept thread, and drains connections
+  /// already in flight on the worker pool — a graceful drain: every
+  /// accepted request still gets its response. Idempotent.
   void Stop();
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
+  /// Connections currently queued or being handled.
+  size_t inflight() const { return inflight_.load(); }
 
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
 
   Handler handler_;
-  size_t num_threads_ = 0;
+  HttpServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
+  std::atomic<size_t> inflight_{0};
   std::thread thread_;
   /// Connection workers; null in single-threaded mode.
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,891 @@
+// Crash-safety guarantees (DESIGN.md §5.10): the WAL commits exactly
+// what it acknowledges, checkpoints restore bit-identical pipeline
+// state, and kill -9 at any byte offset of the log recovers a KG equal
+// to the last durable batch — torn tails are CRC-detected and dropped,
+// never crashed on. Fault injection (NOUS_FAULTS) drives the failure
+// paths deterministically.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/fault_injection.h"
+#include "common/status.h"
+#include "core/nous.h"
+#include "core/pipeline.h"
+#include "corpus/article_generator.h"
+#include "corpus/world_model.h"
+#include "durability/checkpoint.h"
+#include "durability/fs_util.h"
+#include "durability/manager.h"
+#include "durability/wal.h"
+#include "durability/wal_codec.h"
+#include "kb/kb_generator.h"
+
+namespace nous {
+namespace {
+
+/// A per-test scratch directory with no stale durability files.
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "nous_durability_" + name;
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  for (const char* file :
+       {"/wal.log", "/checkpoint.nous", "/checkpoint.nous.tmp"}) {
+    EXPECT_TRUE(RemoveFile(dir + file).ok());
+  }
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status();
+  return contents.ok() ? *contents : std::string();
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << path;
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Byte offset just past each intact frame of a WAL image (the file
+/// magic counts as offset 0's "boundary").
+std::vector<size_t> FrameEnds(const std::string& wal) {
+  std::vector<size_t> ends;
+  size_t off = 8;  // file magic
+  // Frame header: [u32 magic][u64 seq][u32 len][u32 crc] = 20 bytes,
+  // with len at header offset 12.
+  while (off + 20 <= wal.size()) {
+    uint32_t len = 0;
+    std::memcpy(&len, wal.data() + off + 12, sizeof(len));
+    if (off + 20 + len > wal.size()) break;
+    off += 20 + len;
+    ends.push_back(off);
+  }
+  return ends;
+}
+
+class FaultGuard {
+ public:
+  FaultGuard() { FaultInjector::Global().Reset(); }
+  ~FaultGuard() { FaultInjector::Global().Reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// WAL framing
+
+TEST(WalTest, RoundTripsRecords) {
+  std::string dir = FreshDir("wal_roundtrip");
+  std::string path = dir + "/wal.log";
+  const std::vector<std::string> payloads = {
+      "first", "", std::string("bin\0ary\xff", 8), std::string(3000, 'x'),
+      "tail"};
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, WalOptions{}).ok());
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      ASSERT_TRUE(writer.Append(i + 1, payloads[i]).ok());
+    }
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto read = WalReader::ReadAll(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(read->records[i].seq, i + 1);
+    EXPECT_EQ(read->records[i].payload, payloads[i]);
+  }
+  EXPECT_EQ(read->dropped_bytes, 0u);
+  EXPECT_EQ(read->dropped_records, 0u);
+  EXPECT_EQ(read->valid_bytes, ReadFile(path).size());
+}
+
+TEST(WalTest, MissingFileReadsAsEmptyLog) {
+  auto read = WalReader::ReadAll(FreshDir("wal_missing") + "/wal.log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->dropped_bytes, 0u);
+}
+
+TEST(WalTest, TruncationAtEveryByteKeepsExactlyTheCommittedPrefix) {
+  std::string dir = FreshDir("wal_truncate");
+  std::string path = dir + "/wal.log";
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, WalOptions{}).ok());
+    ASSERT_TRUE(writer.Append(1, "alpha payload").ok());
+    ASSERT_TRUE(writer.Append(2, "beta").ok());
+    ASSERT_TRUE(writer.Append(3, std::string(40, 'c')).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  const std::string full = ReadFile(path);
+  const std::vector<size_t> ends = FrameEnds(full);
+  ASSERT_EQ(ends.size(), 3u);
+
+  std::string cut_path = dir + "/wal_cut.log";
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(cut_path, full.substr(0, cut));
+    auto read = WalReader::ReadAll(cut_path);
+    ASSERT_TRUE(read.ok()) << "cut=" << cut << ": " << read.status();
+    size_t expect_records = 0;
+    size_t expect_valid = cut >= 8 ? 8 : 0;
+    for (size_t end : ends) {
+      if (cut >= end) {
+        ++expect_records;
+        expect_valid = end;
+      }
+    }
+    EXPECT_EQ(read->records.size(), expect_records) << "cut=" << cut;
+    EXPECT_EQ(read->valid_bytes, expect_valid) << "cut=" << cut;
+    EXPECT_EQ(read->dropped_bytes, cut - expect_valid) << "cut=" << cut;
+    for (size_t i = 0; i < read->records.size(); ++i) {
+      EXPECT_EQ(read->records[i].seq, i + 1);
+    }
+  }
+}
+
+TEST(WalTest, MidFileCorruptionDropsEverythingAfterIt) {
+  std::string dir = FreshDir("wal_corrupt");
+  std::string path = dir + "/wal.log";
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path, WalOptions{}).ok());
+    ASSERT_TRUE(writer.Append(1, "intact record").ok());
+    ASSERT_TRUE(writer.Append(2, "soon to be flipped").ok());
+    ASSERT_TRUE(writer.Append(3, "unreachable after the flip").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::string image = ReadFile(path);
+  const std::vector<size_t> ends = FrameEnds(image);
+  ASSERT_EQ(ends.size(), 3u);
+  image[ends[0] + 25] ^= 0x40;  // inside record 2's payload
+  WriteFile(path, image);
+
+  auto read = WalReader::ReadAll(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "intact record");
+  EXPECT_EQ(read->valid_bytes, ends[0]);
+  EXPECT_GT(read->dropped_bytes, 0u);
+}
+
+TEST(WalTest, WrongFileMagicIsDataLossNotGarbageRecords) {
+  std::string dir = FreshDir("wal_magic");
+  std::string path = dir + "/wal.log";
+  WriteFile(path, "NOTAWAL0 some bytes that are long enough");
+  auto read = WalReader::ReadAll(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTest, ReopeningAnEmptyFileRewritesTheMagic) {
+  // Recovery truncates a log whose tail tore inside the magic to zero
+  // bytes; appending afterwards must still yield a readable file.
+  std::string dir = FreshDir("wal_empty_reopen");
+  std::string path = dir + "/wal.log";
+  WriteFile(path, "");
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path, WalOptions{}).ok());
+  ASSERT_TRUE(writer.Append(1, "after reset").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto read = WalReader::ReadAll(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "after reset");
+}
+
+TEST(WalTest, TornAppendFaultIsDroppedAndTheLogStaysAppendable) {
+  FaultGuard guard;
+  std::string dir = FreshDir("wal_torn_fault");
+  std::string path = dir + "/wal.log";
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path, WalOptions{}).ok());
+  ASSERT_TRUE(writer.Append(1, "committed").ok());
+  FaultInjector::Global().Arm("wal_append", FaultKind::kTorn, 1);
+  EXPECT_FALSE(writer.Append(2, "torn in half").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  auto read = WalReader::ReadAll(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].payload, "committed");
+  EXPECT_GT(read->dropped_bytes, 0u);
+  EXPECT_EQ(read->dropped_records, 1u);
+
+  // Recovery protocol: truncate to the valid prefix, reopen, append.
+  ASSERT_TRUE(TruncateFile(path, read->valid_bytes).ok());
+  WalWriter again;
+  ASSERT_TRUE(again.Open(path, WalOptions{}).ok());
+  ASSERT_TRUE(again.Append(2, "retried").ok());
+  ASSERT_TRUE(again.Close().ok());
+  auto reread = WalReader::ReadAll(path);
+  ASSERT_TRUE(reread.ok());
+  ASSERT_EQ(reread->records.size(), 2u);
+  EXPECT_EQ(reread->records[1].payload, "retried");
+}
+
+TEST(WalTest, FailedAppendFaultWritesNothing) {
+  FaultGuard guard;
+  std::string dir = FreshDir("wal_fail_fault");
+  std::string path = dir + "/wal.log";
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path, WalOptions{}).ok());
+  FaultInjector::Global().Arm("wal_append", FaultKind::kFail, 1);
+  EXPECT_FALSE(writer.Append(1, "never lands").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto read = WalReader::ReadAll(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+  EXPECT_EQ(read->dropped_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint files
+
+TEST(CheckpointTest, RoundTrips) {
+  std::string path = FreshDir("ckpt_roundtrip") + "/checkpoint.nous";
+  CheckpointData data;
+  data.last_applied_seq = 42;
+  data.state = std::string("opaque\0state\xfe", 13);
+  ASSERT_TRUE(WriteCheckpointFile(path, data).ok());
+  auto read = ReadCheckpointFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->last_applied_seq, 42u);
+  EXPECT_EQ(read->state, data.state);
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  auto read =
+      ReadCheckpointFile(FreshDir("ckpt_missing") + "/checkpoint.nous");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, EveryTruncationAndBitFlipIsDetected) {
+  std::string dir = FreshDir("ckpt_corrupt");
+  std::string path = dir + "/checkpoint.nous";
+  CheckpointData data;
+  data.last_applied_seq = 7;
+  data.state = "the pipeline state payload, long enough to matter";
+  ASSERT_TRUE(WriteCheckpointFile(path, data).ok());
+  const std::string full = ReadFile(path);
+
+  std::string probe = dir + "/probe.nous";
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    WriteFile(probe, full.substr(0, cut));
+    auto read = ReadCheckpointFile(probe);
+    EXPECT_FALSE(read.ok()) << "cut=" << cut;
+  }
+  for (size_t flip = 0; flip < full.size(); ++flip) {
+    std::string image = full;
+    image[flip] ^= 0x01;
+    WriteFile(probe, image);
+    auto read = ReadCheckpointFile(probe);
+    EXPECT_FALSE(read.ok()) << "flip=" << flip;
+  }
+}
+
+TEST(CheckpointTest, FailedAtomicWritePreservesThePreviousCheckpoint) {
+  FaultGuard guard;
+  std::string path = FreshDir("ckpt_atomic") + "/checkpoint.nous";
+  CheckpointData old_data;
+  old_data.last_applied_seq = 1;
+  old_data.state = "old durable state";
+  ASSERT_TRUE(WriteCheckpointFile(path, old_data).ok());
+
+  CheckpointData new_data;
+  new_data.last_applied_seq = 2;
+  new_data.state = "new state that must not half-land";
+  FaultInjector::Global().Arm("atomic_write", FaultKind::kFail, 1);
+  EXPECT_FALSE(WriteCheckpointFile(path, new_data).ok());
+  // Re-arm from a clean hit counter (non-sticky ordinals are absolute).
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().Arm("atomic_write", FaultKind::kTorn, 1);
+  EXPECT_FALSE(WriteCheckpointFile(path, new_data).ok());
+
+  auto read = ReadCheckpointFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->last_applied_seq, 1u);
+  EXPECT_EQ(read->state, "old durable state");
+}
+
+// ---------------------------------------------------------------------------
+// Batch codec
+
+TEST(WalCodecTest, RoundTripsArticlesAndDropsGold) {
+  std::vector<Article> batch(2);
+  batch[0].id = "doc_1";
+  batch[0].date = Date{2016, 3, 9};
+  batch[0].source = "wsj";
+  batch[0].text = "DJI acquired SkyWard Labs.";
+  batch[0].gold.push_back({});  // evaluation-only, must not survive
+  batch[1].id = "adhoc_7";
+  batch[1].date = Date{1999, 12, 31};
+  batch[1].source = "";
+  batch[1].text = std::string("binary\0text", 11);
+
+  std::string payload = EncodeArticleBatch(batch);
+  auto decoded = DecodeArticleBatch(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].id, "doc_1");
+  EXPECT_EQ((*decoded)[0].date.year, 2016);
+  EXPECT_EQ((*decoded)[0].date.month, 3);
+  EXPECT_EQ((*decoded)[0].date.day, 9);
+  EXPECT_EQ((*decoded)[0].source, "wsj");
+  EXPECT_EQ((*decoded)[0].text, batch[0].text);
+  EXPECT_TRUE((*decoded)[0].gold.empty());
+  EXPECT_EQ((*decoded)[1].id, "adhoc_7");
+  EXPECT_EQ((*decoded)[1].text, batch[1].text);
+}
+
+TEST(WalCodecTest, EveryTruncatedPayloadIsRejectedNotCrashed) {
+  std::vector<Article> batch(1);
+  batch[0].id = "doc";
+  batch[0].date = Date{2016, 1, 1};
+  batch[0].source = "s";
+  batch[0].text = "some text";
+  std::string payload = EncodeArticleBatch(batch);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = DecodeArticleBatch(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+  auto trailing = DecodeArticleBatch(payload + "x");
+  EXPECT_FALSE(trailing.ok());
+}
+
+// ---------------------------------------------------------------------------
+// DurabilityManager protocol
+
+TEST(DurabilityManagerTest, LogThenRecoverReplaysInSequence) {
+  std::string dir = FreshDir("mgr_cycle");
+  DurabilityOptions options;
+  options.dir = dir;
+  options.fsync_policy = FsyncPolicy::kNever;
+  {
+    DurabilityManager manager(options);
+    auto recovered = manager.Recover();
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_FALSE(recovered->has_checkpoint);
+    EXPECT_TRUE(recovered->replay.empty());
+    ASSERT_TRUE(manager.OpenWal(0).ok());
+    for (const char* payload : {"one", "two", "three"}) {
+      auto seq = manager.LogBatch(payload);
+      ASSERT_TRUE(seq.ok());
+    }
+    EXPECT_EQ(manager.last_logged_seq(), 3u);
+  }
+  DurabilityManager manager(options);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_EQ(recovered->replay.size(), 3u);
+  EXPECT_EQ(recovered->replay[0].payload, "one");
+  EXPECT_EQ(recovered->replay[2].payload, "three");
+  EXPECT_EQ(recovered->replay[2].seq, 3u);
+}
+
+TEST(DurabilityManagerTest, CheckpointResetsWalAndFloorsReplay) {
+  std::string dir = FreshDir("mgr_ckpt");
+  DurabilityOptions options;
+  options.dir = dir;
+  options.fsync_policy = FsyncPolicy::kNever;
+  {
+    DurabilityManager manager(options);
+    ASSERT_TRUE(manager.Recover().ok());
+    ASSERT_TRUE(manager.OpenWal(0).ok());
+    ASSERT_TRUE(manager.LogBatch("pre ckpt 1").ok());
+    ASSERT_TRUE(manager.LogBatch("pre ckpt 2").ok());
+    ASSERT_TRUE(manager.WriteCheckpoint("snapshot at seq 2").ok());
+    ASSERT_TRUE(manager.LogBatch("post ckpt").ok());
+  }
+  DurabilityManager manager(options);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE(recovered->has_checkpoint);
+  EXPECT_EQ(recovered->checkpoint.last_applied_seq, 2u);
+  EXPECT_EQ(recovered->checkpoint.state, "snapshot at seq 2");
+  ASSERT_EQ(recovered->replay.size(), 1u);
+  EXPECT_EQ(recovered->replay[0].seq, 3u);
+  EXPECT_EQ(recovered->replay[0].payload, "post ckpt");
+}
+
+TEST(DurabilityManagerTest, RecoverTruncatesTheTornTailOnDisk) {
+  std::string dir = FreshDir("mgr_truncate");
+  DurabilityOptions options;
+  options.dir = dir;
+  options.fsync_policy = FsyncPolicy::kNever;
+  {
+    DurabilityManager manager(options);
+    ASSERT_TRUE(manager.Recover().ok());
+    ASSERT_TRUE(manager.OpenWal(0).ok());
+    ASSERT_TRUE(manager.LogBatch("whole").ok());
+  }
+  // Simulate a torn append left by a crash.
+  std::string wal_path = dir + "/wal.log";
+  WriteFile(wal_path, ReadFile(wal_path) + "half a fra");
+  {
+    DurabilityManager manager(options);
+    auto recovered = manager.Recover();
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered->dropped_records, 1u);
+    EXPECT_GT(recovered->dropped_bytes, 0u);
+    ASSERT_EQ(recovered->replay.size(), 1u);
+  }
+  // The torn bytes are gone: a second recovery is clean.
+  DurabilityManager manager(options);
+  auto recovered = manager.Recover();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->dropped_bytes, 0u);
+  ASSERT_EQ(recovered->replay.size(), 1u);
+}
+
+TEST(DurabilityManagerTest, ShouldCheckpointFollowsTheConfiguredCadence) {
+  std::string dir = FreshDir("mgr_cadence");
+  DurabilityOptions options;
+  options.dir = dir;
+  options.fsync_policy = FsyncPolicy::kNever;
+  options.checkpoint_interval_batches = 2;
+  DurabilityManager manager(options);
+  ASSERT_TRUE(manager.Recover().ok());
+  ASSERT_TRUE(manager.OpenWal(0).ok());
+  EXPECT_FALSE(manager.ShouldCheckpoint());
+  ASSERT_TRUE(manager.LogBatch("a").ok());
+  EXPECT_FALSE(manager.ShouldCheckpoint());
+  ASSERT_TRUE(manager.LogBatch("b").ok());
+  EXPECT_TRUE(manager.ShouldCheckpoint());
+  ASSERT_TRUE(manager.WriteCheckpoint("state").ok());
+  EXPECT_FALSE(manager.ShouldCheckpoint());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: pipeline state + Nous crash recovery
+
+class DurabilityPipelineFixture : public ::testing::Test {
+ protected:
+  DurabilityPipelineFixture()
+      : world_(WorldModel::BuildDroneWorld(WorldConfig())),
+        kb_(BuildCuratedKb(world_, Ontology::DroneDefault(), Coverage())) {}
+
+  static DroneWorldConfig WorldConfig() {
+    DroneWorldConfig config;
+    config.num_companies = 10;
+    config.num_people = 6;
+    config.num_products = 6;
+    config.num_events = 36;
+    config.seed = 11;
+    return config;
+  }
+  static KbCoverage Coverage() {
+    KbCoverage coverage;
+    coverage.entity_coverage = 0.6;
+    coverage.fact_coverage = 0.9;
+    return coverage;
+  }
+  static Nous::Options FastOptions() {
+    Nous::Options options;
+    options.pipeline.lda.iterations = 30;
+    options.pipeline.bpr.epochs = 4;
+    options.pipeline.miner.min_support = 3;
+    // A short refresh interval so the BPR cadence crosses checkpoint
+    // boundaries (docs_since_refresh_ must survive recovery).
+    options.pipeline.bpr_refresh_interval = 5;
+    options.pipeline.num_threads = 2;
+    return options;
+  }
+  Nous::Options DurableOptions(const std::string& dir,
+                               size_t checkpoint_interval = 0) {
+    Nous::Options options = FastOptions();
+    options.durability.dir = dir;
+    options.durability.fsync_policy = FsyncPolicy::kNever;  // speed
+    options.durability.checkpoint_interval_batches = checkpoint_interval;
+    return options;
+  }
+
+  std::vector<Article> MakeArticles() {
+    CorpusConfig config;
+    config.pronoun_rate = 0.2;
+    config.alias_rate = 0.2;
+    return ArticleGenerator(&world_, config).GenerateArticles();
+  }
+  /// The articles split into full batches of `kBatchSize` (callers
+  /// assert the count so the replay arithmetic below stays exact).
+  static std::vector<std::vector<Article>> MakeBatches(
+      const std::vector<Article>& articles, size_t count) {
+    std::vector<std::vector<Article>> batches;
+    for (size_t start = 0; start + kBatchSize <= articles.size() &&
+                           batches.size() < count;
+         start += kBatchSize) {
+      batches.emplace_back(articles.begin() + start,
+                           articles.begin() + start + kBatchSize);
+    }
+    return batches;
+  }
+
+  using EdgeRow = std::tuple<std::string, std::string, std::string, double,
+                             Timestamp, bool>;
+  static std::vector<EdgeRow> DumpEdges(const PropertyGraph& g) {
+    std::vector<EdgeRow> rows;
+    g.ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
+      rows.emplace_back(g.VertexLabel(rec.subject),
+                        g.predicates().GetString(rec.predicate),
+                        g.VertexLabel(rec.object), rec.meta.confidence,
+                        rec.meta.timestamp, rec.meta.curated);
+    });
+    return rows;
+  }
+  static std::vector<EdgeRow> Dump(Nous& nous) {
+    ReaderMutexLock lock(nous.kg_mutex());
+    return DumpEdges(nous.graph());
+  }
+  static size_t Documents(Nous& nous) {
+    ReaderMutexLock lock(nous.kg_mutex());
+    return nous.stats().documents;
+  }
+
+  /// A non-durable reference that ingested `batches[0..count)`.
+  std::vector<EdgeRow> ReferenceEdges(
+      const std::vector<std::vector<Article>>& batches, size_t count) {
+    Nous reference(&kb_, FastOptions());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(reference.IngestBatch(batches[i]).ok());
+    }
+    return Dump(reference);
+  }
+
+  static constexpr size_t kBatchSize = 3;
+  WorldModel world_;
+  CuratedKb kb_;
+};
+
+TEST_F(DurabilityPipelineFixture,
+       SaveStateRestoresEverythingThatShapesFutureIngest) {
+  auto articles = MakeArticles();
+  ASSERT_GE(articles.size(), 12u);
+  const size_t half = articles.size() / 2;
+
+  KgPipeline original(&kb_, FastOptions().pipeline);
+  original.IngestBatch(articles.data(), half);
+  std::string payload = original.SaveState();
+
+  KgPipeline restored(&kb_, FastOptions().pipeline);
+  Status load = restored.LoadState(payload);
+  ASSERT_TRUE(load.ok()) << load;
+
+  // Restored state matches now...
+  {
+    ReaderMutexLock lock_a(original.kg_mutex());
+    ReaderMutexLock lock_b(restored.kg_mutex());
+    EXPECT_EQ(DumpEdges(original.graph()), DumpEdges(restored.graph()));
+    EXPECT_EQ(original.stats().documents, restored.stats().documents);
+  }
+  // ...and keeps matching as both ingest the same future: this is the
+  // strong check that linker aliases, mapper evidence, BPR parameters
+  // + RNG, source trust, and the refresh cadence all round-tripped.
+  original.IngestBatch(articles.data() + half, articles.size() - half);
+  restored.IngestBatch(articles.data() + half, articles.size() - half);
+  original.Finalize();
+  restored.Finalize();
+  {
+    ReaderMutexLock lock_a(original.kg_mutex());
+    ReaderMutexLock lock_b(restored.kg_mutex());
+    EXPECT_EQ(DumpEdges(original.graph()), DumpEdges(restored.graph()));
+    EXPECT_EQ(original.stats().accepted_triples,
+              restored.stats().accepted_triples);
+    EXPECT_EQ(original.stats().new_entities, restored.stats().new_entities);
+  }
+}
+
+TEST_F(DurabilityPipelineFixture, LoadStateRejectsAMismatchedCuratedKb) {
+  KgPipeline original(&kb_, FastOptions().pipeline);
+  std::string payload = original.SaveState();
+
+  KbCoverage smaller;
+  smaller.entity_coverage = 0.3;
+  smaller.fact_coverage = 0.4;
+  CuratedKb other_kb =
+      BuildCuratedKb(world_, Ontology::DroneDefault(), smaller);
+  KgPipeline restored(&other_kb, FastOptions().pipeline);
+  Status load = restored.LoadState(payload);
+  ASSERT_FALSE(load.ok());
+  EXPECT_EQ(load.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DurabilityPipelineFixture, LoadStateRejectsTruncatedPayloads) {
+  auto articles = MakeArticles();
+  KgPipeline original(&kb_, FastOptions().pipeline);
+  original.IngestBatch(articles.data(), std::min<size_t>(6, articles.size()));
+  std::string payload = original.SaveState();
+  ASSERT_GT(payload.size(), 64u);
+  // Sampled prefixes (every payload byte would re-run LoadState tens of
+  // thousands of times); includes the pathological early cuts.
+  std::vector<size_t> cuts = {0, 1, 3, 7, 9, 16, 33, 64};
+  for (size_t i = 1; i < 40; ++i) {
+    cuts.push_back(payload.size() * i / 40);
+  }
+  for (size_t cut : cuts) {
+    if (cut >= payload.size()) continue;
+    KgPipeline probe(&kb_, FastOptions().pipeline);
+    Status load = probe.LoadState(std::string_view(payload).substr(0, cut));
+    EXPECT_FALSE(load.ok()) << "cut=" << cut;
+  }
+  KgPipeline probe(&kb_, FastOptions().pipeline);
+  EXPECT_FALSE(probe.LoadState(payload + "trailing").ok());
+}
+
+TEST_F(DurabilityPipelineFixture, RecoverGuardsAgainstMisuse) {
+  // No durability directory configured.
+  Nous plain(&kb_, FastOptions());
+  auto no_dir = plain.Recover();
+  ASSERT_FALSE(no_dir.ok());
+  EXPECT_EQ(no_dir.status().code(), StatusCode::kFailedPrecondition);
+
+  // Recover after ingest started.
+  std::string dir = FreshDir("nous_guards");
+  auto articles = MakeArticles();
+  Nous late(&kb_, DurableOptions(dir));
+  ASSERT_TRUE(late.Ingest(articles[0]).ok());  // non-durable fast path
+  auto after_ingest = late.Recover();
+  ASSERT_FALSE(after_ingest.ok());
+  EXPECT_EQ(after_ingest.status().code(), StatusCode::kFailedPrecondition);
+
+  // Double enable.
+  Nous twice(&kb_, DurableOptions(FreshDir("nous_guards2")));
+  ASSERT_TRUE(twice.EnableDurability().ok());
+  EXPECT_TRUE(twice.durable());
+  auto again = twice.Recover();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DurabilityPipelineFixture, WalOnlyCrashRecoversBitIdenticalKg) {
+  std::string dir = FreshDir("nous_wal_only");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    for (const auto& batch : batches) {
+      ASSERT_TRUE(durable.IngestBatch(batch).ok());
+    }
+    // Destructor = crash: no checkpoint was ever written.
+  }
+  ASSERT_FALSE(FileExists(dir + "/checkpoint.nous"));
+
+  Nous recovered(&kb_, DurableOptions(dir));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_FALSE(stats->restored_checkpoint);
+  EXPECT_EQ(stats->replayed_batches, 4u);
+  EXPECT_EQ(stats->replayed_articles, 12u);
+  EXPECT_EQ(stats->dropped_wal_records, 0u);
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 4));
+
+  // The recovered instance keeps evolving exactly like an instance
+  // that never crashed.
+  auto more = MakeBatches(articles, 5);
+  if (more.size() > 4) {
+    ASSERT_TRUE(recovered.IngestBatch(more[4]).ok());
+    EXPECT_EQ(Dump(recovered), ReferenceEdges(more, 5));
+  }
+}
+
+TEST_F(DurabilityPipelineFixture, CheckpointPlusWalReplayRecovers) {
+  std::string dir = FreshDir("nous_ckpt_wal");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[0]).ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[1]).ok());
+    ASSERT_TRUE(durable.Checkpoint().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[2]).ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[3]).ok());
+  }
+  ASSERT_TRUE(FileExists(dir + "/checkpoint.nous"));
+
+  Nous recovered(&kb_, DurableOptions(dir));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->restored_checkpoint);
+  EXPECT_EQ(stats->replayed_batches, 2u);
+  EXPECT_EQ(Documents(recovered), 12u);
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 4));
+
+  // Post-recovery Finalize (LDA + BPR rescore) also matches: the BPR
+  // tables and RNG were restored bit-exactly by the checkpoint.
+  Nous reference(&kb_, FastOptions());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(reference.IngestBatch(batch).ok());
+  }
+  recovered.Finalize();
+  reference.Finalize();
+  EXPECT_EQ(Dump(recovered), Dump(reference));
+}
+
+TEST_F(DurabilityPipelineFixture,
+       CrashAtEveryWalRecordBoundaryRecoversThePrefix) {
+  std::string dir = FreshDir("nous_crash_offsets");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    for (const auto& batch : batches) {
+      ASSERT_TRUE(durable.IngestBatch(batch).ok());
+    }
+  }
+  const std::string wal = ReadFile(dir + "/wal.log");
+  const std::vector<size_t> ends = FrameEnds(wal);
+  ASSERT_EQ(ends.size(), 4u);
+
+  // References for every surviving prefix length.
+  std::vector<std::vector<EdgeRow>> refs;
+  for (size_t k = 0; k <= 4; ++k) refs.push_back(ReferenceEdges(batches, k));
+
+  // Truncation points: every record boundary, plus offsets that tear
+  // the frame header, the payload, and the final byte of each record —
+  // and a cut inside the file magic itself.
+  std::vector<std::pair<size_t, size_t>> cases;  // (cut, surviving records)
+  cases.emplace_back(5, 0);
+  cases.emplace_back(8, 0);
+  size_t prev = 8;
+  for (size_t i = 0; i < ends.size(); ++i) {
+    cases.emplace_back(prev + 2, i);                   // torn frame header
+    cases.emplace_back(prev + (ends[i] - prev) / 2, i);  // torn payload
+    cases.emplace_back(ends[i] - 1, i);                // one byte short
+    cases.emplace_back(ends[i], i + 1);                // clean boundary
+    prev = ends[i];
+  }
+
+  for (const auto& [cut, survivors] : cases) {
+    std::string crash_dir = FreshDir("nous_crash_probe");
+    WriteFile(crash_dir + "/wal.log", wal.substr(0, cut));
+
+    Nous recovered(&kb_, DurableOptions(crash_dir));
+    auto stats = recovered.Recover();
+    ASSERT_TRUE(stats.ok()) << "cut=" << cut << ": " << stats.status();
+    EXPECT_EQ(stats->replayed_batches, survivors) << "cut=" << cut;
+    const bool clean_boundary =
+        cut == 8 ||
+        std::find(ends.begin(), ends.end(), cut) != ends.end();
+    if (clean_boundary) {
+      EXPECT_EQ(stats->dropped_wal_bytes, 0u) << "cut=" << cut;
+    } else {
+      EXPECT_GT(stats->dropped_wal_bytes, 0u) << "cut=" << cut;
+    }
+    EXPECT_EQ(Documents(recovered), survivors * kBatchSize)
+        << "cut=" << cut;
+    EXPECT_EQ(Dump(recovered), refs[survivors]) << "cut=" << cut;
+
+    // The recovered instance is immediately durable again: the torn
+    // tail was truncated away, so new ingest appends cleanly.
+    ASSERT_TRUE(recovered.IngestBatch(batches[0]).ok()) << "cut=" << cut;
+  }
+}
+
+TEST_F(DurabilityPipelineFixture, AutomaticCheckpointsTriggerOnCadence) {
+  std::string dir = FreshDir("nous_auto_ckpt");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  {
+    Nous durable(&kb_, DurableOptions(dir, /*checkpoint_interval=*/2));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[0]).ok());
+    EXPECT_FALSE(FileExists(dir + "/checkpoint.nous"));
+    ASSERT_TRUE(durable.IngestBatch(batches[1]).ok());
+    EXPECT_TRUE(FileExists(dir + "/checkpoint.nous"));
+    ASSERT_TRUE(durable.IngestBatch(batches[2]).ok());
+  }
+  Nous recovered(&kb_, DurableOptions(dir));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->restored_checkpoint);
+  EXPECT_EQ(stats->replayed_batches, 1u);
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 3));
+}
+
+TEST_F(DurabilityPipelineFixture, FailedWalAppendIsNotApplied) {
+  FaultGuard guard;
+  std::string dir = FreshDir("nous_append_fail");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 2);
+
+  Nous durable(&kb_, DurableOptions(dir));
+  ASSERT_TRUE(durable.EnableDurability().ok());
+  ASSERT_TRUE(durable.IngestBatch(batches[0]).ok());
+  auto before = Dump(durable);
+
+  FaultInjector::Global().Arm("wal_append", FaultKind::kFail, 1);
+  Status failed = durable.IngestBatch(batches[1]);
+  ASSERT_FALSE(failed.ok());
+  // Log-before-apply: the rejected batch left no trace in the KG.
+  EXPECT_EQ(Dump(durable), before);
+  EXPECT_EQ(Documents(durable), kBatchSize);
+
+  // After the fault clears, the same batch goes through.
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(durable.IngestBatch(batches[1]).ok());
+  EXPECT_EQ(Dump(durable), ReferenceEdges(batches, 2));
+}
+
+TEST_F(DurabilityPipelineFixture, TornWalAppendIsDroppedAtRecovery) {
+  FaultGuard guard;
+  std::string dir = FreshDir("nous_append_torn");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 2);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[0]).ok());
+    FaultInjector::Global().Arm("wal_append", FaultKind::kTorn, 1);
+    ASSERT_FALSE(durable.IngestBatch(batches[1]).ok());
+    FaultInjector::Global().Reset();
+  }
+  Nous recovered(&kb_, DurableOptions(dir));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->replayed_batches, 1u);
+  EXPECT_EQ(stats->dropped_wal_records, 1u);
+  EXPECT_GT(stats->dropped_wal_bytes, 0u);
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 1));
+}
+
+TEST_F(DurabilityPipelineFixture, AdhocIdsNeverCollideAcrossRecovery) {
+  std::string dir = FreshDir("nous_adhoc");
+  {
+    Nous durable(&kb_, DurableOptions(dir));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    ASSERT_TRUE(durable
+                    .IngestText("DJI acquired SkyWard Labs.",
+                                Date{2016, 1, 1}, "cli")
+                    .ok());
+    ASSERT_TRUE(durable
+                    .IngestText("DJI launched Phantom 3.", Date{2016, 1, 2},
+                                "cli")
+                    .ok());
+  }
+  Nous recovered(&kb_, DurableOptions(dir));
+  ASSERT_TRUE(recovered.Recover().ok());
+  // The crashed instance handed out adhoc_0 and adhoc_1; replay must
+  // fast-forward the counter past both.
+  EXPECT_EQ(recovered.pipeline().ReserveAdhocId(), "adhoc_2");
+}
+
+}  // namespace
+}  // namespace nous

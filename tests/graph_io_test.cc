@@ -138,6 +138,43 @@ TEST(GraphIoTest, FileRoundTrip) {
             StatusCode::kNotFound);
 }
 
+TEST(GraphIoTest, EveryTruncationEitherFailsCleanlyOrLoadsAPrefix) {
+  // Crash-robustness sweep (DESIGN.md §5.10): a dump cut off at any
+  // byte — a partial :save, a copy that died midway — must never
+  // crash the loader or yield a graph larger than the original.
+  PropertyGraph g = MakeSampleGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(g, buffer).ok());
+  const std::string full = buffer.str();
+  ASSERT_GT(full.size(), 0u);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    auto loaded = LoadGraph(truncated);
+    if (loaded.ok()) {
+      EXPECT_LE((*loaded)->NumEdges(), g.NumEdges()) << "cut=" << cut;
+      EXPECT_LE((*loaded)->NumVertices(), g.NumVertices())
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(GraphIoTest, SingleByteCorruptionNeverCrashesTheLoader) {
+  PropertyGraph g = MakeSampleGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveGraph(g, buffer).ok());
+  const std::string full = buffer.str();
+  for (size_t pos = 0; pos < full.size(); ++pos) {
+    std::string image = full;
+    image[pos] ^= 0x01;
+    std::stringstream corrupted(image);
+    // A flipped bit may still parse (e.g. inside a label); the
+    // contract is an error Status or a well-formed graph — no crash,
+    // hang, or unbounded allocation.
+    auto loaded = LoadGraph(corrupted);
+    (void)loaded;
+  }
+}
+
 class GraphIoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(GraphIoPropertyTest, RandomGraphRoundTripsExactly) {

@@ -92,6 +92,44 @@ TEST(KbIoTest, RejectsMalformedInput) {
   }
 }
 
+TEST(KbIoTest, EveryTruncationEitherFailsCleanlyOrLoadsAPrefix) {
+  DroneWorldConfig wc;
+  wc.num_companies = 6;
+  wc.num_events = 15;
+  WorldModel world = WorldModel::BuildDroneWorld(wc);
+  CuratedKb original =
+      BuildCuratedKb(world, Ontology::DroneDefault(), {});
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCuratedKb(original, buffer).ok());
+  const std::string full = buffer.str();
+  ASSERT_GT(full.size(), 0u);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    auto loaded = LoadCuratedKb(truncated);
+    if (loaded.ok()) {
+      EXPECT_LE((*loaded)->entities().size(), original.entities().size())
+          << "cut=" << cut;
+      EXPECT_LE((*loaded)->facts().size(), original.facts().size())
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(KbIoTest, SingleByteCorruptionNeverCrashesTheLoader) {
+  CuratedKb kb = MakeSampleKb();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveCuratedKb(kb, buffer).ok());
+  const std::string full = buffer.str();
+  for (size_t pos = 0; pos < full.size(); ++pos) {
+    std::string image = full;
+    image[pos] ^= 0x01;
+    std::stringstream corrupted(image);
+    // Error Status or a well-formed KB — never a crash.
+    auto loaded = LoadCuratedKb(corrupted);
+    (void)loaded;
+  }
+}
+
 TEST(KbIoTest, FileRoundTripAndMissingFile) {
   CuratedKb kb = MakeSampleKb();
   std::string path = testing::TempDir() + "/nous_kb_io_test.txt";

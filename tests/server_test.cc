@@ -3,7 +3,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -98,6 +100,32 @@ std::string HttpGet(uint16_t port, const std::string& request_text) {
 std::string Get(uint16_t port, const std::string& target) {
   return HttpGet(port, "GET " + target +
                            " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+/// Opens a connection and sends `text` without reading the response
+/// (for tests that need several requests in flight at once).
+int ConnectAndSend(uint16_t port, const std::string& text) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  if (!text.empty()) ::send(fd, text.data(), text.size(), 0);
+  return fd;
+}
+
+std::string RecvAll(int fd) {
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
 }
 
 class ServerFixture : public ::testing::Test {
@@ -275,6 +303,127 @@ TEST_F(ServerFixture, SequentialRequestsSurvive) {
     std::string response = Get(server_.port(), "/api/stats");
     ASSERT_NE(response.find("200 OK"), std::string::npos);
   }
+}
+
+TEST_F(ServerFixture, HealthzIsAlwaysOk) {
+  std::string response = Get(server_.port(), "/api/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST_F(ServerFixture, ReadyzFollowsSetReady) {
+  std::string response = Get(server_.port(), "/api/readyz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\"status\":\"ready\""), std::string::npos);
+
+  api_.SetReady(false);  // what graceful shutdown does before Stop()
+  response = Get(server_.port(), "/api/readyz");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("draining"), std::string::npos);
+  // Liveness is unaffected by drain — only readiness flips.
+  EXPECT_NE(Get(server_.port(), "/api/healthz").find("200 OK"),
+            std::string::npos);
+
+  api_.SetReady(true);
+  response = Get(server_.port(), "/api/readyz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+// ---------- Overload & abuse hardening (DESIGN.md §5.10) ----------
+
+TEST(HttpServerHardeningTest, OversizedHeadersAre431) {
+  HttpServerOptions options;
+  options.max_header_bytes = 256;
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; },
+                    options);
+  ASSERT_TRUE(server.Start(0).ok());
+  std::string request = "GET / HTTP/1.1\r\nX-Filler: " +
+                        std::string(1000, 'a') + "\r\n\r\n";
+  std::string response = HttpGet(server.port(), request);
+  EXPECT_NE(response.find("431"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerHardeningTest, OversizedBodyIs413) {
+  HttpServerOptions options;
+  options.max_body_bytes = 64;
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; },
+                    options);
+  ASSERT_TRUE(server.Start(0).ok());
+  // Declared oversized: rejected from the Content-Length header alone,
+  // before the server reads (or the client even sends) the body.
+  std::string declared =
+      "POST /api/ingest HTTP/1.1\r\nHost: x\r\nContent-Length: 5000\r\n\r\n";
+  EXPECT_NE(HttpGet(server.port(), declared).find("413"),
+            std::string::npos);
+  // In-bounds body on the same server still works.
+  std::string small_body = "ok";
+  std::string small =
+      "POST /x HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+      std::to_string(small_body.size()) + "\r\n\r\n" + small_body;
+  EXPECT_NE(HttpGet(server.port(), small).find("200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerHardeningTest, StalledClientGets408NotAWedgedWorker) {
+  HttpServerOptions options;
+  options.io_timeout_ms = 200;
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; },
+                    options);
+  ASSERT_TRUE(server.Start(0).ok());
+  // Send half a request and stall: the per-socket deadline fires and
+  // the server answers 408 instead of waiting forever.
+  int fd = ConnectAndSend(server.port(), "GET / HTTP/1.1\r\nHost:");
+  std::string response = RecvAll(fd);
+  EXPECT_NE(response.find("408"), std::string::npos);
+  // The worker is free again.
+  EXPECT_NE(Get(server.port(), "/").find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerHardeningTest, PrematureDisconnectDoesNotCrashTheServer) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; },
+                    HttpServerOptions{});
+  ASSERT_TRUE(server.Start(0).ok());
+  for (int i = 0; i < 5; ++i) {
+    int fd = ConnectAndSend(server.port(), "GET /par");
+    ::close(fd);  // hang up mid-request
+  }
+  int bare = ConnectAndSend(server.port(), "");
+  ::close(bare);  // hang up before sending anything
+  EXPECT_NE(Get(server.port(), "/").find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerHardeningTest, FloodBeyondMaxInflightIsShedWith503) {
+  HttpServerOptions options;
+  options.num_threads = 2;
+  options.max_inflight = 1;
+  HttpServer server(
+      [](const HttpRequest&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return HttpResponse{};
+      },
+      options);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Occupy the single in-flight slot with a slow request...
+  int slow = ConnectAndSend(server.port(),
+                            "GET /slow HTTP/1.1\r\nHost: x\r\n\r\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // ...then flood: with the slot taken, new connections are shed
+  // immediately with 503 instead of queueing without bound.
+  size_t shed = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::string response = Get(server.port(), "/flood");
+    if (response.find("503") != std::string::npos) ++shed;
+  }
+  EXPECT_GE(shed, 1u);
+  // The slow request was accepted before the flood and still completes
+  // normally (shedding rejects new work, never started work).
+  EXPECT_NE(RecvAll(slow).find("200 OK"), std::string::npos);
+  server.Stop();
 }
 
 TEST(HttpServerTest, StopIsIdempotentAndRestartable) {

@@ -27,6 +27,12 @@ hygiene contracts (DESIGN.md "Static analysis & locking contracts"):
                       stream. Suppress with `// lint: cout-ok(reason)`.
   R6 include-guard    Every header under src/ has an include guard
                       named NOUS_<RELATIVE_PATH>_H_.
+  R7 no-build-files   No build artifacts may be tracked by git: no
+                      build*/ trees, CMake caches, object/dependency
+                      files, or test logs. (PR 3 accidentally checked
+                      in ~20k lines of build-review/; this rule keeps
+                      that from ever landing again.) Skipped when the
+                      root is not a git work tree.
 
 Suppression comments must name a reason; empty parentheses do not
 count. Exit status is the number of violations (capped at 125).
@@ -37,7 +43,17 @@ Usage: tools/nous_lint.py [--root DIR]
 import argparse
 import os
 import re
+import subprocess
 import sys
+
+# R7: path patterns that mark a tracked file as a build artifact.
+BUILD_ARTIFACT_RE = re.compile(
+    r"(^|/)build[^/]*/"            # any build*/ tree at any depth
+    r"|(^|/)CMakeCache\.txt$"
+    r"|(^|/)CMakeFiles/"
+    r"|(^|/)Testing/"              # ctest scratch (LastTest.log etc.)
+    r"|\.o(\.d)?$|\.obj$|\.gcda$|\.gcno$"
+    r"|(^|/)compile_commands\.json$")
 
 MUTEX_TYPES = r"(?:std::mutex|std::shared_mutex|std::recursive_mutex|" \
               r"std::timed_mutex|AnnotatedMutex|AnnotatedSharedMutex)"
@@ -252,6 +268,24 @@ class Linter:
                     "std::cout in library code; use NOUS_LOG or take an "
                     "explicit std::ostream&")
 
+    # R7
+    def check_tracked_build_artifacts(self):
+        """Rejects build artifacts tracked by git (no-op outside git)."""
+        try:
+            listing = subprocess.run(
+                ["git", "-C", self.root, "ls-files"],
+                capture_output=True, text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return
+        if listing.returncode != 0:
+            return
+        for rel in listing.stdout.splitlines():
+            if BUILD_ARTIFACT_RE.search(rel):
+                self.violations.append(
+                    f"{rel}:1: [no-build-files] build artifact is "
+                    "tracked by git; `git rm --cached` it (build*/ is "
+                    "gitignored)")
+
     # R6
     def check_include_guard(self, path, code_lines):
         rel = os.path.relpath(path, os.path.join(self.root, "src"))
@@ -290,6 +324,7 @@ def main():
         for name in sorted(filenames):
             if name.endswith((".h", ".cc", ".cpp")):
                 linter.lint_file(os.path.join(dirpath, name))
+    linter.check_tracked_build_artifacts()
 
     for violation in linter.violations:
         print(violation)

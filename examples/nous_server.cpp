@@ -3,11 +3,17 @@
 //
 //   nous_server [port] [num_events] [--threads N] [--wal-dir DIR]
 //               [--checkpoint-interval N] [--fsync MODE]
+//               [--query-cache-entries N] [--no-query-cache]
 //
 // --threads N sets both the pipeline's extraction/BPR worker pool and
 // the number of concurrent HTTP connection handlers (default: the
 // machine's hardware concurrency). The built KG is identical for
 // every value.
+//
+// --query-cache-entries N bounds the versioned answer cache (LRU, N
+// entries, default 1024); --no-query-cache disables it. Either way,
+// queries serve from immutable KG snapshots and never block ingest
+// (DESIGN.md §5.11).
 //
 // --wal-dir DIR makes ingest crash-safe (DESIGN.md §5.10): the server
 // recovers whatever a previous run left in DIR (checkpoint + WAL
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   std::string wal_dir;
   size_t checkpoint_interval = 8;
   FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  QueryCacheOptions query_cache;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -84,6 +91,13 @@ int main(int argc, char** argv) {
         std::cerr << "--fsync expects always|interval|never\n";
         return 1;
       }
+    } else if (arg == "--query-cache-entries" && i + 1 < argc) {
+      query_cache.entries = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg.rfind("--query-cache-entries=", 0) == 0) {
+      query_cache.entries =
+          static_cast<size_t>(std::atoi(arg.c_str() + 22));
+    } else if (arg == "--no-query-cache") {
+      query_cache.enabled = false;
     } else {
       positional.push_back(arg);
     }
@@ -117,6 +131,7 @@ int main(int argc, char** argv) {
   options.durability.dir = wal_dir;
   options.durability.checkpoint_interval_batches = checkpoint_interval;
   options.durability.fsync_policy = fsync_policy;
+  options.query_cache = query_cache;
   Nous nous(&kb, options);
 
   bool build_demo_kg = true;

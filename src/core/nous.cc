@@ -32,7 +32,11 @@ bool ParseAdhocId(const std::string& id, size_t* value) {
 }  // namespace
 
 Nous::Nous(const CuratedKb* kb, Options options)
-    : options_(std::move(options)), pipeline_(kb, options_.pipeline) {}
+    : options_(std::move(options)), pipeline_(kb, options_.pipeline) {
+  if (options_.query_cache.enabled && options_.query_cache.entries > 0) {
+    cache_ = std::make_unique<QueryCache>(options_.query_cache.entries);
+  }
+}
 
 Result<Nous::RecoveryStats> Nous::Recover() {
   if (options_.durability.dir.empty()) {
@@ -171,14 +175,37 @@ Status Nous::IngestText(const std::string& text, const Date& date,
 
 void Nous::Finalize() { pipeline_.Finalize(); }
 
-Result<Answer> Nous::Ask(const std::string& question) {
-  ReaderMutexLock lock(kg_mutex());
-  return AskUnlocked(question);
+Result<Answer> Nous::Ask(const std::string& question,
+                         std::shared_ptr<const KgSnapshot>* snapshot_out) {
+  NOUS_ASSIGN_OR_RETURN(Query query, ParseQuery(question));
+  return Execute(query, snapshot_out);
 }
 
-Result<Answer> Nous::Execute(const Query& query) {
-  ReaderMutexLock lock(kg_mutex());
-  return ExecuteUnlocked(query);
+Result<Answer> Nous::Execute(const Query& query,
+                             std::shared_ptr<const KgSnapshot>* snapshot_out) {
+  std::shared_ptr<const KgSnapshot> snap = pipeline_.snapshot();
+  if (snapshot_out != nullptr) *snapshot_out = snap;
+  if (snap == nullptr) {
+    // Snapshot publishing disabled: the pre-snapshot locked path.
+    ReaderMutexLock lock(kg_mutex());
+    return ExecuteUnlocked(query);
+  }
+  return ExecuteOnSnapshot(query, snap);
+}
+
+Result<Answer> Nous::ExecuteOnSnapshot(
+    const Query& query,
+    const std::shared_ptr<const KgSnapshot>& snap) const {
+  std::string key;
+  if (cache_ != nullptr) {
+    key = CanonicalCacheKey(query);
+    Answer cached;
+    if (cache_->Lookup(key, snap->version, &cached)) return cached;
+  }
+  QueryEngine engine(&snap->graph, snap->patterns, options_.query);
+  NOUS_ASSIGN_OR_RETURN(Answer answer, engine.Execute(query));
+  if (cache_ != nullptr) cache_->Insert(key, snap->version, answer);
+  return answer;
 }
 
 Result<Answer> Nous::AskUnlocked(const std::string& question) const {
@@ -194,6 +221,9 @@ Result<Answer> Nous::ExecuteUnlocked(const Query& query) const {
 }
 
 GraphStats Nous::ComputeStats() const {
+  if (auto snap = pipeline_.snapshot()) {
+    return ComputeGraphStats(snap->graph);
+  }
   ReaderMutexLock lock(kg_mutex());
   return ComputeGraphStats(graph());
 }

@@ -7,9 +7,11 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/snapshot.h"
 #include "corpus/document_stream.h"
 #include "durability/manager.h"
 #include "graph/graph_stats.h"
+#include "qa/query_cache.h"
 #include "qa/query_engine.h"
 
 namespace nous {
@@ -37,6 +39,12 @@ class Nous {
     QueryEngineConfig query;
     /// Crash safety; disabled while `durability.dir` is empty.
     DurabilityOptions durability;
+    /// Versioned LRU cache over executed answers (DESIGN.md §5.11).
+    /// Only effective in snapshot-serving mode
+    /// (pipeline.publish_snapshots): a cached answer is keyed by the
+    /// KG version it was computed at, so every ingest commit
+    /// implicitly invalidates the whole cache.
+    QueryCacheOptions query_cache;
   };
 
   /// `kb` must outlive the instance.
@@ -99,12 +107,23 @@ class Nous {
   void Finalize() EXCLUDES(kg_mutex());
 
   /// Parses and executes a natural-language-like query (Figure 5).
-  /// Takes the pipeline's read lock, so queries are safe to run while
-  /// another thread ingests.
-  Result<Answer> Ask(const std::string& question) EXCLUDES(kg_mutex());
+  /// In snapshot-serving mode (the default) this runs entirely
+  /// against the latest published KgSnapshot — no lock is taken, so
+  /// a slow query can never stall ingest — consulting the versioned
+  /// query cache first. With publishing disabled it falls back to
+  /// reader-locked execution against the live graph.
+  ///
+  /// `snapshot_out`, when non-null, receives the snapshot the answer
+  /// was computed against (null in the locked fallback) so callers
+  /// can serialize the answer against the exact same view.
+  Result<Answer> Ask(const std::string& question,
+                     std::shared_ptr<const KgSnapshot>* snapshot_out =
+                         nullptr) EXCLUDES(kg_mutex());
 
-  /// Executes a pre-built structured query. Read-locks like Ask().
-  Result<Answer> Execute(const Query& query) EXCLUDES(kg_mutex());
+  /// Executes a pre-built structured query. Serves like Ask().
+  Result<Answer> Execute(const Query& query,
+                         std::shared_ptr<const KgSnapshot>* snapshot_out =
+                             nullptr) EXCLUDES(kg_mutex());
 
   /// Variants for callers that already hold a ReaderMutexLock on
   /// kg_mutex() — e.g. the HTTP API, which serializes the answer under
@@ -132,14 +151,28 @@ class Nous {
   const PipelineStats& stats() const REQUIRES_SHARED(kg_mutex()) {
     return pipeline_.stats();
   }
-  /// Read-locks the pipeline while walking the graph.
+  /// Walks the latest snapshot when one is published; otherwise
+  /// read-locks the pipeline and walks the live graph.
   GraphStats ComputeStats() const EXCLUDES(kg_mutex());
   KgPipeline& pipeline() { return pipeline_; }
   const StreamingMiner* miner() const REQUIRES_SHARED(kg_mutex()) {
     return pipeline_.miner();
   }
 
+  /// Latest published KG snapshot; null when snapshot serving is off
+  /// (Options::pipeline.publish_snapshots = false).
+  std::shared_ptr<const KgSnapshot> snapshot() const {
+    return pipeline_.snapshot();
+  }
+
+  /// The query cache, for stats inspection; null when disabled.
+  const QueryCache* query_cache() const { return cache_.get(); }
+
  private:
+  /// Cache-checked execution against one immutable snapshot.
+  Result<Answer> ExecuteOnSnapshot(
+      const Query& query,
+      const std::shared_ptr<const KgSnapshot>& snap) const;
   /// Durable log-then-apply for one batch; caller holds ingest_mutex_
   /// so WAL order always matches apply order.
   Status IngestBatchDurable(const Article* articles, size_t count)
@@ -147,6 +180,9 @@ class Nous {
 
   Options options_;
   KgPipeline pipeline_;
+  /// Versioned answer cache; internally synchronized, null when
+  /// disabled. The pointer is immutable after construction.
+  std::unique_ptr<QueryCache> cache_;  // lint: unguarded(see above)
 
   /// Serializes durable ingest so the WAL append order equals the
   /// pipeline apply order (lock order: ingest_mutex_ before the

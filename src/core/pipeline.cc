@@ -141,6 +141,8 @@ KgPipeline::KgPipeline(const CuratedKb* kb, PipelineConfig config)
     window_->AddListener(miner_.get());
   }
   LoadCuratedKb();
+  kg_version_ = 1;  // the curated bootstrap is the first KG version
+  PublishSnapshot();
 }
 
 void KgPipeline::LoadCuratedKb() {
@@ -213,8 +215,12 @@ std::string KgPipeline::VertexTypeName(VertexId v) const {
 
 void KgPipeline::Ingest(const Article& article) {
   ExtractedDoc doc = ExtractDocument(article);
-  WriterMutexLock lock(kg_mutex_);
-  CommitDocument(article, std::move(doc));
+  {
+    WriterMutexLock lock(kg_mutex_);
+    CommitDocument(article, std::move(doc));
+    ++kg_version_;
+  }
+  PublishSnapshot();
 }
 
 void KgPipeline::IngestBatch(const Article* articles, size_t count) {
@@ -233,10 +239,16 @@ void KgPipeline::IngestBatch(const Article* articles, size_t count) {
       docs[i] = ExtractDocument(articles[i]);
     }
   }
-  WriterMutexLock lock(kg_mutex_);
-  for (size_t i = 0; i < count; ++i) {
-    CommitDocument(articles[i], std::move(docs[i]));
+  {
+    WriterMutexLock lock(kg_mutex_);
+    for (size_t i = 0; i < count; ++i) {
+      CommitDocument(articles[i], std::move(docs[i]));
+    }
+    // One bump per batch (the WAL commit unit), so recovery replay
+    // reproduces the exact version of the uncrashed run.
+    ++kg_version_;
   }
+  PublishSnapshot();
 }
 
 KgPipeline::ExtractedDoc KgPipeline::ExtractDocument(
@@ -488,7 +500,8 @@ void KgPipeline::IngestText(const std::string& text, const Date& date,
 
 namespace {
 /// SaveState payload version; bump on any layout change.
-constexpr uint32_t kStateVersion = 1;
+/// v2: adds kg_version_ after the curated-KB fingerprint.
+constexpr uint32_t kStateVersion = 2;
 }  // namespace
 
 std::string KgPipeline::SaveState() const {
@@ -499,6 +512,7 @@ std::string KgPipeline::SaveState() const {
   // against the curated KB that shaped the graph's id space.
   writer.U64(kb_->entities().size());
   writer.U64(kb_->facts().size());
+  writer.U64(kg_version_);
 
   graph_.SaveBinary(&writer);
   linker_.SaveBinary(&writer);
@@ -565,7 +579,15 @@ std::string KgPipeline::SaveState() const {
 }
 
 Status KgPipeline::LoadState(std::string_view payload) {
-  WriterMutexLock lock(kg_mutex_);
+  {
+    WriterMutexLock lock(kg_mutex_);
+    NOUS_RETURN_IF_ERROR(LoadStateLocked(payload));
+  }
+  PublishSnapshot();
+  return Status::Ok();
+}
+
+Status KgPipeline::LoadStateLocked(std::string_view payload) {
   BinaryReader reader(payload);
   uint32_t version = 0;
   NOUS_RETURN_IF_ERROR(reader.U32(&version));
@@ -581,6 +603,7 @@ Status KgPipeline::LoadState(std::string_view payload) {
     return Status::FailedPrecondition(
         "pipeline state was checkpointed against a different curated KB");
   }
+  NOUS_RETURN_IF_ERROR(reader.U64(&kg_version_));
 
   NOUS_RETURN_IF_ERROR(graph_.LoadBinary(&reader));
   NOUS_RETURN_IF_ERROR(linker_.LoadBinary(&reader));
@@ -673,7 +696,15 @@ void KgPipeline::RefreshBpr(size_t epochs) {
 }
 
 void KgPipeline::Finalize() {
-  WriterMutexLock lock(kg_mutex_);
+  {
+    WriterMutexLock lock(kg_mutex_);
+    FinalizeLocked();
+    ++kg_version_;
+  }
+  PublishSnapshot();
+}
+
+void KgPipeline::FinalizeLocked() {
   if (config_.enable_link_prediction) {
     RefreshBpr(config_.bpr.epochs);
     // Rescore extracted edges with the final model (dynamic-KG
@@ -692,6 +723,31 @@ void KgPipeline::Finalize() {
   }
   lda_ = std::make_unique<LdaModel>(
       AssignVertexTopics(&graph_, config_.lda));
+}
+
+void KgPipeline::PublishSnapshot() {
+  if (!config_.publish_snapshots) return;
+  NOUS_SPAN("snapshot_publish");
+  auto snap = std::make_shared<KgSnapshot>();
+  {
+    // Shared lock: concurrent publishers (rare — one per committed
+    // ingest) clone independently; SnapshotStore keeps the newest.
+    ReaderMutexLock lock(kg_mutex_);
+    snap->version = kg_version_;
+    snap->graph = graph_.Clone(/*include_vertex_bags=*/false);
+    snap->stats = stats_;
+    if (miner_ != nullptr) {
+      for (const PatternStats& stats : miner_->ClosedFrequentPatterns()) {
+        RenderedPattern p;
+        p.description = stats.pattern.ToString(window_graph_.predicates(),
+                                               &window_graph_.types());
+        p.support = stats.support;
+        p.embeddings = stats.embeddings;
+        snap->patterns.push_back(std::move(p));
+      }
+    }
+  }
+  snapshots_.Publish(std::move(snap));
 }
 
 }  // namespace nous

@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "core/pipeline_stats.h"
+#include "core/snapshot.h"
 #include "corpus/article_generator.h"
 #include "embed/bpr.h"
 #include "graph/property_graph.h"
@@ -85,29 +87,12 @@ struct PipelineConfig {
   /// BprConfig::sgd_block at 0; keeps pipeline results independent of
   /// num_threads.
   size_t bpr_sgd_block = 256;
-};
-
-/// Counters for every stage, reported by bench_pipeline (E8).
-struct PipelineStats {
-  size_t documents = 0;
-  size_t extractions = 0;
-  size_t accepted_triples = 0;
-  size_t deduped_triples = 0;
-  size_t dropped_low_confidence = 0;
-  size_t dropped_unmapped = 0;
-  size_t mapped_triples = 0;
-  size_t unmapped_kept = 0;
-  size_t linked_to_existing = 0;
-  size_t new_entities = 0;
-  size_t ds_alignments = 0;
-  size_t retractions = 0;
-  double extract_seconds = 0;
-  double link_seconds = 0;
-  double map_seconds = 0;
-  double score_seconds = 0;
-  double mine_seconds = 0;
-
-  std::string ToString() const;
+  /// Publish an immutable KgSnapshot after every mutating operation
+  /// (ingest call, batch, finalize, state load) so queries serve
+  /// lock-free (DESIGN.md §5.11). Off = the pre-snapshot behavior:
+  /// snapshot() stays null and Nous falls back to reader-locked
+  /// serving (also the benchmark baseline mode).
+  bool publish_snapshots = true;
 };
 
 /// The NOUS knowledge-graph construction pipeline (§3): curated-KB
@@ -232,6 +217,27 @@ class KgPipeline {
   const Lexicon& lexicon() const { return lexicon_; }
   const Ner& ner() const { return ner_; }
 
+  /// Monotonic KG version: starts at 1 after the curated bootstrap and
+  /// increments on every mutating operation (Ingest call, IngestBatch
+  /// call, Finalize). Restored exactly by LoadState, and WAL replay
+  /// re-applies the same operations, so a recovered pipeline reports
+  /// the same version as the uncrashed run. Keys the query cache.
+  uint64_t kg_version() const REQUIRES_SHARED(kg_mutex_) {
+    return kg_version_;
+  }
+
+  /// Latest published snapshot; null until the first Publish (i.e.
+  /// always null when config().publish_snapshots is false). The
+  /// returned snapshot is immutable and safe to read with no lock.
+  std::shared_ptr<const KgSnapshot> snapshot() const {
+    return snapshots_.Current();
+  }
+
+  /// Clones the KG under the shared lock and installs the result as
+  /// the current snapshot. Called automatically after every mutating
+  /// operation when config().publish_snapshots is on; no-op otherwise.
+  void PublishSnapshot() EXCLUDES(kg_mutex_);
+
  private:
   /// Result of the pure, thread-safe extraction stage for one article.
   struct ExtractedDoc {
@@ -244,6 +250,9 @@ class KgPipeline {
   };
 
   void LoadCuratedKb() REQUIRES(kg_mutex_);
+  /// Finalize body (BPR refresh + rescore + LDA), under the writer
+  /// lock held by Finalize().
+  void FinalizeLocked() REQUIRES(kg_mutex_);
   std::string VertexTypeName(VertexId v) const REQUIRES_SHARED(kg_mutex_);
   void RefreshBpr(size_t epochs) REQUIRES(kg_mutex_);
   /// Stage 1 (extraction + document bag): reads only immutable models
@@ -253,6 +262,8 @@ class KgPipeline {
   /// BPR refresh); caller must hold kg_mutex_ exclusively.
   void CommitDocument(const Article& article, ExtractedDoc&& doc)
       REQUIRES(kg_mutex_);
+  /// LoadState body, under the writer lock held by LoadState().
+  Status LoadStateLocked(std::string_view payload) REQUIRES(kg_mutex_);
 
   /// Immutable after construction.
   PipelineConfig config_;
@@ -289,6 +300,10 @@ class KgPipeline {
       curated_pairs_ GUARDED_BY(kg_mutex_);
   std::vector<IdTriple> accepted_ids_ GUARDED_BY(kg_mutex_);
   size_t docs_since_refresh_ GUARDED_BY(kg_mutex_) = 0;
+  /// See kg_version(); set to 1 by the constructor's curated bootstrap.
+  uint64_t kg_version_ GUARDED_BY(kg_mutex_) = 0;
+  /// Internally synchronized shared_ptr-swap store (see SnapshotStore).
+  SnapshotStore snapshots_;
   /// Ids for ad-hoc IngestText articles; atomic so concurrent HTTP
   /// ingest callers get distinct ids without taking the write lock
   /// early.

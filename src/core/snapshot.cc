@@ -1,0 +1,23 @@
+#include "core/snapshot.h"
+
+#include <utility>
+
+namespace nous {
+
+void SnapshotStore::Publish(std::shared_ptr<const KgSnapshot> snapshot) {
+  if (snapshot == nullptr) return;
+  std::shared_ptr<const KgSnapshot> cur =
+      current_.load(std::memory_order_acquire);
+  // Install unless a racing publisher already holds an equal-or-newer
+  // view. compare_exchange reloads `cur` on failure, so each retry
+  // re-checks monotonicity against the latest winner.
+  while (cur == nullptr || snapshot->version > cur->version) {
+    if (current_.compare_exchange_weak(cur, snapshot,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+}  // namespace nous

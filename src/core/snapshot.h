@@ -1,0 +1,72 @@
+#ifndef NOUS_CORE_SNAPSHOT_H_
+#define NOUS_CORE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "core/pipeline_stats.h"
+#include "graph/property_graph.h"
+#include "qa/query_engine.h"
+
+namespace nous {
+
+/// An immutable, consistent view of the fused KG, published by the
+/// pipeline after every commit (DESIGN.md §5.11). Queries execute
+/// against a snapshot without touching kg_mutex, so one slow beam
+/// search can never stall ingest — and ingest can never mutate the
+/// graph under a running query.
+///
+/// `version` is the pipeline's monotonic KG version: it increments on
+/// every mutating operation (ingest call, batch, finalize), survives
+/// checkpoints (SaveState/LoadState), and keys the query cache — a
+/// cached answer is valid exactly while the version it was computed
+/// at is still current.
+struct KgSnapshot {
+  uint64_t version = 0;
+  /// Bag-free clone of the fused KG (identical ids, slot layout,
+  /// adjacency order; the query path never reads vertex term bags).
+  PropertyGraph graph;
+  /// Miner patterns, pre-rendered against the window graph's
+  /// dictionaries at publish time so pattern queries need neither the
+  /// miner nor the window graph.
+  std::vector<RenderedPattern> patterns;
+  /// Pipeline counters as of `version` (lock-free /api/stats).
+  PipelineStats stats;
+};
+
+/// Holds the latest published snapshot behind an atomic shared_ptr
+/// swap. Readers copy the pointer with a single atomic load — no
+/// mutex anywhere on the query hot path — and the snapshot itself is
+/// immutable, outliving the store entry for as long as any reader
+/// holds it.
+class SnapshotStore {
+ public:
+  /// Installs `snapshot` if its version is newer than the current one.
+  /// Publication is monotonic (CAS loop): two publishers can race
+  /// (each cloned under a reader lock, so each snapshot is internally
+  /// consistent and correctly labeled), and the older label simply
+  /// loses.
+  void Publish(std::shared_ptr<const KgSnapshot> snapshot);
+
+  /// Latest published snapshot; null before the first Publish.
+  std::shared_ptr<const KgSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the latest published snapshot (0 before the first).
+  uint64_t version() const {
+    std::shared_ptr<const KgSnapshot> cur = Current();
+    return cur == nullptr ? 0 : cur->version;
+  }
+
+ private:
+  /// Internally synchronized; no GUARDED_BY needed.
+  std::atomic<std::shared_ptr<const KgSnapshot>> current_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORE_SNAPSHOT_H_

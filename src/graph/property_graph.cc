@@ -11,7 +11,34 @@ namespace {
 // Shared empty containers so accessors on out-of-range vertices (never
 // expected; guarded by asserts) and default topic lookups stay cheap.
 const std::vector<double> kEmptyTopics;
+const std::vector<AdjEntry> kEmptyAdjacency;
 }  // namespace
+
+PropertyGraph PropertyGraph::Clone(bool include_vertex_bags) const {
+  PropertyGraph copy;
+  copy.vertex_labels_ = vertex_labels_;
+  copy.predicates_ = predicates_;
+  copy.terms_ = terms_;
+  copy.types_ = types_;
+  copy.sources_ = sources_;
+  copy.vertices_.reserve(vertices_.size());
+  for (const VertexRecord& rec : vertices_) {
+    VertexRecord r;
+    r.type = rec.type;
+    if (include_vertex_bags) r.bag = rec.bag;
+    r.topics = rec.topics;
+    copy.vertices_.push_back(std::move(r));
+  }
+  copy.edges_ = edges_;
+  copy.out_ = out_;
+  copy.in_ = in_;
+  copy.num_live_edges_ = num_live_edges_;
+  copy.folded_labels_ = folded_labels_;
+  copy.out_by_pred_ = out_by_pred_;
+  copy.in_by_pred_ = in_by_pred_;
+  copy.max_edge_timestamp_ = max_edge_timestamp_;
+  return copy;
+}
 
 VertexId PropertyGraph::GetOrAddVertex(std::string_view label) {
   uint32_t id = vertex_labels_.Intern(label);
@@ -19,6 +46,12 @@ VertexId PropertyGraph::GetOrAddVertex(std::string_view label) {
     vertices_.resize(id + 1);
     out_.resize(id + 1);
     in_.resize(id + 1);
+    out_by_pred_.resize(id + 1);
+    in_by_pred_.resize(id + 1);
+    // emplace keeps the first insertion, so among labels that collide
+    // after folding the lowest id wins — the vertex a forward linear
+    // scan would have found.
+    folded_labels_.emplace(ToLower(label), id);
   }
   return id;
 }
@@ -26,6 +59,14 @@ VertexId PropertyGraph::GetOrAddVertex(std::string_view label) {
 std::optional<VertexId> PropertyGraph::FindVertex(
     std::string_view label) const {
   return vertex_labels_.Lookup(label);
+}
+
+std::optional<VertexId> PropertyGraph::FindVertexFolded(
+    std::string_view label) const {
+  if (auto v = vertex_labels_.Lookup(label)) return v;
+  auto it = folded_labels_.find(ToLower(label));
+  if (it == folded_labels_.end()) return std::nullopt;
+  return it->second;
 }
 
 const std::string& PropertyGraph::VertexLabel(VertexId v) const {
@@ -71,6 +112,11 @@ EdgeId PropertyGraph::AddEdge(VertexId subject, PredicateId predicate,
   edges_.push_back(EdgeRecord{subject, object, predicate, meta, true});
   out_[subject].push_back(AdjEntry{predicate, object, e});
   in_[object].push_back(AdjEntry{predicate, subject, e});
+  out_by_pred_[subject][predicate].push_back(
+      AdjEntry{predicate, object, e});
+  in_by_pred_[object][predicate].push_back(
+      AdjEntry{predicate, subject, e});
+  max_edge_timestamp_ = std::max(max_edge_timestamp_, meta.timestamp);
   ++num_live_edges_;
   return e;
 }
@@ -105,8 +151,22 @@ Status PropertyGraph::RemoveEdge(EdgeId e) {
   };
   erase_from(out_[rec.subject]);
   erase_from(in_[rec.object]);
+  erase_from(out_by_pred_[rec.subject][rec.predicate]);
+  erase_from(in_by_pred_[rec.object][rec.predicate]);
   rec.alive = false;
   --num_live_edges_;
+  if (rec.meta.timestamp == max_edge_timestamp_ &&
+      max_edge_timestamp_ != 0) {
+    // The max holder may have just died; rescan live edges (rare —
+    // removal itself is already O(degree)).
+    max_edge_timestamp_ = 0;
+    for (const EdgeRecord& other : edges_) {
+      if (other.alive) {
+        max_edge_timestamp_ =
+            std::max(max_edge_timestamp_, other.meta.timestamp);
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -138,6 +198,20 @@ const std::vector<AdjEntry>& PropertyGraph::OutEdges(VertexId v) const {
 const std::vector<AdjEntry>& PropertyGraph::InEdges(VertexId v) const {
   assert(v < in_.size());
   return in_[v];
+}
+
+const std::vector<AdjEntry>& PropertyGraph::OutEdgesWithPredicate(
+    VertexId v, PredicateId p) const {
+  assert(v < out_by_pred_.size());
+  auto it = out_by_pred_[v].find(p);
+  return it == out_by_pred_[v].end() ? kEmptyAdjacency : it->second;
+}
+
+const std::vector<AdjEntry>& PropertyGraph::InEdgesWithPredicate(
+    VertexId v, PredicateId p) const {
+  assert(v < in_by_pred_.size());
+  auto it = in_by_pred_[v].find(p);
+  return it == in_by_pred_[v].end() ? kEmptyAdjacency : it->second;
 }
 
 void PropertyGraph::ForEachEdge(
@@ -275,7 +349,32 @@ Status PropertyGraph::LoadBinary(BinaryReader* reader) {
   uint64_t live = 0;
   NOUS_RETURN_IF_ERROR(reader->U64(&live));
   num_live_edges_ = live;
+  RebuildDerivedIndexes();
   return Status::Ok();
+}
+
+void PropertyGraph::RebuildDerivedIndexes() {
+  folded_labels_.clear();
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    folded_labels_.emplace(ToLower(vertex_labels_.GetString(v)), v);
+  }
+  out_by_pred_.assign(vertices_.size(), {});
+  in_by_pred_.assign(vertices_.size(), {});
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    for (const AdjEntry& a : out_[v]) {
+      out_by_pred_[v][a.predicate].push_back(a);
+    }
+    for (const AdjEntry& a : in_[v]) {
+      in_by_pred_[v][a.predicate].push_back(a);
+    }
+  }
+  max_edge_timestamp_ = 0;
+  for (const EdgeRecord& rec : edges_) {
+    if (rec.alive) {
+      max_edge_timestamp_ =
+          std::max(max_edge_timestamp_, rec.meta.timestamp);
+    }
+  }
 }
 
 }  // namespace nous

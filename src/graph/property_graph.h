@@ -57,12 +57,25 @@ class PropertyGraph {
   PropertyGraph(PropertyGraph&&) = default;
   PropertyGraph& operator=(PropertyGraph&&) = default;
 
+  /// Deep copy with identical ids, slot layout, and adjacency order
+  /// (copy construction stays deleted so clones are always explicit).
+  /// `include_vertex_bags` = false skips the term bags — the query
+  /// path never reads them, and they dominate the copy cost on
+  /// bag-heavy graphs (snapshot publication, DESIGN.md §5.11).
+  PropertyGraph Clone(bool include_vertex_bags = true) const;
+
   // ---- Vertices ----
 
   /// Returns the vertex for `label`, creating it if absent.
   VertexId GetOrAddVertex(std::string_view label);
 
   std::optional<VertexId> FindVertex(std::string_view label) const;
+
+  /// FindVertex, falling back to a case-folded index: "dji" resolves
+  /// the vertex labeled "DJI". Among labels that collide after
+  /// folding, the lowest id wins (the order a linear scan would find
+  /// them). O(1) — replaces ResolveEntity's O(V) lowercase scan.
+  std::optional<VertexId> FindVertexFolded(std::string_view label) const;
 
   const std::string& VertexLabel(VertexId v) const;
 
@@ -110,8 +123,21 @@ class PropertyGraph {
   const std::vector<AdjEntry>& OutEdges(VertexId v) const;
   const std::vector<AdjEntry>& InEdges(VertexId v) const;
 
+  /// Live out-/in-edges of `v` whose predicate is exactly `p`, in
+  /// insertion order. Constrained path search expands only these
+  /// instead of filtering the full adjacency list.
+  const std::vector<AdjEntry>& OutEdgesWithPredicate(VertexId v,
+                                                     PredicateId p) const;
+  const std::vector<AdjEntry>& InEdgesWithPredicate(VertexId v,
+                                                    PredicateId p) const;
+
   size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
   size_t InDegree(VertexId v) const { return InEdges(v).size(); }
+
+  /// Largest timestamp among live edges (0 with no edges; never
+  /// negative). Maintained incrementally by AddEdge/RemoveEdge so
+  /// trending queries need no full edge scan.
+  Timestamp MaxEdgeTimestamp() const { return max_edge_timestamp_; }
 
   /// Number of live edges.
   size_t NumEdges() const { return num_live_edges_; }
@@ -148,6 +174,11 @@ class PropertyGraph {
   Status LoadBinary(BinaryReader* reader);
 
  private:
+  /// Rebuilds every derived index (folded labels, predicate
+  /// partitions, max timestamp) from the primary state; LoadBinary
+  /// calls it because checkpoints only store the primary state.
+  void RebuildDerivedIndexes();
+
   Dictionary vertex_labels_;
   Dictionary predicates_;
   Dictionary terms_;
@@ -159,6 +190,16 @@ class PropertyGraph {
   std::vector<std::vector<AdjEntry>> out_;
   std::vector<std::vector<AdjEntry>> in_;
   size_t num_live_edges_ = 0;
+
+  // Derived read-side indexes (never serialized; see SaveBinary).
+  /// Case-folded label -> lowest vertex id with that folded label.
+  std::unordered_map<std::string, VertexId> folded_labels_;
+  /// Per-vertex adjacency partitioned by predicate; mirrors out_/in_.
+  std::vector<std::unordered_map<PredicateId, std::vector<AdjEntry>>>
+      out_by_pred_;
+  std::vector<std::unordered_map<PredicateId, std::vector<AdjEntry>>>
+      in_by_pred_;
+  Timestamp max_edge_timestamp_ = 0;
 };
 
 }  // namespace nous

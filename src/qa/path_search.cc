@@ -50,14 +50,23 @@ std::vector<PathResult> PathSearch::FindPaths(
     if (!config_.use_topic_guidance) return 0.0;
     return JsDivergence(graph_->VertexTopics(v), target_topics);
   };
-  // One-step look-ahead: best divergence among v's neighbors.
+  // One-step look-ahead: best divergence among v's neighbors. Only
+  // edges the expansion step would actually traverse count: an edge
+  // below min_edge_confidence must not steer the beam toward a
+  // neighbor the search then refuses to enter, and it does not use up
+  // the `seen` budget either.
   auto lookahead = [&](VertexId v) {
     if (!config_.use_topic_guidance) return 0.0;
     double best = kLn2;
     size_t seen = 0;
     auto scan = [&](const std::vector<AdjEntry>& adj) {
       for (const AdjEntry& a : adj) {
-        if (seen++ >= config_.max_expansion) return;
+        if (seen >= config_.max_expansion) return;
+        if (graph_->Edge(a.edge).meta.confidence <
+            config_.min_edge_confidence) {
+          continue;  // not viable — invisible to guidance
+        }
+        ++seen;
         if (a.neighbor == target) {
           best = 0.0;
           return;
@@ -74,15 +83,60 @@ std::vector<PathResult> PathSearch::FindPaths(
   beam.push_back(PartialPath{{source}, {}, 0.0});
   std::set<std::pair<std::vector<VertexId>, std::vector<EdgeId>>> emitted;
 
+  // With a final-edge constraint (the default constraint mode), only
+  // edges carrying the constrained predicate can close a path — so
+  // completions are found by scanning just that predicate's adjacency
+  // partition, and the general expansion below skips the target.
+  const bool final_edge_constraint =
+      relationship != kInvalidPredicate && !config_.constraint_anywhere;
+
   for (size_t hop = 0; hop < config_.max_hops && !beam.empty(); ++hop) {
     std::vector<PartialPath> successors;
     for (const PartialPath& path : beam) {
       VertexId tail = path.vertices.back();
+
+      // Emits path + closing edge `a` (to the target) if new.
+      auto emit_complete = [&](const AdjEntry& a) {
+        PathResult result;
+        result.vertices = path.vertices;
+        result.vertices.push_back(target);
+        result.edges = path.edges;
+        result.edges.push_back(a.edge);
+        result.coherence = ComputePathCoherence(*graph_, result.vertices);
+        std::set<SourceId> sources;
+        for (EdgeId e : result.edges) {
+          sources.insert(graph_->Edge(e).meta.source);
+        }
+        result.sources.assign(sources.begin(), sources.end());
+        auto key = std::make_pair(result.vertices, result.edges);
+        if (emitted.insert(key).second) {
+          complete.push_back(std::move(result));
+        }
+      };
+
+      if (final_edge_constraint) {
+        auto close_with = [&](const std::vector<AdjEntry>& adj) {
+          for (const AdjEntry& a : adj) {
+            if (a.neighbor != target) continue;
+            if (graph_->Edge(a.edge).meta.confidence <
+                config_.min_edge_confidence) {
+              continue;  // untrusted fact
+            }
+            emit_complete(a);
+          }
+        };
+        close_with(graph_->OutEdgesWithPredicate(tail, relationship));
+        close_with(graph_->InEdgesWithPredicate(tail, relationship));
+      }
+
       size_t expanded = 0;
       auto expand = [&](const std::vector<AdjEntry>& adj) {
         for (const AdjEntry& a : adj) {
           if (expanded >= config_.max_expansion) return;
           VertexId next = a.neighbor;
+          if (final_edge_constraint && next == target) {
+            continue;  // completions handled via the partition above
+          }
           if (std::find(path.vertices.begin(), path.vertices.end(),
                         next) != path.vertices.end()) {
             continue;  // simple paths only
@@ -92,41 +146,27 @@ std::vector<PathResult> PathSearch::FindPaths(
             continue;  // untrusted fact
           }
           ++expanded;
-          PartialPath grown = path;
-          grown.vertices.push_back(next);
-          grown.edges.push_back(a.edge);
           if (next == target) {
-            // Relationship constraint: final edge by default, any
-            // edge when constraint_anywhere is set.
+            // Relationship constraint: satisfied by any edge when
+            // constraint_anywhere is set (unconstrained otherwise).
             bool constraint_ok = relationship == kInvalidPredicate;
-            if (!constraint_ok && config_.constraint_anywhere) {
-              for (EdgeId e : grown.edges) {
+            if (!constraint_ok) {
+              std::vector<EdgeId> full_edges = path.edges;
+              full_edges.push_back(a.edge);
+              for (EdgeId e : full_edges) {
                 if (graph_->Edge(e).predicate == relationship) {
                   constraint_ok = true;
                   break;
                 }
               }
-            } else if (!constraint_ok) {
-              constraint_ok =
-                  graph_->Edge(a.edge).predicate == relationship;
             }
             if (!constraint_ok) continue;
-            PathResult result;
-            result.vertices = grown.vertices;
-            result.edges = grown.edges;
-            result.coherence =
-                ComputePathCoherence(*graph_, grown.vertices);
-            std::set<SourceId> sources;
-            for (EdgeId e : grown.edges) {
-              sources.insert(graph_->Edge(e).meta.source);
-            }
-            result.sources.assign(sources.begin(), sources.end());
-            auto key = std::make_pair(result.vertices, result.edges);
-            if (emitted.insert(key).second) {
-              complete.push_back(std::move(result));
-            }
+            emit_complete(a);
             continue;
           }
+          PartialPath grown = path;
+          grown.vertices.push_back(next);
+          grown.edges.push_back(a.edge);
           grown.guide_score = divergence_to_target(next) +
                               config_.lookahead_weight * lookahead(next);
           successors.push_back(std::move(grown));

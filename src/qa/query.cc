@@ -158,4 +158,13 @@ Result<Query> ParseQuery(const std::string& raw) {
   return Status::InvalidArgument("unrecognized query: " + raw);
 }
 
+std::string CanonicalCacheKey(const Query& query) {
+  // '\x1f' (unit separator) cannot appear in parsed fields, so the
+  // join is unambiguous.
+  return StrFormat("%s\x1f%s\x1f%s\x1f%s\x1f%lld\x1f%zu",
+                   QueryKindName(query.kind), query.entity_a.c_str(),
+                   query.entity_b.c_str(), query.predicate.c_str(),
+                   static_cast<long long>(query.since), query.top_k);
+}
+
 }  // namespace nous

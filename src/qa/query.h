@@ -42,6 +42,14 @@ struct Query {
 /// Unrecognized text yields InvalidArgument.
 Result<Query> ParseQuery(const std::string& text);
 
+/// Canonical cache key for a parsed query: two phrasings that parse
+/// to the same structured query ("Tell me about DJI?" / "who is DJI")
+/// map to the same key. Fields are NOT case-folded: entity resolution
+/// prefers an exact-case match before the folded index, so "DJI" and
+/// "dji" can legitimately resolve to different vertices and must not
+/// share a cache entry.
+std::string CanonicalCacheKey(const Query& query);
+
 }  // namespace nous
 
 #endif  // NOUS_QA_QUERY_H_

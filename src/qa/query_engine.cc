@@ -20,7 +20,17 @@ QueryEngine::QueryEngine(const PropertyGraph* graph,
       miner_graph_(miner_graph != nullptr ? miner_graph : graph),
       config_(config) {}
 
+QueryEngine::QueryEngine(const PropertyGraph* graph,
+                         const std::vector<RenderedPattern>& patterns,
+                         QueryEngineConfig config)
+    : graph_(graph),
+      miner_(nullptr),
+      miner_graph_(graph),
+      prerendered_patterns_(&patterns),
+      config_(config) {}
+
 std::vector<RenderedPattern> QueryEngine::RenderMinerPatterns() const {
+  if (prerendered_patterns_ != nullptr) return *prerendered_patterns_;
   std::vector<RenderedPattern> rendered;
   if (miner_ == nullptr) return rendered;
   for (const PatternStats& stats : miner_->ClosedFrequentPatterns()) {
@@ -35,12 +45,9 @@ std::vector<RenderedPattern> QueryEngine::RenderMinerPatterns() const {
 }
 
 Result<VertexId> QueryEngine::ResolveEntity(const std::string& name) const {
-  if (auto v = graph_->FindVertex(name)) return *v;
-  // Case-insensitive fallback scan (queries are typed by humans).
-  std::string lower = ToLower(name);
-  for (VertexId v = 0; v < graph_->NumVertices(); ++v) {
-    if (ToLower(graph_->VertexLabel(v)) == lower) return v;
-  }
+  // Exact match, then the graph's case-folded index (queries are
+  // typed by humans) — O(1) where this used to scan every label.
+  if (auto v = graph_->FindVertexFolded(name)) return *v;
   return Status::NotFound("unknown entity: " + name);
 }
 
@@ -88,11 +95,10 @@ Result<Answer> QueryEngine::ExecuteText(const std::string& text) const {
 Answer QueryEngine::ExecuteTrending() const {
   Answer answer;
   answer.kind = QueryKind::kTrending;
-  // Hot entities: activity within the trailing horizon.
-  Timestamp newest = 0;
-  graph_->ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
-    newest = std::max(newest, rec.meta.timestamp);
-  });
+  // Hot entities: activity within the trailing horizon. The graph
+  // tracks its max live-edge timestamp incrementally, so trending
+  // needs one edge pass instead of two.
+  Timestamp newest = graph_->MaxEdgeTimestamp();
   Timestamp cutoff = config_.trending_horizon == 0
                          ? 0
                          : newest - config_.trending_horizon;
@@ -215,11 +221,13 @@ std::string Answer::Render(const PropertyGraph& graph) const {
   if (!facts.empty()) {
     os << "Facts:\n";
     for (const FactLine& f : facts) {
-      os << StrFormat("  (%s, %s, %s) conf=%.2f %s%s\n", f.subject.c_str(),
+      std::string provenance =
+          f.curated ? "[curated]"
+          : f.source.empty() ? "[extracted]"
+                             : "[extracted from " + f.source + "]";
+      os << StrFormat("  (%s, %s, %s) conf=%.2f %s\n", f.subject.c_str(),
                       f.predicate.c_str(), f.object.c_str(), f.confidence,
-                      f.curated ? "[curated]" : "[extracted",
-                      f.curated ? ""
-                                : (" from " + f.source + "]").c_str());
+                      provenance.c_str());
     }
   }
   if (!patterns.empty()) {

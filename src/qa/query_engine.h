@@ -77,6 +77,16 @@ class QueryEngine {
               QueryEngineConfig config = {},
               const PropertyGraph* miner_graph = nullptr);
 
+  /// Snapshot-serving variant: patterns were already rendered at
+  /// snapshot publish time (core/snapshot.h), so no miner or window
+  /// graph is needed — everything the engine reads is immutable.
+  /// Taken by reference (not pointer) so the overload never competes
+  /// with the miner variant at nullptr call sites; `patterns` must
+  /// outlive the engine.
+  QueryEngine(const PropertyGraph* graph,
+              const std::vector<RenderedPattern>& patterns,
+              QueryEngineConfig config = {});
+
   Result<Answer> Execute(const Query& query) const;
 
   /// Parse + execute.
@@ -96,6 +106,8 @@ class QueryEngine {
   const PropertyGraph* graph_;
   const StreamingMiner* miner_;       // may be null
   const PropertyGraph* miner_graph_;  // dictionary source for patterns
+  /// Pre-rendered patterns (snapshot mode); exclusive with miner_.
+  const std::vector<RenderedPattern>* prerendered_patterns_ = nullptr;
   QueryEngineConfig config_;
 };
 

@@ -28,8 +28,8 @@ HttpResponse JsonError(int status, const std::string& message) {
 
 NousApi::NousApi(Nous* nous) : nous_(nous) {}
 
-std::string NousApi::AnswerJson(const Answer& answer) const {
-  const PropertyGraph& graph = nous_->graph();
+std::string NousApi::AnswerJson(const Answer& answer,
+                                const PropertyGraph& graph) {
   JsonWriter w;
   w.BeginObject();
   w.Key("kind");
@@ -114,28 +114,42 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
   if (it == request.params.end() || it->second.empty()) {
     return JsonError(400, "missing query parameter q");
   }
-  // One shared-lock span covers execution *and* serialization, so the
-  // graph (and its string dictionaries) cannot grow underneath
-  // AnswerJson. AskUnlocked avoids re-acquiring the lock (a second
-  // shared_lock could deadlock behind a queued writer).
-  ReaderMutexLock lock(nous_->kg_mutex());
-  auto answer = nous_->AskUnlocked(it->second);
+  // Snapshot serving: execution and serialization read the same
+  // immutable snapshot, so neither takes kg_mutex and the graph (and
+  // its string dictionaries) cannot grow underneath AnswerJson.
+  std::shared_ptr<const KgSnapshot> snap;
+  auto answer = nous_->Ask(it->second, &snap);
   if (!answer.ok()) {
     return JsonError(
         answer.status().code() == StatusCode::kNotFound ? 404 : 400,
         answer.status().ToString());
   }
   HttpResponse response;
-  response.body = AnswerJson(*answer);
+  if (snap != nullptr) {
+    response.body = AnswerJson(*answer, snap->graph);
+  } else {
+    // Locked fallback (snapshot publishing disabled): one shared-lock
+    // span must cover the serialization too.
+    ReaderMutexLock lock(nous_->kg_mutex());
+    response.body = AnswerJson(*answer, nous_->graph());
+  }
   return response;
 }
 
 HttpResponse NousApi::HandleStats() {
-  // Lock once and walk the graph directly (Nous::ComputeStats would
-  // take the same shared lock; PipelineStats needs the same guard).
-  ReaderMutexLock lock(nous_->kg_mutex());
-  GraphStats stats = ComputeGraphStats(nous_->graph());
-  const PipelineStats& ps = nous_->stats();
+  // Snapshot path: walk the latest published view, no lock. Locked
+  // fallback only when snapshot publishing is disabled.
+  GraphStats stats;
+  PipelineStats ps;
+  std::shared_ptr<const KgSnapshot> snap = nous_->snapshot();
+  if (snap != nullptr) {
+    stats = ComputeGraphStats(snap->graph);
+    ps = snap->stats;
+  } else {
+    ReaderMutexLock lock(nous_->kg_mutex());
+    stats = ComputeGraphStats(nous_->graph());
+    ps = nous_->stats();
+  }
   JsonWriter w;
   w.BeginObject();
   w.Key("vertices");
@@ -204,25 +218,34 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
       it != request.params.end() && !it->second.empty()) {
     source = it->second;
   }
-  size_t accepted_before;
-  {
+  auto read_counts = [this](size_t* accepted, size_t* edges) {
+    if (auto snap = nous_->snapshot()) {
+      *accepted = snap->stats.accepted_triples;
+      *edges = snap->graph.NumEdges();
+      return;
+    }
     ReaderMutexLock lock(nous_->kg_mutex());
-    accepted_before = nous_->stats().accepted_triples;
-  }
+    *accepted = nous_->stats().accepted_triples;
+    *edges = nous_->graph().NumEdges();
+  };
+  size_t accepted_before = 0, edges_before = 0;
+  read_counts(&accepted_before, &edges_before);
   Status status = nous_->IngestText(request.body, date, source);
   if (!status.ok()) {
     // Durable logging failed: nothing was committed, so the honest
     // answer is "retry later", not a fabricated accept count.
     return JsonError(503, "ingest not durable: " + status.ToString());
   }
-  ReaderMutexLock lock(nous_->kg_mutex());
+  // The ingest call published its snapshot before returning
+  // (read-your-writes), so the counts below include this document.
+  size_t accepted_after = 0, edges_after = 0;
+  read_counts(&accepted_after, &edges_after);
   JsonWriter w;
   w.BeginObject();
   w.Key("accepted");
-  w.Int(static_cast<long long>(nous_->stats().accepted_triples -
-                               accepted_before));
+  w.Int(static_cast<long long>(accepted_after - accepted_before));
   w.Key("total_edges");
-  w.Int(static_cast<long long>(nous_->graph().NumEdges()));
+  w.Int(static_cast<long long>(edges_after));
   w.EndObject();
   HttpResponse response;
   response.body = w.Result();

@@ -31,10 +31,12 @@ namespace nous {
 /// counted in nous_http_requests_total{code=...} and timed into
 /// nous_http_request_latency_seconds.
 ///
-/// Handle() is thread-safe: read endpoints (query, stats) hold the
-/// pipeline's shared lock for the whole read-and-serialize span, and
-/// ingest takes the exclusive side internally — so a multi-threaded
-/// HttpServer answers queries concurrently with ingestion.
+/// Handle() is thread-safe: read endpoints (query, stats) execute and
+/// serialize against one immutable KgSnapshot (DESIGN.md §5.11) and
+/// never touch kg_mutex — queries cannot stall ingest commits. With
+/// snapshot publishing disabled they fall back to holding the
+/// pipeline's shared lock for the read-and-serialize span. Ingest
+/// takes the exclusive side internally.
 class NousApi {
  public:
   /// `nous` must outlive the API.
@@ -51,11 +53,12 @@ class NousApi {
   }
   bool ready() const { return ready_.load(std::memory_order_acquire); }
 
-  /// JSON for one executed answer (exposed for tests). Reads the
-  /// graph's dictionaries: callers must hold a ReaderMutexLock on
-  /// nous->kg_mutex() across the call (compile-enforced under Clang).
-  std::string AnswerJson(const Answer& answer) const
-      REQUIRES_SHARED(nous_->kg_mutex());
+  /// JSON for one executed answer (exposed for tests). `graph` must
+  /// be the view the answer was computed against — a snapshot's graph
+  /// (no locking needed; it is immutable), or the live graph under a
+  /// ReaderMutexLock.
+  static std::string AnswerJson(const Answer& answer,
+                                const PropertyGraph& graph);
 
  private:
   HttpResponse HandleQuery(const HttpRequest& request);

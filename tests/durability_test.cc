@@ -887,5 +887,53 @@ TEST_F(DurabilityPipelineFixture, AdhocIdsNeverCollideAcrossRecovery) {
   EXPECT_EQ(recovered.pipeline().ReserveAdhocId(), "adhoc_2");
 }
 
+TEST_F(DurabilityPipelineFixture, KgVersionSurvivesCrashRecovery) {
+  std::string dir = FreshDir("nous_version_recovery");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  // Reference: an instance that never crashes. Bootstrap = version 1,
+  // each IngestBatch bumps once.
+  Nous reference(&kb_, FastOptions());
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(reference.IngestBatch(batch).ok());
+  }
+  ASSERT_NE(reference.snapshot(), nullptr);
+  const uint64_t reference_version = reference.snapshot()->version;
+  EXPECT_EQ(reference_version, 1u + batches.size());
+
+  {
+    Nous durable(&kb_, DurableOptions(dir));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[0]).ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[1]).ok());
+    // Checkpoint captures kg_version alongside the KG state...
+    ASSERT_TRUE(durable.Checkpoint().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[2]).ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[3]).ok());
+    // ...and the last two batches exist only in the WAL.
+  }
+
+  Nous recovered(&kb_, DurableOptions(dir));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->restored_checkpoint);
+  EXPECT_EQ(stats->replayed_batches, 2u);
+
+  // Checkpoint restore + one bump per replayed batch lands on exactly
+  // the version the uncrashed instance reached, so version-keyed query
+  // caches stay coherent across a crash.
+  ASSERT_NE(recovered.snapshot(), nullptr);
+  EXPECT_EQ(recovered.snapshot()->version, reference_version);
+
+  // And the counter keeps advancing from there, not from a stale base.
+  auto more = MakeBatches(articles, 5);
+  if (more.size() > 4) {
+    ASSERT_TRUE(recovered.IngestBatch(more[4]).ok());
+    EXPECT_EQ(recovered.snapshot()->version, reference_version + 1);
+  }
+}
+
 }  // namespace
 }  // namespace nous

@@ -357,5 +357,165 @@ TEST(TrendingTest, RisingRankingPrefersEmergingEntities) {
   EXPECT_EQ(raw_answer->hot_entities[0].first, "Steady Corp");
 }
 
+// Pins the single-pass `newest` computation: trending must anchor its
+// recency window on the maximum live-edge timestamp, maintained
+// incrementally by AddEdge and re-derived by RemoveEdge when the
+// current maximum dies.
+TEST(TrendingTest, WindowTracksMaxLiveTimestampThroughRemoval) {
+  PropertyGraph g;
+  PredicateId p = g.predicates().Intern("mentions");
+  VertexId old_corp = g.GetOrAddVertex("Old Corp");
+  VertexId new_corp = g.GetOrAddVertex("New Corp");
+  auto add = [&](VertexId v, Timestamp ts, int i) {
+    EdgeMeta meta;
+    meta.timestamp = ts;
+    meta.source = g.sources().Intern("feed");
+    g.AddEdge(v, p,
+              g.GetOrAddVertex("partner" + std::to_string(ts) +
+                               std::to_string(i)),
+              meta);
+    return g.NumEdges() - 1;
+  };
+  add(old_corp, 100, 0);
+  add(old_corp, 100, 1);
+  EdgeId newest_edge = add(new_corp, 1000, 0);
+  ASSERT_EQ(g.MaxEdgeTimestamp(), 1000);
+
+  QueryEngineConfig config;
+  config.trending_horizon = 90;
+  QueryEngine engine(&g, nullptr, config);
+  auto answer = engine.ExecuteText("what is trending");
+  ASSERT_TRUE(answer.ok());
+  // Window [910, 1000]: only the newest edge is recent.
+  ASSERT_EQ(answer->facts.size(), 1u);
+  EXPECT_EQ(answer->facts[0].subject, "New Corp");
+
+  // Removing the maximum-timestamp edge re-anchors the window.
+  ASSERT_TRUE(g.RemoveEdge(newest_edge).ok());
+  EXPECT_EQ(g.MaxEdgeTimestamp(), 100);
+  auto after = engine.ExecuteText("what is trending");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->facts.size(), 2u);
+  for (const FactLine& f : after->facts) {
+    EXPECT_EQ(f.subject, "Old Corp");
+  }
+}
+
+// ---------- Rendering ----------
+
+TEST(RenderTest, ExtractedFactWithoutSourceRendersCleanly) {
+  PropertyGraph g;
+  PredicateId p = g.predicates().Intern("acquired");
+  VertexId a = g.GetOrAddVertex("Acme");
+  VertexId b = g.GetOrAddVertex("Biz");
+  EdgeMeta meta;  // no source interned: provenance is unknown
+  g.AddEdge(a, p, b, meta);
+  QueryEngine engine(&g, nullptr);
+  auto answer = engine.ExecuteText("tell me about Acme");
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->facts.size(), 1u);
+  EXPECT_TRUE(answer->facts[0].source.empty());
+  std::string rendered = answer->Render(g);
+  EXPECT_NE(rendered.find("[extracted]"), std::string::npos);
+  // The dangling-bracket regression: never "[extracted from ]".
+  EXPECT_EQ(rendered.find("[extracted from ]"), std::string::npos);
+}
+
+// ---------- Look-ahead vs confidence filter ----------
+
+// The look-ahead regression: guidance must ignore edges the expansion
+// step would refuse to traverse. The graph plants a lure vertex whose
+// only route to the target is a low-confidence edge, and a detour
+// whose route is trustworthy; with beam_width=1 the search lives or
+// dies by the look-ahead's ranking.
+//
+//   src -(1.0)-> lure   -(0.2)-> dst     lure matches dst's topics
+//   src -(0.9)-> detour -(0.9)-> dst     detour is topically farther
+TEST(LookaheadTest, ConfidenceFilterAppliesToLookahead) {
+  PropertyGraph g;
+  PredicateId p = g.predicates().Intern("rel");
+  auto add_vertex = [&](const std::string& name,
+                        std::vector<double> topics) {
+    VertexId v = g.GetOrAddVertex(name);
+    g.SetVertexTopics(v, std::move(topics));
+    return v;
+  };
+  VertexId src = add_vertex("src", {0.5, 0.5});
+  VertexId dst = add_vertex("dst", {0.9, 0.1});
+  VertexId lure = add_vertex("lure", {0.9, 0.1});
+  VertexId detour = add_vertex("detour", {0.7, 0.3});
+  auto connect = [&](VertexId s, VertexId o, double confidence) {
+    EdgeMeta meta;
+    meta.confidence = confidence;
+    meta.source = g.sources().Intern("feed");
+    g.AddEdge(s, p, o, meta);
+  };
+  connect(src, lure, 1.0);
+  connect(lure, dst, 0.2);
+  connect(src, detour, 0.9);
+  connect(detour, dst, 0.9);
+
+  PathSearchConfig config;
+  config.beam_width = 1;
+  config.max_hops = 2;
+  config.min_edge_confidence = 0.5;
+  PathSearch search(&g, config);
+  auto paths = search.FindPaths(src, dst);
+  // A look-ahead that counted the untraversable lure->dst edge would
+  // rank the lure first, commit the one-slot beam to it, and find
+  // nothing. Filter-aware guidance picks the trustworthy detour.
+  ASSERT_EQ(paths.size(), 1u);
+  ASSERT_EQ(paths[0].vertices.size(), 3u);
+  EXPECT_EQ(paths[0].vertices[1], detour);
+  for (EdgeId e : paths[0].edges) {
+    EXPECT_GE(g.Edge(e).meta.confidence, 0.5);
+  }
+}
+
+// constraint_anywhere composes with the confidence floor: an interior
+// constraint edge below the floor must not count.
+TEST_F(PathFixture, ConstraintAnywhereHonorsConfidenceFloor) {
+  // Two routes carry `via_`: mid_good -> dst (will be untrusted) and
+  // a fresh src -[via]-> far1 leg (trusted).
+  Connect(src_, via_, far1_, "extra");
+  auto via_edge = graph_.FindEdge(mid_good_, via_, dst_);
+  ASSERT_TRUE(via_edge.has_value());
+  graph_.SetEdgeConfidence(*via_edge, 0.1);
+  PathSearchConfig config;
+  config.constraint_anywhere = true;
+  config.min_edge_confidence = 0.5;
+  config.top_k = 10;
+  PathSearch search(&graph_, config);
+  auto paths = search.FindPaths(src_, dst_, via_);
+  ASSERT_FALSE(paths.empty());
+  for (const PathResult& path : paths) {
+    bool has_trusted_via = false;
+    for (EdgeId e : path.edges) {
+      EXPECT_GE(graph_.Edge(e).meta.confidence, 0.5);
+      if (graph_.Edge(e).predicate == via_) has_trusted_via = true;
+    }
+    EXPECT_TRUE(has_trusted_via);
+  }
+}
+
+// The final-edge constraint uses the per-predicate adjacency
+// partitions; a predicate that never closes into the target yields
+// nothing, and the engine-level fallback (see
+// UnknownPredicateConstraintFallsBack) re-runs unconstrained.
+TEST_F(PathFixture, FinalEdgeConstraintUsesPredicatePartitions) {
+  PathSearchConfig config;
+  config.top_k = 10;
+  PathSearch search(&graph_, config);
+  // `via_` closes into dst only through mid_good.
+  auto via_paths = search.FindPaths(src_, dst_, via_);
+  ASSERT_FALSE(via_paths.empty());
+  for (const PathResult& path : via_paths) {
+    EXPECT_EQ(graph_.Edge(path.edges.back()).predicate, via_);
+  }
+  // A predicate with no edge into dst cannot close any path.
+  PredicateId unused = graph_.predicates().Intern("unused_pred");
+  EXPECT_TRUE(search.FindPaths(src_, dst_, unused).empty());
+}
+
 }  // namespace
 }  // namespace nous

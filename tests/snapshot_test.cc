@@ -1,0 +1,339 @@
+// Snapshot-isolated query serving (DESIGN.md §5.11): publish-on-commit
+// KgSnapshots, the monotonic KG version, the versioned LRU query
+// cache, and the locked fallback. The concurrency case at the bottom
+// is the TSan target for "queries never hold kg_mutex": readers and a
+// writer run together and every answer must be consistent with the
+// exact snapshot it was served from.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/nous.h"
+#include "core/snapshot.h"
+#include "corpus/article_generator.h"
+#include "corpus/world_model.h"
+#include "kb/kb_generator.h"
+#include "qa/query.h"
+#include "qa/query_cache.h"
+#include "qa/query_engine.h"
+
+namespace nous {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest()
+      : world_(WorldModel::BuildDroneWorld(WorldConfig())),
+        kb_(BuildCuratedKb(world_, Ontology::DroneDefault(),
+                           Coverage())),
+        articles_(ArticleGenerator(&world_, CorpusConfig{})
+                      .GenerateArticles()) {}
+
+  static DroneWorldConfig WorldConfig() {
+    DroneWorldConfig config;
+    config.num_companies = 12;
+    config.num_people = 8;
+    config.num_products = 8;
+    config.num_events = 60;
+    config.seed = 11;
+    return config;
+  }
+  static KbCoverage Coverage() {
+    KbCoverage coverage;
+    coverage.entity_coverage = 0.6;
+    return coverage;
+  }
+
+  /// A connected entity to ask about, picked from a snapshot so the
+  /// question has a non-trivial answer.
+  static std::string BusyEntity(const KgSnapshot& snap) {
+    VertexId best = 0;
+    size_t best_degree = 0;
+    for (VertexId v = 0; v < snap.graph.NumVertices(); ++v) {
+      size_t degree = snap.graph.OutDegree(v) + snap.graph.InDegree(v);
+      if (degree > best_degree) {
+        best = v;
+        best_degree = degree;
+      }
+    }
+    EXPECT_GT(best_degree, 0u);
+    return snap.graph.VertexLabel(best);
+  }
+
+  WorldModel world_;
+  CuratedKb kb_;
+  std::vector<Article> articles_;
+};
+
+TEST_F(SnapshotTest, PublishedAtConstruction) {
+  Nous nous(&kb_);
+  std::shared_ptr<const KgSnapshot> snap = nous.snapshot();
+  ASSERT_NE(snap, nullptr);
+  // Version 1 = the curated bootstrap commit.
+  EXPECT_EQ(snap->version, 1u);
+  EXPECT_GT(snap->graph.NumVertices(), 0u);
+}
+
+TEST_F(SnapshotTest, VersionBumpsPerMutatingCall) {
+  Nous nous(&kb_);
+  EXPECT_EQ(nous.snapshot()->version, 1u);
+  nous.Ingest(articles_[0]);
+  EXPECT_EQ(nous.snapshot()->version, 2u);
+  // One bump per batch call (the WAL commit unit), not per article.
+  nous.IngestBatch({articles_[1], articles_[2], articles_[3]});
+  EXPECT_EQ(nous.snapshot()->version, 3u);
+  nous.Finalize();
+  EXPECT_EQ(nous.snapshot()->version, 4u);
+}
+
+TEST_F(SnapshotTest, SnapshotsAreIsolatedFromLaterIngest) {
+  Nous nous(&kb_);
+  nous.Ingest(articles_[0]);
+  std::shared_ptr<const KgSnapshot> before = nous.snapshot();
+  size_t edges_before = before->graph.NumEdges();
+  size_t vertices_before = before->graph.NumVertices();
+  for (size_t i = 1; i < articles_.size(); ++i) {
+    nous.Ingest(articles_[i]);
+  }
+  // The held snapshot did not move.
+  EXPECT_EQ(before->graph.NumEdges(), edges_before);
+  EXPECT_EQ(before->graph.NumVertices(), vertices_before);
+  // The latest one did.
+  std::shared_ptr<const KgSnapshot> after = nous.snapshot();
+  EXPECT_GT(after->version, before->version);
+  EXPECT_GT(after->graph.NumEdges(), edges_before);
+}
+
+TEST_F(SnapshotTest, SnapshotAnswersMatchLockedAnswers) {
+  // Same corpus through a snapshot-serving instance (cache off, so
+  // every ask re-executes) and a locked-fallback instance: the five
+  // query classes must render identically.
+  Nous::Options snapshot_options;
+  snapshot_options.query_cache.enabled = false;
+  Nous snapshot_nous(&kb_, snapshot_options);
+  Nous::Options locked_options;
+  locked_options.pipeline.publish_snapshots = false;
+  Nous locked_nous(&kb_, locked_options);
+  for (const Article& a : articles_) {
+    snapshot_nous.Ingest(a);
+    locked_nous.Ingest(a);
+  }
+  std::shared_ptr<const KgSnapshot> snap = snapshot_nous.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(locked_nous.snapshot(), nullptr);
+  std::string entity = BusyEntity(*snap);
+  std::vector<std::string> questions = {"tell me about " + entity,
+                                        "what is trending",
+                                        "show patterns"};
+  for (const std::string& question : questions) {
+    std::shared_ptr<const KgSnapshot> out;
+    auto from_snapshot = snapshot_nous.Ask(question, &out);
+    auto from_locked = locked_nous.Ask(question, &out);
+    ASSERT_EQ(from_snapshot.ok(), from_locked.ok()) << question;
+    if (!from_snapshot.ok()) continue;
+    EXPECT_EQ(from_snapshot->Render(snap->graph),
+              [&] {
+                ReaderMutexLock lock(locked_nous.kg_mutex());
+                return from_locked->Render(locked_nous.graph());
+              }())
+        << question;
+  }
+}
+
+TEST_F(SnapshotTest, LockedFallbackReportsNullSnapshot) {
+  Nous::Options options;
+  options.pipeline.publish_snapshots = false;
+  Nous nous(&kb_, options);
+  for (size_t i = 0; i < 8; ++i) nous.Ingest(articles_[i]);
+  std::shared_ptr<const KgSnapshot> out =
+      std::make_shared<KgSnapshot>();
+  auto answer = nous.Ask("what is trending", &out);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(out, nullptr);
+}
+
+TEST_F(SnapshotTest, CacheHitsOnRepeatAndCountsStats) {
+  Nous nous(&kb_);
+  for (const Article& a : articles_) nous.Ingest(a);
+  ASSERT_NE(nous.query_cache(), nullptr);
+  std::string question =
+      "tell me about " + BusyEntity(*nous.snapshot());
+  auto first = nous.Ask(question);
+  ASSERT_TRUE(first.ok());
+  QueryCache::Stats after_first = nous.query_cache()->stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_EQ(after_first.misses, 1u);
+  auto second = nous.Ask(question);
+  ASSERT_TRUE(second.ok());
+  QueryCache::Stats after_second = nous.query_cache()->stats();
+  EXPECT_EQ(after_second.hits, 1u);
+  EXPECT_EQ(after_second.misses, 1u);
+  const PropertyGraph& graph = nous.snapshot()->graph;
+  EXPECT_EQ(first->Render(graph), second->Render(graph));
+}
+
+TEST_F(SnapshotTest, IngestInvalidatesCachedAnswers) {
+  // The stale-answer regression: ask, ingest more facts, ask the same
+  // question. The second answer must match a cache-free reference
+  // built from the identical corpus — never the cached pre-ingest
+  // answer.
+  Nous cached_nous(&kb_);
+  Nous::Options no_cache;
+  no_cache.query_cache.enabled = false;
+  Nous reference(&kb_, no_cache);
+  size_t half = articles_.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    cached_nous.Ingest(articles_[i]);
+    reference.Ingest(articles_[i]);
+  }
+  std::string question =
+      "tell me about " + BusyEntity(*reference.snapshot());
+  auto stale = cached_nous.Ask(question);
+  ASSERT_TRUE(stale.ok());
+  for (size_t i = half; i < articles_.size(); ++i) {
+    cached_nous.Ingest(articles_[i]);
+    reference.Ingest(articles_[i]);
+  }
+  auto fresh = cached_nous.Ask(question);
+  auto expected = reference.Ask(question);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(fresh->Render(cached_nous.snapshot()->graph),
+            expected->Render(reference.snapshot()->graph));
+  // And the second ask was a re-execution, not a hit.
+  QueryCache::Stats stats = cached_nous.query_cache()->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(SnapshotTest, CacheEvictsLeastRecentlyUsed) {
+  Nous::Options options;
+  options.query_cache.entries = 2;
+  Nous nous(&kb_, options);
+  for (const Article& a : articles_) nous.Ingest(a);
+  std::shared_ptr<const KgSnapshot> snap = nous.snapshot();
+  std::vector<std::string> labels;
+  for (VertexId v = 0;
+       v < snap->graph.NumVertices() && labels.size() < 3; ++v) {
+    if (snap->graph.OutDegree(v) + snap->graph.InDegree(v) > 0) {
+      labels.push_back(snap->graph.VertexLabel(v));
+    }
+  }
+  ASSERT_EQ(labels.size(), 3u);
+  for (const std::string& label : labels) {
+    ASSERT_TRUE(nous.Ask("tell me about " + label).ok());
+  }
+  const QueryCache* cache = nous.query_cache();
+  EXPECT_EQ(cache->size(), 2u);
+  EXPECT_EQ(cache->capacity(), 2u);
+  EXPECT_EQ(cache->stats().evictions, 1u);
+  // The evicted (oldest) entry misses; the newest hits.
+  ASSERT_TRUE(nous.Ask("tell me about " + labels[2]).ok());
+  EXPECT_EQ(nous.query_cache()->stats().hits, 1u);
+  ASSERT_TRUE(nous.Ask("tell me about " + labels[0]).ok());
+  EXPECT_EQ(nous.query_cache()->stats().misses, 4u);
+}
+
+TEST_F(SnapshotTest, CacheCanBeDisabled) {
+  Nous::Options options;
+  options.query_cache.enabled = false;
+  Nous nous(&kb_, options);
+  EXPECT_EQ(nous.query_cache(), nullptr);
+  for (size_t i = 0; i < 4; ++i) nous.Ingest(articles_[i]);
+  EXPECT_TRUE(nous.Ask("what is trending").ok());
+}
+
+TEST_F(SnapshotTest, ZeroEntriesDisablesCache) {
+  Nous::Options options;
+  options.query_cache.entries = 0;
+  Nous nous(&kb_, options);
+  EXPECT_EQ(nous.query_cache(), nullptr);
+}
+
+TEST_F(SnapshotTest, VersionSurvivesSaveLoadState) {
+  Nous nous(&kb_);
+  for (size_t i = 0; i < 5; ++i) nous.Ingest(articles_[i]);
+  uint64_t version = nous.snapshot()->version;
+  ASSERT_EQ(version, 6u);
+  std::string state = nous.pipeline().SaveState();
+
+  Nous restored(&kb_);
+  ASSERT_TRUE(restored.pipeline().LoadState(state).ok());
+  ASSERT_NE(restored.snapshot(), nullptr);
+  EXPECT_EQ(restored.snapshot()->version, version);
+  // And the restored instance keeps counting from there.
+  restored.Ingest(articles_[5]);
+  EXPECT_EQ(restored.snapshot()->version, version + 1);
+}
+
+// The TSan target: queries must run lock-free against published
+// snapshots while a writer ingests. Each answer is recomputed against
+// the snapshot it reported — any torn read, stale index, or
+// cache-version bug shows up as a mismatch (and TSan would flag the
+// data race itself).
+TEST_F(SnapshotTest, ConcurrentQueriesAreConsistentWithTheirSnapshot) {
+  Nous nous(&kb_);
+  size_t warm = articles_.size() / 4;
+  for (size_t i = 0; i < warm; ++i) nous.Ingest(articles_[i]);
+  std::string entity = BusyEntity(*nous.snapshot());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (size_t i = warm;
+         i < articles_.size() && !stop.load(std::memory_order_relaxed);
+         ++i) {
+      nous.Ingest(articles_[i]);
+    }
+  });
+
+  constexpr size_t kReaders = 3;
+  constexpr size_t kAsksPerReader = 120;
+  std::vector<std::thread> readers;
+  std::atomic<size_t> failures{0};
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t last_version = 0;
+      for (size_t i = 0; i < kAsksPerReader; ++i) {
+        std::string question = (i + t) % 3 == 0
+                                   ? "what is trending"
+                                   : "tell me about " + entity;
+        std::shared_ptr<const KgSnapshot> snap;
+        auto answer = nous.Ask(question, &snap);
+        if (!answer.ok() || snap == nullptr) {
+          ++failures;
+          continue;
+        }
+        // Versions never go backwards within a thread.
+        if (snap->version < last_version) ++failures;
+        last_version = snap->version;
+        // The answer must equal a recomputation on the very snapshot
+        // it was served from (catches stale cache entries too).
+        auto parsed = ParseQuery(question);
+        if (!parsed.ok()) {
+          ++failures;
+          continue;
+        }
+        QueryEngine engine(&snap->graph, snap->patterns,
+                           QueryEngineConfig{});
+        auto recomputed = engine.Execute(*parsed);
+        if (!recomputed.ok() ||
+            answer->Render(snap->graph) !=
+                recomputed->Render(snap->graph)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+}  // namespace
+}  // namespace nous

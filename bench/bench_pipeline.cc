@@ -110,6 +110,9 @@ void RunParallelIngest(size_t max_threads) {
   double serial_seconds = 0;
   size_t baseline_vertices = 0, baseline_edges = 0;
   for (size_t threads : sweep) {
+    // Reset per run so the publish quantiles below describe this
+    // thread count only.
+    MetricsRegistry::Global().ResetAll();
     Nous::Options options;
     options.pipeline.num_threads = threads;
     Nous nous(&fixture.kb, options);
@@ -167,9 +170,21 @@ void RunParallelIngest(size_t max_threads) {
     json.Int(static_cast<long long>(vertices));
     json.Key("edges");
     json.Int(static_cast<long long>(edges));
+    bench::LatencyQuantilesUs publish = bench::GlobalHistogramQuantilesUs(
+        "nous_snapshot_publish_latency_seconds");
+    json.Key("publish_count");
+    json.Int(static_cast<long long>(publish.count));
+    json.Key("publish_p50_us");
+    json.Number(publish.p50_us);
+    json.Key("publish_p99_us");
+    json.Number(publish.p99_us);
+    json.Key("peak_rss_bytes");
+    json.Int(static_cast<long long>(PeakRssBytes()));
     json.EndObject();
   }
   json.EndArray();
+  json.Key("peak_rss_bytes");
+  json.Int(static_cast<long long>(PeakRssBytes()));
   json.EndObject();
   table.Print(std::cout);
   std::ofstream out("BENCH_pipeline.json");

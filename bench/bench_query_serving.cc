@@ -63,6 +63,13 @@ struct RunResult {
   size_t offered_docs = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  /// Snapshot publish latency over this run (registry is reset per
+  /// run); zero in locked mode, which never publishes.
+  uint64_t publish_count = 0;
+  double publish_p50_us = 0;
+  double publish_p99_us = 0;
+  /// Process peak RSS at the end of the run (monotonic across runs).
+  uint64_t peak_rss_bytes = 0;
 };
 
 double Percentile(std::vector<double>* sorted_in_place, double q) {
@@ -116,6 +123,10 @@ RunResult RunOne(const bench::DroneFixture& fixture,
                  const ServingMode& mode, size_t query_threads,
                  size_t warm_docs, double duration_seconds,
                  double ingest_period_seconds) {
+  // Per-run latency accounting: the publish histogram (and everything
+  // else in the process-wide registry) restarts from zero, so the
+  // quantiles reported below describe only this run.
+  MetricsRegistry::Global().ResetAll();
   Nous::Options options;
   options.pipeline.publish_snapshots = mode.publish_snapshots;
   options.query_cache.enabled = mode.cache;
@@ -193,6 +204,12 @@ RunResult RunOne(const bench::DroneFixture& fixture,
     result.cache_hits = stats.hits;
     result.cache_misses = stats.misses;
   }
+  bench::LatencyQuantilesUs publish = bench::GlobalHistogramQuantilesUs(
+      "nous_snapshot_publish_latency_seconds");
+  result.publish_count = publish.count;
+  result.publish_p50_us = publish.p50_us;
+  result.publish_p99_us = publish.p99_us;
+  result.peak_rss_bytes = PeakRssBytes();
   return result;
 }
 
@@ -318,9 +335,19 @@ void RunSweep(size_t max_threads, bool small) {
     json.Int(static_cast<long long>(r.cache_hits));
     json.Key("cache_misses");
     json.Int(static_cast<long long>(r.cache_misses));
+    json.Key("publish_count");
+    json.Int(static_cast<long long>(r.publish_count));
+    json.Key("publish_p50_us");
+    json.Number(r.publish_p50_us);
+    json.Key("publish_p99_us");
+    json.Number(r.publish_p99_us);
+    json.Key("peak_rss_bytes");
+    json.Int(static_cast<long long>(r.peak_rss_bytes));
     json.EndObject();
   }
   json.EndArray();
+  json.Key("peak_rss_bytes");
+  json.Int(static_cast<long long>(PeakRssBytes()));
   json.EndObject();
   std::ofstream out("BENCH_query_serving.json");
   out << json.Result() << "\n";

@@ -8,6 +8,8 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 
 namespace nous {
 namespace bench {
@@ -40,6 +42,29 @@ inline DroneFixture MakeDroneFixture(size_t num_events,
   fixture.articles =
       ArticleGenerator(&fixture.world, corpus_config).GenerateArticles();
   return fixture;
+}
+
+/// Quantiles of one registry latency histogram, in microseconds.
+/// Benches call MetricsRegistry::Global().ResetAll() at the start of a
+/// run, then read e.g. "nous_snapshot_publish_latency_seconds" at the
+/// end to report per-run publish p50/p99 (ROADMAP item 1's baseline).
+struct LatencyQuantilesUs {
+  uint64_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+inline LatencyQuantilesUs GlobalHistogramQuantilesUs(
+    const std::string& name) {
+  LatencyQuantilesUs q;
+  for (const auto& row : MetricsRegistry::Global().HistogramRows()) {
+    if (row.name != name) continue;
+    q.count = row.count;
+    q.p50_us = row.p50 * 1e6;
+    q.p99_us = row.p99 * 1e6;
+    break;
+  }
+  return q;
 }
 
 inline void PrintHeader(const std::string& experiment,

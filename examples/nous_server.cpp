@@ -4,6 +4,7 @@
 //   nous_server [port] [num_events] [--threads N] [--wal-dir DIR]
 //               [--checkpoint-interval N] [--fsync MODE]
 //               [--query-cache-entries N] [--no-query-cache]
+//               [--slow-query-ms MS]
 //
 // --threads N sets both the pipeline's extraction/BPR worker pool and
 // the number of concurrent HTTP connection handlers (default: the
@@ -22,9 +23,16 @@
 // batches (default 8; 0 = only on shutdown); --fsync always|interval|
 // never picks the WAL flush policy.
 //
+// --slow-query-ms MS logs a Warning with trace id + per-stage
+// breakdown for every request slower than MS milliseconds (also
+// settable via the NOUS_SLOW_QUERY_MS environment variable; the flag
+// wins). A background ResourceSampler exports RSS, snapshot clone
+// bytes, cache hit ratio, and queue depth through /api/metrics.
+//
 // then open http://127.0.0.1:<port>/ — or hit the JSON API:
 //   curl 'http://127.0.0.1:8080/api/query?q=tell+me+about+DJI'
 //   curl 'http://127.0.0.1:8080/api/stats'
+//   curl 'http://127.0.0.1:8080/api/trace?limit=200'   # Perfetto JSON
 //   curl 'http://127.0.0.1:8080/api/healthz'
 //   curl -X POST --data 'DJI acquired SkyWard Labs.'
 //        'http://127.0.0.1:8080/api/ingest?source=curl&year=2016'
@@ -43,6 +51,8 @@
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
 #include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+#include "obs/trace.h"
 #include "server/api.h"
 
 namespace {
@@ -98,6 +108,10 @@ int main(int argc, char** argv) {
           static_cast<size_t>(std::atoi(arg.c_str() + 22));
     } else if (arg == "--no-query-cache") {
       query_cache.enabled = false;
+    } else if (arg == "--slow-query-ms" && i + 1 < argc) {
+      SetSlowTraceThresholdMs(std::atof(argv[++i]));
+    } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
+      SetSlowTraceThresholdMs(std::atof(arg.c_str() + 16));
     } else {
       positional.push_back(arg);
     }
@@ -164,6 +178,10 @@ int main(int argc, char** argv) {
   }
   std::cout << nous.ComputeStats().ToString();
 
+  ResourceSampler sampler;
+  nous.RegisterResourceProbes(&sampler);
+  sampler.Start();
+
   NousApi api(&nous);
   HttpServerOptions server_options;
   server_options.num_threads = num_threads;
@@ -186,6 +204,7 @@ int main(int argc, char** argv) {
   // sending traffic, then stop (which finishes in-flight requests).
   api.SetReady(false);
   server.Stop();
+  sampler.Stop();
   if (nous.durable()) {
     Status ckpt = nous.Checkpoint();
     if (!ckpt.ok()) std::cerr << "final checkpoint: " << ckpt << "\n";

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/trace_context.h"
 
 namespace nous {
 
@@ -46,6 +47,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task, WaitGroup* wait_group) {
+  // Capture the submitter's trace context so spans opened inside the
+  // task parent under the submitting span (see common/trace_context.h).
+  // Skipped when no trace is active to keep untraced submission free
+  // of the extra std::function hop.
+  const TraceContext trace_context = CurrentTraceContext();
+  if (trace_context.valid()) {
+    auto inner = std::move(task);
+    task = [inner = std::move(inner), trace_context] {
+      TraceContextScope scope(trace_context);
+      inner();
+    };
+  }
   if (wait_group != nullptr) {
     wait_group->Add(1);
     auto inner = std::move(task);
@@ -60,6 +73,11 @@ void ThreadPool::Submit(std::function<void()> task, WaitGroup* wait_group) {
     ++in_flight_;
   }
   task_available_.notify_one();
+}
+
+size_t ThreadPool::QueueDepth() {
+  MutexLock lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::Wait() {

@@ -64,6 +64,10 @@ class ThreadPool {
   /// Enqueues a task; tasks must not throw. When `wait_group` is
   /// non-null it is Add(1)-ed before enqueue and Done(1)-ed after the
   /// task runs, so the caller can Wait() for just its own batch.
+  ///
+  /// The submitter's TraceContext is captured at enqueue time and
+  /// installed around the task, so spans opened inside pool tasks
+  /// parent under the span that submitted them.
   void Submit(std::function<void()> task, WaitGroup* wait_group = nullptr);
 
   /// Blocks until every task submitted to the pool (by any caller) has
@@ -77,6 +81,11 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
+
+  /// Number of tasks enqueued but not yet picked up by a worker. A
+  /// point-in-time reading for telemetry (the ResourceSampler exports
+  /// it as a gauge); it is stale the moment it returns.
+  size_t QueueDepth();
 
  private:
   void WorkerLoop();

@@ -1,0 +1,43 @@
+#include "common/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace nous {
+namespace {
+
+thread_local TraceContext tls_trace_context;
+
+std::atomic<uint64_t> next_trace_id{1};
+std::atomic<uint32_t> next_thread_index{0};
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return tls_trace_context; }
+
+void SetCurrentTraceContext(const TraceContext& context) {
+  tls_trace_context = context;
+}
+
+uint64_t NextTraceId() {
+  return next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t TraceThreadIndex() {
+  thread_local uint32_t index =
+      next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+uint64_t TraceNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  // First call fixes the epoch; function-local static init is
+  // thread-safe, so all threads agree on it.
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace nous

@@ -7,6 +7,7 @@
 
 #include "common/thread_annotations.h"
 #include "durability/wal_codec.h"
+#include "obs/metrics.h"
 
 namespace nous {
 
@@ -226,6 +227,61 @@ GraphStats Nous::ComputeStats() const {
   }
   ReaderMutexLock lock(kg_mutex());
   return ComputeGraphStats(graph());
+}
+
+void Nous::RegisterResourceProbes(ResourceSampler* sampler) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Gauge* version = registry.GetGauge(
+      "nous_kg_version", "Version of the latest published KG snapshot");
+  Gauge* graph_bytes = registry.GetGauge(
+      "nous_snapshot_graph_bytes",
+      "Estimated heap bytes of the latest snapshot's graph clone");
+  Gauge* publishes = registry.GetGauge(
+      "nous_snapshot_publishes",
+      "Snapshots installed in the store since process start");
+  Gauge* hit_ratio = registry.GetGauge(
+      "nous_query_cache_hit_ratio",
+      "Query-cache hits / lookups since process start (0 when unused)");
+  Gauge* queue_depth = registry.GetGauge(
+      "nous_thread_pool_queue_depth",
+      "Tasks waiting in the pipeline worker pool queue");
+  Gauge* publish_p99 = registry.GetGauge(
+      "nous_snapshot_publish_p99_seconds",
+      "p99 of snapshot publish latency (from the span histogram)");
+  Gauge* wal_append_p99 = registry.GetGauge(
+      "nous_wal_append_p99_seconds",
+      "p99 of WAL append latency (from the span histogram)");
+  Gauge* wal_fsync_p99 = registry.GetGauge(
+      "nous_wal_fsync_p99_seconds",
+      "p99 of WAL fsync latency (from the span histogram)");
+  sampler->AddProbe([this, &registry, version, graph_bytes, publishes,
+                     hit_ratio, queue_depth, publish_p99, wal_append_p99,
+                     wal_fsync_p99] {
+    const SnapshotStore& store = pipeline_.snapshot_store();
+    if (auto snap = store.Current()) {
+      version->Set(static_cast<double>(snap->version));
+      graph_bytes->Set(static_cast<double>(snap->approx_graph_bytes));
+    }
+    publishes->Set(static_cast<double>(store.publish_count()));
+    if (cache_ != nullptr) {
+      QueryCache::Stats stats = cache_->stats();
+      double lookups = static_cast<double>(stats.hits + stats.misses);
+      hit_ratio->Set(lookups > 0 ? static_cast<double>(stats.hits) / lookups
+                                 : 0.0);
+    }
+    if (ThreadPool* pool = pipeline_.pool()) {
+      queue_depth->Set(static_cast<double>(pool->QueueDepth()));
+    }
+    for (const auto& row : registry.HistogramRows()) {
+      if (row.name == "nous_snapshot_publish_latency_seconds") {
+        publish_p99->Set(row.p99);
+      } else if (row.name == "nous_wal_append_latency_seconds") {
+        wal_append_p99->Set(row.p99);
+      } else if (row.name == "nous_wal_fsync_latency_seconds") {
+        wal_fsync_p99->Set(row.p99);
+      }
+    }
+  });
 }
 
 }  // namespace nous

@@ -11,6 +11,7 @@
 #include "corpus/document_stream.h"
 #include "durability/manager.h"
 #include "graph/graph_stats.h"
+#include "obs/resource_sampler.h"
 #include "qa/query_cache.h"
 #include "qa/query_engine.h"
 
@@ -148,6 +149,10 @@ class Nous {
   const PropertyGraph& graph() const REQUIRES_SHARED(kg_mutex()) {
     return pipeline_.graph();
   }
+  /// Monotonic KG version of the live graph (see KgPipeline).
+  uint64_t kg_version() const REQUIRES_SHARED(kg_mutex()) {
+    return pipeline_.kg_version();
+  }
   const PipelineStats& stats() const REQUIRES_SHARED(kg_mutex()) {
     return pipeline_.stats();
   }
@@ -167,6 +172,13 @@ class Nous {
 
   /// The query cache, for stats inspection; null when disabled.
   const QueryCache* query_cache() const { return cache_.get(); }
+
+  /// Registers a telemetry probe on `sampler` that exports the
+  /// serving-tier gauges on every sampling tick: snapshot version and
+  /// clone bytes, publish count, query-cache hit ratio, thread-pool
+  /// queue depth, and p99 gauges derived from the publish / WAL
+  /// latency histograms. The sampler must not outlive this Nous.
+  void RegisterResourceProbes(ResourceSampler* sampler);
 
  private:
   /// Cache-checked execution against one immutable snapshot.

@@ -225,6 +225,8 @@ void KgPipeline::Ingest(const Article& article) {
 
 void KgPipeline::IngestBatch(const Article* articles, size_t count) {
   if (count == 0) return;
+  NOUS_SPAN_VAR(span, "ingest_batch");
+  span.Attr("batch_size", count);
   // Stage 1 fans out across the pool (pure per-document work); the
   // commit loop below fuses in arrival order under one write-lock
   // acquisition, so the KG is bit-identical to serial ingest for any
@@ -257,6 +259,11 @@ KgPipeline::ExtractedDoc KgPipeline::ExtractDocument(
   // Reads only the immutable lexicon/NER/SRL models plus thread-safe
   // metrics, so batch ingest runs it from pool threads.
   const PipelineMetrics& metrics = Metrics();
+  // Null histogram: the stage observes nous_extraction_latency_seconds
+  // manually below, so the span only feeds the trace buffer. It runs
+  // on pool threads and parents under the submitting ingest_batch span
+  // via the ThreadPool's TraceContext propagation.
+  TraceSpan span("extraction", nullptr);
   WallTimer timer;
   ExtractedDoc doc;
   doc.frames =
@@ -727,7 +734,7 @@ void KgPipeline::FinalizeLocked() {
 
 void KgPipeline::PublishSnapshot() {
   if (!config_.publish_snapshots) return;
-  NOUS_SPAN("snapshot_publish");
+  NOUS_SPAN_VAR(span, "snapshot_publish");
   auto snap = std::make_shared<KgSnapshot>();
   {
     // Shared lock: concurrent publishers (rare — one per committed
@@ -747,6 +754,9 @@ void KgPipeline::PublishSnapshot() {
       }
     }
   }
+  snap->approx_graph_bytes = snap->graph.ApproxMemoryBytes();
+  span.Attr("version", snap->version);
+  span.Attr("graph_bytes", snap->approx_graph_bytes);
   snapshots_.Publish(std::move(snap));
 }
 

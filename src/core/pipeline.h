@@ -229,6 +229,10 @@ class KgPipeline {
   /// Latest published snapshot; null until the first Publish (i.e.
   /// always null when config().publish_snapshots is false). The
   /// returned snapshot is immutable and safe to read with no lock.
+  /// The snapshot store itself, for publish-count telemetry
+  /// (/api/stats, ResourceSampler probes).
+  const SnapshotStore& snapshot_store() const { return snapshots_; }
+
   std::shared_ptr<const KgSnapshot> snapshot() const {
     return snapshots_.Current();
   }

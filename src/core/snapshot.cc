@@ -15,6 +15,7 @@ void SnapshotStore::Publish(std::shared_ptr<const KgSnapshot> snapshot) {
     if (current_.compare_exchange_weak(cur, snapshot,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
+      publishes_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }

@@ -35,6 +35,11 @@ struct KgSnapshot {
   std::vector<RenderedPattern> patterns;
   /// Pipeline counters as of `version` (lock-free /api/stats).
   PipelineStats stats;
+  /// Estimated heap bytes of `graph` (PropertyGraph::ApproxMemoryBytes
+  /// at publish time) — the cost of the bag-free clone. Exported by
+  /// the ResourceSampler as nous_snapshot_graph_bytes; the baseline
+  /// the roadmap's clone-elimination work will be judged against.
+  size_t approx_graph_bytes = 0;
 };
 
 /// Holds the latest published snapshot behind an atomic shared_ptr
@@ -62,9 +67,17 @@ class SnapshotStore {
     return cur == nullptr ? 0 : cur->version;
   }
 
+  /// Snapshots actually installed over the store's lifetime (losers of
+  /// the monotonicity race are not counted). /api/stats reports this
+  /// as the snapshot-store entry count.
+  uint64_t publish_count() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Internally synchronized; no GUARDED_BY needed.
   std::atomic<std::shared_ptr<const KgSnapshot>> current_;
+  std::atomic<uint64_t> publishes_{0};
 };
 
 }  // namespace nous

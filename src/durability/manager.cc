@@ -3,9 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "common/timer.h"
 #include "durability/fs_util.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace nous {
 
@@ -43,17 +43,6 @@ Counter* RecoveryDropped() {
       "Torn/corrupt WAL tail records dropped during recovery");
   return c;
 }
-LatencyHistogram* WalAppendLatency() {
-  static LatencyHistogram* h = MetricsRegistry::Global().GetHistogram(
-      "nous_wal_append_latency_seconds", "WAL append+fsync latency");
-  return h;
-}
-LatencyHistogram* CheckpointLatency() {
-  static LatencyHistogram* h = MetricsRegistry::Global().GetHistogram(
-      "nous_checkpoint_latency_seconds", "Checkpoint write latency");
-  return h;
-}
-
 }  // namespace
 
 DurabilityManager::DurabilityManager(DurabilityOptions options)
@@ -70,6 +59,7 @@ std::string DurabilityManager::checkpoint_path() const {
 }
 
 Result<DurabilityManager::RecoveredState> DurabilityManager::Recover() {
+  NOUS_SPAN("recover");
   NOUS_RETURN_IF_ERROR(EnsureDirectory(options_.dir));
   RecoveredState state;
 
@@ -124,7 +114,6 @@ Result<uint64_t> DurabilityManager::LogBatch(std::string_view payload) {
   if (!wal_.is_open()) {
     return Status::FailedPrecondition("durability: WAL not open");
   }
-  WallTimer timer;
   const uint64_t seq = last_logged_seq_ + 1;
   Status status = wal_.Append(seq, payload);
   if (!status.ok()) {
@@ -135,7 +124,6 @@ Result<uint64_t> DurabilityManager::LogBatch(std::string_view payload) {
   ++batches_since_checkpoint_;
   WalRecords()->Increment();
   WalBytes()->Increment(payload.size());
-  WalAppendLatency()->Observe(timer.ElapsedSeconds());
   return seq;
 }
 
@@ -145,7 +133,8 @@ bool DurabilityManager::ShouldCheckpoint() const {
 }
 
 Status DurabilityManager::WriteCheckpoint(std::string state) {
-  WallTimer timer;
+  NOUS_SPAN_VAR(span, "checkpoint");
+  span.Attr("state_bytes", state.size());
   CheckpointData data;
   data.last_applied_seq = last_logged_seq_;
   data.state = std::move(state);
@@ -170,7 +159,6 @@ Status DurabilityManager::WriteCheckpoint(std::string state) {
   }
   batches_since_checkpoint_ = 0;
   Checkpoints()->Increment();
-  CheckpointLatency()->Observe(timer.ElapsedSeconds());
   return Status::Ok();
 }
 

@@ -12,6 +12,7 @@
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "durability/fs_util.h"
+#include "obs/trace.h"
 
 namespace nous {
 
@@ -96,6 +97,10 @@ Status WalWriter::Open(const std::string& path, const WalOptions& options) {
 
 Status WalWriter::Append(uint64_t seq, std::string_view payload) {
   if (!is_open()) return Status::FailedPrecondition("WAL not open");
+  // Covers frame build + write + the fsync policy (Sync() nests its
+  // own wal_fsync span under this one).
+  NOUS_SPAN_VAR(span, "wal_append");
+  span.Attr("bytes", payload.size());
   const uint32_t len = static_cast<uint32_t>(payload.size());
   BinaryWriter frame;
   frame.U32(kWalFrameMagic);
@@ -143,6 +148,7 @@ Status WalWriter::Append(uint64_t seq, std::string_view payload) {
 
 Status WalWriter::Sync() {
   if (!is_open()) return Status::FailedPrecondition("WAL not open");
+  NOUS_SPAN("wal_fsync");
   if (auto fault = FaultInjector::Global().Hit("wal_fsync")) {
     if (fault->kind == FaultKind::kFail) {
       return Status::Internal("fault injected: wal_fsync fail");

@@ -24,6 +24,16 @@ const std::string& Dictionary::GetString(uint32_t id) const {
   return strings_[id];
 }
 
+size_t Dictionary::ApproxMemoryBytes() const {
+  // Each string is stored once in the id-order vector and once as a
+  // hash-map key; count the payload twice plus flat per-entry costs.
+  size_t bytes = strings_.capacity() * sizeof(std::string);
+  for (const std::string& s : strings_) bytes += 2 * s.capacity();
+  bytes += index_.size() *
+           (sizeof(std::string) + sizeof(uint32_t) + 2 * sizeof(void*));
+  return bytes;
+}
+
 void Dictionary::SaveBinary(BinaryWriter* writer) const {
   writer->U64(strings_.size());
   for (const std::string& s : strings_) writer->Str(s);

@@ -35,6 +35,10 @@ class Dictionary {
   size_t size() const { return strings_.size(); }
   bool empty() const { return strings_.empty(); }
 
+  /// Rough heap footprint: string payloads plus per-entry container
+  /// overhead. A telemetry estimate, not an allocator audit.
+  size_t ApproxMemoryBytes() const;
+
   /// Checkpoint serialization: strings in id order, so ids are
   /// preserved exactly across a save/load round trip.
   void SaveBinary(BinaryWriter* writer) const;

@@ -255,6 +255,38 @@ Status LoadAdjacency(BinaryReader* reader, size_t num_vertices,
 
 }  // namespace
 
+size_t PropertyGraph::ApproxMemoryBytes() const {
+  size_t bytes = vertex_labels_.ApproxMemoryBytes() +
+                 predicates_.ApproxMemoryBytes() + terms_.ApproxMemoryBytes() +
+                 types_.ApproxMemoryBytes() + sources_.ApproxMemoryBytes();
+  bytes += vertices_.capacity() * sizeof(VertexRecord);
+  for (const VertexRecord& v : vertices_) {
+    bytes +=
+        v.bag.size() * (sizeof(TermId) + sizeof(double) + 2 * sizeof(void*));
+    bytes += v.topics.capacity() * sizeof(double);
+  }
+  bytes += edges_.capacity() * sizeof(EdgeRecord);
+  bytes += (out_.capacity() + in_.capacity()) * sizeof(std::vector<AdjEntry>);
+  for (const auto& adj : out_) bytes += adj.capacity() * sizeof(AdjEntry);
+  for (const auto& adj : in_) bytes += adj.capacity() * sizeof(AdjEntry);
+  for (const auto& [label, id] : folded_labels_) {
+    bytes += label.capacity() + sizeof(VertexId) + 2 * sizeof(void*);
+  }
+  bytes += (out_by_pred_.capacity() + in_by_pred_.capacity()) *
+           sizeof(out_by_pred_[0]);
+  for (const auto& per_pred : out_by_pred_) {
+    for (const auto& [pred, entries] : per_pred) {
+      bytes += sizeof(pred) + entries.capacity() * sizeof(AdjEntry);
+    }
+  }
+  for (const auto& per_pred : in_by_pred_) {
+    for (const auto& [pred, entries] : per_pred) {
+      bytes += sizeof(pred) + entries.capacity() * sizeof(AdjEntry);
+    }
+  }
+  return bytes;
+}
+
 void PropertyGraph::SaveBinary(BinaryWriter* writer) const {
   vertex_labels_.SaveBinary(writer);
   predicates_.SaveBinary(writer);

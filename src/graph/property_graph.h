@@ -159,6 +159,13 @@ class PropertyGraph {
   Dictionary& sources() { return sources_; }
   const Dictionary& sources() const { return sources_; }
 
+  /// Rough heap footprint of the whole graph (dictionaries, vertex
+  /// records and bags, edge slots, adjacency, derived indexes).
+  /// Snapshot publication records this on the KgSnapshot so the
+  /// ResourceSampler can export clone bytes; it is an estimate for
+  /// telemetry, not an allocator audit.
+  size_t ApproxMemoryBytes() const;
+
   // ---- Checkpoint serialization ----
 
   /// Writes the complete graph state — all five dictionaries in id

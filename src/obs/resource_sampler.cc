@@ -1,0 +1,117 @@
+#include "obs/resource_sampler.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace nous {
+namespace {
+
+// Parses "VmRSS:    1234 kB" style lines. Returns 0 when absent.
+uint64_t ParseStatusKb(const char* line) {
+  const char* p = line;
+  while (*p != '\0' && (*p < '0' || *p > '9')) ++p;
+  uint64_t kb = 0;
+  while (*p >= '0' && *p <= '9') {
+    kb = kb * 10 + static_cast<uint64_t>(*p - '0');
+    ++p;
+  }
+  return kb;
+}
+
+}  // namespace
+
+bool ReadProcMemoryStats(ProcMemoryStats* out) {
+  *out = ProcMemoryStats{};
+  bool found = false;
+  if (std::FILE* f = std::fopen("/proc/self/status", "re")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "VmRSS:", 6) == 0) {
+        out->rss_bytes = ParseStatusKb(line) * 1024;
+        found = true;
+      } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        out->peak_rss_bytes = ParseStatusKb(line) * 1024;
+        found = true;
+      }
+    }
+    std::fclose(f);
+  }
+  if (found) return true;
+  // Portable fallback: rusage only exposes the peak (ru_maxrss is in
+  // kilobytes on Linux), so current mirrors it.
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return false;
+  out->peak_rss_bytes = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+  out->rss_bytes = out->peak_rss_bytes;
+  return true;
+}
+
+uint64_t PeakRssBytes() {
+  ProcMemoryStats stats;
+  if (!ReadProcMemoryStats(&stats)) return 0;
+  return stats.peak_rss_bytes;
+}
+
+ResourceSampler::ResourceSampler(std::chrono::milliseconds period)
+    : period_(period) {}
+
+ResourceSampler::~ResourceSampler() { Stop(); }
+
+void ResourceSampler::AddProbe(std::function<void()> probe) {
+  MutexLock lock(mutex_);
+  probes_.push_back(std::move(probe));
+}
+
+void ResourceSampler::Start() {
+  {
+    MutexLock lock(mutex_);
+    if (thread_.joinable()) return;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ResourceSampler::Stop() {
+  {
+    MutexLock lock(mutex_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  thread_ = std::thread();
+}
+
+void ResourceSampler::SampleOnce() {
+  static Gauge* rss = MetricsRegistry::Global().GetGauge(
+      "nous_process_rss_bytes", "Resident set size of the process");
+  static Gauge* peak_rss = MetricsRegistry::Global().GetGauge(
+      "nous_process_peak_rss_bytes", "Peak resident set size of the process");
+  ProcMemoryStats stats;
+  if (ReadProcMemoryStats(&stats)) {
+    rss->Set(static_cast<double>(stats.rss_bytes));
+    peak_rss->Set(static_cast<double>(stats.peak_rss_bytes));
+  }
+  std::vector<std::function<void()>> probes;
+  {
+    MutexLock lock(mutex_);
+    probes = probes_;
+  }
+  for (const auto& probe : probes) probe();
+}
+
+void ResourceSampler::Loop() {
+  while (true) {
+    SampleOnce();
+    UniqueLock lock(mutex_);
+    if (stop_) return;
+    wake_.wait_for(lock.std_lock(), period_);
+    if (stop_) return;
+  }
+}
+
+}  // namespace nous

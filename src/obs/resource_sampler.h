@@ -1,0 +1,74 @@
+#ifndef NOUS_OBS_RESOURCE_SAMPLER_H_
+#define NOUS_OBS_RESOURCE_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace nous {
+
+/// Point-in-time process memory reading.
+struct ProcMemoryStats {
+  uint64_t rss_bytes = 0;
+  uint64_t peak_rss_bytes = 0;
+};
+
+/// Reads VmRSS / VmHWM from /proc/self/status; falls back to
+/// getrusage(RUSAGE_SELF) peak RSS on systems without procfs (in which
+/// case rss_bytes mirrors the peak). Returns false only when both
+/// sources fail.
+bool ReadProcMemoryStats(ProcMemoryStats* out);
+
+/// Convenience: current peak RSS in bytes (0 when unreadable). Benches
+/// report this next to publish-latency quantiles.
+uint64_t PeakRssBytes();
+
+/// Background telemetry thread. Every `period` it publishes process
+/// RSS / peak RSS gauges and runs any registered probes; probes set
+/// further gauges (snapshot version and clone bytes, query-cache hit
+/// ratio, thread-pool queue depth, latency quantiles — see
+/// Nous::RegisterResourceProbes). Everything lands in the global
+/// MetricsRegistry and is exported through /api/metrics.
+///
+/// Start/Stop are idempotent; the destructor stops the thread. Probes
+/// must be registered before Start and must not block.
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(
+      std::chrono::milliseconds period = std::chrono::milliseconds(1000));
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  void AddProbe(std::function<void()> probe);
+
+  void Start();
+  void Stop();
+
+  /// One synchronous sampling pass (builtin gauges + probes). The
+  /// background loop calls this; tests call it directly to avoid
+  /// sleeping.
+  void SampleOnce();
+
+ private:
+  void Loop();
+
+  const std::chrono::milliseconds period_;
+  AnnotatedMutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ GUARDED_BY(mutex_) = false;
+  std::vector<std::function<void()>> probes_ GUARDED_BY(mutex_);
+  /// Owned by Start/Stop, which serialize through mutex_ for the flag
+  /// but join outside it.  // lint: unguarded(joined only after stop_ handshake)
+  std::thread thread_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_OBS_RESOURCE_SAMPLER_H_

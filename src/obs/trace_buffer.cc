@@ -1,0 +1,84 @@
+#include "obs/trace_buffer.h"
+
+#include <algorithm>
+
+#include "common/trace_context.h"
+
+namespace nous {
+
+TraceBuffer::TraceBuffer(size_t capacity) {
+  stripe_capacity_ = std::max<size_t>(1, (capacity + kStripes - 1) / kStripes);
+  capacity_ = stripe_capacity_ * kStripes;
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    stripe.ring.reserve(stripe_capacity_);
+  }
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();  // lint: new-ok(intentionally leaked process singleton)
+  return *buffer;
+}
+
+void TraceBuffer::Append(SpanRecord record) {
+  Stripe& stripe = stripes_[TraceThreadIndex() % kStripes];
+  MutexLock lock(stripe.mutex);
+  ++stripe.appended;
+  if (stripe.ring.size() < stripe_capacity_) {
+    stripe.ring.push_back(std::move(record));
+    return;
+  }
+  stripe.ring[stripe.next] = std::move(record);
+  stripe.next = (stripe.next + 1) % stripe_capacity_;
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot(size_t limit) const {
+  std::vector<SpanRecord> out;
+  out.reserve(capacity_);
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    out.insert(out.end(), stripe.ring.begin(), stripe.ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  if (limit != 0 && out.size() > limit) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(limit));
+  }
+  return out;
+}
+
+std::vector<SpanRecord> TraceBuffer::CollectTrace(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    for (const SpanRecord& record : stripe.ring) {
+      if (record.trace_id == trace_id) out.push_back(record);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us < b.start_us;
+            });
+  return out;
+}
+
+uint64_t TraceBuffer::total_appended() const {
+  uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    total += stripe.appended;
+  }
+  return total;
+}
+
+void TraceBuffer::Clear() {
+  for (Stripe& stripe : stripes_) {
+    MutexLock lock(stripe.mutex);
+    stripe.ring.clear();
+    stripe.next = 0;
+  }
+}
+
+}  // namespace nous

@@ -6,6 +6,7 @@
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_buffer.h"
 #include "server/json_writer.h"
 
 namespace nous {
@@ -110,6 +111,7 @@ std::string NousApi::AnswerJson(const Answer& answer,
 }
 
 HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
+  NOUS_SPAN("api_query");
   auto it = request.params.find("q");
   if (it == request.params.end() || it->second.empty()) {
     return JsonError(400, "missing query parameter q");
@@ -137,18 +139,22 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
 }
 
 HttpResponse NousApi::HandleStats() {
+  NOUS_SPAN("api_stats");
   // Snapshot path: walk the latest published view, no lock. Locked
   // fallback only when snapshot publishing is disabled.
   GraphStats stats;
   PipelineStats ps;
+  uint64_t kg_version = 0;
   std::shared_ptr<const KgSnapshot> snap = nous_->snapshot();
   if (snap != nullptr) {
     stats = ComputeGraphStats(snap->graph);
     ps = snap->stats;
+    kg_version = snap->version;
   } else {
     ReaderMutexLock lock(nous_->kg_mutex());
     stats = ComputeGraphStats(nous_->graph());
     ps = nous_->stats();
+    kg_version = nous_->kg_version();
   }
   JsonWriter w;
   w.BeginObject();
@@ -170,6 +176,29 @@ HttpResponse NousApi::HandleStats() {
   w.Int(static_cast<long long>(ps.new_entities));
   w.Key("mean_extracted_confidence");
   w.Number(stats.extracted_confidence.Mean());
+  // Serving-tier basics, so operators need not scrape /api/metrics.
+  w.Key("kg_version");
+  w.Int(static_cast<long long>(kg_version));
+  w.Key("snapshot_publishes");
+  w.Int(static_cast<long long>(
+      nous_->pipeline().snapshot_store().publish_count()));
+  w.Key("snapshot_graph_bytes");
+  w.Int(static_cast<long long>(snap != nullptr ? snap->approx_graph_bytes
+                                               : 0));
+  w.Key("query_cache");
+  w.BeginObject();
+  const QueryCache* cache = nous_->query_cache();
+  w.Key("enabled");
+  w.Bool(cache != nullptr);
+  QueryCache::Stats cache_stats;
+  if (cache != nullptr) cache_stats = cache->stats();
+  w.Key("hits");
+  w.Int(static_cast<long long>(cache_stats.hits));
+  w.Key("misses");
+  w.Int(static_cast<long long>(cache_stats.misses));
+  w.Key("evictions");
+  w.Int(static_cast<long long>(cache_stats.evictions));
+  w.EndObject();
   // Per-stage latency quantiles from the process-wide registry (every
   // nous_*_latency_seconds histogram, seconds).
   w.Key("latency");
@@ -197,6 +226,7 @@ HttpResponse NousApi::HandleStats() {
 }
 
 HttpResponse NousApi::HandleMetrics() {
+  NOUS_SPAN("api_metrics");
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4; charset=utf-8";
   response.body = MetricsRegistry::Global().RenderPrometheus();
@@ -204,6 +234,8 @@ HttpResponse NousApi::HandleMetrics() {
 }
 
 HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
+  NOUS_SPAN_VAR(span, "api_ingest");
+  span.Attr("body_bytes", request.body.size());
   if (request.body.empty()) {
     return JsonError(400, "empty body; POST the document text");
   }
@@ -252,6 +284,77 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
   return response;
 }
 
+HttpResponse NousApi::HandleTrace(const HttpRequest& request) {
+  NOUS_SPAN("api_trace");
+  size_t limit = 512;
+  if (auto it = request.params.find("limit"); it != request.params.end()) {
+    long long parsed = std::atoll(it->second.c_str());
+    if (parsed <= 0) return JsonError(400, "limit must be a positive integer");
+    limit = static_cast<size_t>(parsed);
+  }
+  std::vector<SpanRecord> spans = TraceBuffer::Global().Snapshot(limit);
+  // Chrome trace-event format: complete events (ph "X") with
+  // microsecond timestamps, one track per recording thread. Span ids
+  // ride in args as decimal strings (64-bit ids do not survive JSON's
+  // double precision) so tools — and the CI smoke test — can rebuild
+  // the parent/child tree.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const SpanRecord& span : spans) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(span.name);
+    w.Key("cat");
+    w.String("nous");
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Int(static_cast<long long>(span.start_us));
+    w.Key("dur");
+    w.Int(static_cast<long long>(span.duration_us));
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(static_cast<long long>(span.thread_index));
+    w.Key("args");
+    w.BeginObject();
+    w.Key("trace_id");
+    w.String(StrFormat("%llu",
+                       static_cast<unsigned long long>(span.trace_id)));
+    w.Key("span_id");
+    w.String(StrFormat("%llu",
+                       static_cast<unsigned long long>(span.span_id)));
+    w.Key("parent_span_id");
+    w.String(StrFormat(
+        "%llu", static_cast<unsigned long long>(span.parent_span_id)));
+    for (const SpanAttr& attr : span.attrs) {
+      w.Key(attr.key);
+      switch (attr.kind) {
+        case SpanAttr::Kind::kInt:
+          w.Int(static_cast<long long>(attr.int_value));
+          break;
+        case SpanAttr::Kind::kDouble:
+          w.Number(attr.double_value);
+          break;
+        case SpanAttr::Kind::kString:
+          w.String(attr.string_value);
+          break;
+      }
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  HttpResponse response;
+  response.body = w.Result();
+  return response;
+}
+
 HttpResponse NousApi::Route(const HttpRequest& request) {
   if (request.path == "/" && request.method == "GET") {
     HttpResponse response;
@@ -267,6 +370,9 @@ HttpResponse NousApi::Route(const HttpRequest& request) {
   }
   if (request.path == "/api/metrics" && request.method == "GET") {
     return HandleMetrics();
+  }
+  if (request.path == "/api/trace" && request.method == "GET") {
+    return HandleTrace(request);
   }
   if (request.path == "/api/healthz" && request.method == "GET") {
     HttpResponse response;
@@ -286,8 +392,16 @@ HttpResponse NousApi::Route(const HttpRequest& request) {
 }
 
 HttpResponse NousApi::Handle(const HttpRequest& request) {
-  NOUS_SPAN("http_request");
+  // Root span of the request's trace: everything the handlers run —
+  // including work fanned out to pool threads — parents under it.
+  NOUS_SPAN_VAR(span, "http_request");
+  span.Attr("method", request.method);
+  span.Attr("path", request.path);
   HttpResponse response = Route(request);
+  span.Attr("status", response.status);
+  response.headers.emplace_back(
+      "X-Nous-Trace-Id",
+      StrFormat("%llu", static_cast<unsigned long long>(span.trace_id())));
   // Label by status code only: paths are client-controlled and would
   // make the label set unbounded.
   MetricsRegistry::Global()

@@ -20,6 +20,9 @@ namespace nous {
 ///                               per-stage latency quantiles
 ///   GET  /api/metrics           Prometheus text-exposition dump of the
 ///                               process-wide MetricsRegistry (obs/)
+///   GET  /api/trace?limit=N     the N most recent completed spans as
+///                               Chrome trace-event JSON (open in
+///                               Perfetto / chrome://tracing)
 ///   GET  /api/healthz           liveness: 200 while the process runs
 ///   GET  /api/readyz            readiness: 200 while serving, 503
 ///                               after SetReady(false) (drain)
@@ -29,7 +32,11 @@ namespace nous {
 /// The API serializes Answer structures to JSON (facts with
 /// provenance, trending entities, patterns, paths). Every request is
 /// counted in nous_http_requests_total{code=...} and timed into
-/// nous_http_request_latency_seconds.
+/// nous_http_request_latency_seconds. Handle() mints a root span per
+/// request (child spans from the query/ingest machinery parent under
+/// it, across pool threads) and stamps its trace id into the
+/// X-Nous-Trace-Id response header for correlation with /api/trace
+/// and the slow-query log.
 ///
 /// Handle() is thread-safe: read endpoints (query, stats) execute and
 /// serialize against one immutable KgSnapshot (DESIGN.md §5.11) and
@@ -65,6 +72,7 @@ class NousApi {
   HttpResponse HandleStats();
   HttpResponse HandleMetrics();
   HttpResponse HandleIngest(const HttpRequest& request);
+  HttpResponse HandleTrace(const HttpRequest& request);
   HttpResponse Route(const HttpRequest& request);
 
   Nous* nous_;

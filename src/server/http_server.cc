@@ -146,9 +146,13 @@ const char* ReasonPhrase(int status) {
 void WriteResponse(int fd, const HttpResponse& response) {
   std::string head = StrFormat(
       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
+      "Connection: close\r\n",
       response.status, ReasonPhrase(response.status),
       response.content_type.c_str(), response.body.size());
+  for (const auto& [name, value] : response.headers) {
+    head += StrFormat("%s: %s\r\n", name.c_str(), value.c_str());
+  }
+  head += "\r\n";
   std::string full = head + response.body;
   size_t sent = 0;
   while (sent < full.size()) {

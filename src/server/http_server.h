@@ -8,6 +8,8 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -27,6 +29,10 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (name, value), emitted verbatim. NousApi
+  /// stamps X-Nous-Trace-Id here so clients can correlate a response
+  /// with its spans in /api/trace and the slow-query log.
+  std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /// Overload and abuse limits (DESIGN.md §5.10: the server sheds load

@@ -4,13 +4,19 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "obs/trace_buffer.h"
 #include "server/api.h"
 #include "server/http_server.h"
 #include "server/json_writer.h"
@@ -327,6 +333,110 @@ TEST_F(ServerFixture, ReadyzFollowsSetReady) {
   api_.SetReady(true);
   response = Get(server_.port(), "/api/readyz");
   EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+// ---------- Request tracing (/api/trace, DESIGN.md §5.12) ----------
+
+/// Value of header `name` in a raw HTTP response ("" when absent).
+std::string HeaderValue(const std::string& response,
+                        const std::string& name) {
+  std::string needle = "\r\n" + name + ": ";
+  size_t pos = response.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  size_t end = response.find("\r\n", pos);
+  return response.substr(pos, end - pos);
+}
+
+TEST_F(ServerFixture, ResponsesCarryTraceIdHeader) {
+  std::string response = Get(server_.port(), "/api/stats");
+  std::string trace_id = HeaderValue(response, "X-Nous-Trace-Id");
+  ASSERT_FALSE(trace_id.empty());
+  EXPECT_NE(std::strtoull(trace_id.c_str(), nullptr, 10), 0u);
+}
+
+TEST_F(ServerFixture, TraceEndpointServesChromeTraceJson) {
+  // Generate at least one traced request first.
+  Get(server_.port(), "/api/query?q=tell+me+about+DJI");
+  std::string response = Get(server_.port(), "/api/trace?limit=50");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  // Chrome trace-event envelope, loadable in Perfetto.
+  EXPECT_NE(response.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(response.find("\"displayTimeUnit\":\"ms\""),
+            std::string::npos);
+  EXPECT_NE(response.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(response.find("\"cat\":\"nous\""), std::string::npos);
+  // Ids are exported as decimal strings (64-bit safe in JSON).
+  EXPECT_NE(response.find("\"trace_id\":\""), std::string::npos);
+  EXPECT_NE(response.find("\"span_id\":\""), std::string::npos);
+  // The body is a complete JSON object.
+  size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos);
+  std::string body = response.substr(body_start + 4);
+  ASSERT_FALSE(body.empty());
+  EXPECT_EQ(body.front(), '{');
+  EXPECT_EQ(body.back() == '}' ||
+                (body.back() == '\n' && body[body.size() - 2] == '}'),
+            true);
+}
+
+TEST_F(ServerFixture, QueryRequestFormsSingleTraceTree) {
+  std::string response =
+      Get(server_.port(), "/api/query?q=tell+me+about+DJI");
+  std::string header = HeaderValue(response, "X-Nous-Trace-Id");
+  ASSERT_FALSE(header.empty());
+  uint64_t trace_id = std::strtoull(header.c_str(), nullptr, 10);
+  ASSERT_NE(trace_id, 0u);
+
+  // The buffered spans for this request form one tree: a single
+  // http_request root, with every other span reachable from it.
+  std::vector<SpanRecord> trace =
+      TraceBuffer::Global().CollectTrace(trace_id);
+  ASSERT_GE(trace.size(), 2u);  // http_request + api_query at least
+  size_t roots = 0;
+  uint64_t root_span_id = 0;
+  std::set<uint64_t> span_ids;
+  for (const SpanRecord& s : trace) span_ids.insert(s.span_id);
+  for (const SpanRecord& s : trace) {
+    if (s.parent_span_id == 0) {
+      ++roots;
+      root_span_id = s.span_id;
+      EXPECT_STREQ(s.name, "http_request");
+    } else {
+      EXPECT_TRUE(span_ids.count(s.parent_span_id))
+          << s.name << " has dangling parent";
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+  ASSERT_NE(root_span_id, 0u);
+
+  // And the trace is visible through the export endpoint.
+  std::string exported = Get(server_.port(), "/api/trace?limit=2000");
+  EXPECT_NE(exported.find("\"trace_id\":\"" + header + "\""),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, TraceEndpointRejectsBadLimit) {
+  EXPECT_NE(Get(server_.port(), "/api/trace?limit=0").find("400"),
+            std::string::npos);
+  EXPECT_NE(Get(server_.port(), "/api/trace?limit=-3").find("400"),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, StatsReportVersionAndCacheCounters) {
+  // A query warms the cache counters (fixture cache is on by default).
+  Get(server_.port(), "/api/query?q=tell+me+about+DJI");
+  Get(server_.port(), "/api/query?q=tell+me+about+DJI");
+  std::string response = Get(server_.port(), "/api/stats");
+  EXPECT_NE(response.find("\"kg_version\":"), std::string::npos);
+  EXPECT_NE(response.find("\"snapshot_publishes\":"), std::string::npos);
+  EXPECT_NE(response.find("\"snapshot_graph_bytes\":"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"query_cache\":{"), std::string::npos);
+  EXPECT_NE(response.find("\"hits\":"), std::string::npos);
+  EXPECT_NE(response.find("\"misses\":"), std::string::npos);
+  EXPECT_NE(response.find("\"evictions\":"), std::string::npos);
 }
 
 // ---------- Overload & abuse hardening (DESIGN.md §5.10) ----------

@@ -33,6 +33,12 @@ hygiene contracts (DESIGN.md "Static analysis & locking contracts"):
                       in ~20k lines of build-review/; this rule keeps
                       that from ever landing again.) Skipped when the
                       root is not a git work tree.
+  R8 span-in-handler  Every HTTP endpoint handler in src/server (a
+                      `HttpResponse Class::Handle*(...)` definition)
+                      must open a NOUS_SPAN / NOUS_SPAN_VAR in its
+                      body, so every request path shows up in
+                      /api/trace and the per-stage latency histograms.
+                      Suppress with `// lint: no-span(reason)`.
 
 Suppression comments must name a reason; empty parentheses do not
 count. Exit status is the number of violations (capped at 125).
@@ -70,7 +76,11 @@ SUPPRESS_RE = {
     "unguarded": re.compile(r"//\s*lint:\s*unguarded\(\s*[^)\s][^)]*\)"),
     "new-ok": re.compile(r"//\s*lint:\s*new-ok\(\s*[^)\s][^)]*\)"),
     "cout-ok": re.compile(r"//\s*lint:\s*cout-ok\(\s*[^)\s][^)]*\)"),
+    "no-span": re.compile(r"//\s*lint:\s*no-span\(\s*[^)\s][^)]*\)"),
 }
+
+# R8: an out-of-class endpoint handler definition in src/server.
+HANDLER_DEF_RE = re.compile(r"^HttpResponse\s+\w+::(Handle\w*)\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -184,6 +194,9 @@ class Linter:
         if path.endswith(".h"):
             self.check_locked_suffix(path, code_lines)
             self.check_include_guard(path, code_lines)
+        if "/src/server/" in path.replace(os.sep, "/") and \
+                not path.endswith(".h"):
+            self.check_handler_spans(path, raw_lines, code_lines)
 
     # R1 + R2
     def check_mutex_members(self, path, raw_lines, code_lines, in_common):
@@ -267,6 +280,39 @@ class Linter:
                     path, lineno, "no-cout",
                     "std::cout in library code; use NOUS_LOG or take an "
                     "explicit std::ostream&")
+
+    # R8
+    def check_handler_spans(self, path, raw_lines, code_lines):
+        """Every `HttpResponse Class::Handle*()` definition must open a
+        span (NOUS_SPAN / NOUS_SPAN_VAR) somewhere in its body."""
+        for lineno, line in enumerate(code_lines, 1):
+            m = HANDLER_DEF_RE.match(line)
+            if m is None:
+                continue
+            if suppressed(raw_lines, lineno, "no-span"):
+                continue
+            # Walk to the end of the function body by brace matching,
+            # starting at the definition line.
+            depth = 0
+            seen_open = False
+            has_span = False
+            ln = lineno
+            while ln <= len(code_lines):
+                body_line = code_lines[ln - 1]
+                depth += body_line.count("{") - body_line.count("}")
+                if "{" in body_line:
+                    seen_open = True
+                if seen_open and "NOUS_SPAN" in body_line:
+                    has_span = True
+                if seen_open and depth <= 0:
+                    break
+                ln += 1
+            if not has_span:
+                self.report(
+                    path, lineno, "span-in-handler",
+                    f"endpoint handler '{m.group(1)}' opens no "
+                    "NOUS_SPAN, so its requests are invisible to "
+                    "/api/trace; add one or `// lint: no-span(reason)`")
 
     # R7
     def check_tracked_build_artifacts(self):

@@ -203,7 +203,7 @@ Result<Answer> Nous::ExecuteOnSnapshot(
     Answer cached;
     if (cache_->Lookup(key, snap->version, &cached)) return cached;
   }
-  QueryEngine engine(&snap->graph, snap->patterns, options_.query);
+  QueryEngine engine(&snap->graph, snap->patterns(), options_.query);
   NOUS_ASSIGN_OR_RETURN(Answer answer, engine.Execute(query));
   if (cache_ != nullptr) cache_->Insert(key, snap->version, answer);
   return answer;
@@ -235,7 +235,16 @@ void Nous::RegisterResourceProbes(ResourceSampler* sampler) {
       "nous_kg_version", "Version of the latest published KG snapshot");
   Gauge* graph_bytes = registry.GetGauge(
       "nous_snapshot_graph_bytes",
-      "Estimated heap bytes of the latest snapshot's graph clone");
+      "Estimated heap bytes of the latest snapshot's graph "
+      "(shared + private)");
+  Gauge* graph_shared_bytes = registry.GetGauge(
+      "nous_snapshot_graph_shared_bytes",
+      "Snapshot graph bytes in COW chunks shared with the live graph "
+      "or other snapshots");
+  Gauge* graph_private_bytes = registry.GetGauge(
+      "nous_snapshot_graph_private_bytes",
+      "Snapshot graph bytes private to the latest snapshot — its true "
+      "retention cost over the live graph");
   Gauge* publishes = registry.GetGauge(
       "nous_snapshot_publishes",
       "Snapshots installed in the store since process start");
@@ -254,13 +263,19 @@ void Nous::RegisterResourceProbes(ResourceSampler* sampler) {
   Gauge* wal_fsync_p99 = registry.GetGauge(
       "nous_wal_fsync_p99_seconds",
       "p99 of WAL fsync latency (from the span histogram)");
-  sampler->AddProbe([this, &registry, version, graph_bytes, publishes,
+  sampler->AddProbe([this, &registry, version, graph_bytes,
+                     graph_shared_bytes, graph_private_bytes, publishes,
                      hit_ratio, queue_depth, publish_p99, wal_append_p99,
                      wal_fsync_p99] {
     const SnapshotStore& store = pipeline_.snapshot_store();
     if (auto snap = store.Current()) {
       version->Set(static_cast<double>(snap->version));
-      graph_bytes->Set(static_cast<double>(snap->approx_graph_bytes));
+      // Re-sampled live (not the publish-time figure): sharing decays
+      // as ingest unshares chunks, and the gauges should show that.
+      CowFootprint fp = snap->graph.Footprint();
+      graph_bytes->Set(static_cast<double>(fp.total_bytes()));
+      graph_shared_bytes->Set(static_cast<double>(fp.shared_bytes));
+      graph_private_bytes->Set(static_cast<double>(fp.private_bytes));
     }
     publishes->Set(static_cast<double>(store.publish_count()));
     if (cache_ != nullptr) {

@@ -741,22 +741,38 @@ void KgPipeline::PublishSnapshot() {
     // ingest) clone independently; SnapshotStore keeps the newest.
     ReaderMutexLock lock(kg_mutex_);
     snap->version = kg_version_;
-    snap->graph = graph_.Clone(/*include_vertex_bags=*/false);
+    // O(1): shares every chunk with the live graph; later ingest
+    // unshares only the chunks it touches (DESIGN.md §5.13).
+    snap->graph = graph_.Clone();
     snap->stats = stats_;
     if (miner_ != nullptr) {
-      for (const PatternStats& stats : miner_->ClosedFrequentPatterns()) {
-        RenderedPattern p;
-        p.description = stats.pattern.ToString(window_graph_.predicates(),
-                                               &window_graph_.types());
-        p.support = stats.support;
-        p.embeddings = stats.embeddings;
-        snap->patterns.push_back(std::move(p));
+      uint64_t generation = miner_->generation();
+      std::shared_ptr<const RenderedPatternSet> rendered =
+          rendered_patterns_.load(std::memory_order_acquire);
+      if (rendered == nullptr || rendered->miner_generation != generation) {
+        auto fresh = std::make_shared<RenderedPatternSet>();
+        fresh->miner_generation = generation;
+        for (const PatternStats& stats : miner_->ClosedFrequentPatterns()) {
+          RenderedPattern p;
+          p.description = stats.pattern.ToString(window_graph_.predicates(),
+                                                 &window_graph_.types());
+          p.support = stats.support;
+          p.embeddings = stats.embeddings;
+          fresh->patterns.push_back(std::move(p));
+        }
+        rendered = std::move(fresh);
+        rendered_patterns_.store(rendered, std::memory_order_release);
       }
+      snap->pattern_set = std::move(rendered);
     }
   }
-  snap->approx_graph_bytes = snap->graph.ApproxMemoryBytes();
+  // Chunk byte caches make this O(chunks touched since the last
+  // accounting pass), so it can stay off the lock like before.
+  CowFootprint footprint = snap->graph.Footprint();
+  snap->approx_graph_bytes = footprint.total_bytes();
   span.Attr("version", snap->version);
   span.Attr("graph_bytes", snap->approx_graph_bytes);
+  span.Attr("graph_private_bytes", footprint.private_bytes);
   snapshots_.Publish(std::move(snap));
 }
 

@@ -308,6 +308,14 @@ class KgPipeline {
   uint64_t kg_version_ GUARDED_BY(kg_mutex_) = 0;
   /// Internally synchronized shared_ptr-swap store (see SnapshotStore).
   SnapshotStore snapshots_;
+  /// Render cache for miner patterns, keyed by miner generation;
+  /// PublishSnapshot reuses it (a shared_ptr bump) when the miner saw
+  /// no window events since the last render. Atomic because publishers
+  /// hold only the shared side of kg_mutex_: racing publishers may
+  /// overwrite each other, which at worst costs one redundant
+  /// re-render on a later publish, never a wrong pattern set (each
+  /// stored set is consistent with some published generation).
+  std::atomic<std::shared_ptr<const RenderedPatternSet>> rendered_patterns_;
   /// Ids for ad-hoc IngestText articles; atomic so concurrent HTTP
   /// ingest callers get distinct ids without taking the write lock
   /// early.

@@ -24,22 +24,39 @@ namespace nous {
 /// checkpoints (SaveState/LoadState), and keys the query cache — a
 /// cached answer is valid exactly while the version it was computed
 /// at is still current.
+/// Miner patterns pre-rendered against the window graph's
+/// dictionaries, tagged with the miner generation they were rendered
+/// at. Publish reuses the previous set (a shared_ptr bump) whenever
+/// the generation is unchanged — re-stringifying every closed
+/// frequent pattern under the reader lock was a fixed per-publish tax.
+struct RenderedPatternSet {
+  uint64_t miner_generation = 0;
+  std::vector<RenderedPattern> patterns;
+};
+
 struct KgSnapshot {
   uint64_t version = 0;
-  /// Bag-free clone of the fused KG (identical ids, slot layout,
-  /// adjacency order; the query path never reads vertex term bags).
+  /// O(1) copy-on-write clone of the fused KG (identical ids, slot
+  /// layout, adjacency order): all chunks are shared with the live
+  /// graph at publish time, and later ingest unshares only the chunks
+  /// it touches (DESIGN.md §5.13).
   PropertyGraph graph;
-  /// Miner patterns, pre-rendered against the window graph's
-  /// dictionaries at publish time so pattern queries need neither the
-  /// miner nor the window graph.
-  std::vector<RenderedPattern> patterns;
+  /// Rendered miner patterns; shared across snapshots while the miner
+  /// generation is unchanged. Null when no patterns were ever rendered.
+  std::shared_ptr<const RenderedPatternSet> pattern_set;
   /// Pipeline counters as of `version` (lock-free /api/stats).
   PipelineStats stats;
-  /// Estimated heap bytes of `graph` (PropertyGraph::ApproxMemoryBytes
-  /// at publish time) — the cost of the bag-free clone. Exported by
-  /// the ResourceSampler as nous_snapshot_graph_bytes; the baseline
-  /// the roadmap's clone-elimination work will be judged against.
+  /// Estimated heap bytes of `graph` at publish time (shared +
+  /// private; see PropertyGraph::Footprint). The live shared/private
+  /// split is sampled on demand by the ResourceSampler gauges
+  /// nous_snapshot_graph_{shared,private}_bytes.
   size_t approx_graph_bytes = 0;
+
+  /// Patterns for query execution (empty set when none rendered yet).
+  const std::vector<RenderedPattern>& patterns() const {
+    static const std::vector<RenderedPattern> kEmpty;
+    return pattern_set == nullptr ? kEmpty : pattern_set->patterns;
+  }
 };
 
 /// Holds the latest published snapshot behind an atomic shared_ptr

@@ -1,0 +1,324 @@
+#ifndef NOUS_GRAPH_COW_H_
+#define NOUS_GRAPH_COW_H_
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace nous {
+
+/// Byte estimate of a copy-on-write structure, split by ownership:
+/// `shared_bytes` live in chunks also reachable from another copy
+/// (the live graph, an older snapshot), `private_bytes` only from
+/// this one. A snapshot's private bytes are exactly the memory its
+/// retention costs on top of the live graph — the amplification the
+/// nous_snapshot_graph_*_bytes gauges export (DESIGN.md §5.13).
+struct CowFootprint {
+  size_t shared_bytes = 0;
+  size_t private_bytes = 0;
+
+  size_t total_bytes() const { return shared_bytes + private_bytes; }
+
+  CowFootprint& operator+=(const CowFootprint& other) {
+    shared_bytes += other.shared_bytes;
+    private_bytes += other.private_bytes;
+    return *this;
+  }
+};
+
+/// Process-wide copy-on-write activity counters (relaxed atomics,
+/// bumped only on the rare unshare paths). bench_snapshot_publish
+/// resets them per run to report copied chunks/bytes per publish —
+/// the direct observable behind "publish cost is O(delta)".
+struct CowCounters {
+  static std::atomic<uint64_t>& ChunkCopies() {
+    static std::atomic<uint64_t> count{0};
+    return count;
+  }
+  /// Flat bytes of copied chunks (sizeof(Chunk); heap payloads of the
+  /// copied items are not traced — an estimate, like ApproxMemoryBytes).
+  static std::atomic<uint64_t>& ChunkCopyBytes() {
+    static std::atomic<uint64_t> bytes{0};
+    return bytes;
+  }
+  static std::atomic<uint64_t>& SpineCopies() {
+    static std::atomic<uint64_t> count{0};
+    return count;
+  }
+  static void Reset() {
+    ChunkCopies().store(0, std::memory_order_relaxed);
+    ChunkCopyBytes().store(0, std::memory_order_relaxed);
+    SpineCopies().store(0, std::memory_order_relaxed);
+  }
+};
+
+/// A vector with two-level copy-on-write structural sharing: items
+/// live in fixed-size chunks held by shared_ptr, and the chunk spine
+/// (the vector of chunk pointers) is itself behind a shared_ptr.
+/// Copying a CowVec is two refcount bumps — O(1) — which is what
+/// makes KgSnapshot publication O(delta): a publish shares every
+/// chunk with the previous snapshot, and only chunks mutated since
+/// then are ever copied (on first write, via Mutable()).
+///
+/// Mutation unshares lazily: the first write after a copy duplicates
+/// the spine (O(chunks) pointer copies, once per publish epoch), and
+/// each first write into a shared chunk duplicates that chunk
+/// (O(kChunkSize) items, once per chunk per epoch). Reads are wait-
+/// free pointer chases and never mutate, so immutable copies
+/// (snapshots) are safe to read from any thread while the writer —
+/// serialized by the pipeline's kg_mutex_ — keeps mutating its own
+/// copy.
+///
+/// Indices are stable forever (slot semantics identical to
+/// std::vector); references returned by Mutable()/operator[] stay
+/// valid until the owning chunk is replaced by a later unshare.
+template <typename T, size_t ChunkSizeLog2 = 8>
+class CowVec {
+ public:
+  static constexpr size_t kChunkSize = size_t{1} << ChunkSizeLog2;
+  static constexpr size_t kIndexMask = kChunkSize - 1;
+
+  CowVec() = default;
+  /// Copies share everything; divergence happens on write.
+  CowVec(const CowVec&) = default;
+  CowVec& operator=(const CowVec&) = default;
+  CowVec(CowVec&&) = default;
+  CowVec& operator=(CowVec&&) = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return (*spine_)[i >> ChunkSizeLog2]->items[i & kIndexMask];
+  }
+
+  /// Write access to slot `i`, unsharing the spine and the owning
+  /// chunk first. The caller must treat the slot's deep byte count as
+  /// changed (the chunk's cached estimate is invalidated here).
+  T& Mutable(size_t i) {
+    assert(i < size_);
+    EnsureSpineUnique();
+    std::shared_ptr<Chunk>& chunk = (*spine_)[i >> ChunkSizeLog2];
+    UnshareChunk(&chunk);
+    chunk->cached_bytes.store(kDirtyBytes, std::memory_order_relaxed);
+    return chunk->items[i & kIndexMask];
+  }
+
+  void PushBack(T value) {
+    EnsureSpineUnique();
+    size_t chunk_index = size_ >> ChunkSizeLog2;
+    if (chunk_index == spine_->size()) {
+      spine_->push_back(std::make_shared<Chunk>());
+    }
+    std::shared_ptr<Chunk>& chunk = (*spine_)[chunk_index];
+    UnshareChunk(&chunk);
+    chunk->items[size_ & kIndexMask] = std::move(value);
+    chunk->cached_bytes.store(kDirtyBytes, std::memory_order_relaxed);
+    ++size_;
+  }
+
+  /// Grows to `n` slots (new slots default-constructed). Shrinking is
+  /// not supported — slot ids are stable for the structure's lifetime
+  /// (use Assign to rebuild from scratch, e.g. on checkpoint load).
+  void Resize(size_t n) {
+    assert(n >= size_);
+    if (n == size_) return;
+    EnsureSpineUnique();
+    size_t chunks_needed = (n + kChunkSize - 1) >> ChunkSizeLog2;
+    while (spine_->size() < chunks_needed) {
+      spine_->push_back(std::make_shared<Chunk>());
+    }
+    // Slots in [size_, n) of the tail chunk are pristine defaults by
+    // the no-shrink invariant: nothing at or past size_ was ever
+    // written in this chunk or any chunk it was copied from.
+    size_ = n;
+  }
+
+  /// Drops all sharing and contents, then grows to `n` fresh
+  /// (default-constructed, fully private) slots.
+  void Assign(size_t n) {
+    spine_ = nullptr;
+    size_ = 0;
+    Resize(n);
+  }
+
+  void Clear() {
+    spine_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Copies every chunk still shared with another CowVec, making this
+  /// copy fully private — the retired clone-per-publish cost model.
+  /// Benches and equivalence tests use it as the deep-copy baseline.
+  void Detach() {
+    if (spine_ == nullptr) return;
+    EnsureSpineUnique();
+    for (std::shared_ptr<Chunk>& chunk : *spine_) {
+      UnshareChunk(&chunk);
+    }
+  }
+
+  /// Accumulates this structure's byte estimate into `out`, splitting
+  /// shared vs private at chunk granularity. `deep_bytes(item)` returns
+  /// the item's heap payload estimate; per-chunk sums are cached and
+  /// recomputed only for chunks dirtied since the last call, so a
+  /// steady-state footprint pass is O(chunks + dirtied items), not
+  /// O(items).
+  template <typename DeepBytesFn>
+  void AddFootprint(CowFootprint* out, DeepBytesFn&& deep_bytes) const {
+    if (spine_ == nullptr) return;
+    bool spine_shared = spine_.use_count() > 1;
+    size_t spine_bytes =
+        sizeof(Spine) + spine_->capacity() * sizeof(std::shared_ptr<Chunk>);
+    (spine_shared ? out->shared_bytes : out->private_bytes) += spine_bytes;
+    for (const std::shared_ptr<Chunk>& chunk : *spine_) {
+      size_t bytes = chunk->cached_bytes.load(std::memory_order_relaxed);
+      if (bytes == kDirtyBytes) {
+        bytes = sizeof(Chunk);
+        for (const T& item : chunk->items) bytes += deep_bytes(item);
+        chunk->cached_bytes.store(bytes, std::memory_order_relaxed);
+      }
+      bool shared = spine_shared || chunk.use_count() > 1;
+      (shared ? out->shared_bytes : out->private_bytes) += bytes;
+    }
+  }
+
+  /// Total byte estimate (shared + private), same caching as
+  /// AddFootprint.
+  template <typename DeepBytesFn>
+  size_t ApproxBytes(DeepBytesFn&& deep_bytes) const {
+    CowFootprint fp;
+    AddFootprint(&fp, std::forward<DeepBytesFn>(deep_bytes));
+    return fp.total_bytes();
+  }
+
+ private:
+  static constexpr size_t kDirtyBytes = std::numeric_limits<size_t>::max();
+
+  struct Chunk {
+    Chunk() = default;
+    // The copied chunk holds identical items, so the byte cache
+    // carries over (the unshare that triggered the copy dirties it
+    // right after anyway).
+    Chunk(const Chunk& other)
+        : items(other.items),
+          cached_bytes(other.cached_bytes.load(std::memory_order_relaxed)) {}
+    std::array<T, kChunkSize> items;
+    /// Cached flat+deep byte estimate; kDirtyBytes = recompute.
+    /// Atomic because footprint passes may run on an immutable copy
+    /// (snapshot) from a telemetry thread while the writer accounts
+    /// its own copy — both may fill the same shared slot with the
+    /// same value.
+    mutable std::atomic<size_t> cached_bytes{kDirtyBytes};
+  };
+  using Spine = std::vector<std::shared_ptr<Chunk>>;
+
+  void EnsureSpineUnique() {
+    if (spine_ == nullptr) {
+      spine_ = std::make_shared<Spine>();
+    } else if (spine_.use_count() > 1) {
+      CowCounters::SpineCopies().fetch_add(1, std::memory_order_relaxed);
+      spine_ = std::make_shared<Spine>(*spine_);
+    }
+  }
+
+  static void UnshareChunk(std::shared_ptr<Chunk>* chunk) {
+    if (chunk->use_count() > 1) {
+      CowCounters::ChunkCopies().fetch_add(1, std::memory_order_relaxed);
+      CowCounters::ChunkCopyBytes().fetch_add(sizeof(Chunk),
+                                              std::memory_order_relaxed);
+      *chunk = std::make_shared<Chunk>(**chunk);
+    }
+  }
+
+  std::shared_ptr<Spine> spine_;  // null == empty
+  size_t size_ = 0;
+};
+
+/// Copy-on-write hash index mapping key hashes to dense u32 ids. The
+/// index never stores keys: callers resolve ids back to keys (which
+/// live once, in an owning CowVec) through the `eq` / `hash_of`
+/// callbacks, so buckets are plain id lists and chunk-share like any
+/// other COW state. Backs Dictionary's string->id lookup and
+/// PropertyGraph's folded-label index — the two derived maps whose
+/// copies used to dominate snapshot publish cost.
+class CowIdIndex {
+ public:
+  /// First id in hash order whose key matches, i.e. for which
+  /// `eq(id)` is true. Ids within a bucket keep insertion order, so
+  /// with ascending-id insertion the lowest matching id wins.
+  template <typename Eq>
+  std::optional<uint32_t> Find(uint64_t hash, Eq&& eq) const {
+    if (bucket_count_ == 0) return std::nullopt;
+    const std::vector<uint32_t>& bucket =
+        buckets_[hash & (bucket_count_ - 1)];
+    for (uint32_t id : bucket) {
+      if (eq(id)) return id;
+    }
+    return std::nullopt;
+  }
+
+  /// Inserts `id` under `hash`; the caller deduplicates (Find first)
+  /// when at most one id per key is wanted. `hash_of(id)` recomputes
+  /// an id's hash when the table grows.
+  template <typename HashOf>
+  void Insert(uint64_t hash, uint32_t id, HashOf&& hash_of) {
+    if (size_ + 1 > bucket_count_) Grow(hash_of);
+    buckets_.Mutable(hash & (bucket_count_ - 1)).push_back(id);
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+
+  void Clear() {
+    buckets_.Clear();
+    bucket_count_ = 0;
+    size_ = 0;
+  }
+
+  void Detach() { buckets_.Detach(); }
+
+  void AddFootprint(CowFootprint* out) const {
+    buckets_.AddFootprint(out, [](const std::vector<uint32_t>& bucket) {
+      return bucket.capacity() * sizeof(uint32_t);
+    });
+  }
+
+ private:
+  static constexpr size_t kInitialBuckets = 64;
+
+  template <typename HashOf>
+  void Grow(HashOf&& hash_of) {
+    size_t target = bucket_count_ == 0 ? kInitialBuckets : bucket_count_ * 2;
+    while (target < size_ + 1) target *= 2;
+    // The rebuilt table is fully private; the shared predecessor stays
+    // intact for any copy still holding it.
+    CowVec<std::vector<uint32_t>> grown;
+    grown.Resize(target);
+    for (size_t b = 0; b < bucket_count_; ++b) {
+      for (uint32_t id : buckets_[b]) {
+        grown.Mutable(hash_of(id) & (target - 1)).push_back(id);
+      }
+    }
+    buckets_ = std::move(grown);
+    bucket_count_ = target;
+  }
+
+  CowVec<std::vector<uint32_t>> buckets_;
+  /// Power of two; tracked separately from buckets_.size() so Grow can
+  /// swap tables atomically with respect to readers of this instance.
+  size_t bucket_count_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_COW_H_

@@ -5,18 +5,19 @@
 namespace nous {
 
 uint32_t Dictionary::Intern(std::string_view text) {
-  auto it = index_.find(std::string(text));
-  if (it != index_.end()) return it->second;
+  uint64_t hash = Hash(text);
+  auto eq = [this, text](uint32_t id) { return strings_[id] == text; };
+  if (std::optional<uint32_t> found = index_.Find(hash, eq)) return *found;
   uint32_t id = static_cast<uint32_t>(strings_.size());
-  strings_.emplace_back(text);
-  index_.emplace(strings_.back(), id);
+  strings_.PushBack(std::string(text));
+  index_.Insert(hash, id,
+                [this](uint32_t existing) { return Hash(strings_[existing]); });
   return id;
 }
 
 std::optional<uint32_t> Dictionary::Lookup(std::string_view text) const {
-  auto it = index_.find(std::string(text));
-  if (it == index_.end()) return std::nullopt;
-  return it->second;
+  return index_.Find(Hash(text),
+                     [this, text](uint32_t id) { return strings_[id] == text; });
 }
 
 const std::string& Dictionary::GetString(uint32_t id) const {
@@ -25,31 +26,40 @@ const std::string& Dictionary::GetString(uint32_t id) const {
 }
 
 size_t Dictionary::ApproxMemoryBytes() const {
-  // Each string is stored once in the id-order vector and once as a
-  // hash-map key; count the payload twice plus flat per-entry costs.
-  size_t bytes = strings_.capacity() * sizeof(std::string);
-  for (const std::string& s : strings_) bytes += 2 * s.capacity();
-  bytes += index_.size() *
-           (sizeof(std::string) + sizeof(uint32_t) + 2 * sizeof(void*));
-  return bytes;
+  CowFootprint fp;
+  AddFootprint(&fp);
+  return fp.total_bytes();
+}
+
+void Dictionary::AddFootprint(CowFootprint* out) const {
+  strings_.AddFootprint(out,
+                        [](const std::string& s) { return s.capacity(); });
+  index_.AddFootprint(out);
+}
+
+void Dictionary::Detach() {
+  strings_.Detach();
+  index_.Detach();
 }
 
 void Dictionary::SaveBinary(BinaryWriter* writer) const {
   writer->U64(strings_.size());
-  for (const std::string& s : strings_) writer->Str(s);
+  for (size_t i = 0; i < strings_.size(); ++i) writer->Str(strings_[i]);
 }
 
 Status Dictionary::LoadBinary(BinaryReader* reader) {
   uint64_t count = 0;
   NOUS_RETURN_IF_ERROR(reader->Count(&count, 8));
-  index_.clear();
-  strings_.clear();
-  strings_.reserve(count);
+  index_.Clear();
+  strings_.Clear();
   for (uint64_t i = 0; i < count; ++i) {
     std::string s;
     NOUS_RETURN_IF_ERROR(reader->Str(&s));
-    strings_.push_back(std::move(s));
-    index_.emplace(strings_.back(), static_cast<uint32_t>(i));
+    uint64_t hash = Hash(s);
+    strings_.PushBack(std::move(s));
+    index_.Insert(hash, static_cast<uint32_t>(i), [this](uint32_t existing) {
+      return Hash(strings_[existing]);
+    });
   }
   return Status::Ok();
 }

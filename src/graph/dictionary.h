@@ -5,16 +5,20 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
-#include <vector>
 
 #include "common/binary_io.h"
 #include "common/status.h"
+#include "graph/cow.h"
 
 namespace nous {
 
 /// Interns strings to dense 32-bit ids. Separate instances are used for
 /// entity labels, predicates, terms, types, and sources.
+///
+/// Storage is copy-on-write (CowVec + CowIdIndex): copying a Dictionary
+/// is O(1) and shares all chunks with the source, so snapshot publish
+/// does not pay for the interned-string tables. The hash index stores
+/// ids only — strings live once, in the id-order CowVec.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -39,14 +43,25 @@ class Dictionary {
   /// overhead. A telemetry estimate, not an allocator audit.
   size_t ApproxMemoryBytes() const;
 
+  /// Accumulates the footprint split into shared vs private chunks.
+  void AddFootprint(CowFootprint* out) const;
+
+  /// Copies every chunk still shared with another Dictionary (the
+  /// deep-copy baseline for benches and equivalence tests).
+  void Detach();
+
   /// Checkpoint serialization: strings in id order, so ids are
   /// preserved exactly across a save/load round trip.
   void SaveBinary(BinaryWriter* writer) const;
   Status LoadBinary(BinaryReader* reader);
 
  private:
-  std::unordered_map<std::string, uint32_t> index_;
-  std::vector<std::string> strings_;
+  static uint64_t Hash(std::string_view text) {
+    return std::hash<std::string_view>{}(text);
+  }
+
+  CowVec<std::string> strings_;
+  CowIdIndex index_;
 };
 
 }  // namespace nous

@@ -8,27 +8,42 @@
 namespace nous {
 
 namespace {
+
 // Shared empty containers so accessors on out-of-range vertices (never
 // expected; guarded by asserts) and default topic lookups stay cheap.
 const std::vector<double> kEmptyTopics;
 const std::vector<AdjEntry> kEmptyAdjacency;
+
+// Deep-byte estimators for the COW chunk caches; same formulas the old
+// monolithic ApproxMemoryBytes used, now attributed per chunk.
+size_t VertexDeepBytes(const VertexRecord& v) {
+  return v.bag.size() * (sizeof(TermId) + sizeof(double) + 2 * sizeof(void*)) +
+         v.topics.capacity() * sizeof(double);
+}
+
+size_t AdjDeepBytes(const std::vector<AdjEntry>& adj) {
+  return adj.capacity() * sizeof(AdjEntry);
+}
+
+size_t ByPredDeepBytes(
+    const std::unordered_map<PredicateId, std::vector<AdjEntry>>& per_pred) {
+  size_t bytes = 0;
+  for (const auto& [pred, entries] : per_pred) {
+    bytes += sizeof(pred) + entries.capacity() * sizeof(AdjEntry);
+  }
+  return bytes;
+}
+
 }  // namespace
 
-PropertyGraph PropertyGraph::Clone(bool include_vertex_bags) const {
+PropertyGraph PropertyGraph::Clone() const {
   PropertyGraph copy;
   copy.vertex_labels_ = vertex_labels_;
   copy.predicates_ = predicates_;
   copy.terms_ = terms_;
   copy.types_ = types_;
   copy.sources_ = sources_;
-  copy.vertices_.reserve(vertices_.size());
-  for (const VertexRecord& rec : vertices_) {
-    VertexRecord r;
-    r.type = rec.type;
-    if (include_vertex_bags) r.bag = rec.bag;
-    r.topics = rec.topics;
-    copy.vertices_.push_back(std::move(r));
-  }
+  copy.vertices_ = vertices_;
   copy.edges_ = edges_;
   copy.out_ = out_;
   copy.in_ = in_;
@@ -40,18 +55,39 @@ PropertyGraph PropertyGraph::Clone(bool include_vertex_bags) const {
   return copy;
 }
 
+void PropertyGraph::Detach() {
+  vertex_labels_.Detach();
+  predicates_.Detach();
+  terms_.Detach();
+  types_.Detach();
+  sources_.Detach();
+  vertices_.Detach();
+  edges_.Detach();
+  out_.Detach();
+  in_.Detach();
+  folded_labels_.Detach();
+  out_by_pred_.Detach();
+  in_by_pred_.Detach();
+}
+
+uint64_t PropertyGraph::FoldedHashOf(VertexId v) const {
+  return FoldedHash(ToLower(vertex_labels_.GetString(v)));
+}
+
 VertexId PropertyGraph::GetOrAddVertex(std::string_view label) {
   uint32_t id = vertex_labels_.Intern(label);
   if (id >= vertices_.size()) {
-    vertices_.resize(id + 1);
-    out_.resize(id + 1);
-    in_.resize(id + 1);
-    out_by_pred_.resize(id + 1);
-    in_by_pred_.resize(id + 1);
-    // emplace keeps the first insertion, so among labels that collide
-    // after folding the lowest id wins — the vertex a forward linear
-    // scan would have found.
-    folded_labels_.emplace(ToLower(label), id);
+    vertices_.Resize(id + 1);
+    out_.Resize(id + 1);
+    in_.Resize(id + 1);
+    out_by_pred_.Resize(id + 1);
+    in_by_pred_.Resize(id + 1);
+    // Every vertex is indexed; insertion in ascending id order means
+    // lookups among labels that collide after folding find the lowest
+    // id — the vertex a forward linear scan would have found.
+    std::string folded = ToLower(label);
+    folded_labels_.Insert(FoldedHash(folded), id,
+                          [this](VertexId w) { return FoldedHashOf(w); });
   }
   return id;
 }
@@ -64,9 +100,10 @@ std::optional<VertexId> PropertyGraph::FindVertex(
 std::optional<VertexId> PropertyGraph::FindVertexFolded(
     std::string_view label) const {
   if (auto v = vertex_labels_.Lookup(label)) return v;
-  auto it = folded_labels_.find(ToLower(label));
-  if (it == folded_labels_.end()) return std::nullopt;
-  return it->second;
+  std::string folded = ToLower(label);
+  return folded_labels_.Find(FoldedHash(folded), [this, &folded](VertexId w) {
+    return ToLower(vertex_labels_.GetString(w)) == folded;
+  });
 }
 
 const std::string& PropertyGraph::VertexLabel(VertexId v) const {
@@ -75,7 +112,7 @@ const std::string& PropertyGraph::VertexLabel(VertexId v) const {
 
 void PropertyGraph::SetVertexType(VertexId v, TypeId type) {
   assert(v < vertices_.size());
-  vertices_[v].type = type;
+  vertices_.Mutable(v).type = type;
 }
 
 TypeId PropertyGraph::VertexType(VertexId v) const {
@@ -85,7 +122,7 @@ TypeId PropertyGraph::VertexType(VertexId v) const {
 
 void PropertyGraph::AddVertexTerm(VertexId v, TermId term, double w) {
   assert(v < vertices_.size());
-  vertices_[v].bag[term] += w;
+  vertices_.Mutable(v).bag[term] += w;
 }
 
 const std::unordered_map<TermId, double>& PropertyGraph::VertexBag(
@@ -96,7 +133,7 @@ const std::unordered_map<TermId, double>& PropertyGraph::VertexBag(
 
 void PropertyGraph::SetVertexTopics(VertexId v, std::vector<double> topics) {
   assert(v < vertices_.size());
-  vertices_[v].topics = std::move(topics);
+  vertices_.Mutable(v).topics = std::move(topics);
 }
 
 const std::vector<double>& PropertyGraph::VertexTopics(VertexId v) const {
@@ -109,12 +146,12 @@ EdgeId PropertyGraph::AddEdge(VertexId subject, PredicateId predicate,
   assert(subject < vertices_.size());
   assert(object < vertices_.size());
   EdgeId e = static_cast<EdgeId>(edges_.size());
-  edges_.push_back(EdgeRecord{subject, object, predicate, meta, true});
-  out_[subject].push_back(AdjEntry{predicate, object, e});
-  in_[object].push_back(AdjEntry{predicate, subject, e});
-  out_by_pred_[subject][predicate].push_back(
+  edges_.PushBack(EdgeRecord{subject, object, predicate, meta, true});
+  out_.Mutable(subject).push_back(AdjEntry{predicate, object, e});
+  in_.Mutable(object).push_back(AdjEntry{predicate, subject, e});
+  out_by_pred_.Mutable(subject)[predicate].push_back(
       AdjEntry{predicate, object, e});
-  in_by_pred_[object][predicate].push_back(
+  in_by_pred_.Mutable(object)[predicate].push_back(
       AdjEntry{predicate, subject, e});
   max_edge_timestamp_ = std::max(max_edge_timestamp_, meta.timestamp);
   ++num_live_edges_;
@@ -138,7 +175,7 @@ Status PropertyGraph::RemoveEdge(EdgeId e) {
   if (e >= edges_.size() || !edges_[e].alive) {
     return Status::NotFound(StrFormat("edge %u is not live", e));
   }
-  EdgeRecord& rec = edges_[e];
+  EdgeRecord& rec = edges_.Mutable(e);
   auto erase_from = [e](std::vector<AdjEntry>& adj) {
     for (size_t i = 0; i < adj.size(); ++i) {
       if (adj[i].edge == e) {
@@ -149,10 +186,10 @@ Status PropertyGraph::RemoveEdge(EdgeId e) {
     }
     assert(false && "adjacency entry missing for live edge");
   };
-  erase_from(out_[rec.subject]);
-  erase_from(in_[rec.object]);
-  erase_from(out_by_pred_[rec.subject][rec.predicate]);
-  erase_from(in_by_pred_[rec.object][rec.predicate]);
+  erase_from(out_.Mutable(rec.subject));
+  erase_from(in_.Mutable(rec.object));
+  erase_from(out_by_pred_.Mutable(rec.subject)[rec.predicate]);
+  erase_from(in_by_pred_.Mutable(rec.object)[rec.predicate]);
   rec.alive = false;
   --num_live_edges_;
   if (rec.meta.timestamp == max_edge_timestamp_ &&
@@ -160,7 +197,8 @@ Status PropertyGraph::RemoveEdge(EdgeId e) {
     // The max holder may have just died; rescan live edges (rare —
     // removal itself is already O(degree)).
     max_edge_timestamp_ = 0;
-    for (const EdgeRecord& other : edges_) {
+    for (size_t i = 0; i < edges_.size(); ++i) {
+      const EdgeRecord& other = edges_[i];
       if (other.alive) {
         max_edge_timestamp_ =
             std::max(max_edge_timestamp_, other.meta.timestamp);
@@ -187,7 +225,7 @@ const EdgeRecord& PropertyGraph::Edge(EdgeId e) const {
 
 void PropertyGraph::SetEdgeConfidence(EdgeId e, double confidence) {
   assert(e < edges_.size());
-  edges_[e].meta.confidence = confidence;
+  edges_.Mutable(e).meta.confidence = confidence;
 }
 
 const std::vector<AdjEntry>& PropertyGraph::OutEdges(VertexId v) const {
@@ -203,15 +241,17 @@ const std::vector<AdjEntry>& PropertyGraph::InEdges(VertexId v) const {
 const std::vector<AdjEntry>& PropertyGraph::OutEdgesWithPredicate(
     VertexId v, PredicateId p) const {
   assert(v < out_by_pred_.size());
-  auto it = out_by_pred_[v].find(p);
-  return it == out_by_pred_[v].end() ? kEmptyAdjacency : it->second;
+  const auto& per_pred = out_by_pred_[v];
+  auto it = per_pred.find(p);
+  return it == per_pred.end() ? kEmptyAdjacency : it->second;
 }
 
 const std::vector<AdjEntry>& PropertyGraph::InEdgesWithPredicate(
     VertexId v, PredicateId p) const {
   assert(v < in_by_pred_.size());
-  auto it = in_by_pred_[v].find(p);
-  return it == in_by_pred_[v].end() ? kEmptyAdjacency : it->second;
+  const auto& per_pred = in_by_pred_[v];
+  auto it = per_pred.find(p);
+  return it == per_pred.end() ? kEmptyAdjacency : it->second;
 }
 
 void PropertyGraph::ForEachEdge(
@@ -224,8 +264,9 @@ void PropertyGraph::ForEachEdge(
 namespace {
 
 void SaveAdjacency(BinaryWriter* writer,
-                   const std::vector<std::vector<AdjEntry>>& adj) {
-  for (const std::vector<AdjEntry>& entries : adj) {
+                   const CowVec<std::vector<AdjEntry>>& adj) {
+  for (size_t v = 0; v < adj.size(); ++v) {
+    const std::vector<AdjEntry>& entries = adj[v];
     writer->U64(entries.size());
     for (const AdjEntry& a : entries) {
       writer->U32(a.predicate);
@@ -236,18 +277,19 @@ void SaveAdjacency(BinaryWriter* writer,
 }
 
 Status LoadAdjacency(BinaryReader* reader, size_t num_vertices,
-                     std::vector<std::vector<AdjEntry>>* adj) {
-  adj->assign(num_vertices, {});
+                     CowVec<std::vector<AdjEntry>>* adj) {
+  adj->Assign(num_vertices);
   for (size_t v = 0; v < num_vertices; ++v) {
     uint64_t count = 0;
     NOUS_RETURN_IF_ERROR(reader->Count(&count, 12));
-    (*adj)[v].reserve(count);
+    std::vector<AdjEntry>& entries = adj->Mutable(v);
+    entries.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       AdjEntry a;
       NOUS_RETURN_IF_ERROR(reader->U32(&a.predicate));
       NOUS_RETURN_IF_ERROR(reader->U32(&a.neighbor));
       NOUS_RETURN_IF_ERROR(reader->U32(&a.edge));
-      (*adj)[v].push_back(a);
+      entries.push_back(a);
     }
   }
   return Status::Ok();
@@ -255,36 +297,21 @@ Status LoadAdjacency(BinaryReader* reader, size_t num_vertices,
 
 }  // namespace
 
-size_t PropertyGraph::ApproxMemoryBytes() const {
-  size_t bytes = vertex_labels_.ApproxMemoryBytes() +
-                 predicates_.ApproxMemoryBytes() + terms_.ApproxMemoryBytes() +
-                 types_.ApproxMemoryBytes() + sources_.ApproxMemoryBytes();
-  bytes += vertices_.capacity() * sizeof(VertexRecord);
-  for (const VertexRecord& v : vertices_) {
-    bytes +=
-        v.bag.size() * (sizeof(TermId) + sizeof(double) + 2 * sizeof(void*));
-    bytes += v.topics.capacity() * sizeof(double);
-  }
-  bytes += edges_.capacity() * sizeof(EdgeRecord);
-  bytes += (out_.capacity() + in_.capacity()) * sizeof(std::vector<AdjEntry>);
-  for (const auto& adj : out_) bytes += adj.capacity() * sizeof(AdjEntry);
-  for (const auto& adj : in_) bytes += adj.capacity() * sizeof(AdjEntry);
-  for (const auto& [label, id] : folded_labels_) {
-    bytes += label.capacity() + sizeof(VertexId) + 2 * sizeof(void*);
-  }
-  bytes += (out_by_pred_.capacity() + in_by_pred_.capacity()) *
-           sizeof(out_by_pred_[0]);
-  for (const auto& per_pred : out_by_pred_) {
-    for (const auto& [pred, entries] : per_pred) {
-      bytes += sizeof(pred) + entries.capacity() * sizeof(AdjEntry);
-    }
-  }
-  for (const auto& per_pred : in_by_pred_) {
-    for (const auto& [pred, entries] : per_pred) {
-      bytes += sizeof(pred) + entries.capacity() * sizeof(AdjEntry);
-    }
-  }
-  return bytes;
+CowFootprint PropertyGraph::Footprint() const {
+  CowFootprint fp;
+  vertex_labels_.AddFootprint(&fp);
+  predicates_.AddFootprint(&fp);
+  terms_.AddFootprint(&fp);
+  types_.AddFootprint(&fp);
+  sources_.AddFootprint(&fp);
+  vertices_.AddFootprint(&fp, VertexDeepBytes);
+  edges_.AddFootprint(&fp, [](const EdgeRecord&) { return size_t{0}; });
+  out_.AddFootprint(&fp, AdjDeepBytes);
+  in_.AddFootprint(&fp, AdjDeepBytes);
+  folded_labels_.AddFootprint(&fp);
+  out_by_pred_.AddFootprint(&fp, ByPredDeepBytes);
+  in_by_pred_.AddFootprint(&fp, ByPredDeepBytes);
+  return fp;
 }
 
 void PropertyGraph::SaveBinary(BinaryWriter* writer) const {
@@ -295,7 +322,8 @@ void PropertyGraph::SaveBinary(BinaryWriter* writer) const {
   sources_.SaveBinary(writer);
 
   writer->U64(vertices_.size());
-  for (const VertexRecord& rec : vertices_) {
+  for (size_t v = 0; v < vertices_.size(); ++v) {
+    const VertexRecord& rec = vertices_[v];
     writer->U32(rec.type);
     // Canonical (sorted) bag emission: the in-memory map is unordered,
     // so sorting is what makes Save deterministic.
@@ -312,7 +340,8 @@ void PropertyGraph::SaveBinary(BinaryWriter* writer) const {
   }
 
   writer->U64(edges_.size());
-  for (const EdgeRecord& rec : edges_) {
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const EdgeRecord& rec = edges_[e];
     writer->U32(rec.subject);
     writer->U32(rec.object);
     writer->U32(rec.predicate);
@@ -343,8 +372,9 @@ Status PropertyGraph::LoadBinary(BinaryReader* reader) {
   if (num_vertices != vertex_labels_.size()) {
     return Status::DataLoss("graph checkpoint: vertex count mismatch");
   }
-  vertices_.assign(num_vertices, {});
-  for (VertexRecord& rec : vertices_) {
+  vertices_.Assign(num_vertices);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    VertexRecord& rec = vertices_.Mutable(v);
     NOUS_RETURN_IF_ERROR(reader->U32(&rec.type));
     uint64_t bag_size = 0;
     NOUS_RETURN_IF_ERROR(reader->Count(&bag_size, 12));
@@ -361,8 +391,9 @@ Status PropertyGraph::LoadBinary(BinaryReader* reader) {
 
   uint64_t num_edges = 0;
   NOUS_RETURN_IF_ERROR(reader->Count(&num_edges, 4 * 3 + 8 + 8 + 4 + 2));
-  edges_.assign(num_edges, {});
-  for (EdgeRecord& rec : edges_) {
+  edges_.Assign(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    EdgeRecord& rec = edges_.Mutable(e);
     NOUS_RETURN_IF_ERROR(reader->U32(&rec.subject));
     NOUS_RETURN_IF_ERROR(reader->U32(&rec.object));
     NOUS_RETURN_IF_ERROR(reader->U32(&rec.predicate));
@@ -386,22 +417,26 @@ Status PropertyGraph::LoadBinary(BinaryReader* reader) {
 }
 
 void PropertyGraph::RebuildDerivedIndexes() {
-  folded_labels_.clear();
+  folded_labels_.Clear();
   for (VertexId v = 0; v < vertices_.size(); ++v) {
-    folded_labels_.emplace(ToLower(vertex_labels_.GetString(v)), v);
+    folded_labels_.Insert(FoldedHashOf(v), v,
+                          [this](VertexId w) { return FoldedHashOf(w); });
   }
-  out_by_pred_.assign(vertices_.size(), {});
-  in_by_pred_.assign(vertices_.size(), {});
+  out_by_pred_.Assign(vertices_.size());
+  in_by_pred_.Assign(vertices_.size());
   for (VertexId v = 0; v < vertices_.size(); ++v) {
-    for (const AdjEntry& a : out_[v]) {
-      out_by_pred_[v][a.predicate].push_back(a);
+    if (!out_[v].empty()) {
+      auto& per_pred = out_by_pred_.Mutable(v);
+      for (const AdjEntry& a : out_[v]) per_pred[a.predicate].push_back(a);
     }
-    for (const AdjEntry& a : in_[v]) {
-      in_by_pred_[v][a.predicate].push_back(a);
+    if (!in_[v].empty()) {
+      auto& per_pred = in_by_pred_.Mutable(v);
+      for (const AdjEntry& a : in_[v]) per_pred[a.predicate].push_back(a);
     }
   }
   max_edge_timestamp_ = 0;
-  for (const EdgeRecord& rec : edges_) {
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const EdgeRecord& rec = edges_[e];
     if (rec.alive) {
       max_edge_timestamp_ =
           std::max(max_edge_timestamp_, rec.meta.timestamp);

@@ -10,6 +10,7 @@
 
 #include "common/binary_io.h"
 #include "common/status.h"
+#include "graph/cow.h"
 #include "graph/dictionary.h"
 #include "graph/types.h"
 
@@ -48,6 +49,14 @@ struct VertexRecord {
 ///
 /// Edges carry confidence, timestamp, source, and curated/extracted
 /// provenance; removal is O(degree) and keeps edge ids stable.
+///
+/// All storage — primary state and derived read indexes alike — lives
+/// in copy-on-write chunked containers (CowVec / CowIdIndex, DESIGN.md
+/// §5.13), so Clone() is O(1): it shares every chunk with the source,
+/// and subsequent mutation of either copy duplicates only the chunks
+/// it touches. This is what makes snapshot publication O(delta) instead
+/// of O(V+E). Clones are bit-identical to a deep copy: same ids, same
+/// slot layout, same adjacency order, same derived indexes.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
@@ -57,12 +66,15 @@ class PropertyGraph {
   PropertyGraph(PropertyGraph&&) = default;
   PropertyGraph& operator=(PropertyGraph&&) = default;
 
-  /// Deep copy with identical ids, slot layout, and adjacency order
-  /// (copy construction stays deleted so clones are always explicit).
-  /// `include_vertex_bags` = false skips the term bags — the query
-  /// path never reads them, and they dominate the copy cost on
-  /// bag-heavy graphs (snapshot publication, DESIGN.md §5.11).
-  PropertyGraph Clone(bool include_vertex_bags = true) const;
+  /// O(1) copy-on-write copy sharing all chunks with this graph (copy
+  /// construction stays deleted so clones are always explicit). Either
+  /// copy may keep mutating; writes unshare only the touched chunks.
+  PropertyGraph Clone() const;
+
+  /// Copies every chunk still shared with another PropertyGraph,
+  /// making this instance fully private — the retired deep-copy cost
+  /// model. Benches and equivalence tests use it as the baseline.
+  void Detach();
 
   // ---- Vertices ----
 
@@ -160,11 +172,16 @@ class PropertyGraph {
   const Dictionary& sources() const { return sources_; }
 
   /// Rough heap footprint of the whole graph (dictionaries, vertex
-  /// records and bags, edge slots, adjacency, derived indexes).
-  /// Snapshot publication records this on the KgSnapshot so the
-  /// ResourceSampler can export clone bytes; it is an estimate for
-  /// telemetry, not an allocator audit.
-  size_t ApproxMemoryBytes() const;
+  /// records and bags, edge slots, adjacency, derived indexes), split
+  /// into bytes shared with other copies vs private to this one. A
+  /// snapshot's private bytes are its true retention cost on top of
+  /// the live graph. Per-chunk byte estimates are cached, so a
+  /// steady-state call is O(chunks), not O(V+E). A telemetry estimate,
+  /// not an allocator audit.
+  CowFootprint Footprint() const;
+
+  /// Footprint().total_bytes() — shared + private.
+  size_t ApproxMemoryBytes() const { return Footprint().total_bytes(); }
 
   // ---- Checkpoint serialization ----
 
@@ -172,7 +189,9 @@ class PropertyGraph {
   /// order, every vertex record (bags emitted sorted by TermId), every
   /// edge slot including dead ones, and both adjacency arrays — so a
   /// LoadBinary round trip reproduces the graph exactly: identical
-  /// ids, identical slot layout, identical adjacency order.
+  /// ids, identical slot layout, identical adjacency order. The byte
+  /// stream is independent of chunk sharing state: a Clone() and a
+  /// deep copy serialize identically.
   void SaveBinary(BinaryWriter* writer) const;
 
   /// Restores a SaveBinary payload, replacing current contents.
@@ -186,26 +205,31 @@ class PropertyGraph {
   /// calls it because checkpoints only store the primary state.
   void RebuildDerivedIndexes();
 
+  static uint64_t FoldedHash(const std::string& folded) {
+    return std::hash<std::string>{}(folded);
+  }
+  /// Hash of vertex `v`'s case-folded label (CowIdIndex rehash hook).
+  uint64_t FoldedHashOf(VertexId v) const;
+
   Dictionary vertex_labels_;
   Dictionary predicates_;
   Dictionary terms_;
   Dictionary types_;
   Dictionary sources_;
 
-  std::vector<VertexRecord> vertices_;
-  std::vector<EdgeRecord> edges_;
-  std::vector<std::vector<AdjEntry>> out_;
-  std::vector<std::vector<AdjEntry>> in_;
+  CowVec<VertexRecord> vertices_;
+  CowVec<EdgeRecord> edges_;
+  CowVec<std::vector<AdjEntry>> out_;
+  CowVec<std::vector<AdjEntry>> in_;
   size_t num_live_edges_ = 0;
 
   // Derived read-side indexes (never serialized; see SaveBinary).
-  /// Case-folded label -> lowest vertex id with that folded label.
-  std::unordered_map<std::string, VertexId> folded_labels_;
+  /// Case-folded label index; every vertex is inserted in id order, so
+  /// lookups find the lowest id among folding collisions.
+  CowIdIndex folded_labels_;
   /// Per-vertex adjacency partitioned by predicate; mirrors out_/in_.
-  std::vector<std::unordered_map<PredicateId, std::vector<AdjEntry>>>
-      out_by_pred_;
-  std::vector<std::unordered_map<PredicateId, std::vector<AdjEntry>>>
-      in_by_pred_;
+  CowVec<std::unordered_map<PredicateId, std::vector<AdjEntry>>> out_by_pred_;
+  CowVec<std::unordered_map<PredicateId, std::vector<AdjEntry>>> in_by_pred_;
   Timestamp max_edge_timestamp_ = 0;
 };
 

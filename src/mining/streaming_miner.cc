@@ -42,6 +42,7 @@ StreamingMiner::StreamingMiner(MinerConfig config) : config_(config) {}
 
 void StreamingMiner::OnEdgeAdded(const PropertyGraph& graph, EdgeId edge) {
   NOUS_SPAN("mining");
+  ++generation_;
   // Every connected subset containing the new edge; all other edges in
   // the window are older (smaller ids), so older_only enumeration
   // discovers each subset exactly once across the stream.
@@ -56,6 +57,7 @@ void StreamingMiner::OnEdgeAdded(const PropertyGraph& graph, EdgeId edge) {
 
 void StreamingMiner::OnEdgeExpiring(const PropertyGraph& /*graph*/,
                                     EdgeId edge) {
+  ++generation_;
   auto it = edge_index_.find(edge);
   if (it == edge_index_.end()) return;
   // RemoveEmbedding mutates other edges' index entries but only reads

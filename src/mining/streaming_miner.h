@@ -60,6 +60,13 @@ class StreamingMiner : public WindowListener {
   };
   Churn TakeChurn();
 
+  /// Monotonic counter bumped by every window event the miner
+  /// observes. Equal generations guarantee the pattern set (and its
+  /// rendering) is unchanged, so snapshot publish can reuse the
+  /// previous RenderedPatternSet instead of re-stringifying every
+  /// closed frequent pattern.
+  uint64_t generation() const { return generation_; }
+
   size_t num_tracked_patterns() const { return patterns_.size(); }
   size_t num_live_embeddings() const { return live_embeddings_; }
   size_t total_embeddings_created() const { return created_total_; }
@@ -92,6 +99,7 @@ class StreamingMiner : public WindowListener {
   std::vector<uint32_t> free_slots_;
   std::unordered_map<EdgeId, std::vector<uint32_t>> edge_index_;
   std::unordered_set<size_t> last_frequent_;  // pattern ids
+  uint64_t generation_ = 0;
   size_t live_embeddings_ = 0;
   size_t created_total_ = 0;
   size_t removed_total_ = 0;

@@ -185,6 +185,14 @@ HttpResponse NousApi::HandleStats() {
   w.Key("snapshot_graph_bytes");
   w.Int(static_cast<long long>(snap != nullptr ? snap->approx_graph_bytes
                                                : 0));
+  // Live COW split: how much of the snapshot is shared with the live
+  // graph vs retained privately (amplification = private / total).
+  CowFootprint snap_fp;
+  if (snap != nullptr) snap_fp = snap->graph.Footprint();
+  w.Key("snapshot_graph_shared_bytes");
+  w.Int(static_cast<long long>(snap_fp.shared_bytes));
+  w.Key("snapshot_graph_private_bytes");
+  w.Int(static_cast<long long>(snap_fp.private_bytes));
   w.Key("query_cache");
   w.BeginObject();
   const QueryCache* cache = nous_->query_cache();

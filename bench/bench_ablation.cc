@@ -23,6 +23,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/nous.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -40,7 +41,7 @@ struct AblationResult {
 AblationResult Evaluate(const bench::DroneFixture& fixture,
                         Nous::Options options) {
   Nous nous(&fixture.kb, options);
-  for (const Article& article : fixture.articles) nous.Ingest(article);
+  for (const Article& article : fixture.articles) NOUS_CHECK_OK(nous.Ingest(article));
   nous.Finalize();
   const PropertyGraph& g = nous.graph();
 

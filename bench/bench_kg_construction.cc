@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "core/nous.h"
 #include "graph/graph_stats.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -29,7 +30,7 @@ void RunGrowthSweep() {
     Nous nous(&fixture.kb);
     WallTimer timer;
     for (const Article& article : fixture.articles) {
-      nous.Ingest(article);
+      NOUS_CHECK_OK(nous.Ingest(article));
     }
     nous.Finalize();
     double seconds = timer.ElapsedSeconds();
@@ -58,7 +59,7 @@ void RunConfidenceHistogram() {
                "(Figure 2's per-fact probabilities; 800 events) --\n";
   auto fixture = bench::MakeDroneFixture(800);
   Nous nous(&fixture.kb);
-  for (const Article& article : fixture.articles) nous.Ingest(article);
+  for (const Article& article : fixture.articles) NOUS_CHECK_OK(nous.Ingest(article));
   nous.Finalize();
   GraphStats stats = nous.ComputeStats();
   auto buckets = stats.extracted_confidence.Bucketize(0.0, 1.0, 10);
@@ -81,7 +82,7 @@ void BM_IngestArticle(benchmark::State& state) {
   Nous nous(&fixture.kb);
   size_t i = 0;
   for (auto _ : state) {
-    nous.Ingest(fixture.articles[i % fixture.articles.size()]);
+    NOUS_CHECK_OK(nous.Ingest(fixture.articles[i % fixture.articles.size()]));
     ++i;
   }
   state.SetItemsProcessed(static_cast<int64_t>(i));

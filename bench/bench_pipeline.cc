@@ -26,6 +26,7 @@
 #include "core/nous.h"
 #include "corpus/document_stream.h"
 #include "server/json_writer.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -45,7 +46,7 @@ void RunThroughput() {
                                            corpus_config);
     Nous nous(&fixture.kb);
     WallTimer timer;
-    for (const Article& a : fixture.articles) nous.Ingest(a);
+    for (const Article& a : fixture.articles) NOUS_CHECK_OK(nous.Ingest(a));
     double ingest_seconds = timer.ElapsedSeconds();
     const PipelineStats& ps = nous.stats();
     double stage_total = ps.extract_seconds + ps.link_seconds +
@@ -118,7 +119,7 @@ void RunParallelIngest(size_t max_threads) {
     Nous nous(&fixture.kb, options);
     DocumentStream stream(fixture.articles);
     WallTimer timer;
-    nous.IngestStream(&stream, /*finalize=*/false);
+    NOUS_CHECK_OK(nous.IngestStream(&stream, /*finalize=*/false));
     double seconds = timer.ElapsedSeconds();
     if (threads == sweep.front()) serial_seconds = seconds;
     const PipelineStats& ps = nous.stats();
@@ -200,7 +201,7 @@ void RunMultiSource() {
   corpus_config.sources = {"wsj", "webcrawl", "technews"};
   auto fixture = bench::MakeDroneFixture(800, 23, 0.6, corpus_config);
   Nous nous(&fixture.kb);
-  for (const Article& a : fixture.articles) nous.Ingest(a);
+  for (const Article& a : fixture.articles) NOUS_CHECK_OK(nous.Ingest(a));
   nous.Finalize();
 
   // Sample connected (s, t) pairs two hops apart and ask for
@@ -250,7 +251,7 @@ void BM_PipelineIngest(benchmark::State& state) {
   Nous nous(&fixture.kb);
   size_t i = 0;
   for (auto _ : state) {
-    nous.Ingest(fixture.articles[i % fixture.articles.size()]);
+    NOUS_CHECK_OK(nous.Ingest(fixture.articles[i % fixture.articles.size()]));
     ++i;
   }
   state.SetItemsProcessed(static_cast<int64_t>(i));

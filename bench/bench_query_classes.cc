@@ -17,6 +17,7 @@
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "core/nous.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -70,7 +71,7 @@ void RunQueryClasses() {
 
   // Mid-stream snapshot: queries on the half-built dynamic KG.
   size_t half = fixture.articles.size() / 2;
-  for (size_t i = 0; i < half; ++i) nous.Ingest(fixture.articles[i]);
+  for (size_t i = 0; i < half; ++i) NOUS_CHECK_OK(nous.Ingest(fixture.articles[i]));
   nous.Finalize();  // topics for path search
 
   std::cout << "\n-- mid-stream (dynamic KG, " << half
@@ -98,7 +99,7 @@ void RunQueryClasses() {
 
   // Full stream.
   for (size_t i = half; i < fixture.articles.size(); ++i) {
-    nous.Ingest(fixture.articles[i]);
+    NOUS_CHECK_OK(nous.Ingest(fixture.articles[i]));
   }
   nous.Finalize();
   std::cout << "\n-- post-stream (" << fixture.articles.size()
@@ -150,7 +151,7 @@ void RunTrendingQuality() {
       Nous nous(&fixture.kb, opt);
       Timestamp newest = 0;
       for (size_t i = 0; i < upto; ++i) {
-        nous.Ingest(fixture.articles[i]);
+        NOUS_CHECK_OK(nous.Ingest(fixture.articles[i]));
         newest = std::max(newest,
                           fixture.articles[i].date.ToDayNumber());
       }
@@ -195,7 +196,7 @@ void RunTrendingQuality() {
 void BM_EntityQuery(benchmark::State& state) {
   auto fixture = bench::MakeDroneFixture(300);
   Nous nous(&fixture.kb);
-  for (const Article& a : fixture.articles) nous.Ingest(a);
+  for (const Article& a : fixture.articles) NOUS_CHECK_OK(nous.Ingest(a));
   nous.Finalize();
   for (auto _ : state) {
     benchmark::DoNotOptimize(nous.Ask("tell me about DJI"));

@@ -34,6 +34,7 @@
 #include "common/table_printer.h"
 #include "core/nous.h"
 #include "server/json_writer.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -87,13 +88,13 @@ double Percentile(std::vector<double>* sorted_in_place, double q) {
 std::vector<std::string> BuildQueryMix(const bench::DroneFixture& fixture,
                                        size_t count) {
   Nous reference(&fixture.kb);
-  for (const Article& a : fixture.articles) reference.Ingest(a);
+  for (const Article& a : fixture.articles) NOUS_CHECK_OK(reference.Ingest(a));
   std::vector<std::string> labels;
   {
     auto snap = reference.snapshot();
-    for (VertexId v = 0; v < snap->graph.NumVertices(); ++v) {
-      if (snap->graph.OutDegree(v) + snap->graph.InDegree(v) > 0) {
-        labels.push_back(snap->graph.VertexLabel(v));
+    for (VertexId v = 0; v < snap->graph().NumVertices(); ++v) {
+      if (snap->graph().OutDegree(v) + snap->graph().InDegree(v) > 0) {
+        labels.push_back(snap->graph().VertexLabel(v));
       }
     }
   }
@@ -132,7 +133,7 @@ RunResult RunOne(const bench::DroneFixture& fixture,
   options.query_cache.enabled = mode.cache;
   Nous nous(&fixture.kb, options);
   for (size_t i = 0; i < warm_docs && i < fixture.articles.size(); ++i) {
-    nous.Ingest(fixture.articles[i]);
+    NOUS_CHECK_OK(nous.Ingest(fixture.articles[i]));
   }
 
   std::atomic<bool> stop{false};
@@ -146,7 +147,7 @@ RunResult RunOne(const bench::DroneFixture& fixture,
     auto deadline = std::chrono::steady_clock::now();
     size_t i = warm_docs;
     while (!stop.load(std::memory_order_relaxed)) {
-      nous.Ingest(fixture.articles[i % fixture.articles.size()]);
+      NOUS_CHECK_OK(nous.Ingest(fixture.articles[i % fixture.articles.size()]));
       ingested.fetch_add(1, std::memory_order_relaxed);
       ++i;
       deadline += std::chrono::duration_cast<
@@ -361,7 +362,7 @@ void BM_CachedQuery(benchmark::State& state) {
       bench::MakeDroneFixture(120, 17, 0.6));
   static Nous* nous = [] {
     Nous* n = new Nous(&fixture->kb);
-    for (const Article& a : fixture->articles) n->Ingest(a);
+    for (const Article& a : fixture->articles) NOUS_CHECK_OK(n->Ingest(a));
     return n;
   }();
   for (auto _ : state) {

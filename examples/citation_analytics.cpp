@@ -9,6 +9,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 int main() {
   using namespace nous;
@@ -29,7 +30,7 @@ int main() {
   std::cout << "=== NOUS citation analytics ===\n";
   std::cout << "Ingesting " << stream.TotalCount()
             << " bibliography updates...\n";
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   std::cout << nous.ComputeStats().ToString() << "\n";
 
   // Entity query on a venue.

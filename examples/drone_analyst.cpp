@@ -12,6 +12,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 int main() {
   using namespace nous;
@@ -41,7 +42,7 @@ int main() {
   std::cout << "=== NOUS drone-industry analyst ===\n";
   std::cout << "Ingesting " << stream.TotalCount()
             << " articles (2010-2015)...\n";
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   std::cout << nous.ComputeStats().ToString() << "\n";
 
   // --- The analyst session. ---

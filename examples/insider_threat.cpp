@@ -10,6 +10,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 int main() {
   using namespace nous;
@@ -42,7 +43,7 @@ int main() {
 
   std::cout << "=== NOUS insider-threat monitor ===\n";
   std::cout << "Replaying " << stream.TotalCount() << " log batches...\n";
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   std::cout << nous.ComputeStats().ToString() << "\n";
 
   std::cout << "Q: what is trending (last 30 days of log time)\n";

@@ -23,6 +23,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 int main() {
   using namespace nous;
@@ -42,7 +43,7 @@ int main() {
   Nous nous(&kb);
   std::cout << "=== NOUS quality dashboard ===\n";
   std::cout << "Ingesting " << stream.TotalCount() << " articles...\n\n";
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
 
   GraphStats stats = nous.ComputeStats();
   std::cout << "-- graph composition --\n" << stats.ToString() << "\n";

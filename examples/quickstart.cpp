@@ -13,6 +13,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 int main() {
   using namespace nous;
@@ -38,7 +39,7 @@ int main() {
 
   // 4. Construct the dynamic knowledge graph.
   Nous nous(&kb);
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
 
   GraphStats stats = nous.ComputeStats();
   std::cout << "\nFused knowledge graph:\n" << stats.ToString() << "\n";

@@ -11,8 +11,11 @@ namespace nous {
 
 /// Holds either a value of type T or a non-OK Status describing why the
 /// value is absent. Analogous to absl::StatusOr<T>.
+///
+/// [[nodiscard]] for the same reason as Status: discarding a Result
+/// discards the error it may carry.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

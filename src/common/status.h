@@ -1,6 +1,8 @@
 #ifndef NOUS_COMMON_STATUS_H_
 #define NOUS_COMMON_STATUS_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -29,7 +31,15 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A lightweight success-or-error value. The OK state carries no
 /// allocation; error states carry a code and a message.
-class Status {
+///
+/// Class-level [[nodiscard]]: every function returning a Status by
+/// value inherits must-use semantics, so a silently dropped ingest or
+/// durability failure is a compile warning (-Werror in CI) — and the
+/// nous-status-discard clang-tidy check catches the discards the
+/// builtin warning misses (ternaries, casts that re-materialize the
+/// Status). Intentional discards must say so with a (void) cast and a
+/// comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,6 +105,21 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
   do {                                            \
     ::nous::Status _status = (expr);              \
     if (!_status.ok()) return _status;            \
+  } while (false)
+
+/// Aborts the process when `expr` evaluates to a non-OK Status. For
+/// tests, benches, and example binaries where a failure is a bug in
+/// the harness itself, never a condition to handle — the companion of
+/// [[nodiscard]] Status for code with no caller to propagate to.
+#define NOUS_CHECK_OK(expr)                                          \
+  do {                                                               \
+    ::nous::Status _nous_check_status = (expr);                      \
+    if (!_nous_check_status.ok()) {                                  \
+      std::fprintf(stderr, "%s:%d: NOUS_CHECK_OK(%s) failed: %s\n",  \
+                   __FILE__, __LINE__, #expr,                        \
+                   _nous_check_status.ToString().c_str());           \
+      std::abort();                                                  \
+    }                                                                \
   } while (false)
 
 }  // namespace nous

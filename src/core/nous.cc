@@ -201,11 +201,11 @@ Result<Answer> Nous::ExecuteOnSnapshot(
   if (cache_ != nullptr) {
     key = CanonicalCacheKey(query);
     Answer cached;
-    if (cache_->Lookup(key, snap->version, &cached)) return cached;
+    if (cache_->Lookup(key, snap->version(), &cached)) return cached;
   }
-  QueryEngine engine(&snap->graph, snap->patterns(), options_.query);
+  QueryEngine engine(&snap->graph(), snap->patterns(), options_.query);
   NOUS_ASSIGN_OR_RETURN(Answer answer, engine.Execute(query));
-  if (cache_ != nullptr) cache_->Insert(key, snap->version, answer);
+  if (cache_ != nullptr) cache_->Insert(key, snap->version(), answer);
   return answer;
 }
 
@@ -223,7 +223,7 @@ Result<Answer> Nous::ExecuteUnlocked(const Query& query) const {
 
 GraphStats Nous::ComputeStats() const {
   if (auto snap = pipeline_.snapshot()) {
-    return ComputeGraphStats(snap->graph);
+    return ComputeGraphStats(snap->graph());
   }
   ReaderMutexLock lock(kg_mutex());
   return ComputeGraphStats(graph());
@@ -269,10 +269,10 @@ void Nous::RegisterResourceProbes(ResourceSampler* sampler) {
                      wal_fsync_p99] {
     const SnapshotStore& store = pipeline_.snapshot_store();
     if (auto snap = store.Current()) {
-      version->Set(static_cast<double>(snap->version));
+      version->Set(static_cast<double>(snap->version()));
       // Re-sampled live (not the publish-time figure): sharing decays
       // as ingest unshares chunks, and the gauges should show that.
-      CowFootprint fp = snap->graph.Footprint();
+      CowFootprint fp = snap->graph().Footprint();
       graph_bytes->Set(static_cast<double>(fp.total_bytes()));
       graph_shared_bytes->Set(static_cast<double>(fp.shared_bytes));
       graph_private_bytes->Set(static_cast<double>(fp.private_bytes));

@@ -728,23 +728,31 @@ void KgPipeline::FinalizeLocked() {
           graph_.SetEdgeConfidence(e, std::clamp(rescored, 0.0, 1.0));
         });
   }
-  lda_ = std::make_unique<LdaModel>(
-      AssignVertexTopics(&graph_, config_.lda));
+  // Fit in src/topic (pure), apply here: SetVertexTopics is a KG
+  // write and stays inside the pipeline funnel (nous-layering).
+  VertexTopicAssignments fitted = FitVertexTopics(graph_, config_.lda);
+  for (size_t i = 0; i < fitted.vertices.size(); ++i) {
+    graph_.SetVertexTopics(fitted.vertices[i], std::move(fitted.topics[i]));
+  }
+  lda_ = std::make_unique<LdaModel>(std::move(fitted.model));
 }
 
 void KgPipeline::PublishSnapshot() {
   if (!config_.publish_snapshots) return;
   NOUS_SPAN_VAR(span, "snapshot_publish");
-  auto snap = std::make_shared<KgSnapshot>();
+  uint64_t version = 0;
+  PropertyGraph graph;
+  PipelineStats stats;
+  std::shared_ptr<const RenderedPatternSet> pattern_set;
   {
     // Shared lock: concurrent publishers (rare — one per committed
     // ingest) clone independently; SnapshotStore keeps the newest.
     ReaderMutexLock lock(kg_mutex_);
-    snap->version = kg_version_;
+    version = kg_version_;
     // O(1): shares every chunk with the live graph; later ingest
     // unshares only the chunks it touches (DESIGN.md §5.13).
-    snap->graph = graph_.Clone();
-    snap->stats = stats_;
+    graph = graph_.Clone();
+    stats = stats_;
     if (miner_ != nullptr) {
       uint64_t generation = miner_->generation();
       std::shared_ptr<const RenderedPatternSet> rendered =
@@ -763,15 +771,16 @@ void KgPipeline::PublishSnapshot() {
         rendered = std::move(fresh);
         rendered_patterns_.store(rendered, std::memory_order_release);
       }
-      snap->pattern_set = std::move(rendered);
+      pattern_set = std::move(rendered);
     }
   }
-  // Chunk byte caches make this O(chunks touched since the last
-  // accounting pass), so it can stay off the lock like before.
-  CowFootprint footprint = snap->graph.Footprint();
-  snap->approx_graph_bytes = footprint.total_bytes();
-  span.Attr("version", snap->version);
-  span.Attr("graph_bytes", snap->approx_graph_bytes);
+  // The constructor runs the footprint estimate off the lock (chunk
+  // byte caches make it O(chunks touched since the last pass)).
+  auto snap = std::make_shared<const KgSnapshot>(
+      version, std::move(graph), std::move(pattern_set), std::move(stats));
+  CowFootprint footprint = snap->graph().Footprint();
+  span.Attr("version", snap->version());
+  span.Attr("graph_bytes", snap->approx_graph_bytes());
   span.Attr("graph_private_bytes", footprint.private_bytes);
   snapshots_.Publish(std::move(snap));
 }

@@ -4,6 +4,23 @@
 
 namespace nous {
 
+KgSnapshot::KgSnapshot(uint64_t version, PropertyGraph graph,
+                       std::shared_ptr<const RenderedPatternSet> pattern_set,
+                       PipelineStats stats)
+    : version_(version),
+      graph_(std::move(graph)),
+      pattern_set_(std::move(pattern_set)),
+      stats_(std::move(stats)) {
+  // Chunk byte caches make this O(chunks touched since the last
+  // accounting pass); the producer constructs off the pipeline locks.
+  approx_graph_bytes_ = graph_.Footprint().total_bytes();
+}
+
+const std::vector<RenderedPattern>& KgSnapshot::patterns() const {
+  static const std::vector<RenderedPattern> kEmpty;
+  return pattern_set_ == nullptr ? kEmpty : pattern_set_->patterns;
+}
+
 void SnapshotStore::Publish(std::shared_ptr<const KgSnapshot> snapshot) {
   if (snapshot == nullptr) return;
   std::shared_ptr<const KgSnapshot> cur =
@@ -11,7 +28,7 @@ void SnapshotStore::Publish(std::shared_ptr<const KgSnapshot> snapshot) {
   // Install unless a racing publisher already holds an equal-or-newer
   // view. compare_exchange reloads `cur` on failure, so each retry
   // re-checks monotonicity against the latest winner.
-  while (cur == nullptr || snapshot->version > cur->version) {
+  while (cur == nullptr || snapshot->version() > cur->version()) {
     if (current_.compare_exchange_weak(cur, snapshot,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {

@@ -34,29 +34,58 @@ struct RenderedPatternSet {
   std::vector<RenderedPattern> patterns;
 };
 
-struct KgSnapshot {
-  uint64_t version = 0;
+/// Deeply immutable after construction: every accessor is const and
+/// returns `const&` / `shared_ptr<const ...>`, so holders of a
+/// snapshot — even through a non-const reference — cannot mutate the
+/// published state. The nous-snapshot-mutation clang-tidy check
+/// (tools/nous-tidy, DESIGN.md §5.14) enforces the residue the type
+/// system cannot: const_casts and non-const escapes of
+/// snapshot-reachable state.
+class KgSnapshot {
+ public:
+  /// Assembled by KgPipeline::PublishSnapshot, the only producer. The
+  /// graph footprint estimate is computed here, outside the pipeline
+  /// locks, so readers report bytes without re-walking chunks.
+  KgSnapshot(uint64_t version, PropertyGraph graph,
+             std::shared_ptr<const RenderedPatternSet> pattern_set,
+             PipelineStats stats);
+
+  KgSnapshot(const KgSnapshot&) = delete;
+  KgSnapshot& operator=(const KgSnapshot&) = delete;
+
+  /// The pipeline's monotonic KG version this snapshot was cut at.
+  uint64_t version() const { return version_; }
+
   /// O(1) copy-on-write clone of the fused KG (identical ids, slot
   /// layout, adjacency order): all chunks are shared with the live
   /// graph at publish time, and later ingest unshares only the chunks
   /// it touches (DESIGN.md §5.13).
-  PropertyGraph graph;
+  const PropertyGraph& graph() const { return graph_; }
+
   /// Rendered miner patterns; shared across snapshots while the miner
   /// generation is unchanged. Null when no patterns were ever rendered.
-  std::shared_ptr<const RenderedPatternSet> pattern_set;
-  /// Pipeline counters as of `version` (lock-free /api/stats).
-  PipelineStats stats;
-  /// Estimated heap bytes of `graph` at publish time (shared +
+  std::shared_ptr<const RenderedPatternSet> pattern_set() const {
+    return pattern_set_;
+  }
+
+  /// Pipeline counters as of version() (lock-free /api/stats).
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Estimated heap bytes of graph() at publish time (shared +
   /// private; see PropertyGraph::Footprint). The live shared/private
   /// split is sampled on demand by the ResourceSampler gauges
   /// nous_snapshot_graph_{shared,private}_bytes.
-  size_t approx_graph_bytes = 0;
+  size_t approx_graph_bytes() const { return approx_graph_bytes_; }
 
   /// Patterns for query execution (empty set when none rendered yet).
-  const std::vector<RenderedPattern>& patterns() const {
-    static const std::vector<RenderedPattern> kEmpty;
-    return pattern_set == nullptr ? kEmpty : pattern_set->patterns;
-  }
+  const std::vector<RenderedPattern>& patterns() const;
+
+ private:
+  uint64_t version_ = 0;
+  PropertyGraph graph_;
+  std::shared_ptr<const RenderedPatternSet> pattern_set_;
+  PipelineStats stats_;
+  size_t approx_graph_bytes_ = 0;
 };
 
 /// Holds the latest published snapshot behind an atomic shared_ptr
@@ -81,7 +110,7 @@ class SnapshotStore {
   /// Version of the latest published snapshot (0 before the first).
   uint64_t version() const {
     std::shared_ptr<const KgSnapshot> cur = Current();
-    return cur == nullptr ? 0 : cur->version;
+    return cur == nullptr ? 0 : cur->version();
   }
 
   /// Snapshots actually installed over the store's lifetime (losers of

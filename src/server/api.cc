@@ -128,7 +128,7 @@ HttpResponse NousApi::HandleQuery(const HttpRequest& request) {
   }
   HttpResponse response;
   if (snap != nullptr) {
-    response.body = AnswerJson(*answer, snap->graph);
+    response.body = AnswerJson(*answer, snap->graph());
   } else {
     // Locked fallback (snapshot publishing disabled): one shared-lock
     // span must cover the serialization too.
@@ -147,9 +147,9 @@ HttpResponse NousApi::HandleStats() {
   uint64_t kg_version = 0;
   std::shared_ptr<const KgSnapshot> snap = nous_->snapshot();
   if (snap != nullptr) {
-    stats = ComputeGraphStats(snap->graph);
-    ps = snap->stats;
-    kg_version = snap->version;
+    stats = ComputeGraphStats(snap->graph());
+    ps = snap->stats();
+    kg_version = snap->version();
   } else {
     ReaderMutexLock lock(nous_->kg_mutex());
     stats = ComputeGraphStats(nous_->graph());
@@ -183,12 +183,12 @@ HttpResponse NousApi::HandleStats() {
   w.Int(static_cast<long long>(
       nous_->pipeline().snapshot_store().publish_count()));
   w.Key("snapshot_graph_bytes");
-  w.Int(static_cast<long long>(snap != nullptr ? snap->approx_graph_bytes
+  w.Int(static_cast<long long>(snap != nullptr ? snap->approx_graph_bytes()
                                                : 0));
   // Live COW split: how much of the snapshot is shared with the live
   // graph vs retained privately (amplification = private / total).
   CowFootprint snap_fp;
-  if (snap != nullptr) snap_fp = snap->graph.Footprint();
+  if (snap != nullptr) snap_fp = snap->graph().Footprint();
   w.Key("snapshot_graph_shared_bytes");
   w.Int(static_cast<long long>(snap_fp.shared_bytes));
   w.Key("snapshot_graph_private_bytes");
@@ -260,8 +260,8 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
   }
   auto read_counts = [this](size_t* accepted, size_t* edges) {
     if (auto snap = nous_->snapshot()) {
-      *accepted = snap->stats.accepted_triples;
-      *edges = snap->graph.NumEdges();
+      *accepted = snap->stats().accepted_triples;
+      *edges = snap->graph().NumEdges();
       return;
     }
     ReaderMutexLock lock(nous_->kg_mutex());

@@ -24,16 +24,19 @@ VertexCorpus BuildVertexCorpus(const PropertyGraph& graph,
   return corpus;
 }
 
-LdaModel AssignVertexTopics(PropertyGraph* graph, const LdaConfig& config) {
-  VertexCorpus corpus = BuildVertexCorpus(*graph);
-  LdaModel model(config);
+VertexTopicAssignments FitVertexTopics(const PropertyGraph& graph,
+                                       const LdaConfig& config) {
+  VertexCorpus corpus = BuildVertexCorpus(graph);
+  VertexTopicAssignments out{LdaModel(config), {}, {}};
   if (!corpus.docs.empty() && corpus.vocab_size > 0) {
-    model.Fit(corpus.docs, corpus.vocab_size);
-    for (size_t d = 0; d < corpus.docs.size(); ++d) {
-      graph->SetVertexTopics(corpus.vertices[d], model.DocumentTopics(d));
+    out.model.Fit(corpus.docs, corpus.vocab_size);
+    out.vertices = std::move(corpus.vertices);
+    out.topics.reserve(out.vertices.size());
+    for (size_t d = 0; d < out.vertices.size(); ++d) {
+      out.topics.push_back(out.model.DocumentTopics(d));
     }
   }
-  return model;
+  return out;
 }
 
 }  // namespace nous

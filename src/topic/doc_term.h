@@ -23,10 +23,21 @@ struct VertexCorpus {
 VertexCorpus BuildVertexCorpus(const PropertyGraph& graph,
                                size_t max_repeat = 8);
 
-/// Fits LDA on the vertex corpus and writes each vertex's topic
-/// distribution back into the graph (SetVertexTopics). Returns the
-/// fitted model for later Infer calls on unseen entities.
-LdaModel AssignVertexTopics(PropertyGraph* graph, const LdaConfig& config);
+/// A fitted LDA model plus the per-vertex distributions it assigns.
+/// Pure output: applying `topics[i]` to `vertices[i]` (SetVertexTopics)
+/// is the caller's job — KG mutation stays inside the pipeline /
+/// durability / graph funnel (nous-layering, DESIGN.md §5.14), so
+/// src/topic never writes to a graph.
+struct VertexTopicAssignments {
+  LdaModel model;
+  std::vector<VertexId> vertices;
+  std::vector<std::vector<double>> topics;  // topics[i] for vertices[i]
+};
+
+/// Fits LDA on the vertex corpus and returns the model together with
+/// each corpus vertex's topic distribution. Does not touch `graph`.
+VertexTopicAssignments FitVertexTopics(const PropertyGraph& graph,
+                                       const LdaConfig& config);
 
 }  // namespace nous
 

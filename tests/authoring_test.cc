@@ -21,6 +21,7 @@
 #include "text/lexicon.h"
 #include "text/ner.h"
 #include "text/openie.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -127,7 +128,7 @@ TEST(DeterminismTest, IdenticalRunsProduceIdenticalGraphs) {
     options.pipeline.lda.iterations = 10;
     options.pipeline.bpr.epochs = 3;
     Nous nous(&kb, options);
-    for (const Article& a : articles) nous.Ingest(a);
+    for (const Article& a : articles) NOUS_CHECK_OK(nous.Ingest(a));
     nous.Finalize();
     std::multiset<std::string> edges;
     const PropertyGraph& g = nous.graph();

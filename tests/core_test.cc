@@ -10,6 +10,7 @@
 #include "corpus/world_model.h"
 #include "graph/graph_io.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -66,7 +67,7 @@ TEST_F(NousFixture, CuratedKbLoadedAtConstruction) {
 TEST_F(NousFixture, StreamIngestionGrowsFusedKg) {
   Nous nous(&kb_, FastOptions());
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
 
   GraphStats stats = nous.ComputeStats();
   EXPECT_GT(stats.extracted_edges, 20u);
@@ -90,7 +91,7 @@ TEST_F(NousFixture, GoldFactRecoveryOnCleanCorpus) {
   size_t gold_total = 0;
   for (const Article& a : articles) gold_total += a.gold.size();
   DocumentStream stream(articles);
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
 
   // A gold fact counts as recovered if the fused KG has an edge
   // (subject, predicate, object) under the canonical names.
@@ -113,7 +114,7 @@ TEST_F(NousFixture, GoldFactRecoveryOnCleanCorpus) {
 TEST_F(NousFixture, EntityQueryAfterIngestion) {
   Nous nous(&kb_, FastOptions());
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   auto answer = nous.Ask("tell me about DJI");
   ASSERT_TRUE(answer.ok());
   EXPECT_FALSE(answer->facts.empty());
@@ -130,7 +131,7 @@ TEST_F(NousFixture, EntityQueryAfterIngestion) {
 TEST_F(NousFixture, TrendingAndPatternQueriesWork) {
   Nous nous(&kb_, FastOptions());
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   auto trending = nous.Ask("what is trending");
   ASSERT_TRUE(trending.ok());
   EXPECT_FALSE(trending->hot_entities.empty());
@@ -141,7 +142,7 @@ TEST_F(NousFixture, TrendingAndPatternQueriesWork) {
 TEST_F(NousFixture, RelationshipAnswerSpansMultipleSources) {
   Nous nous(&kb_, FastOptions());
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   // Find any pair connected by a 2-hop path; ask for an explanation.
   const PropertyGraph& g = nous.graph();
   VertexId origin = kInvalidVertex;
@@ -170,7 +171,7 @@ TEST_F(NousFixture, RelationshipAnswerSpansMultipleSources) {
 TEST_F(NousFixture, FinalizeAssignsTopics) {
   Nous nous(&kb_, FastOptions());
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);  // finalizes
+  NOUS_CHECK_OK(nous.IngestStream(&stream));  // finalizes
   auto dji = nous.graph().FindVertex("DJI");
   ASSERT_TRUE(dji.has_value());
   EXPECT_EQ(nous.graph().VertexTopics(*dji).size(),
@@ -183,7 +184,7 @@ TEST_F(NousFixture, MinerDiscoversWindowPatterns) {
   options.pipeline.miner.use_vertex_types = true;
   Nous nous(&kb_, options);
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   ASSERT_NE(nous.miner(), nullptr);
   EXPECT_GT(nous.miner()->num_tracked_patterns(), 0u);
   EXPECT_FALSE(nous.miner()->FrequentPatterns().empty());
@@ -194,7 +195,7 @@ TEST_F(NousFixture, MiningCanBeDisabled) {
   options.pipeline.enable_mining = false;
   Nous nous(&kb_, options);
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   EXPECT_EQ(nous.miner(), nullptr);
   auto patterns = nous.Ask("show patterns");
   ASSERT_TRUE(patterns.ok());
@@ -204,10 +205,10 @@ TEST_F(NousFixture, MiningCanBeDisabled) {
 TEST_F(NousFixture, DedupStrengthensRepeatedFacts) {
   Nous nous(&kb_, FastOptions());
   Date d{2014, 3, 5};
-  nous.IngestText("DJI acquired SkyWard Labs.", d, "wsj");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired SkyWard Labs.", d, "wsj"));
   const PipelineStats& s1 = nous.stats();
   size_t accepted_before = s1.accepted_triples;
-  nous.IngestText("DJI acquired SkyWard Labs.", d, "technews");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired SkyWard Labs.", d, "technews"));
   EXPECT_EQ(nous.stats().accepted_triples, accepted_before);
   EXPECT_GE(nous.stats().deduped_triples, 1u);
 }
@@ -216,7 +217,7 @@ TEST_F(NousFixture, LowConfidenceExtractionRejected) {
   Nous::Options options = FastOptions();
   options.pipeline.min_accept_confidence = 0.99;  // nothing passes
   Nous nous(&kb_, options);
-  nous.IngestText("DJI acquired SkyWard Labs.", Date{2014, 3, 5}, "wsj");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired SkyWard Labs.", Date{2014, 3, 5}, "wsj"));
   EXPECT_EQ(nous.stats().accepted_triples, 0u);
   EXPECT_GT(nous.stats().dropped_low_confidence, 0u);
 }
@@ -224,7 +225,7 @@ TEST_F(NousFixture, LowConfidenceExtractionRejected) {
 TEST_F(NousFixture, UnmappedRelationsKeptAsRawPredicates) {
   Nous nous(&kb_, FastOptions());
   // "tested" maps to no ontology predicate (seeded phrases only).
-  nous.IngestText("DJI tested Phantom 3.", Date{2014, 3, 5}, "wsj");
+  NOUS_CHECK_OK(nous.IngestText("DJI tested Phantom 3.", Date{2014, 3, 5}, "wsj"));
   EXPECT_GE(nous.stats().unmapped_kept, 1u);
   EXPECT_TRUE(
       nous.graph().predicates().Lookup("raw:test").has_value());
@@ -248,8 +249,8 @@ TEST_F(NousFixture, DistantSupervisionAlignsAgainstCuratedFacts) {
   double before =
       nous.pipeline().mapper().EvidenceWeight("headquarteredIn",
                                               "operate_in");
-  nous.IngestText(company + " operates in " + city + ".",
-                  Date{2014, 1, 1}, "wsj");
+  NOUS_CHECK_OK(nous.IngestText(company + " operates in " + city + ".",
+                  Date{2014, 1, 1}, "wsj"));
   double after =
       nous.pipeline().mapper().EvidenceWeight("headquarteredIn",
                                               "operate_in");
@@ -260,13 +261,13 @@ TEST_F(NousFixture, DistantSupervisionAlignsAgainstCuratedFacts) {
 TEST_F(NousFixture, NegationRetractsExistingFact) {
   Nous nous(&kb_, FastOptions());
   Date d{2014, 3, 5};
-  nous.IngestText("DJI acquired Talon Works.", d, "wsj");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", d, "wsj"));
   double before = -1;
   nous.graph().ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
     if (!rec.meta.curated) before = rec.meta.confidence;
   });
   ASSERT_GT(before, 0);
-  nous.IngestText("DJI never acquired Talon Works.", d, "technews");
+  NOUS_CHECK_OK(nous.IngestText("DJI never acquired Talon Works.", d, "technews"));
   double after = -1;
   nous.graph().ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
     if (!rec.meta.curated) after = rec.meta.confidence;
@@ -279,16 +280,16 @@ TEST_F(NousFixture, NegationRetractsExistingFact) {
 
 TEST_F(NousFixture, NegationOfUnknownFactAddsNothing) {
   Nous nous(&kb_, FastOptions());
-  nous.IngestText("DJI never acquired Talon Works.", Date{2014, 1, 1},
-                  "wsj");
+  NOUS_CHECK_OK(nous.IngestText("DJI never acquired Talon Works.", Date{2014, 1, 1},
+                  "wsj"));
   EXPECT_EQ(nous.stats().accepted_triples, 0u);
   EXPECT_EQ(nous.stats().retractions, 0u);
 }
 
 TEST_F(NousFixture, SinceFilterRestrictsEntityAnswer) {
   Nous nous(&kb_, FastOptions());
-  nous.IngestText("DJI acquired Talon Works.", Date{2012, 3, 5}, "wsj");
-  nous.IngestText("DJI bought Windermere.", Date{2015, 6, 1}, "wsj");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", Date{2012, 3, 5}, "wsj"));
+  NOUS_CHECK_OK(nous.IngestText("DJI bought Windermere.", Date{2015, 6, 1}, "wsj"));
   auto all = nous.Ask("tell me about DJI");
   ASSERT_TRUE(all.ok());
   auto recent = nous.Ask("tell me about DJI since 2014");
@@ -302,7 +303,7 @@ TEST_F(NousFixture, SinceFilterRestrictsEntityAnswer) {
 TEST_F(NousFixture, SaveLoadQueryEquivalence) {
   Nous nous(&kb_, FastOptions());
   DocumentStream stream(MakeArticles());
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   std::string path = testing::TempDir() + "/nous_core_roundtrip.txt";
   ASSERT_TRUE(SaveGraphToFile(nous.graph(), path).ok());
   auto loaded = LoadGraphFromFile(path);
@@ -338,7 +339,7 @@ TEST_F(NousFixture, OtherDomainWorldsIngest) {
   cc.pronoun_rate = 0;
   auto articles = ArticleGenerator(&citations, cc).GenerateArticles();
   DocumentStream stream(articles);
-  nous.IngestStream(&stream);
+  NOUS_CHECK_OK(nous.IngestStream(&stream));
   EXPECT_GT(nous.stats().accepted_triples, 0u);
 }
 

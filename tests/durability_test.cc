@@ -900,7 +900,7 @@ TEST_F(DurabilityPipelineFixture, KgVersionSurvivesCrashRecovery) {
     ASSERT_TRUE(reference.IngestBatch(batch).ok());
   }
   ASSERT_NE(reference.snapshot(), nullptr);
-  const uint64_t reference_version = reference.snapshot()->version;
+  const uint64_t reference_version = reference.snapshot()->version();
   EXPECT_EQ(reference_version, 1u + batches.size());
 
   {
@@ -925,13 +925,13 @@ TEST_F(DurabilityPipelineFixture, KgVersionSurvivesCrashRecovery) {
   // the version the uncrashed instance reached, so version-keyed query
   // caches stay coherent across a crash.
   ASSERT_NE(recovered.snapshot(), nullptr);
-  EXPECT_EQ(recovered.snapshot()->version, reference_version);
+  EXPECT_EQ(recovered.snapshot()->version(), reference_version);
 
   // And the counter keeps advancing from there, not from a stale base.
   auto more = MakeBatches(articles, 5);
   if (more.size() > 4) {
     ASSERT_TRUE(recovered.IngestBatch(more[4]).ok());
-    EXPECT_EQ(recovered.snapshot()->version, reference_version + 1);
+    EXPECT_EQ(recovered.snapshot()->version(), reference_version + 1);
   }
 }
 

@@ -17,6 +17,7 @@
 #include "corpus/document_stream.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -102,7 +103,7 @@ TEST_F(ParallelPipelineFixture, BatchIngestAtEightThreadsMatchesSerial) {
 
   // Serial reference: one article at a time on one thread.
   Nous serial(&kb_, FastOptions(1));
-  for (const Article& a : articles) serial.Ingest(a);
+  for (const Article& a : articles) NOUS_CHECK_OK(serial.Ingest(a));
   serial.Finalize();
 
   // Batched ingest across 8 extraction threads.
@@ -133,11 +134,11 @@ TEST_F(ParallelPipelineFixture, IngestStreamBatchingMatchesSerial) {
   auto articles = MakeArticles();
 
   Nous serial(&kb_, FastOptions(1));
-  for (const Article& a : articles) serial.Ingest(a);
+  for (const Article& a : articles) NOUS_CHECK_OK(serial.Ingest(a));
 
   Nous streamed(&kb_, FastOptions(4));
   DocumentStream stream(articles);
-  streamed.IngestStream(&stream, /*finalize=*/false);
+  NOUS_CHECK_OK(streamed.IngestStream(&stream, /*finalize=*/false));
 
   EXPECT_EQ(serial.graph().NumVertices(), streamed.graph().NumVertices());
   EXPECT_EQ(serial.graph().NumEdges(), streamed.graph().NumEdges());
@@ -177,7 +178,7 @@ TEST_F(ParallelPipelineFixture, QueriesRunSafelyDuringIngest) {
 
   // After the writer finishes, the KG matches a serial build.
   Nous reference(&kb_, FastOptions(1));
-  for (const Article& a : articles) reference.Ingest(a);
+  for (const Article& a : articles) NOUS_CHECK_OK(reference.Ingest(a));
   EXPECT_EQ(reference.graph().NumEdges(), nous.graph().NumEdges());
 }
 

@@ -12,6 +12,7 @@
 #include "corpus/article_generator.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -53,7 +54,7 @@ TEST_P(PipelineParamTest, InvariantsHoldUnderSweep) {
   options.pipeline.lda.iterations = 5;
   options.pipeline.bpr.epochs = 2;
   Nous nous(&kb, options);
-  for (const Article& a : articles) nous.Ingest(a);
+  for (const Article& a : articles) NOUS_CHECK_OK(nous.Ingest(a));
   nous.Finalize();
 
   const PropertyGraph& g = nous.graph();
@@ -105,7 +106,7 @@ TEST_P(PipelineParamTest, RecallDegradesGracefullyWithNoise) {
   options.pipeline.lda.iterations = 3;
   options.pipeline.bpr.epochs = 1;
   Nous nous(&kb, options);
-  for (const Article& a : articles) nous.Ingest(a);
+  for (const Article& a : articles) NOUS_CHECK_OK(nous.Ingest(a));
 
   size_t gold_total = 0, recovered = 0;
   const PropertyGraph& g = nous.graph();

@@ -13,6 +13,7 @@
 #include "text/openie.h"
 #include "text/sentence_splitter.h"
 #include "text/tokenizer.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -57,7 +58,7 @@ TEST_F(RobustnessFixture, PipelineSurvivesGarbageText) {
       "acquired SkyWard Labs",  // missing subject
   };
   for (const char* text : kGarbage) {
-    nous.IngestText(text, Date{2014, 1, 1}, "fuzz");
+    NOUS_CHECK_OK(nous.IngestText(text, Date{2014, 1, 1}, "fuzz"));
   }
   nous.Finalize();
   auto answer = nous.Ask("tell me about DJI");
@@ -69,7 +70,7 @@ TEST_F(RobustnessFixture, VeryLongSentence) {
   std::string text = "DJI acquired";
   for (int i = 0; i < 2000; ++i) text += " very";
   text += " SkyWard Labs.";
-  nous.IngestText(text, Date{2014, 1, 1}, "fuzz");
+  NOUS_CHECK_OK(nous.IngestText(text, Date{2014, 1, 1}, "fuzz"));
   SUCCEED();  // no crash, no hang
 }
 
@@ -80,7 +81,7 @@ TEST_F(RobustnessFixture, ManyEntitiesOneSentence) {
     text += "Alpha" + std::to_string(i) + " Corp acquired Beta" +
             std::to_string(i) + " Inc. ";
   }
-  nous.IngestText(text, Date{2014, 1, 1}, "fuzz");
+  NOUS_CHECK_OK(nous.IngestText(text, Date{2014, 1, 1}, "fuzz"));
   EXPECT_GT(nous.stats().accepted_triples, 50u);
 }
 
@@ -118,8 +119,8 @@ TEST_F(RobustnessFixture, QueryParserFuzz) {
 TEST_F(RobustnessFixture, EntityNamesThatLookLikeCommands) {
   Nous nous(&kb_, FastOptions());
   // Entity whose label collides with query phrasing.
-  nous.IngestText("Show Patterns Inc acquired Trending Corp.",
-                  Date{2014, 1, 1}, "fuzz");
+  NOUS_CHECK_OK(nous.IngestText("Show Patterns Inc acquired Trending Corp.",
+                  Date{2014, 1, 1}, "fuzz"));
   auto answer = nous.Ask("tell me about Show Patterns Inc");
   ASSERT_TRUE(answer.ok());
   EXPECT_FALSE(answer->facts.empty());
@@ -127,10 +128,10 @@ TEST_F(RobustnessFixture, EntityNamesThatLookLikeCommands) {
 
 TEST_F(RobustnessFixture, RepeatFinalizeIsStable) {
   Nous nous(&kb_, FastOptions());
-  nous.IngestText("DJI acquired SkyWard Labs.", Date{2014, 1, 1}, "a");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired SkyWard Labs.", Date{2014, 1, 1}, "a"));
   nous.Finalize();
   nous.Finalize();
-  nous.IngestText("DJI bought Parrot.", Date{2014, 2, 1}, "a");
+  NOUS_CHECK_OK(nous.IngestText("DJI bought Parrot.", Date{2014, 2, 1}, "a"));
   nous.Finalize();
   auto answer = nous.Ask("tell me about DJI");
   EXPECT_TRUE(answer.ok());

@@ -20,6 +20,7 @@
 #include "server/api.h"
 #include "server/http_server.h"
 #include "server/json_writer.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -142,8 +143,8 @@ class ServerFixture : public ::testing::Test {
         nous_(&kb_, FastOptions()),
         api_(&nous_),
         server_([this](const HttpRequest& r) { return api_.Handle(r); }) {
-    nous_.IngestText("DJI acquired Talon Works.", Date{2014, 3, 5},
-                     "wsj");
+    NOUS_CHECK_OK(nous_.IngestText("DJI acquired Talon Works.", Date{2014, 3, 5},
+                     "wsj"));
     nous_.Finalize();
     Status status = server_.Start(0);  // ephemeral port
     EXPECT_TRUE(status.ok()) << status;

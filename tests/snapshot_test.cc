@@ -21,6 +21,7 @@
 #include "qa/query.h"
 #include "qa/query_cache.h"
 #include "qa/query_engine.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -54,15 +55,15 @@ class SnapshotTest : public ::testing::Test {
   static std::string BusyEntity(const KgSnapshot& snap) {
     VertexId best = 0;
     size_t best_degree = 0;
-    for (VertexId v = 0; v < snap.graph.NumVertices(); ++v) {
-      size_t degree = snap.graph.OutDegree(v) + snap.graph.InDegree(v);
+    for (VertexId v = 0; v < snap.graph().NumVertices(); ++v) {
+      size_t degree = snap.graph().OutDegree(v) + snap.graph().InDegree(v);
       if (degree > best_degree) {
         best = v;
         best_degree = degree;
       }
     }
     EXPECT_GT(best_degree, 0u);
-    return snap.graph.VertexLabel(best);
+    return snap.graph().VertexLabel(best);
   }
 
   WorldModel world_;
@@ -75,38 +76,38 @@ TEST_F(SnapshotTest, PublishedAtConstruction) {
   std::shared_ptr<const KgSnapshot> snap = nous.snapshot();
   ASSERT_NE(snap, nullptr);
   // Version 1 = the curated bootstrap commit.
-  EXPECT_EQ(snap->version, 1u);
-  EXPECT_GT(snap->graph.NumVertices(), 0u);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_GT(snap->graph().NumVertices(), 0u);
 }
 
 TEST_F(SnapshotTest, VersionBumpsPerMutatingCall) {
   Nous nous(&kb_);
-  EXPECT_EQ(nous.snapshot()->version, 1u);
-  nous.Ingest(articles_[0]);
-  EXPECT_EQ(nous.snapshot()->version, 2u);
+  EXPECT_EQ(nous.snapshot()->version(), 1u);
+  NOUS_CHECK_OK(nous.Ingest(articles_[0]));
+  EXPECT_EQ(nous.snapshot()->version(), 2u);
   // One bump per batch call (the WAL commit unit), not per article.
-  nous.IngestBatch({articles_[1], articles_[2], articles_[3]});
-  EXPECT_EQ(nous.snapshot()->version, 3u);
+  NOUS_CHECK_OK(nous.IngestBatch({articles_[1], articles_[2], articles_[3]}));
+  EXPECT_EQ(nous.snapshot()->version(), 3u);
   nous.Finalize();
-  EXPECT_EQ(nous.snapshot()->version, 4u);
+  EXPECT_EQ(nous.snapshot()->version(), 4u);
 }
 
 TEST_F(SnapshotTest, SnapshotsAreIsolatedFromLaterIngest) {
   Nous nous(&kb_);
-  nous.Ingest(articles_[0]);
+  NOUS_CHECK_OK(nous.Ingest(articles_[0]));
   std::shared_ptr<const KgSnapshot> before = nous.snapshot();
-  size_t edges_before = before->graph.NumEdges();
-  size_t vertices_before = before->graph.NumVertices();
+  size_t edges_before = before->graph().NumEdges();
+  size_t vertices_before = before->graph().NumVertices();
   for (size_t i = 1; i < articles_.size(); ++i) {
-    nous.Ingest(articles_[i]);
+    NOUS_CHECK_OK(nous.Ingest(articles_[i]));
   }
   // The held snapshot did not move.
-  EXPECT_EQ(before->graph.NumEdges(), edges_before);
-  EXPECT_EQ(before->graph.NumVertices(), vertices_before);
+  EXPECT_EQ(before->graph().NumEdges(), edges_before);
+  EXPECT_EQ(before->graph().NumVertices(), vertices_before);
   // The latest one did.
   std::shared_ptr<const KgSnapshot> after = nous.snapshot();
-  EXPECT_GT(after->version, before->version);
-  EXPECT_GT(after->graph.NumEdges(), edges_before);
+  EXPECT_GT(after->version(), before->version());
+  EXPECT_GT(after->graph().NumEdges(), edges_before);
 }
 
 TEST_F(SnapshotTest, SnapshotAnswersMatchLockedAnswers) {
@@ -120,8 +121,8 @@ TEST_F(SnapshotTest, SnapshotAnswersMatchLockedAnswers) {
   locked_options.pipeline.publish_snapshots = false;
   Nous locked_nous(&kb_, locked_options);
   for (const Article& a : articles_) {
-    snapshot_nous.Ingest(a);
-    locked_nous.Ingest(a);
+    NOUS_CHECK_OK(snapshot_nous.Ingest(a));
+    NOUS_CHECK_OK(locked_nous.Ingest(a));
   }
   std::shared_ptr<const KgSnapshot> snap = snapshot_nous.snapshot();
   ASSERT_NE(snap, nullptr);
@@ -136,7 +137,7 @@ TEST_F(SnapshotTest, SnapshotAnswersMatchLockedAnswers) {
     auto from_locked = locked_nous.Ask(question, &out);
     ASSERT_EQ(from_snapshot.ok(), from_locked.ok()) << question;
     if (!from_snapshot.ok()) continue;
-    EXPECT_EQ(from_snapshot->Render(snap->graph),
+    EXPECT_EQ(from_snapshot->Render(snap->graph()),
               [&] {
                 ReaderMutexLock lock(locked_nous.kg_mutex());
                 return from_locked->Render(locked_nous.graph());
@@ -149,9 +150,10 @@ TEST_F(SnapshotTest, LockedFallbackReportsNullSnapshot) {
   Nous::Options options;
   options.pipeline.publish_snapshots = false;
   Nous nous(&kb_, options);
-  for (size_t i = 0; i < 8; ++i) nous.Ingest(articles_[i]);
-  std::shared_ptr<const KgSnapshot> out =
-      std::make_shared<KgSnapshot>();
+  for (size_t i = 0; i < 8; ++i) NOUS_CHECK_OK(nous.Ingest(articles_[i]));
+  // Non-null sentinel (an empty snapshot) so the nulling is observable.
+  std::shared_ptr<const KgSnapshot> out = std::make_shared<const KgSnapshot>(
+      0, PropertyGraph{}, nullptr, PipelineStats{});
   auto answer = nous.Ask("what is trending", &out);
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(out, nullptr);
@@ -159,7 +161,7 @@ TEST_F(SnapshotTest, LockedFallbackReportsNullSnapshot) {
 
 TEST_F(SnapshotTest, CacheHitsOnRepeatAndCountsStats) {
   Nous nous(&kb_);
-  for (const Article& a : articles_) nous.Ingest(a);
+  for (const Article& a : articles_) NOUS_CHECK_OK(nous.Ingest(a));
   ASSERT_NE(nous.query_cache(), nullptr);
   std::string question =
       "tell me about " + BusyEntity(*nous.snapshot());
@@ -173,7 +175,7 @@ TEST_F(SnapshotTest, CacheHitsOnRepeatAndCountsStats) {
   QueryCache::Stats after_second = nous.query_cache()->stats();
   EXPECT_EQ(after_second.hits, 1u);
   EXPECT_EQ(after_second.misses, 1u);
-  const PropertyGraph& graph = nous.snapshot()->graph;
+  const PropertyGraph& graph = nous.snapshot()->graph();
   EXPECT_EQ(first->Render(graph), second->Render(graph));
 }
 
@@ -188,23 +190,23 @@ TEST_F(SnapshotTest, IngestInvalidatesCachedAnswers) {
   Nous reference(&kb_, no_cache);
   size_t half = articles_.size() / 2;
   for (size_t i = 0; i < half; ++i) {
-    cached_nous.Ingest(articles_[i]);
-    reference.Ingest(articles_[i]);
+    NOUS_CHECK_OK(cached_nous.Ingest(articles_[i]));
+    NOUS_CHECK_OK(reference.Ingest(articles_[i]));
   }
   std::string question =
       "tell me about " + BusyEntity(*reference.snapshot());
   auto stale = cached_nous.Ask(question);
   ASSERT_TRUE(stale.ok());
   for (size_t i = half; i < articles_.size(); ++i) {
-    cached_nous.Ingest(articles_[i]);
-    reference.Ingest(articles_[i]);
+    NOUS_CHECK_OK(cached_nous.Ingest(articles_[i]));
+    NOUS_CHECK_OK(reference.Ingest(articles_[i]));
   }
   auto fresh = cached_nous.Ask(question);
   auto expected = reference.Ask(question);
   ASSERT_TRUE(fresh.ok());
   ASSERT_TRUE(expected.ok());
-  EXPECT_EQ(fresh->Render(cached_nous.snapshot()->graph),
-            expected->Render(reference.snapshot()->graph));
+  EXPECT_EQ(fresh->Render(cached_nous.snapshot()->graph()),
+            expected->Render(reference.snapshot()->graph()));
   // And the second ask was a re-execution, not a hit.
   QueryCache::Stats stats = cached_nous.query_cache()->stats();
   EXPECT_EQ(stats.hits, 0u);
@@ -215,13 +217,13 @@ TEST_F(SnapshotTest, CacheEvictsLeastRecentlyUsed) {
   Nous::Options options;
   options.query_cache.entries = 2;
   Nous nous(&kb_, options);
-  for (const Article& a : articles_) nous.Ingest(a);
+  for (const Article& a : articles_) NOUS_CHECK_OK(nous.Ingest(a));
   std::shared_ptr<const KgSnapshot> snap = nous.snapshot();
   std::vector<std::string> labels;
   for (VertexId v = 0;
-       v < snap->graph.NumVertices() && labels.size() < 3; ++v) {
-    if (snap->graph.OutDegree(v) + snap->graph.InDegree(v) > 0) {
-      labels.push_back(snap->graph.VertexLabel(v));
+       v < snap->graph().NumVertices() && labels.size() < 3; ++v) {
+    if (snap->graph().OutDegree(v) + snap->graph().InDegree(v) > 0) {
+      labels.push_back(snap->graph().VertexLabel(v));
     }
   }
   ASSERT_EQ(labels.size(), 3u);
@@ -244,7 +246,7 @@ TEST_F(SnapshotTest, CacheCanBeDisabled) {
   options.query_cache.enabled = false;
   Nous nous(&kb_, options);
   EXPECT_EQ(nous.query_cache(), nullptr);
-  for (size_t i = 0; i < 4; ++i) nous.Ingest(articles_[i]);
+  for (size_t i = 0; i < 4; ++i) NOUS_CHECK_OK(nous.Ingest(articles_[i]));
   EXPECT_TRUE(nous.Ask("what is trending").ok());
 }
 
@@ -257,23 +259,23 @@ TEST_F(SnapshotTest, ZeroEntriesDisablesCache) {
 
 TEST_F(SnapshotTest, VersionSurvivesSaveLoadState) {
   Nous nous(&kb_);
-  for (size_t i = 0; i < 5; ++i) nous.Ingest(articles_[i]);
-  uint64_t version = nous.snapshot()->version;
+  for (size_t i = 0; i < 5; ++i) NOUS_CHECK_OK(nous.Ingest(articles_[i]));
+  uint64_t version = nous.snapshot()->version();
   ASSERT_EQ(version, 6u);
   std::string state = nous.pipeline().SaveState();
 
   Nous restored(&kb_);
   ASSERT_TRUE(restored.pipeline().LoadState(state).ok());
   ASSERT_NE(restored.snapshot(), nullptr);
-  EXPECT_EQ(restored.snapshot()->version, version);
+  EXPECT_EQ(restored.snapshot()->version(), version);
   // And the restored instance keeps counting from there.
-  restored.Ingest(articles_[5]);
-  EXPECT_EQ(restored.snapshot()->version, version + 1);
+  NOUS_CHECK_OK(restored.Ingest(articles_[5]));
+  EXPECT_EQ(restored.snapshot()->version(), version + 1);
 }
 
 TEST_F(SnapshotTest, PatternSetIsSharedWhileMinerUnchanged) {
   Nous nous(&kb_);
-  for (size_t i = 0; i < 6; ++i) nous.Ingest(articles_[i]);
+  for (size_t i = 0; i < 6; ++i) NOUS_CHECK_OK(nous.Ingest(articles_[i]));
   std::shared_ptr<const KgSnapshot> before = nous.snapshot();
   ASSERT_NE(before, nullptr);
   // Finalize rescores edges and re-publishes, but feeds no new window
@@ -282,14 +284,14 @@ TEST_F(SnapshotTest, PatternSetIsSharedWhileMinerUnchanged) {
   nous.Finalize();
   std::shared_ptr<const KgSnapshot> after = nous.snapshot();
   ASSERT_NE(after, nullptr);
-  EXPECT_GT(after->version, before->version);
-  EXPECT_EQ(after->pattern_set, before->pattern_set)
+  EXPECT_GT(after->version(), before->version());
+  EXPECT_EQ(after->pattern_set(), before->pattern_set())
       << "publish with an unchanged miner generation re-rendered patterns";
   // New stream edges advance the miner; the next publish re-renders.
-  nous.Ingest(articles_[6]);
+  NOUS_CHECK_OK(nous.Ingest(articles_[6]));
   std::shared_ptr<const KgSnapshot> advanced = nous.snapshot();
   ASSERT_NE(advanced, nullptr);
-  EXPECT_NE(advanced->pattern_set, before->pattern_set);
+  EXPECT_NE(advanced->pattern_set(), before->pattern_set());
   // Whatever the pointer identity, patterns() is always callable.
   (void)advanced->patterns();
 }
@@ -302,13 +304,13 @@ TEST_F(SnapshotTest, PatternSetIsSharedWhileMinerUnchanged) {
 TEST_F(SnapshotTest, OldSnapshotsStayStableAcrossManyPublishes) {
   Nous nous(&kb_);
   size_t warm = articles_.size() / 4;
-  for (size_t i = 0; i < warm; ++i) nous.Ingest(articles_[i]);
+  for (size_t i = 0; i < warm; ++i) NOUS_CHECK_OK(nous.Ingest(articles_[i]));
 
   std::shared_ptr<const KgSnapshot> old_snap = nous.snapshot();
   ASSERT_NE(old_snap, nullptr);
-  size_t old_edges = old_snap->graph.NumEdges();
-  size_t old_vertices = old_snap->graph.NumVertices();
-  Timestamp old_max_ts = old_snap->graph.MaxEdgeTimestamp();
+  size_t old_edges = old_snap->graph().NumEdges();
+  size_t old_vertices = old_snap->graph().NumVertices();
+  Timestamp old_max_ts = old_snap->graph().MaxEdgeTimestamp();
 
   std::atomic<size_t> failures{0};
   constexpr size_t kReaders = 3;
@@ -319,19 +321,19 @@ TEST_F(SnapshotTest, OldSnapshotsStayStableAcrossManyPublishes) {
       while (!stop.load(std::memory_order_acquire)) {
         // Walk the old snapshot's adjacency and derived indexes.
         size_t degree_sum = 0;
-        for (VertexId v = 0; v < old_snap->graph.NumVertices(); ++v) {
-          degree_sum += old_snap->graph.OutDegree(v);
+        for (VertexId v = 0; v < old_snap->graph().NumVertices(); ++v) {
+          degree_sum += old_snap->graph().OutDegree(v);
         }
-        if (old_snap->graph.NumEdges() != old_edges ||
-            old_snap->graph.NumVertices() != old_vertices ||
-            old_snap->graph.MaxEdgeTimestamp() != old_max_ts ||
+        if (old_snap->graph().NumEdges() != old_edges ||
+            old_snap->graph().NumVertices() != old_vertices ||
+            old_snap->graph().MaxEdgeTimestamp() != old_max_ts ||
             degree_sum == 0) {
           ++failures;
         }
         // Byte accounting on an immutable snapshot is also lock-free
         // and runs concurrently with publishes (the ResourceSampler
         // path).
-        (void)old_snap->graph.Footprint();
+        (void)old_snap->graph().Footprint();
       }
     });
   }
@@ -339,16 +341,16 @@ TEST_F(SnapshotTest, OldSnapshotsStayStableAcrossManyPublishes) {
   // Writer: one publish per ingest, each unsharing chunks the readers
   // are traversing.
   for (size_t i = warm; i < articles_.size(); ++i) {
-    nous.Ingest(articles_[i]);
+    NOUS_CHECK_OK(nous.Ingest(articles_[i]));
   }
   nous.Finalize();
   stop.store(true, std::memory_order_release);
   for (std::thread& r : readers) r.join();
 
   EXPECT_EQ(failures.load(), 0u);
-  EXPECT_GT(nous.snapshot()->version, old_snap->version);
+  EXPECT_GT(nous.snapshot()->version(), old_snap->version());
   // The old snapshot still serializes a consistent graph.
-  EXPECT_EQ(old_snap->graph.NumEdges(), old_edges);
+  EXPECT_EQ(old_snap->graph().NumEdges(), old_edges);
 }
 
 // The TSan target: queries must run lock-free against published
@@ -359,7 +361,7 @@ TEST_F(SnapshotTest, OldSnapshotsStayStableAcrossManyPublishes) {
 TEST_F(SnapshotTest, ConcurrentQueriesAreConsistentWithTheirSnapshot) {
   Nous nous(&kb_);
   size_t warm = articles_.size() / 4;
-  for (size_t i = 0; i < warm; ++i) nous.Ingest(articles_[i]);
+  for (size_t i = 0; i < warm; ++i) NOUS_CHECK_OK(nous.Ingest(articles_[i]));
   std::string entity = BusyEntity(*nous.snapshot());
 
   std::atomic<bool> stop{false};
@@ -367,7 +369,7 @@ TEST_F(SnapshotTest, ConcurrentQueriesAreConsistentWithTheirSnapshot) {
     for (size_t i = warm;
          i < articles_.size() && !stop.load(std::memory_order_relaxed);
          ++i) {
-      nous.Ingest(articles_[i]);
+      NOUS_CHECK_OK(nous.Ingest(articles_[i]));
     }
   });
 
@@ -389,8 +391,8 @@ TEST_F(SnapshotTest, ConcurrentQueriesAreConsistentWithTheirSnapshot) {
           continue;
         }
         // Versions never go backwards within a thread.
-        if (snap->version < last_version) ++failures;
-        last_version = snap->version;
+        if (snap->version() < last_version) ++failures;
+        last_version = snap->version();
         // The answer must equal a recomputation on the very snapshot
         // it was served from (catches stale cache entries too).
         auto parsed = ParseQuery(question);
@@ -398,12 +400,12 @@ TEST_F(SnapshotTest, ConcurrentQueriesAreConsistentWithTheirSnapshot) {
           ++failures;
           continue;
         }
-        QueryEngine engine(&snap->graph, snap->patterns(),
+        QueryEngine engine(&snap->graph(), snap->patterns(),
                            QueryEngineConfig{});
         auto recomputed = engine.Execute(*parsed);
         if (!recomputed.ok() ||
-            answer->Render(snap->graph) !=
-                recomputed->Render(snap->graph)) {
+            answer->Render(snap->graph()) !=
+                recomputed->Render(snap->graph())) {
           ++failures;
         }
       }

@@ -166,7 +166,15 @@ TEST(DocTermTest, RepeatCapped) {
   EXPECT_EQ(corpus.docs[0].size(), 4u);
 }
 
-TEST(DocTermTest, AssignVertexTopicsWritesDistributions) {
+/// Applies FitVertexTopics output to the graph the way the pipeline
+/// does (src/topic itself never mutates a graph; nous-layering).
+void ApplyTopics(PropertyGraph* g, VertexTopicAssignments fitted) {
+  for (size_t i = 0; i < fitted.vertices.size(); ++i) {
+    g->SetVertexTopics(fitted.vertices[i], std::move(fitted.topics[i]));
+  }
+}
+
+TEST(DocTermTest, FitVertexTopicsAssignsDistributions) {
   PropertyGraph g;
   // Two sector clusters of vertices.
   for (int i = 0; i < 6; ++i) {
@@ -184,7 +192,7 @@ TEST(DocTermTest, AssignVertexTopicsWritesDistributions) {
   LdaConfig config;
   config.num_topics = 2;
   config.iterations = 100;
-  AssignVertexTopics(&g, config);
+  ApplyTopics(&g, FitVertexTopics(g, config));
   auto va = g.FindVertex("consumer0");
   auto vb = g.FindVertex("consumer1");
   auto vc = g.FindVertex("realty0");
@@ -198,7 +206,7 @@ TEST(DocTermTest, EmptyGraphIsSafe) {
   PropertyGraph g;
   LdaConfig config;
   config.iterations = 5;
-  AssignVertexTopics(&g, config);  // must not crash
+  ApplyTopics(&g, FitVertexTopics(g, config));  // must not crash
   SUCCEED();
 }
 

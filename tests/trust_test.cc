@@ -4,6 +4,7 @@
 #include "core/source_trust.h"
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
+#include "common/status.h"
 
 namespace nous {
 namespace {
@@ -104,8 +105,8 @@ TEST_F(TrustPipelineFixture, CrossSourceAgreementBuildsTrust) {
   Nous nous(&kb_, options);
   Date d{2014, 3, 5};
   // The same fact reported by two feeds corroborates both.
-  nous.IngestText("DJI acquired Talon Works.", d, "feed_a");
-  nous.IngestText("DJI acquired Talon Works.", d, "feed_b");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", d, "feed_a"));
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", d, "feed_b"));
   const PropertyGraph& g = nous.graph();
   auto a = g.sources().Lookup("feed_a");
   auto b = g.sources().Lookup("feed_b");
@@ -115,8 +116,8 @@ TEST_F(TrustPipelineFixture, CrossSourceAgreementBuildsTrust) {
   EXPECT_GT(trust.Trust(*b), baseline);  // corroborated on arrival
 
   // A feed that only reports unique unverifiable facts loses trust.
-  nous.IngestText("Parrot praised Windermere.", d, "gossip");
-  nous.IngestText("Windermere praised Parrot.", d, "gossip");
+  NOUS_CHECK_OK(nous.IngestText("Parrot praised Windermere.", d, "gossip"));
+  NOUS_CHECK_OK(nous.IngestText("Windermere praised Parrot.", d, "gossip"));
   auto gossip = g.sources().Lookup("gossip");
   ASSERT_TRUE(gossip.has_value());
   EXPECT_LT(trust.Trust(*gossip), baseline);
@@ -132,8 +133,8 @@ TEST_F(TrustPipelineFixture, FreshSourceNotPenalized) {
 
   auto confidence_of = [this](Nous::Options options) {
     Nous nous(&kb_, options);
-    nous.IngestText("DJI acquired Talon Works.", Date{2014, 3, 5},
-                    "some_feed");
+    NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", Date{2014, 3, 5},
+                    "some_feed"));
     double conf = -1;
     nous.graph().ForEachEdge([&](EdgeId, const EdgeRecord& rec) {
       if (!rec.meta.curated) conf = rec.meta.confidence;
@@ -156,14 +157,14 @@ TEST_F(TrustPipelineFixture, BelowAverageSourceLosesConfidence) {
   Nous nous(&kb_, options);
   Date d{2014, 3, 5};
   // Corroborated feeds raise the base rate.
-  nous.IngestText("DJI acquired Talon Works.", d, "feed_a");
-  nous.IngestText("DJI acquired Talon Works.", d, "feed_b");
-  nous.IngestText("Parrot acquired Windermere.", d, "feed_a");
-  nous.IngestText("Parrot acquired Windermere.", d, "feed_b");
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", d, "feed_a"));
+  NOUS_CHECK_OK(nous.IngestText("DJI acquired Talon Works.", d, "feed_b"));
+  NOUS_CHECK_OK(nous.IngestText("Parrot acquired Windermere.", d, "feed_a"));
+  NOUS_CHECK_OK(nous.IngestText("Parrot acquired Windermere.", d, "feed_b"));
   // Gossip only produces unique, never-corroborated claims.
   for (int i = 0; i < 8; ++i) {
-    nous.IngestText("Parrot praised Windermere.", d, "gossip");
-    nous.IngestText("Windermere praised Parrot.", d, "gossip");
+    NOUS_CHECK_OK(nous.IngestText("Parrot praised Windermere.", d, "gossip"));
+    NOUS_CHECK_OK(nous.IngestText("Windermere praised Parrot.", d, "gossip"));
   }
   const PropertyGraph& g = nous.graph();
   auto gossip = g.sources().Lookup("gossip");
@@ -183,9 +184,9 @@ TEST_F(TrustPipelineFixture, DistantSupervisionSwitchWorks) {
   // Report a curated pair with an unseeded phrase: no evidence accrues.
   ASSERT_FALSE(kb_.facts().empty());
   const KbFact& fact = kb_.facts()[0];
-  nous.IngestText(kb_.entities()[fact.subject].name + " praised " +
+  NOUS_CHECK_OK(nous.IngestText(kb_.entities()[fact.subject].name + " praised " +
                       kb_.entities()[fact.object].name + ".",
-                  Date{2014, 1, 1}, "wsj");
+                  Date{2014, 1, 1}, "wsj"));
   EXPECT_EQ(nous.stats().ds_alignments, 0u);
   EXPECT_DOUBLE_EQ(
       nous.pipeline().mapper().EvidenceWeight(fact.predicate, "praise"),

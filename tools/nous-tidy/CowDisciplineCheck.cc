@@ -1,0 +1,83 @@
+//===--- CowDisciplineCheck.cc - nous-cow-discipline ----------------------===//
+
+#include "CowDisciplineCheck.h"
+
+#include "NousTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+CowDisciplineCheck::CowDisciplineCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPaths(Options.get("AllowedPaths", "/src/graph/")),
+      CowHeader(Options.get("CowHeader", "graph/cow.h")) {
+  AllowedPathsVec = SplitList(AllowedPaths);
+}
+
+void CowDisciplineCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPaths", AllowedPaths);
+  Options.store(Opts, "CowHeader", CowHeader);
+}
+
+void CowDisciplineCheck::registerMatchers(MatchFinder *Finder) {
+  // Any non-const member call on a COW container counts as a mutation;
+  // matching by constness (rather than an explicit mutator-name list)
+  // keeps the check correct when new mutators are added.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(unless(isConst()),
+                               ofClass(cxxRecordDecl(hasAnyName(
+                                   "::nous::CowVec", "::nous::CowIdIndex"))))),
+          forFunction(functionDecl().bind("enclosing")))
+          .bind("cow-mutation"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasName("use_count"))))
+          .bind("use-count"),
+      this);
+}
+
+void CowDisciplineCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("cow-mutation")) {
+    if (PathContainsAny(FileOf(SM, Call->getBeginLoc()), AllowedPathsVec))
+      return;
+    const auto *Fn = Result.Nodes.getNodeAs<FunctionDecl>("enclosing");
+    if (Fn != nullptr && Fn->hasAttr<RequiresCapabilityAttr>())
+      return;
+    diag(Call->getExprLoc(),
+         "COW mutation %0 outside src/graph/ must be in a function with a "
+         "REQUIRES(...) annotation: unshare exactness (use_count()==1 means "
+         "sole owner) is only sound under the pipeline writer lock "
+         "(DESIGN.md §5.14)")
+        << Call->getMethodDecl();
+    return;
+  }
+
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("use-count")) {
+    const std::string File = FileOf(SM, Call->getBeginLoc());
+    if (EndsWith(File, CowHeader))
+      return;
+    diag(Call->getExprLoc(),
+         "use_count() outside %0: refcount-exactness reasoning is confined "
+         "to the COW layer; consume CowCounters / Footprint instead "
+         "(DESIGN.md §5.14)")
+        << CowHeader;
+    return;
+  }
+}
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang

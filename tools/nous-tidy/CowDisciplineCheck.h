@@ -1,0 +1,57 @@
+//===--- CowDisciplineCheck.h - nous-cow-discipline -----------------------===//
+
+#ifndef NOUS_TOOLS_NOUS_TIDY_COW_DISCIPLINE_CHECK_H_
+#define NOUS_TOOLS_NOUS_TIDY_COW_DISCIPLINE_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+/// Proves the COW write-discipline invariant (DESIGN.md §5.13/§5.14):
+/// CowVec / CowIdIndex mutators (Mutable, PushBack, Resize, Assign,
+/// Clear, Detach, Insert, ...) rely on use_count()==1 meaning "sole
+/// owner", which is only sound while the pipeline's writer lock
+/// serializes writers against snapshot publication. Two rules:
+///
+///  * any non-const member call on a CowVec/CowIdIndex must occur
+///    either inside src/graph/ (the COW layer itself and the graph
+///    that owns the chunks) or inside a function carrying a
+///    REQUIRES(...) thread-safety annotation, so the lock the
+///    refcount argument depends on is visible to the analysis;
+///  * use_count() must not be called outside graph/cow.h — refcount
+///    exactness reasoning is confined to the COW layer (mirrored by
+///    nous_lint rule R9 for GCC-only environments).
+///
+/// Options:
+///  * CowTypes — semicolon list (default "nous::CowVec;nous::CowIdIndex").
+///  * AllowedPaths — path substrings exempt from the annotation rule
+///    (default "/src/graph/").
+///  * CowHeader — file suffix where use_count() is legitimate
+///    (default "graph/cow.h").
+class CowDisciplineCheck : public ClangTidyCheck {
+public:
+  CowDisciplineCheck(StringRef Name, ClangTidyContext *Context);
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string AllowedPaths;
+  const std::string CowHeader;
+  llvm::SmallVector<llvm::StringRef, 8> AllowedPathsVec;
+};
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang
+
+#endif // NOUS_TOOLS_NOUS_TIDY_COW_DISCIPLINE_CHECK_H_

@@ -1,0 +1,76 @@
+//===--- LayeringCheck.cc - nous-layering ---------------------------------===//
+
+#include "LayeringCheck.h"
+
+#include "NousTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+LayeringCheck::LayeringCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      MutableTypes(
+          Options.get("MutableTypes", "nous::PropertyGraph;nous::Dictionary")),
+      AllowedPaths(Options.get(
+          "AllowedPaths", "/src/core/pipeline;/src/durability/;/src/graph/")) {
+  MutableTypesVec = SplitList(MutableTypes);
+  AllowedPathsVec = SplitList(AllowedPaths);
+}
+
+void LayeringCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "MutableTypes", MutableTypes);
+  Options.store(Opts, "AllowedPaths", AllowedPaths);
+}
+
+void LayeringCheck::registerMatchers(MatchFinder *Finder) {
+  // The guarded type list is a runtime option, so the matcher casts a
+  // wide net (any non-const member or operator call) and check()
+  // filters by the callee's class. Methods of the guarded types
+  // themselves are exempt — PropertyGraph mutating its own Dictionary
+  // is the graph layer's business.
+  auto NotOwnMethod = unless(forFunction(cxxMethodDecl(
+      ofClass(hasAnyName("::nous::PropertyGraph", "::nous::Dictionary")))));
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(unless(isConst()))), NotOwnMethod)
+          .bind("mutation"),
+      this);
+  Finder->addMatcher(cxxOperatorCallExpr(callee(cxxMethodDecl(unless(isConst()))),
+                                         NotOwnMethod)
+                         .bind("mutation"),
+                     this);
+}
+
+void LayeringCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("mutation");
+  if (Call == nullptr)
+    return;
+  const auto *Method = dyn_cast_or_null<CXXMethodDecl>(Call->getDirectCallee());
+  if (Method == nullptr || Method->getParent() == nullptr)
+    return;
+  const std::string ClassName = Method->getParent()->getQualifiedNameAsString();
+  bool Guarded = false;
+  for (llvm::StringRef Type : MutableTypesVec)
+    Guarded = Guarded || Type == ClassName;
+  if (!Guarded)
+    return;
+  const std::string File = FileOf(*Result.SourceManager, Call->getBeginLoc());
+  if (PathContainsAny(File, AllowedPathsVec))
+    return;
+  diag(Call->getExprLoc(),
+       "non-const call to %0 of %1 outside the ingest funnel (allowed "
+       "paths: %2); KG mutation is confined to the pipeline commit path, "
+       "durability recovery and the graph layer so the WAL stays complete "
+       "(DESIGN.md §5.14)")
+      << Method << ClassName << AllowedPaths;
+}
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,56 @@
+//===--- LayeringCheck.h - nous-layering ----------------------------------===//
+
+#ifndef NOUS_TOOLS_NOUS_TIDY_LAYERING_CHECK_H_
+#define NOUS_TOOLS_NOUS_TIDY_LAYERING_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+/// Proves the ingest-funnel invariant (DESIGN.md §5.14): direct
+/// mutation of the PropertyGraph or a Dictionary is confined to the
+/// pipeline commit path, the durability layer (recovery/checkpoint
+/// load) and the graph layer itself. Everything else — qa, server,
+/// topic, miner — consumes graphs read-only; that is what makes the
+/// WAL complete (every mutation was logged first) and the snapshot
+/// diff exact.
+///
+/// Flags any non-const member call (including non-const accessor
+/// overloads like PropertyGraph::types()) on the listed types outside
+/// the allowed paths. The one justified exception, entity creation in
+/// src/linker/entity_linker.cc (runs only under the commit path's
+/// lock, post-WAL), carries NOLINT(nous-layering) with a comment.
+///
+/// Options:
+///  * MutableTypes — semicolon list
+///    (default "nous::PropertyGraph;nous::Dictionary").
+///  * AllowedPaths — path substrings where mutation is legitimate
+///    (default "/src/core/pipeline;/src/durability/;/src/graph/").
+class LayeringCheck : public ClangTidyCheck {
+public:
+  LayeringCheck(StringRef Name, ClangTidyContext *Context);
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string MutableTypes;
+  const std::string AllowedPaths;
+  llvm::SmallVector<llvm::StringRef, 8> MutableTypesVec;
+  llvm::SmallVector<llvm::StringRef, 8> AllowedPathsVec;
+};
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang
+
+#endif // NOUS_TOOLS_NOUS_TIDY_LAYERING_CHECK_H_

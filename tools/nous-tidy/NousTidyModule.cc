@@ -1,0 +1,43 @@
+//===--- NousTidyModule.cc - registers the nous-* check suite -------------===//
+//
+// Out-of-tree clang-tidy module. Built as a shared object and loaded
+// with `clang-tidy -load libnous-tidy.so -checks=-*,nous-*`; symbols
+// resolve against the hosting clang-tidy binary, so the module links
+// no LLVM/clang libraries of its own.
+//
+//===----------------------------------------------------------------------===//
+
+#include "CowDisciplineCheck.h"
+#include "HandlerBlockingCheck.h"
+#include "LayeringCheck.h"
+#include "SnapshotMutationCheck.h"
+#include "StatusDiscardCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+class NousTidyModule : public ClangTidyModule {
+public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<SnapshotMutationCheck>(
+        "nous-snapshot-mutation");
+    CheckFactories.registerCheck<CowDisciplineCheck>("nous-cow-discipline");
+    CheckFactories.registerCheck<StatusDiscardCheck>("nous-status-discard");
+    CheckFactories.registerCheck<LayeringCheck>("nous-layering");
+    CheckFactories.registerCheck<HandlerBlockingCheck>(
+        "nous-handler-blocking");
+  }
+};
+
+} // namespace nous
+
+// Static initializer runs at -load time and registers the module.
+static ClangTidyModuleRegistry::Add<nous::NousTidyModule>
+    NousTidyModuleInit("nous-module",
+                       "NOUS snapshot/COW/durability invariant checks.");
+
+} // namespace tidy
+} // namespace clang

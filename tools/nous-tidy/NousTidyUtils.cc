@@ -1,0 +1,98 @@
+//===--- NousTidyUtils.cc - shared helpers for the nous-* checks ----------===//
+
+#include "NousTidyUtils.h"
+
+#include <algorithm>
+
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/ExprCXX.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+std::string FileOf(const SourceManager &SM, SourceLocation Loc) {
+  if (Loc.isInvalid())
+    return std::string();
+  std::string Out = SM.getFilename(SM.getExpansionLoc(Loc)).str();
+  std::replace(Out.begin(), Out.end(), '\\', '/');
+  return Out;
+}
+
+llvm::SmallVector<llvm::StringRef, 8> SplitList(llvm::StringRef List) {
+  llvm::SmallVector<llvm::StringRef, 8> Out;
+  List.split(Out, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  return Out;
+}
+
+bool PathContainsAny(llvm::StringRef Path,
+                     llvm::ArrayRef<llvm::StringRef> Substrs) {
+  for (llvm::StringRef S : Substrs)
+    if (Path.contains(S))
+      return true;
+  return false;
+}
+
+bool EndsWith(llvm::StringRef S, llvm::StringRef Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.substr(S.size() - Suffix.size()) == Suffix;
+}
+
+const CXXRecordDecl *StrippedRecord(QualType T) {
+  if (T.isNull())
+    return nullptr;
+  QualType Cur = T.getCanonicalType();
+  if (Cur->isReferenceType())
+    Cur = Cur->getPointeeType();
+  // Strip pointer layers (covers shared_ptr::operator-> results).
+  while (Cur->isPointerType())
+    Cur = Cur->getPointeeType();
+  return Cur->getAsCXXRecordDecl();
+}
+
+bool RootedAtRecord(const Expr *E, llvm::StringRef QualifiedName) {
+  const Expr *Cur = E;
+  // Bounded walk; real member chains are shallow.
+  for (int Depth = 0; Cur != nullptr && Depth < 64; ++Depth) {
+    Cur = Cur->IgnoreParenImpCasts();
+    if (const CXXRecordDecl *RD = StrippedRecord(Cur->getType()))
+      if (QualifiedName == RD->getQualifiedNameAsString())
+        return true;
+    if (const auto *ME = dyn_cast<MemberExpr>(Cur)) {
+      Cur = ME->getBase();
+      continue;
+    }
+    if (const auto *MC = dyn_cast<CXXMemberCallExpr>(Cur)) {
+      Cur = MC->getImplicitObjectArgument();
+      continue;
+    }
+    if (const auto *OC = dyn_cast<CXXOperatorCallExpr>(Cur)) {
+      // operator->, operator*, operator[] — the object is arg 0.
+      if (OC->getNumArgs() == 0)
+        return false;
+      Cur = OC->getArg(0);
+      continue;
+    }
+    if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(Cur)) {
+      Cur = ASE->getBase();
+      continue;
+    }
+    if (const auto *UO = dyn_cast<UnaryOperator>(Cur)) {
+      if (UO->getOpcode() == UO_Deref || UO->getOpcode() == UO_AddrOf) {
+        Cur = UO->getSubExpr();
+        continue;
+      }
+      return false;
+    }
+    if (const auto *CE = dyn_cast<ExplicitCastExpr>(Cur)) {
+      Cur = CE->getSubExpr();
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,59 @@
+//===--- NousTidyUtils.h - shared helpers for the nous-* checks -----------===//
+//
+// Small AST/path helpers shared by the five nous-tidy checks. Kept
+// deliberately conservative: everything here compiles against the
+// stable clang-tidy plugin surface of LLVM 14 through 19.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NOUS_TOOLS_NOUS_TIDY_NOUS_TIDY_UTILS_H_
+#define NOUS_TOOLS_NOUS_TIDY_NOUS_TIDY_UTILS_H_
+
+#include <string>
+
+#include "clang/AST/Expr.h"
+#include "clang/AST/Type.h"
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/ArrayRef.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+/// Forward-slash-normalized path of the file containing `Loc`
+/// (expansion location). Empty for invalid locations.
+std::string FileOf(const SourceManager &SM, SourceLocation Loc);
+
+/// Splits a semicolon-separated option list, dropping empty entries.
+/// The returned StringRefs alias `List`, which must outlive them.
+llvm::SmallVector<llvm::StringRef, 8> SplitList(llvm::StringRef List);
+
+/// Whether `Path` contains any entry of `Substrs` as a substring.
+bool PathContainsAny(llvm::StringRef Path,
+                     llvm::ArrayRef<llvm::StringRef> Substrs);
+
+/// Version-proof StringRef suffix test (endswith/ends_with churn).
+bool EndsWith(llvm::StringRef S, llvm::StringRef Suffix);
+
+/// The record declaration behind `T` after stripping references,
+/// pointers, const and sugar; null when `T` is not a record type.
+const CXXRecordDecl *StrippedRecord(QualType T);
+
+/// Whether the member-access chain `E` is rooted at an object whose
+/// type is the record with qualified name `QualifiedName` (written
+/// without a leading `::`, e.g. "nous::KgSnapshot"). Walks through
+/// member accesses, accessor calls (member and overloaded-operator
+/// calls such as shared_ptr::operator->), dereferences, array
+/// subscripts, casts and parentheses. This is how the checks see
+/// through the const-propagating KgSnapshot accessors: `snap->graph()`
+/// is rooted at nous::KgSnapshot no matter how many hops deep.
+bool RootedAtRecord(const Expr *E, llvm::StringRef QualifiedName);
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang
+
+#endif // NOUS_TOOLS_NOUS_TIDY_NOUS_TIDY_UTILS_H_

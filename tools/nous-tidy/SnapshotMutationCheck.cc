@@ -1,0 +1,138 @@
+//===--- SnapshotMutationCheck.cc - nous-snapshot-mutation ----------------===//
+
+#include "SnapshotMutationCheck.h"
+
+#include "NousTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+SnapshotMutationCheck::SnapshotMutationCheck(StringRef Name,
+                                             ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SnapshotTypes(Options.get("SnapshotTypes",
+                                "nous::KgSnapshot;nous::RenderedPatternSet")),
+      BuilderPaths(
+          Options.get("BuilderPaths", "/src/core/pipeline;/src/core/snapshot")) {
+  SnapshotTypesVec = SplitList(SnapshotTypes);
+  BuilderPathsVec = SplitList(BuilderPaths);
+}
+
+void SnapshotMutationCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SnapshotTypes", SnapshotTypes);
+  Options.store(Opts, "BuilderPaths", BuilderPaths);
+}
+
+void SnapshotMutationCheck::registerMatchers(MatchFinder *Finder) {
+  // The snapshot types' own member functions (constructor helpers,
+  // accessors) legitimately touch their members.
+  auto NotSnapshotInternal = unless(forFunction(cxxMethodDecl(ofClass(
+      hasAnyName("::nous::KgSnapshot", "::nous::RenderedPatternSet")))));
+
+  Finder->addMatcher(cxxMemberCallExpr(callee(cxxMethodDecl(unless(isConst()))),
+                                       NotSnapshotInternal)
+                         .bind("mutating-call"),
+                     this);
+  Finder->addMatcher(cxxConstCastExpr().bind("const-cast"), this);
+  Finder->addMatcher(
+      varDecl(hasInitializer(expr())).bind("escape-var"), this);
+  Finder->addMatcher(unaryOperator(hasOperatorName("&")).bind("addr-of"),
+                     this);
+}
+
+void SnapshotMutationCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("mutating-call")) {
+    const Expr *Obj = Call->getImplicitObjectArgument();
+    if (Obj == nullptr)
+      return;
+    if (PathContainsAny(FileOf(SM, Call->getBeginLoc()), BuilderPathsVec))
+      return;
+    for (llvm::StringRef Type : SnapshotTypesVec) {
+      if (RootedAtRecord(Obj, Type)) {
+        diag(Call->getExprLoc(),
+             "non-const call to %0 mutates state reachable from a %1; "
+             "published snapshots are deeply immutable (DESIGN.md §5.14)")
+            << Call->getMethodDecl() << Type;
+        return;
+      }
+    }
+    return;
+  }
+
+  if (const auto *Cast =
+          Result.Nodes.getNodeAs<CXXConstCastExpr>("const-cast")) {
+    if (PathContainsAny(FileOf(SM, Cast->getBeginLoc()), BuilderPathsVec))
+      return;
+    const CXXRecordDecl *Dest = StrippedRecord(Cast->getTypeAsWritten());
+    const std::string DestName =
+        Dest != nullptr ? Dest->getQualifiedNameAsString() : std::string();
+    for (llvm::StringRef Type : SnapshotTypesVec) {
+      if (Type == DestName || RootedAtRecord(Cast->getSubExpr(), Type)) {
+        diag(Cast->getExprLoc(),
+             "const_cast on snapshot-reachable state (%0) defeats the "
+             "snapshot immutability contract (DESIGN.md §5.14)")
+            << Type;
+        return;
+      }
+    }
+    return;
+  }
+
+  if (const auto *Var = Result.Nodes.getNodeAs<VarDecl>("escape-var")) {
+    const QualType T = Var->getType();
+    const bool NonConstRef = T->isLValueReferenceType() &&
+                             !T.getNonReferenceType().isConstQualified();
+    const bool NonConstPtr =
+        T->isPointerType() && !T->getPointeeType().isConstQualified();
+    if (!NonConstRef && !NonConstPtr)
+      return;
+    const Expr *Init = Var->getInit();
+    if (Init == nullptr)
+      return;
+    if (PathContainsAny(FileOf(SM, Var->getLocation()), BuilderPathsVec))
+      return;
+    for (llvm::StringRef Type : SnapshotTypesVec) {
+      if (RootedAtRecord(Init, Type)) {
+        diag(Var->getLocation(),
+             "%0 binds a non-const %select{reference|pointer}1 to state "
+             "reachable from a %2; snapshot state must not escape its "
+             "const shell (DESIGN.md §5.14)")
+            << Var << (NonConstRef ? 0 : 1) << Type;
+        return;
+      }
+    }
+    return;
+  }
+
+  if (const auto *AddrOf = Result.Nodes.getNodeAs<UnaryOperator>("addr-of")) {
+    const Expr *Operand = AddrOf->getSubExpr();
+    if (Operand == nullptr || Operand->getType().isConstQualified())
+      return;
+    if (PathContainsAny(FileOf(SM, AddrOf->getOperatorLoc()), BuilderPathsVec))
+      return;
+    for (llvm::StringRef Type : SnapshotTypesVec) {
+      if (RootedAtRecord(Operand, Type)) {
+        diag(AddrOf->getOperatorLoc(),
+             "taking a non-const pointer into state reachable from a %0; "
+             "snapshot state must not escape its const shell "
+             "(DESIGN.md §5.14)")
+            << Type;
+        return;
+      }
+    }
+    return;
+  }
+}
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,55 @@
+//===--- SnapshotMutationCheck.h - nous-snapshot-mutation -----------------===//
+
+#ifndef NOUS_TOOLS_NOUS_TIDY_SNAPSHOT_MUTATION_CHECK_H_
+#define NOUS_TOOLS_NOUS_TIDY_SNAPSHOT_MUTATION_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+/// Proves the snapshot-immutability invariant (DESIGN.md §5.11/§5.14):
+/// once a KgSnapshot is published, nothing reachable from it may be
+/// mutated. The type system enforces most of this after the
+/// const-propagation refactor (every KgSnapshot accessor returns
+/// const& / shared_ptr<const ...>); this check flags the residue the
+/// type system cannot see:
+///
+///  * non-const member calls on state rooted at a snapshot type,
+///  * const_cast whose destination is a snapshot type or whose operand
+///    is rooted at one,
+///  * non-const reference/pointer bindings (and address-of escapes)
+///    of snapshot-rooted state.
+///
+/// Options:
+///  * SnapshotTypes — semicolon list of deeply-immutable root types
+///    (default "nous::KgSnapshot;nous::RenderedPatternSet").
+///  * BuilderPaths — path substrings where pre-publish construction is
+///    legitimate (default "/src/core/pipeline;/src/core/snapshot").
+class SnapshotMutationCheck : public ClangTidyCheck {
+public:
+  SnapshotMutationCheck(StringRef Name, ClangTidyContext *Context);
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  const std::string SnapshotTypes;
+  const std::string BuilderPaths;
+  llvm::SmallVector<llvm::StringRef, 8> SnapshotTypesVec;
+  llvm::SmallVector<llvm::StringRef, 8> BuilderPathsVec;
+};
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang
+
+#endif // NOUS_TOOLS_NOUS_TIDY_SNAPSHOT_MUTATION_CHECK_H_

@@ -1,0 +1,121 @@
+//===--- StatusDiscardCheck.cc - nous-status-discard ----------------------===//
+
+#include "StatusDiscardCheck.h"
+
+#include "NousTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/AST/ParentMapContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+StatusDiscardCheck::StatusDiscardCheck(StringRef Name,
+                                       ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      StatusTypes(Options.get("StatusTypes", "nous::Status;nous::Result")) {
+  StatusTypesVec = SplitList(StatusTypes);
+}
+
+void StatusDiscardCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "StatusTypes", StatusTypes);
+}
+
+void StatusDiscardCheck::registerMatchers(MatchFinder *Finder) {
+  // Filtering by return type happens in check(): the type list is a
+  // runtime option, and Result<T> is a template whose specializations
+  // are easiest to compare by qualified name.
+  Finder->addMatcher(
+      callExpr(unless(isExpansionInSystemHeader())).bind("call"), this);
+}
+
+// Climbs from `Call` to decide whether its value is consumed. Walks
+// through wrappers that merely forward the value (parens, implicit
+// casts, temporaries, ternary arms, comma RHS, non-void explicit
+// casts); reaching statement position means the Status was dropped.
+bool StatusDiscardCheck::isDiscarded(const Expr *Call, ASTContext &Ctx) const {
+  const Stmt *Child = Call;
+  for (int Depth = 0; Depth < 64; ++Depth) {
+    const auto Parents = Ctx.getParents(*Child);
+    if (Parents.empty())
+      return false;
+    const Stmt *PS = Parents[0].get<Stmt>();
+    if (PS == nullptr)
+      return false; // declaration initializer, etc. — consumed
+    if (isa<CompoundStmt>(PS) || isa<LabelStmt>(PS) || isa<CaseStmt>(PS) ||
+        isa<DefaultStmt>(PS))
+      return true; // expression-statement position
+    if (isa<ParenExpr>(PS) || isa<ImplicitCastExpr>(PS) ||
+        isa<ExprWithCleanups>(PS) || isa<ConstantExpr>(PS) ||
+        isa<CXXBindTemporaryExpr>(PS) || isa<MaterializeTemporaryExpr>(PS)) {
+      Child = PS;
+      continue;
+    }
+    if (const auto *CO = dyn_cast<ConditionalOperator>(PS)) {
+      if (CO->getCond() == Child)
+        return false; // condition value is consumed
+      Child = CO;     // arm value flows to the ternary's result
+      continue;
+    }
+    if (const auto *BO = dyn_cast<BinaryOperator>(PS)) {
+      if (BO->getOpcode() == BO_Comma && BO->getRHS() == Child) {
+        Child = BO; // comma result is the RHS — keep climbing
+        continue;
+      }
+      return false;
+    }
+    if (const auto *Cast = dyn_cast<ExplicitCastExpr>(PS)) {
+      if (Cast->getTypeAsWritten()->isVoidType())
+        return false; // (void)expr — explicit, intentional discard
+      Child = Cast;   // e.g. static_cast<Status>(...) still owes a consumer
+      continue;
+    }
+    if (const auto *If = dyn_cast<IfStmt>(PS))
+      return If->getCond() != Child;
+    if (const auto *While = dyn_cast<WhileStmt>(PS))
+      return While->getCond() != Child;
+    if (const auto *Do = dyn_cast<DoStmt>(PS))
+      return Do->getCond() != Child;
+    if (const auto *For = dyn_cast<ForStmt>(PS))
+      return For->getCond() != Child; // init/increment position discards
+    return false; // call argument, return value, member base, ... — consumed
+  }
+  return false;
+}
+
+void StatusDiscardCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr || !Call->isPRValue())
+    return; // reference returns don't transfer ownership of the error
+  const CXXRecordDecl *RD = StrippedRecord(Call->getType());
+  if (RD == nullptr)
+    return;
+  const std::string Name = RD->getQualifiedNameAsString();
+  bool Tracked = false;
+  for (llvm::StringRef Type : StatusTypesVec)
+    Tracked = Tracked || Type == Name;
+  if (!Tracked || !isDiscarded(Call, *Result.Context))
+    return;
+  const FunctionDecl *Callee = Call->getDirectCallee();
+  if (Callee != nullptr) {
+    diag(Call->getExprLoc(),
+         "%0 returned by %1 is discarded; handle it, propagate it "
+         "(NOUS_RETURN_IF_ERROR / NOUS_CHECK_OK), or discard explicitly "
+         "with (void) and a comment")
+        << Name << Callee;
+  } else {
+    diag(Call->getExprLoc(),
+         "%0 returned by this call is discarded; handle it, propagate it "
+         "(NOUS_RETURN_IF_ERROR / NOUS_CHECK_OK), or discard explicitly "
+         "with (void) and a comment")
+        << Name;
+  }
+}
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang

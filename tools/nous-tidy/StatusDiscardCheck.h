@@ -1,0 +1,53 @@
+//===--- StatusDiscardCheck.h - nous-status-discard -----------------------===//
+
+#ifndef NOUS_TOOLS_NOUS_TIDY_STATUS_DISCARD_CHECK_H_
+#define NOUS_TOOLS_NOUS_TIDY_STATUS_DISCARD_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace nous {
+
+/// Every nous::Status / nous::Result<T> returned by value must be
+/// consumed. The class-level [[nodiscard]] catches the plain
+/// `Foo();` case in the compiler; this check additionally catches the
+/// laundered discards the builtin warning misses:
+///
+///   cond ? Foo() : Bar();          // ternary in statement position
+///   static_cast<Status>(Foo());    // cast that still yields a Status
+///   (x, Foo());                    // comma-operator RHS
+///   for (...; ...; Foo()) {}       // for-increment position
+///
+/// `(void)Foo();` stays allowed as the explicit, greppable opt-out
+/// (pair it with a comment saying why).
+///
+/// Options:
+///  * StatusTypes — semicolon list of must-consume value types
+///    (default "nous::Status;nous::Result").
+class StatusDiscardCheck : public ClangTidyCheck {
+public:
+  StatusDiscardCheck(StringRef Name, ClangTidyContext *Context);
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+private:
+  bool isDiscarded(const Expr *Call, ASTContext &Ctx) const;
+
+  const std::string StatusTypes;
+  llvm::SmallVector<llvm::StringRef, 8> StatusTypesVec;
+};
+
+} // namespace nous
+} // namespace tidy
+} // namespace clang
+
+#endif // NOUS_TOOLS_NOUS_TIDY_STATUS_DISCARD_CHECK_H_

@@ -1,0 +1,26 @@
+// Positive fixtures for nous-cow-discipline: COW mutators outside
+// src/graph/ in functions without a REQUIRES(...) annotation, and
+// use_count() outside graph/cow.h.
+#include <memory>
+
+#include "graph/cow.h"
+
+namespace nous {
+
+void UnlockedPush(CowVec<int>& vec) {
+  // expect: COW mutation 'PushBack'
+  vec.PushBack(1);
+}
+
+void UnlockedDetach(CowVec<int>& vec) {
+  // Detach is the subtle one: it silently forks the chunk.
+  // expect: COW mutation 'Detach'
+  vec.Detach();
+}
+
+long RefcountPeek(const std::shared_ptr<int>& p) {
+  // expect: use_count() outside graph/cow.h
+  return p.use_count();
+}
+
+}  // namespace nous

@@ -1,0 +1,28 @@
+// Negative fixtures for nous-cow-discipline: a REQUIRES(...)-annotated
+// function may mutate COW state (the annotation proves the pipeline
+// lock is held, which is what makes use_count()==1 mean "sole owner"),
+// and const reads never need one.
+#include "common/thread_annotations.h"
+#include "graph/cow.h"
+
+namespace nous {
+
+class LockedHolder {
+ public:
+  // Annotated: the capability requirement is visible to the analysis.
+  void Append(int v) REQUIRES(mu_) { vec_.PushBack(v); }
+
+  // REQUIRES_SHARED also carries the RequiresCapability attribute.
+  int ReadBack(size_t i) const REQUIRES_SHARED(mu_) { return vec_[i]; }
+
+  // Const access needs no annotation at all.
+  size_t Size() const { return vec_.size(); }
+
+  AnnotatedMutex& mu() RETURN_CAPABILITY(mu_) { return mu_; }
+
+ private:
+  AnnotatedMutex mu_;
+  CowVec<int> vec_ GUARDED_BY(mu_);
+};
+
+}  // namespace nous

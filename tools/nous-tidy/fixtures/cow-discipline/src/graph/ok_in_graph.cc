@@ -1,0 +1,16 @@
+// Negative fixture: this file's path contains "/src/graph/", the COW
+// layer itself, where mutators are the implementation — no annotation
+// required (cow.h/property_graph.cc fork chunks as part of the
+// unshare machinery).
+#include "graph/cow.h"
+
+namespace nous {
+
+void GraphLayerMutation(CowVec<int>& vec) {
+  vec.PushBack(7);
+  vec.Resize(16);
+  vec.Mutable(0) = 42;
+  vec.Detach();
+}
+
+}  // namespace nous

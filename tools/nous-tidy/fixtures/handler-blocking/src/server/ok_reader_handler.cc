@@ -1,0 +1,31 @@
+// Negative fixtures for nous-handler-blocking: reader locks and
+// bounded bookkeeping locks are the sanctioned handler tools, and
+// non-handler functions in the serving layer may still coordinate
+// writes (e.g. the ingest dispatch path outside Handle*).
+#include "common/thread_annotations.h"
+
+namespace nous {
+
+class ServingApi {
+ public:
+  int HandleStats() {
+    ReaderMutexLock lock(kg_mutex_);  // shared lock: fine
+    MutexLock bookkeeping(counters_mutex_);  // bounded bookkeeping: fine
+    return 1;
+  }
+
+  int HandleConnectionCount() {
+    UniqueLock lock(counters_mutex_);  // plain mutex, not the KG lock
+    return 2;
+  }
+
+  // Not a Handle* function: the writer lock is allowed (the check
+  // polices handlers, not the whole serving layer).
+  void DispatchWrite() { WriterMutexLock lock(kg_mutex_); }
+
+ private:
+  AnnotatedSharedMutex kg_mutex_;
+  AnnotatedMutex counters_mutex_;
+};
+
+}  // namespace nous

@@ -1,0 +1,26 @@
+// Positive fixtures for nous-layering: direct KG mutation outside the
+// ingest funnel (pipeline commit path / durability recovery / graph
+// layer). The WAL can only be complete if nobody else writes.
+#include "graph/property_graph.h"
+
+namespace nous {
+
+void RogueVertex(PropertyGraph& g) {
+  // expect: 'GetOrAddVertex' of nous::PropertyGraph outside the ingest funnel
+  g.GetOrAddVertex("rogue");
+}
+
+void RogueInterning(PropertyGraph& g) {
+  // Two violations on one line: the non-const types() accessor and
+  // the Dictionary mutation behind it.
+  // expect: 'types' of nous::PropertyGraph outside the ingest funnel
+  // expect: 'Intern' of nous::Dictionary outside the ingest funnel
+  g.types().Intern("Person");
+}
+
+void RogueTyping(PropertyGraph& g, VertexId v) {
+  // expect: 'SetVertexType' of nous::PropertyGraph outside the ingest funnel
+  g.SetVertexType(v, 1);
+}
+
+}  // namespace nous

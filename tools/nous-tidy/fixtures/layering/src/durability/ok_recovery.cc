@@ -1,0 +1,14 @@
+// Negative fixture: this file's path contains "/src/durability/" —
+// WAL replay and checkpoint load legitimately rebuild the graph.
+#include "graph/property_graph.h"
+
+namespace nous {
+
+void ReplayVertex(PropertyGraph& g, VertexId v) {
+  VertexId added = g.GetOrAddVertex("replayed");
+  g.SetVertexType(added, 2);
+  g.types().Intern("Replayed");
+  (void)v;
+}
+
+}  // namespace nous

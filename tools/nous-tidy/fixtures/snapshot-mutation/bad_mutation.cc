@@ -1,0 +1,35 @@
+// Positive fixtures for nous-snapshot-mutation: every way of touching
+// snapshot-reachable state after publish must be flagged.
+#include <memory>
+
+#include "core/snapshot.h"
+
+namespace nous {
+
+void CastAwayGraphConst(std::shared_ptr<const KgSnapshot> snap) {
+  // expect: const_cast on snapshot-reachable state
+  // expect: binds a non-const reference
+  PropertyGraph& g = const_cast<PropertyGraph&>(snap->graph());
+  (void)g;
+}
+
+void MutateThroughCastChain(std::shared_ptr<const KgSnapshot> snap) {
+  // The cast and the non-const call are two separate violations.
+  // expect: non-const call to 'clear'
+  const_cast<RenderedPatternSet&>(*snap->pattern_set()).patterns.clear();
+}
+
+void MutateRenderedSetDirectly(RenderedPatternSet& set) {
+  // A mutable RenderedPatternSet outside the pipeline builder is
+  // itself a violation: published sets are shared across snapshots.
+  // expect: mutates state reachable from a nous::RenderedPatternSet
+  set.patterns.clear();
+}
+
+void EscapeStatsPointer(std::shared_ptr<const KgSnapshot> snap) {
+  // expect: binds a non-const pointer
+  PipelineStats* stats = const_cast<PipelineStats*>(&snap->stats());
+  (void)stats;
+}
+
+}  // namespace nous

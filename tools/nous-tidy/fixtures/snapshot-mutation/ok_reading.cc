@@ -1,0 +1,32 @@
+// Negative fixtures for nous-snapshot-mutation: ordinary read-only
+// snapshot consumption — including non-const operations on the
+// *handle* rather than the snapshot — must stay clean.
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace nous {
+
+size_t ReadOnlyUse(std::shared_ptr<const KgSnapshot> snap) {
+  if (snap == nullptr) return 0;
+  const PropertyGraph& g = snap->graph();       // const bind: fine
+  const auto& patterns = snap->patterns();      // const accessor chain
+  size_t n = g.NumVertices() + patterns.size();
+  n += static_cast<size_t>(snap->version());
+  n += snap->approx_graph_bytes();
+
+  // Non-const calls on the shared_ptr handle are not snapshot
+  // mutations: resetting a local copy never touches published state.
+  std::shared_ptr<const KgSnapshot> keep = snap;
+  keep.reset();
+
+  // Collections of handles are equally fine.
+  std::vector<std::shared_ptr<const KgSnapshot>> held;
+  held.push_back(snap);
+  held.clear();
+  return n;
+}
+
+}  // namespace nous

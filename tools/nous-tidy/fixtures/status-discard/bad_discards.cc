@@ -1,0 +1,33 @@
+// Positive fixtures for nous-status-discard: discards the builtin
+// [[nodiscard]] warning misses (plus the plain one, for coverage —
+// the fixture harness compiles with -Wno-everything, so only the
+// tidy check reports here).
+#include "common/status.h"
+
+namespace nous {
+
+Status Fallible();
+Status Fallible2();
+
+void LaunderedDiscards(bool flaky) {
+  // expect: returned by 'Fallible' is discarded
+  Fallible();
+
+  // Ternary in statement position: both arms are dropped.
+  // expect: returned by 'Fallible2' is discarded
+  flaky ? Fallible() : Fallible2();
+
+  // A cast that still yields a Status does not consume the error.
+  // expect: nous::Status returned by 'Fallible' is discarded
+  static_cast<Status>(Fallible());
+
+  // Comma-operator RHS is the expression's value — still dropped.
+  (Fallible2(), Fallible());
+
+  // For-increment position discards.
+  for (int i = 0; i < 2; Fallible2()) {
+    ++i;
+  }
+}
+
+}  // namespace nous

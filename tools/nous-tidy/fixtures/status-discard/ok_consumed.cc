@@ -1,0 +1,29 @@
+// Negative fixtures for nous-status-discard: every legitimate way of
+// consuming a Status/Result must stay clean, including the explicit
+// (void) opt-out and the repo's propagation macros.
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nous {
+
+Status Fallible();
+Result<int> FallibleValue();
+
+Status ConsumeEverywhere(bool flag) {
+  Status bound = Fallible();              // bound to a variable
+  NOUS_RETURN_IF_ERROR(Fallible());       // propagation macro
+  if (!Fallible().ok()) {                 // member access consumes it
+    return bound;
+  }
+  bool both = flag && Fallible().ok();    // condition operand
+  (void)Fallible();                       // explicit discard: allowed
+  Result<int> r = FallibleValue();        // Result bound
+  if (r.ok() && both) {
+    return Status::Ok();
+  }
+  return flag ? Fallible() : std::move(bound);  // ternary as return value
+}
+
+}  // namespace nous

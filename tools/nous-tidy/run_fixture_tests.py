@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Fixture harness for the nous-tidy clang-tidy checks.
+
+Runs every fixture translation unit under ``fixtures/<check-slug>/``
+through ``clang-tidy -load libnous-tidy.so`` with exactly that one
+check enabled, then verifies the findings:
+
+* lines containing ``// expect: SUBSTR`` declare that SUBSTR must
+  appear somewhere in clang-tidy's output for the file (one line per
+  expected finding — positive fixtures);
+* files with no ``expect`` lines are negative fixtures and must
+  produce **zero** ``[nous-...]`` warnings.
+
+Fixtures exercise the checks' path sensitivity by living under magic
+subpaths (``.../src/graph/``, ``.../src/server/``, ...): the checks
+match path substrings, so the corpus needs no per-check options.
+
+Exit codes: 0 all fixtures pass, 1 mismatches, 77 toolchain missing
+(consumed by ctest's SKIP_RETURN_CODE so the test SKIPs, not fails).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+EXPECT_RE = re.compile(r"//\s*expect:\s*(.+?)\s*$")
+NOUS_WARNING_RE = re.compile(r"warning:.*\[nous-[a-z-]+\]")
+
+
+def parse_args():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--plugin", default="", help="path to libnous-tidy.so")
+    p.add_argument("--clang-tidy", default="", help="clang-tidy binary")
+    p.add_argument("--fixtures", required=True, help="fixture corpus root")
+    p.add_argument("--repo-root", required=True, help="repository root")
+    p.add_argument(
+        "--missing-toolchain",
+        action="store_true",
+        help="emitted by CMake when the plugin could not be built",
+    )
+    p.add_argument("--verbose", action="store_true")
+    return p.parse_args()
+
+
+def skip(msg):
+    print(f"SKIP: {msg}")
+    print(
+        "SKIP: install the clang-tidy development headers (Debian/Ubuntu: "
+        "clang-tidy-NN + libclang-NN-dev + llvm-NN-dev) and reconfigure to "
+        "run the nous-tidy fixture suite."
+    )
+    sys.exit(SKIP)
+
+
+def check_name_for(fixture_root, path):
+    """fixtures/<slug>/... -> nous-<slug>."""
+    rel = os.path.relpath(path, fixture_root)
+    slug = rel.split(os.sep)[0]
+    return f"nous-{slug}"
+
+
+def run_one(args, path, check):
+    cmd = [
+        args.clang_tidy,
+        "--load",
+        args.plugin,
+        f"--checks=-*,{check}",
+        "--quiet",
+        path,
+        "--",
+        "-std=c++20",
+        f"-I{os.path.join(args.repo_root, 'src')}",
+        "-Wno-everything",
+    ]
+    proc = subprocess.run(
+        cmd,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode, proc.stdout
+
+
+def main():
+    args = parse_args()
+    if args.missing_toolchain:
+        skip("nous-tidy plugin was not built (clang-tidy dev headers absent)")
+    if not args.plugin or not os.path.exists(args.plugin):
+        skip(f"plugin not found: {args.plugin!r}")
+    resolved = shutil.which(args.clang_tidy) if args.clang_tidy else None
+    if resolved is None:
+        skip(f"clang-tidy binary not found: {args.clang_tidy!r}")
+    args.clang_tidy = resolved
+
+    fixture_root = os.path.abspath(args.fixtures)
+    fixtures = []
+    for dirpath, _, files in os.walk(fixture_root):
+        for name in sorted(files):
+            if name.endswith(".cc") or name.endswith(".cpp"):
+                fixtures.append(os.path.join(dirpath, name))
+    fixtures.sort()
+    if not fixtures:
+        print(f"FAIL: no fixtures found under {fixture_root}")
+        return 1
+
+    # A smoke run first: a plugin built against mismatched headers
+    # fails at dlopen with a loader error, which should read as a
+    # failure of the environment, not of any one fixture.
+    rc, out = run_one(args, fixtures[0], "nous-status-discard")
+    if "Error opening" in out or "undefined symbol" in out:
+        print(out)
+        skip("clang-tidy could not load the nous-tidy plugin (ABI mismatch?)")
+
+    failures = 0
+    for path in fixtures:
+        check = check_name_for(fixture_root, path)
+        with open(path, encoding="utf-8") as fh:
+            expects = EXPECT_RE.findall(fh.read())
+        rc, out = run_one(args, path, check)
+        rel = os.path.relpath(path, fixture_root)
+        problems = []
+        if rc != 0:
+            problems.append(f"clang-tidy exited {rc} (compile error?)")
+        for want in expects:
+            if want not in out:
+                problems.append(f"missing expected finding: {want!r}")
+        if not expects:
+            stray = [l for l in out.splitlines() if NOUS_WARNING_RE.search(l)]
+            for line in stray:
+                problems.append(f"unexpected finding: {line.strip()}")
+        if problems:
+            failures += 1
+            print(f"FAIL {rel} [{check}]")
+            for prob in problems:
+                print(f"  - {prob}")
+            print("  --- clang-tidy output ---")
+            for line in out.splitlines():
+                print(f"  | {line}")
+        else:
+            kind = f"{len(expects)} finding(s)" if expects else "clean"
+            print(f"PASS {rel} [{check}] ({kind})")
+            if args.verbose and out.strip():
+                for line in out.splitlines():
+                    print(f"  | {line}")
+
+    print(
+        f"nous-tidy fixtures: {len(fixtures) - failures}/{len(fixtures)} passed"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

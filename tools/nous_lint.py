@@ -39,6 +39,20 @@ hygiene contracts (DESIGN.md "Static analysis & locking contracts"):
                       body, so every request path shows up in
                       /api/trace and the per-stage latency histograms.
                       Suppress with `// lint: no-span(reason)`.
+  R9 use-count        use_count() may appear only in graph/cow.h: the
+                      COW layer is the one place where refcount
+                      exactness (use_count()==1 means sole owner) is a
+                      valid argument — everywhere else it is a racy
+                      smell. Regex fallback for the
+                      nous-cow-discipline clang-tidy check
+                      (tools/nous-tidy) on GCC-only machines.
+                      Suppress with `// lint: use-count-ok(reason)`.
+  R10 detach-outside-cow
+                      Detach() force-forks a COW chunk (silently
+                      un-sharing it from every snapshot) and is
+                      allowed only in src/graph/ and the durability
+                      serialization layer. Suppress with
+                      `// lint: detach-ok(reason)`.
 
 Suppression comments must name a reason; empty parentheses do not
 count. Exit status is the number of violations (capped at 125).
@@ -77,10 +91,17 @@ SUPPRESS_RE = {
     "new-ok": re.compile(r"//\s*lint:\s*new-ok\(\s*[^)\s][^)]*\)"),
     "cout-ok": re.compile(r"//\s*lint:\s*cout-ok\(\s*[^)\s][^)]*\)"),
     "no-span": re.compile(r"//\s*lint:\s*no-span\(\s*[^)\s][^)]*\)"),
+    "use-count-ok":
+        re.compile(r"//\s*lint:\s*use-count-ok\(\s*[^)\s][^)]*\)"),
+    "detach-ok": re.compile(r"//\s*lint:\s*detach-ok\(\s*[^)\s][^)]*\)"),
 }
 
 # R8: an out-of-class endpoint handler definition in src/server.
 HANDLER_DEF_RE = re.compile(r"^HttpResponse\s+\w+::(Handle\w*)\s*\(")
+
+# R9/R10: COW-discipline tokens.
+USE_COUNT_RE = re.compile(r"\buse_count\s*\(")
+DETACH_RE = re.compile(r"(?:\.|->)\s*Detach\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -191,6 +212,7 @@ class Linter:
         self.check_mutex_members(path, raw_lines, code_lines, in_common)
         self.check_naked_new(path, raw_lines, code_lines, in_common)
         self.check_cout(path, raw_lines, code_lines)
+        self.check_cow_discipline(path, raw_lines, code_lines)
         if path.endswith(".h"):
             self.check_locked_suffix(path, code_lines)
             self.check_include_guard(path, code_lines)
@@ -280,6 +302,31 @@ class Linter:
                     path, lineno, "no-cout",
                     "std::cout in library code; use NOUS_LOG or take an "
                     "explicit std::ostream&")
+
+    # R9 + R10 — regex fallback for the nous-cow-discipline clang-tidy
+    # check (tools/nous-tidy), so GCC-only environments still enforce
+    # the COW write discipline.
+    def check_cow_discipline(self, path, raw_lines, code_lines):
+        norm = path.replace(os.sep, "/")
+        in_cow_header = norm.endswith("graph/cow.h")
+        in_cow_layer = "/src/graph/" in norm
+        in_serialization = "/src/durability/" in norm
+        for lineno, line in enumerate(code_lines, 1):
+            if not in_cow_header and USE_COUNT_RE.search(line) and \
+                    not suppressed(raw_lines, lineno, "use-count-ok"):
+                self.report(
+                    path, lineno, "use-count",
+                    "use_count() outside graph/cow.h; refcount-exactness "
+                    "reasoning is confined to the COW layer — or add "
+                    "`// lint: use-count-ok(reason)`")
+            if not in_cow_layer and not in_serialization and \
+                    DETACH_RE.search(line) and \
+                    not suppressed(raw_lines, lineno, "detach-ok"):
+                self.report(
+                    path, lineno, "detach-outside-cow",
+                    "Detach() force-forks a COW chunk out of every "
+                    "snapshot; it belongs in src/graph/ or durability "
+                    "serialization — or add `// lint: detach-ok(reason)`")
 
     # R8
     def check_handler_spans(self, path, raw_lines, code_lines):

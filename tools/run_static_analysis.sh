@@ -8,7 +8,12 @@
 #                            promoted to errors (needs clang++)
 #   4. clang-tidy          — .clang-tidy check set over src/ *.cc
 #                            (needs clang-tidy + compile_commands.json)
-#   5. clang-format        — check-only formatting diff (advisory
+#   5. nous-tidy           — custom nous-* invariant checks: fixture
+#                            corpus, then a repo-wide sweep over src/
+#                            (needs the clang-tidy dev headers; absent
+#                            headers SKIP with a notice even under
+#                            --strict, per DESIGN.md §5.14)
+#   6. clang-format        — check-only formatting diff (advisory
 #                            locally, reported in CI)
 #
 # Layers whose tool is missing are SKIPPED with a notice by default so
@@ -124,7 +129,44 @@ else
   fi
 fi
 
-# ---- 5. clang-format (advisory) ------------------------------------
+# ---- 5. nous-tidy invariant checks ----------------------------------
+# The custom check suite (tools/nous-tidy) proving the snapshot /
+# COW / layering / durability invariants. Unlike the layers above,
+# missing *development headers* are a packaging gap, not a rot risk —
+# CI installs them — so this layer SKIPs with a notice even under
+# --strict when the plugin cannot be built; every other failure
+# (fixtures diverging, real findings in src/) is fatal.
+echo "== nous-tidy invariant checks =="
+NOUS_TIDY_SO=""
+for so in "$BUILD_DIR/tools/nous-tidy/libnous-tidy.so" \
+    "$BUILD_DIR/tools/nous-tidy/nous-tidy.so"; do
+  if [[ -f "$so" ]]; then
+    NOUS_TIDY_SO="$so"
+    break
+  fi
+done
+if [[ -z "$NOUS_TIDY_SO" || -z "$TIDY" ]]; then
+  echo "SKIP: nous-tidy plugin not built (clang-tidy dev headers absent?)"
+  echo "NOTICE: the nous-* invariant checks did not run; CI runs them."
+else
+  if python3 "$ROOT/tools/nous-tidy/run_fixture_tests.py" \
+      --plugin "$NOUS_TIDY_SO" --clang-tidy "$TIDY" \
+      --fixtures "$ROOT/tools/nous-tidy/fixtures" --repo-root "$ROOT"; then
+    echo "nous-tidy fixtures clean"
+  else
+    fail "nous-tidy fixture corpus diverged from the checks"
+  fi
+  if find "$ROOT/src" -name '*.cc' | sort \
+      | xargs -P "$(nproc)" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet \
+          --load "$NOUS_TIDY_SO" "--checks=-*,nous-*" \
+          "--warnings-as-errors=nous-*"; then
+    echo "nous-tidy repo sweep clean (zero findings in src/)"
+  else
+    fail "nous-tidy found invariant violations in src/"
+  fi
+fi
+
+# ---- 6. clang-format (advisory) ------------------------------------
 echo "== clang-format (check only) =="
 FORMAT=""
 for candidate in clang-format clang-format-18 clang-format-17 \

@@ -4,7 +4,8 @@
 //   nous_server [port] [num_events] [--threads N] [--wal-dir DIR]
 //               [--checkpoint-interval N] [--fsync MODE]
 //               [--query-cache-entries N] [--no-query-cache]
-//               [--slow-query-ms MS]
+//               [--slow-query-ms MS] [--replicate-to PORT]
+//               [--follow HOST:PORT] [--max-staleness-versions N]
 //
 // --threads N sets both the pipeline's extraction/BPR worker pool and
 // the number of concurrent HTTP connection handlers (default: the
@@ -29,6 +30,25 @@
 // wins). A background ResourceSampler exports RSS, snapshot clone
 // bytes, cache hit ratio, and queue depth through /api/metrics.
 //
+// Replication (DESIGN.md §5.15; both modes require --wal-dir):
+//   --replicate-to PORT   serve the durability WAL to followers on
+//                         127.0.0.1:PORT (this process is the leader)
+//   --follow HOST:PORT    become a read-only follower of the leader at
+//                         HOST:PORT: skip the demo build, replay the
+//                         leader's stream, reject POST /api/ingest
+//                         with 403
+//   --max-staleness-versions N   follower readiness gate: /api/readyz
+//                         turns 503 while this replica lags the leader
+//                         by more than N KG versions
+// Every HTTP response carries X-Nous-Kg-Version, the KG version the
+// process served, so clients can bound replica read staleness.
+//
+// SIGTERM/SIGINT drain gracefully at any phase: during the demo build
+// the ingest loop stops at the next batch boundary; while serving,
+// readiness flips to 503 first so load balancers move traffic away,
+// in-flight requests finish, then replication stops and a final
+// checkpoint is written.
+//
 // then open http://127.0.0.1:<port>/ — or hit the JSON API:
 //   curl 'http://127.0.0.1:8080/api/query?q=tell+me+about+DJI'
 //   curl 'http://127.0.0.1:8080/api/stats'
@@ -41,6 +61,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +74,8 @@
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"
+#include "replication/follower.h"
+#include "replication/leader.h"
 #include "server/api.h"
 
 namespace {
@@ -75,6 +98,9 @@ int main(int argc, char** argv) {
   size_t checkpoint_interval = 8;
   FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
   QueryCacheOptions query_cache;
+  int replicate_to_port = 0;
+  std::string follow_target;  // "host:port"
+  uint64_t max_staleness_versions = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -112,6 +138,20 @@ int main(int argc, char** argv) {
       SetSlowTraceThresholdMs(std::atof(argv[++i]));
     } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
       SetSlowTraceThresholdMs(std::atof(arg.c_str() + 16));
+    } else if (arg == "--replicate-to" && i + 1 < argc) {
+      replicate_to_port = std::atoi(argv[++i]);
+    } else if (arg.rfind("--replicate-to=", 0) == 0) {
+      replicate_to_port = std::atoi(arg.c_str() + 15);
+    } else if (arg == "--follow" && i + 1 < argc) {
+      follow_target = argv[++i];
+    } else if (arg.rfind("--follow=", 0) == 0) {
+      follow_target = arg.substr(9);
+    } else if (arg == "--max-staleness-versions" && i + 1 < argc) {
+      max_staleness_versions =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (arg.rfind("--max-staleness-versions=", 0) == 0) {
+      max_staleness_versions =
+          static_cast<uint64_t>(std::atoll(arg.c_str() + 25));
     } else {
       positional.push_back(arg);
     }
@@ -128,6 +168,34 @@ int main(int argc, char** argv) {
       positional.size() > 1
           ? static_cast<size_t>(std::atoi(positional[1].c_str()))
           : 400;
+
+  const bool is_follower = !follow_target.empty();
+  const bool is_leader = replicate_to_port > 0;
+  if (is_leader && is_follower) {
+    std::cerr << "--replicate-to and --follow are mutually exclusive\n";
+    return 1;
+  }
+  if ((is_leader || is_follower) && wal_dir.empty()) {
+    std::cerr << "replication streams the durability WAL: --replicate-to"
+                 " and --follow both require --wal-dir\n";
+    return 1;
+  }
+  std::string follow_host;
+  int follow_port = 0;
+  if (is_follower) {
+    const size_t colon = follow_target.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == follow_target.size()) {
+      std::cerr << "--follow expects HOST:PORT\n";
+      return 1;
+    }
+    follow_host = follow_target.substr(0, colon);
+    follow_port = std::atoi(follow_target.c_str() + colon + 1);
+    if (follow_port <= 0 || follow_port > 65535) {
+      std::cerr << "--follow expects HOST:PORT\n";
+      return 1;
+    }
+  }
 
   DroneWorldConfig world_config;
   world_config.num_events = num_events;
@@ -148,6 +216,11 @@ int main(int argc, char** argv) {
   options.query_cache = query_cache;
   Nous nous(&kb, options);
 
+  // Handlers go in before the (potentially long) KG build so an early
+  // SIGTERM drains instead of killing a half-built durable state.
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
   bool build_demo_kg = true;
   if (!wal_dir.empty()) {
     auto recovered = nous.Recover();
@@ -166,15 +239,39 @@ int main(int argc, char** argv) {
       build_demo_kg = false;
     }
   }
+  if (is_follower) {
+    // A follower's KG is derived from the leader's stream; building
+    // the demo corpus locally would fork it before the first frame.
+    build_demo_kg = false;
+  }
   if (build_demo_kg) {
     std::cout << "Building demo KG from " << stream.TotalCount()
               << " articles (" << num_threads << " threads"
               << (wal_dir.empty() ? "" : ", durable") << ")...\n";
-    Status ingest_status = nous.IngestStream(&stream);
-    if (!ingest_status.ok()) {
-      std::cerr << "ingest failed: " << ingest_status << "\n";
-      return 1;
+    // Batch-at-a-time (the WAL commit unit) so SIGTERM mid-build stops
+    // at a clean batch boundary instead of discarding the run.
+    constexpr size_t kBatch = 64;
+    std::vector<Article> batch;
+    batch.reserve(kBatch);
+    while (!stream.Done() && !g_stop) {
+      batch.push_back(stream.Next());
+      if (batch.size() == kBatch) {
+        Status ingest_status = nous.IngestBatch(batch);
+        if (!ingest_status.ok()) {
+          std::cerr << "ingest failed: " << ingest_status << "\n";
+          return 1;
+        }
+        batch.clear();
+      }
     }
+    if (!g_stop && !batch.empty()) {
+      Status ingest_status = nous.IngestBatch(batch);
+      if (!ingest_status.ok()) {
+        std::cerr << "ingest failed: " << ingest_status << "\n";
+        return 1;
+      }
+    }
+    nous.Finalize();
   }
   std::cout << nous.ComputeStats().ToString();
 
@@ -182,7 +279,44 @@ int main(int argc, char** argv) {
   nous.RegisterResourceProbes(&sampler);
   sampler.Start();
 
+  std::unique_ptr<ReplicationLeader> leader;
+  std::unique_ptr<ReplicationFollower> follower;
+  if (is_leader) {
+    ReplicationLeader::Options leader_options;
+    leader_options.port = static_cast<uint16_t>(replicate_to_port);
+    leader = std::make_unique<ReplicationLeader>(&nous, leader_options);
+    Status started = leader->Start();
+    if (!started.ok()) {
+      std::cerr << "replication leader failed to start: " << started
+                << "\n";
+      return 1;
+    }
+    std::cout << "Replicating to followers on 127.0.0.1:"
+              << leader->port() << "\n";
+  } else if (is_follower) {
+    ReplicationFollower::Options follower_options;
+    follower_options.host = follow_host;
+    follower_options.port = static_cast<uint16_t>(follow_port);
+    follower =
+        std::make_unique<ReplicationFollower>(&nous, follower_options);
+    Status started = follower->Start();
+    if (!started.ok()) {
+      std::cerr << "replication follower failed to start: " << started
+                << "\n";
+      return 1;
+    }
+    std::cout << "Following leader at " << follow_host << ":"
+              << follow_port << " (read-only replica)\n";
+  }
+
   NousApi api(&nous);
+  if (leader != nullptr) {
+    api.ConfigureReplication(leader.get(), /*max_staleness_versions=*/0,
+                             /*read_only=*/false);
+  } else if (follower != nullptr) {
+    api.ConfigureReplication(follower.get(), max_staleness_versions,
+                             /*read_only=*/true);
+  }
   HttpServerOptions server_options;
   server_options.num_threads = num_threads;
   HttpServer server(
@@ -195,15 +329,16 @@ int main(int argc, char** argv) {
   }
   std::cout << "Serving http://127.0.0.1:" << server.port()
             << "/  (Ctrl-C to stop)\n";
-  std::signal(SIGINT, HandleSignal);
-  std::signal(SIGTERM, HandleSignal);
   while (!g_stop) {
     ::usleep(200000);
   }
   // Graceful drain: fail readiness first so a load balancer stops
-  // sending traffic, then stop (which finishes in-flight requests).
+  // sending traffic, then stop (which finishes in-flight requests),
+  // then detach from the replication fleet.
   api.SetReady(false);
   server.Stop();
+  if (follower != nullptr) follower->Stop();
+  if (leader != nullptr) leader->Stop();
   sampler.Stop();
   if (nous.durable()) {
     Status ckpt = nous.Checkpoint();

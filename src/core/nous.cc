@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/thread_annotations.h"
 #include "durability/wal_codec.h"
 #include "obs/metrics.h"
@@ -87,6 +88,7 @@ Result<Nous::RecoveryStats> Nous::Recover() {
   stats.last_seq = last_seq;
   durability_ = std::move(manager);
   durability_enabled_.store(true, std::memory_order_release);
+  PublishCommitLocked(last_seq);
   return stats;
 }
 
@@ -100,7 +102,23 @@ Status Nous::Checkpoint() {
   if (durability_ == nullptr) {
     return Status::FailedPrecondition("durability is not enabled");
   }
-  return durability_->WriteCheckpoint(pipeline_.SaveState());
+  std::string state = pipeline_.SaveState();
+  const uint64_t seq = durability_->last_logged_seq();
+  NOUS_RETURN_IF_ERROR(durability_->WriteCheckpoint(state));
+  const uint64_t kgv = PublishCommitLocked(seq);
+  if (listener_ != nullptr) listener_->OnCheckpoint(seq, state, kgv);
+  return Status::Ok();
+}
+
+uint64_t Nous::PublishCommitLocked(uint64_t seq) {
+  uint64_t kgv = 0;
+  {
+    ReaderMutexLock lock(kg_mutex());
+    kgv = pipeline_.kg_version();
+  }
+  durable_seq_.store(seq, std::memory_order_release);
+  durable_kg_version_.store(kgv, std::memory_order_release);
+  return kgv;
 }
 
 Status Nous::IngestBatchDurable(const Article* articles, size_t count) {
@@ -110,11 +128,13 @@ Status Nous::IngestBatchDurable(const Article* articles, size_t count) {
   // CRC-invalid tail the next Recover() drops.
   std::string payload = EncodeArticleBatch(articles, count);
   NOUS_ASSIGN_OR_RETURN(uint64_t seq, durability_->LogBatch(payload));
-  (void)seq;
   pipeline_.IngestBatch(articles, count);
+  const uint64_t kgv = PublishCommitLocked(seq);
+  if (listener_ != nullptr) listener_->OnCommit(seq, payload, kgv);
   if (durability_->ShouldCheckpoint()) {
-    NOUS_RETURN_IF_ERROR(
-        durability_->WriteCheckpoint(pipeline_.SaveState()));
+    std::string state = pipeline_.SaveState();
+    NOUS_RETURN_IF_ERROR(durability_->WriteCheckpoint(state));
+    if (listener_ != nullptr) listener_->OnCheckpoint(seq, state, kgv);
   }
   return Status::Ok();
 }
@@ -174,7 +194,107 @@ Status Nous::IngestText(const std::string& text, const Date& date,
   return IngestBatchDurable(&article, 1);
 }
 
-void Nous::Finalize() { pipeline_.Finalize(); }
+void Nous::Finalize() {
+  if (!durable()) {
+    pipeline_.Finalize();
+    return;
+  }
+  // Finalize mutates the KG outside the WAL (topic fit, confidence
+  // refresh), so durable mode must capture its effect in a checkpoint
+  // — otherwise a restart or a follower replaying the WAL would land
+  // on a different KG than the one that served queries.
+  MutexLock lock(ingest_mutex_);
+  pipeline_.Finalize();
+  std::string state = pipeline_.SaveState();
+  const uint64_t seq = durability_->last_logged_seq();
+  Status status = durability_->WriteCheckpoint(state);
+  if (!status.ok()) {
+    NOUS_LOG(Warning) << "Finalize(): checkpoint failed, durable state "
+                         "lags the finalized KG: "
+                      << status.ToString();
+    return;
+  }
+  const uint64_t kgv = PublishCommitLocked(seq);
+  if (listener_ != nullptr) listener_->OnCheckpoint(seq, state, kgv);
+}
+
+void Nous::SetCommitListener(CommitListener* listener) {
+  MutexLock lock(ingest_mutex_);
+  listener_ = listener;
+}
+
+Result<Nous::ReplicationImage> Nous::CaptureReplicationImage() {
+  MutexLock lock(ingest_mutex_);
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "CaptureReplicationImage(): durability is not enabled");
+  }
+  ReplicationImage image;
+  image.seq = durability_->last_logged_seq();
+  image.state = pipeline_.SaveState();
+  {
+    ReaderMutexLock read(kg_mutex());
+    image.kg_version = pipeline_.kg_version();
+  }
+  return image;
+}
+
+Status Nous::ApplyReplicatedBatch(uint64_t seq, const std::string& payload,
+                                  uint64_t expected_kg_version) {
+  MutexLock lock(ingest_mutex_);
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyReplicatedBatch(): durability is not enabled");
+  }
+  const uint64_t local = durability_->last_logged_seq();
+  if (seq != local + 1) {
+    return Status::FailedPrecondition(
+        "replicated batch seq " + std::to_string(seq) +
+        " does not follow local seq " + std::to_string(local));
+  }
+  // Decode before logging: a payload that cannot decode must not
+  // enter the local WAL (recovery would choke on it).
+  NOUS_ASSIGN_OR_RETURN(std::vector<Article> batch,
+                        DecodeArticleBatch(payload));
+  NOUS_ASSIGN_OR_RETURN(uint64_t logged, durability_->LogBatch(payload));
+  (void)logged;
+  size_t adhoc_floor = 0;
+  for (const Article& article : batch) {
+    size_t n = 0;
+    if (ParseAdhocId(article.id, &n) && n + 1 > adhoc_floor) {
+      adhoc_floor = n + 1;
+    }
+  }
+  pipeline_.IngestBatch(batch);
+  if (adhoc_floor > 0) pipeline_.EnsureAdhocCounterAtLeast(adhoc_floor);
+  const uint64_t kgv = PublishCommitLocked(seq);
+  if (listener_ != nullptr) listener_->OnCommit(seq, payload, kgv);
+  if (expected_kg_version != 0 && kgv != expected_kg_version) {
+    return Status::DataLoss(
+        "replica diverged: KG version " + std::to_string(kgv) +
+        " after seq " + std::to_string(seq) + ", leader had " +
+        std::to_string(expected_kg_version));
+  }
+  if (durability_->ShouldCheckpoint()) {
+    NOUS_RETURN_IF_ERROR(
+        durability_->WriteCheckpoint(pipeline_.SaveState()));
+  }
+  return Status::Ok();
+}
+
+Status Nous::ApplyReplicatedCheckpoint(uint64_t seq,
+                                       const std::string& state) {
+  MutexLock lock(ingest_mutex_);
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyReplicatedCheckpoint(): durability is not enabled");
+  }
+  NOUS_RETURN_IF_ERROR(pipeline_.LoadState(state));
+  NOUS_RETURN_IF_ERROR(durability_->InstallCheckpoint(seq, state));
+  const uint64_t kgv = PublishCommitLocked(seq);
+  if (listener_ != nullptr) listener_->OnCheckpoint(seq, state, kgv);
+  return Status::Ok();
+}
 
 Result<Answer> Nous::Ask(const std::string& question,
                          std::shared_ptr<const KgSnapshot>* snapshot_out) {

@@ -17,6 +17,24 @@
 
 namespace nous {
 
+/// Observer of durable commits, the WAL-shipping hook (DESIGN.md
+/// §5.15). Both callbacks run on the committing thread while it holds
+/// the ingest mutex: implementations must only enqueue (never block on
+/// network or disk) and must not call back into Nous.
+class CommitListener {
+ public:
+  virtual ~CommitListener() = default;
+  /// One batch was WAL-logged and applied. `payload` is the exact WAL
+  /// payload (EncodeArticleBatch bytes); `kg_version` the live KG
+  /// version after the apply.
+  virtual void OnCommit(uint64_t seq, const std::string& payload,
+                        uint64_t kg_version) = 0;
+  /// A checkpoint covering everything up to `seq` was persisted.
+  /// `state` is the full KgPipeline::SaveState image.
+  virtual void OnCheckpoint(uint64_t seq, const std::string& state,
+                            uint64_t kg_version) = 0;
+};
+
 /// Top-level facade: the public API a downstream user programs against.
 ///
 ///   CuratedKb kb = BuildCuratedKb(world, Ontology::DroneDefault(), {});
@@ -104,8 +122,56 @@ class Nous {
                     const std::string& source) EXCLUDES(kg_mutex());
 
   /// Fits topics + final confidence refresh. Idempotent-ish: may be
-  /// called again after more ingestion.
+  /// called again after more ingestion. In durable mode this also
+  /// writes a checkpoint: Finalize mutates the KG outside the WAL
+  /// (topic fit, confidence refresh), so the only way a restart or a
+  /// follower can reproduce it is from a full image.
   void Finalize() EXCLUDES(kg_mutex());
+
+  /// Registers the replication hook (nullptr to clear). The listener
+  /// is invoked under the ingest mutex for every durable commit and
+  /// checkpoint from the moment this returns; it must outlive its
+  /// registration. Setting it blocks until in-flight commits drain,
+  /// so after SetCommitListener(nullptr) returns no further callbacks
+  /// run.
+  void SetCommitListener(CommitListener* listener) EXCLUDES(kg_mutex());
+
+  /// A consistent (seq, kg_version, full state image) triple captured
+  /// under the ingest mutex — what the leader ships to a follower that
+  /// needs a full resync.
+  struct ReplicationImage {
+    uint64_t seq = 0;
+    uint64_t kg_version = 0;
+    std::string state;
+  };
+  Result<ReplicationImage> CaptureReplicationImage() EXCLUDES(kg_mutex());
+
+  /// Follower-side apply of one shipped WAL batch: logs it to the
+  /// local WAL (log-before-apply, same as the leader) and applies it.
+  /// `seq` must be exactly last_durable_seq() + 1 — a gap means frames
+  /// were lost and the caller must resync (FailedPrecondition). When
+  /// `expected_kg_version` is nonzero and the local KG version after
+  /// the apply differs, returns DataLoss: the replica diverged and
+  /// must resync from a full image.
+  Status ApplyReplicatedBatch(uint64_t seq, const std::string& payload,
+                              uint64_t expected_kg_version)
+      EXCLUDES(kg_mutex());
+
+  /// Follower-side apply of a full checkpoint image covering `seq`:
+  /// replaces the in-memory pipeline state and persists the image as
+  /// the local checkpoint (resetting the local WAL).
+  Status ApplyReplicatedCheckpoint(uint64_t seq, const std::string& state)
+      EXCLUDES(kg_mutex());
+
+  /// Highest WAL seq this instance has logged + applied (0 before any
+  /// durable commit). Lock-free; readable from any thread.
+  uint64_t last_durable_seq() const {
+    return durable_seq_.load(std::memory_order_acquire);
+  }
+  /// KG version matching last_durable_seq().
+  uint64_t durable_kg_version() const {
+    return durable_kg_version_.load(std::memory_order_acquire);
+  }
 
   /// Parses and executes a natural-language-like query (Figure 5).
   /// In snapshot-serving mode (the default) this runs entirely
@@ -173,6 +239,10 @@ class Nous {
   /// The query cache, for stats inspection; null when disabled.
   const QueryCache* query_cache() const { return cache_.get(); }
 
+  /// The options this instance was built with (immutable). The
+  /// replication leader reads durability.dir to tail the WAL.
+  const Options& options() const { return options_; }
+
   /// Registers a telemetry probe on `sampler` that exports the
   /// serving-tier gauges on every sampling tick: snapshot version and
   /// clone bytes, publish count, query-cache hit ratio, thread-pool
@@ -189,6 +259,10 @@ class Nous {
   /// so WAL order always matches apply order.
   Status IngestBatchDurable(const Article* articles, size_t count)
       REQUIRES(ingest_mutex_) EXCLUDES(kg_mutex());
+  /// Reads the live KG version (brief reader lock) and publishes the
+  /// (seq, version) pair to the lock-free accessors + the listener.
+  uint64_t PublishCommitLocked(uint64_t seq) REQUIRES(ingest_mutex_)
+      EXCLUDES(kg_mutex());
 
   Options options_;
   KgPipeline pipeline_;
@@ -205,6 +279,12 @@ class Nous {
   /// Fast-path flag mirroring `durability_ != nullptr`; flipped once
   /// by Recover() before any concurrent ingest exists.
   std::atomic<bool> durability_enabled_{false};
+  /// Replication hook; null when nothing is subscribed.
+  CommitListener* listener_ GUARDED_BY(ingest_mutex_) = nullptr;
+  /// (seq, kg_version) of the last durable commit, published for
+  /// lock-free lag/staleness reads by the serving tier.
+  std::atomic<uint64_t> durable_seq_{0};
+  std::atomic<uint64_t> durable_kg_version_{0};
 };
 
 }  // namespace nous

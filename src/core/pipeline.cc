@@ -184,26 +184,39 @@ void KgPipeline::LoadCuratedKb() {
     graph_.AddEdge(s, p, o, meta);
     curated_pairs_[{s, o}].push_back(f.predicate);
     accepted_ids_.push_back(IdTriple{s, p, o});
-    if (config_.enable_mining) {
-      VertexId ws = window_graph_.GetOrAddVertex(kb_->entities()[f.subject].name);
-      VertexId wo = window_graph_.GetOrAddVertex(kb_->entities()[f.object].name);
-      window_graph_.SetVertexType(
-          ws, window_graph_.types().Intern(
-                  kb_->entities()[f.subject].type_name));
-      window_graph_.SetVertexType(
-          wo, window_graph_.types().Intern(
-                  kb_->entities()[f.object].type_name));
-      PredicateId wp = window_graph_.predicates().Intern(f.predicate);
-      // Direct insertion (not window_->Add): curated facts never expire.
-      EdgeId we = window_graph_.AddEdge(ws, wp, wo, meta);
-      if (miner_ != nullptr) {
-        miner_->OnEdgeAdded(window_graph_, we);
-      }
-    }
   }
+  BootstrapMinerWindowLocked();
   if (config_.enable_link_prediction && !accepted_ids_.empty()) {
     bpr_.Train(accepted_ids_, graph_.NumVertices(),
                graph_.predicates().size());
+  }
+}
+
+void KgPipeline::BootstrapMinerWindowLocked() {
+  if (!config_.enable_mining) return;
+  SourceId kb_source = graph_.sources().Intern("curated_kb");
+  for (const KbFact& f : kb_->facts()) {
+    EdgeMeta meta;
+    meta.confidence = 1.0;
+    meta.timestamp = f.timestamp;
+    meta.source = kb_source;
+    meta.curated = true;
+    VertexId ws =
+        window_graph_.GetOrAddVertex(kb_->entities()[f.subject].name);
+    VertexId wo =
+        window_graph_.GetOrAddVertex(kb_->entities()[f.object].name);
+    window_graph_.SetVertexType(
+        ws,
+        window_graph_.types().Intern(kb_->entities()[f.subject].type_name));
+    window_graph_.SetVertexType(
+        wo,
+        window_graph_.types().Intern(kb_->entities()[f.object].type_name));
+    PredicateId wp = window_graph_.predicates().Intern(f.predicate);
+    // Direct insertion (not window_->Add): curated facts never expire.
+    EdgeId we = window_graph_.AddEdge(ws, wp, wo, meta);
+    if (miner_ != nullptr) {
+      miner_->OnEdgeAdded(window_graph_, we);
+    }
   }
 }
 
@@ -654,6 +667,22 @@ Status KgPipeline::LoadStateLocked(std::string_view payload) {
   NOUS_RETURN_IF_ERROR(reader.F64(&stats_.map_seconds));
   NOUS_RETURN_IF_ERROR(reader.F64(&stats_.score_seconds));
   NOUS_RETURN_IF_ERROR(reader.F64(&stats_.mine_seconds));
+
+  // The window machinery accretes via listeners, so a load onto a
+  // warm pipeline (replication resync) must rebuild it from scratch:
+  // fresh graph + window + miner, curated base re-seeded, then the
+  // saved stream triples replayed below. The render cache is dropped
+  // too — the new miner restarts its generation counter, so a stale
+  // set could alias a fresh generation.
+  if (config_.enable_mining) {
+    window_graph_ = PropertyGraph();
+    miner_ = std::make_unique<StreamingMiner>(config_.miner);
+    window_ = std::make_unique<TemporalWindow>(&window_graph_,
+                                               config_.miner_window_edges);
+    window_->AddListener(miner_.get());
+    BootstrapMinerWindowLocked();
+    rendered_patterns_.store(nullptr, std::memory_order_release);
+  }
 
   uint64_t num_window = 0;
   NOUS_RETURN_IF_ERROR(reader.Count(&num_window, 8 * 5 + 8 + 8));

@@ -254,6 +254,10 @@ class KgPipeline {
   };
 
   void LoadCuratedKb() REQUIRES(kg_mutex_);
+  /// Seeds the miner window graph with the curated facts (direct
+  /// insertion, never expired). Called from the curated bootstrap and
+  /// again by LoadStateLocked after it resets the window machinery.
+  void BootstrapMinerWindowLocked() REQUIRES(kg_mutex_);
   /// Finalize body (BPR refresh + rescore + LDA), under the writer
   /// lock held by Finalize().
   void FinalizeLocked() REQUIRES(kg_mutex_);

@@ -162,6 +162,12 @@ Status DurabilityManager::WriteCheckpoint(std::string state) {
   return Status::Ok();
 }
 
+Status DurabilityManager::InstallCheckpoint(uint64_t last_applied_seq,
+                                            std::string state) {
+  last_logged_seq_ = last_applied_seq;
+  return WriteCheckpoint(std::move(state));
+}
+
 Status DurabilityManager::SyncWal() {
   if (!wal_.is_open()) return Status::Ok();
   return wal_.Sync();

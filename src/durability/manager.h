@@ -82,6 +82,12 @@ class DurabilityManager {
   /// covering everything logged so far, then resets the WAL to empty.
   Status WriteCheckpoint(std::string state);
 
+  /// Installs a checkpoint image received from elsewhere (replication:
+  /// a leader's full image covering `last_applied_seq`). Re-anchors the
+  /// local sequence counter to the image, persists it, and resets the
+  /// WAL — after this, LogBatch numbers from last_applied_seq + 1.
+  Status InstallCheckpoint(uint64_t last_applied_seq, std::string state);
+
   /// Forces buffered WAL records to stable storage now.
   Status SyncWal();
 

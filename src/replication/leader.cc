@@ -1,0 +1,443 @@
+#include "replication/leader.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "durability/wal.h"
+
+namespace nous {
+
+ReplicationLeader::ReplicationLeader(Nous* nous, Options options)
+    : nous_(nous),
+      options_(std::move(options)),
+      wal_path_(nous->options().durability.dir + "/wal.log") {
+  if (options_.heartbeat_ms <= 0) options_.heartbeat_ms = 200;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+ReplicationLeader::~ReplicationLeader() { Stop(); }
+
+Status ReplicationLeader::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("replication leader already started");
+  }
+  if (!nous_->durable()) {
+    return Status::FailedPrecondition(
+        "replication leader requires a durable Nous (call Recover first)");
+  }
+  NOUS_RETURN_IF_ERROR(listener_.Listen(options_.port));
+  running_.store(true, std::memory_order_release);
+  nous_->SetCommitListener(this);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  NOUS_LOG(Info) << "replication leader listening on 127.0.0.1:"
+                 << listener_.port();
+  return Status::Ok();
+}
+
+void ReplicationLeader::Stop() {
+  if (!started_) return;
+  // Unhook first: SetCommitListener blocks on the ingest mutex, so
+  // once it returns no commit thread can touch the session queues.
+  nous_->SetCommitListener(nullptr);
+  running_.store(false, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  MutexLock lock(sessions_mutex_);
+  for (auto& session : sessions_) {
+    {
+      MutexLock session_lock(session->mutex);
+      session->stop = true;
+    }
+    session->cv.notify_all();
+    session->conn.Shutdown();  // wakes a blocked Recv/SendAll
+  }
+  for (auto& session : sessions_) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+  sessions_.clear();
+  started_ = false;
+}
+
+void ReplicationLeader::OnCommit(uint64_t seq, const std::string& payload,
+                                 uint64_t kg_version) {
+  ReplFrame frame;
+  frame.type = ReplFrameType::kWalBatch;
+  frame.seq = seq;
+  frame.aux = kg_version;
+  frame.payload = payload;
+  QueueItem item;
+  item.type = frame.type;
+  item.seq = seq;
+  item.wire = std::make_shared<const std::string>(EncodeReplFrame(frame));
+  Broadcast(std::move(item));
+}
+
+void ReplicationLeader::OnCheckpoint(uint64_t seq, const std::string& state,
+                                     uint64_t kg_version) {
+  ReplFrame frame;
+  frame.type = ReplFrameType::kCheckpoint;
+  frame.seq = seq;
+  frame.aux = kg_version;
+  frame.payload = state;
+  QueueItem item;
+  item.type = frame.type;
+  item.seq = seq;
+  item.wire = std::make_shared<const std::string>(EncodeReplFrame(frame));
+  Broadcast(std::move(item));
+}
+
+void ReplicationLeader::Broadcast(QueueItem item) {
+  MutexLock lock(sessions_mutex_);
+  for (auto& session : sessions_) {
+    if (session->done.load(std::memory_order_acquire)) continue;
+    bool overflowed = false;
+    {
+      MutexLock session_lock(session->mutex);
+      if (session->stop || session->overflowed) continue;
+      if (session->queue.size() >= options_.queue_capacity) {
+        // Slow follower: shed it rather than stall or grow without
+        // bound. It reconnects and catches up from the WAL.
+        session->queue.clear();
+        session->overflowed = true;
+        overflowed = true;
+      } else {
+        session->queue.push_back(item);
+      }
+    }
+    session->cv.notify_all();
+    if (overflowed) {
+      overflow_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      session->conn.Shutdown();
+    }
+  }
+}
+
+void ReplicationLeader::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    Result<TcpConn> conn = listener_.Accept(100);
+    if (!conn.ok()) {
+      if (running_.load(std::memory_order_acquire)) {
+        NOUS_LOG(Warning) << "replication accept failed: "
+                          << conn.status().ToString();
+      }
+      return;
+    }
+    MutexLock lock(sessions_mutex_);
+    ReapFinishedSessions();
+    if (!conn->valid() || !running_.load(std::memory_order_acquire)) {
+      continue;  // timeout / dropped accept: poll again
+    }
+    auto session = std::make_unique<Session>();
+    session->conn = std::move(*conn);
+    Session* raw = session.get();
+    session->thread = std::thread([this, raw] { ServeFollower(raw); });
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void ReplicationLeader::ReapFinishedSessions() {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status ReplicationLeader::ReadHello(Session* session, ReplFrame* hello) {
+  char buffer[4096];
+  std::string preamble;
+  ReplFrameParser parser;
+  bool magic_checked = false;
+  for (;;) {
+    NOUS_ASSIGN_OR_RETURN(size_t n,
+                          session->conn.Recv(buffer, sizeof(buffer)));
+    if (n == 0) {
+      return Status::Unavailable("peer closed during replication handshake");
+    }
+    if (!magic_checked) {
+      preamble.append(buffer, n);
+      if (preamble.size() < sizeof(kReplStreamMagic)) continue;
+      if (std::memcmp(preamble.data(), kReplStreamMagic,
+                      sizeof(kReplStreamMagic)) != 0) {
+        return Status::InvalidArgument("not a NOUS replication stream");
+      }
+      magic_checked = true;
+      parser.Append(preamble.data() + sizeof(kReplStreamMagic),
+                    preamble.size() - sizeof(kReplStreamMagic));
+    } else {
+      parser.Append(buffer, n);
+    }
+    ReplFrame frame;
+    NOUS_ASSIGN_OR_RETURN(bool have, parser.Next(&frame));
+    if (!have) continue;
+    if (frame.type != ReplFrameType::kHello) {
+      return Status::InvalidArgument(
+          "replication handshake: expected Hello frame");
+    }
+    *hello = std::move(frame);
+    return Status::Ok();
+  }
+}
+
+Status ReplicationLeader::SendDataFrame(Session* session,
+                                        const std::string& wire) {
+  FaultInjector& faults = FaultInjector::Global();
+  if (auto fault = faults.Hit("repl_frame_drop")) {
+    if (fault->kind == FaultKind::kFail) {
+      // Silently swallow the frame. The leader's cursor still
+      // advances — exactly the failure the follower's seq-gap
+      // detection exists to catch.
+      return Status::Ok();
+    }
+  }
+  if (auto fault = faults.Hit("repl_frame_corrupt")) {
+    if (fault->kind == FaultKind::kFail) {
+      std::string corrupted = wire;
+      corrupted[corrupted.size() / 2] ^= 0x20;
+      return session->conn.SendAll(corrupted);
+    }
+  }
+  Status status = session->conn.SendAll(wire);
+  if (status.ok()) {
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent_.fetch_add(wire.size(), std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void ReplicationLeader::ServeFollower(Session* session) {
+  session->conn.SetIoDeadline(options_.io_timeout_ms).ok();
+  ReplFrame hello;
+  Status handshake = ReadHello(session, &hello);
+  if (!handshake.ok()) {
+    session->conn.Shutdown();
+    session->done.store(true, std::memory_order_release);
+    return;
+  }
+  followers_.fetch_add(1, std::memory_order_relaxed);
+
+  // The follower resumes after everything it already applied. A
+  // follower *ahead* of us means we lost unsynced WAL tail in a crash
+  // — its state is unreachable from ours, so re-image it. So is a
+  // follower at our seq but a different kg_version: our state moved
+  // without a WAL record (a recovery-time Finalize re-trained it).
+  uint64_t sent = hello.seq;
+  const uint64_t hello_kgv = DecodeHelloKgVersion(hello.payload);
+  bool need_image = (hello.aux & kHelloForceImage) != 0 ||
+                    sent > nous_->last_durable_seq() ||
+                    (hello_kgv != 0 && sent == nous_->last_durable_seq() &&
+                     hello_kgv != nous_->durable_kg_version());
+
+  WalTailReader tail;
+  tail.Open(wal_path_);
+  // Consecutive non-progress events (WAL resets, unbridgeable queue
+  // gaps). A couple are normal around a checkpoint; a streak means
+  // the WAL can no longer bridge this follower — fall back to a full
+  // image instead of spinning.
+  int stalled_rounds = 0;
+  // Seq of the last checkpoint image/frame this session shipped. A WAL
+  // reset is only safe to read past when the follower already holds
+  // the state the new log builds on (see the kReset branch).
+  uint64_t last_ckpt_sent = 0;
+
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      MutexLock lock(session->mutex);
+      if (session->stop || session->overflowed) break;
+    }
+    if (stalled_rounds > 3) {
+      need_image = true;
+      stalled_rounds = 0;
+    }
+
+    if (need_image) {
+      Result<Nous::ReplicationImage> image =
+          nous_->CaptureReplicationImage();
+      if (!image.ok()) break;
+      ReplFrame frame;
+      frame.type = ReplFrameType::kCheckpoint;
+      frame.seq = image->seq;
+      frame.aux = image->kg_version;
+      frame.payload = std::move(image->state);
+      if (!SendDataFrame(session, EncodeReplFrame(frame)).ok()) break;
+      checkpoints_sent_.fetch_add(1, std::memory_order_relaxed);
+      sent = frame.seq;
+      last_ckpt_sent = frame.seq;
+      need_image = false;
+      stalled_rounds = 0;
+      MutexLock lock(session->mutex);
+      while (!session->queue.empty() &&
+             session->queue.front().seq <= sent) {
+        session->queue.pop_front();
+      }
+      continue;
+    }
+
+    // Phase 1: catch up from the WAL file.
+    Result<WalTailReader::Event> event = tail.Next();
+    if (!event.ok()) break;
+    if (event->kind == WalTailReader::EventKind::kRecord) {
+      WalRecord& rec = event->record;
+      if (rec.seq <= sent) continue;  // already shipped
+      if (rec.seq > sent + 1) {
+        // The records bridging the gap were checkpointed away.
+        need_image = true;
+        continue;
+      }
+      ReplFrame frame;
+      frame.type = ReplFrameType::kWalBatch;
+      frame.seq = rec.seq;
+      // Historical frame: the KG version it produced is unknowable
+      // from the log alone; 0 = "do not cross-check". Divergence is
+      // still caught by the next live frame or checkpoint.
+      frame.aux = 0;
+      frame.payload = std::move(rec.payload);
+      if (!SendDataFrame(session, EncodeReplFrame(frame)).ok()) break;
+      sent = rec.seq;
+      stalled_rounds = 0;
+      continue;
+    }
+    if (event->kind == WalTailReader::EventKind::kReset) {
+      // The WAL was reset by a checkpoint; every record in the new log
+      // was applied ON TOP of that checkpoint's state. Reading past
+      // the reset is only sound once the follower holds that state —
+      // a Finalize checkpoint mutates the KG with no WAL record, so
+      // skipping it diverges the follower silently. The checkpoint
+      // rides in the live queue (commit order), so deliver it now,
+      // before any new-log records.
+      QueueItem queued_ckpt;
+      bool have_ckpt = false;
+      {
+        MutexLock lock(session->mutex);
+        for (auto it = session->queue.begin(); it != session->queue.end();
+             ++it) {
+          if (it->type == ReplFrameType::kCheckpoint && it->seq >= sent) {
+            queued_ckpt = std::move(*it);
+            session->queue.erase(it);
+            have_ckpt = true;
+            break;
+          }
+        }
+      }
+      if (have_ckpt) {
+        if (!SendDataFrame(session, *queued_ckpt.wire).ok()) break;
+        checkpoints_sent_.fetch_add(1, std::memory_order_relaxed);
+        sent = std::max(sent, queued_ckpt.seq);
+        last_ckpt_sent = queued_ckpt.seq;
+        stalled_rounds = 0;
+      } else if (last_ckpt_sent >= sent) {
+        // Already shipped a state image at/past `sent`: the new log's
+        // base state is on the follower. Safe to read on.
+      } else {
+        // The bridging checkpoint is gone (overflow, or the follower
+        // connected after it was broadcast). A streak forces an image.
+        ++stalled_rounds;
+      }
+      continue;
+    }
+
+    // Phase 2: end of log — serve the live queue, or heartbeat.
+    // Snapshot the durable seq *before* inspecting the queue: a commit
+    // published after this point wakes the cv wait below, so "queue
+    // still empty afterwards" proves records ≤ durable_now are neither
+    // in the WAL nor coming through the queue (checkpointed away).
+    const uint64_t durable_now = nous_->last_durable_seq();
+    const bool behind = sent < durable_now;
+    QueueItem item;
+    bool have_item = false;
+    bool recheck_tail = false;
+    {
+      UniqueLock lock(session->mutex);
+      while (!session->queue.empty()) {
+        const QueueItem& front = session->queue.front();
+        const bool stale =
+            front.type == ReplFrameType::kWalBatch
+                ? front.seq <= sent
+                // A checkpoint at seq == sent is NOT stale: Finalize
+                // re-checkpoints the same seq with a new KG.
+                : front.seq < sent;
+        if (!stale) break;
+        session->queue.pop_front();
+      }
+      if (!session->queue.empty()) {
+        QueueItem& front = session->queue.front();
+        if (front.type == ReplFrameType::kCheckpoint ||
+            front.seq == sent + 1) {
+          item = std::move(front);
+          session->queue.pop_front();
+          have_item = true;
+        } else {
+          // front.seq > sent + 1: the bridge records are in the WAL
+          // (or gone — the tail reports kReset / a gap and we image).
+          recheck_tail = true;
+        }
+      } else if (!session->stop && !session->overflowed) {
+        // When behind, wait only a sliver: we are very likely looking
+        // at a WAL hole (records checkpointed away), and the sliver
+        // just lets an in-flight enqueue land before we conclude that.
+        session->cv.wait_for(
+            lock.std_lock(),
+            std::chrono::milliseconds(behind ? 10 : options_.heartbeat_ms));
+      }
+      if (session->stop || session->overflowed) break;
+    }
+    if (have_item) {
+      if (!SendDataFrame(session, *item.wire).ok()) break;
+      if (item.type == ReplFrameType::kCheckpoint) {
+        checkpoints_sent_.fetch_add(1, std::memory_order_relaxed);
+        last_ckpt_sent = std::max(last_ckpt_sent, item.seq);
+      }
+      sent = std::max(sent, item.seq);
+      stalled_rounds = 0;
+      continue;
+    }
+    if (recheck_tail) {
+      ++stalled_rounds;
+      continue;
+    }
+    if (behind) {
+      // End of log, empty queue, follower still behind the durable
+      // seq we saw before waiting: the bridging records are gone from
+      // the WAL (a checkpoint reset it). The streak forces an image.
+      ++stalled_rounds;
+      continue;
+    }
+    // Idle: tell the follower where we are so it can measure lag and
+    // detect a silently broken link.
+    ReplFrame heartbeat;
+    heartbeat.type = ReplFrameType::kHeartbeat;
+    heartbeat.seq = nous_->last_durable_seq();
+    heartbeat.aux = nous_->durable_kg_version();
+    if (!session->conn.SendAll(EncodeReplFrame(heartbeat)).ok()) break;
+  }
+
+  followers_.fetch_sub(1, std::memory_order_relaxed);
+  session->conn.Shutdown();
+  session->done.store(true, std::memory_order_release);
+}
+
+ReplicationView ReplicationLeader::View() const {
+  ReplicationView view;
+  view.role = "leader";
+  view.connected = true;
+  view.last_seq = nous_->last_durable_seq();
+  view.kg_version = nous_->durable_kg_version();
+  view.followers = followers_.load(std::memory_order_relaxed);
+  view.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  view.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  view.checkpoints_sent =
+      checkpoints_sent_.load(std::memory_order_relaxed);
+  view.overflow_disconnects =
+      overflow_disconnects_.load(std::memory_order_relaxed);
+  return view;
+}
+
+}  // namespace nous

@@ -1,0 +1,115 @@
+#include "replication/protocol.h"
+
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+
+namespace nous {
+
+const char kReplStreamMagic[8] = {'N', 'O', 'U', 'S', 'R', 'E', 'P', '1'};
+
+namespace {
+
+/// CRC over the frame: payload chained onto the (type, seq, aux, len)
+/// header words — same discipline as the WAL's FrameCrc, so header
+/// corruption is as detectable as payload corruption.
+uint32_t ReplFrameCrc(ReplFrameType type, uint64_t seq, uint64_t aux,
+                      uint32_t len, std::string_view payload) {
+  BinaryWriter header;
+  header.U8(static_cast<uint8_t>(type));
+  header.U64(seq);
+  header.U64(aux);
+  header.U32(len);
+  uint32_t crc = Crc32c(header.data());
+  return Crc32c(payload.data(), payload.size(), crc);
+}
+
+bool ValidType(uint8_t type) {
+  return type >= static_cast<uint8_t>(ReplFrameType::kHello) &&
+         type <= static_cast<uint8_t>(ReplFrameType::kHeartbeat);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+uint64_t ReadU64(const char* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeReplFrame(const ReplFrame& frame) {
+  const uint32_t len = static_cast<uint32_t>(frame.payload.size());
+  BinaryWriter wire;
+  wire.U32(kReplFrameMagic);
+  wire.U8(static_cast<uint8_t>(frame.type));
+  wire.U64(frame.seq);
+  wire.U64(frame.aux);
+  wire.U32(len);
+  wire.U32(ReplFrameCrc(frame.type, frame.seq, frame.aux, len,
+                        frame.payload));
+  wire.Raw(frame.payload.data(), frame.payload.size());
+  return wire.Take();
+}
+
+std::string EncodeHelloPayload(uint64_t kg_version) {
+  BinaryWriter payload;
+  payload.U64(kg_version);
+  return payload.Take();
+}
+
+uint64_t DecodeHelloKgVersion(std::string_view payload) {
+  if (payload.size() < sizeof(uint64_t)) return 0;
+  return ReadU64(payload.data());
+}
+
+Result<bool> ReplFrameParser::Next(ReplFrame* frame) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer
+  // so long sessions do not grow the buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const char* base = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kReplFrameHeaderBytes) return false;
+
+  const uint32_t magic = ReadU32(base);
+  if (magic != kReplFrameMagic) {
+    return Status::DataLoss("replication frame: bad magic");
+  }
+  const uint8_t type = static_cast<uint8_t>(base[4]);
+  if (!ValidType(type)) {
+    return Status::DataLoss("replication frame: unknown type " +
+                            std::to_string(type));
+  }
+  const uint64_t seq = ReadU64(base + 5);
+  const uint64_t aux = ReadU64(base + 13);
+  const uint32_t len = ReadU32(base + 21);
+  const uint32_t crc = ReadU32(base + 25);
+  if (len > kMaxReplPayloadBytes) {
+    return Status::DataLoss("replication frame: payload length " +
+                            std::to_string(len) + " exceeds cap");
+  }
+  if (available < kReplFrameHeaderBytes + len) return false;
+
+  std::string_view payload(base + kReplFrameHeaderBytes, len);
+  if (ReplFrameCrc(static_cast<ReplFrameType>(type), seq, aux, len,
+                   payload) != crc) {
+    return Status::DataLoss("replication frame: CRC mismatch");
+  }
+  frame->type = static_cast<ReplFrameType>(type);
+  frame->seq = seq;
+  frame->aux = aux;
+  frame->payload.assign(payload);
+  consumed_ += kReplFrameHeaderBytes + len;
+  return true;
+}
+
+}  // namespace nous

@@ -1,0 +1,244 @@
+#include "replication/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace nous {
+
+namespace {
+
+std::string Errno(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+/// Applies an armed repl_send / repl_recv fault. Returns true when the
+/// instrumented call must report a dropped connection.
+bool HitLinkFault(const char* point) {
+  if (auto fault = FaultInjector::Global().Hit(point)) {
+    if (fault->kind == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          fault->arg > 0 ? fault->arg : 100));
+      return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+Status SetTimeout(int fd, int optname, int timeout_ms) {
+  struct timeval tv {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(Errno("setsockopt"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TcpConn::~TcpConn() { Close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Result<TcpConn> TcpConn::Connect(const std::string& host, uint16_t port,
+                                 int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  TcpConn conn(fd);  // owns the fd from here on
+
+  sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("replication: bad host address: " +
+                                   host);
+  }
+
+  // Non-blocking connect + poll: a down peer costs timeout_ms, never
+  // the kernel's multi-minute SYN retry budget.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Internal(Errno("fcntl"));
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Status::Unavailable("connect " + host + ": " +
+                               std::strerror(errno));
+  }
+  if (rc != 0) {
+    struct pollfd pfd {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    if (ready == 0) return Status::Unavailable("connect timeout: " + host);
+    if (ready < 0) return Status::Internal(Errno("poll"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+        err != 0) {
+      return Status::Unavailable("connect " + host + ": " +
+                                 std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    return Status::Internal(Errno("fcntl"));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Status TcpConn::SetIoDeadline(int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("connection closed");
+  if (timeout_ms <= 0) return Status::Ok();
+  NOUS_RETURN_IF_ERROR(SetTimeout(fd_, SO_RCVTIMEO, timeout_ms));
+  return SetTimeout(fd_, SO_SNDTIMEO, timeout_ms);
+}
+
+Status TcpConn::SendAll(std::string_view data) {
+  if (!valid()) return Status::FailedPrecondition("connection closed");
+  if (HitLinkFault("repl_send")) {
+    return Status::Unavailable("fault injected: repl_send fail");
+  }
+  size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a vanished peer is an EPIPE error, not a SIGPIPE
+    // that kills the process.
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable("send timeout");
+      }
+      return Status::Unavailable(Errno("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<size_t> TcpConn::Recv(char* buffer, size_t size) {
+  if (!valid()) return Status::FailedPrecondition("connection closed");
+  if (HitLinkFault("repl_recv")) {
+    return Status::Unavailable("fault injected: repl_recv fail");
+  }
+  for (;;) {
+    ssize_t n = ::recv(fd_, buffer, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("recv timeout");
+    }
+    return Status::Unavailable(Errno("recv"));
+  }
+}
+
+void TcpConn::Shutdown() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(uint16_t port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already listening");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal(Errno("bind"));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status = Status::Internal(Errno("listen"));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Status::Internal(Errno("getsockname"));
+    ::close(fd);
+    return status;
+  }
+  fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
+Result<TcpConn> TcpListener::Accept(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("not listening");
+  struct pollfd pfd {};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return TcpConn();
+    return Status::Internal(Errno("poll"));
+  }
+  if (ready == 0) return TcpConn();  // timeout: caller polls again
+  int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return TcpConn();
+    }
+    return Status::Internal(Errno("accept"));
+  }
+  if (auto fault = FaultInjector::Global().Hit("repl_accept")) {
+    if (fault->kind != FaultKind::kDelay) {
+      // The peer "vanished" mid-handshake; it will back off and retry.
+      ::close(fd);
+      return TcpConn();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        fault->arg > 0 ? fault->arg : 100));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace nous

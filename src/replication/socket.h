@@ -1,0 +1,95 @@
+#ifndef NOUS_REPLICATION_SOCKET_H_
+#define NOUS_REPLICATION_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace nous {
+
+/// Deadline-aware TCP connection used by the replication tier. Every
+/// raw socket syscall in the repo lives here or in the HTTP server
+/// (tools/nous_lint.py R11): the wrappers guarantee deadlines are set
+/// and SIGPIPE never fires, so a dead peer costs a bounded wait, not
+/// a wedged thread.
+///
+/// Fault points (see FaultInjector): "repl_send" (kFail: the send
+/// reports a reset connection; kDelay: stalls arg ms first) and
+/// "repl_recv" (same, on the receive side). They model a flaky or
+/// slow link deterministically.
+///
+/// Move-only; the destructor closes. Shutdown() may be called from
+/// another thread to wake a blocked Recv/SendAll (the standard POSIX
+/// idiom for interrupting a peer thread without closing its fd from
+/// under it).
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+
+  /// Connects to host:port with a bounded wait (non-blocking connect
+  /// + poll); a down or unreachable peer costs at most timeout_ms.
+  static Result<TcpConn> Connect(const std::string& host, uint16_t port,
+                                 int timeout_ms);
+
+  /// Arms SO_RCVTIMEO/SO_SNDTIMEO so a stalled peer turns into an
+  /// Unavailable error instead of a blocked thread. 0 = no deadline.
+  Status SetIoDeadline(int timeout_ms);
+
+  /// Sends every byte or fails. Unavailable on timeout/reset.
+  Status SendAll(std::string_view data);
+
+  /// Receives up to `size` bytes. Ok(0) = clean EOF (peer closed);
+  /// Unavailable on timeout or reset.
+  Result<size_t> Recv(char* buffer, size_t size);
+
+  /// Half-closes both directions, waking any thread blocked in this
+  /// connection's Recv/SendAll. Does not release the fd.
+  void Shutdown();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback-only listener for the leader's replication port.
+/// Fault point "repl_accept" (kFail): the freshly accepted connection
+/// is dropped as if the peer vanished mid-handshake.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and listens.
+  Status Listen(uint16_t port);
+
+  /// Waits up to timeout_ms for a connection. An invalid TcpConn
+  /// means "nothing arrived" (timeout or a dropped/faulted accept) —
+  /// poll again; an error Status means the listener itself is broken.
+  Result<TcpConn> Accept(int timeout_ms);
+
+  uint16_t port() const { return port_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_REPLICATION_SOCKET_H_

@@ -1,0 +1,56 @@
+#ifndef NOUS_REPLICATION_TELEMETRY_H_
+#define NOUS_REPLICATION_TELEMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nous {
+
+/// One consistent read of a replication endpoint's state, for
+/// /api/stats, the staleness-gated /api/readyz, and the benches.
+/// Leader- and follower-only fields report zero on the other role.
+struct ReplicationView {
+  std::string role;  // "leader" or "follower"
+  /// Follower: the link to the leader is up. Leader: always true.
+  bool connected = false;
+  /// Leader: last committed (WAL-logged + applied) seq. Follower: last
+  /// applied seq.
+  uint64_t last_seq = 0;
+  /// KG version matching last_seq on this endpoint.
+  uint64_t kg_version = 0;
+  /// Follower only: the leader's position from its latest heartbeat
+  /// (0 until the first heartbeat arrives).
+  uint64_t leader_seq = 0;
+  uint64_t leader_kg_version = 0;
+  /// Versions this endpoint trails its leader by (0 on the leader).
+  uint64_t lag_versions = 0;
+
+  // Leader-side counters.
+  uint64_t followers = 0;
+  uint64_t frames_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t checkpoints_sent = 0;
+  uint64_t overflow_disconnects = 0;
+
+  // Follower-side counters.
+  uint64_t frames_applied = 0;
+  uint64_t checkpoints_applied = 0;
+  uint64_t reconnects = 0;
+  uint64_t resyncs = 0;
+  uint64_t gaps = 0;
+  uint64_t corrupt_frames = 0;
+};
+
+/// What the serving tier needs from a replication endpoint without
+/// depending on the leader/follower machinery: a snapshot of its
+/// state. Implementations (ReplicationLeader, ReplicationFollower)
+/// must make View() safe to call from any thread.
+class ReplicationTelemetry {
+ public:
+  virtual ~ReplicationTelemetry() = default;
+  virtual ReplicationView View() const = 0;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_REPLICATION_TELEMETRY_H_

@@ -29,6 +29,14 @@ HttpResponse JsonError(int status, const std::string& message) {
 
 NousApi::NousApi(Nous* nous) : nous_(nous) {}
 
+void NousApi::ConfigureReplication(const ReplicationTelemetry* telemetry,
+                                   uint64_t max_staleness_versions,
+                                   bool read_only) {
+  replication_ = telemetry;
+  max_staleness_versions_ = max_staleness_versions;
+  read_only_ = read_only;
+}
+
 std::string NousApi::AnswerJson(const Answer& answer,
                                 const PropertyGraph& graph) {
   JsonWriter w;
@@ -193,6 +201,50 @@ HttpResponse NousApi::HandleStats() {
   w.Int(static_cast<long long>(snap_fp.shared_bytes));
   w.Key("snapshot_graph_private_bytes");
   w.Int(static_cast<long long>(snap_fp.private_bytes));
+  if (replication_ != nullptr) {
+    ReplicationView view = replication_->View();
+    w.Key("replication");
+    w.BeginObject();
+    w.Key("role");
+    w.String(view.role);
+    w.Key("connected");
+    w.Bool(view.connected);
+    w.Key("last_seq");
+    w.Int(static_cast<long long>(view.last_seq));
+    w.Key("kg_version");
+    w.Int(static_cast<long long>(view.kg_version));
+    w.Key("leader_seq");
+    w.Int(static_cast<long long>(view.leader_seq));
+    w.Key("leader_kg_version");
+    w.Int(static_cast<long long>(view.leader_kg_version));
+    w.Key("lag_versions");
+    w.Int(static_cast<long long>(view.lag_versions));
+    w.Key("max_staleness_versions");
+    w.Int(static_cast<long long>(max_staleness_versions_));
+    w.Key("followers");
+    w.Int(static_cast<long long>(view.followers));
+    w.Key("frames_sent");
+    w.Int(static_cast<long long>(view.frames_sent));
+    w.Key("bytes_sent");
+    w.Int(static_cast<long long>(view.bytes_sent));
+    w.Key("checkpoints_sent");
+    w.Int(static_cast<long long>(view.checkpoints_sent));
+    w.Key("overflow_disconnects");
+    w.Int(static_cast<long long>(view.overflow_disconnects));
+    w.Key("frames_applied");
+    w.Int(static_cast<long long>(view.frames_applied));
+    w.Key("checkpoints_applied");
+    w.Int(static_cast<long long>(view.checkpoints_applied));
+    w.Key("reconnects");
+    w.Int(static_cast<long long>(view.reconnects));
+    w.Key("resyncs");
+    w.Int(static_cast<long long>(view.resyncs));
+    w.Key("gaps");
+    w.Int(static_cast<long long>(view.gaps));
+    w.Key("corrupt_frames");
+    w.Int(static_cast<long long>(view.corrupt_frames));
+    w.EndObject();
+  }
   w.Key("query_cache");
   w.BeginObject();
   const QueryCache* cache = nous_->query_cache();
@@ -244,6 +296,11 @@ HttpResponse NousApi::HandleMetrics() {
 HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
   NOUS_SPAN_VAR(span, "api_ingest");
   span.Attr("body_bytes", request.body.size());
+  if (read_only_) {
+    // A replica's KG is derived from the leader's WAL; accepting a
+    // local write would fork it from the replication stream.
+    return JsonError(403, "read-only replica: send writes to the leader");
+  }
   if (request.body.empty()) {
     return JsonError(400, "empty body; POST the document text");
   }
@@ -389,6 +446,24 @@ HttpResponse NousApi::Route(const HttpRequest& request) {
   }
   if (request.path == "/api/readyz" && request.method == "GET") {
     if (!ready()) return JsonError(503, "draining");
+    if (replication_ != nullptr && max_staleness_versions_ > 0) {
+      ReplicationView view = replication_->View();
+      if (view.role == "follower" && view.leader_kg_version == 0) {
+        // No leader heartbeat yet: staleness is unknowable, and
+        // "unknown" must not read as "fresh".
+        return JsonError(503, "replica staleness unknown (no leader "
+                              "heartbeat yet)");
+      }
+      if (view.lag_versions > max_staleness_versions_) {
+        return JsonError(
+            503, StrFormat("replica lags leader by %llu KG versions "
+                           "(max allowed %llu)",
+                           static_cast<unsigned long long>(
+                               view.lag_versions),
+                           static_cast<unsigned long long>(
+                               max_staleness_versions_)));
+      }
+    }
     HttpResponse response;
     response.body = "{\"status\":\"ready\"}";
     return response;
@@ -410,6 +485,20 @@ HttpResponse NousApi::Handle(const HttpRequest& request) {
   response.headers.emplace_back(
       "X-Nous-Trace-Id",
       StrFormat("%llu", static_cast<unsigned long long>(span.trace_id())));
+  // The KG version this process would serve right now. Combined with
+  // X-Nous-Kg-Version from the leader, clients can bound the staleness
+  // of any replica read without a second round trip.
+  uint64_t kg_version = 0;
+  if (std::shared_ptr<const KgSnapshot> snap = nous_->snapshot();
+      snap != nullptr) {
+    kg_version = snap->version();
+  } else {
+    ReaderMutexLock lock(nous_->kg_mutex());
+    kg_version = nous_->kg_version();
+  }
+  response.headers.emplace_back(
+      "X-Nous-Kg-Version",
+      StrFormat("%llu", static_cast<unsigned long long>(kg_version)));
   // Label by status code only: paths are client-controlled and would
   // make the label set unbounded.
   MetricsRegistry::Global()

@@ -6,6 +6,7 @@
 
 #include "common/thread_annotations.h"
 #include "core/nous.h"
+#include "replication/telemetry.h"
 #include "server/http_server.h"
 
 namespace nous {
@@ -60,6 +61,24 @@ class NousApi {
   }
   bool ready() const { return ready_.load(std::memory_order_acquire); }
 
+  /// Wires the serving tier to a replication endpoint (leader or
+  /// follower). Effects:
+  ///  - /api/stats grows a "replication" object (role, lag, counters);
+  ///  - every response carries an X-Nous-Kg-Version header (the KG
+  ///    version the process would serve), so clients can reason about
+  ///    read staleness across the fleet;
+  ///  - with max_staleness_versions > 0, /api/readyz also returns 503
+  ///    while this replica lags its leader by more than that many KG
+  ///    versions (or has not yet heard a leader heartbeat) — the
+  ///    bounded-staleness gate load balancers use to drop a stale
+  ///    replica from rotation;
+  ///  - with read_only, POST /api/ingest is rejected with 403: a
+  ///    replica's KG is derived state, writes belong on the leader.
+  /// Call once before serving starts; `telemetry` must outlive the API.
+  void ConfigureReplication(const ReplicationTelemetry* telemetry,
+                            uint64_t max_staleness_versions,
+                            bool read_only);
+
   /// JSON for one executed answer (exposed for tests). `graph` must
   /// be the view the answer was computed against — a snapshot's graph
   /// (no locking needed; it is immutable), or the live graph under a
@@ -78,6 +97,11 @@ class NousApi {
   Nous* nous_;
   /// Readiness toggle; atomic so drain can flip it while workers serve.
   std::atomic<bool> ready_{true};  // lint: unguarded(atomic flag)
+  /// Replication wiring (ConfigureReplication): set once before the
+  /// server starts, read-only afterwards.
+  const ReplicationTelemetry* replication_ = nullptr;
+  uint64_t max_staleness_versions_ = 0;
+  bool read_only_ = false;
 };
 
 /// The embedded single-page UI served at "/".

@@ -133,6 +133,7 @@ const char* ReasonPhrase(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
+    case 403: return "Forbidden";
     case 404: return "Not Found";
     case 408: return "Request Timeout";
     case 413: return "Payload Too Large";

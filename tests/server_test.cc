@@ -17,6 +17,7 @@
 #include "corpus/world_model.h"
 #include "kb/kb_generator.h"
 #include "obs/trace_buffer.h"
+#include "replication/telemetry.h"
 #include "server/api.h"
 #include "server/http_server.h"
 #include "server/json_writer.h"
@@ -535,6 +536,112 @@ TEST(HttpServerHardeningTest, FloodBeyondMaxInflightIsShedWith503) {
   // normally (shedding rejects new work, never started work).
   EXPECT_NE(RecvAll(slow).find("200 OK"), std::string::npos);
   server.Stop();
+}
+
+// ---------- Replication serving tier ----------
+
+/// Canned ReplicationTelemetry so the serving-tier contract (version
+/// header, staleness gate, read-only mode, stats) is testable without
+/// standing up a real leader/follower pair.
+class FakeReplication : public ReplicationTelemetry {
+ public:
+  ReplicationView View() const override { return view; }
+  ReplicationView view;
+};
+
+TEST_F(ServerFixture, EveryResponseCarriesTheKgVersionHeader) {
+  for (const char* path : {"/", "/api/stats", "/api/query?q=DJI"}) {
+    std::string response = Get(server_.port(), path);
+    EXPECT_NE(response.find("X-Nous-Kg-Version: "), std::string::npos)
+        << path;
+  }
+  // The advertised version is the fixture's actual KG version, so
+  // clients can track bounded staleness end to end.
+  std::string response = Get(server_.port(), "/api/stats");
+  size_t at = response.find("X-Nous-Kg-Version: ");
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_GT(std::atoll(response.c_str() + at + 19), 0);
+}
+
+TEST_F(ServerFixture, ReadyzIs503WhenReplicaLagExceedsTheBound) {
+  FakeReplication repl;
+  repl.view.role = "follower";
+  repl.view.kg_version = 3;
+  repl.view.leader_kg_version = 9;
+  repl.view.lag_versions = 6;
+  api_.ConfigureReplication(&repl, /*max_staleness_versions=*/2,
+                            /*read_only=*/true);
+  std::string response = Get(server_.port(), "/api/readyz");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("lags leader"), std::string::npos);
+}
+
+TEST_F(ServerFixture, ReadyzIs503UntilTheFirstLeaderHeartbeat) {
+  FakeReplication repl;
+  repl.view.role = "follower";
+  repl.view.leader_kg_version = 0;  // never heard from the leader
+  api_.ConfigureReplication(&repl, /*max_staleness_versions=*/2,
+                            /*read_only=*/true);
+  std::string response = Get(server_.port(), "/api/readyz");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("staleness unknown"), std::string::npos);
+}
+
+TEST_F(ServerFixture, ReadyzIs200WhenLagIsWithinTheBound) {
+  FakeReplication repl;
+  repl.view.role = "follower";
+  repl.view.kg_version = 8;
+  repl.view.leader_kg_version = 9;
+  repl.view.lag_versions = 1;
+  api_.ConfigureReplication(&repl, /*max_staleness_versions=*/2,
+                            /*read_only=*/true);
+  std::string response = Get(server_.port(), "/api/readyz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+TEST_F(ServerFixture, ReadOnlyFollowerRejectsIngestWith403) {
+  FakeReplication repl;
+  repl.view.role = "follower";
+  repl.view.leader_kg_version = 1;
+  repl.view.kg_version = 1;
+  api_.ConfigureReplication(&repl, 0, /*read_only=*/true);
+  std::string body = "Parrot acquired Windermere.";
+  std::string request =
+      "POST /api/ingest?source=test&year=2015 HTTP/1.1\r\nHost: x\r\n"
+      "Content-Length: " +
+      std::to_string(body.size()) + "\r\n\r\n" + body;
+  std::string response = HttpGet(server_.port(), request);
+  EXPECT_NE(response.find("403"), std::string::npos);
+  EXPECT_NE(response.find("read-only"), std::string::npos);
+  // Reads still serve.
+  EXPECT_NE(Get(server_.port(), "/api/stats").find("200 OK"),
+            std::string::npos);
+}
+
+TEST_F(ServerFixture, StatsReportReplicationState) {
+  FakeReplication repl;
+  repl.view.role = "follower";
+  repl.view.connected = true;
+  repl.view.last_seq = 7;
+  repl.view.kg_version = 4;
+  repl.view.leader_seq = 7;
+  repl.view.leader_kg_version = 5;
+  repl.view.lag_versions = 1;
+  repl.view.frames_applied = 12;
+  api_.ConfigureReplication(&repl, /*max_staleness_versions=*/3,
+                            /*read_only=*/true);
+  std::string response = Get(server_.port(), "/api/stats");
+  EXPECT_NE(response.find("\"replication\":{"), std::string::npos);
+  EXPECT_NE(response.find("\"role\":\"follower\""), std::string::npos);
+  EXPECT_NE(response.find("\"lag_versions\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"max_staleness_versions\":3"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"frames_applied\":12"), std::string::npos);
+}
+
+TEST_F(ServerFixture, StatsOmitReplicationWhenNotConfigured) {
+  std::string response = Get(server_.port(), "/api/stats");
+  EXPECT_EQ(response.find("\"replication\":{"), std::string::npos);
 }
 
 TEST(HttpServerTest, StopIsIdempotentAndRestartable) {

@@ -53,6 +53,14 @@ hygiene contracts (DESIGN.md "Static analysis & locking contracts"):
                       allowed only in src/graph/ and the durability
                       serialization layer. Suppress with
                       `// lint: detach-ok(reason)`.
+  R11 raw-socket      Raw socket primitives (::send, ::recv,
+                      socket(...)) are confined to the two transport
+                      layers — src/replication/ and
+                      src/server/http_server.cc — so every byte on the
+                      wire flows through code that owns deadlines,
+                      partial-IO handling, and the NOUS_FAULTS
+                      injection points. Suppress with
+                      `// lint: socket-ok(reason)`.
 
 Suppression comments must name a reason; empty parentheses do not
 count. Exit status is the number of violations (capped at 125).
@@ -94,6 +102,7 @@ SUPPRESS_RE = {
     "use-count-ok":
         re.compile(r"//\s*lint:\s*use-count-ok\(\s*[^)\s][^)]*\)"),
     "detach-ok": re.compile(r"//\s*lint:\s*detach-ok\(\s*[^)\s][^)]*\)"),
+    "socket-ok": re.compile(r"//\s*lint:\s*socket-ok\(\s*[^)\s][^)]*\)"),
 }
 
 # R8: an out-of-class endpoint handler definition in src/server.
@@ -102,6 +111,12 @@ HANDLER_DEF_RE = re.compile(r"^HttpResponse\s+\w+::(Handle\w*)\s*\(")
 # R9/R10: COW-discipline tokens.
 USE_COUNT_RE = re.compile(r"\buse_count\s*\(")
 DETACH_RE = re.compile(r"(?:\.|->)\s*Detach\s*\(")
+
+# R11: raw socket primitives. `::send`/`::recv` must carry the
+# global-scope qualifier (method names like SendAll don't match);
+# `socket(...)` is the syscall itself, rejected even unqualified.
+RAW_SOCKET_RE = re.compile(
+    r"::\s*(?:send|recv)\s*\(|(?<![\w:.>])socket\s*\(")
 
 
 def strip_comments_and_strings(text):
@@ -213,6 +228,7 @@ class Linter:
         self.check_naked_new(path, raw_lines, code_lines, in_common)
         self.check_cout(path, raw_lines, code_lines)
         self.check_cow_discipline(path, raw_lines, code_lines)
+        self.check_raw_sockets(path, raw_lines, code_lines)
         if path.endswith(".h"):
             self.check_locked_suffix(path, code_lines)
             self.check_include_guard(path, code_lines)
@@ -327,6 +343,22 @@ class Linter:
                     "Detach() force-forks a COW chunk out of every "
                     "snapshot; it belongs in src/graph/ or durability "
                     "serialization — or add `// lint: detach-ok(reason)`")
+
+    # R11
+    def check_raw_sockets(self, path, raw_lines, code_lines):
+        norm = path.replace(os.sep, "/")
+        if "/src/replication/" in norm or \
+                norm.endswith("/src/server/http_server.cc"):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            if RAW_SOCKET_RE.search(line) and \
+                    not suppressed(raw_lines, lineno, "socket-ok"):
+                self.report(
+                    path, lineno, "raw-socket",
+                    "raw socket primitive outside src/replication/ and "
+                    "src/server/http_server.cc; route bytes through "
+                    "TcpConn / the HTTP server — or add "
+                    "`// lint: socket-ok(reason)`")
 
     # R8
     def check_handler_spans(self, path, raw_lines, code_lines):

@@ -3,12 +3,16 @@
 // web and command line interface").
 //
 // Usage:
-//   nous_cli [num_events] [--threads N] [--wal-dir DIR]
+//   nous_cli [num_events] [--threads N] [--shards N] [--wal-dir DIR]
 //            [--checkpoint-interval N] [--fsync MODE]
 //
 // --threads N sizes the pipeline's extraction/BPR worker pool
 // (default: hardware concurrency). The built KG is identical for
 // every value.
+//
+// --shards N hash-partitions the KG into N shards, each with its own
+// commit lane, WAL segment, and snapshot store (DESIGN.md §5.16); the
+// fused KG stays bit-identical for every shard count.
 //
 // --wal-dir DIR makes :ingest crash-safe (DESIGN.md §5.10): a
 // previous run's checkpoint + WAL are recovered (skipping the demo
@@ -68,11 +72,25 @@ bool ParseFsyncPolicy(const std::string& mode, nous::FsyncPolicy* policy) {
   return true;
 }
 
+/// Checked flag values: `--threads=abc` is a usage error, not a
+/// silent fallback to hardware concurrency (std::atoi returned 0).
+size_t RequireSize(const char* flag, std::string_view value, size_t min,
+                   size_t max) {
+  size_t parsed = 0;
+  if (!nous::ParseSize(value, &parsed, min, max)) {
+    std::cerr << flag << " expects an integer in [" << min << ", " << max
+              << "], got '" << value << "'\n";
+    std::exit(1);
+  }
+  return parsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nous;
   size_t num_threads = 0;  // 0 = hardware_concurrency
+  size_t num_shards = 1;
   std::string wal_dir;
   size_t checkpoint_interval = 8;
   FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
@@ -80,18 +98,23 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
-      num_threads = static_cast<size_t>(std::atoi(argv[++i]));
+      num_threads = RequireSize("--threads", argv[++i], 1, 1024);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      num_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+      num_threads = RequireSize("--threads", arg.substr(10), 1, 1024);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      num_shards = RequireSize("--shards", argv[++i], 1, kMaxShards);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      num_shards = RequireSize("--shards", arg.substr(9), 1, kMaxShards);
     } else if (arg == "--wal-dir" && i + 1 < argc) {
       wal_dir = argv[++i];
     } else if (arg.rfind("--wal-dir=", 0) == 0) {
       wal_dir = arg.substr(10);
     } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
-      checkpoint_interval = static_cast<size_t>(std::atoi(argv[++i]));
+      checkpoint_interval =
+          RequireSize("--checkpoint-interval", argv[++i], 0, SIZE_MAX);
     } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
       checkpoint_interval =
-          static_cast<size_t>(std::atoi(arg.c_str() + 22));
+          RequireSize("--checkpoint-interval", arg.substr(22), 0, SIZE_MAX);
     } else if (arg == "--fsync" && i + 1 < argc) {
       if (!ParseFsyncPolicy(argv[++i], &fsync_policy)) {
         std::cerr << "--fsync expects always|interval|never\n";
@@ -110,10 +133,10 @@ int main(int argc, char** argv) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
-  size_t num_events =
-      !positional.empty()
-          ? static_cast<size_t>(std::atoi(positional[0].c_str()))
-          : 300;
+  size_t num_events = 300;
+  if (!positional.empty()) {
+    num_events = RequireSize("num_events", positional[0], 1, 10000000);
+  }
 
   DroneWorldConfig world_config;
   world_config.num_events = num_events;
@@ -128,6 +151,7 @@ int main(int argc, char** argv) {
   options.pipeline.miner.use_vertex_types = true;
   options.pipeline.miner.min_support = 4;
   options.pipeline.num_threads = num_threads;
+  options.shards = num_shards;
   options.durability.dir = wal_dir;
   options.durability.checkpoint_interval_batches = checkpoint_interval;
   options.durability.fsync_policy = fsync_policy;

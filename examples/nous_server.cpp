@@ -1,7 +1,8 @@
 // Web demo (the paper's Figure 6): builds a drone-domain KG from a
 // synthetic stream and serves the query interface over HTTP.
 //
-//   nous_server [port] [num_events] [--threads N] [--wal-dir DIR]
+//   nous_server [port] [num_events] [--threads N] [--shards N]
+//               [--wal-dir DIR]
 //               [--checkpoint-interval N] [--fsync MODE]
 //               [--query-cache-entries N] [--no-query-cache]
 //               [--slow-query-ms MS] [--replicate-to PORT]
@@ -66,6 +67,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/string_util.h"
 #include "core/nous.h"
 #include "corpus/article_generator.h"
 #include "corpus/document_stream.h"
@@ -89,11 +91,45 @@ bool ParseFsyncPolicy(const std::string& mode, nous::FsyncPolicy* policy) {
   else return false;
   return true;
 }
+
+/// Checked flag values: `--threads=abc` is a usage error, not a
+/// silent fallback (std::atoi returned 0, which meant "hardware
+/// concurrency" here and "replication disabled" for --replicate-to).
+size_t RequireSize(const char* flag, std::string_view value, size_t min,
+                   size_t max) {
+  size_t parsed = 0;
+  if (!nous::ParseSize(value, &parsed, min, max)) {
+    std::cerr << flag << " expects an integer in [" << min << ", " << max
+              << "], got '" << value << "'\n";
+    std::exit(1);
+  }
+  return parsed;
+}
+
+uint16_t RequirePort(const char* flag, std::string_view value) {
+  uint16_t port = 0;
+  if (!nous::ParsePort(value, &port)) {
+    std::cerr << flag << " expects a port in [1, 65535], got '" << value
+              << "'\n";
+    std::exit(1);
+  }
+  return port;
+}
+
+double RequireDouble(const char* flag, std::string_view value) {
+  double parsed = 0;
+  if (!nous::ParseDouble(value, &parsed)) {
+    std::cerr << flag << " expects a number, got '" << value << "'\n";
+    std::exit(1);
+  }
+  return parsed;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace nous;
   size_t num_threads = 0;  // 0 = hardware_concurrency
+  size_t num_shards = 1;
   std::string wal_dir;
   size_t checkpoint_interval = 8;
   FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
@@ -105,18 +141,23 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
-      num_threads = static_cast<size_t>(std::atoi(argv[++i]));
+      num_threads = RequireSize("--threads", argv[++i], 1, 1024);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      num_threads = static_cast<size_t>(std::atoi(arg.c_str() + 10));
+      num_threads = RequireSize("--threads", arg.substr(10), 1, 1024);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      num_shards = RequireSize("--shards", argv[++i], 1, kMaxShards);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      num_shards = RequireSize("--shards", arg.substr(9), 1, kMaxShards);
     } else if (arg == "--wal-dir" && i + 1 < argc) {
       wal_dir = argv[++i];
     } else if (arg.rfind("--wal-dir=", 0) == 0) {
       wal_dir = arg.substr(10);
     } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
-      checkpoint_interval = static_cast<size_t>(std::atoi(argv[++i]));
+      checkpoint_interval =
+          RequireSize("--checkpoint-interval", argv[++i], 0, SIZE_MAX);
     } else if (arg.rfind("--checkpoint-interval=", 0) == 0) {
       checkpoint_interval =
-          static_cast<size_t>(std::atoi(arg.c_str() + 22));
+          RequireSize("--checkpoint-interval", arg.substr(22), 0, SIZE_MAX);
     } else if (arg == "--fsync" && i + 1 < argc) {
       if (!ParseFsyncPolicy(argv[++i], &fsync_policy)) {
         std::cerr << "--fsync expects always|interval|never\n";
@@ -128,30 +169,44 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else if (arg == "--query-cache-entries" && i + 1 < argc) {
-      query_cache.entries = static_cast<size_t>(std::atoi(argv[++i]));
+      query_cache.entries =
+          RequireSize("--query-cache-entries", argv[++i], 1, SIZE_MAX);
     } else if (arg.rfind("--query-cache-entries=", 0) == 0) {
       query_cache.entries =
-          static_cast<size_t>(std::atoi(arg.c_str() + 22));
+          RequireSize("--query-cache-entries", arg.substr(22), 1, SIZE_MAX);
     } else if (arg == "--no-query-cache") {
       query_cache.enabled = false;
     } else if (arg == "--slow-query-ms" && i + 1 < argc) {
-      SetSlowTraceThresholdMs(std::atof(argv[++i]));
+      SetSlowTraceThresholdMs(RequireDouble("--slow-query-ms", argv[++i]));
     } else if (arg.rfind("--slow-query-ms=", 0) == 0) {
-      SetSlowTraceThresholdMs(std::atof(arg.c_str() + 16));
+      SetSlowTraceThresholdMs(
+          RequireDouble("--slow-query-ms", arg.substr(16)));
     } else if (arg == "--replicate-to" && i + 1 < argc) {
-      replicate_to_port = std::atoi(argv[++i]);
+      replicate_to_port = RequirePort("--replicate-to", argv[++i]);
     } else if (arg.rfind("--replicate-to=", 0) == 0) {
-      replicate_to_port = std::atoi(arg.c_str() + 15);
+      replicate_to_port = RequirePort("--replicate-to", arg.substr(15));
     } else if (arg == "--follow" && i + 1 < argc) {
       follow_target = argv[++i];
     } else if (arg.rfind("--follow=", 0) == 0) {
       follow_target = arg.substr(9);
     } else if (arg == "--max-staleness-versions" && i + 1 < argc) {
-      max_staleness_versions =
-          static_cast<uint64_t>(std::atoll(argv[++i]));
+      uint64_t parsed = 0;
+      if (!ParseUint64(argv[++i], &parsed)) {
+        std::cerr << "--max-staleness-versions expects a non-negative "
+                     "integer, got '"
+                  << argv[i] << "'\n";
+        return 1;
+      }
+      max_staleness_versions = parsed;
     } else if (arg.rfind("--max-staleness-versions=", 0) == 0) {
-      max_staleness_versions =
-          static_cast<uint64_t>(std::atoll(arg.c_str() + 25));
+      uint64_t parsed = 0;
+      if (!ParseUint64(arg.substr(25), &parsed)) {
+        std::cerr << "--max-staleness-versions expects a non-negative "
+                     "integer, got '"
+                  << arg.substr(25) << "'\n";
+        return 1;
+      }
+      max_staleness_versions = parsed;
     } else {
       positional.push_back(arg);
     }
@@ -160,14 +215,14 @@ int main(int argc, char** argv) {
     num_threads = std::thread::hardware_concurrency();
     if (num_threads == 0) num_threads = 1;
   }
-  uint16_t port =
-      !positional.empty()
-          ? static_cast<uint16_t>(std::atoi(positional[0].c_str()))
-          : 8080;
-  size_t num_events =
-      positional.size() > 1
-          ? static_cast<size_t>(std::atoi(positional[1].c_str()))
-          : 400;
+  // Port 70000 is now an error instead of wrapping to 4464 through
+  // static_cast<uint16_t>(std::atoi(...)).
+  uint16_t port = 8080;
+  if (!positional.empty()) port = RequirePort("port", positional[0]);
+  size_t num_events = 400;
+  if (positional.size() > 1) {
+    num_events = RequireSize("num_events", positional[1], 1, 10000000);
+  }
 
   const bool is_follower = !follow_target.empty();
   const bool is_leader = replicate_to_port > 0;
@@ -181,20 +236,16 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string follow_host;
-  int follow_port = 0;
+  uint16_t follow_port = 0;
   if (is_follower) {
     const size_t colon = follow_target.rfind(':');
     if (colon == std::string::npos || colon == 0 ||
-        colon + 1 == follow_target.size()) {
+        colon + 1 == follow_target.size() ||
+        !ParsePort(follow_target.substr(colon + 1), &follow_port)) {
       std::cerr << "--follow expects HOST:PORT\n";
       return 1;
     }
     follow_host = follow_target.substr(0, colon);
-    follow_port = std::atoi(follow_target.c_str() + colon + 1);
-    if (follow_port <= 0 || follow_port > 65535) {
-      std::cerr << "--follow expects HOST:PORT\n";
-      return 1;
-    }
   }
 
   DroneWorldConfig world_config;
@@ -210,6 +261,7 @@ int main(int argc, char** argv) {
   options.pipeline.miner.use_vertex_types = true;
   options.pipeline.miner.min_support = 4;
   options.pipeline.num_threads = num_threads;
+  options.shards = num_shards;
   options.durability.dir = wal_dir;
   options.durability.checkpoint_interval_batches = checkpoint_interval;
   options.durability.fsync_policy = fsync_policy;

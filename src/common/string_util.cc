@@ -1,8 +1,11 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace nous {
 
@@ -85,6 +88,73 @@ bool IsDigits(std::string_view text) {
 
 bool IsCapitalized(std::string_view text) {
   return !text.empty() && std::isupper(static_cast<unsigned char>(text[0]));
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  bool negative = false;
+  size_t i = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    i = 1;
+  }
+  if (i == text.size()) return false;
+  // Accumulate negatively: INT64_MIN has no positive counterpart.
+  int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+    int digit = text[i] - '0';
+    if (value < (INT64_MIN + digit) / 10) return false;  // overflow
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == INT64_MIN) return false;
+    value = -value;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseUint64(std::string_view text, uint64_t* out) {
+  text = Trim(text);
+  if (!IsDigits(text)) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    unsigned digit = static_cast<unsigned>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseSize(std::string_view text, size_t* out, size_t min, size_t max) {
+  uint64_t value = 0;
+  if (!ParseUint64(text, &value)) return false;
+  if (value < min || value > max) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+bool ParsePort(std::string_view text, uint16_t* out) {
+  uint64_t value = 0;
+  if (!ParseUint64(text, &value)) return false;
+  if (value < 1 || value > 65535) return false;
+  *out = static_cast<uint16_t>(value);
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  std::string owned(Trim(text));
+  if (owned.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) return false;
+  if (errno == ERANGE || !std::isfinite(value)) return false;
+  *out = value;
+  return true;
 }
 
 std::string StrFormat(const char* fmt, ...) {

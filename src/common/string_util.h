@@ -1,6 +1,7 @@
 #ifndef NOUS_COMMON_STRING_UTIL_H_
 #define NOUS_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +35,32 @@ bool IsCapitalized(std::string_view text);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+// ---- Checked numeric parsing ----
+//
+// Strict replacements for std::atoi/std::atoll in flag and request
+// parsing: the whole input (after optional surrounding whitespace)
+// must be a number, and it must fit the output type. On failure the
+// output is untouched and false is returned — callers reject the
+// input instead of silently running with atoi's 0 / wrapped value.
+
+/// Parses a decimal integer with optional leading '-'/'+'.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a non-negative decimal integer (no sign accepted).
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// ParseUint64 bounded to [min, max]; rejects values outside.
+bool ParseSize(std::string_view text, size_t* out, size_t min = 0,
+               size_t max = SIZE_MAX);
+
+/// Parses a TCP port: an integer in [1, 65535]. Port 70000 is an
+/// error here, not 4464 (the uint16_t wraparound atoi produced).
+bool ParsePort(std::string_view text, uint16_t* out);
+
+/// Parses a finite floating-point number (strtod grammar, whole
+/// input consumed).
+bool ParseDouble(std::string_view text, double* out);
 
 }  // namespace nous
 

@@ -1,0 +1,87 @@
+// Sharding op vocabulary (DESIGN.md §5.16).
+//
+// The semantic pipeline stays a single sequential planner: it fuses
+// extractions into the authoritative KG and, when op capture is
+// enabled, emits the resulting *graph mutations* as a flat op stream.
+// A ShardSet partitions that stream by subject-entity home shard and
+// replays each partition on an independent commit lane with its own
+// mutex, WAL segment, and snapshot store.  Because every shard count
+// partitions the same deterministic op stream, the fused KG is
+// bit-identical for any N.
+//
+// Ops reference *planner* ids (VertexId/EdgeId/PredicateId/SourceId of
+// the pipeline's fused graph).  Shard lanes keep translation sidecars
+// (gid<->local index maps) so a composite read view can present
+// planner ids to the query layer unchanged.
+
+#ifndef NOUS_CORE_KG_OPS_H_
+#define NOUS_CORE_KG_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace nous {
+
+// Hard ceiling on --shards: the ingest router tracks per-vertex
+// shard-presence as a uint32_t bitmask.
+inline constexpr size_t kMaxShards = 32;
+
+// FNV-1a over the case-folded entity label; stable across platforms
+// and runs, so a vertex's home shard is a pure function of its label.
+inline size_t ShardOfFoldedLabel(std::string_view folded, size_t num_shards) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : folded) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return num_shards <= 1 ? 0 : static_cast<size_t>(h % num_shards);
+}
+
+// One planner-side graph mutation.  Field use by kind:
+//   kDefineVertex        vertex, label, type_name (may be empty), topics
+//   kAddEdge             edge, subject, predicate_name, object, meta fields
+//   kSetEdgeConfidence   edge, confidence
+//   kSetVertexType       vertex, type_name
+//   kSetVertexTopics     vertex, topics
+// String names (not ids) travel for predicates/types/sources so each
+// shard graph interns its own dictionaries; the composite view
+// translates back to planner ids per snapshot.
+struct KgOp {
+  enum class Kind : uint8_t {
+    kDefineVertex,
+    kAddEdge,
+    kSetEdgeConfidence,
+    kSetVertexType,
+    kSetVertexTopics,
+  };
+
+  Kind kind = Kind::kDefineVertex;
+  VertexId vertex = kInvalidVertex;   // define / set-type / set-topics
+  EdgeId edge = kInvalidEdge;        // planner edge slot (global edge id)
+  VertexId subject = kInvalidVertex;
+  VertexId object = kInvalidVertex;
+  std::string label;          // define: entity label (planner spelling)
+  std::string type_name;      // define / set-type
+  std::string predicate_name; // add-edge
+  std::string source_name;    // add-edge ("" = kInvalidSource)
+  std::vector<double> topics; // define / set-topics
+  double confidence = 0.0;    // add-edge / set-confidence
+  Timestamp timestamp = 0;    // add-edge
+  bool curated = false;       // add-edge
+};
+
+// Ops captured from one committed ingest batch (or Finalize), in
+// planner application order.
+struct KgOpBatch {
+  std::vector<KgOp> ops;
+  bool finalize = false;  // true when emitted by Finalize()
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORE_KG_OPS_H_

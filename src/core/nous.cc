@@ -9,6 +9,7 @@
 #include "common/thread_annotations.h"
 #include "durability/wal_codec.h"
 #include "obs/metrics.h"
+#include "qa/sharded_view.h"
 
 namespace nous {
 
@@ -33,10 +34,31 @@ bool ParseAdhocId(const std::string& id, size_t* value) {
 
 }  // namespace
 
+Nous::Options Nous::NormalizeOptions(Options options) {
+  if (options.shards > kMaxShards) options.shards = kMaxShards;
+  if (options.shards > 1) {
+    // Sharded queries are served from the planner snapshot plus the
+    // shard views; without published snapshots there is nothing
+    // coherent to compose.
+    options.pipeline.publish_snapshots = true;
+  }
+  return options;
+}
+
 Nous::Nous(const CuratedKb* kb, Options options)
-    : options_(std::move(options)), pipeline_(kb, options_.pipeline) {
+    : options_(NormalizeOptions(std::move(options))),
+      pipeline_(kb, options_.pipeline) {
   if (options_.query_cache.enabled && options_.query_cache.entries > 0) {
     cache_ = std::make_unique<QueryCache>(options_.query_cache.entries);
+  }
+  if (options_.shards > 1) {
+    pipeline_.EnableOpCapture();
+    shards_ = std::make_unique<ShardSet>(options_.shards);
+    {
+      ReaderMutexLock lock(kg_mutex());
+      shards_->Bootstrap(pipeline_.graph(), pipeline_.kg_version());
+    }
+    shards_->Start();
   }
 }
 
@@ -46,7 +68,7 @@ Result<Nous::RecoveryStats> Nous::Recover() {
         "Recover(): Options::durability.dir is empty");
   }
   MutexLock lock(ingest_mutex_);
-  if (durability_ != nullptr) {
+  if (durability_ != nullptr || durable()) {
     return Status::FailedPrecondition("durability is already enabled");
   }
   {
@@ -56,6 +78,7 @@ Result<Nous::RecoveryStats> Nous::Recover() {
           "Recover() must run before any ingest");
     }
   }
+  if (shards_ != nullptr) return RecoverShardedLocked();
   auto manager = std::make_unique<DurabilityManager>(options_.durability);
   NOUS_ASSIGN_OR_RETURN(DurabilityManager::RecoveredState recovered,
                         manager->Recover());
@@ -92,6 +115,118 @@ Result<Nous::RecoveryStats> Nous::Recover() {
   return stats;
 }
 
+Result<Nous::RecoveryStats> Nous::RecoverShardedLocked() {
+  NOUS_ASSIGN_OR_RETURN(
+      ShardRecoveryResult recovered,
+      shards_->RecoverDurable(options_.durability.dir));
+  RecoveryStats stats;
+  stats.dropped_wal_records = recovered.dropped_wal_records;
+  stats.dropped_wal_bytes = recovered.dropped_wal_bytes;
+  uint64_t last_seq = 0;
+  if (recovered.restored_checkpoint) {
+    NOUS_RETURN_IF_ERROR(pipeline_.LoadState(recovered.planner_state));
+    stats.restored_checkpoint = true;
+    last_seq = recovered.checkpoint_seq;
+  }
+  // Nothing captured so far corresponds to shard state we kept.
+  (void)pipeline_.TakeCapturedOps();
+  {
+    ReaderMutexLock read(kg_mutex());
+    if (shards_->shards_restored()) {
+      // Every shard graph came off its own checkpoint image; only the
+      // in-memory router tables need rebuilding.
+      shards_->RebuildRouter(pipeline_.graph());
+    } else {
+      shards_->Bootstrap(pipeline_.graph(), pipeline_.kg_version());
+    }
+  }
+  size_t adhoc_floor = 0;
+  for (const WalRecord& record : recovered.replay) {
+    NOUS_ASSIGN_OR_RETURN(std::vector<Article> batch,
+                          DecodeArticleBatch(record.payload));
+    for (const Article& article : batch) {
+      size_t n = 0;
+      if (ParseAdhocId(article.id, &n) && n + 1 > adhoc_floor) {
+        adhoc_floor = n + 1;
+      }
+    }
+    pipeline_.IngestBatch(batch);
+    std::vector<KgOpBatch> ops = pipeline_.TakeCapturedOps();
+    uint64_t version = 0;
+    {
+      ReaderMutexLock read(kg_mutex());
+      version = pipeline_.kg_version();
+    }
+    shards_->ApplySynchronously(std::move(ops), version);
+    last_seq = record.seq;
+    ++stats.replayed_batches;
+    stats.replayed_articles += batch.size();
+  }
+  if (adhoc_floor > 0) pipeline_.EnsureAdhocCounterAtLeast(adhoc_floor);
+  NOUS_RETURN_IF_ERROR(shards_->StartDurable(
+      options_.durability.dir, options_.durability, last_seq));
+  // Unconditional checkpoint: collapses any gap-cut WAL tails (records
+  // dropped past a seq gap still sit in sibling shard WALs) so the
+  // next recovery starts from a clean composite image.
+  NOUS_RETURN_IF_ERROR(ShardedCheckpointLocked());
+  stats.last_seq = last_seq;
+  durability_enabled_.store(true, std::memory_order_release);
+  PublishCommitLocked(last_seq);
+  return stats;
+}
+
+Status Nous::ShardedCheckpointLocked() {
+  std::string state = pipeline_.SaveState();
+  uint64_t version = 0;
+  {
+    ReaderMutexLock read(kg_mutex());
+    version = pipeline_.kg_version();
+  }
+  return shards_->WriteCheckpoint(state, version);
+}
+
+void Nous::CommitToShardsLocked(uint64_t seq) {
+  std::vector<KgOpBatch> ops = pipeline_.TakeCapturedOps();
+  uint64_t version = 0;
+  {
+    ReaderMutexLock read(kg_mutex());
+    version = pipeline_.kg_version();
+  }
+  shards_->Commit(std::move(ops), version, seq);
+}
+
+Status Nous::IngestBatchSharded(const Article* articles, size_t count,
+                                uint64_t* seq_out) {
+  *seq_out = 0;
+  if (!durable()) {
+    pipeline_.IngestBatch(articles, count);
+    CommitToShardsLocked(0);
+    return Status::Ok();
+  }
+  // Log before apply, same contract as the unsharded durable path;
+  // the fsync itself happens on the seq's home lane, off this thread.
+  std::string payload = EncodeArticleBatch(articles, count);
+  const uint64_t seq = shards_->NextSeq();
+  NOUS_RETURN_IF_ERROR(shards_->AppendWal(seq, payload));
+  pipeline_.IngestBatch(articles, count);
+  CommitToShardsLocked(seq);
+  PublishCommitLocked(seq);
+  if (shards_->ShouldCheckpoint()) {
+    NOUS_RETURN_IF_ERROR(ShardedCheckpointLocked());
+  }
+  *seq_out = seq;
+  return Status::Ok();
+}
+
+void Nous::DrainShards() {
+  if (shards_ != nullptr) shards_->Drain();
+}
+
+std::vector<uint64_t> Nous::CompositeVersion() const {
+  if (shards_ == nullptr) return {};
+  return shards_->CompositeVersion();
+}
+
 Status Nous::EnableDurability() {
   Result<RecoveryStats> result = Recover();
   return result.ok() ? Status::Ok() : result.status();
@@ -99,6 +234,15 @@ Status Nous::EnableDurability() {
 
 Status Nous::Checkpoint() {
   MutexLock lock(ingest_mutex_);
+  if (shards_ != nullptr) {
+    if (!durable()) {
+      return Status::FailedPrecondition("durability is not enabled");
+    }
+    const uint64_t seq = shards_->last_seq();
+    NOUS_RETURN_IF_ERROR(ShardedCheckpointLocked());
+    PublishCommitLocked(seq);
+    return Status::Ok();
+  }
   if (durability_ == nullptr) {
     return Status::FailedPrecondition("durability is not enabled");
   }
@@ -140,6 +284,16 @@ Status Nous::IngestBatchDurable(const Article* articles, size_t count) {
 }
 
 Status Nous::Ingest(const Article& article) {
+  if (shards_ != nullptr) {
+    uint64_t seq = 0;
+    {
+      MutexLock lock(ingest_mutex_);
+      NOUS_RETURN_IF_ERROR(IngestBatchSharded(&article, 1, &seq));
+    }
+    // Wait for the home lane's fsync *outside* the ingest mutex, so
+    // other writers' appends overlap this batch's flush.
+    return shards_->WaitDurable(seq);
+  }
   if (!durable()) {
     pipeline_.Ingest(article);
     return Status::Ok();
@@ -150,6 +304,15 @@ Status Nous::Ingest(const Article& article) {
 
 Status Nous::IngestBatch(const std::vector<Article>& articles) {
   if (articles.empty()) return Status::Ok();
+  if (shards_ != nullptr) {
+    uint64_t seq = 0;
+    {
+      MutexLock lock(ingest_mutex_);
+      NOUS_RETURN_IF_ERROR(
+          IngestBatchSharded(articles.data(), articles.size(), &seq));
+    }
+    return shards_->WaitDurable(seq);
+  }
   if (!durable()) {
     pipeline_.IngestBatch(articles);
     return Status::Ok();
@@ -179,7 +342,7 @@ Status Nous::IngestStream(DocumentStream* stream, bool finalize) {
 
 Status Nous::IngestText(const std::string& text, const Date& date,
                         const std::string& source) {
-  if (!durable()) {
+  if (shards_ == nullptr && !durable()) {
     pipeline_.IngestText(text, date, source);
     return Status::Ok();
   }
@@ -190,11 +353,39 @@ Status Nous::IngestText(const std::string& text, const Date& date,
   article.date = date;
   article.source = source;
   article.text = text;
+  if (shards_ != nullptr) {
+    uint64_t seq = 0;
+    {
+      MutexLock lock(ingest_mutex_);
+      NOUS_RETURN_IF_ERROR(IngestBatchSharded(&article, 1, &seq));
+    }
+    return shards_->WaitDurable(seq);
+  }
   MutexLock lock(ingest_mutex_);
   return IngestBatchDurable(&article, 1);
 }
 
 void Nous::Finalize() {
+  if (shards_ != nullptr) {
+    MutexLock lock(ingest_mutex_);
+    pipeline_.Finalize();
+    CommitToShardsLocked(0);
+    if (durable()) {
+      // Same rationale as the unsharded branch below: Finalize's
+      // mutations live outside the WAL, so only a checkpoint makes
+      // them crash-safe.
+      Status status = ShardedCheckpointLocked();
+      if (!status.ok()) {
+        NOUS_LOG(Warning)
+            << "Finalize(): sharded checkpoint failed, durable state "
+               "lags the finalized KG: "
+            << status.ToString();
+        return;
+      }
+      PublishCommitLocked(shards_->last_seq());
+    }
+    return;
+  }
   if (!durable()) {
     pipeline_.Finalize();
     return;
@@ -224,6 +415,10 @@ void Nous::SetCommitListener(CommitListener* listener) {
 }
 
 Result<Nous::ReplicationImage> Nous::CaptureReplicationImage() {
+  if (shards_ != nullptr) {
+    return Status::FailedPrecondition(
+        "replication is not supported in sharded mode");
+  }
   MutexLock lock(ingest_mutex_);
   if (durability_ == nullptr) {
     return Status::FailedPrecondition(
@@ -241,6 +436,10 @@ Result<Nous::ReplicationImage> Nous::CaptureReplicationImage() {
 
 Status Nous::ApplyReplicatedBatch(uint64_t seq, const std::string& payload,
                                   uint64_t expected_kg_version) {
+  if (shards_ != nullptr) {
+    return Status::FailedPrecondition(
+        "replication is not supported in sharded mode");
+  }
   MutexLock lock(ingest_mutex_);
   if (durability_ == nullptr) {
     return Status::FailedPrecondition(
@@ -284,6 +483,10 @@ Status Nous::ApplyReplicatedBatch(uint64_t seq, const std::string& payload,
 
 Status Nous::ApplyReplicatedCheckpoint(uint64_t seq,
                                        const std::string& state) {
+  if (shards_ != nullptr) {
+    return Status::FailedPrecondition(
+        "replication is not supported in sharded mode");
+  }
   MutexLock lock(ingest_mutex_);
   if (durability_ == nullptr) {
     return Status::FailedPrecondition(
@@ -311,7 +514,37 @@ Result<Answer> Nous::Execute(const Query& query,
     ReaderMutexLock lock(kg_mutex());
     return ExecuteUnlocked(query);
   }
+  if (shards_ != nullptr) return ExecuteOnShards(query, snap);
   return ExecuteOnSnapshot(query, snap);
+}
+
+Result<Answer> Nous::ExecuteOnShards(
+    const Query& query,
+    const std::shared_ptr<const KgSnapshot>& snap) const {
+  std::vector<std::shared_ptr<const ShardView>> views =
+      shards_->CurrentViews();
+  for (const auto& view : views) {
+    if (view == nullptr || view->version != snap->version()) {
+      // A lane has not yet published this version (or raced past it):
+      // the planner snapshot alone is bit-identical, so serve from it
+      // instead of blocking on the lanes.
+      return ExecuteOnSnapshot(query, snap);
+    }
+  }
+  std::string key;
+  if (cache_ != nullptr) {
+    key = CanonicalCacheKey(query);
+    Answer cached;
+    // Answers are identical either way, so the cache is safely shared
+    // with the planner-snapshot fallback path at the same version.
+    if (cache_->Lookup(key, snap->version(), &cached)) return cached;
+  }
+  ShardedGraphView view(&snap->graph(), std::move(views));
+  QueryEngineT<ShardedGraphView> engine(&view, snap->patterns(),
+                                        options_.query);
+  NOUS_ASSIGN_OR_RETURN(Answer answer, engine.Execute(query));
+  if (cache_ != nullptr) cache_->Insert(key, snap->version(), answer);
+  return answer;
 }
 
 Result<Answer> Nous::ExecuteOnSnapshot(

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/shard_set.h"
 #include "core/snapshot.h"
 #include "corpus/document_stream.h"
 #include "durability/manager.h"
@@ -51,20 +52,35 @@ class CommitListener {
 /// the log; every subsequent ingest is logged before it is applied and
 /// only acknowledged (Status OK) once both succeeded. kill -9 at any
 /// byte offset recovers a KG bit-identical to the last durable batch.
+/// Nous construction options. Lives at namespace scope (with a nested
+/// alias below) because GCC 12 miscompiles `Options options = {}`
+/// default arguments when a nested class carries its own default
+/// member initializers.
+struct NousOptions {
+  PipelineConfig pipeline;
+  QueryEngineConfig query;
+  /// Crash safety; disabled while `durability.dir` is empty.
+  DurabilityOptions durability;
+  /// Versioned LRU cache over executed answers (DESIGN.md §5.11).
+  /// Only effective in snapshot-serving mode
+  /// (pipeline.publish_snapshots): a cached answer is keyed by the
+  /// KG version it was computed at, so every ingest commit
+  /// implicitly invalidates the whole cache.
+  QueryCacheOptions query_cache;
+  /// Hash-shards the KG commit tier into N shards (DESIGN.md
+  /// §5.16): each shard owns its own commit lane, mutex, WAL
+  /// segment, checkpoint, and snapshot store, so parallel durable
+  /// ingest overlaps the per-batch fsyncs. 1 (the default) keeps
+  /// the classic single-graph layout byte-for-byte. Values > 1
+  /// force pipeline.publish_snapshots (sharded queries serve from
+  /// the planner snapshot plus the shard views) and are clamped to
+  /// kMaxShards. The fused KG is bit-identical for every value.
+  size_t shards = 1;
+};
+
 class Nous {
  public:
-  struct Options {
-    PipelineConfig pipeline;
-    QueryEngineConfig query;
-    /// Crash safety; disabled while `durability.dir` is empty.
-    DurabilityOptions durability;
-    /// Versioned LRU cache over executed answers (DESIGN.md §5.11).
-    /// Only effective in snapshot-serving mode
-    /// (pipeline.publish_snapshots): a cached answer is keyed by the
-    /// KG version it was computed at, so every ingest commit
-    /// implicitly invalidates the whole cache.
-    QueryCacheOptions query_cache;
-  };
+  using Options = NousOptions;
 
   /// `kb` must outlive the instance.
   explicit Nous(const CuratedKb* kb, Options options = {});
@@ -192,6 +208,23 @@ class Nous {
                          std::shared_ptr<const KgSnapshot>* snapshot_out =
                              nullptr) EXCLUDES(kg_mutex());
 
+  /// True when the commit tier is hash-sharded (Options::shards > 1).
+  bool sharded() const { return shards_ != nullptr; }
+
+  /// Blocks until every shard lane has applied its queue, so the next
+  /// query sees a composite view at the latest committed version.
+  /// No-op when unsharded.
+  void DrainShards();
+
+  /// One published version per shard, in shard order (empty when
+  /// unsharded). After DrainShards() every entry equals the planner's
+  /// kg_version() — the coherence criterion composite reads check.
+  std::vector<uint64_t> CompositeVersion() const;
+
+  /// The shard commit tier, for tests and benches; null unsharded.
+  ShardSet* shard_set() { return shards_.get(); }
+  const ShardSet* shard_set() const { return shards_.get(); }
+
   /// Variants for callers that already hold a ReaderMutexLock on
   /// kg_mutex() — e.g. the HTTP API, which serializes the answer under
   /// the same lock. Calling Ask()/Execute() while holding the lock
@@ -251,14 +284,43 @@ class Nous {
   void RegisterResourceProbes(ResourceSampler* sampler);
 
  private:
+  /// Clamps Options::shards and forces the settings sharding relies
+  /// on. Runs before pipeline_ is constructed.
+  static Options NormalizeOptions(Options options);
   /// Cache-checked execution against one immutable snapshot.
   Result<Answer> ExecuteOnSnapshot(
+      const Query& query,
+      const std::shared_ptr<const KgSnapshot>& snap) const;
+  /// Cache-checked scatter-gather execution over the shard views
+  /// published at `snap`'s version. When a lane has not yet published
+  /// that version, serves from the (bit-identical) planner snapshot
+  /// instead of blocking.
+  Result<Answer> ExecuteOnShards(
       const Query& query,
       const std::shared_ptr<const KgSnapshot>& snap) const;
   /// Durable log-then-apply for one batch; caller holds ingest_mutex_
   /// so WAL order always matches apply order.
   Status IngestBatchDurable(const Article* articles, size_t count)
       REQUIRES(ingest_mutex_) EXCLUDES(kg_mutex());
+  /// Sharded log-then-apply for one batch. `*seq_out` receives the
+  /// WAL seq the caller must WaitDurable() on *after* releasing
+  /// ingest_mutex_ (0 in non-durable mode), so concurrent writers
+  /// overlap their fsync waits.
+  Status IngestBatchSharded(const Article* articles, size_t count,
+                            uint64_t* seq_out) REQUIRES(ingest_mutex_)
+      EXCLUDES(kg_mutex());
+  /// Drains the pipeline's captured op batches to the shard lanes at
+  /// the current KG version (seq == 0 when there is nothing to fsync).
+  void CommitToShardsLocked(uint64_t seq) REQUIRES(ingest_mutex_)
+      EXCLUDES(kg_mutex());
+  /// Persists the planner + per-shard checkpoints and resets the
+  /// shard WALs (ShardSet::WriteCheckpoint commit protocol).
+  Status ShardedCheckpointLocked() REQUIRES(ingest_mutex_)
+      EXCLUDES(kg_mutex());
+  /// Sharded Recover() body: per-shard checkpoints + merged WAL
+  /// replay through the planner, re-captured onto the shards.
+  Result<RecoveryStats> RecoverShardedLocked() REQUIRES(ingest_mutex_)
+      EXCLUDES(kg_mutex());
   /// Reads the live KG version (brief reader lock) and publishes the
   /// (seq, version) pair to the lock-free accessors + the listener.
   uint64_t PublishCommitLocked(uint64_t seq) REQUIRES(ingest_mutex_)
@@ -285,6 +347,11 @@ class Nous {
   /// lock-free lag/staleness reads by the serving tier.
   std::atomic<uint64_t> durable_seq_{0};
   std::atomic<uint64_t> durable_kg_version_{0};
+  /// Sharded commit tier (Options::shards > 1); null otherwise. The
+  /// pointer is immutable after construction and the ShardSet is
+  /// internally synchronized. Declared last so the lane threads stop
+  /// before anything they publish into goes away.
+  std::unique_ptr<ShardSet> shards_;  // lint: unguarded(see above)
 };
 
 }  // namespace nous

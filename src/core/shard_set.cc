@@ -1,0 +1,786 @@
+#include "core/shard_set.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+#include "durability/checkpoint.h"
+#include "durability/fs_util.h"
+
+namespace nous {
+
+namespace {
+
+/// Locates planner edge slot `gid` in a shard's ascending edge_gids
+/// sidecar. CowVec has no iterators, so this is a hand-rolled binary
+/// search over operator[].
+std::optional<EdgeId> FindLocalEdge(const CowVec<EdgeId>& edge_gids,
+                                    EdgeId gid) {
+  size_t lo = 0;
+  size_t hi = edge_gids.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (edge_gids[mid] < gid) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < edge_gids.size() && edge_gids[lo] == gid) {
+    return static_cast<EdgeId>(lo);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ShardSet::ShardSet(size_t num_shards) {
+  if (num_shards < 2) num_shards = 2;
+  if (num_shards > kMaxShards) num_shards = kMaxShards;
+  shards_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    shards_.push_back(std::make_unique<Shard>(k));
+  }
+}
+
+ShardSet::~ShardSet() {
+  StopLanes();
+  for (auto& shard : shards_) {
+    if (shard->wal.is_open()) {
+      // Destructor path: nowhere to propagate a close error; recovery
+      // treats an unsynced tail as a torn write.
+      (void)shard->wal.Close();
+    }
+  }
+}
+
+void ShardSet::StopLanes() {
+  for (auto& shard : shards_) {
+    {
+      MutexLock lock(shard->queue_mutex);
+      shard->stop = true;
+    }
+    shard->queue_cv.notify_all();
+    if (shard->lane.joinable()) shard->lane.join();
+  }
+}
+
+std::string ShardSet::ShardDir(const std::string& dir, size_t k) {
+  return dir + "/wal/shard-" + std::to_string(k);
+}
+
+std::string ShardSet::ManifestPath(const std::string& dir) const {
+  return dir + "/wal/manifest.nous";
+}
+
+std::string ShardSet::PlannerCheckpointPath(const std::string& dir) const {
+  return dir + "/checkpoint.nous";
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+void ShardSet::RouteBatch(const KgOpBatch& batch,
+                          std::vector<std::vector<KgOp>>* per_shard) {
+  const size_t n = shards_.size();
+  auto ensure_vertex_tables = [this](VertexId gid) {
+    if (gid >= labels_.size()) {
+      labels_.resize(gid + 1);
+      type_names_.resize(gid + 1);
+      homes_.resize(gid + 1, 0);
+      seen_.resize(gid + 1, 0);
+    }
+  };
+  // Makes `gid` resolvable on shard `k`, synthesizing a ghost define
+  // (label + currently known type, no topics) when the real define was
+  // homed elsewhere. Ghost copies are identity stubs for edge
+  // endpoints; the planner snapshot stays authoritative for vertex
+  // properties, so a ghost's type going stale later is harmless.
+  auto ensure_on_shard = [this, per_shard](VertexId gid, size_t k) {
+    const uint32_t bit = 1u << k;
+    if (seen_[gid] & bit) return;
+    seen_[gid] |= bit;
+    KgOp ghost;
+    ghost.kind = KgOp::Kind::kDefineVertex;
+    ghost.vertex = gid;
+    ghost.label = labels_[gid];
+    ghost.type_name = type_names_[gid];
+    (*per_shard)[k].push_back(std::move(ghost));
+  };
+
+  for (const KgOp& op : batch.ops) {
+    switch (op.kind) {
+      case KgOp::Kind::kDefineVertex: {
+        ensure_vertex_tables(op.vertex);
+        labels_[op.vertex] = op.label;
+        type_names_[op.vertex] = op.type_name;
+        const size_t home = ShardOfFoldedLabel(ToLower(op.label), n);
+        homes_[op.vertex] = static_cast<uint8_t>(home);
+        seen_[op.vertex] |= 1u << home;
+        (*per_shard)[home].push_back(op);
+        break;
+      }
+      case KgOp::Kind::kAddEdge: {
+        // An edge lives on its subject's home shard (adjacency
+        // scatter-gather reads OutEdges from exactly one shard).
+        const size_t home = homes_[op.subject];
+        if (op.edge >= edge_homes_.size()) {
+          edge_homes_.resize(op.edge + 1, 0);
+        }
+        edge_homes_[op.edge] = static_cast<uint8_t>(home);
+        ensure_on_shard(op.subject, home);
+        ensure_on_shard(op.object, home);
+        (*per_shard)[home].push_back(op);
+        break;
+      }
+      case KgOp::Kind::kSetEdgeConfidence: {
+        (*per_shard)[edge_homes_[op.edge]].push_back(op);
+        break;
+      }
+      case KgOp::Kind::kSetVertexType: {
+        type_names_[op.vertex] = op.type_name;
+        (*per_shard)[homes_[op.vertex]].push_back(op);
+        break;
+      }
+      case KgOp::Kind::kSetVertexTopics: {
+        // Home shard is authoritative for vertex properties in the
+        // canonical merge; ghost copies never carry topics.
+        (*per_shard)[homes_[op.vertex]].push_back(op);
+        break;
+      }
+    }
+  }
+}
+
+void ShardSet::RebuildRouter(const PropertyGraph& planner) {
+  const size_t nv = planner.NumVertices();
+  labels_.assign(nv, std::string());
+  type_names_.assign(nv, std::string());
+  homes_.assign(nv, 0);
+  seen_.assign(nv, 0);
+  edge_homes_.assign(planner.NumEdgeSlots(), 0);
+  for (VertexId gid = 0; gid < nv; ++gid) {
+    const std::string& label = planner.VertexLabel(gid);
+    labels_[gid] = label;
+    const TypeId t = planner.VertexType(gid);
+    if (t != kInvalidType) type_names_[gid] = planner.types().GetString(t);
+    homes_[gid] = static_cast<uint8_t>(
+        ShardOfFoldedLabel(ToLower(label), shards_.size()));
+  }
+  for (auto& shard : shards_) {
+    ReaderMutexLock lock(shard->mutex);
+    for (size_t i = 0; i < shard->vertex_gids.size(); ++i) {
+      seen_[shard->vertex_gids[i]] |= 1u << shard->index;
+    }
+    for (size_t i = 0; i < shard->edge_gids.size(); ++i) {
+      edge_homes_[shard->edge_gids[i]] = static_cast<uint8_t>(shard->index);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Op application
+
+void ShardSet::ApplyOps(Shard* shard, const std::vector<KgOp>& ops) {
+  PropertyGraph& g = shard->graph;
+  for (const KgOp& op : ops) {
+    switch (op.kind) {
+      case KgOp::Kind::kDefineVertex: {
+        auto it = shard->gid_to_local.find(op.vertex);
+        if (it != shard->gid_to_local.end()) break;  // ghost raced a define
+        const VertexId local = g.GetOrAddVertex(op.label);
+        shard->vertex_gids.PushBack(op.vertex);
+        shard->gid_to_local.emplace(op.vertex, local);
+        if (!op.type_name.empty()) {
+          g.SetVertexType(local, g.types().Intern(op.type_name));
+        }
+        if (!op.topics.empty()) {
+          g.SetVertexTopics(local, op.topics);
+        }
+        break;
+      }
+      case KgOp::Kind::kAddEdge: {
+        const VertexId ls = shard->gid_to_local.at(op.subject);
+        const VertexId lo = shard->gid_to_local.at(op.object);
+        EdgeMeta meta;
+        meta.confidence = op.confidence;
+        meta.timestamp = op.timestamp;
+        meta.source = op.source_name.empty()
+                          ? kInvalidSource
+                          : g.sources().Intern(op.source_name);
+        meta.curated = op.curated;
+        (void)g.AddEdge(ls, g.predicates().Intern(op.predicate_name), lo,
+                        meta);
+        shard->edge_gids.PushBack(op.edge);
+        break;
+      }
+      case KgOp::Kind::kSetEdgeConfidence: {
+        auto local = FindLocalEdge(shard->edge_gids, op.edge);
+        if (local) g.SetEdgeConfidence(*local, op.confidence);
+        break;
+      }
+      case KgOp::Kind::kSetVertexType: {
+        auto it = shard->gid_to_local.find(op.vertex);
+        if (it != shard->gid_to_local.end() && !op.type_name.empty()) {
+          g.SetVertexType(it->second, g.types().Intern(op.type_name));
+        }
+        break;
+      }
+      case KgOp::Kind::kSetVertexTopics: {
+        auto it = shard->gid_to_local.find(op.vertex);
+        if (it != shard->gid_to_local.end()) {
+          g.SetVertexTopics(it->second, op.topics);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void ShardSet::PublishView(Shard* shard, uint64_t version) {
+  auto view = std::make_shared<ShardView>();
+  view->version = version;
+  {
+    ReaderMutexLock lock(shard->mutex);
+    view->graph = shard->graph.Clone();
+    view->vertex_gids = shard->vertex_gids;  // O(1) COW share
+    view->edge_gids = shard->edge_gids;
+  }
+  shard->views.Publish(std::move(view));
+}
+
+void ShardSet::Bootstrap(const PropertyGraph& planner, uint64_t version) {
+  // Rebuild from scratch: Recover() re-bootstraps after replacing the
+  // planner state the constructor bootstrapped from.
+  for (auto& shard : shards_) {
+    WriterMutexLock lock(shard->mutex);
+    shard->graph = PropertyGraph();
+    shard->vertex_gids = CowVec<VertexId>();
+    shard->edge_gids = CowVec<EdgeId>();
+    shard->gid_to_local.clear();
+  }
+  labels_.clear();
+  type_names_.clear();
+  homes_.clear();
+  seen_.clear();
+  edge_homes_.clear();
+
+  // Synthesize the op stream that would have built the planner graph:
+  // every vertex defined in gid order (with its current type and
+  // topics), then every live edge in slot order. Routing this stream
+  // yields exactly the shard state incremental capture would have
+  // produced, so a bootstrapped N-shard set is indistinguishable from
+  // one grown op by op.
+  KgOpBatch batch;
+  const size_t nv = planner.NumVertices();
+  for (VertexId gid = 0; gid < nv; ++gid) {
+    KgOp op;
+    op.kind = KgOp::Kind::kDefineVertex;
+    op.vertex = gid;
+    op.label = planner.VertexLabel(gid);
+    const TypeId t = planner.VertexType(gid);
+    if (t != kInvalidType) op.type_name = planner.types().GetString(t);
+    op.topics = planner.VertexTopics(gid);
+    batch.ops.push_back(std::move(op));
+  }
+  const size_t ne = planner.NumEdgeSlots();
+  for (EdgeId e = 0; e < ne; ++e) {
+    const EdgeRecord& rec = planner.Edge(e);
+    if (!rec.alive) continue;
+    KgOp op;
+    op.kind = KgOp::Kind::kAddEdge;
+    op.edge = e;
+    op.subject = rec.subject;
+    op.object = rec.object;
+    op.predicate_name = planner.predicates().GetString(rec.predicate);
+    if (rec.meta.source != kInvalidSource) {
+      op.source_name = planner.sources().GetString(rec.meta.source);
+    }
+    op.confidence = rec.meta.confidence;
+    op.timestamp = rec.meta.timestamp;
+    op.curated = rec.meta.curated;
+    batch.ops.push_back(std::move(op));
+  }
+
+  std::vector<std::vector<KgOp>> per_shard(shards_.size());
+  RouteBatch(batch, &per_shard);
+  for (auto& shard : shards_) {
+    {
+      WriterMutexLock lock(shard->mutex);
+      ApplyOps(shard.get(), per_shard[shard->index]);
+    }
+    PublishView(shard.get(), version);
+  }
+}
+
+void ShardSet::ApplySynchronously(std::vector<KgOpBatch> batches,
+                                  uint64_t version) {
+  std::vector<std::vector<KgOp>> per_shard(shards_.size());
+  for (const KgOpBatch& batch : batches) RouteBatch(batch, &per_shard);
+  for (auto& shard : shards_) {
+    {
+      WriterMutexLock lock(shard->mutex);
+      ApplyOps(shard.get(), per_shard[shard->index]);
+    }
+    PublishView(shard.get(), version);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Commit lanes
+
+void ShardSet::Start() {
+  // Idempotent: the ctor path starts lanes eagerly and a later
+  // StartDurable (Recover) calls through here again.
+  if (started_) return;
+  started_ = true;
+  for (auto& shard : shards_) {
+    shard->lane = std::thread(&ShardSet::LaneMain, this, shard.get());
+  }
+}
+
+void ShardSet::Commit(std::vector<KgOpBatch> batches, uint64_t version,
+                      uint64_t seq) {
+  std::vector<std::vector<KgOp>> per_shard(shards_.size());
+  for (const KgOpBatch& batch : batches) RouteBatch(batch, &per_shard);
+  const size_t home_lane = seq == 0 ? 0 : seq % shards_.size();
+  for (auto& shard : shards_) {
+    LaneItem item;
+    item.version = version;
+    item.ops = std::move(per_shard[shard->index]);
+    const bool fsync_duty = seq != 0 && shard->index == home_lane;
+    if (fsync_duty) item.fsync_seq = seq;
+    const bool has_work = fsync_duty || !item.ops.empty();
+    {
+      MutexLock lock(shard->queue_mutex);
+      shard->queue.push_back(std::move(item));
+    }
+    // Wake only lanes with actual work. A version-only item (no ops,
+    // no fsync duty) coalesces in the queue until the lane's next real
+    // wake-up or Drain(): the shard's data is already current — only
+    // its view-version label lags — so queries stay coherent, and we
+    // skip N-1 thread wake-ups per commit.
+    if (has_work) shard->queue_cv.notify_all();
+  }
+  ++batches_since_checkpoint_;
+}
+
+void ShardSet::LaneMain(Shard* shard) {
+  for (;;) {
+    std::vector<LaneItem> items;
+    {
+      UniqueLock lock(shard->queue_mutex);
+      while (shard->queue.empty() && !shard->stop) {
+        shard->queue_cv.wait(lock.std_lock());
+      }
+      if (shard->queue.empty() && shard->stop) return;
+      items.swap(shard->queue);
+      shard->busy = true;
+    }
+
+    // Apply the whole drained group under one writer section and
+    // publish a single coalesced view at the newest version.
+    uint64_t max_version = 0;
+    std::vector<uint64_t> fsync_seqs;
+    {
+      WriterMutexLock lock(shard->mutex);
+      for (LaneItem& item : items) {
+        ApplyOps(shard, item.ops);
+        max_version = std::max(max_version, item.version);
+        if (item.fsync_seq != 0) fsync_seqs.push_back(item.fsync_seq);
+      }
+    }
+    PublishView(shard, max_version);
+
+    // Group commit: one fsync covers every WAL append drained in this
+    // round. Under kAlways the fsync gates the durable ack; under
+    // kInterval it batches further; under kNever the page cache rules.
+    if (durable_ && !fsync_seqs.empty()) {
+      Status sync_status;
+      bool synced = false;
+      switch (durability_.fsync_policy) {
+        case FsyncPolicy::kAlways: {
+          sync_status = FsyncShardWal(shard);
+          synced = true;
+          break;
+        }
+        case FsyncPolicy::kInterval: {
+          size_t pending;
+          {
+            MutexLock lock(shard->queue_mutex);
+            shard->appends_since_sync += fsync_seqs.size();
+            pending = shard->appends_since_sync;
+          }
+          if (pending >= durability_.fsync_interval_records) {
+            sync_status = FsyncShardWal(shard);
+            MutexLock lock(shard->queue_mutex);
+            shard->appends_since_sync = 0;
+          }
+          break;
+        }
+        case FsyncPolicy::kNever:
+          break;
+      }
+      if (durability_.fsync_policy == FsyncPolicy::kAlways ||
+          !sync_status.ok()) {
+        MutexLock lock(ledger_mutex_);
+        if (!sync_status.ok()) {
+          // Sticky: one failed fsync poisons every later durable ack.
+          if (ledger_error_.ok()) ledger_error_ = sync_status;
+          for (auto& s : shards_) s->durable_cv.notify_all();
+        } else if (synced) {
+          const uint64_t old_upto = durable_upto_;
+          for (uint64_t s : fsync_seqs) durable_done_.insert(s);
+          while (durable_done_.count(durable_upto_ + 1) != 0) {
+            durable_done_.erase(durable_upto_ + 1);
+            ++durable_upto_;
+          }
+          // Wake only the writers this advance satisfied: seqs in
+          // (old_upto, durable_upto_] wait on their home shards' cvs,
+          // which are the next min(advanced, N) lanes after old_upto.
+          const uint64_t advanced = durable_upto_ - old_upto;
+          const uint64_t lanes =
+              std::min<uint64_t>(advanced, shards_.size());
+          for (uint64_t i = 1; i <= lanes; ++i) {
+            shards_[(old_upto + i) % shards_.size()]->durable_cv
+                .notify_all();
+          }
+        }
+      }
+    }
+
+    {
+      MutexLock lock(shard->queue_mutex);
+      shard->busy = false;
+    }
+    shard->queue_cv.notify_all();
+  }
+}
+
+void ShardSet::Drain() {
+  for (auto& shard : shards_) {
+    UniqueLock lock(shard->queue_mutex);
+    // Commit() leaves version-only items queued without a wake-up;
+    // flush them so every shard's view version converges.
+    if (!shard->queue.empty()) shard->queue_cv.notify_all();
+    while (!shard->queue.empty() || shard->busy) {
+      shard->queue_cv.wait(lock.std_lock());
+    }
+  }
+}
+
+std::vector<std::shared_ptr<const ShardView>> ShardSet::CurrentViews()
+    const {
+  std::vector<std::shared_ptr<const ShardView>> views;
+  views.reserve(shards_.size());
+  for (const auto& shard : shards_) views.push_back(shard->views.Current());
+  return views;
+}
+
+std::vector<uint64_t> ShardSet::CompositeVersion() const {
+  std::vector<uint64_t> versions;
+  versions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    auto view = shard->views.Current();
+    versions.push_back(view == nullptr ? 0 : view->version);
+  }
+  return versions;
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+
+Status ShardSet::StartDurable(const std::string& dir,
+                              const DurabilityOptions& opts,
+                              uint64_t last_seq) {
+  durability_ = opts;
+  base_dir_ = dir;
+  durable_ = true;
+  last_seq_ = last_seq;
+  {
+    MutexLock lock(ledger_mutex_);
+    durable_upto_ = last_seq;
+  }
+  NOUS_RETURN_IF_ERROR(EnsureDirectory(dir));
+  NOUS_RETURN_IF_ERROR(EnsureDirectory(dir + "/wal"));
+  // Shard WALs open with kNever: the ingest thread appends without
+  // syncing and each lane group-commits the fsync off the critical
+  // path (through its own fd, see FsyncShardWal).
+  WalOptions wal_opts;
+  wal_opts.fsync_policy = FsyncPolicy::kNever;
+  for (auto& shard : shards_) {
+    const std::string shard_dir = ShardDir(dir, shard->index);
+    NOUS_RETURN_IF_ERROR(EnsureDirectory(shard_dir));
+    shard->wal_path = shard_dir + "/wal.log";
+    if (!shard->wal.is_open()) {
+      NOUS_RETURN_IF_ERROR(shard->wal.Open(shard->wal_path, wal_opts));
+    }
+  }
+  Start();
+  return Status::Ok();
+}
+
+Status ShardSet::AppendWal(uint64_t seq, std::string_view payload) {
+  Shard* home = shards_[seq % shards_.size()].get();
+  NOUS_RETURN_IF_ERROR(home->wal.Append(seq, payload));
+  last_seq_ = seq;
+  return Status::Ok();
+}
+
+Status ShardSet::FsyncShardWal(Shard* shard) {
+  if (auto fault = FaultInjector::Global().Hit("wal_fsync")) {
+    if (fault->kind == FaultKind::kFail) {
+      return Status::Internal("fault injected: wal_fsync fail");
+    }
+    if (fault->kind == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->arg));
+    }
+  }
+  // A fresh fd per flush: the append fd inside WalWriter belongs to
+  // the ingest thread, and checkpointing swaps the file under us — an
+  // open-by-path fsync is immune to both.
+  const int fd = ::open(shard->wal_path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open for fsync failed: " + shard->wal_path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed: " + shard->wal_path);
+  }
+  return Status::Ok();
+}
+
+Status ShardSet::WaitDurable(uint64_t seq) {
+  if (!durable_ || durability_.fsync_policy != FsyncPolicy::kAlways) {
+    return Status::Ok();
+  }
+  Shard* home = shards_[seq % shards_.size()].get();
+  UniqueLock lock(ledger_mutex_);
+  while (durable_upto_ < seq && ledger_error_.ok()) {
+    home->durable_cv.wait(lock.std_lock());
+  }
+  if (durable_upto_ >= seq) return Status::Ok();
+  return ledger_error_;
+}
+
+bool ShardSet::ShouldCheckpoint() const {
+  return durable_ && durability_.checkpoint_interval_batches > 0 &&
+         batches_since_checkpoint_ >= durability_.checkpoint_interval_batches;
+}
+
+Status ShardSet::WriteCheckpoint(const std::string& planner_state,
+                                 uint64_t kg_version) {
+  Drain();
+
+  // 1. Per-shard images. Each carries the composite version so the
+  //    fast recovery path can prove the set is coherent.
+  for (auto& shard : shards_) {
+    BinaryWriter w;
+    w.U64(kg_version);
+    {
+      ReaderMutexLock lock(shard->mutex);
+      shard->graph.SaveBinary(&w);
+      w.U64(shard->vertex_gids.size());
+      for (size_t i = 0; i < shard->vertex_gids.size(); ++i) {
+        w.U32(shard->vertex_gids[i]);
+      }
+      w.U64(shard->edge_gids.size());
+      for (size_t i = 0; i < shard->edge_gids.size(); ++i) {
+        w.U32(shard->edge_gids[i]);
+      }
+    }
+    CheckpointData data;
+    data.last_applied_seq = last_seq_;
+    data.state = w.Take();
+    NOUS_RETURN_IF_ERROR(WriteCheckpointFile(
+        ShardDir(base_dir_, shard->index) + "/checkpoint.nous", data));
+  }
+
+  // 2. The planner checkpoint: the recovery source of truth. Crash
+  //    before this lands -> old checkpoint + old WALs still replay.
+  CheckpointData planner;
+  planner.last_applied_seq = last_seq_;
+  planner.state = planner_state;
+  NOUS_RETURN_IF_ERROR(
+      WriteCheckpointFile(PlannerCheckpointPath(base_dir_), planner));
+
+  // 3. The manifest commits the shard fast path: only when it matches
+  //    the planner checkpoint's seq (and every shard image does too)
+  //    may recovery skip the Bootstrap rebuild.
+  BinaryWriter m;
+  m.U64(shards_.size());
+  m.U64(kg_version);
+  CheckpointData manifest;
+  manifest.last_applied_seq = last_seq_;
+  manifest.state = m.Take();
+  NOUS_RETURN_IF_ERROR(
+      WriteCheckpointFile(ManifestPath(base_dir_), manifest));
+
+  // 4. Everything logged so far is covered; reset the shard WALs.
+  WalOptions wal_opts;
+  wal_opts.fsync_policy = FsyncPolicy::kNever;
+  for (auto& shard : shards_) {
+    NOUS_RETURN_IF_ERROR(shard->wal.Close());
+    if (FileExists(shard->wal_path)) {
+      NOUS_RETURN_IF_ERROR(RemoveFile(shard->wal_path));
+    }
+    NOUS_RETURN_IF_ERROR(shard->wal.Open(shard->wal_path, wal_opts));
+    MutexLock lock(shard->queue_mutex);
+    shard->appends_since_sync = 0;
+  }
+  batches_since_checkpoint_ = 0;
+  return Status::Ok();
+}
+
+Result<ShardRecoveryResult> ShardSet::RecoverDurable(
+    const std::string& dir) {
+  base_dir_ = dir;
+  ShardRecoveryResult result;
+
+  // Drop whatever the constructor bootstrapped from the curated KB:
+  // the checkpoint (or replay from empty) supersedes it, and the
+  // sidecar loads below append rather than overwrite.
+  for (auto& shard : shards_) {
+    WriterMutexLock lock(shard->mutex);
+    shard->graph = PropertyGraph();
+    shard->vertex_gids = CowVec<VertexId>();
+    shard->edge_gids = CowVec<EdgeId>();
+    shard->gid_to_local.clear();
+  }
+
+  // Planner checkpoint: corrupt is an error (stale-but-intact beats
+  // silently wrong); absent just means replay-from-scratch.
+  Result<CheckpointData> planner =
+      ReadCheckpointFile(PlannerCheckpointPath(dir));
+  if (planner.ok()) {
+    result.restored_checkpoint = true;
+    result.checkpoint_seq = planner->last_applied_seq;
+    result.planner_state = std::move(planner->state);
+  } else if (planner.status().code() != StatusCode::kNotFound) {
+    return planner.status();
+  }
+
+  // Shard fast path: manifest + every per-shard image must agree with
+  // the planner checkpoint on seq, shard count, and version. Any
+  // mismatch (resharded directory, torn checkpoint sweep) falls back
+  // to Bootstrap from the planner graph — correct, just slower.
+  bool fast_path = false;
+  uint64_t manifest_version = 0;
+  Result<CheckpointData> manifest = ReadCheckpointFile(ManifestPath(dir));
+  if (result.restored_checkpoint && manifest.ok() &&
+      manifest->last_applied_seq == result.checkpoint_seq) {
+    BinaryReader r(manifest->state);
+    uint64_t shard_count = 0;
+    if (r.U64(&shard_count).ok() && r.U64(&manifest_version).ok() &&
+        shard_count == shards_.size()) {
+      fast_path = true;
+    }
+  }
+  if (fast_path) {
+    for (auto& shard : shards_) {
+      Result<CheckpointData> image = ReadCheckpointFile(
+          ShardDir(dir, shard->index) + "/checkpoint.nous");
+      if (!image.ok() ||
+          image->last_applied_seq != result.checkpoint_seq) {
+        fast_path = false;
+        break;
+      }
+      BinaryReader r(image->state);
+      uint64_t version = 0;
+      if (!r.U64(&version).ok() || version != manifest_version) {
+        fast_path = false;
+        break;
+      }
+      bool loaded = false;
+      {
+        // The writer lock must drop before PublishView, which takes
+        // the same shared mutex as a reader (self-deadlock otherwise).
+        WriterMutexLock lock(shard->mutex);
+        loaded = shard->graph.LoadBinary(&r).ok();
+        uint64_t count = 0;
+        Status st = loaded ? r.Count(&count, sizeof(uint32_t))
+                           : Status::DataLoss("graph image");
+        for (uint64_t i = 0; st.ok() && i < count; ++i) {
+          uint32_t gid = 0;
+          st = r.U32(&gid);
+          if (st.ok()) {
+            shard->vertex_gids.PushBack(gid);
+            shard->gid_to_local.emplace(gid, static_cast<VertexId>(i));
+          }
+        }
+        if (st.ok()) st = r.Count(&count, sizeof(uint32_t));
+        for (uint64_t i = 0; st.ok() && i < count; ++i) {
+          uint32_t gid = 0;
+          st = r.U32(&gid);
+          if (st.ok()) shard->edge_gids.PushBack(gid);
+        }
+        loaded = st.ok();
+      }
+      if (!loaded) {
+        fast_path = false;
+        break;
+      }
+      PublishView(shard.get(), version);
+    }
+  }
+  if (!fast_path) {
+    // Wipe any partially loaded shard; the caller Bootstraps instead.
+    for (auto& shard : shards_) {
+      WriterMutexLock lock(shard->mutex);
+      shard->graph = PropertyGraph();
+      shard->vertex_gids = CowVec<VertexId>();
+      shard->edge_gids = CowVec<EdgeId>();
+      shard->gid_to_local.clear();
+    }
+  }
+  shards_restored_ = fast_path;
+
+  // Scan every shard WAL, truncate torn tails, and merge the records
+  // into one contiguous seq run. A record past a seq gap sits after a
+  // batch that was never fsynced on its own shard — under the ledger
+  // protocol it was never acknowledged either, so dropping it is the
+  // same contract as dropping a torn tail.
+  std::vector<WalRecord> records;
+  for (auto& shard : shards_) {
+    const std::string path = ShardDir(dir, shard->index) + "/wal.log";
+    NOUS_ASSIGN_OR_RETURN(WalReadResult read, WalReader::ReadAll(path));
+    result.dropped_wal_records += read.dropped_records;
+    result.dropped_wal_bytes += read.dropped_bytes;
+    if (FileExists(path) && read.dropped_bytes > 0) {
+      NOUS_RETURN_IF_ERROR(TruncateFile(path, read.valid_bytes));
+    }
+    for (WalRecord& rec : read.records) {
+      if (rec.seq > result.checkpoint_seq) {
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const WalRecord& a, const WalRecord& b) {
+              return a.seq < b.seq;
+            });
+  uint64_t expected = result.checkpoint_seq + 1;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].seq != expected) {
+      for (size_t j = i; j < records.size(); ++j) {
+        ++result.dropped_wal_records;
+        result.dropped_wal_bytes += records[j].payload.size();
+      }
+      records.resize(i);
+      break;
+    }
+    ++expected;
+  }
+  result.replay = std::move(records);
+  return result;
+}
+
+}  // namespace nous

@@ -1,0 +1,252 @@
+// Hash-sharded KG commit tier (DESIGN.md §5.16).
+//
+// The semantic pipeline stays one sequential planner; a ShardSet
+// partitions its captured op stream (core/kg_ops.h) across N shards,
+// each with its own commit lane thread, mutex, WAL segment
+// (<dir>/wal/shard-<k>/wal.log), checkpoint, and ShardViewStore.
+// Partitioning a deterministic stream keeps the fused KG bit-identical
+// for every shard count; throughput comes from moving the per-batch
+// WAL fsync out of the ingest critical section and overlapping the N
+// per-shard fsync queues (group commit per lane).
+//
+// Threading: routing and WAL appends run on the ingest thread under
+// Nous's ingest mutex (so WAL order == planner apply order); each lane
+// applies its partition asynchronously under its own shard mutex and
+// publishes an immutable ShardView per committed version. Durable acks
+// (FsyncPolicy::kAlways) wait on the ledger, *after* the ingest mutex
+// is released, so concurrent writers overlap their fsync waits.
+
+#ifndef NOUS_CORE_SHARD_SET_H_
+#define NOUS_CORE_SHARD_SET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/kg_ops.h"
+#include "durability/manager.h"
+#include "durability/wal.h"
+#include "graph/property_graph.h"
+#include "graph/shard_view.h"
+
+namespace nous {
+
+/// What sharded recovery found on disk (mirrors Nous::RecoveryStats).
+struct ShardRecoveryResult {
+  bool restored_checkpoint = false;
+  /// Article-batch WAL records to replay, merged across shard WALs in
+  /// contiguous seq order (records past a seq gap — possible when one
+  /// shard's unsynced tail tore — are dropped; they were never acked).
+  std::vector<WalRecord> replay;
+  uint64_t dropped_wal_records = 0;
+  uint64_t dropped_wal_bytes = 0;
+  /// Planner checkpoint payload (KgPipeline::SaveState bytes) when
+  /// restored_checkpoint is true.
+  std::string planner_state;
+  uint64_t checkpoint_seq = 0;
+};
+
+class ShardSet {
+ public:
+  /// `num_shards` in [2, kMaxShards]; shards == 1 uses the legacy
+  /// unsharded path and never constructs a ShardSet.
+  explicit ShardSet(size_t num_shards);
+  ~ShardSet();
+
+  ShardSet(const ShardSet&) = delete;
+  ShardSet& operator=(const ShardSet&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Rebuilds the router tables and every shard graph from the planner
+  /// graph (synthetic defines + edges in global id order), publishing
+  /// each shard's view at `version`. Lanes must be idle (init or
+  /// post-recovery). Called once at startup and again after a
+  /// checkpoint restore that had no usable per-shard checkpoints.
+  void Bootstrap(const PropertyGraph& planner, uint64_t version);
+
+  /// ---- Durability (all called under Nous's ingest mutex). ----
+
+  /// Phase 1 of sharded Recover(): reads the planner checkpoint, the
+  /// per-shard checkpoints + manifest (loading shard graphs from them
+  /// when they are coherent, otherwise leaving shards empty for a
+  /// later Bootstrap), truncates torn WAL tails, and returns the
+  /// merged replay records. `dir` is DurabilityOptions::dir.
+  Result<ShardRecoveryResult> RecoverDurable(const std::string& dir);
+
+  /// True when RecoverDurable loaded every shard graph from a coherent
+  /// per-shard checkpoint set (the caller then skips Bootstrap but must
+  /// still call RebuildRouter).
+  bool shards_restored() const { return shards_restored_; }
+
+  /// Rebuilds router tables (labels, homes, ghost masks, edge homes)
+  /// from the planner graph plus the current shard sidecars. Used on
+  /// the checkpoint-restore fast path where Bootstrap is skipped.
+  void RebuildRouter(const PropertyGraph& planner);
+
+  /// Applies `batches` synchronously on the calling thread (recovery
+  /// replay: lanes are not running yet).
+  void ApplySynchronously(std::vector<KgOpBatch> batches, uint64_t version);
+
+  /// Opens every shard WAL for append and starts the lane threads.
+  /// `last_seq` seeds the durable ledger and the sequence counter.
+  Status StartDurable(const std::string& dir, const DurabilityOptions& opts,
+                      uint64_t last_seq);
+
+  /// Starts lane threads without any WAL (non-durable sharded mode).
+  void Start();
+
+  /// Next WAL sequence number (last logged + 1). Durable mode only.
+  uint64_t NextSeq() const { return last_seq_ + 1; }
+
+  /// Appends one encoded article batch to seq's home-shard WAL
+  /// without fsyncing (the home lane group-commits the fsync). On
+  /// error nothing is committed and the planner must not apply.
+  Status AppendWal(uint64_t seq, std::string_view payload);
+
+  /// Routes each batch's ops to their home shards and enqueues the
+  /// partitions on every lane (a lane with no ops still receives the
+  /// version bump so its published view tracks the composite version).
+  /// `seq` == 0 in non-durable mode; otherwise the home lane fsyncs
+  /// its WAL before reporting `seq` durable to the ledger.
+  void Commit(std::vector<KgOpBatch> batches, uint64_t version,
+              uint64_t seq);
+
+  /// Blocks until every lane queue is empty and applied. Queries and
+  /// checkpoints use this to get a coherent composite view.
+  void Drain();
+
+  /// Blocks until `seq` (and everything before it) is fsynced on its
+  /// home shard, or a lane hit a sticky fsync error. No-op unless the
+  /// fsync policy is kAlways.
+  Status WaitDurable(uint64_t seq);
+
+  /// Drains the lanes, then atomically persists: per-shard
+  /// checkpoints, the planner checkpoint (`planner_state`), and the
+  /// manifest (the commit point for the shard fast path), finally
+  /// resetting every shard WAL. Crash at any point recovers correctly:
+  /// before the planner checkpoint lands the old state + WALs win;
+  /// after it, a stale manifest just forces the Bootstrap slow path.
+  Status WriteCheckpoint(const std::string& planner_state,
+                         uint64_t kg_version);
+
+  /// True when checkpoint_interval_batches commits have landed since
+  /// the last checkpoint.
+  bool ShouldCheckpoint() const;
+
+  /// Current published view of every shard, in shard order.
+  std::vector<std::shared_ptr<const ShardView>> CurrentViews() const;
+
+  /// Composite version vector: one published version per shard.
+  std::vector<uint64_t> CompositeVersion() const;
+
+  uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  struct LaneItem {
+    uint64_t version = 0;
+    /// Nonzero when this lane must fsync its WAL and report the seq
+    /// durable (it is the seq's home lane).
+    uint64_t fsync_seq = 0;
+    std::vector<KgOp> ops;
+  };
+
+  /// One shard: graph + sidecars + commit lane. The lane thread is the
+  /// only writer of the shard graph after Start(); Bootstrap/recovery
+  /// write before any lane exists.
+  struct Shard {
+    explicit Shard(size_t index) : index(index) {}
+
+    const size_t index;
+
+    /// The shard's own kg_mutex.
+    mutable AnnotatedSharedMutex mutex;
+    PropertyGraph graph GUARDED_BY(mutex);
+    /// local vertex id -> planner gid (insertion order, not sorted).
+    CowVec<VertexId> vertex_gids GUARDED_BY(mutex);
+    /// local edge slot -> planner egid (ascending).
+    CowVec<EdgeId> edge_gids GUARDED_BY(mutex);
+    /// planner gid -> local vertex id.
+    std::unordered_map<VertexId, VertexId> gid_to_local GUARDED_BY(mutex);
+
+    /// Commit queue.
+    mutable AnnotatedMutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::vector<LaneItem> queue GUARDED_BY(queue_mutex);
+    bool busy GUARDED_BY(queue_mutex) = false;
+    bool stop GUARDED_BY(queue_mutex) = false;
+    /// Appends to this shard's WAL since its last fsync (kInterval).
+    size_t appends_since_sync GUARDED_BY(queue_mutex) = 0;
+
+    /// Per-shard WAL segment; appends happen on the ingest thread
+    /// (under Nous's ingest mutex), fsyncs on the lane thread through
+    /// a separate fd, so neither blocks the other.
+    WalWriter wal;
+    std::string wal_path;
+
+    ShardViewStore views;
+    std::thread lane;
+
+    /// Durable-ack wakeups for commits whose home is this shard
+    /// (waits pair with ShardSet::ledger_mutex_). Per-shard so a group
+    /// fsync wakes only the writers it satisfied, not every waiter.
+    std::condition_variable durable_cv;
+  };
+
+  void ApplyOps(Shard* shard, const std::vector<KgOp>& ops)
+      REQUIRES(shard->mutex);
+  void PublishView(Shard* shard, uint64_t version) EXCLUDES(shard->mutex);
+  void LaneMain(Shard* shard);
+  /// fsyncs shard's WAL through a fresh fd (stale-proof across WAL
+  /// resets) honoring the "wal_fsync" fault point.
+  Status FsyncShardWal(Shard* shard);
+  void StopLanes();
+
+  /// Routes one op batch into per-shard op lists, synthesizing ghost
+  /// defines for cross-shard edge endpoints.
+  void RouteBatch(const KgOpBatch& batch,
+                  std::vector<std::vector<KgOp>>* per_shard);
+
+  static std::string ShardDir(const std::string& dir, size_t k);
+  std::string ManifestPath(const std::string& dir) const;
+  std::string PlannerCheckpointPath(const std::string& dir) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// ---- Router state (ingest thread only, under Nous's ingest
+  /// mutex; also written single-threaded by Bootstrap/recovery). ----
+  std::vector<std::string> labels_;      // by gid
+  std::vector<std::string> type_names_;  // by gid (latest known)
+  std::vector<uint8_t> homes_;           // by gid
+  std::vector<uint32_t> seen_;           // by gid: bitmask of shards
+  std::vector<uint8_t> edge_homes_;      // by egid
+
+  /// ---- Durable ledger. ----
+  mutable AnnotatedMutex ledger_mutex_;
+  /// Every seq <= durable_upto_ is fsynced on its home shard.
+  uint64_t durable_upto_ GUARDED_BY(ledger_mutex_) = 0;
+  /// fsynced seqs beyond durable_upto_ (out-of-order completions).
+  std::set<uint64_t> durable_done_ GUARDED_BY(ledger_mutex_);
+  Status ledger_error_ GUARDED_BY(ledger_mutex_);
+
+  /// Written by the ingest thread under Nous's ingest mutex.
+  uint64_t last_seq_ = 0;
+  uint64_t batches_since_checkpoint_ = 0;
+  DurabilityOptions durability_;
+  std::string base_dir_;
+  bool durable_ = false;
+  bool started_ = false;
+  bool shards_restored_ = false;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_CORE_SHARD_SET_H_

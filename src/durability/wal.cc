@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/binary_io.h"
 #include "common/crc32.h"
@@ -152,6 +154,9 @@ Status WalWriter::Sync() {
   if (auto fault = FaultInjector::Global().Hit("wal_fsync")) {
     if (fault->kind == FaultKind::kFail) {
       return Status::Internal("fault injected: wal_fsync fail");
+    }
+    if (fault->kind == FaultKind::kDelay) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault->arg));
     }
   }
   if (::fsync(fd_) != 0) return Status::Internal(Errno("fsync", path_));

@@ -1,0 +1,72 @@
+// Immutable per-shard snapshot (DESIGN.md §5.16).
+//
+// A shard lane publishes one of these after every drained commit
+// batch: an O(1) COW clone of its shard-local PropertyGraph plus the
+// sidecar id translations that relate shard-local ids back to the
+// planner's global id space. Lives in the graph layer so both the
+// core ShardSet (producer) and the qa ShardedGraphView (consumer) can
+// name it without a dependency cycle.
+
+#ifndef NOUS_GRAPH_SHARD_VIEW_H_
+#define NOUS_GRAPH_SHARD_VIEW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "graph/cow.h"
+#include "graph/property_graph.h"
+#include "graph/types.h"
+
+namespace nous {
+
+/// One shard's published state. Immutable after construction; safe to
+/// read from any thread with no lock.
+struct ShardView {
+  /// Planner kg_version this view reflects. All shards publish a view
+  /// for every committed version (possibly with no local ops), so a
+  /// composite read can detect when the shard set is coherent.
+  uint64_t version = 0;
+  /// Shard-local graph: only the vertices homed or ghosted here and
+  /// the edges homed here. Vertex labels are globally unique, so they
+  /// double as cross-shard identity.
+  PropertyGraph graph;
+  /// Shard-local vertex id -> planner (global) vertex id, in local
+  /// insertion order. Not sorted: ghost defines arrive out of gid
+  /// order.
+  CowVec<VertexId> vertex_gids;
+  /// Shard-local edge slot -> planner (global) edge slot. Ascending:
+  /// a shard receives its edges in global slot order.
+  CowVec<EdgeId> edge_gids;
+};
+
+/// Atomic publish/read slot for a shard's latest view (the per-shard
+/// SnapshotStore). Monotonic: an older version never replaces a newer
+/// one.
+class ShardViewStore {
+ public:
+  void Publish(std::shared_ptr<const ShardView> view) {
+    std::shared_ptr<const ShardView> current =
+        current_.load(std::memory_order_acquire);
+    while (current == nullptr || current->version < view->version) {
+      if (current_.compare_exchange_weak(current, view,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  std::shared_ptr<const ShardView> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Internally synchronized; no GUARDED_BY needed.
+  std::atomic<std::shared_ptr<const ShardView>> current_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_GRAPH_SHARD_VIEW_H_

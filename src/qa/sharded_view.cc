@@ -1,0 +1,252 @@
+#include "qa/sharded_view.h"
+
+#include <algorithm>
+
+#include "qa/query_engine.h"
+#include "qa/path_search.h"
+
+namespace nous {
+
+// Anchor the sharded instantiations of the templated query stack, the
+// twin of the PropertyGraph instantiations in query_engine.cc /
+// path_search.cc.
+template class QueryEngineT<ShardedGraphView>;
+template class PathSearchT<ShardedGraphView>;
+template double ComputePathCoherence<ShardedGraphView>(
+    const ShardedGraphView&, const std::vector<VertexId>&);
+
+ShardedGraphView::ShardedGraphView(
+    const PropertyGraph* planner,
+    std::vector<std::shared_ptr<const ShardView>> views)
+    : planner_(planner) {
+  shards_.reserve(views.size());
+  for (auto& view : views) {
+    PerShard shard;
+    shard.view = std::move(view);
+    const Dictionary& preds = shard.view->graph.predicates();
+    shard.pred_to_global.reserve(preds.size());
+    for (uint32_t i = 0; i < preds.size(); ++i) {
+      // Every name a shard interned traveled in an op the planner had
+      // already interned, so the lookup cannot miss on a coherent set.
+      shard.pred_to_global.push_back(
+          planner_->predicates().Lookup(preds.GetString(i)).value_or(
+              kInvalidPredicate));
+    }
+    const Dictionary& srcs = shard.view->graph.sources();
+    shard.src_to_global.reserve(srcs.size());
+    for (uint32_t i = 0; i < srcs.size(); ++i) {
+      shard.src_to_global.push_back(
+          planner_->sources().Lookup(srcs.GetString(i)).value_or(
+              kInvalidSource));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::optional<VertexId> ShardedGraphView::LocalVertex(size_t k,
+                                                      VertexId gid) const {
+  const PerShard& shard = shards_[k];
+  if (!shard.gid_map_built) {
+    const CowVec<VertexId>& gids = shard.view->vertex_gids;
+    shard.gid_to_local.reserve(gids.size());
+    for (size_t i = 0; i < gids.size(); ++i) {
+      shard.gid_to_local.emplace(gids[i], static_cast<VertexId>(i));
+    }
+    shard.gid_map_built = true;
+  }
+  auto it = shard.gid_to_local.find(gid);
+  if (it == shard.gid_to_local.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> ShardedGraphView::LocalEdge(const PerShard& shard,
+                                                  EdgeId e) {
+  const CowVec<EdgeId>& gids = shard.view->edge_gids;
+  size_t lo = 0;
+  size_t hi = gids.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (gids[mid] < e) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < gids.size() && gids[lo] == e) return static_cast<EdgeId>(lo);
+  return std::nullopt;
+}
+
+AdjEntry ShardedGraphView::Translate(const PerShard& shard,
+                                     const AdjEntry& a) const {
+  AdjEntry out;
+  out.predicate = shard.pred_to_global[a.predicate];
+  out.neighbor = shard.view->vertex_gids[a.neighbor];
+  out.edge = shard.view->edge_gids[a.edge];
+  return out;
+}
+
+const EdgeRecord& ShardedGraphView::Edge(EdgeId e) const {
+  auto memo = edge_memo_.find(e);
+  if (memo != edge_memo_.end()) return memo->second;
+  for (const PerShard& shard : shards_) {
+    auto local = LocalEdge(shard, e);
+    if (!local) continue;
+    const EdgeRecord& rec = shard.view->graph.Edge(*local);
+    EdgeRecord translated;
+    translated.subject = shard.view->vertex_gids[rec.subject];
+    translated.object = shard.view->vertex_gids[rec.object];
+    translated.predicate = shard.pred_to_global[rec.predicate];
+    translated.meta = rec.meta;
+    translated.meta.source =
+        rec.meta.source == kInvalidSource
+            ? kInvalidSource
+            : shard.src_to_global[rec.meta.source];
+    translated.alive = rec.alive;
+    return edge_memo_.emplace(e, translated).first->second;
+  }
+  // Unknown slot: behave like a dead record rather than crashing —
+  // PropertyGraph::Edge has the same "must be < NumEdgeSlots" contract.
+  static const EdgeRecord kDead;
+  return kDead;
+}
+
+std::vector<AdjEntry> ShardedGraphView::Gather(VertexId v, bool out,
+                                               PredicateId predicate) const {
+  // Collect each shard's (already egid-ascending) translated list,
+  // then k-way merge by global edge id — global insertion order.
+  std::vector<std::vector<AdjEntry>> lists;
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    auto local = LocalVertex(k, v);
+    if (!local) continue;
+    const PerShard& shard = shards_[k];
+    const PropertyGraph& g = shard.view->graph;
+    const std::vector<AdjEntry>* adj = nullptr;
+    if (predicate == kInvalidPredicate) {
+      adj = out ? &g.OutEdges(*local) : &g.InEdges(*local);
+    } else {
+      // Translate the planner predicate into this shard's dictionary;
+      // a shard that never interned it has no matching edges.
+      auto local_pred =
+          g.predicates().Lookup(planner_->predicates().GetString(predicate));
+      if (!local_pred) continue;
+      adj = out ? &g.OutEdgesWithPredicate(*local, *local_pred)
+                : &g.InEdgesWithPredicate(*local, *local_pred);
+    }
+    if (adj->empty()) continue;
+    std::vector<AdjEntry> translated;
+    translated.reserve(adj->size());
+    for (const AdjEntry& a : *adj) translated.push_back(Translate(shard, a));
+    lists.push_back(std::move(translated));
+  }
+  if (lists.empty()) return {};
+  if (lists.size() == 1) return std::move(lists[0]);
+  std::vector<size_t> cursor(lists.size(), 0);
+  std::vector<AdjEntry> merged;
+  for (;;) {
+    size_t best = lists.size();
+    for (size_t i = 0; i < lists.size(); ++i) {
+      if (cursor[i] >= lists[i].size()) continue;
+      if (best == lists.size() ||
+          lists[i][cursor[i]].edge < lists[best][cursor[best]].edge) {
+        best = i;
+      }
+    }
+    if (best == lists.size()) break;
+    merged.push_back(lists[best][cursor[best]++]);
+  }
+  return merged;
+}
+
+const std::vector<AdjEntry>& ShardedGraphView::OutEdges(VertexId v) const {
+  auto it = out_memo_.find(v);
+  if (it != out_memo_.end()) return it->second;
+  return out_memo_.emplace(v, Gather(v, true, kInvalidPredicate))
+      .first->second;
+}
+
+const std::vector<AdjEntry>& ShardedGraphView::InEdges(VertexId v) const {
+  auto it = in_memo_.find(v);
+  if (it != in_memo_.end()) return it->second;
+  return in_memo_.emplace(v, Gather(v, false, kInvalidPredicate))
+      .first->second;
+}
+
+const std::vector<AdjEntry>& ShardedGraphView::OutEdgesWithPredicate(
+    VertexId v, PredicateId p) const {
+  const uint64_t key = (static_cast<uint64_t>(v) << 32) | p;
+  auto it = out_pred_memo_.find(key);
+  if (it != out_pred_memo_.end()) return it->second;
+  return out_pred_memo_.emplace(key, Gather(v, true, p)).first->second;
+}
+
+const std::vector<AdjEntry>& ShardedGraphView::InEdgesWithPredicate(
+    VertexId v, PredicateId p) const {
+  const uint64_t key = (static_cast<uint64_t>(v) << 32) | p;
+  auto it = in_pred_memo_.find(key);
+  if (it != in_pred_memo_.end()) return it->second;
+  return in_pred_memo_.emplace(key, Gather(v, false, p)).first->second;
+}
+
+std::optional<EdgeId> ShardedGraphView::FindEdge(VertexId subject,
+                                                 PredicateId predicate,
+                                                 VertexId object) const {
+  for (const AdjEntry& a : OutEdges(subject)) {
+    if (a.predicate == predicate && a.neighbor == object &&
+        Edge(a.edge).alive) {
+      return a.edge;
+    }
+  }
+  return std::nullopt;
+}
+
+Timestamp ShardedGraphView::MaxEdgeTimestamp() const {
+  Timestamp newest = 0;
+  for (const PerShard& shard : shards_) {
+    newest = std::max(newest, shard.view->graph.MaxEdgeTimestamp());
+  }
+  return newest;
+}
+
+size_t ShardedGraphView::NumEdges() const {
+  size_t total = 0;
+  for (const PerShard& shard : shards_) {
+    total += shard.view->graph.NumEdges();
+  }
+  return total;
+}
+
+size_t ShardedGraphView::NumEdgeSlots() const {
+  size_t slots = 0;
+  for (const PerShard& shard : shards_) {
+    const CowVec<EdgeId>& gids = shard.view->edge_gids;
+    if (!gids.empty()) {
+      slots = std::max<size_t>(slots, gids[gids.size() - 1] + 1);
+    }
+  }
+  return slots;
+}
+
+void ShardedGraphView::ForEachEdge(
+    const std::function<void(EdgeId, const EdgeRecord&)>& fn) const {
+  // K-way merge over the shards' ascending edge_gids sidecars: visits
+  // every live edge exactly once, in global insertion order.
+  std::vector<size_t> cursor(shards_.size(), 0);
+  for (;;) {
+    size_t best = shards_.size();
+    EdgeId best_gid = kInvalidEdge;
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      const CowVec<EdgeId>& gids = shards_[k].view->edge_gids;
+      if (cursor[k] >= gids.size()) continue;
+      if (best == shards_.size() || gids[cursor[k]] < best_gid) {
+        best = k;
+        best_gid = gids[cursor[k]];
+      }
+    }
+    if (best == shards_.size()) break;
+    ++cursor[best];
+    const EdgeRecord& rec = Edge(best_gid);
+    if (rec.alive) fn(best_gid, rec);
+  }
+}
+
+}  // namespace nous

@@ -1,0 +1,152 @@
+// Scatter-gather composite graph view over N shard snapshots
+// (DESIGN.md §5.16).
+//
+// Presents the PropertyGraph read API with *planner* (global) ids by
+// merging one immutable ShardView per shard behind the planner's own
+// published KgSnapshot:
+//
+//   - Entity resolution and vertex properties (labels, types, topics,
+//     bags) delegate to the planner snapshot — the replicated
+//     case-folded label directory. So do the dictionaries, whose ids
+//     the composite answers carry.
+//   - Adjacency, edge records, and edge scans scatter to the shard
+//     graphs and gather k-way-merged by global edge id, which equals
+//     global insertion order — the exact enumeration order of the
+//     fused graph, making every query answer bit-identical to the
+//     unsharded path.
+//
+// A view is built per query from immutable snapshots and is NOT
+// thread-safe: the lazy gid->local maps and adjacency/edge memos are
+// per-query caches, mutated without locks.
+
+#ifndef NOUS_QA_SHARDED_VIEW_H_
+#define NOUS_QA_SHARDED_VIEW_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/dictionary.h"
+#include "graph/property_graph.h"
+#include "graph/shard_view.h"
+#include "graph/types.h"
+
+namespace nous {
+
+class ShardedGraphView {
+ public:
+  /// `planner` (the planner snapshot's graph) must outlive the view;
+  /// `views` must all be published at the planner snapshot's version
+  /// (the caller checks composite coherence before constructing).
+  ShardedGraphView(const PropertyGraph* planner,
+                   std::vector<std::shared_ptr<const ShardView>> views);
+
+  // ---- Vertex surface: the planner label directory ----
+
+  std::optional<VertexId> FindVertex(std::string_view label) const {
+    return planner_->FindVertex(label);
+  }
+  std::optional<VertexId> FindVertexFolded(std::string_view label) const {
+    return planner_->FindVertexFolded(label);
+  }
+  const std::string& VertexLabel(VertexId v) const {
+    return planner_->VertexLabel(v);
+  }
+  TypeId VertexType(VertexId v) const { return planner_->VertexType(v); }
+  const std::unordered_map<TermId, double>& VertexBag(VertexId v) const {
+    return planner_->VertexBag(v);
+  }
+  const std::vector<double>& VertexTopics(VertexId v) const {
+    return planner_->VertexTopics(v);
+  }
+  size_t NumVertices() const { return planner_->NumVertices(); }
+
+  const Dictionary& predicates() const { return planner_->predicates(); }
+  const Dictionary& terms() const { return planner_->terms(); }
+  const Dictionary& types() const { return planner_->types(); }
+  const Dictionary& sources() const { return planner_->sources(); }
+
+  // ---- Edge surface: scatter-gather over the shard graphs ----
+
+  /// Edge record for global edge slot `e`, with every id translated
+  /// back to the planner id space.
+  const EdgeRecord& Edge(EdgeId e) const;
+
+  /// All edges adjacent to `v`, gathered across shards and merged in
+  /// ascending global edge id == global insertion order.
+  const std::vector<AdjEntry>& OutEdges(VertexId v) const;
+  const std::vector<AdjEntry>& InEdges(VertexId v) const;
+
+  /// Adjacency restricted to planner predicate `p`, same merge order.
+  const std::vector<AdjEntry>& OutEdgesWithPredicate(VertexId v,
+                                                     PredicateId p) const;
+  const std::vector<AdjEntry>& InEdgesWithPredicate(VertexId v,
+                                                    PredicateId p) const;
+
+  size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
+  size_t InDegree(VertexId v) const { return InEdges(v).size(); }
+
+  std::optional<EdgeId> FindEdge(VertexId subject, PredicateId predicate,
+                                 VertexId object) const;
+
+  /// Max over the shard graphs' incrementally tracked maxima.
+  Timestamp MaxEdgeTimestamp() const;
+
+  /// Live edges across all shards.
+  size_t NumEdges() const;
+  /// Global edge slots (max global edge id + 1 across shards).
+  size_t NumEdgeSlots() const;
+
+  /// Invokes fn(global_edge_id, translated record) for every live
+  /// edge, in ascending global edge id across all shards.
+  void ForEachEdge(
+      const std::function<void(EdgeId, const EdgeRecord&)>& fn) const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct PerShard {
+    std::shared_ptr<const ShardView> view;
+    /// Shard-local dictionary id -> planner id (built eagerly: the
+    /// dictionaries are tiny next to the graph).
+    std::vector<PredicateId> pred_to_global;
+    std::vector<SourceId> src_to_global;
+    /// planner gid -> shard-local vertex id; built on first adjacency
+    /// touch of this shard.
+    mutable std::unordered_map<VertexId, VertexId> gid_to_local;
+    mutable bool gid_map_built = false;
+  };
+
+  /// Shard-local vertex id for `gid` on shard `k`, if present.
+  std::optional<VertexId> LocalVertex(size_t k, VertexId gid) const;
+  /// Shard-local edge slot of global slot `e` on shard `k`, if owned.
+  static std::optional<EdgeId> LocalEdge(const PerShard& shard, EdgeId e);
+  /// Translates one shard-local adjacency entry to planner ids.
+  AdjEntry Translate(const PerShard& shard, const AdjEntry& a) const;
+  /// Gathers one adjacency direction for `v` across all shards,
+  /// k-way merged ascending by global edge id. `predicate` restricts
+  /// to one planner predicate (kInvalidPredicate = all).
+  std::vector<AdjEntry> Gather(VertexId v, bool out,
+                               PredicateId predicate) const;
+
+  const PropertyGraph* planner_;
+  std::vector<PerShard> shards_;
+
+  // Per-query memos (const methods return references into these).
+  mutable std::unordered_map<VertexId, std::vector<AdjEntry>> out_memo_;
+  mutable std::unordered_map<VertexId, std::vector<AdjEntry>> in_memo_;
+  mutable std::unordered_map<uint64_t, std::vector<AdjEntry>>
+      out_pred_memo_;
+  mutable std::unordered_map<uint64_t, std::vector<AdjEntry>> in_pred_memo_;
+  mutable std::unordered_map<EdgeId, EdgeRecord> edge_memo_;
+};
+
+}  // namespace nous
+
+#endif  // NOUS_QA_SHARDED_VIEW_H_

@@ -304,12 +304,34 @@ HttpResponse NousApi::HandleIngest(const HttpRequest& request) {
   if (request.body.empty()) {
     return JsonError(400, "empty body; POST the document text");
   }
-  auto param = [&request](const char* key, int fallback) {
-    auto it = request.params.find(key);
-    if (it == request.params.end()) return fallback;
-    return std::atoi(it->second.c_str());
+  // Checked date params: ?year=abc or ?month=0 used to flow atoi
+  // garbage straight into edge timestamps, poisoning trending and
+  // max-timestamp queries with dates that never existed.
+  Date date{2016, 1, 1};
+  struct DateField {
+    const char* key;
+    int* slot;
+    int64_t min;
+    int64_t max;
   };
-  Date date{param("year", 2016), param("month", 1), param("day", 1)};
+  const DateField fields[] = {{"year", &date.year, 1, 9999},
+                              {"month", &date.month, 1, 12},
+                              {"day", &date.day, 1, 31}};
+  for (const DateField& field : fields) {
+    auto it = request.params.find(field.key);
+    if (it == request.params.end()) continue;
+    int64_t value = 0;
+    if (!ParseInt64(it->second, &value) || value < field.min ||
+        value > field.max) {
+      return JsonError(
+          400, StrFormat("invalid %s '%s': expected an integer in [%lld, "
+                         "%lld]",
+                         field.key, it->second.c_str(),
+                         static_cast<long long>(field.min),
+                         static_cast<long long>(field.max)));
+    }
+    *field.slot = static_cast<int>(value);
+  }
   std::string source = "web";
   if (auto it = request.params.find("source");
       it != request.params.end() && !it->second.empty()) {
@@ -353,9 +375,9 @@ HttpResponse NousApi::HandleTrace(const HttpRequest& request) {
   NOUS_SPAN("api_trace");
   size_t limit = 512;
   if (auto it = request.params.find("limit"); it != request.params.end()) {
-    long long parsed = std::atoll(it->second.c_str());
-    if (parsed <= 0) return JsonError(400, "limit must be a positive integer");
-    limit = static_cast<size_t>(parsed);
+    if (!ParseSize(it->second, &limit, /*min=*/1)) {
+      return JsonError(400, "limit must be a positive integer");
+    }
   }
   std::vector<SpanRecord> spans = TraceBuffer::Global().Snapshot(limit);
   // Chrome trace-event format: complete events (ph "X") with

@@ -130,6 +130,72 @@ TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
 }
 
+// Regression: the CLI/server flag parsers used to run atoi/atoll,
+// which silently accept trailing garbage ("8080abc" -> 8080), read
+// "" as 0, and wrap on overflow. The checked parsers reject all of
+// those outright.
+TEST(StringUtilTest, ParseInt64RejectsGarbageAndOverflow) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("+9", &v));
+  EXPECT_EQ(v, 9);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));  // atoi would return 12
+  EXPECT_TRUE(ParseInt64(" 12 ", &v));  // surrounding whitespace trimmed
+  EXPECT_EQ(v, 12);
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));  // overflow
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+}
+
+TEST(StringUtilTest, ParseUint64AndSizeEnforceBounds) {
+  uint64_t u = 0;
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &u));
+  EXPECT_EQ(u, UINT64_MAX);
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &u));  // overflow
+  EXPECT_FALSE(ParseUint64("-1", &u));  // no sign accepted
+  EXPECT_FALSE(ParseUint64("+1", &u));
+  size_t s = 0;
+  EXPECT_TRUE(ParseSize("4", &s, 1, 8));
+  EXPECT_EQ(s, 4u);
+  EXPECT_FALSE(ParseSize("0", &s, 1, 8));  // below min
+  EXPECT_FALSE(ParseSize("9", &s, 1, 8));  // above max
+  EXPECT_FALSE(ParseSize("four", &s, 1, 8));
+}
+
+TEST(StringUtilTest, ParsePortRejectsWraparound) {
+  uint16_t port = 0;
+  EXPECT_TRUE(ParsePort("8080", &port));
+  EXPECT_EQ(port, 8080);
+  // atoi + uint16_t cast read 70000 as 4464; the checked parser
+  // refuses anything outside [1, 65535].
+  EXPECT_FALSE(ParsePort("70000", &port));
+  EXPECT_FALSE(ParsePort("0", &port));
+  EXPECT_FALSE(ParsePort("-1", &port));
+  EXPECT_FALSE(ParsePort("8080/tcp", &port));
+  EXPECT_TRUE(ParsePort("65535", &port));
+  EXPECT_EQ(port, 65535);
+}
+
+TEST(StringUtilTest, ParseDoubleRequiresFiniteFullMatch) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &d));
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("0.5x", &d));
+  EXPECT_FALSE(ParseDouble("nan", &d));
+  EXPECT_FALSE(ParseDouble("inf", &d));
+}
+
 // ---------- Rng ----------
 
 TEST(RngTest, DeterministicForSameSeed) {

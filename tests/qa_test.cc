@@ -120,6 +120,55 @@ TEST_F(PathFixture, TopicGuidanceBeatsBfsOnCoherence) {
   EXPECT_EQ(guided[0].vertices[1], mid_good_);
 }
 
+// Regression: equal-coherence paths used to land in std::sort's
+// unspecified order, so the top-k cut could differ across platforms
+// (and across shard counts once scatter-gather merges views). Ties
+// now break lexicographically by (vertices, edges).
+TEST(PathTieBreakTest, EqualCoherencePathsSortLexicographically) {
+  PropertyGraph graph;
+  VertexId src = graph.GetOrAddVertex("src");
+  VertexId dst = graph.GetOrAddVertex("dst");
+  // All mids share one topic distribution -> every 2-hop path has
+  // identical coherence. Edges are inserted in *descending* mid id
+  // order so discovery order disagrees with the required ordering.
+  std::vector<VertexId> mids;
+  for (const char* name : {"m1", "m2", "m3", "m4"}) {
+    mids.push_back(graph.GetOrAddVertex(name));
+  }
+  for (VertexId v : {src, dst, mids[0], mids[1], mids[2], mids[3]}) {
+    graph.SetVertexTopics(v, {1.0, 0.0});
+  }
+  PredicateId rel = graph.predicates().Intern("rel");
+  EdgeMeta meta;
+  meta.source = graph.sources().Intern("wsj");
+  for (size_t i = mids.size(); i-- > 0;) {
+    graph.AddEdge(src, rel, mids[i], meta);
+    graph.AddEdge(mids[i], rel, dst, meta);
+  }
+  PathSearchConfig config;
+  config.top_k = 3;  // ties decide who survives the cut
+  PathSearch search(&graph, config);
+  auto first = search.FindPaths(src, dst);
+  ASSERT_EQ(first.size(), 3u);
+  for (size_t i = 0; i + 1 < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].coherence, first[i + 1].coherence);
+    EXPECT_LT(first[i].vertices, first[i + 1].vertices);
+  }
+  // Lowest mid ids win the cut, in ascending order.
+  EXPECT_EQ(first[0].vertices[1], mids[0]);
+  EXPECT_EQ(first[1].vertices[1], mids[1]);
+  EXPECT_EQ(first[2].vertices[1], mids[2]);
+  // And the ordering is reproducible call over call.
+  for (int round = 0; round < 3; ++round) {
+    auto again = search.FindPaths(src, dst);
+    ASSERT_EQ(again.size(), first.size());
+    for (size_t i = 0; i < first.size(); ++i) {
+      EXPECT_EQ(again[i].vertices, first[i].vertices);
+      EXPECT_EQ(again[i].edges, first[i].edges);
+    }
+  }
+}
+
 // ---------- Baselines ----------
 
 TEST_F(PathFixture, BfsFindsShortestFirst) {

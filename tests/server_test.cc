@@ -294,6 +294,25 @@ TEST_F(ServerFixture, IngestEndpointGrowsGraph) {
   EXPECT_NE(query.find("Windermere"), std::string::npos);
 }
 
+// Regression: the year/month/day query parameters used to go through
+// atoi, so "?year=abc" silently ingested with year 0 and "?month=13"
+// produced an impossible timestamp. Every malformed or out-of-range
+// date field is now a 400 and nothing is ingested.
+TEST_F(ServerFixture, MalformedIngestDateIs400) {
+  std::string body = "Parrot acquired Windermere.";
+  for (const char* params :
+       {"year=abc", "year=0", "year=10000", "month=13", "month=0",
+        "day=32", "day=0", "day=2x"}) {
+    std::string request =
+        "POST /api/ingest?source=test&" + std::string(params) +
+        " HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    std::string response = HttpGet(server_.port(), request);
+    EXPECT_NE(response.find("400"), std::string::npos) << params;
+    EXPECT_NE(response.find("invalid"), std::string::npos) << params;
+  }
+}
+
 TEST_F(ServerFixture, EmptyIngestBodyIs400) {
   std::string request =
       "POST /api/ingest HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n";

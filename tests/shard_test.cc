@@ -1,0 +1,495 @@
+// Hash-sharded commit tier (DESIGN.md §5.16): the N-shard KG must be
+// bit-identical to the 1-shard KG for every shard count — the planner
+// stays authoritative and shards replay its captured op stream — and
+// a kill -9 must recover every shard WAL to the same composite
+// version. These tests compare the composite scatter-gather view
+// against the fused planner graph edge-for-edge, compare rendered
+// answers across shard counts for every query class, and crash-test
+// the per-shard WAL / checkpoint / manifest protocol, including a
+// torn shard tail that forces a cross-shard seq gap cut.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "core/kg_ops.h"
+#include "core/nous.h"
+#include "core/shard_set.h"
+#include "corpus/article_generator.h"
+#include "corpus/world_model.h"
+#include "durability/fs_util.h"
+#include "durability/manager.h"
+#include "graph/property_graph.h"
+#include "kb/kb_generator.h"
+#include "qa/sharded_view.h"
+
+namespace nous {
+namespace {
+
+/// A per-test scratch directory with no stale sharded-durability
+/// files (planner checkpoint, manifest, per-shard WALs/checkpoints).
+std::string FreshShardDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "nous_shard_" + name;
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  for (const char* file : {"/checkpoint.nous", "/checkpoint.nous.tmp",
+                           "/wal.log", "/wal/manifest.nous",
+                           "/wal/manifest.nous.tmp"}) {
+    EXPECT_TRUE(RemoveFile(dir + file).ok());
+  }
+  for (size_t k = 0; k < kMaxShards; ++k) {
+    std::string shard = dir + "/wal/shard-" + std::to_string(k);
+    for (const char* file :
+         {"/wal.log", "/checkpoint.nous", "/checkpoint.nous.tmp"}) {
+      EXPECT_TRUE(RemoveFile(shard + file).ok());
+    }
+  }
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  auto contents = ReadFileToString(path);
+  EXPECT_TRUE(contents.ok()) << contents.status();
+  return contents.ok() ? *contents : std::string();
+}
+
+/// Byte offset just past each intact frame of a WAL image (mirrors
+/// durability_test.cc: 8-byte file magic, 20-byte frame header with
+/// the payload length at header offset 12).
+std::vector<size_t> FrameEnds(const std::string& wal) {
+  std::vector<size_t> ends;
+  size_t off = 8;
+  while (off + 20 <= wal.size()) {
+    uint32_t len = 0;
+    std::memcpy(&len, wal.data() + off + 12, sizeof(len));
+    if (off + 20 + len > wal.size()) break;
+    off += 20 + len;
+    ends.push_back(off);
+  }
+  return ends;
+}
+
+class ShardFixture : public ::testing::Test {
+ protected:
+  ShardFixture()
+      : world_(WorldModel::BuildDroneWorld(WorldConfig())),
+        kb_(BuildCuratedKb(world_, Ontology::DroneDefault(), Coverage())) {}
+
+  static DroneWorldConfig WorldConfig() {
+    DroneWorldConfig config;
+    config.num_companies = 10;
+    config.num_people = 6;
+    config.num_products = 6;
+    config.num_events = 36;
+    config.seed = 11;
+    return config;
+  }
+  static KbCoverage Coverage() {
+    KbCoverage coverage;
+    coverage.entity_coverage = 0.6;
+    coverage.fact_coverage = 0.9;
+    return coverage;
+  }
+  static Nous::Options FastOptions(size_t shards = 1) {
+    Nous::Options options;
+    options.pipeline.lda.iterations = 30;
+    options.pipeline.bpr.epochs = 4;
+    options.pipeline.miner.min_support = 3;
+    options.pipeline.bpr_refresh_interval = 5;
+    options.pipeline.num_threads = 2;
+    options.shards = shards;
+    return options;
+  }
+  static Nous::Options DurableOptions(const std::string& dir, size_t shards,
+                                      size_t checkpoint_interval = 0) {
+    Nous::Options options = FastOptions(shards);
+    options.durability.dir = dir;
+    options.durability.fsync_policy = FsyncPolicy::kNever;  // speed
+    options.durability.checkpoint_interval_batches = checkpoint_interval;
+    return options;
+  }
+
+  std::vector<Article> MakeArticles() {
+    CorpusConfig config;
+    config.pronoun_rate = 0.2;
+    config.alias_rate = 0.2;
+    return ArticleGenerator(&world_, config).GenerateArticles();
+  }
+  static std::vector<std::vector<Article>> MakeBatches(
+      const std::vector<Article>& articles, size_t count) {
+    std::vector<std::vector<Article>> batches;
+    for (size_t start = 0; start + kBatchSize <= articles.size() &&
+                           batches.size() < count;
+         start += kBatchSize) {
+      batches.emplace_back(articles.begin() + start,
+                           articles.begin() + start + kBatchSize);
+    }
+    return batches;
+  }
+
+  using EdgeRow = std::tuple<EdgeId, VertexId, PredicateId, VertexId, double,
+                             Timestamp, SourceId, bool>;
+  /// Full-fidelity edge dump in global insertion order; works on the
+  /// fused PropertyGraph and on a ShardedGraphView alike.
+  template <typename Graph>
+  static std::vector<EdgeRow> DumpEdges(const Graph& g) {
+    std::vector<EdgeRow> rows;
+    g.ForEachEdge([&](EdgeId e, const EdgeRecord& rec) {
+      rows.emplace_back(e, rec.subject, rec.predicate, rec.object,
+                        rec.meta.confidence, rec.meta.timestamp,
+                        rec.meta.source, rec.meta.curated);
+    });
+    return rows;
+  }
+  static std::vector<EdgeRow> Dump(Nous& nous) {
+    ReaderMutexLock lock(nous.kg_mutex());
+    return DumpEdges(nous.graph());
+  }
+
+  /// An unsharded non-durable reference that ingested
+  /// `batches[0..count)` — the bit-identity baseline.
+  std::vector<EdgeRow> ReferenceEdges(
+      const std::vector<std::vector<Article>>& batches, size_t count) {
+    Nous reference(&kb_, FastOptions());
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(reference.IngestBatch(batches[i]).ok());
+    }
+    return Dump(reference);
+  }
+
+  /// The label of the highest-degree vertex whose label avoids the
+  /// query grammar's separators (" and ", " to ").
+  static std::vector<std::string> BusyEntities(const PropertyGraph& g,
+                                               size_t count) {
+    std::vector<std::pair<size_t, VertexId>> ranked;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      std::string label = g.VertexLabel(v);
+      if (label.find(" and ") != std::string::npos ||
+          label.find(" to ") != std::string::npos) {
+        continue;
+      }
+      size_t degree = g.OutDegree(v) + g.InDegree(v);
+      if (degree > 0) ranked.emplace_back(degree, v);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < ranked.size() && labels.size() < count; ++i) {
+      labels.push_back(g.VertexLabel(ranked[i].second));
+    }
+    EXPECT_GE(labels.size(), count);
+    return labels;
+  }
+
+  static constexpr size_t kBatchSize = 3;
+  WorldModel world_;
+  CuratedKb kb_;
+};
+
+// ---------------------------------------------------------------------------
+// Mode plumbing
+
+TEST_F(ShardFixture, SingleShardNeverConstructsAShardSet) {
+  Nous nous(&kb_, FastOptions(1));
+  EXPECT_FALSE(nous.sharded());
+  EXPECT_EQ(nous.shard_set(), nullptr);
+  EXPECT_TRUE(nous.CompositeVersion().empty());
+}
+
+TEST_F(ShardFixture, ShardCountIsClampedToMax) {
+  Nous nous(&kb_, FastOptions(kMaxShards * 10));
+  ASSERT_TRUE(nous.sharded());
+  EXPECT_EQ(nous.shard_set()->num_shards(), kMaxShards);
+}
+
+TEST_F(ShardFixture, ShardedModeForcesSnapshotsAndRejectsReplication) {
+  Nous::Options options = FastOptions(2);
+  options.pipeline.publish_snapshots = false;  // overridden: shards
+                                               // serve via snapshots
+  Nous nous(&kb_, options);
+  auto batches = MakeBatches(MakeArticles(), 1);
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_TRUE(nous.IngestBatch(batches[0]).ok());
+  EXPECT_NE(nous.snapshot(), nullptr);
+  EXPECT_EQ(nous.CaptureReplicationImage().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(nous.ApplyReplicatedBatch(1, "x", 0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(nous.ApplyReplicatedCheckpoint(1, "x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: N shards vs the unsharded planner graph
+
+TEST_F(ShardFixture, CompositeViewMatchesPlannerForEveryShardCount) {
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  ASSERT_EQ(batches.size(), 4u);
+  const std::vector<EdgeRow> reference = ReferenceEdges(batches, 4);
+  ASSERT_FALSE(reference.empty());
+
+  for (size_t shards : {2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    Nous nous(&kb_, FastOptions(shards));
+    for (const auto& batch : batches) {
+      ASSERT_TRUE(nous.IngestBatch(batch).ok());
+    }
+    // The planner graph itself is untouched by sharding.
+    EXPECT_EQ(Dump(nous), reference);
+
+    nous.DrainShards();
+    std::shared_ptr<const KgSnapshot> snap = nous.snapshot();
+    ASSERT_NE(snap, nullptr);
+    // One composite version vector, every entry at the snapshot.
+    std::vector<uint64_t> composite = nous.CompositeVersion();
+    ASSERT_EQ(composite.size(), shards);
+    for (uint64_t v : composite) EXPECT_EQ(v, snap->version());
+
+    ShardedGraphView view(&snap->graph(),
+                          nous.shard_set()->CurrentViews());
+    const PropertyGraph& fused = snap->graph();
+    EXPECT_EQ(view.NumEdges(), fused.NumEdges());
+    EXPECT_EQ(view.NumEdgeSlots(), fused.NumEdgeSlots());
+    EXPECT_EQ(view.MaxEdgeTimestamp(), fused.MaxEdgeTimestamp());
+    // Scatter-gather enumeration equals the fused graph edge-for-edge
+    // (same global ids, same global insertion order).
+    EXPECT_EQ(DumpEdges(view), DumpEdges(fused));
+
+    // Adjacency parity for every vertex, both directions, including
+    // the per-predicate indexes the path search uses.
+    using Adj = std::tuple<PredicateId, VertexId, EdgeId>;
+    auto flatten = [](const std::vector<AdjEntry>& adj) {
+      std::vector<Adj> rows;
+      rows.reserve(adj.size());
+      for (const AdjEntry& a : adj) {
+        rows.emplace_back(a.predicate, a.neighbor, a.edge);
+      }
+      return rows;
+    };
+    for (VertexId v = 0; v < fused.NumVertices(); ++v) {
+      EXPECT_EQ(flatten(view.OutEdges(v)), flatten(fused.OutEdges(v)))
+          << "out " << v;
+      EXPECT_EQ(flatten(view.InEdges(v)), flatten(fused.InEdges(v)))
+          << "in " << v;
+      for (PredicateId p = 0; p < fused.predicates().size(); ++p) {
+        EXPECT_EQ(flatten(view.OutEdgesWithPredicate(v, p)),
+                  flatten(fused.OutEdgesWithPredicate(v, p)))
+            << "out " << v << " pred " << p;
+        EXPECT_EQ(flatten(view.InEdgesWithPredicate(v, p)),
+                  flatten(fused.InEdgesWithPredicate(v, p)))
+            << "in " << v << " pred " << p;
+      }
+    }
+    // Point lookups resolve through whichever shard owns the edge.
+    for (const EdgeRow& row : reference) {
+      EXPECT_EQ(view.FindEdge(std::get<1>(row), std::get<2>(row),
+                              std::get<3>(row)),
+                fused.FindEdge(std::get<1>(row), std::get<2>(row),
+                               std::get<3>(row)));
+    }
+  }
+}
+
+TEST_F(ShardFixture, IngestThreadCountDoesNotChangeTheShardedKg) {
+  auto batches = MakeBatches(MakeArticles(), 4);
+  ASSERT_EQ(batches.size(), 4u);
+  std::vector<EdgeRow> first;
+  for (size_t threads : {1u, 2u, 4u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Nous::Options options = FastOptions(4);
+    options.pipeline.num_threads = threads;
+    Nous nous(&kb_, options);
+    for (const auto& batch : batches) {
+      ASSERT_TRUE(nous.IngestBatch(batch).ok());
+    }
+    nous.DrainShards();
+    std::shared_ptr<const KgSnapshot> snap = nous.snapshot();
+    ASSERT_NE(snap, nullptr);
+    ShardedGraphView view(&snap->graph(), nous.shard_set()->CurrentViews());
+    std::vector<EdgeRow> rows = DumpEdges(view);
+    EXPECT_EQ(rows, DumpEdges(snap->graph()));
+    if (first.empty()) {
+      first = std::move(rows);
+    } else {
+      EXPECT_EQ(rows, first);
+    }
+  }
+}
+
+TEST_F(ShardFixture, AnswersRenderIdenticallyForEveryQueryClass) {
+  auto batches = MakeBatches(MakeArticles(), 4);
+  ASSERT_EQ(batches.size(), 4u);
+  Nous unsharded(&kb_, FastOptions(1));
+  Nous sharded(&kb_, FastOptions(3));  // odd count: uneven partitions
+  for (const auto& batch : batches) {
+    ASSERT_TRUE(unsharded.IngestBatch(batch).ok());
+    ASSERT_TRUE(sharded.IngestBatch(batch).ok());
+  }
+  sharded.DrainShards();
+  std::shared_ptr<const KgSnapshot> snap = unsharded.snapshot();
+  ASSERT_NE(snap, nullptr);
+  std::vector<std::string> busy = BusyEntities(snap->graph(), 2);
+  ASSERT_EQ(busy.size(), 2u);
+  const std::vector<std::string> questions = {
+      "tell me about " + busy[0],
+      "what is trending",
+      "show patterns",
+      "explain " + busy[0] + " and " + busy[1],
+      "paths from " + busy[0] + " to " + busy[1],
+  };
+  for (const std::string& question : questions) {
+    std::shared_ptr<const KgSnapshot> ref_snap;
+    std::shared_ptr<const KgSnapshot> shard_snap;
+    auto reference = unsharded.Ask(question, &ref_snap);
+    auto answer = sharded.Ask(question, &shard_snap);
+    ASSERT_EQ(reference.ok(), answer.ok()) << question;
+    if (!reference.ok()) continue;
+    ASSERT_NE(ref_snap, nullptr);
+    ASSERT_NE(shard_snap, nullptr);
+    EXPECT_EQ(answer->Render(shard_snap->graph()),
+              reference->Render(ref_snap->graph()))
+        << question;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard WAL durability and crash recovery
+
+TEST_F(ShardFixture, CrashRecoveryReplaysEveryShardWal) {
+  std::string dir = FreshShardDir("wal_replay");
+  auto articles = MakeArticles();
+  auto batches = MakeBatches(articles, 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir, 2));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    for (const auto& batch : batches) {
+      ASSERT_TRUE(durable.IngestBatch(batch).ok());
+    }
+    // Destructor = crash: nothing checkpointed since enabling.
+  }
+  // Seqs alternate home shards (seq % 2), so both segments got half.
+  EXPECT_GT(FrameEnds(ReadFile(dir + "/wal/shard-0/wal.log")).size(), 0u);
+  EXPECT_GT(FrameEnds(ReadFile(dir + "/wal/shard-1/wal.log")).size(), 0u);
+
+  Nous recovered(&kb_, DurableOptions(dir, 2));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // EnableDurability wrote the empty seq-0 checkpoint, so recovery
+  // restores it and replays every logged batch on top.
+  EXPECT_TRUE(stats->restored_checkpoint);
+  EXPECT_EQ(stats->replayed_batches, 4u);
+  EXPECT_EQ(stats->replayed_articles, 12u);
+  EXPECT_EQ(stats->dropped_wal_records, 0u);
+  EXPECT_EQ(stats->last_seq, 4u);
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 4));
+
+  // The composite version converged with the recovered planner.
+  recovered.DrainShards();
+  std::shared_ptr<const KgSnapshot> snap = recovered.snapshot();
+  ASSERT_NE(snap, nullptr);
+  for (uint64_t v : recovered.CompositeVersion()) {
+    EXPECT_EQ(v, snap->version());
+  }
+  ShardedGraphView view(&snap->graph(),
+                        recovered.shard_set()->CurrentViews());
+  EXPECT_EQ(DumpEdges(view), DumpEdges(snap->graph()));
+
+  // The recovered instance keeps evolving like one that never crashed.
+  auto more = MakeBatches(articles, 5);
+  if (more.size() > 4) {
+    ASSERT_TRUE(recovered.IngestBatch(more[4]).ok());
+    EXPECT_EQ(Dump(recovered), ReferenceEdges(more, 5));
+  }
+}
+
+TEST_F(ShardFixture, CheckpointPlusShardWalReplayRecovers) {
+  std::string dir = FreshShardDir("ckpt_replay");
+  auto batches = MakeBatches(MakeArticles(), 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir, 4));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[0]).ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[1]).ok());
+    ASSERT_TRUE(durable.Checkpoint().ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[2]).ok());
+    ASSERT_TRUE(durable.IngestBatch(batches[3]).ok());
+  }
+
+  {
+    Nous recovered(&kb_, DurableOptions(dir, 4));
+    auto stats = recovered.Recover();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_TRUE(stats->restored_checkpoint);
+    EXPECT_EQ(stats->replayed_batches, 2u);  // the post-checkpoint WAL
+    EXPECT_EQ(stats->last_seq, 4u);
+    EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 4));
+  }
+
+  // Recovery ends with a fresh composite checkpoint, so a second
+  // crash-and-recover replays nothing and still lands on the same KG
+  // (the shard fast path restores every shard image directly).
+  Nous again(&kb_, DurableOptions(dir, 4));
+  auto stats = again.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->restored_checkpoint);
+  EXPECT_EQ(stats->replayed_batches, 0u);
+  EXPECT_TRUE(again.shard_set()->shards_restored());
+  EXPECT_EQ(Dump(again), ReferenceEdges(batches, 4));
+}
+
+TEST_F(ShardFixture, TornShardWalTailGapCutsToTheAcknowledgedPrefix) {
+  std::string dir = FreshShardDir("gap_cut");
+  auto batches = MakeBatches(MakeArticles(), 4);
+  ASSERT_EQ(batches.size(), 4u);
+
+  {
+    Nous durable(&kb_, DurableOptions(dir, 2));
+    ASSERT_TRUE(durable.EnableDurability().ok());
+    for (const auto& batch : batches) {
+      ASSERT_TRUE(durable.IngestBatch(batch).ok());
+    }
+  }
+  // Shard 1 logged seqs {1, 3}. Chop its second frame (seq 3): the
+  // surviving records are {1, 2, 4}, and seq 4 — stranded past the
+  // gap on shard 0 — was never acknowledged under the ledger
+  // protocol, so recovery must cut back to the contiguous {1, 2}.
+  const std::string torn = dir + "/wal/shard-1/wal.log";
+  std::vector<size_t> ends = FrameEnds(ReadFile(torn));
+  ASSERT_EQ(ends.size(), 2u);
+  ASSERT_TRUE(TruncateFile(torn, ends[0]).ok());
+
+  Nous recovered(&kb_, DurableOptions(dir, 2));
+  auto stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->replayed_batches, 2u);
+  EXPECT_EQ(stats->last_seq, 2u);
+  EXPECT_EQ(stats->dropped_wal_records, 1u);  // seq 4, past the gap
+  EXPECT_GT(stats->dropped_wal_bytes, 0u);
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 2));
+
+  // Re-ingesting the lost batches evolves the recovered prefix into
+  // exactly the KG a crash-free run would have produced.
+  ASSERT_TRUE(recovered.IngestBatch(batches[2]).ok());
+  ASSERT_TRUE(recovered.IngestBatch(batches[3]).ok());
+  EXPECT_EQ(Dump(recovered), ReferenceEdges(batches, 4));
+  recovered.DrainShards();
+  std::shared_ptr<const KgSnapshot> snap = recovered.snapshot();
+  ASSERT_NE(snap, nullptr);
+  ShardedGraphView view(&snap->graph(),
+                        recovered.shard_set()->CurrentViews());
+  EXPECT_EQ(DumpEdges(view), DumpEdges(snap->graph()));
+}
+
+}  // namespace
+}  // namespace nous

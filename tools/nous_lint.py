@@ -61,6 +61,18 @@ hygiene contracts (DESIGN.md "Static analysis & locking contracts"):
                       partial-IO handling, and the NOUS_FAULTS
                       injection points. Suppress with
                       `// lint: socket-ok(reason)`.
+  R12 graph-mutation  Direct PropertyGraph mutation (GetOrAddVertex,
+                      AddEdge, RemoveEdge, SetVertexType,
+                      SetVertexTopics, AddVertexTerm,
+                      SetEdgeConfidence, RebuildDerivedIndexes) is
+                      confined to the commit path: src/graph/ itself,
+                      the sequential planner (src/core/pipeline.cc),
+                      and the shard replay lanes
+                      (src/core/shard_set.cc). Anywhere else a write
+                      would bypass op capture, and the N-shard replay
+                      (DESIGN.md §5.16) silently diverges from the
+                      planner. Suppress with
+                      `// lint: graph-mutation-ok(reason)`.
 
 Suppression comments must name a reason; empty parentheses do not
 count. Exit status is the number of violations (capped at 125).
@@ -103,6 +115,8 @@ SUPPRESS_RE = {
         re.compile(r"//\s*lint:\s*use-count-ok\(\s*[^)\s][^)]*\)"),
     "detach-ok": re.compile(r"//\s*lint:\s*detach-ok\(\s*[^)\s][^)]*\)"),
     "socket-ok": re.compile(r"//\s*lint:\s*socket-ok\(\s*[^)\s][^)]*\)"),
+    "graph-mutation-ok":
+        re.compile(r"//\s*lint:\s*graph-mutation-ok\(\s*[^)\s][^)]*\)"),
 }
 
 # R8: an out-of-class endpoint handler definition in src/server.
@@ -117,6 +131,17 @@ DETACH_RE = re.compile(r"(?:\.|->)\s*Detach\s*\(")
 # `socket(...)` is the syscall itself, rejected even unqualified.
 RAW_SOCKET_RE = re.compile(
     r"::\s*(?:send|recv)\s*\(|(?<![\w:.>])socket\s*\(")
+
+# R12: PropertyGraph mutators, matched as member calls (`.`/`->`) so
+# declarations and same-name wrappers (SetEdgeConfidenceTracked) pass.
+GRAPH_MUTATOR_RE = re.compile(
+    r"(?:\.|->)\s*(GetOrAddVertex|AddEdge|RemoveEdge|SetVertexType|"
+    r"SetVertexTopics|AddVertexTerm|SetEdgeConfidence|"
+    r"RebuildDerivedIndexes)\s*\(")
+# The commit path: the graph layer, the sequential planner, the shard
+# replay lanes.
+GRAPH_MUTATION_ALLOWED = (
+    "/src/graph/", "/src/core/pipeline.cc", "/src/core/shard_set.cc")
 
 
 def strip_comments_and_strings(text):
@@ -229,6 +254,7 @@ class Linter:
         self.check_cout(path, raw_lines, code_lines)
         self.check_cow_discipline(path, raw_lines, code_lines)
         self.check_raw_sockets(path, raw_lines, code_lines)
+        self.check_graph_mutation(path, raw_lines, code_lines)
         if path.endswith(".h"):
             self.check_locked_suffix(path, code_lines)
             self.check_include_guard(path, code_lines)
@@ -359,6 +385,24 @@ class Linter:
                     "src/server/http_server.cc; route bytes through "
                     "TcpConn / the HTTP server — or add "
                     "`// lint: socket-ok(reason)`")
+
+    # R12
+    def check_graph_mutation(self, path, raw_lines, code_lines):
+        norm = path.replace(os.sep, "/")
+        if any(part in norm for part in GRAPH_MUTATION_ALLOWED):
+            return
+        for lineno, line in enumerate(code_lines, 1):
+            m = GRAPH_MUTATOR_RE.search(line)
+            if m and not suppressed(raw_lines, lineno,
+                                    "graph-mutation-ok"):
+                self.report(
+                    path, lineno, "graph-mutation",
+                    f"direct PropertyGraph mutation '{m.group(1)}' "
+                    "outside the commit path (src/graph/, "
+                    "src/core/pipeline.cc, src/core/shard_set.cc); "
+                    "route it through captured KgOps so shard replay "
+                    "stays bit-identical — or add "
+                    "`// lint: graph-mutation-ok(reason)`")
 
     # R8
     def check_handler_spans(self, path, raw_lines, code_lines):
